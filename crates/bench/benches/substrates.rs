@@ -1,0 +1,96 @@
+//! Criterion benches of the simulation substrates: variation-map
+//! generation, Simplex, machine stepping, thermal solves — the costs
+//! that bound how fast the paper-scale experiments (200 dies × 20
+//! trials) can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use cmpsim::{app_pool, Machine, MachineConfig, Workload};
+use floorplan::paper_20_core;
+use linprog::Problem;
+use thermal::{ThermalModel, ThermalParams};
+use varius::{DieGenerator, VariationConfig};
+use vastats::SimRng;
+
+/// Die-map generation at several grid resolutions (Cholesky factor is
+/// amortized across a batch; this measures the per-die sampling cost).
+fn bench_die_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("die_generation");
+    for &grid in &[20usize, 40, 60] {
+        let generator = DieGenerator::new(VariationConfig {
+            grid,
+            ..VariationConfig::paper_default()
+        })
+        .expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            let mut rng = SimRng::seed_from(7);
+            b.iter(|| black_box(generator.generate(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+/// One 1 ms machine tick at full load (the runtime's inner loop).
+fn bench_machine_step(c: &mut Criterion) {
+    let generator = DieGenerator::new(VariationConfig {
+        grid: 40,
+        ..VariationConfig::paper_default()
+    })
+    .expect("valid config");
+    let die = generator.generate(&mut SimRng::seed_from(3));
+    let fp = paper_20_core();
+    let mut machine = Machine::new(&die, &fp, MachineConfig::paper_default());
+    let pool = app_pool(&machine.config().dynamic);
+    let mut rng = SimRng::seed_from(4);
+    let workload = Workload::draw(&pool, 20, &mut rng);
+    machine.load_threads(workload.spawn_threads(&mut rng));
+    let mapping: Vec<Option<usize>> = (0..20).map(Some).collect();
+    machine.assign(&mapping);
+
+    c.bench_function("machine_step_1ms_20_threads", |b| {
+        b.iter(|| black_box(machine.step(0.001)))
+    });
+}
+
+/// Dense Simplex on LinOpt-shaped problems of growing size.
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_linopt_shape");
+    for &n in &[5usize, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut lp = Problem::maximize((0..n).map(|i| 1.0 + i as f64 * 0.1).collect());
+                lp = lp.constraint_le(vec![3.0; n], 0.2 * n as f64);
+                for i in 0..n {
+                    let mut row = vec![0.0; n];
+                    row[i] = 1.0;
+                    lp = lp.constraint_le(row, 0.4);
+                }
+                black_box(lp.solve().expect("feasible"))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state thermal solve over the 22-block floorplan.
+fn bench_thermal(c: &mut Criterion) {
+    let fp = paper_20_core();
+    let model = ThermalModel::new(&fp, ThermalParams::paper_default());
+    let powers: Vec<f64> = (0..fp.blocks().len()).map(|i| 2.0 + (i % 5) as f64).collect();
+    c.bench_function("thermal_steady_state", |b| {
+        b.iter(|| black_box(model.steady_state(black_box(&powers))))
+    });
+    let temps = model.steady_state(&powers);
+    c.bench_function("thermal_transient_1ms", |b| {
+        b.iter(|| black_box(model.transient_step(black_box(&temps), &powers, 0.001)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_die_generation,
+    bench_machine_step,
+    bench_simplex,
+    bench_thermal
+);
+criterion_main!(benches);

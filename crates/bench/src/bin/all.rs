@@ -1,0 +1,247 @@
+//! Runs the complete evaluation and writes `results/REPORT.md`:
+//! a paper-vs-measured summary for every figure and table, plus all the
+//! per-figure CSVs. This is the one-command reproduction entry point:
+//!
+//! ```text
+//! cargo run --release -p vasp-bench --bin all -- --scale quick
+//! ```
+
+use std::fmt::Write as _;
+use vasp_bench::{parse_args, report};
+use vasched::experiments::{
+    ablation, dvfs, granularity, scheduling, timing, validation, variation, Series,
+};
+
+fn mean(s: &Series) -> f64 {
+    s.y.iter().sum::<f64>() / s.y.len() as f64
+}
+
+fn pct(x: f64) -> String {
+    format!("{:+.1}%", (x - 1.0) * 100.0)
+}
+
+fn range_pct(s: &Series) -> String {
+    let lo = s.y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = s.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    format!("{} to {}", pct(lo), pct(hi))
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = opts.scale;
+    let seed = opts.seed;
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# Reproduction report\n\nScale: {} dies, {} trials, {} ms/trial, grid {}, SAnn {} evals. Seed {}.\n",
+        scale.dies, scale.trials, scale.duration_ms, scale.grid, scale.sann_evaluations, seed
+    );
+    let _ = writeln!(md, "| Artifact | Paper | Measured |");
+    let _ = writeln!(md, "|---|---|---|");
+
+    // Figure 4.
+    println!("[1/12] fig4 ...");
+    let f4 = variation::fig4(&scale, seed);
+    let _ = writeln!(
+        md,
+        "| Fig 4a mean power ratio | ~1.53 (mostly 1.4–1.7) | {:.3} |",
+        f4.mean_power_ratio()
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 4b mean frequency ratio | ~1.33 (mostly 1.2–1.5) | {:.3} |",
+        f4.mean_freq_ratio()
+    );
+
+    // Figure 5.
+    println!("[2/12] fig5 ...");
+    let (f5p, f5f) = variation::fig5(&scale, seed.wrapping_add(1));
+    let _ = writeln!(
+        md,
+        "| Fig 5a power ratio at σ/µ = 0.03 → 0.12 | grows with σ; significant even at 0.06 | {:.2} → {:.2} |",
+        f5p.y[0], f5p.y[3]
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 5b frequency ratio at σ/µ = 0.03 → 0.12 | grows with σ | {:.2} → {:.2} |",
+        f5f.y[0], f5f.y[3]
+    );
+    report("fig05", "Figure 5", &[f5p, f5f]);
+
+    // Figure 6.
+    println!("[3/12] fig6 ...");
+    let (f6max, f6min) = variation::fig6(&scale, seed.wrapping_add(2));
+    let _ = writeln!(
+        md,
+        "| Fig 6 MinF top frequency (vs MaxF @1 V) | ~0.74 | {:.2} |",
+        f6min.x.last().expect("points")
+    );
+    report("fig06", "Figure 6", &[f6max, f6min]);
+
+    // Table 5 is exact by construction (asserted by tests).
+    let _ = writeln!(
+        md,
+        "| Table 5 per-app power & IPC | 14 apps | exact (calibrated) |"
+    );
+
+    // Figures 7-8.
+    println!("[4/12] fig7 ...");
+    let (f7p, f7e) = scheduling::fig7(&scale, seed.wrapping_add(3));
+    let _ = writeln!(
+        md,
+        "| Fig 7a VarP power at 4 threads / 20 threads | ~−10% / ~0% | {} / {} |",
+        pct(f7p[1].y[1]),
+        pct(f7p[1].y[4])
+    );
+    report("fig07a", "Figure 7a", &f7p);
+    report("fig07b", "Figure 7b", &f7e);
+    println!("[5/12] fig8 ...");
+    let (f8p, f8e) = scheduling::fig8(&scale, seed.wrapping_add(4));
+    let _ = writeln!(
+        md,
+        "| Fig 8a VarP power at 4 threads (NUniFreq) | ~−14% | {} |",
+        pct(f8p[1].y[1])
+    );
+    report("fig08a", "Figure 8a", &f8p);
+    report("fig08b", "Figure 8b", &f8e);
+
+    // Figures 9-10.
+    println!("[6/12] fig9/10 ...");
+    let (f9f, f9m, f10) = scheduling::fig9_fig10(&scale, seed.wrapping_add(5));
+    let _ = writeln!(
+        md,
+        "| Fig 9a VarF frequency at 4 threads | ~+10% | {} |",
+        pct(f9f[1].y[1])
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 9b VarF&AppIPC throughput | +5% to +10% | {} |",
+        range_pct(&f9m[2])
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 10 VarF&AppIPC ED² at 16–20 threads | −10% to −13% | {} / {} |",
+        pct(f10[2].y[3]),
+        pct(f10[2].y[4])
+    );
+    report("fig09a", "Figure 9a", &f9f);
+    report("fig09b", "Figure 9b", &f9m);
+    report("fig10", "Figure 10", &f10);
+
+    // Figures 11 & 13.
+    println!("[7/12] fig11/13 ...");
+    let (f11m, f11e, f13m, f13e) = dvfs::fig11_fig13(&scale, seed.wrapping_add(6));
+    let _ = writeln!(
+        md,
+        "| Fig 11a LinOpt throughput | +12% to +17% | {} |",
+        range_pct(&f11m[2])
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 11a SAnn − LinOpt gap | ~+2% | {:+.1} pp |",
+        (mean(&f11m[3]) - mean(&f11m[2])) * 100.0
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 11b LinOpt ED² | −30% to −38% | {} |",
+        range_pct(&f11e[2])
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 13a LinOpt weighted throughput | +9% to +14% | {} |",
+        range_pct(&f13m[2])
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 13b LinOpt weighted ED² | −24% to −33% | {} |",
+        range_pct(&f13e[2])
+    );
+    report("fig11a", "Figure 11a", &f11m);
+    report("fig11b", "Figure 11b", &f11e);
+    report("fig13a", "Figure 13a", &f13m);
+    report("fig13b", "Figure 13b", &f13e);
+
+    // Figure 12.
+    println!("[8/12] fig12 ...");
+    let f12 = dvfs::fig12(&scale, seed.wrapping_add(7));
+    let _ = writeln!(
+        md,
+        "| Fig 12 LinOpt gain at 50/75/100 W | +16% / +12% / +11% | {} / {} / {} |",
+        pct(f12[2].y[0]),
+        pct(f12[2].y[1]),
+        pct(f12[2].y[2])
+    );
+    report("fig12", "Figure 12", &f12);
+
+    // Figure 14.
+    println!("[9/12] fig14 ...");
+    let f14 = granularity::fig14(&scale, seed.wrapping_add(8), &[4, 20]);
+    let _ = writeln!(
+        md,
+        "| Fig 14 deviation at 10 ms (4 / 20 threads) | <1% | {:.1}% / {:.1}% |",
+        f14[0].y[4], f14[1].y[4]
+    );
+    let _ = writeln!(
+        md,
+        "| Fig 14 deviation at 2 s (4 / 20 threads) | ~5% / ~18% | {:.1}% / {:.1}% |",
+        f14[0].y[0], f14[1].y[0]
+    );
+    report("fig14", "Figure 14", &f14);
+
+    // Figure 15.
+    println!("[10/12] fig15 ...");
+    let f15 = timing::fig15(&scale, seed.wrapping_add(9), 200);
+    let slowest = f15
+        .iter()
+        .map(|s| *s.y.last().expect("points"))
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(
+        md,
+        "| Fig 15 LinOpt time at 20 threads | ≤6 µs (4 GHz CPU) | {slowest:.1} µs (host) |"
+    );
+    report("fig15", "Figure 15", &f15);
+
+    // Validation.
+    println!("[11/12] sann vs exhaustive ...");
+    let val = validation::sann_vs_exhaustive(&scale, seed.wrapping_add(10), &[2, 4, 8, 20]);
+    let worst_sann = val
+        .iter()
+        .filter_map(|r| r.sann_vs_exhaustive())
+        .fold(1.0f64, f64::min);
+    let worst_lin = val
+        .iter()
+        .map(|r| r.linopt_vs_sann())
+        .fold(1.0f64, f64::min);
+    let _ = writeln!(
+        md,
+        "| SAnn vs exhaustive (≤4 threads) | within 1% | worst {:.2}% below |",
+        (1.0 - worst_sann) * 100.0
+    );
+    let _ = writeln!(
+        md,
+        "| LinOpt vs SAnn | within ~2% | worst {:.2}% below |",
+        (1.0 - worst_lin) * 100.0
+    );
+
+    // Ablations.
+    println!("[12/12] ablations ...");
+    let gran = ablation::granularity(&scale, seed.wrapping_add(11));
+    let _ = writeln!(
+        md,
+        "| DVFS granularity: chip-wide vs per-core | finer is better (H&M) | {} at 20 cores/domain |",
+        pct(gran.y[4])
+    );
+    let trans = ablation::transition_cost(&scale, seed.wrapping_add(12), 20);
+    let _ = writeln!(
+        md,
+        "| 1 ms vs 10 ms LinOpt interval (XScale transitions) | n/a (extension) | {} |",
+        pct(trans.y[0])
+    );
+    report("ablation_granularity", "Granularity", &[gran]);
+    report("ablation_transition", "Transition cost", &[trans]);
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/REPORT.md", &md).expect("write report");
+    println!("\n{md}");
+    println!("wrote results/REPORT.md");
+}

@@ -1,0 +1,14 @@
+//! Figure 5: mean core-to-core power/frequency ratio vs Vth σ/µ.
+
+use vasp_bench::{parse_args, report};
+use vasched::experiments::variation;
+
+fn main() {
+    let opts = parse_args();
+    let (power, freq) = variation::fig5(&opts.scale, opts.seed);
+    report(
+        "fig05",
+        "Figure 5: max/min ratios vs Vth sigma/mu (paper: both grow with sigma)",
+        &[power, freq],
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 12: throughput vs power environment (50/75/100 W) at
+//! 20 threads, relative to Random+Foxton*.
+
+use vasp_bench::{parse_args, report};
+use vasched::experiments::dvfs;
+
+fn main() {
+    let opts = parse_args();
+    let series = dvfs::fig12(&opts.scale, opts.seed);
+    report(
+        "fig12",
+        "Figure 12: relative MIPS per power target (paper: LinOpt +16%/+12%/+11% at 50/75/100 W)",
+        &series,
+    );
+}

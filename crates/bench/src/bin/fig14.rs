@@ -1,0 +1,14 @@
+//! Figure 14: power deviation from Ptarget vs LinOpt interval.
+
+use vasp_bench::{parse_args, report};
+use vasched::experiments::granularity;
+
+fn main() {
+    let opts = parse_args();
+    let series = granularity::fig14(&opts.scale, opts.seed, &[4, 20]);
+    report(
+        "fig14",
+        "Figure 14: % deviation from Ptarget vs LinOpt interval (paper: <1% at 10 ms)",
+        &series,
+    );
+}

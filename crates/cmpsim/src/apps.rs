@@ -1,0 +1,559 @@
+//! Application models calibrated to the paper's Table 5.
+//!
+//! Each of the fourteen SPEC CPU2000 applications is summarized by its
+//! average dynamic core power and IPC at the reference point
+//! (4 GHz, 1 V) — the two columns of Table 5 — plus a memory-boundedness
+//! fraction that decides how the application's CPI splits between a
+//! frequency-independent core component and frequency-dependent memory
+//! stalls:
+//!
+//! ```text
+//! CPI(f) = CPI_core + L2_hit_cycles·L1_mpi + DRAM_ns·(f/1e9)·DRAM_mpi
+//! ```
+//!
+//! At the reference frequency this reproduces the Table 5 IPC exactly;
+//! away from it, memory-bound applications (mcf, apsi, art, …) lose
+//! little IPC when slowed down — the effect `VarF&AppIPC` exploits.
+//!
+//! Dynamic power is produced by a per-structure activity vector (see
+//! [`powermodel::dynamic`]) whose *shape* reflects the application class
+//! (integer vs floating-point, cache-hungry vs compute-bound) and whose
+//! scale is calibrated so `DynamicPower::power_at_ref` returns the
+//! Table 5 wattage exactly.
+
+use powermodel::{ActivityVector, DynamicPower, Structure, STRUCTURE_COUNT};
+
+/// DRAM latency in nanoseconds (400 cycles at the nominal 4 GHz,
+/// Table 4).
+pub const DRAM_LATENCY_NS: f64 = 100.0;
+
+/// L2 hit latency in core cycles (Table 4 gives 8–12; we use the
+/// midpoint).
+pub const L2_HIT_CYCLES: f64 = 10.0;
+
+/// Reference frequency for Table 5's numbers (Hz).
+pub const F_REF_HZ: f64 = 4.0e9;
+
+/// SPEC application class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppClass {
+    /// SPECint application.
+    Int,
+    /// SPECfp application.
+    Fp,
+}
+
+/// A phase of an application's execution: multipliers on the base IPC
+/// and dynamic power for a stretch of wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Phase duration in milliseconds.
+    pub duration_ms: f64,
+    /// Multiplier on the application's base IPC during this phase.
+    pub ipc_mult: f64,
+    /// Multiplier on the application's base dynamic power.
+    pub power_mult: f64,
+}
+
+/// Static model of one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// SPEC benchmark name.
+    pub name: &'static str,
+    /// Integer or floating-point suite.
+    pub class: AppClass,
+    /// Average dynamic core power at 4 GHz / 1 V (watts, Table 5).
+    pub dynamic_power_w: f64,
+    /// Average IPC at 4 GHz (Table 5).
+    pub ipc: f64,
+    /// Fraction of the reference CPI spent stalled on DRAM.
+    pub mem_bound: f64,
+    /// L2 working-set size in MB: cache beyond this buys nothing, and
+    /// holding less than this inflates DRAM misses per the power-law
+    /// miss-ratio curve (see [`crate::cache`]).
+    pub ws_mb: f64,
+    /// Execution phases (cycled repeatedly).
+    pub phases: Vec<Phase>,
+    /// Frequency-independent core CPI component (derived).
+    cpi_core: f64,
+    /// L1 misses (L2 accesses) per instruction (derived).
+    l1_mpi: f64,
+    /// DRAM accesses (L2 misses) per instruction (derived).
+    dram_mpi: f64,
+    /// Calibrated per-structure activity vector (derived).
+    activity: ActivityVector,
+}
+
+impl AppSpec {
+    /// Builds a calibrated application model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are out of range (non-positive power/IPC,
+    /// `mem_bound` outside `[0, 0.8]`, empty phases) or the calibration
+    /// cannot reach the target power with the given activity shape.
+    pub fn new(
+        name: &'static str,
+        class: AppClass,
+        dynamic_power_w: f64,
+        ipc: f64,
+        mem_bound: f64,
+        ws_mb: f64,
+        phases: Vec<Phase>,
+        dyn_model: &DynamicPower,
+    ) -> Self {
+        assert!(dynamic_power_w > 0.0, "dynamic power must be positive");
+        assert!(ipc > 0.0, "IPC must be positive");
+        assert!(ws_mb > 0.0, "working set must be positive");
+        assert!(
+            (0.0..=0.8).contains(&mem_bound),
+            "mem_bound must be in [0, 0.8]"
+        );
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(
+            phases.iter().all(|p| p.duration_ms > 0.0
+                && p.ipc_mult > 0.0
+                && p.power_mult > 0.0),
+            "phases must have positive duration and multipliers"
+        );
+
+        let cpi0 = 1.0 / ipc;
+        // DRAM stall at the reference frequency is mem_bound of total CPI.
+        let dram_cycles_ref = DRAM_LATENCY_NS * (F_REF_HZ / 1e9);
+        let dram_mpi = mem_bound * cpi0 / dram_cycles_ref;
+        // L1 misses: assume a 25% L2 miss ratio, so 4 L2 accesses per
+        // DRAM access.
+        let l1_mpi = 4.0 * dram_mpi;
+        let cpi_core = cpi0 - mem_bound * cpi0 - L2_HIT_CYCLES * l1_mpi;
+        assert!(
+            cpi_core > 0.0,
+            "{name}: core CPI component underflows; lower mem_bound"
+        );
+
+        let shape = activity_shape(class, ipc, mem_bound);
+        let activity = calibrate_activity(&shape, dynamic_power_w, dyn_model);
+
+        Self {
+            name,
+            class,
+            dynamic_power_w,
+            ipc,
+            mem_bound,
+            ws_mb,
+            phases,
+            cpi_core,
+            l1_mpi,
+            dram_mpi,
+            activity,
+        }
+    }
+
+    /// IPC at frequency `f_hz` (before phase multipliers).
+    ///
+    /// Memory stall *cycles* grow with frequency, so memory-bound
+    /// applications benefit little from high frequency — the key fact
+    /// behind the `VarF&AppIPC` scheduling policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_hz` is not positive.
+    pub fn ipc_at(&self, f_hz: f64) -> f64 {
+        self.ipc_at_share(f_hz, 8.0)
+    }
+
+    /// IPC at frequency `f_hz` when holding `l2_share_mb` of the shared
+    /// L2 (before phase multipliers). The solo calibration point is the
+    /// full 8 MB cache; smaller shares inflate the DRAM-miss term per
+    /// the power-law miss-ratio curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_hz` or `l2_share_mb` is not positive.
+    pub fn ipc_at_share(&self, f_hz: f64, l2_share_mb: f64) -> f64 {
+        assert!(f_hz > 0.0, "frequency must be positive");
+        let cpi = self.cpi_core
+            + L2_HIT_CYCLES * self.l1_mpi
+            + DRAM_LATENCY_NS * (f_hz / 1e9) * self.dram_mpi_at_share(l2_share_mb);
+        1.0 / cpi
+    }
+
+    /// DRAM misses per instruction when holding `l2_share_mb` of cache:
+    /// `dram_mpi · (min(8, ws) / min(share, ws))^θ` with θ = 0.5, so the
+    /// full-cache (8 MB) point reproduces the solo rate and shares above
+    /// the working set change nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l2_share_mb` is not positive.
+    pub fn dram_mpi_at_share(&self, l2_share_mb: f64) -> f64 {
+        assert!(l2_share_mb > 0.0, "cache share must be positive");
+        const THETA: f64 = 0.5;
+        let effective_full = self.ws_mb.min(8.0);
+        let effective_share = self.ws_mb.min(l2_share_mb);
+        self.dram_mpi * (effective_full / effective_share).powf(THETA)
+    }
+
+    /// The calibrated activity vector (drives dynamic power).
+    pub fn activity(&self) -> &ActivityVector {
+        &self.activity
+    }
+
+    /// L1 misses (= L2 accesses) per instruction.
+    pub fn l1_mpi(&self) -> f64 {
+        self.l1_mpi
+    }
+
+    /// DRAM accesses per instruction.
+    pub fn dram_mpi(&self) -> f64 {
+        self.dram_mpi
+    }
+
+    /// Total duration of one pass through the phase list, in ms.
+    pub fn phase_cycle_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_ms).sum()
+    }
+
+    /// Phase multipliers in effect at wall-clock offset `t_ms`
+    /// (wrapping around the phase cycle).
+    ///
+    /// Returns `(ipc_mult, power_mult)`.
+    pub fn phase_at(&self, t_ms: f64) -> (f64, f64) {
+        let cycle = self.phase_cycle_ms();
+        let mut t = t_ms.rem_euclid(cycle);
+        for p in &self.phases {
+            if t < p.duration_ms {
+                return (p.ipc_mult, p.power_mult);
+            }
+            t -= p.duration_ms;
+        }
+        let last = self.phases.last().expect("phases are non-empty");
+        (last.ipc_mult, last.power_mult)
+    }
+}
+
+/// Qualitative activity shape for an application: which structures it
+/// keeps busy, before power calibration.
+fn activity_shape(class: AppClass, ipc: f64, mem_bound: f64) -> [f64; STRUCTURE_COUNT] {
+    let mut shape = [0.0; STRUCTURE_COUNT];
+    // Throughput-coupled structures scale with IPC (normalized to the
+    // 2-wide pipeline's maximum).
+    let util = (ipc / 2.0).clamp(0.05, 1.0);
+    shape[Structure::Fetch.index()] = 0.4 + 0.6 * util;
+    shape[Structure::Rename.index()] = util;
+    shape[Structure::Window.index()] = 0.3 + 0.7 * util;
+    shape[Structure::RegFile.index()] = util;
+    match class {
+        AppClass::Int => {
+            shape[Structure::IntAlu.index()] = 0.3 + 0.7 * util;
+            shape[Structure::FpAlu.index()] = 0.05;
+        }
+        AppClass::Fp => {
+            shape[Structure::IntAlu.index()] = 0.2 + 0.3 * util;
+            shape[Structure::FpAlu.index()] = 0.3 + 0.7 * util;
+        }
+    }
+    shape[Structure::Lsq.index()] = 0.25 + 0.5 * mem_bound;
+    shape[Structure::L1I.index()] = 0.3 + 0.5 * util;
+    shape[Structure::L1D.index()] = 0.25 + 0.5 * mem_bound;
+    // The clock tree switches whenever the core is active.
+    shape[Structure::Clock.index()] = 0.9;
+    shape
+}
+
+/// Scales `shape` so the model's reference-point power equals
+/// `target_w` exactly.
+///
+/// # Panics
+///
+/// Panics if the target is unreachable (scale would push a factor
+/// above 1).
+fn calibrate_activity(
+    shape: &[f64; STRUCTURE_COUNT],
+    target_w: f64,
+    dyn_model: &DynamicPower,
+) -> ActivityVector {
+    let raw = dyn_model.power_at_ref(&ActivityVector::from_factors(*shape));
+    assert!(raw > 0.0, "activity shape produces no power");
+    let k = target_w / raw;
+    let max_factor = shape.iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(
+        k * max_factor <= 1.0 + 1e-9,
+        "target power {target_w} W unreachable: scale {k} overflows activity"
+    );
+    let mut scaled = *shape;
+    for f in &mut scaled {
+        *f = (*f * k).min(1.0);
+    }
+    ActivityVector::from_factors(scaled)
+}
+
+/// One row of the application-definition table:
+/// (name, class, power W, IPC, mem_bound, working set MB, phase pattern).
+type AppDef = (
+    &'static str,
+    AppClass,
+    f64,
+    f64,
+    f64,
+    f64,
+    &'static [(f64, f64, f64)],
+);
+
+/// Builds the paper's fourteen-application pool (Table 5), calibrated
+/// against the given dynamic-power model.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim::app_pool;
+/// use powermodel::DynamicPower;
+///
+/// let model = DynamicPower::paper_default();
+/// let pool = app_pool(&model);
+/// assert_eq!(pool.len(), 14);
+/// let bzip2 = pool.iter().find(|a| a.name == "bzip2").unwrap();
+/// assert!((bzip2.ipc_at(4.0e9) - 1.1).abs() < 1e-9);
+/// ```
+pub fn app_pool(dyn_model: &DynamicPower) -> Vec<AppSpec> {
+    // Power and IPC columns are Table 5 verbatim. mem_bound is chosen
+    // inversely to IPC (the paper: low-IPC threads "are often
+    // memory-bound").
+    let defs: [AppDef; 14] = [
+        // Phase IPC multipliers swing widely (SPEC phase behaviour is
+        // coarse: memory-bound and compute-bound sections alternate)
+        // while power multipliers stay gentle — a stalled pipeline still
+        // clocks, so activity varies far less than IPC. Each phase list
+        // is duration-weighted to average exactly 1.0 on both axes.
+        ("applu", AppClass::Fp, 4.3, 1.1, 0.30, 6.0,
+            &[(60.0, 1.25, 1.04), (90.0, 0.85, 0.97), (50.0, 0.97, 1.006)]),
+        ("apsi", AppClass::Fp, 1.6, 0.1, 0.80, 8.0,
+            &[(80.0, 1.50, 1.05), (120.0, 0.6667, 0.9667)]),
+        ("art", AppClass::Fp, 2.4, 0.2, 0.75, 3.5,
+            &[(70.0, 1.40, 1.05), (70.0, 0.60, 0.95)]),
+        ("bzip2", AppClass::Int, 3.7, 1.1, 0.30, 2.0,
+            &[(40.0, 1.30, 1.06), (60.0, 0.75, 0.95), (30.0, 1.10, 1.02)]),
+        ("crafty", AppClass::Int, 3.9, 1.1, 0.25, 1.0,
+            &[(100.0, 1.15, 1.03), (100.0, 0.85, 0.97)]),
+        ("equake", AppClass::Fp, 2.1, 0.3, 0.70, 10.0,
+            &[(50.0, 1.45, 1.06), (90.0, 0.75, 0.9667)]),
+        ("gap", AppClass::Int, 3.5, 1.0, 0.35, 2.0,
+            &[(65.0, 1.20, 1.04), (85.0, 0.847, 0.9694)]),
+        ("gzip", AppClass::Int, 2.7, 0.7, 0.45, 1.5,
+            &[(30.0, 1.35, 1.06), (50.0, 0.73, 0.95), (40.0, 1.075, 1.0175)]),
+        ("mcf", AppClass::Int, 1.5, 0.1, 0.80, 40.0,
+            &[(150.0, 1.40, 1.05), (150.0, 0.60, 0.95)]),
+        ("mgrid", AppClass::Fp, 2.2, 0.4, 0.65, 12.0,
+            &[(120.0, 1.15, 1.03), (80.0, 0.775, 0.955)]),
+        ("parser", AppClass::Int, 2.8, 0.7, 0.50, 3.0,
+            &[(55.0, 1.30, 1.05), (75.0, 0.78, 0.9633)]),
+        ("swim", AppClass::Fp, 2.2, 0.3, 0.75, 16.0,
+            &[(90.0, 1.30, 1.04), (110.0, 0.7545, 0.9673)]),
+        ("twolf", AppClass::Int, 2.3, 0.4, 0.60, 1.0,
+            &[(45.0, 1.35, 1.05), (65.0, 0.7577, 0.9654)]),
+        ("vortex", AppClass::Int, 4.4, 1.2, 0.20, 2.0,
+            &[(75.0, 1.12, 1.03), (85.0, 0.8941, 0.9735)]),
+    ];
+
+    defs.iter()
+        .map(|(name, class, p, ipc, mb, ws, phases)| {
+            let phase_vec = phases
+                .iter()
+                .map(|&(d, i, pw)| Phase {
+                    duration_ms: d,
+                    ipc_mult: i,
+                    power_mult: pw,
+                })
+                .collect();
+            AppSpec::new(name, *class, *p, *ipc, *mb, *ws, phase_vec, dyn_model)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<AppSpec> {
+        app_pool(&DynamicPower::paper_default())
+    }
+
+    #[test]
+    fn pool_has_fourteen_apps() {
+        assert_eq!(pool().len(), 14);
+    }
+
+    #[test]
+    fn table5_ipc_reproduced_exactly() {
+        let expected = [
+            ("applu", 1.1),
+            ("apsi", 0.1),
+            ("art", 0.2),
+            ("bzip2", 1.1),
+            ("crafty", 1.1),
+            ("equake", 0.3),
+            ("gap", 1.0),
+            ("gzip", 0.7),
+            ("mcf", 0.1),
+            ("mgrid", 0.4),
+            ("parser", 0.7),
+            ("swim", 0.3),
+            ("twolf", 0.4),
+            ("vortex", 1.2),
+        ];
+        let pool = pool();
+        for (name, ipc) in expected {
+            let app = pool.iter().find(|a| a.name == name).unwrap();
+            assert!(
+                (app.ipc_at(F_REF_HZ) - ipc).abs() < 1e-9,
+                "{name}: {} vs {ipc}",
+                app.ipc_at(F_REF_HZ)
+            );
+        }
+    }
+
+    #[test]
+    fn table5_power_reproduced_exactly() {
+        let model = DynamicPower::paper_default();
+        let expected = [
+            ("applu", 4.3),
+            ("apsi", 1.6),
+            ("art", 2.4),
+            ("bzip2", 3.7),
+            ("crafty", 3.9),
+            ("equake", 2.1),
+            ("gap", 3.5),
+            ("gzip", 2.7),
+            ("mcf", 1.5),
+            ("mgrid", 2.2),
+            ("parser", 2.8),
+            ("swim", 2.2),
+            ("twolf", 2.3),
+            ("vortex", 4.4),
+        ];
+        for (name, watts) in expected {
+            let pool = app_pool(&model);
+            let app = pool.iter().find(|a| a.name == name).unwrap();
+            let p = model.power_at_ref(app.activity());
+            assert!(
+                (p - watts).abs() < 1e-9,
+                "{name}: {p} W vs {watts} W"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_apps_lose_less_ipc_at_high_frequency() {
+        let pool = pool();
+        let mcf = pool.iter().find(|a| a.name == "mcf").unwrap();
+        let vortex = pool.iter().find(|a| a.name == "vortex").unwrap();
+        // Relative IPC gain from 2 GHz to 4 GHz.
+        let gain = |a: &AppSpec| a.ipc_at(4.0e9) / a.ipc_at(2.0e9);
+        assert!(
+            gain(vortex) > gain(mcf) + 0.2,
+            "vortex {} mcf {}",
+            gain(vortex),
+            gain(mcf)
+        );
+        // MIPS = IPC * f: doubling f doubles MIPS scaled by the IPC
+        // ratio. mcf barely benefits from the doubled frequency...
+        assert!(2.0 * gain(mcf) < 1.3, "mcf mips ratio {}", 2.0 * gain(mcf));
+        // ...while compute-bound vortex nearly doubles its absolute rate.
+        assert!(
+            2.0 * gain(vortex) > 1.6,
+            "vortex mips ratio {}",
+            2.0 * gain(vortex)
+        );
+    }
+
+    #[test]
+    fn ipc_decreases_with_frequency() {
+        // IPC (per-cycle efficiency) must fall monotonically as f rises.
+        for app in pool() {
+            let mut prev = f64::INFINITY;
+            for ghz in [1.0, 2.0, 3.0, 4.0, 5.0] {
+                let ipc = app.ipc_at(ghz * 1e9);
+                assert!(ipc < prev, "{}: ipc not decreasing", app.name);
+                prev = ipc;
+            }
+        }
+    }
+
+    #[test]
+    fn mips_increases_with_frequency() {
+        // Throughput must still rise with frequency for every app.
+        for app in pool() {
+            let mut prev = 0.0;
+            for ghz in [1.0, 2.0, 3.0, 4.0] {
+                let mips = app.ipc_at(ghz * 1e9) * ghz * 1e9 / 1e6;
+                assert!(mips > prev, "{}: MIPS not increasing", app.name);
+                prev = mips;
+            }
+        }
+    }
+
+    #[test]
+    fn phases_average_near_unity() {
+        for app in pool() {
+            let cycle = app.phase_cycle_ms();
+            let mean_ipc: f64 = app
+                .phases
+                .iter()
+                .map(|p| p.ipc_mult * p.duration_ms / cycle)
+                .sum();
+            let mean_pow: f64 = app
+                .phases
+                .iter()
+                .map(|p| p.power_mult * p.duration_ms / cycle)
+                .sum();
+            assert!((mean_ipc - 1.0).abs() < 0.05, "{}: {mean_ipc}", app.name);
+            assert!((mean_pow - 1.0).abs() < 0.05, "{}: {mean_pow}", app.name);
+        }
+    }
+
+    #[test]
+    fn phase_lookup_wraps() {
+        let pool = pool();
+        let app = &pool[0];
+        let cycle = app.phase_cycle_ms();
+        let (i1, p1) = app.phase_at(10.0);
+        let (i2, p2) = app.phase_at(10.0 + cycle);
+        assert_eq!(i1, i2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn phase_boundaries_select_next_phase() {
+        let pool = pool();
+        let app = pool.iter().find(|a| a.name == "bzip2").unwrap();
+        let first = app.phases[0];
+        let (i, _) = app.phase_at(first.duration_ms - 1e-9);
+        assert_eq!(i, first.ipc_mult);
+        let (i, _) = app.phase_at(first.duration_ms + 1e-9);
+        assert_eq!(i, app.phases[1].ipc_mult);
+    }
+
+    #[test]
+    fn fp_apps_use_fp_units() {
+        let pool = pool();
+        let swim = pool.iter().find(|a| a.name == "swim").unwrap();
+        let bzip2 = pool.iter().find(|a| a.name == "bzip2").unwrap();
+        assert!(
+            swim.activity().get(Structure::FpAlu) > bzip2.activity().get(Structure::FpAlu)
+        );
+    }
+
+    #[test]
+    fn power_and_ipc_spread_match_paper() {
+        // Paper: up to 2.9x dynamic power spread and 12x IPC spread.
+        let pool = pool();
+        let pmax = pool.iter().map(|a| a.dynamic_power_w).fold(0.0, f64::max);
+        let pmin = pool
+            .iter()
+            .map(|a| a.dynamic_power_w)
+            .fold(f64::INFINITY, f64::min);
+        assert!((pmax / pmin - 2.933).abs() < 0.01);
+        let imax = pool.iter().map(|a| a.ipc).fold(0.0, f64::max);
+        let imin = pool.iter().map(|a| a.ipc).fold(f64::INFINITY, f64::min);
+        assert!((imax / imin - 12.0).abs() < 0.01);
+    }
+}

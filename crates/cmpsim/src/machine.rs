@@ -1,0 +1,1111 @@
+//! The simulated 20-core CMP.
+//!
+//! A [`Machine`] binds together one manufactured [`varius::Die`], the
+//! floorplan, the frequency/power/thermal models, and a set of running
+//! [`Thread`]s. It advances in discrete time steps (the runtime uses
+//! 1 ms ticks) and exposes exactly the observables the paper's
+//! algorithms are allowed to use (Table 3):
+//!
+//! * manufacturer data: per-core (V, f) tables, rated maximum
+//!   frequencies, and zero-load static-power profiles per voltage;
+//! * run-time sensors: per-core power, per-thread IPC, total chip
+//!   power, and block temperatures.
+//!
+//! Cores that have no thread assigned are powered off (the paper's
+//! assumption in §7.3). The L2 strips stay on a fixed voltage rail and
+//! contribute leakage plus access-driven dynamic power.
+
+use crate::thread::Thread;
+use critpath::{FreqModel, TimingParams, VfTable};
+use floorplan::{BlockKind, Floorplan};
+use powermodel::{DynamicPower, LeakageParams, LeakagePower};
+use thermal::{ThermalModel, ThermalParams};
+use varius::{CoreCells, Die};
+
+/// Voltage/frequency transition costs (paper §5.1: "we conservatively
+/// assume that the voltage and frequency transition speeds are those of
+/// current systems such as Xscale").
+///
+/// A level change stalls the core for the voltage ramp plus a fixed
+/// PLL-relock overhead; the core burns power but retires nothing while
+/// it waits. On-chip regulators (Kim et al.) would make `s_per_volt`
+/// orders of magnitude smaller — model that by lowering the knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsTransition {
+    /// Voltage ramp time per volt of change (seconds/volt).
+    pub s_per_volt: f64,
+    /// Fixed re-lock overhead per transition (seconds).
+    pub overhead_s: f64,
+}
+
+impl DvfsTransition {
+    /// XScale-class board regulator: 1 mV/µs ramp + 20 µs relock.
+    pub fn xscale() -> Self {
+        Self {
+            s_per_volt: 1.0e-3,
+            overhead_s: 20.0e-6,
+        }
+    }
+
+    /// On-chip regulator (Kim et al.): nanosecond-class transitions,
+    /// negligible at millisecond ticks.
+    pub fn on_chip() -> Self {
+        Self {
+            s_per_volt: 0.0,
+            overhead_s: 0.0,
+        }
+    }
+
+    /// Stall incurred for a voltage change of `dv` volts.
+    pub fn stall_s(&self, dv: f64) -> f64 {
+        if dv == 0.0 {
+            0.0
+        } else {
+            self.s_per_volt * dv.abs() + self.overhead_s
+        }
+    }
+}
+
+/// Configuration of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Discrete supply-voltage levels, ascending (volts).
+    pub voltages: Vec<f64>,
+    /// Frequency quantization step for the (V, f) tables (Hz).
+    pub f_step_hz: f64,
+    /// Timing model parameters.
+    pub timing: TimingParams,
+    /// Core leakage parameters.
+    pub core_leakage: LeakageParams,
+    /// L2 leakage parameters.
+    pub l2_leakage: LeakageParams,
+    /// Thermal model parameters.
+    pub thermal: ThermalParams,
+    /// Dynamic power model.
+    pub dynamic: DynamicPower,
+    /// Energy per L2 access (joules); L2 accesses are L1 misses.
+    pub l2_access_energy_j: f64,
+    /// Fixed L2 supply rail (volts).
+    pub l2_voltage: f64,
+    /// Temperature at which manufacturer zero-load static profiles are
+    /// measured (kelvin).
+    pub profile_temp_k: f64,
+    /// Voltage/frequency transition cost model.
+    pub transition: DvfsTransition,
+    /// Shared-L2 contention model; `None` gives every thread the whole
+    /// cache (no contention).
+    pub cache: Option<crate::cache::CacheConfig>,
+    /// Hardware dynamic thermal management: when a core's block exceeds
+    /// this junction temperature (kelvin), the core is forced down one
+    /// (V, f) level per tick until it cools. Foxton-class controllers
+    /// manage temperature as well as power (§2); without this guard the
+    /// leakage-temperature feedback loop can run away on leaky dies
+    /// left unmanaged for long stretches.
+    pub dtm_limit_k: f64,
+}
+
+impl MachineConfig {
+    /// The paper's machine: VDD 0.6–1 V in 50 mV steps, 100 MHz
+    /// frequency quantization, and the paper-calibrated component
+    /// models.
+    pub fn paper_default() -> Self {
+        let voltages = (0..9).map(|i| 0.6 + 0.05 * i as f64).collect();
+        Self {
+            voltages,
+            f_step_hz: 100.0e6,
+            timing: TimingParams::paper_default(),
+            core_leakage: LeakageParams::core_default(),
+            l2_leakage: LeakageParams::l2_default(),
+            thermal: ThermalParams::paper_default(),
+            dynamic: DynamicPower::paper_default(),
+            l2_access_energy_j: 1.0e-9,
+            l2_voltage: 1.0,
+            profile_temp_k: 333.15,
+            transition: DvfsTransition::xscale(),
+            dtm_limit_k: 378.15,
+            cache: Some(crate::cache::CacheConfig::paper_default()),
+        }
+    }
+}
+
+/// Per-core immutable data derived from the die.
+#[derive(Debug, Clone)]
+struct CoreInfo {
+    cells: CoreCells,
+    vf: VfTable,
+    area_mm2: f64,
+    block_idx: usize,
+}
+
+/// Per-L2-strip immutable data.
+#[derive(Debug, Clone)]
+struct L2Info {
+    cells: CoreCells,
+    area_mm2: f64,
+    block_idx: usize,
+}
+
+/// Statistics from one simulation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Wall-clock length of the step (seconds).
+    pub dt_s: f64,
+    /// Total chip power during the step (watts).
+    pub total_power_w: f64,
+    /// Instructions retired chip-wide during the step.
+    pub instructions: f64,
+}
+
+/// The simulated CMP.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    cores: Vec<CoreInfo>,
+    l2: Vec<L2Info>,
+    thermal: ThermalModel,
+    freq_model: FreqModel,
+    core_leak: LeakagePower,
+    l2_leak: LeakagePower,
+    temps: Vec<f64>,
+    threads: Vec<Thread>,
+    /// Per core: index of the thread it runs, if any.
+    assignment: Vec<Option<usize>>,
+    /// Per core: current (V, f) level index into its table.
+    levels: Vec<usize>,
+    /// Per core: optional frequency cap below the table frequency
+    /// (used by the UniFreq configuration, where all cores cycle at the
+    /// slowest active core's frequency while staying at their level's
+    /// voltage).
+    freq_caps: Vec<Option<f64>>,
+    /// Per core: remaining DVFS-transition stall (seconds).
+    stall_s: Vec<f64>,
+    /// Sensors: per-core total power during the last step.
+    last_core_power: Vec<f64>,
+    /// Sensors: per-core IPC during the last step (0 when idle).
+    last_core_ipc: Vec<f64>,
+    last_total_power: f64,
+    /// Count of DTM throttle events since the last thread load.
+    dtm_events: usize,
+    energy_j: f64,
+    elapsed_s: f64,
+    total_instructions: f64,
+}
+
+impl Machine {
+    /// Builds a machine for one manufactured die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's voltage list is empty or unsorted.
+    pub fn new(die: &Die, floorplan: &Floorplan, config: MachineConfig) -> Self {
+        assert!(!config.voltages.is_empty(), "need at least one voltage level");
+        assert!(
+            config.voltages.windows(2).all(|w| w[0] < w[1]),
+            "voltages must be strictly ascending"
+        );
+        let freq_model = FreqModel::new(config.timing);
+        let core_leak = LeakagePower::new(config.core_leakage);
+        let l2_leak = LeakagePower::new(config.l2_leakage);
+
+        let mut cores = Vec::new();
+        let mut l2 = Vec::new();
+        for (block_idx, block) in floorplan.blocks().iter().enumerate() {
+            let pts = floorplan.grid_points_in(&block.rect, die.nx(), die.ny());
+            assert!(
+                !pts.is_empty(),
+                "block {:?} has no variation cells at this resolution",
+                block.kind
+            );
+            let cells = CoreCells {
+                vth: pts.iter().map(|&p| die.vth()[p]).collect(),
+                leff: pts.iter().map(|&p| die.leff()[p]).collect(),
+            };
+            let area = floorplan.block_area_mm2(block);
+            match block.kind {
+                BlockKind::Core(idx) => {
+                    let vf = freq_model.vf_table(&cells, &config.voltages, config.f_step_hz);
+                    cores.push((idx, CoreInfo {
+                        cells,
+                        vf,
+                        area_mm2: area,
+                        block_idx,
+                    }));
+                }
+                BlockKind::L2(_) => l2.push(L2Info {
+                    cells,
+                    area_mm2: area,
+                    block_idx,
+                }),
+            }
+        }
+        cores.sort_by_key(|(idx, _)| *idx);
+        let cores: Vec<CoreInfo> = cores.into_iter().map(|(_, c)| c).collect();
+        let n = cores.len();
+
+        let thermal = ThermalModel::new(floorplan, config.thermal);
+        let ambient = config.thermal.ambient_k;
+        let blocks = floorplan.blocks().len();
+
+        Self {
+            config,
+            cores,
+            l2,
+            thermal,
+            freq_model,
+            core_leak,
+            l2_leak,
+            temps: vec![ambient; blocks],
+            threads: Vec::new(),
+            assignment: vec![None; n],
+            levels: vec![0; n],
+            freq_caps: vec![None; n],
+            stall_s: vec![0.0; n],
+            last_core_power: vec![0.0; n],
+            last_core_ipc: vec![0.0; n],
+            last_total_power: 0.0,
+            dtm_events: 0,
+            energy_j: 0.0,
+            elapsed_s: 0.0,
+            total_instructions: 0.0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Manufacturer (V, f) table of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn vf_table(&self, core: usize) -> &VfTable {
+        &self.cores[core].vf
+    }
+
+    /// Rated maximum frequency of a core (Hz): its table frequency at
+    /// the maximum voltage, rated at 95 °C as in the paper (§7.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn rated_max_freq(&self, core: usize) -> f64 {
+        self.cores[core].vf.max_freq()
+    }
+
+    /// Manufacturer zero-load static power of a core at voltage `v`
+    /// (watts), measured at the profiling temperature (Table 3's
+    /// "static power consumption at each voltage level").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn manufacturer_static_power(&self, core: usize, v: f64) -> f64 {
+        let c = &self.cores[core];
+        self.core_leak
+            .block_static(&c.cells, c.area_mm2, v, self.config.profile_temp_k)
+    }
+
+    /// The variation cells of a core (for model-level analyses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_cells(&self, core: usize) -> &CoreCells {
+        &self.cores[core].cells
+    }
+
+    /// The frequency model the machine was built with.
+    pub fn freq_model(&self) -> &FreqModel {
+        &self.freq_model
+    }
+
+    /// Loads a fresh set of threads, clearing all assignments and
+    /// resetting accumulated statistics. Levels reset to each core's
+    /// maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more threads than cores.
+    pub fn load_threads(&mut self, threads: Vec<Thread>) {
+        assert!(
+            threads.len() <= self.cores.len(),
+            "more threads ({}) than cores ({})",
+            threads.len(),
+            self.cores.len()
+        );
+        self.threads = threads;
+        let n = self.cores.len();
+        self.assignment = vec![None; n];
+        self.levels = (0..n).map(|c| self.cores[c].vf.max_level()).collect();
+        self.freq_caps = vec![None; n];
+        self.stall_s = vec![0.0; n];
+        self.last_core_power = vec![0.0; n];
+        self.last_core_ipc = vec![0.0; n];
+        self.last_total_power = 0.0;
+        self.dtm_events = 0;
+        self.energy_j = 0.0;
+        self.elapsed_s = 0.0;
+        self.total_instructions = 0.0;
+        self.temps = vec![self.config.thermal.ambient_k; self.temps.len()];
+    }
+
+    /// Sets the core→thread assignment. `mapping[core]` is the thread
+    /// index the core runs, or `None` for an idle (powered-off) core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping length mismatches the core count, a thread
+    /// index is out of range, or a thread appears on two cores.
+    pub fn assign(&mut self, mapping: &[Option<usize>]) {
+        assert_eq!(mapping.len(), self.cores.len(), "mapping length mismatch");
+        let mut seen = vec![false; self.threads.len()];
+        for m in mapping.iter().flatten() {
+            assert!(*m < self.threads.len(), "thread index {m} out of range");
+            assert!(!seen[*m], "thread {m} assigned to two cores");
+            seen[*m] = true;
+        }
+        self.assignment.copy_from_slice(mapping);
+    }
+
+    /// Current assignment (core → thread index).
+    pub fn assignment(&self) -> &[Option<usize>] {
+        &self.assignment
+    }
+
+    /// Sets one core's (V, f) level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core or level is out of range.
+    pub fn set_level(&mut self, core: usize, level: usize) {
+        assert!(core < self.cores.len(), "core out of range");
+        assert!(
+            level < self.cores[core].vf.len(),
+            "level {level} out of range for core {core}"
+        );
+        if level == self.levels[core] {
+            return; // no transition, no cost, caps untouched
+        }
+        let dv = self.cores[core].vf.voltage_at(level)
+            - self.cores[core].vf.voltage_at(self.levels[core]);
+        self.stall_s[core] += self.config.transition.stall_s(dv);
+        self.levels[core] = level;
+        self.freq_caps[core] = None;
+    }
+
+    /// Remaining DVFS-transition stall on a core (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn transition_stall_s(&self, core: usize) -> f64 {
+        self.stall_s[core]
+    }
+
+    /// Current (V, f) level of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn level(&self, core: usize) -> usize {
+        self.levels[core]
+    }
+
+    /// Sets every core to its maximum (V, f) level.
+    pub fn set_all_levels_max(&mut self) {
+        for c in 0..self.cores.len() {
+            self.levels[c] = self.cores[c].vf.max_level();
+            self.freq_caps[c] = None;
+        }
+    }
+
+    /// Effective frequency of a core: its table frequency at the current
+    /// level, reduced by any frequency cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn effective_freq(&self, core: usize) -> f64 {
+        let f = self.cores[core].vf.freq_at(self.levels[core]);
+        match self.freq_caps[core] {
+            Some(cap) => f.min(cap),
+            None => f,
+        }
+    }
+
+    /// Configures the UniFreq mode of §4.1: every active core cycles at
+    /// the frequency of the slowest active core. There is *no* DVFS in
+    /// this configuration — all cores stay at the nominal (maximum)
+    /// voltage and the faster cores are frequency-capped, so the only
+    /// inter-core variation left is in power consumption.
+    ///
+    /// Returns the chosen chip-wide frequency in Hz.
+    pub fn set_uniform_frequency(&mut self) -> f64 {
+        let active: Vec<usize> = (0..self.cores.len())
+            .filter(|&c| self.assignment[c].is_some())
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        let chip_f = active
+            .iter()
+            .map(|&c| self.cores[c].vf.max_freq())
+            .fold(f64::INFINITY, f64::min);
+        for &c in &active {
+            self.levels[c] = self.cores[c].vf.max_level();
+            self.freq_caps[c] = Some(chip_f);
+        }
+        chip_f
+    }
+
+    /// Re-solves the shared-L2 occupancy among the running threads and
+    /// pushes each thread's share into its state (no-op when the
+    /// contention model is disabled or at most one thread runs).
+    fn update_l2_shares(&mut self) {
+        let Some(cache) = self.config.cache else {
+            return;
+        };
+        // Collect (thread index, effective frequency) of running threads.
+        let mut running: Vec<(usize, f64)> = Vec::new();
+        for core in 0..self.cores.len() {
+            if let Some(tid) = self.assignment[core] {
+                let f = self.effective_freq(core);
+                if f > 0.0 {
+                    running.push((tid, f));
+                }
+            }
+        }
+        if running.is_empty() {
+            return;
+        }
+        if running.len() == 1 {
+            self.threads[running[0].0].set_l2_alloc_mb(cache.capacity_mb);
+            return;
+        }
+        let current: Vec<f64> = running
+            .iter()
+            .map(|&(tid, _)| self.threads[tid].l2_alloc_mb())
+            .collect();
+        let threads = &self.threads;
+        let target = crate::cache::solve_occupancy(
+            running.len(),
+            cache.capacity_mb,
+            &current,
+            |i, share_mb| {
+                let (tid, f) = running[i];
+                let t = &threads[tid];
+                t.spec().dram_mpi_at_share(share_mb)
+                    * t.spec().ipc_at(f) // demand shape only; phase cancels
+                    * f
+            },
+        );
+        for (&(tid, _), (&old, &new)) in
+            running.iter().zip(current.iter().zip(target.iter()))
+        {
+            // Occupancy drifts with the cache's churn rate, not
+            // instantly; smooth per tick.
+            let s = cache.smoothing;
+            self.threads[tid].set_l2_alloc_mb(old * (1.0 - s) + new * s);
+        }
+        // Smoothing breaks the exact tiling; renormalize.
+        let sum: f64 = running
+            .iter()
+            .map(|&(tid, _)| self.threads[tid].l2_alloc_mb())
+            .sum();
+        if sum > 0.0 {
+            for &(tid, _) in &running {
+                let v = self.threads[tid].l2_alloc_mb() * cache.capacity_mb / sum;
+                self.threads[tid].set_l2_alloc_mb(v);
+            }
+        }
+    }
+
+    /// Advances the machine by `dt_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive.
+    pub fn step(&mut self, dt_s: f64) -> StepStats {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let n = self.cores.len();
+        let mut block_power = vec![0.0; self.temps.len()];
+        let mut instructions = 0.0;
+        let mut l2_accesses_per_s = 0.0;
+
+        self.update_l2_shares();
+
+        // Hardware DTM: force overheating cores down one level.
+        for core in 0..n {
+            if self.assignment[core].is_some()
+                && self.temps[self.cores[core].block_idx] > self.config.dtm_limit_k
+                && self.levels[core] > 0
+            {
+                let new_level = self.levels[core] - 1;
+                let dv = self.cores[core].vf.voltage_at(new_level)
+                    - self.cores[core].vf.voltage_at(self.levels[core]);
+                self.stall_s[core] += self.config.transition.stall_s(dv);
+                self.levels[core] = new_level;
+                self.dtm_events += 1;
+            }
+        }
+
+        for core in 0..n {
+            let info = &self.cores[core];
+            let Some(tid) = self.assignment[core] else {
+                // Idle cores are powered off.
+                self.last_core_power[core] = 0.0;
+                self.last_core_ipc[core] = 0.0;
+                continue;
+            };
+            let level = self.levels[core];
+            let v = info.vf.voltage_at(level);
+            let mut f = info.vf.freq_at(level);
+            if let Some(cap) = self.freq_caps[core] {
+                f = f.min(cap);
+            }
+            if f <= 0.0 {
+                self.last_core_power[core] = 0.0;
+                self.last_core_ipc[core] = 0.0;
+                continue;
+            }
+            let temp = self.temps[info.block_idx];
+            let thread = &mut self.threads[tid];
+
+            // Consume any pending DVFS-transition stall: the core burns
+            // power but retires nothing while the regulator ramps.
+            let stall = self.stall_s[core].min(dt_s);
+            self.stall_s[core] -= stall;
+            let run_s = dt_s - stall;
+
+            let ipc = thread.ipc_now(f);
+            let dyn_w = thread.dynamic_power_now(&self.config.dynamic, v, f);
+            let leak_w = self.core_leak.block_static(&info.cells, info.area_mm2, v, temp);
+            let retired = thread.run(run_s, f);
+
+            instructions += retired;
+            l2_accesses_per_s += thread.spec().l1_mpi() * ipc * f;
+            let total = dyn_w + leak_w;
+            block_power[info.block_idx] = total;
+            self.last_core_power[core] = total;
+            self.last_core_ipc[core] = ipc;
+        }
+
+        // L2: leakage at the fixed rail plus access-driven dynamic power,
+        // split evenly between the two strips.
+        let l2_dynamic = l2_accesses_per_s * self.config.l2_access_energy_j;
+        let strips = self.l2.len().max(1) as f64;
+        let mut total_power = 0.0;
+        for strip in &self.l2 {
+            let temp = self.temps[strip.block_idx];
+            let leak = self.l2_leak.block_static(
+                &strip.cells,
+                strip.area_mm2,
+                self.config.l2_voltage,
+                temp,
+            );
+            let p = leak + l2_dynamic / strips;
+            block_power[strip.block_idx] = p;
+        }
+        for &p in &block_power {
+            total_power += p;
+        }
+
+        self.temps = self.thermal.transient_step(&self.temps, &block_power, dt_s);
+
+        self.last_total_power = total_power;
+        self.energy_j += total_power * dt_s;
+        self.elapsed_s += dt_s;
+        self.total_instructions += instructions;
+
+        StepStats {
+            dt_s,
+            total_power_w: total_power,
+            instructions,
+        }
+    }
+
+    /// Sensor history: the total power (watts) the thread currently on
+    /// `core` would draw at table level `level`, evaluated at the core's
+    /// present temperature. Returns `None` for an idle core.
+    ///
+    /// This models the paper's run-time power sensors (§5.2): IPC and
+    /// power profiling "is on all the time", so the manager has recent
+    /// power readings for the voltage levels it needs (LinOpt fits its
+    /// line to readings at three levels; SAnn "computes the power at
+    /// each voltage level accurately").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `level` is out of range.
+    pub fn predicted_core_power(&self, core: usize, level: usize) -> Option<f64> {
+        let info = &self.cores[core];
+        assert!(level < info.vf.len(), "level out of range");
+        let tid = self.assignment[core]?;
+        let v = info.vf.voltage_at(level);
+        let mut f = info.vf.freq_at(level);
+        if let Some(cap) = self.freq_caps[core] {
+            f = f.min(cap);
+        }
+        let temp = self.temps[info.block_idx];
+        let thread = &self.threads[tid];
+        let dyn_w = if f > 0.0 {
+            thread.dynamic_power_now(&self.config.dynamic, v, f)
+        } else {
+            0.0
+        };
+        let leak_w = self
+            .core_leak
+            .block_static(&info.cells, info.area_mm2, v, temp);
+        Some(dyn_w + leak_w)
+    }
+
+    /// Sensor history: the IPC of the thread currently on `core`
+    /// (profiled at its current phase; the paper's algorithms assume IPC
+    /// is independent of frequency). Returns `None` for an idle core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn profiled_core_ipc(&self, core: usize) -> Option<f64> {
+        let tid = self.assignment[core]?;
+        let info = &self.cores[core];
+        let f = info.vf.freq_at(self.levels[core]);
+        let f = if f > 0.0 { f } else { info.vf.max_freq().max(1.0) };
+        Some(self.threads[tid].ipc_now(f))
+    }
+
+    /// The thread index currently assigned to `core`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn thread_of(&self, core: usize) -> Option<usize> {
+        self.assignment[core]
+    }
+
+    /// Sensor: total power during the last step (watts).
+    pub fn sensor_total_power(&self) -> f64 {
+        self.last_total_power
+    }
+
+    /// Sensor: one core's total power during the last step (watts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn sensor_core_power(&self, core: usize) -> f64 {
+        self.last_core_power[core]
+    }
+
+    /// Sensor: one core's IPC during the last step (0 when idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn sensor_core_ipc(&self, core: usize) -> f64 {
+        self.last_core_ipc[core]
+    }
+
+    /// Current block temperatures (kelvin).
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Temperature of a core's block (kelvin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_temperature(&self, core: usize) -> f64 {
+        self.temps[self.cores[core].block_idx]
+    }
+
+    /// The loaded threads.
+    pub fn threads(&self) -> &[Thread] {
+        &self.threads
+    }
+
+    /// Hardware-DTM throttle events since the last thread load.
+    pub fn dtm_events(&self) -> usize {
+        self.dtm_events
+    }
+
+    /// Accumulated energy since the last [`Machine::load_threads`]
+    /// (joules).
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Accumulated simulated time (seconds).
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Accumulated instructions retired chip-wide.
+    pub fn total_instructions(&self) -> f64 {
+        self.total_instructions
+    }
+
+    /// Average chip throughput in MIPS since the last load.
+    pub fn average_mips(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.total_instructions / self.elapsed_s / 1e6
+        }
+    }
+
+    /// Average chip power since the last load (watts).
+    pub fn average_power(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.elapsed_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::app_pool;
+    use crate::workload::Workload;
+    use floorplan::paper_20_core;
+    use varius::{DieGenerator, VariationConfig};
+    use vastats::SimRng;
+
+    fn test_die() -> (Die, Floorplan) {
+        let cfg = VariationConfig {
+            grid: 24,
+            ..VariationConfig::paper_default()
+        };
+        let gen = DieGenerator::new(cfg).unwrap();
+        let die = gen.generate(&mut SimRng::seed_from(42));
+        (die, paper_20_core())
+    }
+
+    fn loaded_machine(n_threads: usize, seed: u64) -> Machine {
+        let (die, fp) = test_die();
+        let mut m = Machine::new(&die, &fp, MachineConfig::paper_default());
+        let pool = app_pool(&MachineConfig::paper_default().dynamic);
+        let mut rng = SimRng::seed_from(seed);
+        let w = Workload::draw(&pool, n_threads, &mut rng);
+        m.load_threads(w.spawn_threads(&mut rng));
+        // Assign thread i to core i.
+        let mut mapping = vec![None; m.core_count()];
+        for i in 0..n_threads {
+            mapping[i] = Some(i);
+        }
+        m.assign(&mapping);
+        m
+    }
+
+    #[test]
+    fn machine_has_twenty_cores() {
+        let (die, fp) = test_die();
+        let m = Machine::new(&die, &fp, MachineConfig::paper_default());
+        assert_eq!(m.core_count(), 20);
+    }
+
+    #[test]
+    fn cores_have_different_rated_frequencies() {
+        let (die, fp) = test_die();
+        let m = Machine::new(&die, &fp, MachineConfig::paper_default());
+        let freqs: Vec<f64> = (0..20).map(|c| m.rated_max_freq(c)).collect();
+        let max = freqs.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min = freqs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(max / min > 1.1, "spread {}", max / min);
+    }
+
+    #[test]
+    fn idle_cores_consume_nothing() {
+        let mut m = loaded_machine(4, 1);
+        m.step(0.001);
+        for core in 4..20 {
+            assert_eq!(m.sensor_core_power(core), 0.0);
+            assert_eq!(m.sensor_core_ipc(core), 0.0);
+        }
+        for core in 0..4 {
+            assert!(m.sensor_core_power(core) > 0.0);
+        }
+    }
+
+    #[test]
+    fn total_power_plausible_at_full_load() {
+        let mut m = loaded_machine(20, 2);
+        // Run 50 ms to warm up.
+        for _ in 0..50 {
+            m.step(0.001);
+        }
+        let p = m.sensor_total_power();
+        assert!(p > 50.0 && p < 160.0, "full-load power {p} W");
+    }
+
+    #[test]
+    fn lowering_level_cuts_power_and_throughput() {
+        let mut a = loaded_machine(8, 3);
+        let mut b = loaded_machine(8, 3);
+        for c in 0..8 {
+            b.set_level(c, 0); // minimum V/f
+        }
+        for _ in 0..20 {
+            a.step(0.001);
+            b.step(0.001);
+        }
+        assert!(b.sensor_total_power() < a.sensor_total_power() * 0.6);
+        assert!(b.average_mips() < a.average_mips());
+    }
+
+    #[test]
+    fn temperatures_rise_under_load() {
+        let mut m = loaded_machine(20, 4);
+        let ambient = m.config().thermal.ambient_k;
+        for _ in 0..200 {
+            m.step(0.001);
+        }
+        let hottest = m
+            .temperatures()
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        assert!(hottest > ambient + 5.0, "hottest {hottest}");
+    }
+
+    #[test]
+    fn uniform_frequency_is_common_minimum() {
+        let mut m = loaded_machine(20, 5);
+        let chip_f = m.set_uniform_frequency();
+        let min_rated = (0..20)
+            .map(|c| m.rated_max_freq(c))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(chip_f, min_rated);
+        for c in 0..20 {
+            let vf = m.vf_table(c);
+            assert!(vf.freq_at(m.level(c)) >= chip_f);
+        }
+    }
+
+    #[test]
+    fn instructions_accumulate() {
+        let mut m = loaded_machine(4, 6);
+        let s1 = m.step(0.001);
+        assert!(s1.instructions > 0.0);
+        let total_before = m.total_instructions();
+        m.step(0.001);
+        assert!(m.total_instructions() > total_before);
+        assert!(m.average_mips() > 0.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let mut m = loaded_machine(8, 7);
+        let mut expected = 0.0;
+        for _ in 0..10 {
+            let s = m.step(0.001);
+            expected += s.total_power_w * s.dt_s;
+        }
+        assert!((m.energy_j() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manufacturer_profile_monotone_in_voltage() {
+        let (die, fp) = test_die();
+        let m = Machine::new(&die, &fp, MachineConfig::paper_default());
+        for core in 0..20 {
+            let lo = m.manufacturer_static_power(core, 0.6);
+            let hi = m.manufacturer_static_power(core, 1.0);
+            assert!(hi > lo);
+        }
+    }
+
+    #[test]
+    fn load_resets_statistics() {
+        let mut m = loaded_machine(4, 8);
+        m.step(0.001);
+        assert!(m.energy_j() > 0.0);
+        let pool = app_pool(&m.config().dynamic);
+        let mut rng = SimRng::seed_from(99);
+        let w = Workload::draw(&pool, 2, &mut rng);
+        m.load_threads(w.spawn_threads(&mut rng));
+        assert_eq!(m.energy_j(), 0.0);
+        assert_eq!(m.total_instructions(), 0.0);
+        assert!(m.assignment().iter().all(|a| a.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "two cores")]
+    fn duplicate_assignment_rejected() {
+        let mut m = loaded_machine(4, 9);
+        let mut mapping = vec![None; 20];
+        mapping[0] = Some(1);
+        mapping[1] = Some(1);
+        m.assign(&mapping);
+    }
+
+    #[test]
+    fn solo_thread_gets_whole_l2() {
+        let mut m = loaded_machine(1, 40);
+        m.step(0.001);
+        assert!((m.threads()[0].l2_alloc_mb() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corunners_shrink_each_others_cache() {
+        let mut m = loaded_machine(12, 41);
+        for _ in 0..50 {
+            m.step(0.001);
+        }
+        let shares: Vec<f64> = m.threads().iter().map(|t| t.l2_alloc_mb()).collect();
+        let total: f64 = shares.iter().sum();
+        assert!((total - 8.0).abs() < 1e-6, "shares must tile the L2: {total}");
+        assert!(shares.iter().all(|&s| s < 8.0));
+        // Cache-hungry threads hold more than cache-light ones.
+        let hungriest = m
+            .threads()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.spec().ws_mb.partial_cmp(&b.1.spec().ws_mb).unwrap())
+            .unwrap()
+            .0;
+        let lightest = m
+            .threads()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.spec().ws_mb.partial_cmp(&b.1.spec().ws_mb).unwrap())
+            .unwrap()
+            .0;
+        if m.threads()[hungriest].spec().ws_mb > 2.0 * m.threads()[lightest].spec().ws_mb {
+            assert!(
+                shares[hungriest] > shares[lightest],
+                "hungry {} light {}",
+                shares[hungriest],
+                shares[lightest]
+            );
+        }
+    }
+
+    #[test]
+    fn contention_costs_throughput() {
+        // Same workload with and without the contention model: shared-L2
+        // pressure must reduce chip throughput at high occupancy.
+        let (die, fp) = test_die();
+        let mut with = Machine::new(&die, &fp, MachineConfig::paper_default());
+        let mut cfg = MachineConfig::paper_default();
+        cfg.cache = None;
+        let mut without = Machine::new(&die, &fp, cfg);
+        let pool = app_pool(&MachineConfig::paper_default().dynamic);
+        for m in [&mut with, &mut without] {
+            let mut rng = SimRng::seed_from(42);
+            let w = Workload::draw(&pool, 16, &mut rng);
+            m.load_threads(w.spawn_threads(&mut rng));
+            let mapping: Vec<Option<usize>> = (0..20).map(|c| (c < 16).then_some(c)).collect();
+            m.assign(&mapping);
+            for _ in 0..50 {
+                m.step(0.001);
+            }
+        }
+        assert!(
+            with.average_mips() < without.average_mips(),
+            "contention {} vs isolated {}",
+            with.average_mips(),
+            without.average_mips()
+        );
+    }
+
+    #[test]
+    fn dtm_bounds_runaway_temperatures() {
+        // 20 hot threads at max levels, unmanaged, for 5 simulated
+        // seconds: without DTM the leakage-temperature loop can run
+        // away on leaky dies; with it, temperatures stay bounded.
+        let mut m = loaded_machine(20, 30);
+        for _ in 0..5000 {
+            m.step(0.001);
+        }
+        let hottest = m.temperatures().iter().cloned().fold(0.0f64, f64::max);
+        assert!(hottest.is_finite());
+        assert!(
+            hottest < m.config().dtm_limit_k + 5.0,
+            "hottest {hottest} K vs DTM limit {}",
+            m.config().dtm_limit_k
+        );
+        // The machine kept running the whole time.
+        assert!(m.total_instructions() > 0.0);
+    }
+
+    #[test]
+    fn transition_stall_charged_on_level_change() {
+        let mut m = loaded_machine(2, 20);
+        let dv = m.vf_table(0).voltage_at(m.vf_table(0).max_level()) - m.vf_table(0).voltage_at(0);
+        m.set_level(0, 0);
+        let expect = m.config().transition.stall_s(dv);
+        assert!((m.transition_stall_s(0) - expect).abs() < 1e-12);
+        // Setting the same level again costs nothing more.
+        m.set_level(0, 0);
+        assert!((m.transition_stall_s(0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_stall_suppresses_instructions() {
+        let mut with_cost = loaded_machine(1, 21);
+        let mut free = loaded_machine(1, 21);
+        // Give `free` an on-chip regulator.
+        let mut cfg = free.config().clone();
+        cfg.transition = DvfsTransition::on_chip();
+        let (die_cfg, fp) = test_die();
+        let mut free2 = Machine::new(&die_cfg, &fp, cfg);
+        let pool = app_pool(&free2.config().dynamic);
+        let mut rng = SimRng::seed_from(21);
+        let w = Workload::draw(&pool, 1, &mut rng);
+        free2.load_threads(w.spawn_threads(&mut rng));
+        let mut mapping = vec![None; 20];
+        mapping[0] = Some(0);
+        free2.assign(&mapping);
+        free = free2;
+
+        // Bounce the level every tick on both machines.
+        for tick in 0..20 {
+            let lvl = if tick % 2 == 0 { 0 } else { 4 };
+            with_cost.set_level(0, lvl);
+            free.set_level(0, lvl);
+            with_cost.step(0.001);
+            free.step(0.001);
+        }
+        assert!(
+            with_cost.total_instructions() < free.total_instructions(),
+            "transition stalls should cost throughput: {} vs {}",
+            with_cost.total_instructions(),
+            free.total_instructions()
+        );
+    }
+
+    #[test]
+    fn stall_drains_over_time() {
+        let mut m = loaded_machine(1, 22);
+        m.set_level(0, 0);
+        let before = m.transition_stall_s(0);
+        assert!(before > 0.0);
+        m.step(0.001);
+        assert!(m.transition_stall_s(0) < before);
+        for _ in 0..10 {
+            m.step(0.001);
+        }
+        assert_eq!(m.transition_stall_s(0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let mut a = loaded_machine(8, 10);
+        let mut b = loaded_machine(8, 10);
+        for _ in 0..20 {
+            let sa = a.step(0.001);
+            let sb = b.step(0.001);
+            assert_eq!(sa, sb);
+        }
+    }
+}

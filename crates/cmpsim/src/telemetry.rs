@@ -1,0 +1,263 @@
+//! Machine telemetry: per-tick traces for offline analysis.
+//!
+//! A [`Telemetry`] recorder snapshots the machine after each step —
+//! total power, throughput, and per-core (level, frequency, power,
+//! temperature, L2 share) — and renders the trace as CSV. This is the
+//! data behind time-series plots like the paper's Figure 14 power
+//! traces, and the kind of observability a deployment of these
+//! algorithms would log in production.
+
+use crate::machine::{Machine, StepStats};
+use std::fmt::Write as _;
+
+/// One core's state in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreSample {
+    /// (V, f) level index.
+    pub level: usize,
+    /// Effective frequency (Hz).
+    pub freq_hz: f64,
+    /// Total core power during the last step (watts).
+    pub power_w: f64,
+    /// Block temperature (kelvin).
+    pub temp_k: f64,
+    /// Thread index running on the core, if any.
+    pub thread: Option<usize>,
+}
+
+/// One machine snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Simulated time at the end of the step (seconds).
+    pub t_s: f64,
+    /// Total chip power during the step (watts).
+    pub total_power_w: f64,
+    /// Instructions retired during the step.
+    pub instructions: f64,
+    /// Per-core samples.
+    pub cores: Vec<CoreSample>,
+}
+
+/// Telemetry recorder.
+///
+/// # Example
+///
+/// ```
+/// # use cmpsim::{app_pool, Machine, MachineConfig, Workload};
+/// # use cmpsim::telemetry::Telemetry;
+/// # use floorplan::paper_20_core;
+/// # use varius::{DieGenerator, VariationConfig};
+/// # use vastats::SimRng;
+/// # let cfg = VariationConfig { grid: 20, ..VariationConfig::paper_default() };
+/// # let die = DieGenerator::new(cfg).unwrap().generate(&mut SimRng::seed_from(1));
+/// # let mut machine = Machine::new(&die, &paper_20_core(), MachineConfig::paper_default());
+/// # let pool = app_pool(&machine.config().dynamic);
+/// # let mut rng = SimRng::seed_from(2);
+/// # let w = Workload::draw(&pool, 2, &mut rng);
+/// # machine.load_threads(w.spawn_threads(&mut rng));
+/// # let mut mapping = vec![None; 20];
+/// # mapping[0] = Some(0); mapping[1] = Some(1);
+/// # machine.assign(&mapping);
+/// let mut telemetry = Telemetry::new();
+/// for _ in 0..5 {
+///     let stats = machine.step(0.001);
+///     telemetry.record(&machine, &stats);
+/// }
+/// assert_eq!(telemetry.len(), 5);
+/// let csv = telemetry.to_chip_csv();
+/// assert!(csv.starts_with("t_s,power_w,mips"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    snapshots: Vec<Snapshot>,
+}
+
+impl Telemetry {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one snapshot (call right after [`Machine::step`]).
+    pub fn record(&mut self, machine: &Machine, stats: &StepStats) {
+        let cores = (0..machine.core_count())
+            .map(|core| CoreSample {
+                level: machine.level(core),
+                freq_hz: machine.effective_freq(core),
+                power_w: machine.sensor_core_power(core),
+                temp_k: machine.core_temperature(core),
+                thread: machine.thread_of(core),
+            })
+            .collect();
+        self.snapshots.push(Snapshot {
+            t_s: machine.elapsed_s(),
+            total_power_w: stats.total_power_w,
+            instructions: stats.instructions,
+            cores,
+        });
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The recorded snapshots.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Chip-level trace as CSV: `t_s,power_w,mips` rows.
+    pub fn to_chip_csv(&self) -> String {
+        let mut out = String::from("t_s,power_w,mips\n");
+        let mut prev_t = 0.0;
+        for s in &self.snapshots {
+            let dt = (s.t_s - prev_t).max(1e-12);
+            prev_t = s.t_s;
+            let _ = writeln!(
+                out,
+                "{},{},{}",
+                s.t_s,
+                s.total_power_w,
+                s.instructions / dt / 1e6
+            );
+        }
+        out
+    }
+
+    /// Per-core trace as CSV:
+    /// `t_s,core,thread,level,freq_ghz,power_w,temp_c` rows.
+    pub fn to_core_csv(&self) -> String {
+        let mut out = String::from("t_s,core,thread,level,freq_ghz,power_w,temp_c\n");
+        for s in &self.snapshots {
+            for (core, c) in s.cores.iter().enumerate() {
+                let thread = c
+                    .thread
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "{},{core},{thread},{},{},{},{}",
+                    s.t_s,
+                    c.level,
+                    c.freq_hz / 1e9,
+                    c.power_w,
+                    c.temp_k - 273.15
+                );
+            }
+        }
+        out
+    }
+
+    /// Peak chip power over the trace (watts); 0 when empty.
+    pub fn peak_power_w(&self) -> f64 {
+        self.snapshots
+            .iter()
+            .map(|s| s.total_power_w)
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak core temperature over the trace (kelvin); 0 when empty.
+    pub fn peak_temp_k(&self) -> f64 {
+        self.snapshots
+            .iter()
+            .flat_map(|s| s.cores.iter().map(|c| c.temp_k))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::app_pool;
+    use crate::machine::MachineConfig;
+    use crate::workload::Workload;
+    use floorplan::paper_20_core;
+    use varius::{DieGenerator, VariationConfig};
+    use vastats::SimRng;
+
+    fn machine() -> Machine {
+        let cfg = VariationConfig {
+            grid: 20,
+            ..VariationConfig::paper_default()
+        };
+        let die = DieGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut SimRng::seed_from(50));
+        let mut m = Machine::new(&die, &paper_20_core(), MachineConfig::paper_default());
+        let pool = app_pool(&m.config().dynamic);
+        let mut rng = SimRng::seed_from(51);
+        let w = Workload::draw(&pool, 4, &mut rng);
+        m.load_threads(w.spawn_threads(&mut rng));
+        let mapping: Vec<Option<usize>> = (0..20).map(|c| (c < 4).then_some(c)).collect();
+        m.assign(&mapping);
+        m
+    }
+
+    #[test]
+    fn records_every_step() {
+        let mut m = machine();
+        let mut t = Telemetry::new();
+        for _ in 0..7 {
+            let stats = m.step(0.001);
+            t.record(&m, &stats);
+        }
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.snapshots()[0].cores.len(), 20);
+        // Time is monotone.
+        for w in t.snapshots().windows(2) {
+            assert!(w[1].t_s > w[0].t_s);
+        }
+    }
+
+    #[test]
+    fn chip_csv_shape() {
+        let mut m = machine();
+        let mut t = Telemetry::new();
+        for _ in 0..3 {
+            let stats = m.step(0.001);
+            t.record(&m, &stats);
+        }
+        let csv = t.to_chip_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 rows
+        assert!(csv.lines().nth(1).unwrap().split(',').count() == 3);
+    }
+
+    #[test]
+    fn core_csv_has_one_row_per_core() {
+        let mut m = machine();
+        let mut t = Telemetry::new();
+        let stats = m.step(0.001);
+        t.record(&m, &stats);
+        let csv = t.to_core_csv();
+        assert_eq!(csv.lines().count(), 1 + 20);
+        // Idle cores show "-" for thread.
+        assert!(csv.contains(",-,"));
+    }
+
+    #[test]
+    fn peaks_track_trace() {
+        let mut m = machine();
+        let mut t = Telemetry::new();
+        for _ in 0..20 {
+            let stats = m.step(0.001);
+            t.record(&m, &stats);
+        }
+        assert!(t.peak_power_w() > 0.0);
+        assert!(t.peak_temp_k() > 300.0);
+        assert!(t.peak_power_w() >= t.snapshots().last().unwrap().total_power_w);
+    }
+
+    #[test]
+    fn empty_recorder_is_benign() {
+        let t = Telemetry::new();
+        assert!(t.is_empty());
+        assert_eq!(t.peak_power_w(), 0.0);
+        assert_eq!(t.to_chip_csv().lines().count(), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Multiprogrammed workload construction.
+//!
+//! The paper builds workloads of 1–20 applications drawn from its
+//! fourteen-app pool, one application per core, and repeats each
+//! experiment 20 times with a different draw (§6.4). [`Workload`]
+//! reproduces that protocol deterministically from a seed.
+
+use crate::apps::{AppClass, AppSpec};
+use crate::thread::Thread;
+use vastats::rng::SimRng;
+
+/// Named workload mixes for sensitivity studies.
+///
+/// The paper draws uniformly from its fourteen-app pool; these mixes
+/// bias the draw to stress particular behaviours (the
+/// variation-aware policies' gains depend on workload heterogeneity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mix {
+    /// Uniform draw over the whole pool (the paper's protocol).
+    Balanced,
+    /// Memory-bound applications only (DRAM-stall fraction ≥ 0.6).
+    MemoryHeavy,
+    /// Compute-bound applications only (DRAM-stall fraction ≤ 0.4).
+    ComputeHeavy,
+    /// Floating-point applications only.
+    FpOnly,
+    /// Integer applications only.
+    IntOnly,
+}
+
+impl Mix {
+    /// Whether an application belongs to the mix.
+    pub fn admits(&self, spec: &AppSpec) -> bool {
+        match self {
+            Mix::Balanced => true,
+            Mix::MemoryHeavy => spec.mem_bound >= 0.6,
+            Mix::ComputeHeavy => spec.mem_bound <= 0.4,
+            Mix::FpOnly => spec.class == AppClass::Fp,
+            Mix::IntOnly => spec.class == AppClass::Int,
+        }
+    }
+}
+
+/// A multiprogrammed workload: an ordered list of application instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    specs: Vec<AppSpec>,
+}
+
+impl Workload {
+    /// Draws a workload of `n` applications from `pool`.
+    ///
+    /// Draws without replacement while the pool lasts, then with
+    /// replacement (a 20-thread workload on a 14-app pool necessarily
+    /// repeats applications, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty or `n == 0`.
+    pub fn draw(pool: &[AppSpec], n: usize, rng: &mut SimRng) -> Self {
+        assert!(!pool.is_empty(), "application pool is empty");
+        assert!(n > 0, "workload needs at least one application");
+        let mut specs = Vec::with_capacity(n);
+        let mut remaining: Vec<usize> = (0..pool.len()).collect();
+        rng.shuffle(&mut remaining);
+        for i in 0..n {
+            let idx = if let Some(idx) = remaining.pop() {
+                idx
+            } else {
+                rng.index(pool.len())
+            };
+            let _ = i;
+            specs.push(pool[idx].clone());
+        }
+        Self { specs }
+    }
+
+    /// Draws a workload of `n` applications restricted to a [`Mix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Workload::draw`], or if the mix admits no
+    /// application from the pool.
+    pub fn draw_mix(pool: &[AppSpec], n: usize, mix: Mix, rng: &mut SimRng) -> Self {
+        let filtered: Vec<AppSpec> = pool
+            .iter()
+            .filter(|a| mix.admits(a))
+            .cloned()
+            .collect();
+        assert!(
+            !filtered.is_empty(),
+            "mix {mix:?} admits no application from the pool"
+        );
+        Self::draw(&filtered, n, rng)
+    }
+
+    /// Builds a workload from explicit applications, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn from_specs(specs: Vec<AppSpec>) -> Self {
+        assert!(!specs.is_empty(), "workload needs at least one application");
+        Self { specs }
+    }
+
+    /// Number of applications (threads).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the workload is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The application specs in thread order.
+    pub fn specs(&self) -> &[AppSpec] {
+        &self.specs
+    }
+
+    /// Instantiates runtime threads, staggering phase offsets so
+    /// repeated applications do not execute in lock-step.
+    pub fn spawn_threads(&self, rng: &mut SimRng) -> Vec<Thread> {
+        self.specs
+            .iter()
+            .map(|s| {
+                let offset = rng.uniform(0.0, s.phase_cycle_ms());
+                Thread::with_phase_offset(s.clone(), offset)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::app_pool;
+    use powermodel::DynamicPower;
+
+    fn pool() -> Vec<AppSpec> {
+        app_pool(&DynamicPower::paper_default())
+    }
+
+    #[test]
+    fn no_replacement_until_pool_exhausted() {
+        let pool = pool();
+        let mut rng = SimRng::seed_from(1);
+        let w = Workload::draw(&pool, 14, &mut rng);
+        let mut names: Vec<&str> = w.specs().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14, "14-app draw must use every app once");
+    }
+
+    #[test]
+    fn twenty_thread_draw_repeats_apps() {
+        let pool = pool();
+        let mut rng = SimRng::seed_from(2);
+        let w = Workload::draw(&pool, 20, &mut rng);
+        assert_eq!(w.len(), 20);
+        let mut names: Vec<&str> = w.specs().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14, "first 14 draws cover the pool");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pool = pool();
+        let a = Workload::draw(&pool, 8, &mut SimRng::seed_from(7));
+        let b = Workload::draw(&pool, 8, &mut SimRng::seed_from(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pool = pool();
+        let a = Workload::draw(&pool, 8, &mut SimRng::seed_from(1));
+        let b = Workload::draw(&pool, 8, &mut SimRng::seed_from(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spawn_threads_staggers_phases() {
+        let pool = pool();
+        let w = Workload::from_specs(vec![pool[0].clone(), pool[0].clone()]);
+        let mut rng = SimRng::seed_from(3);
+        let threads = w.spawn_threads(&mut rng);
+        assert_eq!(threads.len(), 2);
+        // Same app, different phase offsets.
+        assert_ne!(threads[0], threads[1]);
+    }
+
+    #[test]
+    fn mixes_filter_correctly() {
+        let pool = pool();
+        let mut rng = SimRng::seed_from(8);
+        let mem = Workload::draw_mix(&pool, 6, Mix::MemoryHeavy, &mut rng);
+        assert!(mem.specs().iter().all(|s| s.mem_bound >= 0.6));
+        let fp = Workload::draw_mix(&pool, 6, Mix::FpOnly, &mut rng);
+        assert!(fp.specs().iter().all(|s| s.class == crate::AppClass::Fp));
+        let bal = Workload::draw_mix(&pool, 6, Mix::Balanced, &mut rng);
+        assert_eq!(bal.len(), 6);
+    }
+
+    #[test]
+    fn every_mix_is_satisfiable() {
+        let pool = pool();
+        for mix in [
+            Mix::Balanced,
+            Mix::MemoryHeavy,
+            Mix::ComputeHeavy,
+            Mix::FpOnly,
+            Mix::IntOnly,
+        ] {
+            assert!(pool.iter().any(|a| mix.admits(a)), "{mix:?} empty");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn zero_size_rejected() {
+        let pool = pool();
+        Workload::draw(&pool, 0, &mut SimRng::seed_from(0));
+    }
+}

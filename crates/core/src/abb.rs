@@ -1,0 +1,222 @@
+//! Adaptive Body Bias (ABB) — the variation-mitigation alternative.
+//!
+//! Humenay et al. (cited as complementary work in §2) propose using
+//! ABB/ASV to *reduce* the core-to-core frequency variation that this
+//! paper instead *exploits*: forward body bias (FBB) lowers a slow
+//! core's Vth to speed it up, reverse body bias (RBB) raises a fast
+//! core's Vth to cut its leakage — "at the cost of increasing power
+//! variation".
+//!
+//! This module implements per-core bias selection against a target
+//! frequency and quantifies both sides of that trade, so the paper's
+//! scheduling approach can be compared against the circuit-level
+//! alternative on the same dies (see the `abb` bench binary).
+
+use cmpsim::Machine;
+use critpath::FreqModel;
+use powermodel::{LeakageParams, LeakagePower};
+use vastats::Summary;
+
+/// Body-bias capability of the process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyBiasConfig {
+    /// Maximum |Vth shift| available in either direction (volts).
+    pub max_bias_v: f64,
+    /// Bias DAC resolution (volts).
+    pub step_v: f64,
+}
+
+impl BodyBiasConfig {
+    /// ±50 mV of Vth adjustment in 5 mV steps — typical of published
+    /// ABB designs at this era.
+    pub fn typical() -> Self {
+        Self {
+            max_bias_v: 0.050,
+            step_v: 0.005,
+        }
+    }
+}
+
+/// Result of biasing one die's cores toward a common frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasOutcome {
+    /// Chosen Vth shift per core (volts; negative = FBB).
+    pub bias_v: Vec<f64>,
+    /// Rated frequency per core before biasing (Hz).
+    pub freq_before: Vec<f64>,
+    /// Rated frequency per core after biasing (Hz).
+    pub freq_after: Vec<f64>,
+    /// Total static power before biasing (watts, at 1 V / 85 °C).
+    pub static_before_w: f64,
+    /// Total static power after biasing (watts).
+    pub static_after_w: f64,
+}
+
+impl BiasOutcome {
+    /// Max/min frequency ratio before biasing.
+    pub fn spread_before(&self) -> f64 {
+        Summary::of(&self.freq_before).max_min_ratio()
+    }
+
+    /// Max/min frequency ratio after biasing.
+    pub fn spread_after(&self) -> f64 {
+        Summary::of(&self.freq_after).max_min_ratio()
+    }
+}
+
+/// Chooses a per-core body bias that pulls every core toward the die's
+/// median rated frequency: FBB on slower cores, RBB on faster ones.
+///
+/// Frequencies are evaluated with the machine's own timing model at the
+/// maximum table voltage; static power at 1 V and the 85 °C leakage
+/// calibration temperature.
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (`step_v <= 0` or
+/// `max_bias_v < 0`).
+pub fn equalize_frequencies(machine: &Machine, config: &BodyBiasConfig) -> BiasOutcome {
+    assert!(config.step_v > 0.0, "bias step must be positive");
+    assert!(config.max_bias_v >= 0.0, "bias range must be non-negative");
+    let freq_model: &FreqModel = machine.freq_model();
+    let leak = LeakagePower::new(LeakageParams::core_default());
+    let v_eval = 1.0;
+    let temp_eval = 358.15;
+    let n = machine.core_count();
+
+    // Use the raw (unquantized) timing model on both sides of the
+    // comparison so bias effects are not masked by table rounding.
+    let freq_before: Vec<f64> = (0..n)
+        .map(|c| freq_model.fmax_hz(machine.core_cells(c), v_eval))
+        .collect();
+    let target = median(&freq_before);
+
+    let mut bias_v = Vec::with_capacity(n);
+    let mut freq_after = Vec::with_capacity(n);
+    let mut static_before = 0.0;
+    let mut static_after = 0.0;
+
+    // Core area: uniform across the paper floorplan.
+    let area_mm2 = 340.0 * 0.65 / n as f64;
+
+    for core in 0..n {
+        let cells = machine.core_cells(core);
+        static_before += leak.block_static(cells, area_mm2, v_eval, temp_eval);
+
+        // Scan the bias DAC for the setting whose frequency lands
+        // closest to the target.
+        let steps = (config.max_bias_v / config.step_v).round() as i64;
+        let mut best = (0.0f64, f64::INFINITY, 0.0f64);
+        for k in -steps..=steps {
+            let dv = k as f64 * config.step_v;
+            let shifted = cells.with_vth_shift(dv);
+            let f = freq_model.fmax_hz(&shifted, v_eval);
+            let err = (f - target).abs();
+            if err < best.1 {
+                best = (dv, err, f);
+            }
+        }
+        let (dv, _, f) = best;
+        bias_v.push(dv);
+        freq_after.push(f);
+        static_after += leak.block_static(&cells.with_vth_shift(dv), area_mm2, v_eval, temp_eval);
+    }
+
+    BiasOutcome {
+        bias_v,
+        freq_before,
+        freq_after,
+        static_before_w: static_before,
+        static_after_w: static_after,
+    }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted[sorted.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim::MachineConfig;
+    use floorplan::paper_20_core;
+    use varius::{DieGenerator, VariationConfig};
+    use vastats::SimRng;
+
+    fn machine(seed: u64) -> Machine {
+        let cfg = VariationConfig {
+            grid: 24,
+            ..VariationConfig::paper_default()
+        };
+        let die = DieGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut SimRng::seed_from(seed));
+        Machine::new(&die, &paper_20_core(), MachineConfig::paper_default())
+    }
+
+    #[test]
+    fn abb_reduces_frequency_spread() {
+        let m = machine(1);
+        let out = equalize_frequencies(&m, &BodyBiasConfig::typical());
+        assert!(
+            out.spread_after() < out.spread_before(),
+            "before {} after {}",
+            out.spread_before(),
+            out.spread_after()
+        );
+        // With +/-50 mV the spread should compress substantially
+        // (Humenay et al. expect most of the ~20-30% gap to close).
+        assert!(out.spread_after() < 1.0 + 0.7 * (out.spread_before() - 1.0));
+    }
+
+    #[test]
+    fn slow_cores_get_fbb_fast_cores_get_rbb() {
+        let m = machine(2);
+        let out = equalize_frequencies(&m, &BodyBiasConfig::typical());
+        let slowest = out
+            .freq_before
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let fastest = out
+            .freq_before
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(out.bias_v[slowest] < 0.0, "slowest core needs FBB");
+        assert!(out.bias_v[fastest] > 0.0, "fastest core gets RBB");
+    }
+
+    #[test]
+    fn bias_respects_dac_range() {
+        let m = machine(3);
+        let cfg = BodyBiasConfig::typical();
+        let out = equalize_frequencies(&m, &cfg);
+        for &b in &out.bias_v {
+            assert!(b.abs() <= cfg.max_bias_v + 1e-12);
+            let steps = b / cfg.step_v;
+            assert!((steps - steps.round()).abs() < 1e-9, "off-grid bias {b}");
+        }
+    }
+
+    #[test]
+    fn zero_range_is_identity() {
+        let m = machine(4);
+        let out = equalize_frequencies(
+            &m,
+            &BodyBiasConfig {
+                max_bias_v: 0.0,
+                step_v: 0.005,
+            },
+        );
+        assert_eq!(out.freq_before, out.freq_after);
+        assert!(out.bias_v.iter().all(|&b| b == 0.0));
+        assert!((out.static_before_w - out.static_after_w).abs() < 1e-9);
+    }
+}

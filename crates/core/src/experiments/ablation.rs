@@ -1,0 +1,425 @@
+//! Ablations of LinOpt's design choices (DESIGN.md §5).
+//!
+//! * **Fit points**: the paper fits power at 3 voltages and mentions 2
+//!   as the minimum (§5.2). How much does the coarser fit cost?
+//! * **Rounding**: the LP's continuous voltage must land on a discrete
+//!   level. Round-down never overshoots the linearized budget;
+//!   round-to-nearest gains throughput but risks violations that the
+//!   monitoring loop must repair.
+//! * **IPC–frequency independence**: LinOpt assumes a thread's IPC does
+//!   not change with frequency. The simulator knows the truth, so the
+//!   assumption's prediction error is measurable.
+
+use super::{Context, Scale, Series};
+use varius::VariationConfig;
+use crate::manager::linopt::{linopt_levels_with, RoundingPolicy};
+use crate::manager::{ManagerKind, PmView, PowerBudget};
+use crate::runtime::{run_trial, RuntimeConfig};
+use crate::sched::SchedPolicy;
+use cmpsim::{app_pool, Mix, Workload};
+use vastats::SimRng;
+
+/// Outcome of one ablation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationPoint {
+    /// Achieved throughput (MIPS) at the manager's chosen levels.
+    pub mips: f64,
+    /// Measured power at the chosen levels (watts).
+    pub power_w: f64,
+    /// Whether the chosen levels satisfied both constraints *before*
+    /// any repair would run (violations measured against the raw LP
+    /// output are what the rounding policy risks).
+    pub feasible: bool,
+}
+
+/// Compares LinOpt variants (fit points × rounding) on fresh machine
+/// states. Returns `(label, point)` pairs averaged over `scale.trials`
+/// states.
+pub fn linopt_variants(scale: &Scale, seed: u64, threads: usize) -> Vec<(String, AblationPoint)> {
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let variants = [
+        ("3-point fit, round down", 3usize, RoundingPolicy::Down),
+        ("2-point fit, round down", 2, RoundingPolicy::Down),
+        ("3-point fit, round nearest", 3, RoundingPolicy::Nearest),
+    ];
+
+    let mut sums = vec![(0.0f64, 0.0f64, 0usize); variants.len()];
+    for trial in 0..scale.trials {
+        let mut rng = SimRng::seed_from(seed.wrapping_add(trial as u64 * 6011));
+        let die = ctx.make_die(&mut rng);
+        let mut machine = ctx.make_machine(&die);
+        let workload = Workload::draw(&pool, threads, &mut rng);
+        machine.load_threads(workload.spawn_threads(&mut rng));
+        let mut mapping = vec![None; machine.core_count()];
+        for t in 0..threads {
+            mapping[t] = Some(t);
+        }
+        machine.assign(&mapping);
+        machine.step(0.001);
+        let view = PmView::from_machine(&machine);
+        let budget = PowerBudget::cost_performance(threads);
+
+        for (vi, &(_, points, rounding)) in variants.iter().enumerate() {
+            let levels = linopt_levels_with(&view, &budget, points, rounding);
+            sums[vi].0 += view.throughput_mips(&levels);
+            sums[vi].1 += view.total_power(&levels);
+            if view.feasible(&levels, &budget) {
+                sums[vi].2 += 1;
+            }
+        }
+    }
+
+    variants
+        .iter()
+        .zip(&sums)
+        .map(|(&(label, _, _), &(mips, power, feas))| {
+            (
+                label.to_string(),
+                AblationPoint {
+                    mips: mips / scale.trials as f64,
+                    power_w: power / scale.trials as f64,
+                    feasible: feas == scale.trials,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Measures the IPC–frequency-independence assumption: for each active
+/// thread, compares the IPC LinOpt assumed (profiled at the current
+/// frequency) against the true IPC at the frequency LinOpt chose.
+/// Returns the mean absolute relative error over threads and trials.
+pub fn ipc_frequency_error(scale: &Scale, seed: u64, threads: usize) -> f64 {
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let mut total_err = 0.0;
+    let mut count = 0usize;
+
+    for trial in 0..scale.trials {
+        let mut rng = SimRng::seed_from(seed.wrapping_add(trial as u64 * 6029));
+        let die = ctx.make_die(&mut rng);
+        let mut machine = ctx.make_machine(&die);
+        let workload = Workload::draw(&pool, threads, &mut rng);
+        machine.load_threads(workload.spawn_threads(&mut rng));
+        let mut mapping = vec![None; machine.core_count()];
+        for t in 0..threads {
+            mapping[t] = Some(t);
+        }
+        machine.assign(&mapping);
+        machine.step(0.001);
+        let view = PmView::from_machine(&machine);
+        let budget = PowerBudget::cost_performance(threads);
+        let levels = linopt_levels_with(&view, &budget, 3, RoundingPolicy::Down);
+
+        for (core_view, &level) in view.cores().iter().zip(&levels) {
+            let assumed_ipc = core_view.ipc;
+            let chosen_f = core_view.freqs[level];
+            if chosen_f <= 0.0 {
+                continue;
+            }
+            let thread_idx = machine.thread_of(core_view.core).expect("active core");
+            let true_ipc = machine.threads()[thread_idx].ipc_now(chosen_f);
+            total_err += ((true_ipc - assumed_ipc) / true_ipc).abs();
+            count += 1;
+        }
+    }
+    total_err / count.max(1) as f64
+}
+
+/// DVFS granularity sweep (Herbert & Marculescu): throughput of
+/// `DomainLinOpt` at domain sizes {1, 2, 4, 10, 20}, normalized to the
+/// per-core (size 1) result, at 20 threads in the Cost-Performance
+/// environment.
+pub fn granularity(scale: &Scale, seed: u64) -> Series {
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let sizes = [1usize, 2, 4, 10, 20];
+    let runtime = RuntimeConfig {
+        duration_ms: scale.duration_ms,
+        os_interval_ms: scale.duration_ms.min(100.0),
+        ..RuntimeConfig::paper_default()
+    };
+    let budget = PowerBudget::cost_performance(20);
+
+    let mut sums = vec![0.0f64; sizes.len()];
+    for trial in 0..scale.trials {
+        let trial_seed = seed.wrapping_mul(6151).wrapping_add(trial as u64);
+        let mut rng = SimRng::seed_from(trial_seed);
+        let die = ctx.make_die(&mut rng);
+        let mut machine = ctx.make_machine(&die);
+        let workload = Workload::draw(&pool, 20, &mut rng);
+        let mut base = 0.0;
+        for (si, &size) in sizes.iter().enumerate() {
+            let mut algo_rng = SimRng::seed_from(trial_seed ^ 0xD0);
+            let out = run_trial(
+                &mut machine,
+                &workload,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::DomainLinOpt {
+                    cores_per_domain: size,
+                },
+                budget,
+                &runtime,
+                &mut algo_rng,
+            );
+            if si == 0 {
+                base = out.mips;
+            }
+            sums[si] += out.mips / base;
+        }
+    }
+    Series::new(
+        "relative MIPS",
+        sizes.iter().map(|&s| s as f64).collect(),
+        sums.iter().map(|s| s / scale.trials as f64).collect(),
+    )
+}
+
+/// Transition-cost sweep: throughput of VarF&AppIPC+LinOpt vs DVFS
+/// interval {1, 5, 10, 50} ms under XScale-class transition costs,
+/// normalized to the 10 ms paper default. Too-frequent re-optimization
+/// pays voltage-ramp stalls; too-infrequent misses phases.
+pub fn transition_cost(scale: &Scale, seed: u64, threads: usize) -> Series {
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let intervals = [1.0f64, 5.0, 10.0, 50.0];
+    let budget = PowerBudget::cost_performance(threads);
+
+    let mut sums = vec![0.0f64; intervals.len()];
+    for trial in 0..scale.trials {
+        let trial_seed = seed.wrapping_mul(6301).wrapping_add(trial as u64);
+        let mut rng = SimRng::seed_from(trial_seed);
+        let die = ctx.make_die(&mut rng);
+        let mut machine = ctx.make_machine(&die);
+        let workload = Workload::draw(&pool, threads, &mut rng);
+        let mut results = Vec::with_capacity(intervals.len());
+        for &interval in &intervals {
+            let duration = scale.duration_ms.max(interval * 4.0).max(100.0);
+            let runtime = RuntimeConfig {
+                dvfs_interval_ms: interval,
+                os_interval_ms: duration.min(100.0).max(interval),
+                duration_ms: duration,
+                ..RuntimeConfig::paper_default()
+            };
+            let mut algo_rng = SimRng::seed_from(trial_seed ^ 0xD1);
+            let out = run_trial(
+                &mut machine,
+                &workload,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::LinOpt,
+                budget,
+                &runtime,
+                &mut algo_rng,
+            );
+            results.push(out.mips);
+        }
+        let base = results[2]; // 10 ms
+        for (si, r) in results.iter().enumerate() {
+            sums[si] += r / base;
+        }
+    }
+    Series::new(
+        "relative MIPS",
+        intervals.to_vec(),
+        sums.iter().map(|s| s / scale.trials as f64).collect(),
+    )
+}
+
+/// Workload-mix sensitivity: the VarF&AppIPC+LinOpt gain over
+/// Random+Foxton* per [`Mix`], at 16 threads in the Cost-Performance
+/// environment. Variation-aware policies feed on heterogeneity, so a
+/// homogeneous (e.g. memory-only) mix should show smaller gains than
+/// the paper's balanced draw.
+///
+/// Returns `(mix name, relative MIPS)` pairs.
+pub fn mix_sensitivity(scale: &Scale, seed: u64) -> Vec<(String, f64)> {
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let threads = 16;
+    let budget = PowerBudget::cost_performance(threads);
+    let runtime = RuntimeConfig {
+        duration_ms: scale.duration_ms,
+        os_interval_ms: scale.duration_ms.min(100.0),
+        ..RuntimeConfig::paper_default()
+    };
+    let mixes = [
+        (Mix::Balanced, "balanced"),
+        (Mix::MemoryHeavy, "memory-heavy"),
+        (Mix::ComputeHeavy, "compute-heavy"),
+        (Mix::FpOnly, "fp-only"),
+        (Mix::IntOnly, "int-only"),
+    ];
+
+    mixes
+        .iter()
+        .map(|&(mix, name)| {
+            let mut ratio_sum = 0.0;
+            for trial in 0..scale.trials {
+                let trial_seed = seed.wrapping_mul(6473).wrapping_add(trial as u64);
+                let mut rng = SimRng::seed_from(trial_seed);
+                let die = ctx.make_die(&mut rng);
+                let mut machine = ctx.make_machine(&die);
+                let workload = Workload::draw_mix(&pool, threads, mix, &mut rng);
+                let run = |machine: &mut cmpsim::Machine,
+                           policy: crate::sched::SchedPolicy,
+                           manager: ManagerKind| {
+                    let mut algo_rng = SimRng::seed_from(trial_seed ^ 0xA1);
+                    run_trial(machine, &workload, policy, manager, budget, &runtime, &mut algo_rng)
+                };
+                let base = run(
+                    &mut machine,
+                    crate::sched::SchedPolicy::Random,
+                    ManagerKind::FoxtonStar,
+                );
+                let best = run(
+                    &mut machine,
+                    crate::sched::SchedPolicy::VarFAppIpc,
+                    ManagerKind::LinOpt,
+                );
+                ratio_sum += best.mips / base.mips;
+            }
+            (name.to_string(), ratio_sum / scale.trials as f64)
+        })
+        .collect()
+}
+
+/// The paper's premise, quantified: the variation-aware scheduling gain
+/// (VarF&AppIPC over Random, NUniFreq, no DVFS) as a function of Vth
+/// σ/µ. With no variation the cores are identical and the gain must
+/// vanish; it should grow with σ.
+///
+/// Returns a series with x = σ/µ and y = relative MIPS.
+pub fn gain_vs_sigma(scale: &Scale, seed: u64, threads: usize) -> Series {
+    let sigmas = [0.01, 0.03, 0.06, 0.09, 0.12];
+    let pool = app_pool(&Context::new(scale.grid).machine_config().dynamic);
+    let budget = PowerBudget::high_performance(threads);
+    let runtime = RuntimeConfig {
+        duration_ms: scale.duration_ms,
+        os_interval_ms: scale.duration_ms.min(100.0),
+        ..RuntimeConfig::paper_default()
+    };
+
+    let y: Vec<f64> = sigmas
+        .iter()
+        .map(|&sigma| {
+            let ctx = Context::with_variation(VariationConfig {
+                grid: scale.grid,
+                vth_sigma_over_mu: sigma,
+                ..VariationConfig::paper_default()
+            });
+            let mut ratio_sum = 0.0;
+            for trial in 0..scale.trials {
+                let trial_seed = seed.wrapping_mul(6553).wrapping_add(trial as u64);
+                let mut rng = SimRng::seed_from(trial_seed);
+                let die = ctx.make_die(&mut rng);
+                let mut machine = ctx.make_machine(&die);
+                let workload = Workload::draw(&pool, threads, &mut rng);
+                let mut run = |policy| {
+                    let mut algo_rng = SimRng::seed_from(trial_seed ^ 0xB2);
+                    run_trial(
+                        &mut machine,
+                        &workload,
+                        policy,
+                        ManagerKind::None,
+                        budget,
+                        &runtime,
+                        &mut algo_rng,
+                    )
+                };
+                let base = run(crate::sched::SchedPolicy::Random);
+                let aware = run(crate::sched::SchedPolicy::VarFAppIpc);
+                ratio_sum += aware.mips / base.mips;
+            }
+            ratio_sum / scale.trials as f64
+        })
+        .collect();
+    Series::new("VarF&AppIPC / Random", sigmas.to_vec(), y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            trials: 2,
+            grid: 20,
+            ..Scale::smoke()
+        }
+    }
+
+    #[test]
+    fn three_point_round_down_is_feasible() {
+        let variants = linopt_variants(&tiny(), 13, 8);
+        assert_eq!(variants.len(), 3);
+        let (label, point) = &variants[0];
+        assert!(label.contains("3-point"));
+        assert!(point.feasible, "repaired round-down must be feasible");
+        assert!(point.mips > 0.0);
+    }
+
+    #[test]
+    fn two_point_fit_does_not_collapse() {
+        let variants = linopt_variants(&tiny(), 14, 8);
+        let three = variants[0].1.mips;
+        let two = variants[1].1.mips;
+        // The degraded fit loses at most a modest fraction of throughput.
+        assert!(two > 0.7 * three, "2-point {two} vs 3-point {three}");
+    }
+
+    #[test]
+    fn granularity_prefers_fine_domains() {
+        let s = granularity(&tiny(), 16);
+        // Per-core (x=1) normalizes to 1; chip-wide (x=20) must not be
+        // better than per-core.
+        assert!((s.y[0] - 1.0).abs() < 1e-9);
+        assert!(s.y[4] <= 1.01, "chip-wide {:?}", s.y);
+    }
+
+    #[test]
+    fn transition_cost_sweep_runs() {
+        let s = transition_cost(&tiny(), 17, 8);
+        assert_eq!(s.y.len(), 4);
+        // 10 ms normalizes to 1; all points within a sane band.
+        assert!((s.y[2] - 1.0).abs() < 1e-9);
+        for &v in &s.y {
+            assert!(v > 0.8 && v < 1.2, "{:?}", s.y);
+        }
+    }
+
+    #[test]
+    fn gains_vanish_without_variation() {
+        let scale = Scale {
+            trials: 3,
+            ..tiny()
+        };
+        let s = gain_vs_sigma(&scale, 19, 8);
+        // Near-zero variation: cores are near-identical, so the
+        // variation-aware gain is within noise of zero.
+        assert!(
+            (s.y[0] - 1.0).abs() < 0.01,
+            "sigma 0.01 gain should vanish: {:?}",
+            s.y
+        );
+        // Full variation: a clear gain.
+        assert!(s.y[4] > s.y[0] + 0.01, "{:?}", s.y);
+    }
+
+    #[test]
+    fn mix_sensitivity_runs_all_mixes() {
+        let rows = mix_sensitivity(&tiny(), 18);
+        assert_eq!(rows.len(), 5);
+        for (name, ratio) in &rows {
+            assert!(*ratio > 0.8 && *ratio < 1.5, "{name}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn ipc_assumption_error_is_moderate() {
+        let err = ipc_frequency_error(&tiny(), 15, 8);
+        // IPC rises as frequency drops; the assumption errs by some
+        // percent but not wildly (memory-bound apps bound the effect).
+        assert!((0.0..0.5).contains(&err), "mean relative error {err}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 15: LinOpt execution time vs number of threads, per power
+//! environment.
+//!
+//! The paper reports the Simplex solve time on a 4 GHz processor: up to
+//! ≈6 µs for 20 threads, growing with thread count and with looser
+//! power targets (a larger feasible region takes more pivots). We
+//! measure wall-clock time of our `linopt_levels` on the host over many
+//! repetitions.
+
+use super::{Context, Scale, Series};
+use crate::manager::{linopt::linopt_levels, PmView, PowerBudget};
+use cmpsim::{app_pool, Workload};
+use std::time::Instant;
+use vastats::SimRng;
+
+/// Thread counts examined by Figure 15.
+pub const THREAD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 20];
+
+/// Measures LinOpt's execution time. Returns one series per power
+/// environment: x = thread count, y = microseconds per invocation
+/// (median of `reps` timed runs on real machine views).
+pub fn fig15(scale: &Scale, seed: u64, reps: usize) -> Vec<Series> {
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    type Env = (&'static str, fn(usize) -> PowerBudget);
+    let environments: [Env; 3] = [
+        ("High Performance", PowerBudget::high_performance),
+        ("Cost-Performance", PowerBudget::cost_performance),
+        ("Low Power", PowerBudget::low_power),
+    ];
+
+    let mut rng = SimRng::seed_from(seed);
+    let die = ctx.make_die(&mut rng);
+    let machine_template = ctx.make_machine(&die);
+
+    environments
+        .iter()
+        .map(|&(label, budget_of)| {
+            let y: Vec<f64> = THREAD_COUNTS
+                .iter()
+                .map(|&threads| {
+                    let mut machine = machine_template.clone();
+                    let workload = Workload::draw(&pool, threads, &mut rng);
+                    machine.load_threads(workload.spawn_threads(&mut rng));
+                    let mut mapping = vec![None; machine.core_count()];
+                    for t in 0..threads {
+                        mapping[t] = Some(t);
+                    }
+                    machine.assign(&mapping);
+                    machine.step(0.001); // populate sensors
+                    let view = PmView::from_machine(&machine);
+                    let budget = budget_of(threads);
+
+                    let mut times_us: Vec<f64> = (0..reps.max(1))
+                        .map(|_| {
+                            let start = Instant::now();
+                            let levels = linopt_levels(&view, &budget);
+                            let elapsed = start.elapsed().as_secs_f64() * 1e6;
+                            std::hint::black_box(levels);
+                            elapsed
+                        })
+                        .collect();
+                    times_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    times_us[times_us.len() / 2]
+                })
+                .collect();
+            Series::new(label, THREAD_COUNTS.iter().map(|&t| t as f64).collect(), y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_time_grows_with_threads() {
+        let scale = Scale::smoke();
+        let series = fig15(&scale, 10, 20);
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert_eq!(s.y.len(), THREAD_COUNTS.len());
+            // 20 threads should take longer than 1 thread.
+            assert!(
+                s.y[5] > s.y[0],
+                "{}: 20-thread solve {}us vs 1-thread {}us",
+                s.label,
+                s.y[5],
+                s.y[0]
+            );
+            // And stay in the microsecond regime the paper reports
+            // (well under a millisecond even un-optimized).
+            assert!(s.y[5] < 5_000.0, "{}: {}us", s.label, s.y[5]);
+        }
+    }
+}

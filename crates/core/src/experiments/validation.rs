@@ -1,0 +1,131 @@
+//! Optimizer validation (paper §6.5 and §7.5).
+//!
+//! * SAnn is tuned until its throughput is within 1% of exhaustive
+//!   search for configurations of up to 4 threads.
+//! * LinOpt's throughput lands within ~2% of SAnn's.
+
+use super::{Context, Scale};
+use crate::manager::{
+    exhaustive::exhaustive_levels, linopt::linopt_levels, sann::sann_levels, PmView,
+    PowerBudget,
+};
+use cmpsim::{app_pool, Workload};
+use vastats::SimRng;
+
+/// Result of one optimizer comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerComparison {
+    /// Threads in the configuration.
+    pub threads: usize,
+    /// Exhaustive-search throughput (MIPS); `None` when the space was
+    /// too large to search.
+    pub exhaustive_mips: Option<f64>,
+    /// SAnn throughput (MIPS).
+    pub sann_mips: f64,
+    /// LinOpt throughput (MIPS).
+    pub linopt_mips: f64,
+}
+
+impl OptimizerComparison {
+    /// SAnn's throughput as a fraction of exhaustive (1.0 = optimal).
+    pub fn sann_vs_exhaustive(&self) -> Option<f64> {
+        self.exhaustive_mips.map(|e| self.sann_mips / e)
+    }
+
+    /// LinOpt's throughput as a fraction of SAnn's.
+    pub fn linopt_vs_sann(&self) -> f64 {
+        self.linopt_mips / self.sann_mips
+    }
+}
+
+/// Compares the optimizers on freshly drawn machine states.
+///
+/// Exhaustive search runs only when `threads ≤ 4` (as in the paper,
+/// where larger spaces are impractical).
+pub fn sann_vs_exhaustive(
+    scale: &Scale,
+    seed: u64,
+    thread_counts: &[usize],
+) -> Vec<OptimizerComparison> {
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let mut out = Vec::new();
+
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        let mut rng = SimRng::seed_from(seed.wrapping_add(i as u64 * 7907));
+        let die = ctx.make_die(&mut rng);
+        let mut machine = ctx.make_machine(&die);
+        let workload = Workload::draw(&pool, threads, &mut rng);
+        machine.load_threads(workload.spawn_threads(&mut rng));
+        let mut mapping = vec![None; machine.core_count()];
+        for t in 0..threads {
+            mapping[t] = Some(t);
+        }
+        machine.assign(&mapping);
+        machine.step(0.001);
+
+        let view = PmView::from_machine(&machine);
+        let budget = PowerBudget::cost_performance(threads);
+
+        let exhaustive_mips = if threads <= 4 {
+            let levels = exhaustive_levels(&view, &budget);
+            Some(view.throughput_mips(&levels))
+        } else {
+            None
+        };
+        let sann = sann_levels(&view, &budget, scale.sann_evaluations, &mut rng);
+        let linopt = linopt_levels(&view, &budget);
+
+        out.push(OptimizerComparison {
+            threads,
+            exhaustive_mips,
+            sann_mips: view.throughput_mips(&sann),
+            linopt_mips: view.throughput_mips(&linopt),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sann_within_one_percent_of_exhaustive() {
+        let scale = Scale {
+            grid: 20,
+            sann_evaluations: 30_000,
+            ..Scale::smoke()
+        };
+        let results = sann_vs_exhaustive(&scale, 11, &[2, 4]);
+        for r in &results {
+            let ratio = r.sann_vs_exhaustive().expect("small configs searched");
+            assert!(
+                ratio > 0.99,
+                "{} threads: SAnn at {ratio} of exhaustive",
+                r.threads
+            );
+            assert!(ratio <= 1.0 + 1e-9, "SAnn cannot beat exhaustive");
+        }
+    }
+
+    #[test]
+    fn linopt_close_to_sann() {
+        let scale = Scale {
+            grid: 20,
+            sann_evaluations: 30_000,
+            ..Scale::smoke()
+        };
+        let results = sann_vs_exhaustive(&scale, 12, &[4, 8]);
+        for r in &results {
+            let ratio = r.linopt_vs_sann();
+            // Paper: LinOpt within 2% of SAnn. Allow a wider band at
+            // smoke scale, but the gap must stay single-digit percent.
+            assert!(
+                ratio > 0.90,
+                "{} threads: LinOpt at {ratio} of SAnn",
+                r.threads
+            );
+        }
+    }
+}

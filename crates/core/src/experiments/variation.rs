@@ -1,0 +1,317 @@
+//! Variation-effect experiments (paper §7.1–§7.2): Figures 4–6 and
+//! Table 5.
+
+use super::{par_trials, Context, Scale, Series};
+use cmpsim::{app_pool, AppSpec};
+use critpath::{FreqModel, TimingParams};
+use powermodel::{DynamicPower, LeakageParams, LeakagePower};
+use varius::VariationConfig;
+use vastats::{Histogram, SimRng, Summary};
+
+/// Temperature at which per-core power is evaluated for Figure 4(a)
+/// (a hot but not peak operating point), kelvin.
+const POWER_EVAL_TEMP_K: f64 = 358.15;
+
+/// Data behind Figure 4: per-die max/min core ratios for power (a) and
+/// frequency (b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Data {
+    /// One power ratio per die.
+    pub power_ratios: Vec<f64>,
+    /// One frequency ratio per die.
+    pub freq_ratios: Vec<f64>,
+}
+
+impl Fig4Data {
+    /// Histogram of the power ratios (Figure 4a's axes: 1.3–1.8).
+    pub fn power_histogram(&self, bins: usize) -> Histogram {
+        let mut h = Histogram::new(1.2, 1.9, bins);
+        h.extend_from(&self.power_ratios);
+        h
+    }
+
+    /// Histogram of the frequency ratios (Figure 4b's axes: 1.1–1.6).
+    pub fn freq_histogram(&self, bins: usize) -> Histogram {
+        let mut h = Histogram::new(1.1, 1.6, bins);
+        h.extend_from(&self.freq_ratios);
+        h
+    }
+
+    /// Mean power ratio across dies.
+    pub fn mean_power_ratio(&self) -> f64 {
+        Summary::of(&self.power_ratios).mean
+    }
+
+    /// Mean frequency ratio across dies.
+    pub fn mean_freq_ratio(&self) -> f64 {
+        Summary::of(&self.freq_ratios).mean
+    }
+}
+
+/// Computes one die's per-core average power (over all 14 applications)
+/// and rated frequency, returning the (max/min power, max/min
+/// frequency) ratios. Power follows §7.1: for each core, every
+/// application runs on it in turn and the average power (dynamic +
+/// static, with L1s) is recorded; frequency is rated at 95 °C.
+fn die_ratios(
+    ctx: &Context,
+    pool: &[AppSpec],
+    freq_model: &FreqModel,
+    leak: &LeakagePower,
+    dynamic: &DynamicPower,
+    rng: &mut SimRng,
+) -> (f64, f64) {
+    let die = ctx.make_die(rng);
+    let fp = ctx.floorplan();
+    let die_area = fp.die_area_mm2();
+
+    let mut powers = Vec::with_capacity(fp.core_count());
+    let mut freqs = Vec::with_capacity(fp.core_count());
+    for core in 0..fp.core_count() {
+        let cells = die.core_cells(fp, core);
+        let area = fp.core_rect(core).area() * die_area;
+        let f = freq_model.fmax_hz(&cells, 1.0);
+        let static_w = leak.block_static(&cells, area, 1.0, POWER_EVAL_TEMP_K);
+        // Power is compared across cores at common operating conditions
+        // (nominal frequency), isolating the die's inherent power
+        // variation from its frequency variation.
+        let f_eval = dynamic.f_ref_hz();
+        let avg_dyn: f64 = pool
+            .iter()
+            .map(|app| dynamic.power(app.activity(), 1.0, f_eval))
+            .sum::<f64>()
+            / pool.len() as f64;
+        powers.push(static_w + avg_dyn);
+        freqs.push(f);
+    }
+    (
+        Summary::of(&powers).max_min_ratio(),
+        Summary::of(&freqs).max_min_ratio(),
+    )
+}
+
+/// Figure 4: histograms of the ratio between the most and least
+/// power-consuming cores (a) and the fastest and slowest cores (b),
+/// over a batch of dies at the default σ/µ = 0.12.
+pub fn fig4(scale: &Scale, seed: u64) -> Fig4Data {
+    let ctx = Context::new(scale.grid);
+    fig4_at(&ctx, scale.dies, seed)
+}
+
+/// Figure 4 at an explicit context (used by the σ/µ sweep).
+pub fn fig4_at(ctx: &Context, dies: usize, seed: u64) -> Fig4Data {
+    let dynamic = DynamicPower::paper_default();
+    let pool = app_pool(&dynamic);
+    let freq_model = FreqModel::new(TimingParams::paper_default());
+    let leak = LeakagePower::new(LeakageParams::core_default());
+
+    // One independent RNG per die so dies can be generated in parallel.
+    let ratios = par_trials(dies, |die_idx| {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37).wrapping_add(die_idx as u64));
+        die_ratios(ctx, &pool, &freq_model, &leak, &dynamic, &mut rng)
+    });
+    Fig4Data {
+        power_ratios: ratios.iter().map(|&(p, _)| p).collect(),
+        freq_ratios: ratios.iter().map(|&(_, f)| f).collect(),
+    }
+}
+
+/// Figure 5: mean power ratio (a) and frequency ratio (b) as functions
+/// of Vth σ/µ ∈ {0.03, 0.06, 0.09, 0.12}.
+///
+/// Returns `(power_series, freq_series)`.
+pub fn fig5(scale: &Scale, seed: u64) -> (Series, Series) {
+    let sigmas = [0.03, 0.06, 0.09, 0.12];
+    let mut power = Vec::with_capacity(sigmas.len());
+    let mut freq = Vec::with_capacity(sigmas.len());
+    for (i, &s) in sigmas.iter().enumerate() {
+        let ctx = Context::with_variation(VariationConfig {
+            grid: scale.grid,
+            vth_sigma_over_mu: s,
+            ..VariationConfig::paper_default()
+        });
+        let data = fig4_at(&ctx, scale.dies, seed.wrapping_add(i as u64));
+        power.push(data.mean_power_ratio());
+        freq.push(data.mean_freq_ratio());
+    }
+    (
+        Series::new("power ratio", sigmas.to_vec(), power),
+        Series::new("frequency ratio", sigmas.to_vec(), freq),
+    )
+}
+
+/// Figure 6: core power vs frequency for the highest-frequency (MaxF)
+/// and lowest-frequency (MinF) cores of one sample die, running bzip2,
+/// as voltage sweeps 0.6–1 V. Both axes are normalized to MaxF at 1 V.
+///
+/// Returns `(maxf_series, minf_series)` with `x` = normalized frequency
+/// and `y` = normalized power.
+pub fn fig6(scale: &Scale, seed: u64) -> (Series, Series) {
+    let ctx = Context::new(scale.grid);
+    let mut rng = SimRng::seed_from(seed);
+    let die = ctx.make_die(&mut rng);
+    let fp = ctx.floorplan();
+
+    let freq_model = FreqModel::new(TimingParams::paper_default());
+    let leak = LeakagePower::new(LeakageParams::core_default());
+    let dynamic = DynamicPower::paper_default();
+    let pool = app_pool(&dynamic);
+    let bzip2 = pool
+        .iter()
+        .find(|a| a.name == "bzip2")
+        .expect("bzip2 is in the pool");
+
+    // Identify MaxF and MinF.
+    let rated: Vec<f64> = (0..fp.core_count())
+        .map(|c| freq_model.fmax_hz(&die.core_cells(fp, c), 1.0))
+        .collect();
+    let maxf = rated
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("cores exist")
+        .0;
+    let minf = rated
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("cores exist")
+        .0;
+
+    let die_area = fp.die_area_mm2();
+    let curve = |core: usize| -> (Vec<f64>, Vec<f64>) {
+        let cells = die.core_cells(fp, core);
+        let area = fp.core_rect(core).area() * die_area;
+        let voltages: Vec<f64> = (0..9).map(|i| 0.6 + 0.05 * i as f64).collect();
+        let mut fs = Vec::new();
+        let mut ps = Vec::new();
+        for &v in &voltages {
+            let f = freq_model.fmax_hz(&cells, v);
+            let p = dynamic.power(bzip2.activity(), v, f)
+                + leak.block_static(&cells, area, v, POWER_EVAL_TEMP_K);
+            fs.push(f);
+            ps.push(p);
+        }
+        (fs, ps)
+    };
+
+    let (f_max, p_max) = curve(maxf);
+    let (f_min, p_min) = curve(minf);
+    let f_ref = *f_max.last().expect("non-empty");
+    let p_ref = *p_max.last().expect("non-empty");
+
+    let norm = |fs: Vec<f64>, ps: Vec<f64>, label: &str| {
+        Series::new(
+            label,
+            fs.into_iter().map(|f| f / f_ref).collect(),
+            ps.into_iter().map(|p| p / p_ref).collect(),
+        )
+    };
+    (
+        norm(f_max, p_max, "MaxF core"),
+        norm(f_min, p_min, "MinF core"),
+    )
+}
+
+/// Table 5: per-application dynamic power (W at 4 GHz / 1 V) and IPC.
+///
+/// Returns `(name, dynamic_power_w, ipc)` rows in the paper's order.
+pub fn table5() -> Vec<(String, f64, f64)> {
+    let dynamic = DynamicPower::paper_default();
+    app_pool(&dynamic)
+        .into_iter()
+        .map(|a| {
+            let p = dynamic.power_at_ref(a.activity());
+            let ipc = a.ipc_at(4.0e9);
+            (a.name.to_string(), p, ipc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_ratios_in_paper_range() {
+        let data = fig4(&Scale::smoke(), 100);
+        assert_eq!(data.power_ratios.len(), 8);
+        // Paper: power ratios mostly 1.4-1.7 (avg ~1.53); frequency
+        // ratios mostly 1.2-1.5 (avg ~1.33). Allow generous bands for
+        // the smoke scale.
+        let p = data.mean_power_ratio();
+        let f = data.mean_freq_ratio();
+        assert!(p > 1.25 && p < 2.0, "mean power ratio {p}");
+        assert!(f > 1.1 && f < 1.7, "mean freq ratio {f}");
+    }
+
+    #[test]
+    fn fig5_ratios_grow_with_sigma() {
+        let (power, freq) = fig5(&Scale::smoke(), 200);
+        for s in [&power, &freq] {
+            for w in s.y.windows(2) {
+                assert!(
+                    w[1] > w[0] - 0.02,
+                    "{}: ratios should grow with sigma: {:?}",
+                    s.label,
+                    s.y
+                );
+            }
+            // sigma=0.12 spread well above sigma=0.03 spread.
+            assert!(s.y[3] > s.y[0] + 0.05, "{}: {:?}", s.label, s.y);
+        }
+    }
+
+    #[test]
+    fn fig6_maxf_dominates_at_top_and_curves_cross_nowhere_trivial() {
+        let (maxf, minf) = fig6(&Scale::smoke(), 300);
+        // MaxF's top point is the normalization anchor.
+        assert!((maxf.x.last().unwrap() - 1.0).abs() < 1e-9);
+        assert!((maxf.y.last().unwrap() - 1.0).abs() < 1e-9);
+        // MinF cannot reach MaxF's top frequency.
+        assert!(minf.x.last().unwrap() < &1.0);
+        // Both curves are monotonically increasing in both axes.
+        for s in [&maxf, &minf] {
+            for w in s.x.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for w in s.y.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn table5_matches_paper_exactly() {
+        let rows = table5();
+        assert_eq!(rows.len(), 14);
+        let expected = [
+            ("applu", 4.3, 1.1),
+            ("apsi", 1.6, 0.1),
+            ("art", 2.4, 0.2),
+            ("bzip2", 3.7, 1.1),
+            ("crafty", 3.9, 1.1),
+            ("equake", 2.1, 0.3),
+            ("gap", 3.5, 1.0),
+            ("gzip", 2.7, 0.7),
+            ("mcf", 1.5, 0.1),
+            ("mgrid", 2.2, 0.4),
+            ("parser", 2.8, 0.7),
+            ("swim", 2.2, 0.3),
+            ("twolf", 2.3, 0.4),
+            ("vortex", 4.4, 1.2),
+        ];
+        for ((name, p, ipc), (en, ep, ei)) in rows.iter().zip(expected) {
+            assert_eq!(name, en);
+            assert!((p - ep).abs() < 1e-9, "{name} power {p}");
+            assert!((ipc - ei).abs() < 1e-9, "{name} ipc {ipc}");
+        }
+    }
+
+    #[test]
+    fn histograms_cover_all_dies() {
+        let data = fig4(&Scale::smoke(), 400);
+        assert_eq!(data.power_histogram(10).total(), 8);
+        assert_eq!(data.freq_histogram(10).total(), 8);
+    }
+}

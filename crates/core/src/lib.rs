@@ -1,0 +1,82 @@
+//! Variation-aware application scheduling and power management for
+//! chip multiprocessors.
+//!
+//! This crate is the paper's contribution (Teodorescu & Torrellas,
+//! ISCA 2008): within-die process variation makes the cores of a CMP
+//! heterogeneous in leakage power and maximum frequency, and both the
+//! OS scheduler and the DVFS power manager should exploit that.
+//!
+//! * [`profile`] — the profiling support of Table 3: manufacturer data
+//!   (per-core static power per voltage, rated frequencies, (V, f)
+//!   tables) and run-time sensor profiles (per-thread dynamic power and
+//!   IPC measured on one random core).
+//! * [`sched`] — the scheduling algorithms of Table 1: `Random`,
+//!   `VarP`, `VarP&AppP` (minimize power), `VarF`, `VarF&AppIPC`
+//!   (maximize performance).
+//! * [`manager`] — the power-management algorithms of Table 1:
+//!   `Foxton*` (round-robin step-down), **`LinOpt`** (the paper's
+//!   linear-programming manager), `SAnn` (simulated annealing), and
+//!   exhaustive search.
+//! * [`runtime`] — the execution timeline of Figure 2: the OS revisits
+//!   the thread-to-core mapping every scheduling interval while the
+//!   power manager runs every DVFS interval (10 ms).
+//! * [`metrics`] — throughput (MIPS), weighted throughput, and the
+//!   `ED²` index used throughout the evaluation.
+//! * [`experiments`] — one function per figure/table of the paper's
+//!   evaluation (§7), each returning the data series the figure plots.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vasched::prelude::*;
+//!
+//! // Manufacture one die and build the machine around it.
+//! let cfg = VariationConfig { grid: 20, ..VariationConfig::paper_default() };
+//! let die = DieGenerator::new(cfg).unwrap().generate(&mut SimRng::seed_from(7));
+//! let fp = paper_20_core();
+//! let mut machine = Machine::new(&die, &fp, MachineConfig::paper_default());
+//!
+//! // Draw an 8-app workload and run it under VarF&AppIPC + LinOpt.
+//! let pool = app_pool(&machine.config().dynamic);
+//! let mut rng = SimRng::seed_from(1);
+//! let workload = Workload::draw(&pool, 8, &mut rng);
+//! let budget = PowerBudget::cost_performance(8);
+//! let outcome = run_trial(
+//!     &mut machine,
+//!     &workload,
+//!     SchedPolicy::VarFAppIpc,
+//!     ManagerKind::LinOpt,
+//!     budget,
+//!     &RuntimeConfig { os_interval_ms: 50.0, duration_ms: 100.0, ..RuntimeConfig::paper_default() },
+//!     &mut rng,
+//! );
+//! assert!(outcome.mips > 0.0);
+//! assert!(outcome.avg_power_w <= budget.chip_w * 1.15);
+//! ```
+
+#![forbid(unsafe_code)]
+// Index loops over core indices mirror the paper's formulations.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod abb;
+pub mod experiments;
+pub mod extensions;
+pub mod manager;
+pub mod metrics;
+pub mod profile;
+pub mod runtime;
+pub mod sched;
+
+/// Convenient re-exports for end-to-end use.
+pub mod prelude {
+    pub use crate::manager::{ManagerKind, PowerBudget};
+    pub use crate::metrics::{ed2_index, weighted_mips};
+    pub use crate::profile::{CoreProfile, ThreadProfile};
+    pub use crate::runtime::{run_trial, RuntimeConfig, TrialOutcome};
+    pub use crate::sched::SchedPolicy;
+    pub use cmpsim::{app_pool, Machine, MachineConfig, Thread, Workload};
+    pub use floorplan::paper_20_core;
+    pub use varius::{DieGenerator, VariationConfig};
+    pub use vastats::SimRng;
+}

@@ -1,0 +1,192 @@
+//! Coarser-than-core DVFS granularities.
+//!
+//! The paper's Table 2 includes a `UniFreq+DVFS` configuration (one
+//! voltage/frequency pair for the whole chip — Li & Martinez-style
+//! global DVFS) which it sets aside as subsumed by the others; and its
+//! related work cites Herbert & Marculescu's study of *DVFS
+//! granularity* (how many cores share a voltage domain). This module
+//! provides both:
+//!
+//! * [`chip_wide_levels`] — a single level for every active core;
+//! * [`domain_linopt_levels`] — LinOpt over voltage *domains* of `D`
+//!   cores each (per-core DVFS is `D = 1`; chip-wide is `D = n`).
+
+use crate::manager::linopt::linopt_levels;
+use crate::manager::{CoreView, PmView, PowerBudget};
+
+/// Picks the highest common level feasible for all active cores
+/// (chip-wide DVFS). Falls back to level 0 when nothing is feasible.
+///
+/// # Panics
+///
+/// Panics if the view is empty or cores have differing table lengths
+/// (the machine builds uniform ladders, so this indicates misuse).
+pub fn chip_wide_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
+    assert!(!view.is_empty(), "no active cores to manage");
+    let levels = view.cores()[0].level_count();
+    assert!(
+        view.cores().iter().all(|c| c.level_count() == levels),
+        "chip-wide DVFS requires a uniform voltage ladder"
+    );
+    for l in (0..levels).rev() {
+        let point = vec![l; view.len()];
+        if view.feasible(&point, budget) {
+            return point;
+        }
+    }
+    view.min_levels()
+}
+
+/// LinOpt over voltage domains of `cores_per_domain` cores: cores are
+/// grouped in view order, each domain shares one (V, f) level, and the
+/// LP optimizes one variable per domain.
+///
+/// `cores_per_domain = 1` degenerates to per-core LinOpt;
+/// `cores_per_domain >= view.len()` approximates chip-wide DVFS (but
+/// optimized by the LP rather than by scanning).
+///
+/// # Panics
+///
+/// Panics if the view is empty, `cores_per_domain` is zero, or table
+/// lengths differ.
+pub fn domain_linopt_levels(
+    view: &PmView,
+    budget: &PowerBudget,
+    cores_per_domain: usize,
+) -> Vec<usize> {
+    assert!(!view.is_empty(), "no active cores to manage");
+    assert!(cores_per_domain > 0, "domains need at least one core");
+    if cores_per_domain == 1 {
+        return linopt_levels(view, budget);
+    }
+    let levels = view.cores()[0].level_count();
+    assert!(
+        view.cores().iter().all(|c| c.level_count() == levels),
+        "domain DVFS requires a uniform voltage ladder"
+    );
+
+    // Aggregate each domain into one synthetic core: unit IPC with
+    // frequency encoding the domain's total throughput, and summed power.
+    let mut domains: Vec<CoreView> = Vec::new();
+    let mut membership: Vec<usize> = Vec::with_capacity(view.len());
+    for (i, chunk) in view.cores().chunks(cores_per_domain).enumerate() {
+        for _ in chunk {
+            membership.push(i);
+        }
+        let voltages = chunk[0].voltages.clone();
+        let freqs: Vec<f64> = (0..levels)
+            .map(|l| chunk.iter().map(|c| c.mips_at(l)).sum::<f64>() * 1e6)
+            .collect();
+        let power_w: Vec<f64> = (0..levels)
+            .map(|l| chunk.iter().map(|c| c.power_w[l]).sum())
+            .collect();
+        domains.push(CoreView {
+            core: i,
+            ipc: 1.0,
+            voltages,
+            freqs,
+            power_w,
+        });
+    }
+    let domain_view =
+        PmView::from_cores(domains).with_uncore_power(view.uncore_power());
+    // Domains can exceed a single core's cap; the per-core cap is
+    // enforced per *domain* here (scaled by its size), then re-checked
+    // per core below.
+    let domain_budget = PowerBudget {
+        chip_w: budget.chip_w,
+        per_core_w: budget.per_core_w * cores_per_domain as f64,
+    };
+    let domain_levels = linopt_levels(&domain_view, &domain_budget);
+
+    // Broadcast to members and repair any individual cap violation.
+    let mut out: Vec<usize> = membership.iter().map(|&d| domain_levels[d]).collect();
+    for (i, core) in view.cores().iter().enumerate() {
+        while core.power_w[out[i]] > budget.per_core_w && out[i] > 0 {
+            out[i] -= 1;
+        }
+    }
+    crate::manager::view::repair_to_budget(view, budget, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::view::synthetic_core;
+
+    fn view(n: usize) -> PmView {
+        PmView::from_cores(
+            (0..n)
+                .map(|i| synthetic_core(i, 0.1 + 0.3 * (i % 4) as f64, 9, 1.0))
+                .collect(),
+        )
+    }
+
+    fn mid_budget(v: &PmView) -> PowerBudget {
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        PowerBudget {
+            chip_w: (min_p + max_p) / 2.0,
+            per_core_w: 100.0,
+        }
+    }
+
+    #[test]
+    fn chip_wide_uses_one_level() {
+        let v = view(8);
+        let budget = mid_budget(&v);
+        let levels = chip_wide_levels(&v, &budget);
+        assert!(levels.windows(2).all(|w| w[0] == w[1]));
+        assert!(v.feasible(&levels, &budget));
+    }
+
+    #[test]
+    fn chip_wide_saturates_generous_budget() {
+        let v = view(4);
+        let budget = PowerBudget {
+            chip_w: 1e9,
+            per_core_w: 1e9,
+        };
+        assert_eq!(chip_wide_levels(&v, &budget), v.max_levels());
+    }
+
+    #[test]
+    fn finer_domains_never_lose_throughput() {
+        let v = view(8);
+        let budget = mid_budget(&v);
+        let per_core = domain_linopt_levels(&v, &budget, 1);
+        let pairs = domain_linopt_levels(&v, &budget, 2);
+        let quads = domain_linopt_levels(&v, &budget, 4);
+        let chip = chip_wide_levels(&v, &budget);
+        let tp = |l: &Vec<usize>| v.throughput_mips(l);
+        // Granularity ordering (allow small slack for discretization).
+        assert!(tp(&per_core) >= tp(&pairs) * 0.98, "1 vs 2");
+        assert!(tp(&pairs) >= tp(&quads) * 0.98, "2 vs 4");
+        assert!(tp(&per_core) >= tp(&chip), "per-core vs chip-wide");
+    }
+
+    #[test]
+    fn domains_share_levels() {
+        let v = view(8);
+        let budget = mid_budget(&v);
+        let levels = domain_linopt_levels(&v, &budget, 4);
+        // Each 4-core chunk shares one level unless the per-core cap or
+        // the budget repair forced a member down.
+        assert!(v.feasible(&levels, &budget));
+        assert_eq!(levels.len(), 8);
+    }
+
+    #[test]
+    fn domain_respects_budget() {
+        let v = view(9); // uneven chunking: 4+4+1
+        let budget = mid_budget(&v);
+        for d in [2usize, 3, 4, 9, 16] {
+            let levels = domain_linopt_levels(&v, &budget, d);
+            assert!(
+                v.total_power(&levels) <= budget.chip_w + 1e-9,
+                "domain size {d}"
+            );
+        }
+    }
+}

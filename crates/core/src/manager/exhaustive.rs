@@ -1,0 +1,140 @@
+//! Exhaustive search over the (V, f) level space.
+//!
+//! "Previous solutions that have looked at global optimization of DVFS
+//! on CMPs have used an exhaustive search through the solution space.
+//! This is feasible only for very small systems and does not scale."
+//! (§4.3) The paper uses it to validate SAnn on configurations of up to
+//! 4 threads (§6.5); this module serves the same role.
+
+use crate::manager::{PmView, PowerBudget};
+
+/// Hard cap on the number of points exhaustive search will visit.
+pub const MAX_POINTS: u128 = 50_000_000;
+
+/// Finds the throughput-optimal feasible level assignment by visiting
+/// every point of the level space.
+///
+/// Falls back to all-minimum levels when no point is feasible.
+///
+/// # Panics
+///
+/// Panics if the view is empty or the search space exceeds
+/// [`MAX_POINTS`] (use SAnn or LinOpt instead).
+pub fn exhaustive_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
+    assert!(!view.is_empty(), "no active cores to manage");
+    let counts: Vec<usize> = view.cores().iter().map(|c| c.level_count()).collect();
+    let space: u128 = counts.iter().map(|&c| c as u128).product();
+    assert!(
+        space <= MAX_POINTS,
+        "search space of {space} points is too large for exhaustive search"
+    );
+
+    let n = counts.len();
+    let mut point = vec![0usize; n];
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    loop {
+        if view.feasible(&point, budget) {
+            let tp = view.throughput_mips(&point);
+            if best.as_ref().is_none_or(|(_, b)| tp > *b) {
+                best = Some((point.clone(), tp));
+            }
+        }
+        // Odometer increment.
+        let mut dim = 0;
+        loop {
+            if dim == n {
+                return best.map(|(p, _)| p).unwrap_or_else(|| view.min_levels());
+            }
+            point[dim] += 1;
+            if point[dim] < counts[dim] {
+                break;
+            }
+            point[dim] = 0;
+            dim += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::view::synthetic_core;
+
+    fn view(n: usize, levels: usize) -> PmView {
+        PmView::from_cores(
+            (0..n)
+                .map(|i| synthetic_core(i, 0.3 + 0.4 * i as f64, levels, 1.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn finds_max_levels_under_generous_budget() {
+        let v = view(3, 5);
+        let budget = PowerBudget {
+            chip_w: 1000.0,
+            per_core_w: 100.0,
+        };
+        assert_eq!(exhaustive_levels(&v, &budget), v.max_levels());
+    }
+
+    #[test]
+    fn result_is_feasible_and_dominates_greedy() {
+        let v = view(4, 6);
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        let budget = PowerBudget {
+            chip_w: (min_p + max_p) / 2.0,
+            per_core_w: 100.0,
+        };
+        let best = exhaustive_levels(&v, &budget);
+        assert!(v.feasible(&best, &budget));
+        let greedy = crate::manager::sann::greedy_levels(&v, &budget);
+        assert!(v.throughput_mips(&best) >= v.throughput_mips(&greedy) - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_space_returns_minimum() {
+        let v = view(2, 4);
+        let budget = PowerBudget {
+            chip_w: 0.0001,
+            per_core_w: 100.0,
+        };
+        assert_eq!(exhaustive_levels(&v, &budget), v.min_levels());
+    }
+
+    #[test]
+    fn exhaustive_beats_or_ties_every_feasible_corner() {
+        let v = view(3, 4);
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        let budget = PowerBudget {
+            chip_w: min_p + 0.6 * (max_p - min_p),
+            per_core_w: 100.0,
+        };
+        let best = exhaustive_levels(&v, &budget);
+        let best_tp = v.throughput_mips(&best);
+        // Spot-check dominance against a sample of feasible points.
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    let p = vec![a, b, c];
+                    if v.feasible(&p, &budget) {
+                        assert!(v.throughput_mips(&p) <= best_tp + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_space_rejected() {
+        let v = view(20, 9); // 9^20 points
+        let budget = PowerBudget {
+            chip_w: 100.0,
+            per_core_w: 10.0,
+        };
+        exhaustive_levels(&v, &budget);
+    }
+}

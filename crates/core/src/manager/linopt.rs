@@ -1,0 +1,427 @@
+//! LinOpt — power management by linear programming (paper §4.3.1).
+//!
+//! Every DVFS interval, LinOpt solves
+//!
+//! ```text
+//! maximize    Σᵢ aᵢ·vᵢ                    (throughput, tpᵢ = ipcᵢ·fᵢ(vᵢ) ≈ aᵢvᵢ)
+//! subject to  Σᵢ bᵢ·vᵢ + c ≤ Ptarget     (chip power, linearized)
+//!             bᵢ·vᵢ + cᵢ ≤ Pcoremax ∀i   (per-core power)
+//!             Vlow ≤ vᵢ ≤ Vhigh
+//! ```
+//!
+//! with the Simplex method. The constants come from profile data:
+//! `fᵢ(v)` is fitted linearly from the manufacturer (V, f) table, and
+//! `pᵢ(v) = bᵢv + cᵢ` is fitted to power-sensor readings at three
+//! voltages (`Vlow`, `Vmid`, `Vhigh`) exactly as in the paper's
+//! Figure 1. The LP's continuous voltages are then rounded *down* to
+//! table levels so the measured power cannot exceed the linear
+//! estimate's intent.
+
+use crate::manager::{PmView, PowerBudget};
+use linprog::Problem;
+use vastats::LineFit;
+
+/// Number of power measurement points used for the linear fit (the
+/// paper measures at 1, 0.8 and 0.6 V).
+pub const FIT_POINTS: usize = 3;
+
+/// Per-core constants of the linear program (exposed for the ablation
+/// benches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinOptCoefficients {
+    /// Throughput coefficient `aᵢ` (MIPS per volt).
+    pub a: f64,
+    /// Power slope `bᵢ` (watts per volt).
+    pub b: f64,
+    /// Power intercept `cᵢ` (watts).
+    pub c: f64,
+}
+
+/// Fits the LinOpt constants for one core from its sensor view, using
+/// `points` power measurements spread over the voltage range (the paper
+/// uses 3; 2 is the degraded variant mentioned in §5.2).
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the core has fewer than two levels.
+pub fn fit_core(core: &crate::manager::CoreView, points: usize) -> LinOptCoefficients {
+    assert!(points >= 2, "need at least two fit points");
+    let levels = core.level_count();
+    assert!(levels >= 2, "core needs at least two levels");
+
+    // Frequency is approximately linear in voltage; fit over the whole
+    // manufacturer table.
+    let f_points: Vec<(f64, f64)> = core
+        .voltages
+        .iter()
+        .zip(&core.freqs)
+        .map(|(&v, &f)| (v, f / 1e6))
+        .collect();
+    let f_fit = LineFit::fit(&f_points).expect("table voltages are distinct");
+    let a = core.ipc * f_fit.slope.max(0.0);
+
+    // Power measured at `points` levels spread across the range.
+    let mut p_points = Vec::with_capacity(points);
+    for k in 0..points {
+        let level = (k * (levels - 1)) / (points - 1);
+        p_points.push((core.voltages[level], core.power_w[level]));
+    }
+    let p_fit = LineFit::fit(&p_points).expect("fit voltages are distinct");
+
+    LinOptCoefficients {
+        a,
+        b: p_fit.slope.max(1e-9),
+        c: p_fit.intercept,
+    }
+}
+
+/// Computes LinOpt's level assignment for the active cores.
+///
+/// Falls back to all-minimum levels when even the minimum voltages
+/// exceed the chip budget (the LP is then infeasible).
+///
+/// # Panics
+///
+/// Panics if the view is empty.
+///
+/// # Example
+///
+/// ```
+/// use vasched::manager::{linopt::linopt_levels, synthetic_core, PmView, PowerBudget};
+///
+/// let view = PmView::from_cores(vec![
+///     synthetic_core(0, 1.2, 9, 1.0), // high-IPC thread
+///     synthetic_core(1, 0.1, 9, 1.0), // memory-bound thread
+/// ]);
+/// let mid = (view.total_power(&view.min_levels())
+///     + view.total_power(&view.max_levels())) / 2.0;
+/// let budget = PowerBudget { chip_w: mid, per_core_w: 100.0 };
+/// let levels = linopt_levels(&view, &budget);
+/// // The budget holds and the high-IPC core gets the higher level.
+/// assert!(view.total_power(&levels) <= budget.chip_w);
+/// assert!(levels[0] >= levels[1]);
+/// ```
+pub fn linopt_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
+    linopt_levels_with(view, budget, FIT_POINTS, RoundingPolicy::Down)
+}
+
+/// How the LP's continuous voltage is mapped to a discrete table level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundingPolicy {
+    /// Highest level with voltage ≤ the LP optimum (never overshoots
+    /// the linearized budget).
+    Down,
+    /// Nearest level (may overshoot; measured by the ablation bench).
+    Nearest,
+}
+
+/// Assembles LinOpt's linear program: variables are the shifted
+/// voltages `x_i = v_i − Vlow_i`, constraint 0 is the chip power budget
+/// (net of uncore power), and constraint `1 + i` is core i's combined
+/// upper bound (voltage ceiling tightened by `Pcoremax`).
+///
+/// Returns `None` when even the all-minimum floor exceeds the budget.
+fn assemble_lp(
+    view: &PmView,
+    budget: &PowerBudget,
+    fit_points: usize,
+) -> Option<(Problem, Vec<f64>)> {
+    let n = view.len();
+    let coefs: Vec<LinOptCoefficients> = view
+        .cores()
+        .iter()
+        .map(|c| fit_core(c, fit_points))
+        .collect();
+
+    let v_low: Vec<f64> = view.cores().iter().map(|c| c.voltages[0]).collect();
+    let v_high: Vec<f64> = view
+        .cores()
+        .iter()
+        .map(|c| *c.voltages.last().expect("non-empty table"))
+        .collect();
+
+    // Chip constraint: sum b_i x_i <= Ptarget - uncore - sum(b_i Vlow_i + c_i).
+    let base_power: f64 = coefs
+        .iter()
+        .zip(&v_low)
+        .map(|(k, &vl)| k.b * vl + k.c)
+        .sum();
+    let chip_rhs = budget.chip_w - view.uncore_power() - base_power;
+    if chip_rhs < 0.0 {
+        return None;
+    }
+
+    let objective: Vec<f64> = coefs.iter().map(|k| k.a).collect();
+    let mut lp = Problem::maximize(objective);
+    lp = lp.constraint_le(coefs.iter().map(|k| k.b).collect(), chip_rhs);
+    for i in 0..n {
+        // Upper bound: x_i <= Vhigh - Vlow, tightened by Pcoremax.
+        let mut row = vec![0.0; n];
+        row[i] = 1.0;
+        let mut ub = v_high[i] - v_low[i];
+        let core_rhs = budget.per_core_w - (coefs[i].b * v_low[i] + coefs[i].c);
+        if core_rhs < 0.0 {
+            ub = 0.0;
+        } else {
+            ub = ub.min(core_rhs / coefs[i].b);
+        }
+        lp = lp.constraint_le(row, ub);
+    }
+    Some((lp, v_low))
+}
+
+/// The marginal throughput value of one more watt of chip budget —
+/// the LP dual (shadow price) of the `Ptarget` constraint, in MIPS/W.
+///
+/// Returns `None` when the budget is unreachable (LP infeasible) and
+/// `Some(0.0)` when the budget is not binding (every core already at
+/// its ceiling).
+///
+/// # Panics
+///
+/// Panics if the view is empty.
+pub fn chip_power_shadow_price(view: &PmView, budget: &PowerBudget) -> Option<f64> {
+    assert!(!view.is_empty(), "no active cores to manage");
+    let (lp, _) = assemble_lp(view, budget, FIT_POINTS)?;
+    lp.solve().ok().map(|s| s.dual[0])
+}
+
+/// LinOpt with explicit fit-point count and rounding policy — the knobs
+/// the ablation experiments turn.
+///
+/// # Panics
+///
+/// Panics if the view is empty or `fit_points < 2`.
+pub fn linopt_levels_with(
+    view: &PmView,
+    budget: &PowerBudget,
+    fit_points: usize,
+    rounding: RoundingPolicy,
+) -> Vec<usize> {
+    assert!(!view.is_empty(), "no active cores to manage");
+    let n = view.len();
+    let Some((lp, v_low)) = assemble_lp(view, budget, fit_points) else {
+        // Even the floor violates the target: pin everything to minimum.
+        return view.min_levels();
+    };
+
+    let Ok(solution) = lp.solve() else {
+        return view.min_levels();
+    };
+
+    // Discretize the continuous voltages to table levels.
+    let mut levels = Vec::with_capacity(n);
+    for (i, core) in view.cores().iter().enumerate() {
+        let v_star = v_low[i] + solution.x[i];
+        let level = match rounding {
+            RoundingPolicy::Down => core
+                .voltages
+                .iter()
+                .rposition(|&v| v <= v_star + 1e-9)
+                .unwrap_or(0),
+            RoundingPolicy::Nearest => {
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (l, &v) in core.voltages.iter().enumerate() {
+                    let d = (v - v_star).abs();
+                    if d < best_d {
+                        best_d = d;
+                        best = l;
+                    }
+                }
+                best
+            }
+        };
+        levels.push(level);
+    }
+    // The linear fit underestimates the convex power curve near Vhigh,
+    // so the LP can overshoot; the monitoring loop repairs against
+    // measured powers (§5.2). Rounding down then leaves slack below
+    // Ptarget, which the fill pass converts back into throughput.
+    crate::manager::view::repair_to_budget(view, budget, &mut levels);
+    crate::manager::view::greedy_fill(view, budget, &mut levels);
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::view::synthetic_core;
+
+    fn view(n: usize) -> PmView {
+        PmView::from_cores(
+            (0..n)
+                .map(|i| synthetic_core(i, 0.3 + 0.2 * i as f64, 9, 1.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn generous_budget_reaches_max_levels() {
+        let v = view(4);
+        let budget = PowerBudget {
+            chip_w: 1000.0,
+            per_core_w: 100.0,
+        };
+        let levels = linopt_levels(&v, &budget);
+        assert_eq!(levels, v.max_levels());
+    }
+
+    #[test]
+    fn impossible_budget_pins_minimum() {
+        let v = view(4);
+        let budget = PowerBudget {
+            chip_w: 0.001,
+            per_core_w: 100.0,
+        };
+        assert_eq!(linopt_levels(&v, &budget), v.min_levels());
+    }
+
+    #[test]
+    fn respects_chip_budget_approximately() {
+        // The linear fit of a convex power curve over-estimates interior
+        // points, and rounding-down only lowers power further, so the
+        // measured power should come in at or under the target (with
+        // a small tolerance for fit error).
+        let v = view(6);
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        for frac in [0.3, 0.5, 0.7, 0.9] {
+            let budget = PowerBudget {
+                chip_w: min_p + frac * (max_p - min_p),
+                per_core_w: 100.0,
+            };
+            let levels = linopt_levels(&v, &budget);
+            let p = v.total_power(&levels);
+            assert!(
+                p <= budget.chip_w + 1e-9,
+                "frac {frac}: power {p} vs target {}",
+                budget.chip_w
+            );
+        }
+    }
+
+    #[test]
+    fn prefers_high_throughput_cores() {
+        // Two identical cores except for IPC; with a budget allowing only
+        // one at a high level, the high-IPC core should win.
+        let v = PmView::from_cores(vec![
+            synthetic_core(0, 2.0, 9, 1.0),
+            synthetic_core(1, 0.2, 9, 1.0),
+        ]);
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        let budget = PowerBudget {
+            chip_w: (min_p + max_p) / 2.0,
+            per_core_w: 100.0,
+        };
+        let levels = linopt_levels(&v, &budget);
+        assert!(
+            levels[0] > levels[1],
+            "high-IPC core should get the higher level: {levels:?}"
+        );
+    }
+
+    #[test]
+    fn beats_foxton_star_on_throughput() {
+        // The headline claim, in miniature: same budget, LinOpt should
+        // deliver at least Foxton*'s throughput (typically more, because
+        // Foxton* lowers all cores uniformly).
+        let v = PmView::from_cores(vec![
+            synthetic_core(0, 1.8, 9, 1.0),
+            synthetic_core(1, 1.0, 9, 1.0),
+            synthetic_core(2, 0.3, 9, 1.0),
+            synthetic_core(3, 0.1, 9, 1.0),
+        ]);
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        let budget = PowerBudget {
+            chip_w: min_p + 0.5 * (max_p - min_p),
+            per_core_w: 100.0,
+        };
+        let lin = linopt_levels(&v, &budget);
+        let fox = crate::manager::foxton::foxton_star_levels(&v, &budget);
+        assert!(v.feasible(&lin, &budget) || v.total_power(&lin) <= budget.chip_w * 1.02);
+        assert!(
+            v.throughput_mips(&lin) >= v.throughput_mips(&fox),
+            "LinOpt {} vs Foxton* {}",
+            v.throughput_mips(&lin),
+            v.throughput_mips(&fox)
+        );
+    }
+
+    #[test]
+    fn per_core_cap_respected() {
+        let v = view(3);
+        let max = v.max_levels();
+        let biggest = v
+            .cores()
+            .iter()
+            .zip(&max)
+            .map(|(c, &l)| c.power_w[l])
+            .fold(0.0f64, f64::max);
+        let budget = PowerBudget {
+            chip_w: 1000.0,
+            per_core_w: biggest * 0.6,
+        };
+        let levels = linopt_levels(&v, &budget);
+        for (c, &l) in v.cores().iter().zip(&levels) {
+            assert!(
+                c.power_w[l] <= budget.per_core_w * 1.05,
+                "core power {} vs cap {}",
+                c.power_w[l],
+                budget.per_core_w
+            );
+        }
+    }
+
+    #[test]
+    fn two_point_fit_still_works() {
+        let v = view(4);
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        let budget = PowerBudget {
+            chip_w: (min_p + max_p) / 2.0,
+            per_core_w: 100.0,
+        };
+        let levels = linopt_levels_with(&v, &budget, 2, RoundingPolicy::Down);
+        assert!(v.total_power(&levels) <= budget.chip_w * 1.05);
+    }
+
+    #[test]
+    fn shadow_price_positive_when_binding_zero_when_slack() {
+        let v = view(4);
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        let tight = PowerBudget {
+            chip_w: (min_p + max_p) / 2.0,
+            per_core_w: 100.0,
+        };
+        let loose = PowerBudget {
+            chip_w: max_p * 2.0,
+            per_core_w: 100.0,
+        };
+        let p_tight = chip_power_shadow_price(&v, &tight).unwrap();
+        let p_loose = chip_power_shadow_price(&v, &loose).unwrap();
+        assert!(p_tight > 0.0, "binding budget must have positive price");
+        assert!(p_loose.abs() < 1e-9, "slack budget has zero price");
+    }
+
+    #[test]
+    fn shadow_price_none_when_infeasible() {
+        let v = view(3);
+        let budget = PowerBudget {
+            chip_w: 0.001,
+            per_core_w: 100.0,
+        };
+        assert!(chip_power_shadow_price(&v, &budget).is_none());
+    }
+
+    #[test]
+    fn coefficients_have_expected_signs() {
+        let core = synthetic_core(0, 1.0, 9, 1.0);
+        let k = fit_core(&core, 3);
+        assert!(k.a > 0.0, "throughput coefficient should be positive");
+        assert!(k.b > 0.0, "power slope should be positive");
+    }
+}

@@ -1,0 +1,205 @@
+//! Power-management algorithms (paper §4.3, Table 1).
+//!
+//! All managers solve the same problem: given the current
+//! thread-to-core mapping, pick a (V, f) level for every *active* core
+//! that maximizes throughput subject to a chip power budget `Ptarget`
+//! and a per-core cap `Pcoremax`. They differ in how they search:
+//!
+//! * [`foxton`] — **Foxton\***: round-robin single-step reductions from
+//!   the maximum levels until the budget holds (the paper's baseline, a
+//!   small extension of the Itanium II's Foxton controller).
+//! * [`linopt`] — **LinOpt**: the paper's contribution; linearizes
+//!   throughput and power in voltage and solves a linear program with
+//!   the Simplex method every DVFS interval.
+//! * [`sann`] — **SAnn**: simulated annealing with exact per-level
+//!   power; near-optimal but orders of magnitude slower.
+//! * [`exhaustive`] — brute-force search, feasible only for tiny
+//!   configurations; used to validate SAnn as in §6.5.
+//!
+//! All of them consume only the sensor snapshot in [`PmView`], never
+//! the simulator's internals.
+
+pub mod chipwide;
+pub mod exhaustive;
+pub mod foxton;
+pub mod linopt;
+pub mod sann;
+mod view;
+
+pub use view::{greedy_fill, repair_to_budget, synthetic_core, CoreView, PmView};
+
+use cmpsim::Machine;
+use vastats::SimRng;
+
+/// Chip and per-core power constraints (paper §4.3: `Ptarget` and
+/// `Pcoremax`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBudget {
+    /// Chip-wide power target (watts).
+    pub chip_w: f64,
+    /// Per-core power cap (watts).
+    pub per_core_w: f64,
+}
+
+impl PowerBudget {
+    /// Default per-core cap used throughout the evaluation. Chosen
+    /// above the hottest single-core draw at maximum voltage so that
+    /// the *chip* budget — not the per-core cap — is the binding
+    /// constraint, as in the paper's experiments (the cap exists to
+    /// protect the per-core power grid, not to ration throughput).
+    pub const DEFAULT_PER_CORE_W: f64 = 12.0;
+
+    /// The *Low Power* environment: 50 W at 20 threads, scaled
+    /// proportionally for fewer threads (§7.5).
+    pub fn low_power(threads: usize) -> Self {
+        Self::scaled(50.0, threads)
+    }
+
+    /// The *Cost-Performance* environment: 75 W at 20 threads.
+    pub fn cost_performance(threads: usize) -> Self {
+        Self::scaled(75.0, threads)
+    }
+
+    /// The *High Performance* environment: 100 W at 20 threads.
+    pub fn high_performance(threads: usize) -> Self {
+        Self::scaled(100.0, threads)
+    }
+
+    /// A budget of `base_w` at 20 threads scaled proportionally to
+    /// `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn scaled(base_w: f64, threads: usize) -> Self {
+        assert!(threads > 0, "budget needs at least one thread");
+        Self {
+            chip_w: base_w * threads as f64 / 20.0,
+            per_core_w: Self::DEFAULT_PER_CORE_W,
+        }
+    }
+}
+
+/// Which power manager to run (Table 1's lower section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManagerKind {
+    /// No power management: every core stays at its maximum level.
+    None,
+    /// The Foxton* round-robin baseline.
+    FoxtonStar,
+    /// The paper's linear-programming manager.
+    LinOpt,
+    /// Simulated annealing with the given evaluation budget.
+    SAnn {
+        /// Cost-function evaluations per invocation.
+        evaluations: usize,
+    },
+    /// Exhaustive search (tiny configurations only).
+    Exhaustive,
+    /// One (V, f) level for the whole chip (Li & Martinez-style global
+    /// DVFS; Table 2's `UniFreq+DVFS` quadrant).
+    ChipWide,
+    /// LinOpt over voltage domains of the given size (Herbert &
+    /// Marculescu's granularity study; 1 = per-core).
+    DomainLinOpt {
+        /// Cores per voltage domain.
+        cores_per_domain: usize,
+    },
+}
+
+impl ManagerKind {
+    /// A SAnn configuration sized for on-line experiment runs (the
+    /// paper-faithful 1M-evaluation budget is [`ManagerKind::sann_paper`]).
+    pub fn sann_fast() -> Self {
+        ManagerKind::SAnn {
+            evaluations: 20_000,
+        }
+    }
+
+    /// SAnn with the paper's 1-million-evaluation budget.
+    pub fn sann_paper() -> Self {
+        ManagerKind::SAnn {
+            evaluations: 1_000_000,
+        }
+    }
+
+    /// Name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ManagerKind::None => "None",
+            ManagerKind::FoxtonStar => "Foxton*",
+            ManagerKind::LinOpt => "LinOpt",
+            ManagerKind::SAnn { .. } => "SAnn",
+            ManagerKind::Exhaustive => "Exhaustive",
+            ManagerKind::ChipWide => "ChipWide",
+            ManagerKind::DomainLinOpt { .. } => "DomainLinOpt",
+        }
+    }
+}
+
+/// Runs one invocation of the chosen manager: reads the sensors, picks
+/// levels for the active cores, and applies them to the machine.
+///
+/// Returns the chosen per-active-core levels (in [`PmView`] core order),
+/// or `None` when no cores are active or the manager is
+/// [`ManagerKind::None`].
+pub fn apply_manager(
+    kind: ManagerKind,
+    machine: &mut Machine,
+    budget: &PowerBudget,
+    rng: &mut SimRng,
+) -> Option<Vec<usize>> {
+    if matches!(kind, ManagerKind::None) {
+        machine.set_all_levels_max();
+        return None;
+    }
+    let view = PmView::from_machine(machine);
+    if view.is_empty() {
+        return None;
+    }
+    let levels = match kind {
+        ManagerKind::None => unreachable!("handled above"),
+        ManagerKind::FoxtonStar => foxton::foxton_star_levels(&view, budget),
+        ManagerKind::LinOpt => linopt::linopt_levels(&view, budget),
+        ManagerKind::SAnn { evaluations } => {
+            sann::sann_levels(&view, budget, evaluations, rng)
+        }
+        ManagerKind::Exhaustive => exhaustive::exhaustive_levels(&view, budget),
+        ManagerKind::ChipWide => chipwide::chip_wide_levels(&view, budget),
+        ManagerKind::DomainLinOpt { cores_per_domain } => {
+            chipwide::domain_linopt_levels(&view, budget, cores_per_domain)
+        }
+    };
+    view.apply(machine, &levels);
+    Some(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_with_threads() {
+        let full = PowerBudget::cost_performance(20);
+        let half = PowerBudget::cost_performance(10);
+        assert!((full.chip_w - 75.0).abs() < 1e-12);
+        assert!((half.chip_w - 37.5).abs() < 1e-12);
+        assert_eq!(full.per_core_w, half.per_core_w);
+    }
+
+    #[test]
+    fn environments_ordered() {
+        let n = 20;
+        assert!(PowerBudget::low_power(n).chip_w < PowerBudget::cost_performance(n).chip_w);
+        assert!(
+            PowerBudget::cost_performance(n).chip_w < PowerBudget::high_performance(n).chip_w
+        );
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ManagerKind::FoxtonStar.name(), "Foxton*");
+        assert_eq!(ManagerKind::LinOpt.name(), "LinOpt");
+        assert_eq!(ManagerKind::sann_fast().name(), "SAnn");
+    }
+}

@@ -1,0 +1,186 @@
+//! SAnn — power management by simulated annealing (paper §4.3.2, §6.5).
+//!
+//! SAnn searches the same space as LinOpt — one (V, f) level per active
+//! core — but evaluates power *exactly* per level (no linear
+//! approximation). It is the paper's near-optimal reference: within 1%
+//! of exhaustive search for small configurations, and ~2% above LinOpt
+//! in throughput, at orders of magnitude higher computation cost.
+//!
+//! The initial point comes from "a simple greedy heuristic": starting
+//! from all-minimum levels, repeatedly grant one level step to the core
+//! with the best marginal throughput per watt while the budget holds.
+
+use crate::manager::{PmView, PowerBudget};
+use anneal::{AnnealConfig, Annealer};
+use vastats::SimRng;
+
+/// Penalty weight (MIPS per watt of violation) that makes
+/// budget-violating points strictly worse than any feasible point.
+const PENALTY_MIPS_PER_W: f64 = 1.0e6;
+
+/// Greedy warm start: climb level-by-level, best throughput-per-watt
+/// first, while the budget holds.
+pub fn greedy_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
+    let n = view.len();
+    let mut levels = view.min_levels();
+    loop {
+        let current_power = view.total_power(&levels);
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            let core = &view.cores()[i];
+            if levels[i] + 1 >= core.level_count() {
+                continue;
+            }
+            let dp = core.power_w[levels[i] + 1] - core.power_w[levels[i]];
+            let dtp = core.mips_at(levels[i] + 1) - core.mips_at(levels[i]);
+            if current_power + dp > budget.chip_w
+                || core.power_w[levels[i] + 1] > budget.per_core_w
+            {
+                continue;
+            }
+            let efficiency = if dp > 1e-12 { dtp / dp } else { f64::INFINITY };
+            if best.is_none_or(|(_, e)| efficiency > e) {
+                best = Some((i, efficiency));
+            }
+        }
+        match best {
+            Some((i, _)) => levels[i] += 1,
+            None => return levels,
+        }
+    }
+}
+
+/// Computes SAnn's level assignment with the given evaluation budget.
+///
+/// Guarantees a feasible result whenever the all-minimum point is
+/// feasible: if annealing's best point violates the budget, the greedy
+/// warm start is returned instead.
+///
+/// # Panics
+///
+/// Panics if the view is empty or `evaluations` is zero.
+pub fn sann_levels(
+    view: &PmView,
+    budget: &PowerBudget,
+    evaluations: usize,
+    rng: &mut SimRng,
+) -> Vec<usize> {
+    assert!(!view.is_empty(), "no active cores to manage");
+    let level_counts: Vec<usize> = view.cores().iter().map(|c| c.level_count()).collect();
+    let initial = greedy_levels(view, budget);
+
+    let config = AnnealConfig::for_dimensions(view.len()).with_evaluations(evaluations);
+    let annealer = Annealer::new(config);
+    let result = annealer.minimize(
+        &level_counts,
+        &initial,
+        |levels| cost(view, budget, levels),
+        rng,
+    );
+
+    if view.feasible(&result.point, budget) {
+        result.point
+    } else {
+        initial
+    }
+}
+
+/// Cost to minimize: negative throughput plus a steep penalty for
+/// violating either power constraint.
+fn cost(view: &PmView, budget: &PowerBudget, levels: &[usize]) -> f64 {
+    let tp = view.throughput_mips(levels);
+    let total = view.total_power(levels);
+    let mut violation = (total - budget.chip_w).max(0.0);
+    for (c, &l) in view.cores().iter().zip(levels) {
+        violation += (c.power_w[l] - budget.per_core_w).max(0.0);
+    }
+    -tp + PENALTY_MIPS_PER_W * violation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::exhaustive::exhaustive_levels;
+    use crate::manager::view::synthetic_core;
+
+    fn view(n: usize) -> PmView {
+        PmView::from_cores(
+            (0..n)
+                .map(|i| synthetic_core(i, 0.2 + 0.35 * i as f64, 9, 1.0))
+                .collect(),
+        )
+    }
+
+    fn mid_budget(v: &PmView) -> PowerBudget {
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        PowerBudget {
+            chip_w: (min_p + max_p) / 2.0,
+            per_core_w: 100.0,
+        }
+    }
+
+    #[test]
+    fn greedy_is_feasible() {
+        let v = view(4);
+        let budget = mid_budget(&v);
+        let g = greedy_levels(&v, &budget);
+        assert!(v.feasible(&g, &budget));
+    }
+
+    #[test]
+    fn greedy_saturates_generous_budget() {
+        let v = view(3);
+        let budget = PowerBudget {
+            chip_w: 1000.0,
+            per_core_w: 100.0,
+        };
+        assert_eq!(greedy_levels(&v, &budget), v.max_levels());
+    }
+
+    #[test]
+    fn sann_result_is_feasible() {
+        let v = view(4);
+        let budget = mid_budget(&v);
+        let mut rng = SimRng::seed_from(21);
+        let levels = sann_levels(&v, &budget, 10_000, &mut rng);
+        assert!(v.feasible(&levels, &budget));
+    }
+
+    #[test]
+    fn sann_at_least_as_good_as_greedy() {
+        let v = view(4);
+        let budget = mid_budget(&v);
+        let mut rng = SimRng::seed_from(22);
+        let g = greedy_levels(&v, &budget);
+        let s = sann_levels(&v, &budget, 20_000, &mut rng);
+        assert!(v.throughput_mips(&s) >= v.throughput_mips(&g) - 1e-9);
+    }
+
+    #[test]
+    fn sann_matches_exhaustive_within_one_percent() {
+        // The paper's validation (§6.5): for <= 4 threads, SAnn is within
+        // 1% of exhaustive search.
+        for seed in [1u64, 2, 3] {
+            let v = view(4);
+            let budget = mid_budget(&v);
+            let best = exhaustive_levels(&v, &budget);
+            let mut rng = SimRng::seed_from(seed);
+            let s = sann_levels(&v, &budget, 50_000, &mut rng);
+            let ratio = v.throughput_mips(&s) / v.throughput_mips(&best);
+            assert!(ratio > 0.99, "seed {seed}: SAnn at {ratio} of optimal");
+        }
+    }
+
+    #[test]
+    fn impossible_budget_pins_minimum() {
+        let v = view(3);
+        let budget = PowerBudget {
+            chip_w: 0.001,
+            per_core_w: 100.0,
+        };
+        let mut rng = SimRng::seed_from(23);
+        let levels = sann_levels(&v, &budget, 5_000, &mut rng);
+        assert_eq!(levels, v.min_levels());
+    }
+}

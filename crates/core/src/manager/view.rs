@@ -1,0 +1,359 @@
+//! The sensor snapshot power managers operate on.
+
+use crate::manager::PowerBudget;
+use cmpsim::Machine;
+
+/// Sensor data for one active core at manager-invocation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreView {
+    /// Core index in the machine.
+    pub core: usize,
+    /// Profiled IPC of the thread on this core (assumed
+    /// frequency-independent, §4.3.1).
+    pub ipc: f64,
+    /// Table voltages, ascending (volts).
+    pub voltages: Vec<f64>,
+    /// Table frequencies per level (Hz).
+    pub freqs: Vec<f64>,
+    /// Measured total core power per level (watts) — the "power sensor
+    /// history" of §5.2.
+    pub power_w: Vec<f64>,
+}
+
+impl CoreView {
+    /// Number of (V, f) levels.
+    pub fn level_count(&self) -> usize {
+        self.voltages.len()
+    }
+
+    /// Throughput (MIPS) this core would deliver at `level`.
+    pub fn mips_at(&self, level: usize) -> f64 {
+        self.ipc * self.freqs[level] / 1e6
+    }
+}
+
+/// Snapshot of every active core, taken at the start of a manager
+/// invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmView {
+    cores: Vec<CoreView>,
+    /// Measured power of everything the manager cannot scale — the L2
+    /// strips — read from the chip sensors (total minus per-core).
+    /// Counted against `Ptarget` alongside the core powers.
+    uncore_w: f64,
+}
+
+impl PmView {
+    /// Builds the snapshot from the machine's sensors. Only cores with
+    /// an assigned thread appear.
+    pub fn from_machine(machine: &Machine) -> Self {
+        let mut cores = Vec::new();
+        for core in 0..machine.core_count() {
+            if machine.thread_of(core).is_none() {
+                continue;
+            }
+            let vf = machine.vf_table(core);
+            let levels = vf.len();
+            let power_w = (0..levels)
+                .map(|l| {
+                    machine
+                        .predicted_core_power(core, l)
+                        .expect("core is active")
+                })
+                .collect();
+            cores.push(CoreView {
+                core,
+                ipc: machine.profiled_core_ipc(core).expect("core is active"),
+                voltages: (0..levels).map(|l| vf.voltage_at(l)).collect(),
+                freqs: (0..levels).map(|l| vf.freq_at(l)).collect(),
+                power_w,
+            });
+        }
+        let core_sum: f64 = (0..machine.core_count())
+            .map(|c| machine.sensor_core_power(c))
+            .sum();
+        let uncore_w = (machine.sensor_total_power() - core_sum).max(0.0);
+        Self { cores, uncore_w }
+    }
+
+    /// Builds a view directly from core data (used by tests and by the
+    /// Figure 15 timing harness, which synthesizes views of various
+    /// sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core has inconsistent table lengths.
+    pub fn from_cores(cores: Vec<CoreView>) -> Self {
+        for c in &cores {
+            assert_eq!(c.voltages.len(), c.freqs.len(), "table length mismatch");
+            assert_eq!(c.voltages.len(), c.power_w.len(), "table length mismatch");
+            assert!(!c.voltages.is_empty(), "core has no levels");
+        }
+        Self {
+            cores,
+            uncore_w: 0.0,
+        }
+    }
+
+    /// Sets the measured uncore (L2) power counted against `Ptarget`.
+    pub fn with_uncore_power(mut self, uncore_w: f64) -> Self {
+        assert!(uncore_w >= 0.0, "uncore power must be non-negative");
+        self.uncore_w = uncore_w;
+        self
+    }
+
+    /// The measured uncore power (watts).
+    pub fn uncore_power(&self) -> f64 {
+        self.uncore_w
+    }
+
+    /// The active cores in the snapshot.
+    pub fn cores(&self) -> &[CoreView] {
+        &self.cores
+    }
+
+    /// Number of active cores.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether no cores are active.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Total throughput (MIPS) at the given per-active-core levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != len()`.
+    pub fn throughput_mips(&self, levels: &[usize]) -> f64 {
+        assert_eq!(levels.len(), self.cores.len(), "level vector mismatch");
+        self.cores
+            .iter()
+            .zip(levels)
+            .map(|(c, &l)| c.mips_at(l))
+            .sum()
+    }
+
+    /// Total measured chip power (watts) at the given levels: the sum
+    /// of per-core powers plus the (fixed) uncore power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != len()`.
+    pub fn total_power(&self, levels: &[usize]) -> f64 {
+        assert_eq!(levels.len(), self.cores.len(), "level vector mismatch");
+        self.uncore_w
+            + self
+                .cores
+                .iter()
+                .zip(levels)
+                .map(|(c, &l)| c.power_w[l])
+                .sum::<f64>()
+    }
+
+    /// Whether the given levels satisfy both budget constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != len()`.
+    pub fn feasible(&self, levels: &[usize], budget: &PowerBudget) -> bool {
+        assert_eq!(levels.len(), self.cores.len(), "level vector mismatch");
+        if self.total_power(levels) > budget.chip_w + 1e-9 {
+            return false;
+        }
+        self.cores
+            .iter()
+            .zip(levels)
+            .all(|(c, &l)| c.power_w[l] <= budget.per_core_w + 1e-9)
+    }
+
+    /// The all-minimum level vector.
+    pub fn min_levels(&self) -> Vec<usize> {
+        vec![0; self.cores.len()]
+    }
+
+    /// The all-maximum level vector.
+    pub fn max_levels(&self) -> Vec<usize> {
+        self.cores.iter().map(|c| c.level_count() - 1).collect()
+    }
+
+    /// Applies per-active-core levels back onto the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != len()`.
+    pub fn apply(&self, machine: &mut Machine, levels: &[usize]) {
+        assert_eq!(levels.len(), self.cores.len(), "level vector mismatch");
+        for (c, &l) in self.cores.iter().zip(levels) {
+            machine.set_level(c.core, l);
+        }
+    }
+}
+
+/// Feasibility repair against measured sensor powers.
+///
+/// The paper's system "continuously monitors the total power and the
+/// per-core powers. These values are compared to Ptarget and Pcoremax"
+/// (§5.2). When an optimizer's chosen levels overshoot either limit —
+/// LinOpt's linear power fit underestimates the convex power curve near
+/// `Vhigh` — the controller steps levels down until the *measured*
+/// powers comply, removing the level that costs the least throughput
+/// per watt saved.
+///
+/// # Panics
+///
+/// Panics if `levels.len() != view.len()`.
+pub fn repair_to_budget(view: &PmView, budget: &PowerBudget, levels: &mut [usize]) {
+    assert_eq!(levels.len(), view.len(), "level vector mismatch");
+    // Per-core cap first: a violating core can only fix itself.
+    for (i, core) in view.cores().iter().enumerate() {
+        while core.power_w[levels[i]] > budget.per_core_w && levels[i] > 0 {
+            levels[i] -= 1;
+        }
+    }
+    // Chip cap: cheapest-throughput reductions first.
+    while view.total_power(levels) > budget.chip_w {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, core) in view.cores().iter().enumerate() {
+            if levels[i] == 0 {
+                continue;
+            }
+            let dp = core.power_w[levels[i]] - core.power_w[levels[i] - 1];
+            let dtp = core.mips_at(levels[i]) - core.mips_at(levels[i] - 1);
+            let cost = if dp > 1e-12 { dtp / dp } else { f64::NEG_INFINITY };
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((i, cost));
+            }
+        }
+        match best {
+            Some((i, _)) => levels[i] -= 1,
+            None => return, // everything at minimum
+        }
+    }
+}
+
+/// Greedy slack fill: while measured power sits below the chip target,
+/// grant one more level to the core with the best marginal throughput
+/// per watt, as long as both constraints keep holding.
+///
+/// Rounding the LP's continuous voltages down to discrete levels leaves
+/// slack between the chosen operating point and `Ptarget`; this pass
+/// converts that slack back into throughput, keeping the realized power
+/// within one level step of the target (the paper reports deviations
+/// under 1% at 10 ms intervals, Figure 14).
+///
+/// # Panics
+///
+/// Panics if `levels.len() != view.len()`.
+pub fn greedy_fill(view: &PmView, budget: &PowerBudget, levels: &mut [usize]) {
+    assert_eq!(levels.len(), view.len(), "level vector mismatch");
+    loop {
+        let current = view.total_power(levels);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, core) in view.cores().iter().enumerate() {
+            if levels[i] + 1 >= core.level_count() {
+                continue;
+            }
+            let next_power = core.power_w[levels[i] + 1];
+            let dp = next_power - core.power_w[levels[i]];
+            if current + dp > budget.chip_w || next_power > budget.per_core_w {
+                continue;
+            }
+            let dtp = core.mips_at(levels[i] + 1) - core.mips_at(levels[i]);
+            let gain = if dp > 1e-12 { dtp / dp } else { f64::INFINITY };
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        match best {
+            Some((i, _)) => levels[i] += 1,
+            None => return,
+        }
+    }
+}
+
+/// Builds a synthetic [`CoreView`] for tests and timing harnesses:
+/// `levels` voltage steps on 0.6–1.0 V, linear frequency `slope_hz_per_v`,
+/// and quadratic-ish power scaled by `power_scale`.
+pub fn synthetic_core(core: usize, ipc: f64, levels: usize, power_scale: f64) -> CoreView {
+    assert!(levels >= 2, "need at least two levels");
+    let voltages: Vec<f64> = (0..levels)
+        .map(|i| 0.6 + 0.4 * i as f64 / (levels - 1) as f64)
+        .collect();
+    let freqs: Vec<f64> = voltages
+        .iter()
+        .map(|v| (5.0 * v - 1.0).max(0.1) * 1e9)
+        .collect();
+    let power_w: Vec<f64> = voltages
+        .iter()
+        .zip(&freqs)
+        .map(|(v, f)| power_scale * (2.5 * v * v * (f / 4.0e9) + 1.2 * v * v))
+        .collect();
+    CoreView {
+        core,
+        ipc,
+        voltages,
+        freqs,
+        power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_core_is_monotone() {
+        let c = synthetic_core(0, 1.0, 9, 1.0);
+        for w in c.voltages.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for w in c.freqs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for w in c.power_w.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn view_aggregates() {
+        let view = PmView::from_cores(vec![
+            synthetic_core(0, 1.0, 3, 1.0),
+            synthetic_core(5, 0.5, 3, 1.0),
+        ]);
+        assert_eq!(view.len(), 2);
+        let max = view.max_levels();
+        assert_eq!(max, vec![2, 2]);
+        let tp = view.throughput_mips(&max);
+        let c0 = &view.cores()[0];
+        let c1 = &view.cores()[1];
+        let expect = 1.0 * c0.freqs[2] / 1e6 + 0.5 * c1.freqs[2] / 1e6;
+        assert!((tp - expect).abs() < 1e-9);
+        assert!(view.total_power(&max) > view.total_power(&view.min_levels()));
+    }
+
+    #[test]
+    fn feasibility_checks_both_constraints() {
+        let view = PmView::from_cores(vec![synthetic_core(0, 1.0, 3, 1.0)]);
+        let max = view.max_levels();
+        let p = view.total_power(&max);
+        let ok = PowerBudget {
+            chip_w: p + 1.0,
+            per_core_w: p + 1.0,
+        };
+        assert!(view.feasible(&max, &ok));
+        let chip_tight = PowerBudget {
+            chip_w: p - 0.1,
+            per_core_w: p + 1.0,
+        };
+        assert!(!view.feasible(&max, &chip_tight));
+        let core_tight = PowerBudget {
+            chip_w: p + 1.0,
+            per_core_w: p - 0.1,
+        };
+        assert!(!view.feasible(&max, &core_tight));
+    }
+}

@@ -1,0 +1,225 @@
+//! Profiling support (paper §5.2 and Table 3).
+//!
+//! The scheduling and power-management algorithms never see the
+//! simulator's internals — only the profile information the paper
+//! allows them:
+//!
+//! * **Manufacturer data** ([`CoreProfile`]): per-core static power at
+//!   each voltage level (measured under zero load), the maximum
+//!   frequency supported at the maximum voltage, and the (V, f) table.
+//! * **Run-time profiles** ([`ThreadProfile`]): per-thread dynamic
+//!   power and IPC, each measured while the thread runs *on one random
+//!   core*, then normalized to reference conditions so threads profiled
+//!   on different cores can be ranked against each other.
+
+use cmpsim::Machine;
+use vastats::SimRng;
+
+/// Manufacturer-provided data for one core (Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreProfile {
+    /// Core index.
+    pub core: usize,
+    /// Static power at each table voltage, ascending by voltage (watts).
+    pub static_power_w: Vec<f64>,
+    /// Maximum frequency supported at the maximum voltage (Hz).
+    pub max_freq_hz: f64,
+}
+
+impl CoreProfile {
+    /// Static power at the maximum voltage (the `VarP` ranking key).
+    pub fn static_at_max_voltage(&self) -> f64 {
+        *self
+            .static_power_w
+            .last()
+            .expect("profile has at least one voltage level")
+    }
+}
+
+/// Run-time profile of one thread, measured on one (random) core and
+/// normalized to reference conditions (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadProfile {
+    /// Thread index in the workload.
+    pub thread: usize,
+    /// Dynamic power scaled to 1 V / reference frequency (watts).
+    pub dynamic_power_w: f64,
+    /// IPC (assumed frequency-independent).
+    pub ipc: f64,
+    /// The core the thread was profiled on.
+    pub profiled_on: usize,
+}
+
+/// Collects the manufacturer profiles of every core.
+pub fn core_profiles(machine: &Machine) -> Vec<CoreProfile> {
+    (0..machine.core_count())
+        .map(|core| {
+            let vf = machine.vf_table(core);
+            let static_power_w = (0..vf.len())
+                .map(|l| machine.manufacturer_static_power(core, vf.voltage_at(l)))
+                .collect();
+            CoreProfile {
+                core,
+                static_power_w,
+                max_freq_hz: machine.rated_max_freq(core),
+            }
+        })
+        .collect()
+}
+
+/// Profiles every thread of the loaded workload by briefly running each
+/// one on a random core of a *scratch copy* of the machine and reading
+/// its power and performance counters.
+///
+/// The measured total power has the manufacturer static power (at the
+/// profiling core's voltage) subtracted, and the remainder is scaled by
+/// `1/V²` and `f_ref/f` so that threads profiled on different cores can
+/// be compared (§5.2: "the power measured is scaled according to the
+/// frequency and voltage of the particular core used").
+///
+/// # Panics
+///
+/// Panics if the machine has no threads loaded.
+pub fn thread_profiles(machine: &Machine, rng: &mut SimRng) -> Vec<ThreadProfile> {
+    let n_threads = machine.threads().len();
+    assert!(n_threads > 0, "no threads loaded to profile");
+    let n_cores = machine.core_count();
+    let f_ref = machine.config().dynamic.f_ref_hz();
+
+    let mut profiles = Vec::with_capacity(n_threads);
+    for thread in 0..n_threads {
+        // Probe on a scratch machine so profiling does not perturb the
+        // real run.
+        let mut probe = machine.clone();
+        let core = rng.index(n_cores);
+        let mut mapping = vec![None; n_cores];
+        mapping[thread] = None; // no-op, clarity only
+        mapping[core] = Some(thread);
+        probe.assign(&mapping);
+        let level = probe.vf_table(core).max_level();
+        probe.set_level(core, level);
+        // A couple of ticks to populate the sensors.
+        probe.step(0.001);
+        probe.step(0.001);
+
+        let v = probe.vf_table(core).voltage_at(level);
+        let f = probe.vf_table(core).freq_at(level);
+        let total = probe.sensor_core_power(core);
+        let static_w = probe.manufacturer_static_power(core, v);
+        let dynamic = (total - static_w).max(0.0);
+        // Scale to reference conditions: dynamic power ~ V^2 * f.
+        let scaled = if f > 0.0 {
+            dynamic / (v * v) * (f_ref / f)
+        } else {
+            0.0
+        };
+        profiles.push(ThreadProfile {
+            thread,
+            dynamic_power_w: scaled,
+            ipc: probe.sensor_core_ipc(core),
+            profiled_on: core,
+        });
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim::{app_pool, MachineConfig, Workload};
+    use floorplan::paper_20_core;
+    use varius::{DieGenerator, VariationConfig};
+
+    fn machine_with(n: usize, seed: u64) -> Machine {
+        let cfg = VariationConfig {
+            grid: 24,
+            ..VariationConfig::paper_default()
+        };
+        let die = DieGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut SimRng::seed_from(seed));
+        let fp = paper_20_core();
+        let mut m = Machine::new(&die, &fp, MachineConfig::paper_default());
+        let pool = app_pool(&m.config().dynamic);
+        let mut rng = SimRng::seed_from(seed + 1);
+        let w = Workload::draw(&pool, n, &mut rng);
+        m.load_threads(w.spawn_threads(&mut rng));
+        m
+    }
+
+    #[test]
+    fn core_profiles_cover_all_cores() {
+        let m = machine_with(4, 1);
+        let profiles = core_profiles(&m);
+        assert_eq!(profiles.len(), 20);
+        for (i, p) in profiles.iter().enumerate() {
+            assert_eq!(p.core, i);
+            assert_eq!(p.static_power_w.len(), m.vf_table(i).len());
+            // Static power grows with voltage.
+            for w in p.static_power_w.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(p.max_freq_hz > 0.0);
+        }
+    }
+
+    #[test]
+    fn profiles_differ_across_cores() {
+        let m = machine_with(4, 2);
+        let profiles = core_profiles(&m);
+        let p0 = profiles[0].static_at_max_voltage();
+        assert!(
+            profiles
+                .iter()
+                .any(|p| (p.static_at_max_voltage() - p0).abs() > 0.01),
+            "variation should differentiate core static power"
+        );
+    }
+
+    #[test]
+    fn thread_profiles_rank_power_correctly() {
+        // vortex (4.4 W) must profile above mcf (1.5 W) even when they
+        // are measured on different random cores.
+        let cfg = VariationConfig {
+            grid: 24,
+            ..VariationConfig::paper_default()
+        };
+        let die = DieGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut SimRng::seed_from(3));
+        let fp = paper_20_core();
+        let mut m = Machine::new(&die, &fp, MachineConfig::paper_default());
+        let pool = app_pool(&m.config().dynamic);
+        let vortex = pool.iter().find(|a| a.name == "vortex").unwrap().clone();
+        let mcf = pool.iter().find(|a| a.name == "mcf").unwrap().clone();
+        let w = Workload::from_specs(vec![vortex, mcf]);
+        let mut rng = SimRng::seed_from(4);
+        m.load_threads(w.spawn_threads(&mut rng));
+        let profiles = thread_profiles(&m, &mut rng);
+        assert!(profiles[0].dynamic_power_w > profiles[1].dynamic_power_w);
+        assert!(profiles[0].ipc > profiles[1].ipc);
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_machine() {
+        let m = machine_with(6, 5);
+        let energy_before = m.energy_j();
+        let mut rng = SimRng::seed_from(6);
+        let _ = thread_profiles(&m, &mut rng);
+        assert_eq!(m.energy_j(), energy_before);
+        assert!(m.assignment().iter().all(|a| a.is_none()));
+    }
+
+    #[test]
+    fn profile_count_matches_threads() {
+        let m = machine_with(9, 7);
+        let mut rng = SimRng::seed_from(8);
+        let profiles = thread_profiles(&m, &mut rng);
+        assert_eq!(profiles.len(), 9);
+        for (i, p) in profiles.iter().enumerate() {
+            assert_eq!(p.thread, i);
+            assert!(p.ipc > 0.0);
+            assert!(p.dynamic_power_w > 0.0);
+        }
+    }
+}

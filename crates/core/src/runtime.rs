@@ -1,0 +1,371 @@
+//! The execution timeline (paper Figure 2).
+//!
+//! At every **OS scheduling interval** the scheduler revisits the
+//! thread-to-core assignment using one of the [`crate::sched`] policies;
+//! at every (much shorter) **DVFS interval** the power manager re-solves
+//! the (V, f) assignment. The machine advances in fixed ticks between
+//! those events, and power/IPC sensors stay on throughout.
+
+use crate::manager::{apply_manager, ManagerKind, PowerBudget};
+use crate::metrics::{ed2_index, weighted_mips};
+use crate::profile::{core_profiles, thread_profiles};
+use crate::sched::{schedule, SchedPolicy};
+use cmpsim::{Machine, Workload};
+use vastats::SimRng;
+
+/// How core frequencies are set in configurations without DVFS
+/// (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqMode {
+    /// `UniFreq`: all active cores cycle at the frequency of the
+    /// slowest one.
+    Uniform,
+    /// `NUniFreq`: each active core cycles at its own maximum frequency.
+    NonUniform,
+}
+
+/// Timeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Machine tick (sensor/thermal update granularity), milliseconds.
+    pub tick_ms: f64,
+    /// DVFS interval: how often the power manager runs (paper: 10 ms).
+    pub dvfs_interval_ms: f64,
+    /// OS scheduling interval (paper: a multiple of the DVFS interval).
+    pub os_interval_ms: f64,
+    /// Total simulated time per trial, milliseconds.
+    pub duration_ms: f64,
+    /// Frequency mode used when no DVFS manager runs.
+    pub freq_mode: FreqMode,
+    /// Ticks inside this initial window are excluded from the
+    /// power-deviation statistic: the machine starts at ambient
+    /// temperature, and the paper's Figure 14 measures steady-state
+    /// tracking, not the cold-start ramp. Clamped to half the duration.
+    pub deviation_warmup_ms: f64,
+}
+
+impl RuntimeConfig {
+    /// The paper's timeline: 1 ms ticks, 10 ms DVFS intervals, 100 ms
+    /// OS intervals, 300 ms trials (3 scheduling epochs, 30 manager
+    /// invocations).
+    pub fn paper_default() -> Self {
+        Self {
+            tick_ms: 1.0,
+            dvfs_interval_ms: 10.0,
+            os_interval_ms: 100.0,
+            duration_ms: 300.0,
+            freq_mode: FreqMode::NonUniform,
+            deviation_warmup_ms: 100.0,
+        }
+    }
+
+    /// Validates interval nesting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interval is non-positive or the intervals do not
+    /// nest (tick ≤ DVFS ≤ OS ≤ duration).
+    pub fn validate(&self) {
+        assert!(self.tick_ms > 0.0, "tick must be positive");
+        assert!(
+            self.dvfs_interval_ms >= self.tick_ms,
+            "DVFS interval must be at least one tick"
+        );
+        assert!(
+            self.os_interval_ms >= self.dvfs_interval_ms,
+            "OS interval must be at least one DVFS interval"
+        );
+        assert!(
+            self.duration_ms >= self.os_interval_ms,
+            "duration must cover at least one OS interval"
+        );
+    }
+}
+
+/// Results of one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// Average chip throughput (MIPS).
+    pub mips: f64,
+    /// Weighted throughput (Σ per-thread normalized throughput).
+    pub weighted_mips: f64,
+    /// Average chip power (watts).
+    pub avg_power_w: f64,
+    /// `ED²` index (power / MIPS³); compare ratios only.
+    pub ed2: f64,
+    /// Weighted `ED²` index (power / weighted-throughput³).
+    pub weighted_ed2: f64,
+    /// Time-averaged frequency of active cores (Hz).
+    pub avg_freq_hz: f64,
+    /// Mean absolute deviation of 1 ms power from the chip budget,
+    /// as a fraction of the budget (Figure 14's metric).
+    pub power_deviation_frac: f64,
+    /// Number of power-manager invocations.
+    pub manager_runs: usize,
+    /// Per-thread average MIPS.
+    pub per_thread_mips: Vec<f64>,
+}
+
+/// Runs one trial: load → profile → schedule → manage → tick.
+///
+/// The machine should be freshly built (or reused across trials of the
+/// same die); threads are loaded from `workload` at the start.
+///
+/// # Panics
+///
+/// Panics if the workload is larger than the machine or the runtime
+/// configuration is invalid.
+pub fn run_trial(
+    machine: &mut Machine,
+    workload: &Workload,
+    policy: SchedPolicy,
+    manager: ManagerKind,
+    budget: PowerBudget,
+    config: &RuntimeConfig,
+    rng: &mut SimRng,
+) -> TrialOutcome {
+    config.validate();
+    machine.load_threads(workload.spawn_threads(rng));
+
+    let cores = core_profiles(machine);
+    let dt_s = config.tick_ms / 1e3;
+    let total_ticks = (config.duration_ms / config.tick_ms).round() as usize;
+    let dvfs_every = (config.dvfs_interval_ms / config.tick_ms).round() as usize;
+    let os_every = (config.os_interval_ms / config.tick_ms).round() as usize;
+
+    let warmup_ticks = ((config.deviation_warmup_ms / config.tick_ms).round() as usize)
+        .min(total_ticks / 2);
+    let mut freq_time_sum = 0.0f64;
+    let mut deviation_sum = 0.0f64;
+    let mut deviation_ticks = 0usize;
+    let mut manager_runs = 0usize;
+
+    for tick in 0..total_ticks {
+        if tick % os_every == 0 {
+            // OS scheduling epoch: re-profile threads and re-map.
+            let threads = thread_profiles(machine, rng);
+            let mapping = schedule(policy, &cores, &threads, rng);
+            machine.assign(&mapping);
+            match (manager, config.freq_mode) {
+                (ManagerKind::None, FreqMode::Uniform) => {
+                    machine.set_uniform_frequency();
+                }
+                (ManagerKind::None, FreqMode::NonUniform) => {
+                    machine.set_all_levels_max();
+                }
+                _ => {}
+            }
+        }
+        if !matches!(manager, ManagerKind::None) && tick % dvfs_every == 0 {
+            apply_manager(manager, machine, &budget, rng);
+            manager_runs += 1;
+        }
+
+        let stats = machine.step(dt_s);
+        if tick >= warmup_ticks {
+            deviation_sum += (stats.total_power_w - budget.chip_w).abs();
+            deviation_ticks += 1;
+        }
+
+        // Track the average frequency of active cores this tick.
+        let mut f_sum = 0.0;
+        let mut active = 0usize;
+        for core in 0..machine.core_count() {
+            if machine.thread_of(core).is_some() {
+                f_sum += machine.effective_freq(core);
+                active += 1;
+            }
+        }
+        if active > 0 {
+            freq_time_sum += f_sum / active as f64;
+        }
+    }
+
+    let per_thread_mips: Vec<f64> = machine
+        .threads()
+        .iter()
+        .map(|t| t.average_mips())
+        .collect();
+    let reference_mips: Vec<f64> = workload
+        .specs()
+        .iter()
+        .map(|s| s.ipc_at(4.0e9) * 4.0e9 / 1e6)
+        .collect();
+
+    let mips = machine.average_mips();
+    let avg_power_w = machine.average_power();
+    let wmips = weighted_mips(&per_thread_mips, &reference_mips);
+
+    TrialOutcome {
+        mips,
+        weighted_mips: wmips,
+        avg_power_w,
+        ed2: ed2_index(avg_power_w, mips),
+        weighted_ed2: ed2_index(avg_power_w, wmips),
+        avg_freq_hz: freq_time_sum / total_ticks as f64,
+        power_deviation_frac: deviation_sum / deviation_ticks.max(1) as f64 / budget.chip_w,
+        manager_runs,
+        per_thread_mips,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim::{app_pool, MachineConfig};
+    use floorplan::paper_20_core;
+    use varius::{DieGenerator, VariationConfig};
+
+    fn machine(seed: u64) -> Machine {
+        let cfg = VariationConfig {
+            grid: 24,
+            ..VariationConfig::paper_default()
+        };
+        let die = DieGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut SimRng::seed_from(seed));
+        Machine::new(&die, &paper_20_core(), MachineConfig::paper_default())
+    }
+
+    fn quick_config() -> RuntimeConfig {
+        RuntimeConfig {
+            tick_ms: 1.0,
+            dvfs_interval_ms: 10.0,
+            os_interval_ms: 50.0,
+            duration_ms: 100.0,
+            freq_mode: FreqMode::NonUniform,
+            deviation_warmup_ms: 20.0,
+        }
+    }
+
+    fn workload(n: usize, seed: u64) -> Workload {
+        let pool = app_pool(&MachineConfig::paper_default().dynamic);
+        Workload::draw(&pool, n, &mut SimRng::seed_from(seed))
+    }
+
+    #[test]
+    fn trial_produces_sane_outcome() {
+        let mut m = machine(1);
+        let w = workload(8, 2);
+        let out = run_trial(
+            &mut m,
+            &w,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            PowerBudget::cost_performance(8),
+            &quick_config(),
+            &mut SimRng::seed_from(3),
+        );
+        assert!(out.mips > 0.0);
+        assert!(out.avg_power_w > 0.0);
+        assert!(out.weighted_mips > 0.0 && out.weighted_mips <= 8.5);
+        assert!(out.avg_freq_hz > 1.0e9);
+        assert_eq!(out.manager_runs, 10);
+        assert_eq!(out.per_thread_mips.len(), 8);
+    }
+
+    #[test]
+    fn linopt_respects_budget_on_real_machine() {
+        let mut m = machine(4);
+        let w = workload(20, 5);
+        let budget = PowerBudget::cost_performance(20);
+        let out = run_trial(
+            &mut m,
+            &w,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            budget,
+            &quick_config(),
+            &mut SimRng::seed_from(6),
+        );
+        assert!(
+            out.avg_power_w <= budget.chip_w * 1.10,
+            "avg power {} vs budget {}",
+            out.avg_power_w,
+            budget.chip_w
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let w = workload(6, 7);
+        let run = || {
+            let mut m = machine(8);
+            run_trial(
+                &mut m,
+                &w,
+                SchedPolicy::VarP,
+                ManagerKind::FoxtonStar,
+                PowerBudget::cost_performance(6),
+                &quick_config(),
+                &mut SimRng::seed_from(9),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn uniform_frequency_mode_slows_chip() {
+        let w = workload(12, 10);
+        let mut cfg = quick_config();
+        cfg.freq_mode = FreqMode::Uniform;
+        let mut m1 = machine(11);
+        let uni = run_trial(
+            &mut m1,
+            &w,
+            SchedPolicy::Random,
+            ManagerKind::None,
+            PowerBudget::cost_performance(12),
+            &cfg,
+            &mut SimRng::seed_from(12),
+        );
+        cfg.freq_mode = FreqMode::NonUniform;
+        let mut m2 = machine(11);
+        let non = run_trial(
+            &mut m2,
+            &w,
+            SchedPolicy::Random,
+            ManagerKind::None,
+            PowerBudget::cost_performance(12),
+            &cfg,
+            &mut SimRng::seed_from(12),
+        );
+        assert!(
+            non.avg_freq_hz > uni.avg_freq_hz,
+            "NUniFreq {} should beat UniFreq {}",
+            non.avg_freq_hz,
+            uni.avg_freq_hz
+        );
+    }
+
+    #[test]
+    fn manager_none_keeps_max_levels() {
+        let mut m = machine(13);
+        let w = workload(4, 14);
+        let out = run_trial(
+            &mut m,
+            &w,
+            SchedPolicy::VarF,
+            ManagerKind::None,
+            PowerBudget::high_performance(4),
+            &quick_config(),
+            &mut SimRng::seed_from(15),
+        );
+        assert_eq!(out.manager_runs, 0);
+        for core in 0..m.core_count() {
+            if m.thread_of(core).is_some() {
+                assert_eq!(m.level(core), m.vf_table(core).max_level());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "OS interval")]
+    fn bad_interval_nesting_rejected() {
+        let cfg = RuntimeConfig {
+            os_interval_ms: 5.0,
+            ..quick_config()
+        };
+        cfg.validate();
+    }
+}

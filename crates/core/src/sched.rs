@@ -1,0 +1,314 @@
+//! Variation-aware application scheduling (paper §4, Table 1).
+//!
+//! All policies produce a thread→core mapping for `N ≤ cores` threads.
+//! The variation-aware policies consume only profile data (Table 3):
+//!
+//! | Policy | Cores chosen | Threads placed |
+//! |---|---|---|
+//! | `Random` | random N cores | random order |
+//! | `VarP` | N lowest-static-power cores | random order |
+//! | `VarP&AppP` | N lowest-static-power cores | highest dynamic power → lowest static power |
+//! | `VarF` | N highest-frequency cores | random order |
+//! | `VarF&AppIPC` | N highest-frequency cores | highest IPC → highest frequency |
+
+use crate::profile::{CoreProfile, ThreadProfile};
+use vastats::SimRng;
+
+/// The scheduling policies of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedPolicy {
+    /// Map threads on cores randomly (the baseline).
+    Random,
+    /// Map threads randomly on the cores with lowest static power.
+    VarP,
+    /// Map the highest-dynamic-power threads on the lowest-static-power
+    /// cores.
+    VarPAppP,
+    /// Map threads randomly on the cores with highest frequency.
+    VarF,
+    /// Map the highest-IPC threads on the highest-frequency cores.
+    VarFAppIpc,
+}
+
+impl SchedPolicy {
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Random => "Random",
+            SchedPolicy::VarP => "VarP",
+            SchedPolicy::VarPAppP => "VarP&AppP",
+            SchedPolicy::VarF => "VarF",
+            SchedPolicy::VarFAppIpc => "VarF&AppIPC",
+        }
+    }
+}
+
+/// Computes a mapping `mapping[core] = Some(thread)` for every scheduled
+/// thread under the given policy.
+///
+/// `cores` and `threads` are the profile data of Table 3; policies only
+/// read the fields the paper allows them (e.g. `Random` reads nothing).
+///
+/// # Panics
+///
+/// Panics if there are more threads than cores or either slice is empty.
+///
+/// # Example
+///
+/// ```
+/// use vasched::profile::{CoreProfile, ThreadProfile};
+/// use vasched::sched::{schedule, SchedPolicy};
+/// use vastats::SimRng;
+///
+/// // Two cores: core 1 is faster. One high-IPC thread.
+/// let cores = vec![
+///     CoreProfile { core: 0, static_power_w: vec![1.0], max_freq_hz: 3.0e9 },
+///     CoreProfile { core: 1, static_power_w: vec![1.2], max_freq_hz: 4.0e9 },
+/// ];
+/// let threads = vec![ThreadProfile {
+///     thread: 0,
+///     dynamic_power_w: 3.0,
+///     ipc: 1.1,
+///     profiled_on: 0,
+/// }];
+/// let mut rng = SimRng::seed_from(1);
+/// let mapping = schedule(SchedPolicy::VarFAppIpc, &cores, &threads, &mut rng);
+/// assert_eq!(mapping[1], Some(0), "the thread lands on the fast core");
+/// ```
+pub fn schedule(
+    policy: SchedPolicy,
+    cores: &[CoreProfile],
+    threads: &[ThreadProfile],
+    rng: &mut SimRng,
+) -> Vec<Option<usize>> {
+    assert!(!cores.is_empty(), "no cores to schedule on");
+    assert!(!threads.is_empty(), "no threads to schedule");
+    assert!(
+        threads.len() <= cores.len(),
+        "more threads ({}) than cores ({})",
+        threads.len(),
+        cores.len()
+    );
+    let n = threads.len();
+
+    // Select which cores participate.
+    let selected: Vec<usize> = match policy {
+        SchedPolicy::Random => rng.sample_indices(cores.len(), n),
+        SchedPolicy::VarP | SchedPolicy::VarPAppP => {
+            // Lowest static power at maximum voltage first.
+            let mut ranked: Vec<usize> = (0..cores.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                cores[a]
+                    .static_at_max_voltage()
+                    .partial_cmp(&cores[b].static_at_max_voltage())
+                    .expect("static power is not NaN")
+            });
+            ranked.truncate(n);
+            ranked
+        }
+        SchedPolicy::VarF | SchedPolicy::VarFAppIpc => {
+            // Highest rated frequency first.
+            let mut ranked: Vec<usize> = (0..cores.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                cores[b]
+                    .max_freq_hz
+                    .partial_cmp(&cores[a].max_freq_hz)
+                    .expect("frequency is not NaN")
+            });
+            ranked.truncate(n);
+            ranked
+        }
+    };
+
+    // Decide the thread order over the selected cores.
+    let thread_order: Vec<usize> = match policy {
+        SchedPolicy::Random | SchedPolicy::VarP | SchedPolicy::VarF => {
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+            order
+        }
+        SchedPolicy::VarPAppP => {
+            // Highest dynamic power first → onto lowest-static cores.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                threads[b]
+                    .dynamic_power_w
+                    .partial_cmp(&threads[a].dynamic_power_w)
+                    .expect("power is not NaN")
+            });
+            order
+        }
+        SchedPolicy::VarFAppIpc => {
+            // Highest IPC first → onto highest-frequency cores.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                threads[b]
+                    .ipc
+                    .partial_cmp(&threads[a].ipc)
+                    .expect("IPC is not NaN")
+            });
+            order
+        }
+    };
+
+    let mut mapping = vec![None; cores.len()];
+    for (slot, &thread_idx) in thread_order.iter().enumerate() {
+        mapping[selected[slot]] = Some(thread_idx);
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_cores(n: usize) -> Vec<CoreProfile> {
+        // Core i: static power i+1 watts, frequency (4.0 - 0.1*i) GHz.
+        (0..n)
+            .map(|i| CoreProfile {
+                core: i,
+                static_power_w: vec![0.5 * (i + 1) as f64, (i + 1) as f64],
+                max_freq_hz: (4.0 - 0.1 * i as f64) * 1e9,
+            })
+            .collect()
+    }
+
+    fn fake_threads(n: usize) -> Vec<ThreadProfile> {
+        // Thread j: dynamic power j+1, IPC 0.1*(j+1).
+        (0..n)
+            .map(|j| ThreadProfile {
+                thread: j,
+                dynamic_power_w: (j + 1) as f64,
+                ipc: 0.1 * (j + 1) as f64,
+                profiled_on: 0,
+            })
+            .collect()
+    }
+
+    fn scheduled_cores(mapping: &[Option<usize>]) -> Vec<usize> {
+        mapping
+            .iter()
+            .enumerate()
+            .filter_map(|(c, t)| t.map(|_| c))
+            .collect()
+    }
+
+    fn is_valid(mapping: &[Option<usize>], n_threads: usize) {
+        let mut seen = vec![false; n_threads];
+        for t in mapping.iter().flatten() {
+            assert!(!seen[*t], "thread {t} mapped twice");
+            seen[*t] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every thread mapped exactly once");
+    }
+
+    #[test]
+    fn all_policies_produce_valid_mappings() {
+        let cores = fake_cores(10);
+        let threads = fake_threads(6);
+        for policy in [
+            SchedPolicy::Random,
+            SchedPolicy::VarP,
+            SchedPolicy::VarPAppP,
+            SchedPolicy::VarF,
+            SchedPolicy::VarFAppIpc,
+        ] {
+            let mut rng = SimRng::seed_from(11);
+            let mapping = schedule(policy, &cores, &threads, &mut rng);
+            is_valid(&mapping, 6);
+        }
+    }
+
+    #[test]
+    fn varp_selects_lowest_static_cores() {
+        let cores = fake_cores(10);
+        let threads = fake_threads(4);
+        let mut rng = SimRng::seed_from(1);
+        let mapping = schedule(SchedPolicy::VarP, &cores, &threads, &mut rng);
+        assert_eq!(scheduled_cores(&mapping), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn varf_selects_fastest_cores() {
+        let cores = fake_cores(10);
+        let threads = fake_threads(3);
+        let mut rng = SimRng::seed_from(2);
+        let mapping = schedule(SchedPolicy::VarF, &cores, &threads, &mut rng);
+        // Fastest cores are the lowest indices in the fake data.
+        assert_eq!(scheduled_cores(&mapping), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn varp_appp_pairs_hot_threads_with_cool_cores() {
+        let cores = fake_cores(8);
+        let threads = fake_threads(4);
+        let mut rng = SimRng::seed_from(3);
+        let mapping = schedule(SchedPolicy::VarPAppP, &cores, &threads, &mut rng);
+        // Hottest thread (3) on coolest core (0), next (2) on core 1, ...
+        assert_eq!(mapping[0], Some(3));
+        assert_eq!(mapping[1], Some(2));
+        assert_eq!(mapping[2], Some(1));
+        assert_eq!(mapping[3], Some(0));
+    }
+
+    #[test]
+    fn varf_appipc_pairs_high_ipc_with_fast_cores() {
+        let cores = fake_cores(8);
+        let threads = fake_threads(4);
+        let mut rng = SimRng::seed_from(4);
+        let mapping = schedule(SchedPolicy::VarFAppIpc, &cores, &threads, &mut rng);
+        // Highest-IPC thread (3) on fastest core (0).
+        assert_eq!(mapping[0], Some(3));
+        assert_eq!(mapping[1], Some(2));
+        assert_eq!(mapping[2], Some(1));
+        assert_eq!(mapping[3], Some(0));
+    }
+
+    #[test]
+    fn random_uses_rng() {
+        let cores = fake_cores(20);
+        let threads = fake_threads(5);
+        let a = schedule(
+            SchedPolicy::Random,
+            &cores,
+            &threads,
+            &mut SimRng::seed_from(5),
+        );
+        let b = schedule(
+            SchedPolicy::Random,
+            &cores,
+            &threads,
+            &mut SimRng::seed_from(6),
+        );
+        assert_ne!(a, b, "different seeds should give different mappings");
+    }
+
+    #[test]
+    fn full_occupancy_schedules_everywhere() {
+        let cores = fake_cores(6);
+        let threads = fake_threads(6);
+        let mut rng = SimRng::seed_from(7);
+        let mapping = schedule(SchedPolicy::VarFAppIpc, &cores, &threads, &mut rng);
+        assert!(mapping.iter().all(|m| m.is_some()));
+        is_valid(&mapping, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "more threads")]
+    fn too_many_threads_rejected() {
+        let cores = fake_cores(2);
+        let threads = fake_threads(3);
+        schedule(
+            SchedPolicy::Random,
+            &cores,
+            &threads,
+            &mut SimRng::seed_from(0),
+        );
+    }
+
+    #[test]
+    fn policy_names_match_paper() {
+        assert_eq!(SchedPolicy::VarPAppP.name(), "VarP&AppP");
+        assert_eq!(SchedPolicy::VarFAppIpc.name(), "VarF&AppIPC");
+    }
+}

@@ -1,0 +1,184 @@
+//! Axis-aligned rectangle primitives in normalized die coordinates.
+
+/// An axis-aligned rectangle `[x, x+w) × [y, y+h)`.
+///
+/// # Example
+///
+/// ```
+/// use floorplan::Rect;
+/// let r = Rect::new(0.0, 0.0, 0.5, 0.25);
+/// assert_eq!(r.area(), 0.125);
+/// assert!(r.contains_point(0.1, 0.1));
+/// assert!(!r.contains_point(0.6, 0.1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or height is negative or any field is
+    /// non-finite.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(
+            x.is_finite() && y.is_finite() && w.is_finite() && h.is_finite(),
+            "rect fields must be finite"
+        );
+        assert!(w >= 0.0 && h >= 0.0, "rect dimensions must be non-negative");
+        Self { x, y, w, h }
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Center point of the rectangle.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Whether `(px, py)` lies inside (half-open on the top/right edges).
+    pub fn contains_point(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.x + self.w && py >= self.y && py < self.y + self.h
+    }
+
+    /// Whether `other` lies entirely inside `self` (closed comparison
+    /// with floating-point tolerance).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        other.x >= self.x - EPS
+            && other.y >= self.y - EPS
+            && other.x + other.w <= self.x + self.w + EPS
+            && other.y + other.h <= self.y + self.h + EPS
+    }
+
+    /// Area of the intersection of two rectangles.
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let ix = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let iy = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        if ix > 0.0 && iy > 0.0 {
+            ix * iy
+        } else {
+            0.0
+        }
+    }
+
+    /// Length of the edge shared by two touching rectangles (0 if they
+    /// do not abut).
+    ///
+    /// Two rectangles share an edge when one's right edge coincides with
+    /// the other's left edge (or top/bottom) within tolerance and their
+    /// projections on the perpendicular axis overlap.
+    pub fn shared_edge(&self, other: &Rect) -> f64 {
+        const EPS: f64 = 1e-9;
+        let x_overlap =
+            ((self.x + self.w).min(other.x + other.w) - self.x.max(other.x)).max(0.0);
+        let y_overlap =
+            ((self.y + self.h).min(other.y + other.h) - self.y.max(other.y)).max(0.0);
+
+        let touch_vertical = ((self.x + self.w) - other.x).abs() < EPS
+            || ((other.x + other.w) - self.x).abs() < EPS;
+        let touch_horizontal = ((self.y + self.h) - other.y).abs() < EPS
+            || ((other.y + other.h) - self.y).abs() < EPS;
+
+        if touch_vertical && y_overlap > EPS {
+            y_overlap
+        } else if touch_horizontal && x_overlap > EPS {
+            x_overlap
+        } else {
+            0.0
+        }
+    }
+
+    /// Euclidean distance between the centers of two rectangles.
+    pub fn center_distance(&self, other: &Rect) -> f64 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_center() {
+        let r = Rect::new(0.2, 0.4, 0.6, 0.2);
+        assert!((r.area() - 0.12).abs() < 1e-12);
+        let (cx, cy) = r.center();
+        assert!((cx - 0.5).abs() < 1e-12 && (cy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_half_open() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains_point(0.0, 0.0));
+        assert!(!r.contains_point(1.0, 0.5));
+        assert!(!r.contains_point(0.5, 1.0));
+    }
+
+    #[test]
+    fn intersection_disjoint_is_zero() {
+        let a = Rect::new(0.0, 0.0, 0.4, 0.4);
+        let b = Rect::new(0.5, 0.5, 0.4, 0.4);
+        assert_eq!(a.intersection_area(&b), 0.0);
+    }
+
+    #[test]
+    fn intersection_partial() {
+        let a = Rect::new(0.0, 0.0, 0.6, 0.6);
+        let b = Rect::new(0.3, 0.3, 0.6, 0.6);
+        assert!((a.intersection_area(&b) - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touching_rects_share_edge_not_area() {
+        let a = Rect::new(0.0, 0.0, 0.5, 1.0);
+        let b = Rect::new(0.5, 0.0, 0.5, 1.0);
+        assert_eq!(a.intersection_area(&b), 0.0);
+        assert!((a.shared_edge(&b) - 1.0).abs() < 1e-9);
+        assert!((b.shared_edge(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizontal_abutment() {
+        let a = Rect::new(0.0, 0.0, 1.0, 0.5);
+        let b = Rect::new(0.25, 0.5, 0.5, 0.5);
+        assert!((a.shared_edge(&b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_rects_share_nothing() {
+        let a = Rect::new(0.0, 0.0, 0.5, 0.5);
+        let b = Rect::new(0.5, 0.5, 0.5, 0.5);
+        // They touch only at one corner point.
+        assert_eq!(a.shared_edge(&b), 0.0);
+    }
+
+    #[test]
+    fn center_distance_symmetric() {
+        let a = Rect::new(0.0, 0.0, 0.2, 0.2);
+        let b = Rect::new(0.8, 0.6, 0.2, 0.2);
+        assert!((a.center_distance(&b) - b.center_distance(&a)).abs() < 1e-12);
+        assert!((a.center_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_width_rejected() {
+        Rect::new(0.0, 0.0, -0.1, 0.1);
+    }
+}

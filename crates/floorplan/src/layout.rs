@@ -1,0 +1,185 @@
+//! Floorplan construction: the paper's 20-core layout and a builder for
+//! custom configurations.
+
+use crate::{Block, BlockKind, Floorplan, Rect};
+
+/// Fraction of the die height taken by each L2 strip in the paper's
+/// Figure 3 layout (one strip at the top, one at the bottom).
+const L2_STRIP_FRACTION: f64 = 0.175;
+
+/// Builds the paper's 20-core CMP floorplan (Figure 3, Table 4):
+/// a 340 mm² die with an L2 strip across the top and bottom and a
+/// 5-wide × 4-tall array of identical cores in between.
+///
+/// # Example
+///
+/// ```
+/// use floorplan::paper_20_core;
+/// let fp = paper_20_core();
+/// assert_eq!(fp.core_count(), 20);
+/// ```
+pub fn paper_20_core() -> Floorplan {
+    let side = 340.0f64.sqrt();
+    FloorplanBuilder::new(side, side)
+        .core_grid(5, 4)
+        .l2_strip_fraction(L2_STRIP_FRACTION)
+        .build()
+}
+
+/// Builder for CMP floorplans with a rectangular core array flanked by
+/// L2 strips, generalizing the paper's layout to other core counts.
+///
+/// # Example
+///
+/// ```
+/// use floorplan::FloorplanBuilder;
+/// let fp = FloorplanBuilder::new(10.0, 10.0).core_grid(2, 2).build();
+/// assert_eq!(fp.core_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloorplanBuilder {
+    die_width_mm: f64,
+    die_height_mm: f64,
+    cols: usize,
+    rows: usize,
+    l2_fraction: f64,
+}
+
+impl FloorplanBuilder {
+    /// Starts a builder for a die of the given physical size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is non-positive.
+    pub fn new(die_width_mm: f64, die_height_mm: f64) -> Self {
+        assert!(
+            die_width_mm > 0.0 && die_height_mm > 0.0,
+            "die dimensions must be positive"
+        );
+        Self {
+            die_width_mm,
+            die_height_mm,
+            cols: 5,
+            rows: 4,
+            l2_fraction: L2_STRIP_FRACTION,
+        }
+    }
+
+    /// Sets the core array dimensions (`cols × rows` cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn core_grid(mut self, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "core grid must be non-empty");
+        self.cols = cols;
+        self.rows = rows;
+        self
+    }
+
+    /// Sets the fraction of die height used by *each* of the two L2
+    /// strips. `0.0` removes the L2 strips entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two strips would not leave room for the cores
+    /// (`fraction >= 0.5`) or the fraction is negative.
+    pub fn l2_strip_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&fraction),
+            "L2 strips must leave room for cores"
+        );
+        self.l2_fraction = fraction;
+        self
+    }
+
+    /// Builds the floorplan.
+    pub fn build(&self) -> Floorplan {
+        let mut blocks = Vec::with_capacity(self.cols * self.rows + 2);
+
+        let core_band_y = self.l2_fraction;
+        let core_band_h = 1.0 - 2.0 * self.l2_fraction;
+
+        if self.l2_fraction > 0.0 {
+            blocks.push(Block {
+                kind: BlockKind::L2(0),
+                rect: Rect::new(0.0, 0.0, 1.0, self.l2_fraction),
+            });
+            blocks.push(Block {
+                kind: BlockKind::L2(1),
+                rect: Rect::new(0.0, 1.0 - self.l2_fraction, 1.0, self.l2_fraction),
+            });
+        }
+
+        let cw = 1.0 / self.cols as f64;
+        let ch = core_band_h / self.rows as f64;
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let idx = row * self.cols + col;
+                blocks.push(Block {
+                    kind: BlockKind::Core(idx),
+                    rect: Rect::new(
+                        col as f64 * cw,
+                        core_band_y + row as f64 * ch,
+                        cw,
+                        ch,
+                    ),
+                });
+            }
+        }
+
+        Floorplan::new(self.die_width_mm, self.die_height_mm, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_respects_grid() {
+        let fp = FloorplanBuilder::new(5.0, 5.0).core_grid(3, 2).build();
+        assert_eq!(fp.core_count(), 6);
+    }
+
+    #[test]
+    fn no_l2_option() {
+        let fp = FloorplanBuilder::new(5.0, 5.0)
+            .core_grid(2, 2)
+            .l2_strip_fraction(0.0)
+            .build();
+        assert_eq!(fp.blocks().len(), 4);
+        // Cores tile the whole die.
+        let total: f64 = fp.blocks().iter().map(|b| b.rect.area()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_core_indexing_row_major() {
+        let fp = paper_20_core();
+        // Core 0 is bottom-left of the core band; core 4 is bottom-right.
+        let c0 = fp.core_rect(0);
+        let c4 = fp.core_rect(4);
+        assert!(c0.x < c4.x);
+        assert!((c0.y - c4.y).abs() < 1e-12);
+        // Core 5 starts the next row.
+        let c5 = fp.core_rect(5);
+        assert!(c5.y > c0.y);
+        assert!((c5.x - c0.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cores_identical_size() {
+        let fp = paper_20_core();
+        let a0 = fp.core_rect(0).area();
+        for i in 1..20 {
+            assert!((fp.core_rect(i).area() - a0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "room for cores")]
+    fn excessive_l2_rejected() {
+        FloorplanBuilder::new(5.0, 5.0).l2_strip_fraction(0.5);
+    }
+}

@@ -1,0 +1,497 @@
+//! Two-phase Simplex over a dense tableau.
+
+use std::fmt;
+
+/// Numerical tolerance for pivoting and feasibility checks.
+const EPS: f64 = 1e-9;
+
+/// Iteration cap: generous for the problem sizes LinOpt produces
+/// (tens of variables and constraints).
+const MAX_ITERS: usize = 10_000;
+
+/// Errors from [`Problem::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective can grow without bound.
+    Unbounded,
+    /// The iteration cap was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex exceeded its iteration limit"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sense {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// A linear program over non-negative variables, built incrementally.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    objective: Vec<f64>,
+    constraints: Vec<(Vec<f64>, Sense, f64)>,
+    /// +1 for maximize, -1 when the user asked to minimize (the
+    /// objective is negated internally and flipped back on report).
+    objective_sign: f64,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal variable assignment (same order as the objective vector).
+    pub x: Vec<f64>,
+    /// Dual value (shadow price) of each constraint, in the order the
+    /// constraints were added: the rate of objective improvement per
+    /// unit of constraint relaxation. Zero for constraints that are not
+    /// binding at the optimum (complementary slackness).
+    pub dual: Vec<f64>,
+}
+
+impl Problem {
+    /// Starts a maximization problem with the given objective
+    /// coefficients. All variables are constrained to be non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty or contains non-finite values.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        assert!(!objective.is_empty(), "objective must have variables");
+        assert!(
+            objective.iter().all(|c| c.is_finite()),
+            "objective must be finite"
+        );
+        Self {
+            objective,
+            constraints: Vec::new(),
+            objective_sign: 1.0,
+        }
+    }
+
+    /// Starts a minimization problem (negates the objective internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty or contains non-finite values.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        let negated = objective.iter().map(|c| -c).collect();
+        let mut p = Self::maximize(negated);
+        p.objective_sign = -1.0;
+        p
+    }
+
+    /// Adds `coeffs · x ≤ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the variable count or any
+    /// value is non-finite.
+    pub fn constraint_le(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.push_constraint(coeffs, Sense::Le, rhs);
+        self
+    }
+
+    /// Adds `coeffs · x ≥ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the variable count or any
+    /// value is non-finite.
+    pub fn constraint_ge(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.push_constraint(coeffs, Sense::Ge, rhs);
+        self
+    }
+
+    /// Adds `coeffs · x = rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the variable count or any
+    /// value is non-finite.
+    pub fn constraint_eq(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.push_constraint(coeffs, Sense::Eq, rhs);
+        self
+    }
+
+    fn push_constraint(&mut self, coeffs: Vec<f64>, sense: Sense, rhs: f64) {
+        assert_eq!(
+            coeffs.len(),
+            self.objective.len(),
+            "constraint arity must match variable count"
+        );
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
+            "constraint must be finite"
+        );
+        self.constraints.push((coeffs, sense, rhs));
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] when no point satisfies the constraints.
+    /// * [`LpError::Unbounded`] when the objective is unbounded above.
+    /// * [`LpError::IterationLimit`] on numerical cycling (not expected
+    ///   in practice thanks to Bland's rule).
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        Tableau::build(self).solve().map(|mut s| {
+            s.objective *= self.objective_sign;
+            // Duals are computed against the internal (maximization)
+            // objective; report them against the user's.
+            for d in &mut s.dual {
+                *d *= self.objective_sign;
+            }
+            s
+        })
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Column layout: `[structural… | slack/surplus… | artificial… | rhs]`.
+struct Tableau {
+    /// rows[r] has `width` entries; last entry is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Objective coefficients for phase 2 (length = width - 1).
+    obj: Vec<f64>,
+    /// Basis: for each row, the index of its basic variable.
+    basis: Vec<usize>,
+    n_structural: usize,
+    n_total: usize,
+    artificial_start: usize,
+    /// Per original constraint: the auxiliary column that started as a
+    /// unit vector in its row, and the sign to turn that column's
+    /// simplex multiplier into the constraint's dual (accounts for
+    /// surplus direction and RHS-negation flips).
+    dual_cols: Vec<(usize, f64)>,
+}
+
+impl Tableau {
+    fn build(p: &Problem) -> Self {
+        let n = p.objective.len();
+        let m = p.constraints.len();
+
+        // Count auxiliary columns. Normalize rhs >= 0 first, remembering
+        // the sign flip (it flips the constraint's dual too).
+        let mut norm: Vec<(Vec<f64>, Sense, f64, f64)> = Vec::with_capacity(m);
+        for (coeffs, sense, rhs) in &p.constraints {
+            if *rhs < 0.0 {
+                let flipped = coeffs.iter().map(|c| -c).collect();
+                let new_sense = match sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+                norm.push((flipped, new_sense, -rhs, -1.0));
+            } else {
+                norm.push((coeffs.clone(), *sense, *rhs, 1.0));
+            }
+        }
+
+        let n_slack = norm
+            .iter()
+            .filter(|(_, s, _, _)| matches!(s, Sense::Le | Sense::Ge))
+            .count();
+        let n_artificial = norm
+            .iter()
+            .filter(|(_, s, _, _)| matches!(s, Sense::Ge | Sense::Eq))
+            .count();
+        let n_total = n + n_slack + n_artificial;
+        let width = n_total + 1;
+
+        let mut rows = vec![vec![0.0; width]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_cursor = n;
+        let artificial_start = n + n_slack;
+        let mut art_cursor = artificial_start;
+
+        let mut dual_cols = Vec::with_capacity(m);
+        for (r, (coeffs, sense, rhs, flip)) in norm.iter().enumerate() {
+            rows[r][..n].copy_from_slice(coeffs);
+            rows[r][width - 1] = *rhs;
+            match sense {
+                Sense::Le => {
+                    rows[r][slack_cursor] = 1.0;
+                    basis[r] = slack_cursor;
+                    dual_cols.push((slack_cursor, *flip));
+                    slack_cursor += 1;
+                }
+                Sense::Ge => {
+                    rows[r][slack_cursor] = -1.0;
+                    slack_cursor += 1;
+                    // The artificial column is the unit vector e_r.
+                    rows[r][art_cursor] = 1.0;
+                    basis[r] = art_cursor;
+                    dual_cols.push((art_cursor, *flip));
+                    art_cursor += 1;
+                }
+                Sense::Eq => {
+                    rows[r][art_cursor] = 1.0;
+                    basis[r] = art_cursor;
+                    dual_cols.push((art_cursor, *flip));
+                    art_cursor += 1;
+                }
+            }
+        }
+
+        let mut obj = vec![0.0; n_total];
+        obj[..n].copy_from_slice(&p.objective);
+
+        Self {
+            rows,
+            obj,
+            basis,
+            n_structural: n,
+            n_total,
+            artificial_start,
+            dual_cols,
+        }
+    }
+
+    fn solve(mut self) -> Result<Solution, LpError> {
+        // Phase 1 (only if artificials exist): maximize -sum(artificials).
+        if self.artificial_start < self.n_total {
+            let mut phase1 = vec![0.0; self.n_total];
+            for c in self.artificial_start..self.n_total {
+                phase1[c] = -1.0;
+            }
+            let value = self.optimize(&phase1)?;
+            if value < -EPS {
+                return Err(LpError::Infeasible);
+            }
+            self.drive_out_artificials();
+        }
+
+        // Phase 2 over structural + slack columns only (artificials are
+        // pinned to zero by excluding them as pivot candidates).
+        let obj = self.obj.clone();
+        let value = self.optimize_restricted(&obj, self.artificial_start)?;
+
+        let mut x = vec![0.0; self.n_structural];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < self.n_structural {
+                x[b] = self.rhs(r);
+            }
+        }
+        // Duals: a constraint's shadow price is the simplex multiplier
+        // of the column that started as the unit vector in its row —
+        // z_j = c_B · B^{-1} A_j evaluated on the phase-2 objective.
+        let dual = self
+            .dual_cols
+            .iter()
+            .map(|&(col, sign)| {
+                let z: f64 = self
+                    .basis
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &b)| obj[b] * self.rows[r][col])
+                    .sum();
+                sign * z
+            })
+            .collect();
+        Ok(Solution {
+            objective: value,
+            x,
+            dual,
+        })
+    }
+
+    fn rhs(&self, r: usize) -> f64 {
+        let w = self.rows[r].len();
+        self.rows[r][w - 1]
+    }
+
+    /// Maximizes `c·x` over all columns. Returns the optimal value.
+    fn optimize(&mut self, c: &[f64]) -> Result<f64, LpError> {
+        self.optimize_restricted(c, self.n_total)
+    }
+
+    /// Maximizes `c·x`, only allowing columns `< col_limit` to enter the
+    /// basis.
+    fn optimize_restricted(&mut self, c: &[f64], col_limit: usize) -> Result<f64, LpError> {
+        for iter in 0..MAX_ITERS {
+            // Reduced costs: z_j - c_j = (c_B B^-1 A_j) - c_j. With the
+            // tableau kept in canonical form, compute via basis prices.
+            let reduced = self.reduced_costs(c);
+
+            // Entering column: Dantzig early on, Bland after a while to
+            // guarantee termination under degeneracy.
+            let entering = if iter < 2 * self.rows.len() + 50 {
+                let mut best = None;
+                let mut best_val = EPS;
+                for (j, &rc) in reduced.iter().enumerate().take(col_limit) {
+                    if rc > best_val {
+                        best_val = rc;
+                        best = Some(j);
+                    }
+                }
+                best
+            } else {
+                reduced
+                    .iter()
+                    .enumerate()
+                    .take(col_limit)
+                    .find(|(_, &rc)| rc > EPS)
+                    .map(|(j, _)| j)
+            };
+
+            let Some(col) = entering else {
+                // Optimal: objective = c_B x_B.
+                let value = self
+                    .basis
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &b)| c[b] * self.rhs(r))
+                    .sum();
+                return Ok(value);
+            };
+
+            // Ratio test (Bland tie-break on basis index).
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows.len() {
+                let a = self.rows[r][col];
+                if a > EPS {
+                    let ratio = self.rhs(r) / a;
+                    let better = ratio < best_ratio - EPS
+                        || ((ratio - best_ratio).abs() <= EPS
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if (better || leave.is_none())
+                        && ratio < best_ratio + EPS {
+                            best_ratio = ratio.min(best_ratio);
+                            leave = Some(r);
+                        }
+                }
+            }
+            let Some(row) = leave else {
+                return Err(LpError::Unbounded);
+            };
+
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Reduced cost of each column for objective `c` given the current
+    /// basis (canonical tableau ⇒ `c_j − c_B·column_j`).
+    fn reduced_costs(&self, c: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_total];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let mut z = 0.0;
+            for (r, &b) in self.basis.iter().enumerate() {
+                z += c[b] * self.rows[r][j];
+            }
+            *slot = c[j] - z;
+        }
+        // Basic columns have zero reduced cost by construction; zero them
+        // explicitly to suppress numerical residue.
+        for &b in &self.basis {
+            out[b] = 0.0;
+        }
+        out
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.rows[row].len();
+        let p = self.rows[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+        for j in 0..w {
+            self.rows[row][j] /= p;
+        }
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let f = self.rows[r][col];
+            if f.abs() > EPS {
+                for j in 0..w {
+                    let delta = f * self.rows[row][j];
+                    self.rows[r][j] -= delta;
+                }
+                self.rows[r][col] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, replace any artificial still in the basis (at zero
+    /// level) with a non-artificial column where possible.
+    fn drive_out_artificials(&mut self) {
+        for r in 0..self.rows.len() {
+            if self.basis[r] >= self.artificial_start {
+                // Find a non-artificial column with a usable pivot.
+                let col = (0..self.artificial_start)
+                    .find(|&j| self.rows[r][j].abs() > EPS);
+                if let Some(j) = col {
+                    self.pivot(r, j);
+                }
+                // Otherwise the row is redundant (all-zero); leaving the
+                // zero-level artificial basic is harmless because it can
+                // never re-enter (excluded from phase-2 candidates) and
+                // its value is pinned at zero.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_flips_sign() {
+        // min x s.t. x >= 3 => 3.
+        let s = Problem::minimize(vec![1.0])
+            .constraint_ge(vec![1.0], 3.0)
+            .solve()
+            .unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        assert!((s.x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice; still solvable.
+        let s = Problem::maximize(vec![1.0, 0.0])
+            .constraint_eq(vec![1.0, 1.0], 2.0)
+            .constraint_eq(vec![1.0, 1.0], 2.0)
+            .solve()
+            .unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let _ = Problem::maximize(vec![1.0, 2.0]).constraint_le(vec![1.0], 1.0);
+    }
+
+    #[test]
+    fn single_variable_box() {
+        let s = Problem::maximize(vec![7.0])
+            .constraint_le(vec![1.0], 0.4)
+            .solve()
+            .unwrap();
+        assert!((s.x[0] - 0.4).abs() < 1e-12);
+        assert!((s.objective - 2.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,271 @@
+//! Leakage (static) power: the HotLeakage substitute.
+//!
+//! Subthreshold leakage current follows the BSIM-style form
+//!
+//! ```text
+//! I_sub ∝ (T/T_ref)² · exp( (η·V − Vth(T)) / (n·v_T) ),   v_T = kT/q
+//! ```
+//!
+//! which captures the three couplings the paper leans on:
+//!
+//! 1. **exponential Vth sensitivity** — low-Vth cores leak far more
+//!    than high-Vth cores save, producing the core-to-core static-power
+//!    spread of Figure 4(a);
+//! 2. **temperature feedback** — leakage grows super-linearly with
+//!    temperature (iterated against the thermal model per Su et al.);
+//! 3. **DIBL** — leakage grows with supply voltage beyond the linear
+//!    `V·I` term, so lowering V in DVFS saves static power too.
+//!
+//! Power density is evaluated per variation-map cell and integrated
+//! over the block's area, so a core's static power reflects its own
+//! patch of the Vth map.
+
+use varius::CoreCells;
+
+/// Parameters of the leakage model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageParams {
+    /// Subthreshold swing factor `n` (1.2–2.0 across technologies).
+    pub n_factor: f64,
+    /// DIBL coefficient `η` (V of effective Vth reduction per V of VDD).
+    pub dibl: f64,
+    /// Vth temperature coefficient in V/K (Vth drops as T rises).
+    pub vth_temp_coeff: f64,
+    /// Temperature at which Vth maps are referenced, kelvin (60 °C).
+    pub vth_ref_temp_k: f64,
+    /// Calibration: power density (W/mm²) of a *nominal* cell
+    /// (Vth = `vth_nominal`) at V = 1 V and `calib_temp_k`.
+    pub density_at_calib: f64,
+    /// Nominal Vth used for calibration (volts).
+    pub vth_nominal: f64,
+    /// Temperature of the calibration point, kelvin.
+    pub calib_temp_k: f64,
+}
+
+impl LeakageParams {
+    /// Paper-calibrated defaults for core logic at 32 nm.
+    ///
+    /// The density is set so a nominal 11 mm² core leaks ≈1.5 W at
+    /// 1 V / 85 °C — static power is then roughly a third of a typical
+    /// core's total at full load, consistent with 32 nm projections.
+    pub fn core_default() -> Self {
+        Self {
+            n_factor: 1.4,
+            dibl: 0.05,
+            vth_temp_coeff: 0.5e-3,
+            vth_ref_temp_k: 333.15,
+            density_at_calib: 0.136, // W/mm^2
+            vth_nominal: 0.250,
+            calib_temp_k: 358.15, // 85C
+        }
+    }
+
+    /// Defaults for L2 SRAM: high-Vth, low-leakage transistors.
+    /// Density is an order of magnitude below core logic. The
+    /// calibration point uses the *map's* nominal Vth — the SRAM's
+    /// higher implant Vth is folded into the density constant — so the
+    /// density applies at typical map cells rather than 2 σ above them.
+    pub fn l2_default() -> Self {
+        Self {
+            density_at_calib: 0.016,
+            ..Self::core_default()
+        }
+    }
+}
+
+/// The leakage power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakagePower {
+    params: LeakageParams,
+    /// Internal prefactor chosen so the calibration point is honored.
+    prefactor: f64,
+}
+
+impl LeakagePower {
+    /// Builds a calibrated model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-physical (non-positive `n`,
+    /// temperatures, or density).
+    pub fn new(params: LeakageParams) -> Self {
+        assert!(params.n_factor > 0.0, "n factor must be positive");
+        assert!(
+            params.calib_temp_k > 0.0 && params.vth_ref_temp_k > 0.0,
+            "temperatures must be positive kelvin"
+        );
+        assert!(params.density_at_calib > 0.0, "calibration density must be positive");
+        let mut model = Self {
+            params,
+            prefactor: 1.0,
+        };
+        let raw = model.density_raw(params.vth_nominal, 1.0, params.calib_temp_k);
+        model.prefactor = params.density_at_calib / raw;
+        model
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> &LeakageParams {
+        &self.params
+    }
+
+    /// Uncalibrated leakage power density for a cell with threshold
+    /// `vth_ref` (referenced at 60 °C), supply `v`, temperature `temp_k`.
+    fn density_raw(&self, vth_ref: f64, v: f64, temp_k: f64) -> f64 {
+        let p = &self.params;
+        let vth = vth_ref - p.vth_temp_coeff * (temp_k - p.vth_ref_temp_k);
+        let v_t = 8.617e-5 * temp_k; // kT/q in volts
+        let exponent = (p.dibl * v - vth) / (p.n_factor * v_t);
+        let t_scale = (temp_k / p.calib_temp_k).powi(2);
+        v * t_scale * exponent.exp()
+    }
+
+    /// Calibrated leakage power density in W/mm².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative or `temp_k` is not positive.
+    pub fn density(&self, vth_ref: f64, v: f64, temp_k: f64) -> f64 {
+        assert!(v >= 0.0, "supply voltage must be non-negative");
+        assert!(temp_k > 0.0, "temperature must be positive kelvin");
+        if v == 0.0 {
+            return 0.0; // power-gated
+        }
+        self.prefactor * self.density_raw(vth_ref, v, temp_k)
+    }
+
+    /// Static power (watts) of a block of `area_mm2` whose variation
+    /// cells are `cells`, at supply `v` and temperature `temp_k`.
+    ///
+    /// The block's leakage is the area times the *mean* cell density,
+    /// so resolution changes do not change the expected power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty or `area_mm2` is negative.
+    pub fn block_static(&self, cells: &CoreCells, area_mm2: f64, v: f64, temp_k: f64) -> f64 {
+        assert!(!cells.is_empty(), "block has no variation cells");
+        assert!(area_mm2 >= 0.0, "area must be non-negative");
+        let mean_density = cells
+            .vth
+            .iter()
+            .map(|&vth| self.density(vth, v, temp_k))
+            .sum::<f64>()
+            / cells.vth.len() as f64;
+        area_mm2 * mean_density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal_cells() -> CoreCells {
+        CoreCells {
+            vth: vec![0.250],
+            leff: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn calibration_point_honored() {
+        let m = LeakagePower::new(LeakageParams::core_default());
+        let d = m.density(0.250, 1.0, 358.15);
+        assert!((d - 0.136).abs() < 1e-9, "density {d}");
+    }
+
+    #[test]
+    fn nominal_core_leaks_about_one_and_a_half_watts() {
+        let m = LeakagePower::new(LeakageParams::core_default());
+        let p = m.block_static(&nominal_cells(), 11.0, 1.0, 358.15);
+        assert!((p - 1.5).abs() < 0.1, "power {p}");
+    }
+
+    #[test]
+    fn low_vth_leaks_exponentially_more() {
+        let m = LeakagePower::new(LeakageParams::core_default());
+        let lo = m.density(0.220, 1.0, 358.15);
+        let nom = m.density(0.250, 1.0, 358.15);
+        let hi = m.density(0.280, 1.0, 358.15);
+        assert!(lo > nom && nom > hi);
+        // Exponential asymmetry: a -30 mV cell gains more than a +30 mV
+        // cell saves.
+        assert!(lo - nom > nom - hi);
+        // 30 mV at n*vT ~ 62 mV is about a 1.6x swing.
+        assert!(lo / nom > 1.3 && lo / nom < 2.2, "ratio {}", lo / nom);
+    }
+
+    #[test]
+    fn hotter_leaks_more() {
+        let m = LeakagePower::new(LeakageParams::core_default());
+        let cold = m.density(0.250, 1.0, 333.15);
+        let hot = m.density(0.250, 1.0, 368.15);
+        assert!(hot > cold * 1.3, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn lower_voltage_leaks_less_than_linearly() {
+        let m = LeakagePower::new(LeakageParams::core_default());
+        let p1 = m.density(0.250, 1.0, 358.15);
+        let p06 = m.density(0.250, 0.6, 358.15);
+        // DIBL makes the saving super-linear: at 0.6 V leakage should be
+        // well below 60% of the 1 V value.
+        assert!(p06 < 0.6 * p1, "p06 {p06} vs p1 {p1}");
+    }
+
+    #[test]
+    fn power_gated_core_leaks_nothing() {
+        let m = LeakagePower::new(LeakageParams::core_default());
+        assert_eq!(m.density(0.250, 0.0, 358.15), 0.0);
+    }
+
+    #[test]
+    fn block_static_averages_cells() {
+        let m = LeakagePower::new(LeakageParams::core_default());
+        let mixed = CoreCells {
+            vth: vec![0.22, 0.28],
+            leff: vec![1.0, 1.0],
+        };
+        let p_mixed = m.block_static(&mixed, 10.0, 1.0, 358.15);
+        let p_lo = m.block_static(
+            &CoreCells {
+                vth: vec![0.22],
+                leff: vec![1.0],
+            },
+            10.0,
+            1.0,
+            358.15,
+        );
+        let p_hi = m.block_static(
+            &CoreCells {
+                vth: vec![0.28],
+                leff: vec![1.0],
+            },
+            10.0,
+            1.0,
+            358.15,
+        );
+        assert!((p_mixed - (p_lo + p_hi) / 2.0).abs() < 1e-9);
+        // Jensen: the mixed block leaks more than a uniform nominal one.
+        let p_nom = m.block_static(&nominal_cells(), 10.0, 1.0, 358.15);
+        assert!(p_mixed > p_nom);
+    }
+
+    #[test]
+    fn l2_leaks_much_less_per_area() {
+        let core = LeakagePower::new(LeakageParams::core_default());
+        let l2 = LeakagePower::new(LeakageParams::l2_default());
+        let dc = core.density(0.250, 1.0, 358.15);
+        let dl = l2.density(0.250, 1.0, 358.15);
+        assert!(dl < dc / 5.0, "core {dc} l2 {dl}");
+    }
+
+    #[test]
+    fn area_scaling_linear() {
+        let m = LeakagePower::new(LeakageParams::core_default());
+        let c = nominal_cells();
+        let p1 = m.block_static(&c, 5.0, 1.0, 358.15);
+        let p2 = m.block_static(&c, 10.0, 1.0, 358.15);
+        assert!((p2 - 2.0 * p1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! ITRS technology-scaling factors.
+//!
+//! The paper estimates power by running Wattch/HotLeakage at a reference
+//! technology and scaling per-transistor dynamic power-delay product and
+//! per-transistor static power to 32 nm with ITRS projections (§6.2).
+//! The sibling modules in this crate are calibrated *directly at 32 nm*,
+//! so the default scaling here is the identity — but the mechanism is
+//! kept explicit so a different target node can be modeled by scaling
+//! the same reference calibration.
+
+/// Scaling factors from a reference technology node to the target node.
+///
+/// # Example
+///
+/// ```
+/// use powermodel::ItrsScaling;
+/// let s = ItrsScaling::new(0.5, 2.0);
+/// assert_eq!(s.scale_dynamic(4.0), 2.0);
+/// assert_eq!(s.scale_static(1.0), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItrsScaling {
+    dynamic_factor: f64,
+    static_factor: f64,
+}
+
+impl ItrsScaling {
+    /// Identity scaling: models already calibrated at the target node
+    /// (this crate's defaults are calibrated at 32 nm directly).
+    pub fn identity() -> Self {
+        Self {
+            dynamic_factor: 1.0,
+            static_factor: 1.0,
+        }
+    }
+
+    /// Creates explicit scaling factors.
+    ///
+    /// `dynamic_factor` multiplies per-transistor dynamic power at fixed
+    /// frequency; `static_factor` multiplies per-transistor leakage.
+    /// The transistor count is held constant across the scale, as in the
+    /// paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is not positive and finite.
+    pub fn new(dynamic_factor: f64, static_factor: f64) -> Self {
+        assert!(
+            dynamic_factor > 0.0 && dynamic_factor.is_finite(),
+            "dynamic factor must be positive"
+        );
+        assert!(
+            static_factor > 0.0 && static_factor.is_finite(),
+            "static factor must be positive"
+        );
+        Self {
+            dynamic_factor,
+            static_factor,
+        }
+    }
+
+    /// ITRS-style scaling for one technology generation (~0.7× linear
+    /// shrink): per-transistor dynamic power-delay product halves while
+    /// per-transistor leakage grows ≈1.6×.
+    pub fn one_generation() -> Self {
+        Self::new(0.5, 1.6)
+    }
+
+    /// Scales a dynamic power value (watts).
+    pub fn scale_dynamic(&self, watts: f64) -> f64 {
+        watts * self.dynamic_factor
+    }
+
+    /// Scales a static power value (watts).
+    pub fn scale_static(&self, watts: f64) -> f64 {
+        watts * self.static_factor
+    }
+
+    /// Composes two scalings (applying `self` then `other`).
+    pub fn then(&self, other: &ItrsScaling) -> ItrsScaling {
+        ItrsScaling {
+            dynamic_factor: self.dynamic_factor * other.dynamic_factor,
+            static_factor: self.static_factor * other.static_factor,
+        }
+    }
+}
+
+impl Default for ItrsScaling {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let s = ItrsScaling::identity();
+        assert_eq!(s.scale_dynamic(3.3), 3.3);
+        assert_eq!(s.scale_static(1.7), 1.7);
+    }
+
+    #[test]
+    fn generation_scaling_direction() {
+        let s = ItrsScaling::one_generation();
+        assert!(s.scale_dynamic(1.0) < 1.0);
+        assert!(s.scale_static(1.0) > 1.0);
+    }
+
+    #[test]
+    fn composition_multiplies() {
+        let two = ItrsScaling::one_generation().then(&ItrsScaling::one_generation());
+        assert!((two.scale_dynamic(1.0) - 0.25).abs() < 1e-12);
+        assert!((two.scale_static(1.0) - 2.56).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        ItrsScaling::new(0.0, 1.0);
+    }
+}

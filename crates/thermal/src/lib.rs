@@ -1,0 +1,424 @@
+//! Lumped-RC floorplan thermal model: the HotSpot substitute.
+//!
+//! The paper estimates on-chip temperatures with HotSpot and iterates
+//! temperature against leakage per Su et al. (§6.2): temperature is
+//! estimated from the current total power, leakage is re-estimated from
+//! the new temperature, and the loop repeats to convergence.
+//!
+//! This crate models the die as one RC node per floorplan block:
+//!
+//! * a **vertical** conductance from each block through the heat
+//!   spreader/sink to ambient, proportional to block area (the full-die
+//!   junction-to-ambient resistance is a model parameter);
+//! * **lateral** conductances between blocks that share a floorplan
+//!   edge, proportional to shared edge length over center distance;
+//! * a per-block **heat capacity** proportional to area, giving the
+//!   transient time constant used by the runtime simulator's
+//!   quasi-static temperature updates.
+//!
+//! Steady state solves the SPD conductance system directly (Cholesky);
+//! transients use forward-Euler steps.
+//!
+//! # Example
+//!
+//! ```
+//! use floorplan::paper_20_core;
+//! use thermal::{ThermalModel, ThermalParams};
+//!
+//! let fp = paper_20_core();
+//! let model = ThermalModel::new(&fp, ThermalParams::paper_default());
+//! // 5 W in every block.
+//! let powers = vec![5.0; fp.blocks().len()];
+//! let temps = model.steady_state(&powers);
+//! assert!(temps.iter().all(|&t| t > model.params().ambient_k));
+//! ```
+
+#![forbid(unsafe_code)]
+// Index loops over thermal nodes mirror the RC-network equations.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+use floorplan::Floorplan;
+use vastats::matrix::{LowerTriangular, SymMatrix};
+
+/// Parameters of the thermal model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Ambient temperature in kelvin.
+    pub ambient_k: f64,
+    /// Whole-die junction-to-ambient thermal resistance (K/W).
+    pub r_junction_ambient: f64,
+    /// Lateral conductance scale: W/K contributed by a shared edge of
+    /// length equal to the die width at unit center distance.
+    pub lateral_scale: f64,
+    /// Effective heat capacity per mm² of die (J/K/mm²). Sets the
+    /// transient time constant; the default gives blocks ≈50 ms.
+    pub capacity_per_mm2: f64,
+}
+
+impl ThermalParams {
+    /// Paper-plausible defaults: 45 °C ambient, 0.45 K/W junction-to-
+    /// ambient (≈45 K rise at a 100 W budget, putting peak core
+    /// temperatures near the paper's observed 95 °C maximum).
+    pub fn paper_default() -> Self {
+        Self {
+            ambient_k: 318.15,
+            r_junction_ambient: 0.45,
+            lateral_scale: 2.0,
+            capacity_per_mm2: 3.0e-4,
+        }
+    }
+}
+
+/// Lumped thermal network over a floorplan's blocks.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    params: ThermalParams,
+    /// Vertical conductance to ambient per block (W/K).
+    g_vertical: Vec<f64>,
+    /// Heat capacity per block (J/K).
+    capacity: Vec<f64>,
+    /// Lateral conductances: (i, j, g) with i < j.
+    g_lateral: Vec<(usize, usize, f64)>,
+    /// Cholesky factor of the conductance matrix.
+    factor: LowerTriangular,
+    /// Number of blocks.
+    n: usize,
+}
+
+impl ThermalModel {
+    /// Builds the thermal network for `floorplan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the floorplan has no blocks or parameters are
+    /// non-physical (non-positive resistance, capacity, or ambient).
+    pub fn new(floorplan: &Floorplan, params: ThermalParams) -> Self {
+        let n = floorplan.blocks().len();
+        assert!(n > 0, "floorplan has no blocks");
+        assert!(
+            params.r_junction_ambient > 0.0
+                && params.capacity_per_mm2 > 0.0
+                && params.ambient_k > 0.0,
+            "thermal parameters must be positive"
+        );
+
+        let die_area = floorplan.die_area_mm2();
+        let g_vertical: Vec<f64> = floorplan
+            .blocks()
+            .iter()
+            .map(|b| {
+                let area = floorplan.block_area_mm2(b);
+                area / (params.r_junction_ambient * die_area)
+            })
+            .collect();
+        let capacity: Vec<f64> = floorplan
+            .blocks()
+            .iter()
+            .map(|b| params.capacity_per_mm2 * floorplan.block_area_mm2(b))
+            .collect();
+
+        let g_lateral: Vec<(usize, usize, f64)> = floorplan
+            .adjacent_blocks()
+            .into_iter()
+            .map(|(i, j, edge)| {
+                let dist = floorplan.blocks()[i]
+                    .rect
+                    .center_distance(&floorplan.blocks()[j].rect)
+                    .max(1e-6);
+                (i, j, params.lateral_scale * edge / dist)
+            })
+            .collect();
+
+        // Conductance matrix: diag(Gv) + graph Laplacian of lateral G.
+        let mut g = SymMatrix::zeros(n);
+        for (i, &gv) in g_vertical.iter().enumerate() {
+            g.set(i, i, gv);
+        }
+        for &(i, j, gl) in &g_lateral {
+            g.set(i, j, g.get(i, j) - gl);
+            g.set(i, i, g.get(i, i) + gl);
+            g.set(j, j, g.get(j, j) + gl);
+        }
+        let factor = g
+            .cholesky()
+            .expect("conductance matrix is positive definite by construction");
+
+        Self {
+            params,
+            g_vertical,
+            capacity,
+            g_lateral,
+            factor,
+            n,
+        }
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+
+    /// Number of thermal nodes (floorplan blocks).
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Steady-state block temperatures (kelvin) for the given per-block
+    /// powers (watts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` does not match the block count.
+    pub fn steady_state(&self, powers: &[f64]) -> Vec<f64> {
+        assert_eq!(powers.len(), self.n, "power vector length mismatch");
+        // G (T - T_amb 1) = P  =>  T = T_amb + G^{-1} P
+        // (the Laplacian part cancels on the uniform ambient offset).
+        let rise = self.factor.solve(powers);
+        rise.iter().map(|r| self.params.ambient_k + r).collect()
+    }
+
+    /// One forward-Euler transient step of length `dt_s` seconds:
+    /// `C dT/dt = P − G·(T − T_amb)`.
+    ///
+    /// Returns the new temperatures. For stability, `dt_s` is internally
+    /// subdivided so each sub-step is below half the smallest block time
+    /// constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths mismatch or `dt_s` is not positive.
+    pub fn transient_step(&self, temps: &[f64], powers: &[f64], dt_s: f64) -> Vec<f64> {
+        assert_eq!(temps.len(), self.n, "temperature vector length mismatch");
+        assert_eq!(powers.len(), self.n, "power vector length mismatch");
+        assert!(dt_s > 0.0, "time step must be positive");
+
+        // Smallest time constant bounds the stable step.
+        let min_tau = (0..self.n)
+            .map(|i| {
+                let mut g = self.g_vertical[i];
+                for &(a, b, gl) in &self.g_lateral {
+                    if a == i || b == i {
+                        g += gl;
+                    }
+                }
+                self.capacity[i] / g
+            })
+            .fold(f64::INFINITY, f64::min);
+        let sub_steps = (dt_s / (0.5 * min_tau)).ceil().max(1.0) as usize;
+        let h = dt_s / sub_steps as f64;
+
+        let mut t = temps.to_vec();
+        for _ in 0..sub_steps {
+            let mut flow = vec![0.0; self.n];
+            for i in 0..self.n {
+                flow[i] = powers[i] - self.g_vertical[i] * (t[i] - self.params.ambient_k);
+            }
+            for &(i, j, gl) in &self.g_lateral {
+                let q = gl * (t[i] - t[j]);
+                flow[i] -= q;
+                flow[j] += q;
+            }
+            for i in 0..self.n {
+                t[i] += h * flow[i] / self.capacity[i];
+            }
+        }
+        t
+    }
+
+    /// Su et al.'s leakage-temperature fixed point: alternates
+    /// steady-state temperature with a caller-provided power model
+    /// `powers_at(temps) -> powers` until the largest temperature change
+    /// is below `tol_k` or `max_iters` is reached.
+    ///
+    /// Returns `(temperatures, powers, iterations)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callback returns a power vector of the wrong length.
+    pub fn converge_with_leakage<F>(
+        &self,
+        mut powers_at: F,
+        tol_k: f64,
+        max_iters: usize,
+    ) -> (Vec<f64>, Vec<f64>, usize)
+    where
+        F: FnMut(&[f64]) -> Vec<f64>,
+    {
+        let mut temps = vec![self.params.ambient_k; self.n];
+        let mut powers = powers_at(&temps);
+        assert_eq!(powers.len(), self.n, "power callback length mismatch");
+        for iter in 1..=max_iters {
+            let new_temps = self.steady_state(&powers);
+            let delta = new_temps
+                .iter()
+                .zip(&temps)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            temps = new_temps;
+            powers = powers_at(&temps);
+            assert_eq!(powers.len(), self.n, "power callback length mismatch");
+            if delta < tol_k {
+                return (temps, powers, iter);
+            }
+        }
+        (temps, powers, max_iters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use floorplan::paper_20_core;
+
+    fn model() -> (floorplan::Floorplan, ThermalModel) {
+        let fp = paper_20_core();
+        let m = ThermalModel::new(&fp, ThermalParams::paper_default());
+        (fp, m)
+    }
+
+    #[test]
+    fn zero_power_is_ambient() {
+        let (_, m) = model();
+        let t = m.steady_state(&vec![0.0; m.node_count()]);
+        for &ti in &t {
+            assert!((ti - 318.15).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_power_totals_match_rja() {
+        let (fp, m) = model();
+        // Distribute 100 W proportionally to area: rise = P * Rja
+        // exactly, because no lateral flow occurs.
+        let total = 100.0;
+        let die = fp.die_area_mm2();
+        let powers: Vec<f64> = fp
+            .blocks()
+            .iter()
+            .map(|b| total * fp.block_area_mm2(b) / die)
+            .collect();
+        let t = m.steady_state(&powers);
+        for &ti in &t {
+            let rise = ti - 318.15;
+            assert!((rise - 45.0).abs() < 0.5, "rise {rise}");
+        }
+    }
+
+    #[test]
+    fn hot_block_heats_neighbors() {
+        let (fp, m) = model();
+        let mut powers = vec![0.0; m.node_count()];
+        // Find block index of core 7 (middle of the array).
+        let idx = fp
+            .blocks()
+            .iter()
+            .position(|b| b.kind == floorplan::BlockKind::Core(7))
+            .unwrap();
+        powers[idx] = 20.0;
+        let t = m.steady_state(&powers);
+        assert!(t[idx] > 318.15 + 5.0);
+        // Every other block is warmer than ambient but cooler than the
+        // hot one.
+        for (i, &ti) in t.iter().enumerate() {
+            if i != idx {
+                assert!(ti > 318.15 - 1e-9);
+                assert!(ti < t[idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_neighbor_warmer_than_distant_block() {
+        let (fp, m) = model();
+        let mut powers = vec![0.0; m.node_count()];
+        let hot = fp
+            .blocks()
+            .iter()
+            .position(|b| b.kind == floorplan::BlockKind::Core(0))
+            .unwrap();
+        let near = fp
+            .blocks()
+            .iter()
+            .position(|b| b.kind == floorplan::BlockKind::Core(1))
+            .unwrap();
+        let far = fp
+            .blocks()
+            .iter()
+            .position(|b| b.kind == floorplan::BlockKind::Core(19))
+            .unwrap();
+        powers[hot] = 20.0;
+        let t = m.steady_state(&powers);
+        assert!(t[near] > t[far], "near {} far {}", t[near], t[far]);
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let (_, m) = model();
+        let powers: Vec<f64> = (0..m.node_count()).map(|i| (i % 5) as f64 + 1.0).collect();
+        let steady = m.steady_state(&powers);
+        let mut t = vec![318.15; m.node_count()];
+        // Step 10 seconds in 100 ms chunks: far beyond the time constant.
+        for _ in 0..100 {
+            t = m.transient_step(&t, &powers, 0.1);
+        }
+        for (a, b) in t.iter().zip(&steady) {
+            assert!((a - b).abs() < 0.5, "transient {a} vs steady {b}");
+        }
+    }
+
+    #[test]
+    fn transient_monotonic_heating_from_ambient() {
+        let (_, m) = model();
+        let powers = vec![3.0; m.node_count()];
+        let t0 = vec![318.15; m.node_count()];
+        let t1 = m.transient_step(&t0, &powers, 0.01);
+        let t2 = m.transient_step(&t1, &powers, 0.01);
+        for i in 0..m.node_count() {
+            assert!(t1[i] > t0[i]);
+            assert!(t2[i] > t1[i]);
+        }
+    }
+
+    #[test]
+    fn leakage_fixed_point_converges() {
+        let (_, m) = model();
+        let n = m.node_count();
+        // Leakage grows mildly with temperature: P = 2 + 0.02*(T-ambient).
+        let (temps, powers, iters) = m.converge_with_leakage(
+            |t| t.iter().map(|&ti| 2.0 + 0.02 * (ti - 318.15)).collect(),
+            0.01,
+            100,
+        );
+        assert!(iters < 100, "did not converge");
+        assert_eq!(temps.len(), n);
+        // Fixed point: recomputing temperatures from final powers changes
+        // nothing.
+        let t2 = m.steady_state(&powers);
+        for (a, b) in t2.iter().zip(&temps) {
+            assert!((a - b).abs() < 0.05);
+        }
+        // Feedback raises power above the cold estimate.
+        assert!(powers.iter().all(|&p| p > 2.0));
+    }
+
+    #[test]
+    fn energy_conservation_at_steady_state() {
+        let (_, m) = model();
+        let powers: Vec<f64> = (0..m.node_count()).map(|i| i as f64 * 0.3).collect();
+        let t = m.steady_state(&powers);
+        // Total heat out through vertical paths equals total power in.
+        let out: f64 = (0..m.node_count())
+            .map(|i| m.g_vertical[i] * (t[i] - 318.15))
+            .sum();
+        let total: f64 = powers.iter().sum();
+        assert!((out - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_power_length_panics() {
+        let (_, m) = model();
+        m.steady_state(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Descriptive statistics over slices of `f64`.
+
+/// Summary statistics of a data set.
+///
+/// # Example
+///
+/// ```
+/// use vastats::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty data set");
+        let count = data.len();
+        let mean = data.iter().sum::<f64>() / count as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Self {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Ratio of the maximum to the minimum observation.
+    ///
+    /// This is the core-to-core spread metric used throughout the paper's
+    /// Section 7.1 (e.g. "most dies show 40–70% variation in power" means
+    /// `max/min ∈ [1.4, 1.7]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the minimum is not strictly positive.
+    pub fn max_min_ratio(&self) -> f64 {
+        assert!(self.min > 0.0, "max/min ratio needs positive data");
+        self.max / self.min
+    }
+
+    /// Coefficient of variation, `σ/µ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is zero.
+    pub fn cov(&self) -> f64 {
+        assert!(self.mean != 0.0, "coefficient of variation needs non-zero mean");
+        self.std_dev / self.mean
+    }
+}
+
+/// Arithmetic mean of `data`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of an empty data set");
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Pearson correlation coefficient of paired observations.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, fewer than two elements,
+/// or either has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "paired data must have equal length");
+    assert!(x.len() >= 2, "correlation needs at least two points");
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxy += (xi - mx) * (yi - my);
+        sxx += (xi - mx).powi(2);
+        syy += (yi - my).powi(2);
+    }
+    assert!(sxx > 0.0 && syy > 0.0, "correlation needs non-degenerate data");
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// `p`-th percentile (linear interpolation between order statistics),
+/// `p ∈ [0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p` is out of range.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of an empty data set");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in data"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Geometric mean of strictly positive data.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or contains non-positive values.
+pub fn geometric_mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "geometric mean of an empty data set");
+    assert!(
+        data.iter().all(|&x| x > 0.0),
+        "geometric mean needs positive data"
+    );
+    (data.iter().map(|x| x.ln()).sum::<f64>() / data.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn ratio_and_cov() {
+        let s = Summary::of(&[1.0, 2.0]);
+        assert_eq!(s.max_min_ratio(), 2.0);
+        assert!((s.cov() - (0.5 / 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn pearson_perfect_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 100.0), 5.0);
+        assert_eq!(percentile(&data, 50.0), 3.0);
+        assert!((percentile(&data, 25.0) - 2.0).abs() < 1e-12);
+        assert!((percentile(&data, 10.0) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_known() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let data = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&data, 50.0), 3.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Spatially-correlated Gaussian random fields on a grid.
+//!
+//! VARIUS models the *systematic* component of a process parameter as a
+//! zero-mean Gaussian field over the die with a **spherical** spatial
+//! correlogram: correlation falls from `ρ(0) = 1` to `ρ(r) = 0` at range
+//! `φ` (expressed as a fraction of the chip width) following
+//!
+//! ```text
+//! ρ(r) = 1 − 1.5·(r/φ) + 0.5·(r/φ)³   for r < φ,   0 otherwise.
+//! ```
+//!
+//! The paper generates these fields with R's geoR package at 1M points
+//! per chip; we draw them at a configurable grid resolution via Cholesky
+//! factorization of the covariance matrix. The factorization is performed
+//! once per correlation structure and reused for every die in a batch,
+//! which is what makes 200-die experiments cheap.
+
+use crate::matrix::SymMatrix;
+use crate::normal;
+use crate::rng::SimRng;
+use std::fmt;
+
+/// Error building a Gaussian field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldError {
+    /// Grid dimensions were zero.
+    EmptyGrid,
+    /// Covariance matrix could not be factorized even after jitter.
+    NotPositiveDefinite,
+    /// Correlation range was not positive.
+    InvalidRange(f64),
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::EmptyGrid => write!(f, "grid must have at least one point"),
+            FieldError::NotPositiveDefinite => {
+                write!(f, "covariance matrix is not positive definite")
+            }
+            FieldError::InvalidRange(r) => write!(f, "correlation range must be positive, got {r}"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// Spherical correlogram with range `phi` (in the same normalized units
+/// as the grid coordinates; the unit square spans the die).
+///
+/// # Example
+///
+/// ```
+/// use vastats::field::SphericalCorrelogram;
+/// let c = SphericalCorrelogram::new(0.5);
+/// assert_eq!(c.rho(0.0), 1.0);
+/// assert_eq!(c.rho(0.5), 0.0);
+/// assert!(c.rho(0.25) > 0.0 && c.rho(0.25) < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SphericalCorrelogram {
+    phi: f64,
+}
+
+impl SphericalCorrelogram {
+    /// Creates a correlogram with range `phi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi <= 0` or non-finite.
+    pub fn new(phi: f64) -> Self {
+        assert!(phi.is_finite() && phi > 0.0, "phi must be positive");
+        Self { phi }
+    }
+
+    /// Correlation range φ: the distance at which correlation reaches 0.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Correlation between two points separated by distance `r`.
+    pub fn rho(&self, r: f64) -> f64 {
+        debug_assert!(r >= 0.0);
+        if r >= self.phi {
+            0.0
+        } else {
+            let t = r / self.phi;
+            1.0 - 1.5 * t + 0.5 * t * t * t
+        }
+    }
+}
+
+/// A zero-mean, unit-variance Gaussian random field on an
+/// `nx × ny` grid over the unit square, with spherical spatial
+/// correlation.
+///
+/// Scale the samples by the desired `σ_sys` and add a mean to obtain a
+/// concrete parameter map (done by the `varius` crate).
+#[derive(Debug, Clone)]
+pub struct GaussianField {
+    nx: usize,
+    ny: usize,
+    factor: crate::matrix::LowerTriangular,
+    correlogram: SphericalCorrelogram,
+}
+
+impl GaussianField {
+    /// Builds the field generator: forms the grid covariance matrix and
+    /// Cholesky-factorizes it. Grid points are cell centers of an
+    /// `nx × ny` lattice over `[0,1] × [0,1]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FieldError::EmptyGrid`] if `nx == 0 || ny == 0`.
+    /// * [`FieldError::NotPositiveDefinite`] if factorization fails even
+    ///   after adding diagonal jitter up to `1e-6`.
+    pub fn build(
+        nx: usize,
+        ny: usize,
+        correlogram: SphericalCorrelogram,
+    ) -> Result<Self, FieldError> {
+        if nx == 0 || ny == 0 {
+            return Err(FieldError::EmptyGrid);
+        }
+        let n = nx * ny;
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|idx| {
+                let ix = idx % nx;
+                let iy = idx / nx;
+                (
+                    (ix as f64 + 0.5) / nx as f64,
+                    (iy as f64 + 0.5) / ny as f64,
+                )
+            })
+            .collect();
+
+        let mut cov = SymMatrix::from_fn(n, |i, j| {
+            let (xi, yi) = coords[i];
+            let (xj, yj) = coords[j];
+            let r = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+            correlogram.rho(r)
+        });
+
+        // The spherical correlogram on a dense grid can be borderline
+        // indefinite numerically; escalate jitter geometrically.
+        let mut jitter = 0.0;
+        loop {
+            match cov.cholesky() {
+                Ok(factor) => {
+                    return Ok(Self {
+                        nx,
+                        ny,
+                        factor,
+                        correlogram,
+                    })
+                }
+                Err(_) => {
+                    let next = if jitter == 0.0 { 1e-10 } else { jitter * 10.0 };
+                    if next > 1e-6 {
+                        return Err(FieldError::NotPositiveDefinite);
+                    }
+                    cov.add_diagonal(next - jitter);
+                    jitter = next;
+                }
+            }
+        }
+    }
+
+    /// Grid width in points.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in points.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Returns `true` if the grid has no points (never true for a built
+    /// field; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The correlogram this field was built with.
+    pub fn correlogram(&self) -> SphericalCorrelogram {
+        self.correlogram
+    }
+
+    /// Draws one field realization: a row-major `nx × ny` vector of
+    /// zero-mean, unit-variance, spatially-correlated normals.
+    pub fn sample(&self, rng: &mut SimRng) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.len())
+            .map(|_| normal::standard_sample(rng))
+            .collect();
+        self.factor.mul_vec(&z)
+    }
+
+    /// Normalized coordinates (cell center) of grid point `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn coords(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.len(), "index out of bounds");
+        let ix = idx % self.nx;
+        let iy = idx / self.nx;
+        (
+            (ix as f64 + 0.5) / self.nx as f64,
+            (iy as f64 + 0.5) / self.ny as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::Summary;
+
+    #[test]
+    fn correlogram_shape() {
+        let c = SphericalCorrelogram::new(0.4);
+        assert_eq!(c.rho(0.0), 1.0);
+        assert_eq!(c.rho(0.4), 0.0);
+        assert_eq!(c.rho(1.0), 0.0);
+        // Monotone decreasing on [0, phi].
+        let mut prev = 1.0;
+        for i in 1..=20 {
+            let r = 0.4 * i as f64 / 20.0;
+            let v = c.rho(r);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn field_sample_statistics() {
+        let field = GaussianField::build(12, 12, SphericalCorrelogram::new(0.5)).unwrap();
+        let mut rng = SimRng::seed_from(3);
+        // Average variance across many realizations should be ~1 per point.
+        let reps = 300;
+        let n = field.len();
+        let mut sum_sq = 0.0;
+        for _ in 0..reps {
+            let s = field.sample(&mut rng);
+            sum_sq += s.iter().map(|x| x * x).sum::<f64>();
+        }
+        let var = sum_sq / (reps * n) as f64;
+        assert!((var - 1.0).abs() < 0.08, "variance {var}");
+    }
+
+    #[test]
+    fn nearby_points_correlate_more_than_distant() {
+        let field = GaussianField::build(10, 10, SphericalCorrelogram::new(0.5)).unwrap();
+        let mut rng = SimRng::seed_from(17);
+        let reps = 800;
+        // Points 0 and 1 are adjacent; points 0 and 99 are opposite corners.
+        let (mut c_near, mut c_far) = (0.0, 0.0);
+        for _ in 0..reps {
+            let s = field.sample(&mut rng);
+            c_near += s[0] * s[1];
+            c_far += s[0] * s[99];
+        }
+        c_near /= reps as f64;
+        c_far /= reps as f64;
+        assert!(
+            c_near > c_far + 0.2,
+            "near {c_near} should exceed far {c_far}"
+        );
+        // Far corners are separated by more than phi -> ~uncorrelated.
+        assert!(c_far.abs() < 0.15, "far correlation {c_far}");
+    }
+
+    #[test]
+    fn empirical_correlation_tracks_correlogram() {
+        let corr = SphericalCorrelogram::new(0.6);
+        let field = GaussianField::build(8, 8, corr).unwrap();
+        let mut rng = SimRng::seed_from(29);
+        let reps = 2000;
+        // Adjacent horizontally: r = 1/8.
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let s = field.sample(&mut rng);
+            acc += s[10] * s[11];
+        }
+        let emp = acc / reps as f64;
+        let expect = corr.rho(1.0 / 8.0);
+        assert!((emp - expect).abs() < 0.1, "empirical {emp} vs {expect}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let field = GaussianField::build(6, 6, SphericalCorrelogram::new(0.5)).unwrap();
+        let a = field.sample(&mut SimRng::seed_from(5));
+        let b = field.sample(&mut SimRng::seed_from(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rectangular_grids_work() {
+        let field = GaussianField::build(4, 9, SphericalCorrelogram::new(0.3)).unwrap();
+        assert_eq!(field.len(), 36);
+        let s = field.sample(&mut SimRng::seed_from(1));
+        assert_eq!(s.len(), 36);
+        let summary = Summary::of(&s);
+        assert!(summary.mean.abs() < 3.0); // sanity: finite, not exploded
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        assert_eq!(
+            GaussianField::build(0, 5, SphericalCorrelogram::new(0.5)).unwrap_err(),
+            FieldError::EmptyGrid
+        );
+    }
+
+    #[test]
+    fn coords_center_of_cells() {
+        let field = GaussianField::build(2, 2, SphericalCorrelogram::new(0.5)).unwrap();
+        assert_eq!(field.coords(0), (0.25, 0.25));
+        assert_eq!(field.coords(3), (0.75, 0.75));
+    }
+}

@@ -1,0 +1,186 @@
+//! Fixed-bin histograms, used to regenerate the paper's Figure 4
+//! (die-count histograms of core-to-core power and frequency ratios).
+
+use std::fmt;
+
+/// A histogram with uniform bins over `[lo, hi)`.
+///
+/// Values outside the range are clamped into the first/last bin, matching
+/// how the paper's figures bound their axes.
+///
+/// # Example
+///
+/// ```
+/// use vastats::Histogram;
+/// let mut h = Histogram::new(1.0, 2.0, 4);
+/// for &x in &[1.1, 1.15, 1.6, 1.9] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(0), 2);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must satisfy lo < hi");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation (clamping out-of-range values into the edge
+    /// bins).
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every observation in `data`.
+    pub fn extend_from(&mut self, data: &[f64]) {
+        for &x in data {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn count(&self, i: usize) -> usize {
+        self.counts[i]
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Iterator over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+    }
+
+    /// Index of the most populated bin (first one on ties).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// Renders an ASCII bar chart, one bin per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for i in 0..self.bins() {
+            let (lo, hi) = self.bin_edges(i);
+            let c = self.counts[i];
+            let width = (c * 50) / max;
+            writeln!(
+                f,
+                "[{lo:7.3}, {hi:7.3})  {c:5}  {}",
+                "#".repeat(width)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        for i in 0..10 {
+            assert_eq!(h.count(i), 1);
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn boundary_goes_to_upper_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.5);
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn edges_and_centers() {
+        let h = Histogram::new(1.0, 3.0, 4);
+        assert_eq!(h.bin_edges(0), (1.0, 1.5));
+        assert_eq!(h.bin_edges(3), (2.5, 3.0));
+        let centers: Vec<f64> = h.iter().map(|(c, _)| c).collect();
+        assert!((centers[0] - 1.25).abs() < 1e-12);
+        assert!((centers[3] - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.extend_from(&[0.5, 1.5, 1.6, 1.7, 2.5]);
+        assert_eq!(h.mode_bin(), 1);
+    }
+
+    #[test]
+    fn display_renders_all_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.extend_from(&[0.1, 0.5, 0.9]);
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+    }
+}

@@ -1,0 +1,54 @@
+//! Statistics substrate for the variation-aware CMP tool chain.
+//!
+//! The ISCA 2008 paper generates its process-variation maps with the R
+//! statistical environment and the geoR geostatistics package. This crate
+//! is the self-contained Rust substitute: it provides
+//!
+//! * deterministic, seedable random-number plumbing ([`rng`]),
+//! * normal-distribution sampling and special functions ([`normal`]),
+//! * dense symmetric linear algebra — Cholesky factorization, triangular
+//!   solves, least squares ([`matrix`]),
+//! * spatially-correlated Gaussian random fields over a grid using the
+//!   spherical correlogram, exactly as VARIUS specifies ([`field`]),
+//! * descriptive statistics and histograms used by the evaluation
+//!   ([`descriptive`], [`histogram`]),
+//! * small fitting helpers, e.g. the straight-line least-squares fit
+//!   LinOpt uses for its power-vs-voltage approximation ([`linfit`]).
+//!
+//! # Example
+//!
+//! Generate a 16×16 correlated field and check its spatial smoothness:
+//!
+//! ```
+//! use vastats::field::{GaussianField, SphericalCorrelogram};
+//! use vastats::rng::SimRng;
+//!
+//! let corr = SphericalCorrelogram::new(0.5); // range = half the domain
+//! let field = GaussianField::build(16, 16, corr).expect("positive definite");
+//! let mut rng = SimRng::seed_from(42);
+//! let sample = field.sample(&mut rng);
+//! assert_eq!(sample.len(), 256);
+//! ```
+
+#![forbid(unsafe_code)]
+// Index loops mirror the textbook linear-algebra formulations.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod descriptive;
+pub mod field;
+pub mod histogram;
+pub mod linfit;
+pub mod matrix;
+pub mod normal;
+pub mod rng;
+
+pub use bootstrap::{mean_ci, MeanCi};
+pub use descriptive::Summary;
+pub use field::{FieldError, GaussianField, SphericalCorrelogram};
+pub use histogram::Histogram;
+pub use linfit::LineFit;
+pub use matrix::{CholeskyError, SymMatrix};
+pub use normal::Normal;
+pub use rng::SimRng;

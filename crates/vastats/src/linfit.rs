@@ -1,0 +1,109 @@
+//! Straight-line least-squares fitting.
+//!
+//! LinOpt (paper §4.3.1, Figure 1) approximates each core's
+//! power-vs-voltage curve as a line `p = b·v + c` fitted to power
+//! measurements at three voltage levels (`Vlow`, `Vmid`, `Vhigh`),
+//! minimizing the vertical errors. This module is that fit.
+
+use crate::matrix::least_squares;
+
+/// Result of fitting `y = slope·x + intercept`.
+///
+/// # Example
+///
+/// ```
+/// use vastats::LineFit;
+/// let fit = LineFit::fit(&[(0.6, 2.0), (0.8, 3.0), (1.0, 4.0)]).unwrap();
+/// assert!((fit.slope - 5.0).abs() < 1e-9);
+/// assert!((fit.intercept + 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope of the fitted line (the `bᵢ` constant in LinOpt).
+    pub slope: f64,
+    /// Intercept of the fitted line (the `cᵢ` constant in LinOpt).
+    pub intercept: f64,
+    /// Root-mean-square vertical error of the fit (the paper's `dErr`).
+    pub rms_error: f64,
+}
+
+impl LineFit {
+    /// Fits a line to `(x, y)` points by ordinary least squares.
+    ///
+    /// Returns `None` when the points are degenerate (fewer than two, or
+    /// all at the same `x`), in which case no line is identifiable.
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        let x0 = points[0].0;
+        if points.iter().all(|&(x, _)| (x - x0).abs() < 1e-15) {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = points.iter().map(|&(x, _)| vec![1.0, x]).collect();
+        let y: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+        let beta = least_squares(&rows, &y).ok()?;
+        let (intercept, slope) = (beta[0], beta[1]);
+        let mse = points
+            .iter()
+            .map(|&(x, y)| (y - (slope * x + intercept)).powi(2))
+            .sum::<f64>()
+            / points.len() as f64;
+        Some(Self {
+            slope,
+            intercept,
+            rms_error: mse.sqrt(),
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_zero_error() {
+        let fit = LineFit::fit(&[(1.0, 1.0), (2.0, 3.0), (3.0, 5.0)]).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-10);
+        assert!((fit.intercept + 1.0).abs() < 1e-10);
+        assert!(fit.rms_error < 1e-10);
+    }
+
+    #[test]
+    fn noisy_points_small_error() {
+        let fit = LineFit::fit(&[(0.6, 2.05), (0.8, 2.95), (1.0, 4.02)]).unwrap();
+        assert!(fit.rms_error > 0.0 && fit.rms_error < 0.1);
+        assert!((fit.eval(0.8) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn quadratic_underestimates_middle() {
+        // Power is convex in voltage; a linear fit to a convex function
+        // overshoots at the midpoint — this is the paper's Figure 1 shape.
+        let pts: Vec<(f64, f64)> = [0.6f64, 0.8, 1.0]
+            .iter()
+            .map(|&v| (v, v * v))
+            .collect();
+        let fit = LineFit::fit(&pts).unwrap();
+        assert!(fit.eval(0.8) > 0.8 * 0.8);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(LineFit::fit(&[]).is_none());
+        assert!(LineFit::fit(&[(1.0, 2.0)]).is_none());
+        assert!(LineFit::fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn two_points_exact() {
+        let fit = LineFit::fit(&[(0.0, 1.0), (2.0, 5.0)]).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-10);
+        assert!((fit.intercept - 1.0).abs() < 1e-10);
+    }
+}

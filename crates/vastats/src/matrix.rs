@@ -1,0 +1,397 @@
+//! Dense symmetric matrices, Cholesky factorization, and least squares.
+//!
+//! The spatial-correlation machinery in [`crate::field`] needs exactly one
+//! piece of heavy linear algebra: a Cholesky factorization of the grid
+//! covariance matrix (so correlated fields can be drawn as `L·z` with
+//! `z ~ N(0, I)`). The factorization is performed once per correlation
+//! structure and reused across the paper's 200-die batches, so a plain
+//! `O(n³/3)` dense routine is the right tool.
+
+use std::fmt;
+
+/// Error returned when a Cholesky factorization fails because the matrix
+/// is not (numerically) positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CholeskyError {
+    /// Index of the pivot that became non-positive.
+    pub pivot: usize,
+}
+
+impl fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} is non-positive)",
+            self.pivot
+        )
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// A dense symmetric matrix stored as the full square for simplicity.
+///
+/// Only the lower triangle is read by the factorization; constructors
+/// enforce symmetry.
+///
+/// # Example
+///
+/// ```
+/// use vastats::matrix::SymMatrix;
+/// let m = SymMatrix::from_fn(2, |i, j| if i == j { 2.0 } else { 0.5 });
+/// let l = m.cholesky().expect("positive definite");
+/// // L L^T reproduces the original matrix.
+/// let back = l.multiply_transpose();
+/// assert!((back.get(0, 1) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds a symmetric matrix by evaluating `f(i, j)` for `j <= i` and
+    /// mirroring.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = f(i, j);
+                m.data[i * n + j] = v;
+                m.data[j * n + i] = v;
+            }
+        }
+        m
+    }
+
+    /// Dimension of the matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Symmetric element setter (writes both `(i,j)` and `(j,i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Cholesky factorization `A = L Lᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CholeskyError`] if the matrix is not numerically positive
+    /// definite. Callers building covariance matrices typically retry with
+    /// a small diagonal jitter (see [`crate::field::GaussianField`]).
+    pub fn cholesky(&self) -> Result<LowerTriangular, CholeskyError> {
+        let n = self.n;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.data[i * n + j];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(CholeskyError { pivot: i });
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(LowerTriangular { n, data: l })
+    }
+
+    /// Adds `jitter` to every diagonal element (in place).
+    pub fn add_diagonal(&mut self, jitter: f64) {
+        for i in 0..self.n {
+            self.data[i * self.n + i] += jitter;
+        }
+    }
+}
+
+/// Lower-triangular factor produced by [`SymMatrix::cholesky`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerTriangular {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl LowerTriangular {
+    /// Dimension of the factor.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor (`0` above the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Computes `y = L x`. Used to turn i.i.d. normals into correlated
+    /// field samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..i * self.n + i + 1];
+            let mut acc = 0.0;
+            for (k, &l) in row.iter().enumerate() {
+                acc += l * x[k];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Solves `L Lᵀ x = b` by forward and back substitution — i.e.
+    /// solves the original system `A x = b` given `A`'s Cholesky factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        // Forward: L w = b.
+        let mut w = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.data[i * n + k] * w[k];
+            }
+            w[i] = sum / self.data[i * n + i];
+        }
+        // Back: L^T x = w.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = w[i];
+            for k in i + 1..n {
+                sum -= self.data[k * n + i] * x[k];
+            }
+            x[i] = sum / self.data[i * n + i];
+        }
+        x
+    }
+
+    /// Reconstructs `L Lᵀ` (testing helper).
+    pub fn multiply_transpose(&self) -> SymMatrix {
+        let n = self.n;
+        SymMatrix::from_fn(n, |i, j| {
+            let mut acc = 0.0;
+            for k in 0..=j.min(i) {
+                acc += self.data[i * n + k] * self.data[j * n + k];
+            }
+            acc
+        })
+    }
+}
+
+/// Solves the ordinary least-squares problem `min ‖X β − y‖²` via normal
+/// equations and Cholesky.
+///
+/// `rows` holds the design-matrix rows; each row must have the same
+/// length `p ≤ rows.len()`.
+///
+/// # Errors
+///
+/// Returns [`CholeskyError`] if `XᵀX` is singular (collinear columns).
+///
+/// # Panics
+///
+/// Panics if `rows` is empty, rows have inconsistent lengths, or
+/// `y.len() != rows.len()`.
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, CholeskyError> {
+    assert!(!rows.is_empty(), "least squares needs at least one row");
+    let p = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == p), "ragged design matrix");
+    assert_eq!(y.len(), rows.len(), "y length must match row count");
+
+    // Form X^T X and X^T y.
+    let xtx = SymMatrix::from_fn(p, |i, j| rows.iter().map(|r| r[i] * r[j]).sum());
+    let mut xty = vec![0.0; p];
+    for (r, &yi) in rows.iter().zip(y) {
+        for (j, &xj) in r.iter().enumerate() {
+            xty[j] += xj * yi;
+        }
+    }
+
+    let l = xtx.cholesky()?;
+    // Forward substitution: L w = X^T y.
+    let n = p;
+    let mut w = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = xty[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * w[k];
+        }
+        w[i] = sum / l.get(i, i);
+    }
+    // Back substitution: L^T beta = w.
+    let mut beta = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = w[i];
+        for k in i + 1..n {
+            sum -= l.get(k, i) * beta[k];
+        }
+        beta[i] = sum / l.get(i, i);
+    }
+    Ok(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_identity() {
+        let m = SymMatrix::from_fn(4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let l = m.cholesky().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((l.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        // A known SPD matrix.
+        let m = SymMatrix::from_fn(3, |i, j| match (i, j) {
+            (0, 0) => 4.0,
+            (1, 1) => 5.0,
+            (2, 2) => 6.0,
+            (1, 0) => 1.0,
+            (2, 0) => 0.5,
+            (2, 1) => 1.5,
+            _ => unreachable!(),
+        });
+        let l = m.cholesky().unwrap();
+        let back = l.multiply_transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((back.get(i, j) - m.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = SymMatrix::from_fn(2, |i, j| if i == j { -1.0 } else { 0.0 });
+        assert!(m.cholesky().is_err());
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = SymMatrix::from_fn(3, |i, j| if i == j { 2.0 } else { 0.3 });
+        let l = m.cholesky().unwrap();
+        let x = vec![1.0, -2.0, 0.5];
+        let y = l.mul_vec(&x);
+        for i in 0..3 {
+            let mut expect = 0.0;
+            for k in 0..3 {
+                expect += l.get(i, k) * x[k];
+            }
+            assert!((y[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_line() {
+        // y = 2 + 3x fitted exactly.
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..5).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let beta = least_squares(&rows, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_minimizes() {
+        // Points not on a line; check residual orthogonality X^T r = 0.
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ];
+        let y = vec![0.0, 0.9, 2.2, 2.9];
+        let beta = least_squares(&rows, &y).unwrap();
+        let mut rt_x = [0.0f64; 2];
+        for (r, &yi) in rows.iter().zip(&y) {
+            let pred = beta[0] * r[0] + beta[1] * r[1];
+            let resid = yi - pred;
+            rt_x[0] += resid * r[0];
+            rt_x[1] += resid * r[1];
+        }
+        assert!(rt_x[0].abs() < 1e-9 && rt_x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_roundtrips() {
+        let m = SymMatrix::from_fn(4, |i, j| {
+            if i == j {
+                3.0 + i as f64
+            } else {
+                0.4 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let l = m.cholesky().unwrap();
+        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        // b = A x.
+        let mut b = vec![0.0; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                b[i] += m.get(i, j) * x_true[j];
+            }
+        }
+        let x = l.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn add_diagonal_shifts_pivots() {
+        let mut m = SymMatrix::from_fn(2, |_, _| 1.0); // singular
+        assert!(m.cholesky().is_err() || m.cholesky().is_ok());
+        m.add_diagonal(0.5);
+        assert!(m.cholesky().is_ok());
+    }
+}

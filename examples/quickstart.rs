@@ -1,0 +1,62 @@
+//! Quickstart: manufacture a die, inspect its variation, and run one
+//! workload under variation-aware scheduling + LinOpt power management.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vasp::vasched::prelude::*;
+
+fn main() {
+    // 1. Manufacture one 20-core die with the paper's variation
+    //    parameters (Vth sigma/mu = 0.12, phi = 0.5).
+    let variation = VariationConfig {
+        grid: 40,
+        ..VariationConfig::paper_default()
+    };
+    let mut rng = SimRng::seed_from(2008);
+    let die = DieGenerator::new(variation)
+        .expect("valid configuration")
+        .generate(&mut rng);
+
+    let floorplan = paper_20_core();
+    let machine = Machine::new(&die, &floorplan, MachineConfig::paper_default());
+
+    // 2. Within-die variation makes the cores heterogeneous.
+    println!("Per-core rated frequency and zero-load static power @ 1 V:");
+    for core in 0..machine.core_count() {
+        println!(
+            "  core {core:>2}: {:>5.2} GHz, {:>5.2} W static",
+            machine.rated_max_freq(core) / 1e9,
+            machine.manufacturer_static_power(core, 1.0),
+        );
+    }
+    let fmax: Vec<f64> = (0..20).map(|c| machine.rated_max_freq(c)).collect();
+    let fast = fmax.iter().cloned().fold(0.0f64, f64::max);
+    let slow = fmax.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("frequency spread on this die: {:.0}%\n", (fast / slow - 1.0) * 100.0);
+
+    // 3. Run a 12-app workload under VarF&AppIPC + LinOpt at the
+    //    Cost-Performance budget, and compare with the naive baseline.
+    let pool = app_pool(&machine.config().dynamic);
+    let workload = Workload::draw(&pool, 12, &mut rng);
+    let budget = PowerBudget::cost_performance(12);
+    let runtime = RuntimeConfig::paper_default();
+
+    let run = |policy, manager| {
+        let mut m = machine.clone();
+        let mut trial_rng = SimRng::seed_from(42);
+        run_trial(&mut m, &workload, policy, manager, budget, &runtime, &mut trial_rng)
+    };
+
+    let baseline = run(SchedPolicy::Random, ManagerKind::FoxtonStar);
+    let linopt = run(SchedPolicy::VarFAppIpc, ManagerKind::LinOpt);
+
+    println!("Random+Foxton*      : {:>8.0} MIPS at {:>5.1} W", baseline.mips, baseline.avg_power_w);
+    println!("VarF&AppIPC+LinOpt  : {:>8.0} MIPS at {:>5.1} W", linopt.mips, linopt.avg_power_w);
+    println!(
+        "throughput gain: {:+.1}%   ED^2 change: {:+.1}%",
+        (linopt.mips / baseline.mips - 1.0) * 100.0,
+        (linopt.ed2 / baseline.ed2 - 1.0) * 100.0,
+    );
+}

@@ -1,0 +1,17 @@
+//! Facade crate re-exporting the whole variation-aware CMP workspace.
+//!
+//! See the individual crates for detail:
+//! [`vasched`] (the paper's contribution), [`cmpsim`], [`varius`],
+//! [`powermodel`], [`thermal`], [`critpath`], [`linprog`], [`anneal`],
+//! [`floorplan`], and [`vastats`].
+
+pub use anneal;
+pub use cmpsim;
+pub use critpath;
+pub use floorplan;
+pub use linprog;
+pub use powermodel;
+pub use thermal;
+pub use varius;
+pub use vasched;
+pub use vastats;
