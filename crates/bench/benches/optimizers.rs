@@ -1,15 +1,17 @@
-//! Criterion benches of the power-management optimizers.
+//! Benches of the power-management optimizers.
 //!
 //! The headline comparison backing Figure 15 and the "orders of
 //! magnitude" claim of §4.3.2: LinOpt (Simplex) vs Foxton* vs SAnn vs
 //! exhaustive search, on identical sensor views of various sizes.
+//! Plain `harness = false` binary (no crates.io access in this build
+//! environment), timed via `vasp_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vasched::manager::{
     exhaustive::exhaustive_levels, foxton::foxton_star_levels, linopt::linopt_levels,
     sann::sann_levels, synthetic_core, PmView, PowerBudget,
 };
+use vasp_bench::timing::report_case;
 use vastats::SimRng;
 
 fn view_of(threads: usize) -> PmView {
@@ -31,8 +33,7 @@ fn mid_budget(view: &PmView) -> PowerBudget {
 
 /// Figure 15's sweep: LinOpt solve time vs thread count, one series per
 /// power environment (looser budgets widen the feasible region).
-fn bench_linopt_fig15(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linopt_fig15");
+fn bench_linopt_fig15() {
     for &threads in &[1usize, 2, 4, 8, 16, 20] {
         let view = view_of(threads);
         for (env, base_w) in [("low50", 50.0), ("cost75", 75.0), ("high100", 100.0)] {
@@ -40,58 +41,45 @@ fn bench_linopt_fig15(c: &mut Criterion) {
                 chip_w: base_w * threads as f64 / 20.0,
                 per_core_w: 8.0,
             };
-            group.bench_with_input(
-                BenchmarkId::new(env, threads),
-                &threads,
-                |b, _| b.iter(|| black_box(linopt_levels(black_box(&view), &budget))),
-            );
+            report_case("linopt_fig15", &format!("{env}/{threads}"), || {
+                black_box(linopt_levels(black_box(&view), &budget));
+            });
         }
     }
-    group.finish();
 }
 
 /// LinOpt vs the alternatives at 20 threads — the "orders of magnitude"
 /// computation-time gap between LinOpt and SAnn.
-fn bench_manager_comparison(c: &mut Criterion) {
-    let mut group = c.benchmark_group("managers_20_threads");
+fn bench_manager_comparison() {
     let view = view_of(20);
     let budget = mid_budget(&view);
 
-    group.bench_function("foxton_star", |b| {
-        b.iter(|| black_box(foxton_star_levels(black_box(&view), &budget)))
+    report_case("managers_20_threads", "foxton_star", || {
+        black_box(foxton_star_levels(black_box(&view), &budget));
     });
-    group.bench_function("linopt", |b| {
-        b.iter(|| black_box(linopt_levels(black_box(&view), &budget)))
+    report_case("managers_20_threads", "linopt", || {
+        black_box(linopt_levels(black_box(&view), &budget));
     });
-    group.sample_size(10);
-    group.bench_function("sann_20k_evals", |b| {
-        b.iter(|| {
-            let mut rng = SimRng::seed_from(1);
-            black_box(sann_levels(black_box(&view), &budget, 20_000, &mut rng))
-        })
+    report_case("managers_20_threads", "sann_20k_evals", || {
+        let mut rng = SimRng::seed_from(1);
+        black_box(sann_levels(black_box(&view), &budget, 20_000, &mut rng));
     });
-    group.finish();
 }
 
 /// Exhaustive search cost blow-up on small configurations (why the
 /// paper cannot use it beyond 4 threads).
-fn bench_exhaustive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exhaustive");
-    group.sample_size(10);
+fn bench_exhaustive() {
     for &threads in &[2usize, 3, 4] {
         let view = view_of(threads);
         let budget = mid_budget(&view);
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| black_box(exhaustive_levels(black_box(&view), &budget)))
+        report_case("exhaustive", &threads.to_string(), || {
+            black_box(exhaustive_levels(black_box(&view), &budget));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_linopt_fig15,
-    bench_manager_comparison,
-    bench_exhaustive
-);
-criterion_main!(benches);
+fn main() {
+    bench_linopt_fig15();
+    bench_manager_comparison();
+    bench_exhaustive();
+}

@@ -1,37 +1,36 @@
-//! Criterion benches of the simulation substrates: variation-map
-//! generation, Simplex, machine stepping, thermal solves — the costs
-//! that bound how fast the paper-scale experiments (200 dies × 20
-//! trials) can run.
+//! Benches of the simulation substrates: variation-map generation,
+//! Simplex, machine stepping, thermal solves — the costs that bound how
+//! fast the paper-scale experiments (200 dies × 20 trials) can run.
+//! Plain `harness = false` binary (no crates.io access in this build
+//! environment), timed via `vasp_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use cmpsim::{app_pool, Machine, MachineConfig, Workload};
 use floorplan::paper_20_core;
 use linprog::Problem;
+use std::hint::black_box;
 use thermal::{ThermalModel, ThermalParams};
 use varius::{DieGenerator, VariationConfig};
+use vasp_bench::timing::report_case;
 use vastats::SimRng;
 
 /// Die-map generation at several grid resolutions (Cholesky factor is
 /// amortized across a batch; this measures the per-die sampling cost).
-fn bench_die_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("die_generation");
+fn bench_die_generation() {
     for &grid in &[20usize, 40, 60] {
         let generator = DieGenerator::new(VariationConfig {
             grid,
             ..VariationConfig::paper_default()
         })
         .expect("valid config");
-        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
-            let mut rng = SimRng::seed_from(7);
-            b.iter(|| black_box(generator.generate(&mut rng)))
+        let mut rng = SimRng::seed_from(7);
+        report_case("die_generation", &grid.to_string(), || {
+            black_box(generator.generate(&mut rng));
         });
     }
-    group.finish();
 }
 
 /// One 1 ms machine tick at full load (the runtime's inner loop).
-fn bench_machine_step(c: &mut Criterion) {
+fn bench_machine_step() {
     let generator = DieGenerator::new(VariationConfig {
         grid: 40,
         ..VariationConfig::paper_default()
@@ -47,50 +46,44 @@ fn bench_machine_step(c: &mut Criterion) {
     let mapping: Vec<Option<usize>> = (0..20).map(Some).collect();
     machine.assign(&mapping);
 
-    c.bench_function("machine_step_1ms_20_threads", |b| {
-        b.iter(|| black_box(machine.step(0.001)))
+    report_case("machine", "step_1ms_20_threads", || {
+        black_box(machine.step(0.001));
     });
 }
 
 /// Dense Simplex on LinOpt-shaped problems of growing size.
-fn bench_simplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simplex_linopt_shape");
+fn bench_simplex() {
     for &n in &[5usize, 10, 20, 40] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut lp = Problem::maximize((0..n).map(|i| 1.0 + i as f64 * 0.1).collect());
-                lp = lp.constraint_le(vec![3.0; n], 0.2 * n as f64);
-                for i in 0..n {
-                    let mut row = vec![0.0; n];
-                    row[i] = 1.0;
-                    lp = lp.constraint_le(row, 0.4);
-                }
-                black_box(lp.solve().expect("feasible"))
-            })
+        report_case("simplex_linopt_shape", &n.to_string(), || {
+            let mut lp = Problem::maximize((0..n).map(|i| 1.0 + i as f64 * 0.1).collect());
+            lp = lp.constraint_le(vec![3.0; n], 0.2 * n as f64);
+            for i in 0..n {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                lp = lp.constraint_le(row, 0.4);
+            }
+            black_box(lp.solve().expect("feasible"));
         });
     }
-    group.finish();
 }
 
 /// Steady-state thermal solve over the 22-block floorplan.
-fn bench_thermal(c: &mut Criterion) {
+fn bench_thermal() {
     let fp = paper_20_core();
     let model = ThermalModel::new(&fp, ThermalParams::paper_default());
     let powers: Vec<f64> = (0..fp.blocks().len()).map(|i| 2.0 + (i % 5) as f64).collect();
-    c.bench_function("thermal_steady_state", |b| {
-        b.iter(|| black_box(model.steady_state(black_box(&powers))))
+    report_case("thermal", "steady_state", || {
+        black_box(model.steady_state(black_box(&powers)));
     });
     let temps = model.steady_state(&powers);
-    c.bench_function("thermal_transient_1ms", |b| {
-        b.iter(|| black_box(model.transient_step(black_box(&temps), &powers, 0.001)))
+    report_case("thermal", "transient_1ms", || {
+        black_box(model.transient_step(black_box(&temps), &powers, 0.001));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_die_generation,
-    bench_machine_step,
-    bench_simplex,
-    bench_thermal
-);
-criterion_main!(benches);
+fn main() {
+    bench_die_generation();
+    bench_machine_step();
+    bench_simplex();
+    bench_thermal();
+}

@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 use vasp_bench::{parse_args, report};
+use vasched::engine::TrialRunner;
 use vasched::experiments::{
     ablation, dvfs, granularity, scheduling, timing, validation, variation, Series,
 };
@@ -30,11 +31,15 @@ fn main() {
     let opts = parse_args();
     let scale = opts.scale;
     let seed = opts.seed;
+    // parse_args installed --threads as the engine default; every
+    // experiment below fans its trials out through this runner width.
+    let workers = TrialRunner::new().workers();
+    println!("trial engine: {workers} worker thread(s)");
     let mut md = String::new();
     let _ = writeln!(
         md,
-        "# Reproduction report\n\nScale: {} dies, {} trials, {} ms/trial, grid {}, SAnn {} evals. Seed {}.\n",
-        scale.dies, scale.trials, scale.duration_ms, scale.grid, scale.sann_evaluations, seed
+        "# Reproduction report\n\nScale: {} dies, {} trials, {} ms/trial, grid {}, SAnn {} evals. Seed {}. {} runner worker(s).\n",
+        scale.dies, scale.trials, scale.duration_ms, scale.grid, scale.sann_evaluations, seed, workers
     );
     let _ = writeln!(md, "| Artifact | Paper | Measured |");
     let _ = writeln!(md, "|---|---|---|");

@@ -10,12 +10,15 @@
 //! ```text
 //! --scale smoke|quick|paper    experiment fidelity (default: quick)
 //! --seed <u64>                 master seed (default: 20080621)
+//! --threads <n>                trial-runner workers (default: all cores)
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use vasched::experiments::{Scale, Series};
+
+pub mod timing;
 
 /// Default master seed (ISCA 2008's opening day).
 pub const DEFAULT_SEED: u64 = 20_080_621;
@@ -27,9 +30,13 @@ pub struct Options {
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Trial-runner worker count (0 = all available cores).
+    pub threads: usize,
 }
 
-/// Parses `--scale` and `--seed` from the process arguments.
+/// Parses `--scale`, `--seed`, and `--threads` from the process
+/// arguments, and installs the thread count as the trial engine's
+/// process-wide default.
 ///
 /// # Panics
 ///
@@ -38,6 +45,7 @@ pub struct Options {
 pub fn parse_args() -> Options {
     let mut scale = Scale::quick();
     let mut seed = DEFAULT_SEED;
+    let mut threads = 0usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -60,11 +68,26 @@ pub fn parse_args() -> Options {
                     .parse()
                     .expect("--seed must be an unsigned integer");
             }
-            other => panic!("unknown argument '{other}' (supported: --scale, --seed)"),
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads must be an unsigned integer");
+            }
+            other => {
+                panic!("unknown argument '{other}' (supported: --scale, --seed, --threads)")
+            }
         }
         i += 1;
     }
-    Options { scale, seed }
+    vasched::engine::set_default_workers(threads);
+    Options {
+        scale,
+        seed,
+        threads,
+    }
 }
 
 /// Prints a group of series as an aligned table: one row per x value,

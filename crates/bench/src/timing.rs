@@ -1,0 +1,84 @@
+//! Minimal self-contained timing harness for the `benches/` targets.
+//!
+//! The build environment has no crates.io access, so the benches run as
+//! plain `harness = false` binaries on top of this module instead of
+//! criterion: warm up, pick an iteration count that fills the sampling
+//! window, and report the per-iteration median over a few samples.
+
+use std::time::{Duration, Instant};
+
+/// How long each measurement sample should roughly run.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(50);
+
+/// Samples collected per case.
+const SAMPLES: usize = 5;
+
+/// Times `f` and returns the median per-iteration duration.
+///
+/// The routine runs `f` once to warm caches, sizes the batch so one
+/// sample takes about [`SAMPLE_WINDOW`], then reports the median of
+/// [`SAMPLES`] batched measurements. Use [`std::hint::black_box`]
+/// inside `f` to keep the optimizer honest.
+pub fn time<F: FnMut()>(mut f: F) -> Duration {
+    let warmup = Instant::now();
+    f();
+    let once = warmup.elapsed().max(Duration::from_nanos(1));
+    let iters = (SAMPLE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed() / iters
+        })
+        .collect();
+    samples.sort();
+    samples[SAMPLES / 2]
+}
+
+/// Times `f` and prints `group/name: <per-iter>` in a fixed-width row.
+pub fn report_case<F: FnMut()>(group: &str, name: &str, f: F) -> Duration {
+    let per_iter = time(f);
+    println!("{:<44} {:>14}", format!("{group}/{name}"), pretty(per_iter));
+    per_iter
+}
+
+/// Formats a duration with a unit suited to its magnitude.
+pub fn pretty(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_positive() {
+        let d = time(|| {
+            // black_box inside the loop so the optimizer cannot collapse
+            // the whole body into a closed form (which would measure 0).
+            for i in 0..1_000u64 {
+                std::hint::black_box(i);
+            }
+        });
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn pretty_picks_units() {
+        assert!(pretty(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(pretty(Duration::from_micros(50)).ends_with("us"));
+        assert!(pretty(Duration::from_millis(50)).ends_with("ms"));
+        assert!(pretty(Duration::from_secs(50)).ends_with("s"));
+    }
+}

@@ -1,0 +1,568 @@
+//! The trial engine: declarative die-batch × workload × policy fan-out.
+//!
+//! Every figure experiment in [`crate::experiments`] runs the same
+//! protocol: derive a per-trial seed, manufacture a die, build the
+//! machine, draw a workload, then run one or more *arms* — (scheduler,
+//! manager, budget, runtime) configurations — against that same (die,
+//! workload) pair and compare them. This module owns that protocol once:
+//!
+//! * [`TrialSpec`] — the declarative description of a batch (context,
+//!   workload size, trial count, seed derivation, arms);
+//! * [`TrialRunner`] — executes a spec, optionally across threads, with
+//!   results **bit-identical** to a sequential run (every trial derives
+//!   all of its randomness from its own seed);
+//! * [`TrialResult`]/[`ArmRun`] — per-trial outcomes plus wall-clock
+//!   timing per arm;
+//! * [`TelemetryObserver`] — adapts the runtime's
+//!   [`TrialObserver`] hook to [`cmpsim::Telemetry`] so any arm of any
+//!   experiment can produce full per-tick traces.
+//!
+//! ```text
+//!   experiment (figure)          crates/core/src/experiments/*.rs
+//!        │  builds
+//!        ▼
+//!   TrialSpec ──► TrialRunner ──► run_trial_observed ──► Machine
+//!                     │                   │
+//!                     │                   └──► TrialObserver (telemetry, timing)
+//!                     └──► Vec<TrialResult> (ordered, deterministic)
+//! ```
+
+use crate::experiments::Context;
+use crate::manager::{ManagerKind, PowerBudget};
+use crate::runtime::{run_trial_observed, NullObserver, RuntimeConfig, TrialObserver, TrialOutcome};
+use crate::sched::SchedPolicy;
+use cmpsim::{Machine, Mix, StepStats, Telemetry, Workload};
+use std::time::Instant;
+use vastats::SimRng;
+
+/// How a trial's seed is derived from the experiment seed:
+///
+/// ```text
+/// trial_seed = seed · mul + offset + stride · trial     (wrapping)
+/// ```
+///
+/// Each experiment uses distinct constants so batches never share
+/// random streams; the defaults (`mul = 1`, `offset = 0`, `stride = 1`)
+/// give consecutive seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedPlan {
+    /// Multiplier applied to the experiment seed.
+    pub mul: u64,
+    /// Constant offset (e.g. a thread-count namespace).
+    pub offset: u64,
+    /// Increment per trial index.
+    pub stride: u64,
+}
+
+impl Default for SeedPlan {
+    fn default() -> Self {
+        Self {
+            mul: 1,
+            offset: 0,
+            stride: 1,
+        }
+    }
+}
+
+impl SeedPlan {
+    /// The seed for `trial` under this plan.
+    pub fn derive(&self, seed: u64, trial: usize) -> u64 {
+        seed.wrapping_mul(self.mul)
+            .wrapping_add(self.offset.wrapping_add(self.stride.wrapping_mul(trial as u64)))
+    }
+}
+
+/// One configuration run against each trial's (die, workload) pair.
+#[derive(Debug, Clone)]
+pub struct TrialArm {
+    /// Label as it appears in the figure's legend.
+    pub label: String,
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Power-management algorithm.
+    pub manager: ManagerKind,
+    /// Power constraints.
+    pub budget: PowerBudget,
+    /// Timeline parameters (arms may differ, e.g. a DVFS-interval sweep).
+    pub runtime: RuntimeConfig,
+    /// XOR salt for this arm's RNG: the arm runs with a fresh
+    /// `SimRng::seed_from(trial_seed ^ salt)` so every arm of a trial
+    /// sees identical stochastic inputs. `None` continues the trial's
+    /// setup RNG instead (single-arm specs that want one unbroken
+    /// random stream per trial).
+    pub rng_salt: Option<u64>,
+}
+
+/// A batch of independent trials: each manufactures a fresh die and
+/// workload from its own seed, then runs every arm on that pair.
+///
+/// Machine state (thermal history in particular) carries over from arm
+/// to arm within a trial, as the figure experiments always ran them.
+#[derive(Debug, Clone)]
+pub struct TrialSpec<'a> {
+    /// Shared floorplan/die-generator/machine-config context.
+    pub ctx: &'a Context,
+    /// Application pool workloads are drawn from.
+    pub pool: &'a [cmpsim::AppSpec],
+    /// Applications per workload.
+    pub threads: usize,
+    /// Which applications the draw admits.
+    pub mix: Mix,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Per-trial seed derivation.
+    pub plan: SeedPlan,
+    /// The configurations compared within each trial.
+    pub arms: Vec<TrialArm>,
+}
+
+/// One arm's result within one trial.
+#[derive(Debug, Clone)]
+pub struct ArmRun {
+    /// The trial outcome.
+    pub outcome: TrialOutcome,
+    /// Wall-clock seconds this arm took (host time, not simulated).
+    pub wall_s: f64,
+}
+
+/// All arms of one trial, in spec order.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Trial index within the batch.
+    pub trial: usize,
+    /// The derived seed this trial ran from.
+    pub trial_seed: u64,
+    /// One entry per [`TrialSpec::arms`] element.
+    pub arms: Vec<ArmRun>,
+}
+
+impl TrialResult {
+    /// The outcomes alone, in arm order (wall-clock stripped — this is
+    /// what determinism comparisons should use).
+    pub fn outcomes(&self) -> Vec<&TrialOutcome> {
+        self.arms.iter().map(|a| &a.outcome).collect()
+    }
+}
+
+/// Executes [`TrialSpec`] batches, optionally across OS threads.
+///
+/// Trials are embarrassingly parallel — each derives all randomness
+/// from its own seed — so the result vector is identical to a
+/// sequential run regardless of thread scheduling (asserted by
+/// `tests/engine.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct TrialRunner {
+    workers: usize,
+}
+
+impl Default for TrialRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Process-wide worker-count override for [`TrialRunner::new`]
+/// (0 = use `available_parallelism`). Lets CLI entry points expose a
+/// `--threads` flag without threading a runner through every
+/// experiment signature.
+static DEFAULT_WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Sets the worker count [`TrialRunner::new`] uses from here on.
+/// Pass 0 to restore the default (`available_parallelism`).
+pub fn set_default_workers(workers: usize) {
+    DEFAULT_WORKERS.store(workers, std::sync::atomic::Ordering::Relaxed);
+}
+
+impl TrialRunner {
+    /// A runner using the process-wide default: the count set by
+    /// [`set_default_workers`], or every available core.
+    pub fn new() -> Self {
+        let workers = match DEFAULT_WORKERS.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        Self { workers }
+    }
+
+    /// A single-threaded runner.
+    pub fn sequential() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// A runner with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "runner needs at least one worker");
+        Self { workers }
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every trial of the spec, returning results in trial order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any trial.
+    pub fn run(&self, spec: &TrialSpec<'_>) -> Vec<TrialResult> {
+        self.map(spec.trials, |trial| {
+            run_one(spec, trial, |_| NullObserver).0
+        })
+    }
+
+    /// Like [`TrialRunner::run`], but builds one observer per arm (via
+    /// `make(arm_index)`) and returns them alongside each trial's
+    /// result, in arm order.
+    pub fn run_observed<O, F>(&self, spec: &TrialSpec<'_>, make: F) -> Vec<(TrialResult, Vec<O>)>
+    where
+        O: TrialObserver + Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        self.map(spec.trials, |trial| run_one(spec, trial, &make))
+    }
+
+    /// Runs `count` independent jobs across the workers and returns
+    /// their results in job order — the generic substrate under
+    /// [`TrialRunner::run`], also used directly by experiments whose
+    /// per-job work is not a machine trial (e.g. die-batch statistics).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn map<T, F>(&self, count: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers.min(count.max(1));
+        if workers <= 1 || count <= 1 {
+            return (0..count).map(job).collect();
+        }
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let job_ref = &job;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                handles.push(scope.spawn(move || {
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= count {
+                            return produced;
+                        }
+                        produced.push((i, job_ref(i)));
+                    }
+                }));
+            }
+            for handle in handles {
+                for (i, value) in handle.join().expect("trial job panicked") {
+                    slots[i] = Some(value);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// Runs one trial of a spec: seed → die → machine → workload → arms.
+fn run_one<O, F>(spec: &TrialSpec<'_>, trial: usize, make: F) -> (TrialResult, Vec<O>)
+where
+    O: TrialObserver,
+    F: Fn(usize) -> O,
+{
+    let trial_seed = spec.plan.derive(spec.seed, trial);
+    let mut rng = SimRng::seed_from(trial_seed);
+    let die = spec.ctx.make_die(&mut rng);
+    let mut machine = spec.ctx.make_machine(&die);
+    let workload = Workload::draw_mix(spec.pool, spec.threads, spec.mix, &mut rng);
+
+    let mut arms = Vec::with_capacity(spec.arms.len());
+    let mut observers = Vec::with_capacity(spec.arms.len());
+    for (ai, arm) in spec.arms.iter().enumerate() {
+        let mut observer = make(ai);
+        let start = Instant::now();
+        let outcome = match arm.rng_salt {
+            Some(salt) => run_trial_observed(
+                &mut machine,
+                &workload,
+                arm.policy,
+                arm.manager,
+                arm.budget,
+                &arm.runtime,
+                &mut SimRng::seed_from(trial_seed ^ salt),
+                &mut observer,
+            ),
+            None => run_trial_observed(
+                &mut machine,
+                &workload,
+                arm.policy,
+                arm.manager,
+                arm.budget,
+                &arm.runtime,
+                &mut rng,
+                &mut observer,
+            ),
+        };
+        arms.push(ArmRun {
+            outcome,
+            wall_s: start.elapsed().as_secs_f64(),
+        });
+        observers.push(observer);
+    }
+    (
+        TrialResult {
+            trial,
+            trial_seed,
+            arms,
+        },
+        observers,
+    )
+}
+
+/// Per-arm mean over trials of `metric(outcome) / metric(first arm)` —
+/// the normalization every relative figure uses (the first arm is the
+/// baseline and averages to exactly 1).
+///
+/// # Panics
+///
+/// Panics if `results` is empty or any trial has no arms.
+pub fn mean_relative(
+    results: &[TrialResult],
+    metric: impl Fn(&TrialOutcome) -> f64,
+) -> Vec<f64> {
+    mean_relative_to(results, 0, metric)
+}
+
+/// Like [`mean_relative`] with an arbitrary baseline arm (e.g. a sweep
+/// normalized to its middle point).
+///
+/// # Panics
+///
+/// Panics if `results` is empty or `baseline` is out of range.
+pub fn mean_relative_to(
+    results: &[TrialResult],
+    baseline: usize,
+    metric: impl Fn(&TrialOutcome) -> f64,
+) -> Vec<f64> {
+    assert!(!results.is_empty(), "no trials to average");
+    let arms = results[0].arms.len();
+    let mut sums = vec![0.0f64; arms];
+    for r in results {
+        let base = metric(&r.arms[baseline].outcome);
+        for (ai, arm) in r.arms.iter().enumerate() {
+            sums[ai] += metric(&arm.outcome) / base;
+        }
+    }
+    sums.iter().map(|s| s / results.len() as f64).collect()
+}
+
+/// Per-arm mean over trials of `metric(outcome)`, unnormalized.
+///
+/// # Panics
+///
+/// Panics if `results` is empty.
+pub fn mean_metric(
+    results: &[TrialResult],
+    metric: impl Fn(&TrialOutcome) -> f64,
+) -> Vec<f64> {
+    assert!(!results.is_empty(), "no trials to average");
+    let arms = results[0].arms.len();
+    let mut sums = vec![0.0f64; arms];
+    for r in results {
+        for (ai, arm) in r.arms.iter().enumerate() {
+            sums[ai] += metric(&arm.outcome);
+        }
+    }
+    sums.iter().map(|s| s / results.len() as f64).collect()
+}
+
+/// Prepares the standard machine state the optimizer-level experiments
+/// probe: manufacture a die from `rng`, draw `threads` applications,
+/// map them to the first cores, and take one 1 ms step to populate the
+/// power/IPC sensors. The `rng` continues past the draw so callers can
+/// feed it to stochastic optimizers.
+pub fn loaded_machine(
+    ctx: &Context,
+    pool: &[cmpsim::AppSpec],
+    threads: usize,
+    rng: &mut SimRng,
+) -> Machine {
+    let die = ctx.make_die(rng);
+    let mut machine = ctx.make_machine(&die);
+    let workload = Workload::draw(pool, threads, rng);
+    machine.load_threads(workload.spawn_threads(rng));
+    let mut mapping = vec![None; machine.core_count()];
+    for t in 0..threads {
+        mapping[t] = Some(t);
+    }
+    machine.assign(&mapping);
+    machine.step(0.001);
+    machine
+}
+
+/// A [`TrialObserver`] that records a full [`Telemetry`] trace of the
+/// trial it observes.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryObserver {
+    telemetry: Telemetry,
+}
+
+impl TelemetryObserver {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded trace.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Consumes the observer, yielding the trace.
+    pub fn into_telemetry(self) -> Telemetry {
+        self.telemetry
+    }
+}
+
+impl TrialObserver for TelemetryObserver {
+    fn on_step(&mut self, machine: &Machine, stats: &StepStats) {
+        self.telemetry.record(machine, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+    use crate::runtime::FreqMode;
+    use cmpsim::app_pool;
+
+    fn spec_fixture<'a>(ctx: &'a Context, pool: &'a [cmpsim::AppSpec]) -> TrialSpec<'a> {
+        let runtime = RuntimeConfig {
+            duration_ms: 60.0,
+            os_interval_ms: 30.0,
+            freq_mode: FreqMode::NonUniform,
+            ..RuntimeConfig::paper_default()
+        };
+        TrialSpec {
+            ctx,
+            pool,
+            threads: 4,
+            mix: Mix::Balanced,
+            trials: 3,
+            seed: 77,
+            plan: SeedPlan {
+                mul: 1_000_003,
+                offset: 4_000,
+                stride: 1,
+            },
+            arms: vec![
+                TrialArm {
+                    label: "Random".into(),
+                    policy: SchedPolicy::Random,
+                    manager: ManagerKind::None,
+                    budget: PowerBudget::high_performance(4),
+                    runtime,
+                    rng_salt: Some(0xABCD),
+                },
+                TrialArm {
+                    label: "VarF&AppIPC".into(),
+                    policy: SchedPolicy::VarFAppIpc,
+                    manager: ManagerKind::None,
+                    budget: PowerBudget::high_performance(4),
+                    runtime,
+                    rng_salt: Some(0xABCD),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn seed_plan_matches_legacy_formulas() {
+        let plan = SeedPlan {
+            mul: 1_000_003,
+            offset: 8 * 1000,
+            stride: 1,
+        };
+        let seed = 42u64;
+        assert_eq!(
+            plan.derive(seed, 5),
+            seed.wrapping_mul(1_000_003).wrapping_add(8 * 1000 + 5)
+        );
+        let stride_plan = SeedPlan {
+            stride: 6011,
+            ..SeedPlan::default()
+        };
+        assert_eq!(stride_plan.derive(seed, 3), seed.wrapping_add(3 * 6011));
+    }
+
+    #[test]
+    fn runner_produces_one_result_per_trial_in_order() {
+        let scale = Scale::smoke();
+        let ctx = Context::new(scale.grid);
+        let pool = app_pool(&ctx.machine_config().dynamic);
+        let spec = spec_fixture(&ctx, &pool);
+        let results = TrialRunner::sequential().run(&spec);
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.trial, i);
+            assert_eq!(r.trial_seed, spec.plan.derive(spec.seed, i));
+            assert_eq!(r.arms.len(), 2);
+            for arm in &r.arms {
+                assert!(arm.outcome.mips > 0.0);
+                assert!(arm.wall_s >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_relative_baseline_is_one() {
+        let scale = Scale::smoke();
+        let ctx = Context::new(scale.grid);
+        let pool = app_pool(&ctx.machine_config().dynamic);
+        let spec = spec_fixture(&ctx, &pool);
+        let results = TrialRunner::sequential().run(&spec);
+        let rel = mean_relative(&results, |o| o.mips);
+        assert_eq!(rel.len(), 2);
+        assert!((rel[0] - 1.0).abs() < 1e-12, "baseline normalizes to 1");
+        assert!(rel[1] > 0.0);
+    }
+
+    #[test]
+    fn telemetry_observer_captures_every_tick() {
+        let scale = Scale::smoke();
+        let ctx = Context::new(scale.grid);
+        let pool = app_pool(&ctx.machine_config().dynamic);
+        let mut spec = spec_fixture(&ctx, &pool);
+        spec.trials = 1;
+        let results = TrialRunner::sequential().run_observed(&spec, |_| TelemetryObserver::new());
+        assert_eq!(results.len(), 1);
+        let (_, observers) = &results[0];
+        assert_eq!(observers.len(), 2);
+        for obs in observers {
+            // 60 ms at 1 ms ticks.
+            assert_eq!(obs.telemetry().len(), 60);
+            assert!(obs.telemetry().peak_power_w() > 0.0);
+        }
+    }
+
+    #[test]
+    fn map_preserves_job_order() {
+        let out = TrialRunner::with_workers(4).map(16, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -11,12 +11,15 @@
 //!   assumption's prediction error is measurable.
 
 use super::{Context, Scale, Series};
-use varius::VariationConfig;
+use crate::engine::{
+    loaded_machine, mean_relative, mean_relative_to, SeedPlan, TrialArm, TrialRunner, TrialSpec,
+};
 use crate::manager::linopt::{linopt_levels_with, RoundingPolicy};
 use crate::manager::{ManagerKind, PmView, PowerBudget};
-use crate::runtime::{run_trial, RuntimeConfig};
+use crate::runtime::RuntimeConfig;
 use crate::sched::SchedPolicy;
-use cmpsim::{app_pool, Mix, Workload};
+use cmpsim::{app_pool, Mix};
+use varius::VariationConfig;
 use vastats::SimRng;
 
 /// Outcome of one ablation configuration.
@@ -43,43 +46,42 @@ pub fn linopt_variants(scale: &Scale, seed: u64, threads: usize) -> Vec<(String,
         ("2-point fit, round down", 2, RoundingPolicy::Down),
         ("3-point fit, round nearest", 3, RoundingPolicy::Nearest),
     ];
+    let plan = SeedPlan {
+        stride: 6011,
+        ..SeedPlan::default()
+    };
 
-    let mut sums = vec![(0.0f64, 0.0f64, 0usize); variants.len()];
-    for trial in 0..scale.trials {
-        let mut rng = SimRng::seed_from(seed.wrapping_add(trial as u64 * 6011));
-        let die = ctx.make_die(&mut rng);
-        let mut machine = ctx.make_machine(&die);
-        let workload = Workload::draw(&pool, threads, &mut rng);
-        machine.load_threads(workload.spawn_threads(&mut rng));
-        let mut mapping = vec![None; machine.core_count()];
-        for t in 0..threads {
-            mapping[t] = Some(t);
-        }
-        machine.assign(&mapping);
-        machine.step(0.001);
+    // per_trial[trial][variant] = (mips, power, feasible).
+    let per_trial = TrialRunner::new().map(scale.trials, |trial| {
+        let mut rng = SimRng::seed_from(plan.derive(seed, trial));
+        let machine = loaded_machine(&ctx, &pool, threads, &mut rng);
         let view = PmView::from_machine(&machine);
         let budget = PowerBudget::cost_performance(threads);
-
-        for (vi, &(_, points, rounding)) in variants.iter().enumerate() {
-            let levels = linopt_levels_with(&view, &budget, points, rounding);
-            sums[vi].0 += view.throughput_mips(&levels);
-            sums[vi].1 += view.total_power(&levels);
-            if view.feasible(&levels, &budget) {
-                sums[vi].2 += 1;
-            }
-        }
-    }
+        variants
+            .iter()
+            .map(|&(_, points, rounding)| {
+                let levels = linopt_levels_with(&view, &budget, points, rounding);
+                (
+                    view.throughput_mips(&levels),
+                    view.total_power(&levels),
+                    view.feasible(&levels, &budget),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
 
     variants
         .iter()
-        .zip(&sums)
-        .map(|(&(label, _, _), &(mips, power, feas))| {
+        .enumerate()
+        .map(|(vi, &(label, _, _))| {
+            let mips: f64 = per_trial.iter().map(|t| t[vi].0).sum();
+            let power: f64 = per_trial.iter().map(|t| t[vi].1).sum();
             (
                 label.to_string(),
                 AblationPoint {
                     mips: mips / scale.trials as f64,
                     power_w: power / scale.trials as f64,
-                    feasible: feas == scale.trials,
+                    feasible: per_trial.iter().all(|t| t[vi].2),
                 },
             )
         })
@@ -93,25 +95,20 @@ pub fn linopt_variants(scale: &Scale, seed: u64, threads: usize) -> Vec<(String,
 pub fn ipc_frequency_error(scale: &Scale, seed: u64, threads: usize) -> f64 {
     let ctx = Context::new(scale.grid);
     let pool = app_pool(&ctx.machine_config().dynamic);
-    let mut total_err = 0.0;
-    let mut count = 0usize;
+    let plan = SeedPlan {
+        stride: 6029,
+        ..SeedPlan::default()
+    };
 
-    for trial in 0..scale.trials {
-        let mut rng = SimRng::seed_from(seed.wrapping_add(trial as u64 * 6029));
-        let die = ctx.make_die(&mut rng);
-        let mut machine = ctx.make_machine(&die);
-        let workload = Workload::draw(&pool, threads, &mut rng);
-        machine.load_threads(workload.spawn_threads(&mut rng));
-        let mut mapping = vec![None; machine.core_count()];
-        for t in 0..threads {
-            mapping[t] = Some(t);
-        }
-        machine.assign(&mapping);
-        machine.step(0.001);
+    let per_trial = TrialRunner::new().map(scale.trials, |trial| {
+        let mut rng = SimRng::seed_from(plan.derive(seed, trial));
+        let machine = loaded_machine(&ctx, &pool, threads, &mut rng);
         let view = PmView::from_machine(&machine);
         let budget = PowerBudget::cost_performance(threads);
         let levels = linopt_levels_with(&view, &budget, 3, RoundingPolicy::Down);
 
+        let mut err = 0.0;
+        let mut count = 0usize;
         for (core_view, &level) in view.cores().iter().zip(&levels) {
             let assumed_ipc = core_view.ipc;
             let chosen_f = core_view.freqs[level];
@@ -120,10 +117,13 @@ pub fn ipc_frequency_error(scale: &Scale, seed: u64, threads: usize) -> f64 {
             }
             let thread_idx = machine.thread_of(core_view.core).expect("active core");
             let true_ipc = machine.threads()[thread_idx].ipc_now(chosen_f);
-            total_err += ((true_ipc - assumed_ipc) / true_ipc).abs();
+            err += ((true_ipc - assumed_ipc) / true_ipc).abs();
             count += 1;
         }
-    }
+        (err, count)
+    });
+    let total_err: f64 = per_trial.iter().map(|&(e, _)| e).sum();
+    let count: usize = per_trial.iter().map(|&(_, c)| c).sum();
     total_err / count.max(1) as f64
 }
 
@@ -142,37 +142,36 @@ pub fn granularity(scale: &Scale, seed: u64) -> Series {
     };
     let budget = PowerBudget::cost_performance(20);
 
-    let mut sums = vec![0.0f64; sizes.len()];
-    for trial in 0..scale.trials {
-        let trial_seed = seed.wrapping_mul(6151).wrapping_add(trial as u64);
-        let mut rng = SimRng::seed_from(trial_seed);
-        let die = ctx.make_die(&mut rng);
-        let mut machine = ctx.make_machine(&die);
-        let workload = Workload::draw(&pool, 20, &mut rng);
-        let mut base = 0.0;
-        for (si, &size) in sizes.iter().enumerate() {
-            let mut algo_rng = SimRng::seed_from(trial_seed ^ 0xD0);
-            let out = run_trial(
-                &mut machine,
-                &workload,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::DomainLinOpt {
+    let spec = TrialSpec {
+        ctx: &ctx,
+        pool: &pool,
+        threads: 20,
+        mix: Mix::Balanced,
+        trials: scale.trials,
+        seed,
+        plan: SeedPlan {
+            mul: 6151,
+            ..SeedPlan::default()
+        },
+        arms: sizes
+            .iter()
+            .map(|&size| TrialArm {
+                label: format!("{size} cores/domain"),
+                policy: SchedPolicy::VarFAppIpc,
+                manager: ManagerKind::DomainLinOpt {
                     cores_per_domain: size,
                 },
                 budget,
-                &runtime,
-                &mut algo_rng,
-            );
-            if si == 0 {
-                base = out.mips;
-            }
-            sums[si] += out.mips / base;
-        }
-    }
+                runtime,
+                rng_salt: Some(0xD0),
+            })
+            .collect(),
+    };
+    let results = TrialRunner::new().run(&spec);
     Series::new(
         "relative MIPS",
         sizes.iter().map(|&s| s as f64).collect(),
-        sums.iter().map(|s| s / scale.trials as f64).collect(),
+        mean_relative(&results, |o| o.mips),
     )
 }
 
@@ -186,43 +185,42 @@ pub fn transition_cost(scale: &Scale, seed: u64, threads: usize) -> Series {
     let intervals = [1.0f64, 5.0, 10.0, 50.0];
     let budget = PowerBudget::cost_performance(threads);
 
-    let mut sums = vec![0.0f64; intervals.len()];
-    for trial in 0..scale.trials {
-        let trial_seed = seed.wrapping_mul(6301).wrapping_add(trial as u64);
-        let mut rng = SimRng::seed_from(trial_seed);
-        let die = ctx.make_die(&mut rng);
-        let mut machine = ctx.make_machine(&die);
-        let workload = Workload::draw(&pool, threads, &mut rng);
-        let mut results = Vec::with_capacity(intervals.len());
-        for &interval in &intervals {
-            let duration = scale.duration_ms.max(interval * 4.0).max(100.0);
-            let runtime = RuntimeConfig {
-                dvfs_interval_ms: interval,
-                os_interval_ms: duration.min(100.0).max(interval),
-                duration_ms: duration,
-                ..RuntimeConfig::paper_default()
-            };
-            let mut algo_rng = SimRng::seed_from(trial_seed ^ 0xD1);
-            let out = run_trial(
-                &mut machine,
-                &workload,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::LinOpt,
-                budget,
-                &runtime,
-                &mut algo_rng,
-            );
-            results.push(out.mips);
-        }
-        let base = results[2]; // 10 ms
-        for (si, r) in results.iter().enumerate() {
-            sums[si] += r / base;
-        }
-    }
+    let spec = TrialSpec {
+        ctx: &ctx,
+        pool: &pool,
+        threads,
+        mix: Mix::Balanced,
+        trials: scale.trials,
+        seed,
+        plan: SeedPlan {
+            mul: 6301,
+            ..SeedPlan::default()
+        },
+        arms: intervals
+            .iter()
+            .map(|&interval| {
+                let duration = scale.duration_ms.max(interval * 4.0).max(100.0);
+                TrialArm {
+                    label: format!("{interval} ms"),
+                    policy: SchedPolicy::VarFAppIpc,
+                    manager: ManagerKind::LinOpt,
+                    budget,
+                    runtime: RuntimeConfig {
+                        dvfs_interval_ms: interval,
+                        os_interval_ms: duration.min(100.0).max(interval),
+                        duration_ms: duration,
+                        ..RuntimeConfig::paper_default()
+                    },
+                    rng_salt: Some(0xD1),
+                }
+            })
+            .collect(),
+    };
+    let results = TrialRunner::new().run(&spec);
     Series::new(
         "relative MIPS",
         intervals.to_vec(),
-        sums.iter().map(|s| s / scale.trials as f64).collect(),
+        mean_relative_to(&results, 2, |o| o.mips), // 10 ms is the baseline
     )
 }
 
@@ -250,36 +248,44 @@ pub fn mix_sensitivity(scale: &Scale, seed: u64) -> Vec<(String, f64)> {
         (Mix::FpOnly, "fp-only"),
         (Mix::IntOnly, "int-only"),
     ];
+    let runner = TrialRunner::new();
 
     mixes
         .iter()
         .map(|&(mix, name)| {
-            let mut ratio_sum = 0.0;
-            for trial in 0..scale.trials {
-                let trial_seed = seed.wrapping_mul(6473).wrapping_add(trial as u64);
-                let mut rng = SimRng::seed_from(trial_seed);
-                let die = ctx.make_die(&mut rng);
-                let mut machine = ctx.make_machine(&die);
-                let workload = Workload::draw_mix(&pool, threads, mix, &mut rng);
-                let run = |machine: &mut cmpsim::Machine,
-                           policy: crate::sched::SchedPolicy,
-                           manager: ManagerKind| {
-                    let mut algo_rng = SimRng::seed_from(trial_seed ^ 0xA1);
-                    run_trial(machine, &workload, policy, manager, budget, &runtime, &mut algo_rng)
-                };
-                let base = run(
-                    &mut machine,
-                    crate::sched::SchedPolicy::Random,
-                    ManagerKind::FoxtonStar,
-                );
-                let best = run(
-                    &mut machine,
-                    crate::sched::SchedPolicy::VarFAppIpc,
-                    ManagerKind::LinOpt,
-                );
-                ratio_sum += best.mips / base.mips;
-            }
-            (name.to_string(), ratio_sum / scale.trials as f64)
+            let arm = |label: &str, policy, manager| TrialArm {
+                label: label.to_string(),
+                policy,
+                manager,
+                budget,
+                runtime,
+                rng_salt: Some(0xA1),
+            };
+            let spec = TrialSpec {
+                ctx: &ctx,
+                pool: &pool,
+                threads,
+                mix,
+                trials: scale.trials,
+                seed,
+                plan: SeedPlan {
+                    mul: 6473,
+                    ..SeedPlan::default()
+                },
+                arms: vec![
+                    arm("Random+Foxton*", SchedPolicy::Random, ManagerKind::FoxtonStar),
+                    arm(
+                        "VarF&AppIPC+LinOpt",
+                        SchedPolicy::VarFAppIpc,
+                        ManagerKind::LinOpt,
+                    ),
+                ],
+            };
+            let results = runner.run(&spec);
+            (
+                name.to_string(),
+                mean_relative(&results, |o| o.mips)[1],
+            )
         })
         .collect()
 }
@@ -299,6 +305,7 @@ pub fn gain_vs_sigma(scale: &Scale, seed: u64, threads: usize) -> Series {
         os_interval_ms: scale.duration_ms.min(100.0),
         ..RuntimeConfig::paper_default()
     };
+    let runner = TrialRunner::new();
 
     let y: Vec<f64> = sigmas
         .iter()
@@ -308,30 +315,31 @@ pub fn gain_vs_sigma(scale: &Scale, seed: u64, threads: usize) -> Series {
                 vth_sigma_over_mu: sigma,
                 ..VariationConfig::paper_default()
             });
-            let mut ratio_sum = 0.0;
-            for trial in 0..scale.trials {
-                let trial_seed = seed.wrapping_mul(6553).wrapping_add(trial as u64);
-                let mut rng = SimRng::seed_from(trial_seed);
-                let die = ctx.make_die(&mut rng);
-                let mut machine = ctx.make_machine(&die);
-                let workload = Workload::draw(&pool, threads, &mut rng);
-                let mut run = |policy| {
-                    let mut algo_rng = SimRng::seed_from(trial_seed ^ 0xB2);
-                    run_trial(
-                        &mut machine,
-                        &workload,
-                        policy,
-                        ManagerKind::None,
-                        budget,
-                        &runtime,
-                        &mut algo_rng,
-                    )
-                };
-                let base = run(crate::sched::SchedPolicy::Random);
-                let aware = run(crate::sched::SchedPolicy::VarFAppIpc);
-                ratio_sum += aware.mips / base.mips;
-            }
-            ratio_sum / scale.trials as f64
+            let arm = |label: &str, policy| TrialArm {
+                label: label.to_string(),
+                policy,
+                manager: ManagerKind::None,
+                budget,
+                runtime,
+                rng_salt: Some(0xB2),
+            };
+            let spec = TrialSpec {
+                ctx: &ctx,
+                pool: &pool,
+                threads,
+                mix: Mix::Balanced,
+                trials: scale.trials,
+                seed,
+                plan: SeedPlan {
+                    mul: 6553,
+                    ..SeedPlan::default()
+                },
+                arms: vec![
+                    arm("Random", SchedPolicy::Random),
+                    arm("VarF&AppIPC", SchedPolicy::VarFAppIpc),
+                ],
+            };
+            mean_relative(&runner.run(&spec), |o| o.mips)[1]
         })
         .collect();
     Series::new("VarF&AppIPC / Random", sigmas.to_vec(), y)

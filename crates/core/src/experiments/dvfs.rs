@@ -8,12 +8,12 @@
 //! * `VarF&AppIPC+LinOpt`,
 //! * `VarF&AppIPC+SAnn`.
 
-use super::{par_trials, Context, Scale, Series};
+use super::{Context, Scale, Series};
+use crate::engine::{mean_relative, SeedPlan, TrialArm, TrialRunner, TrialSpec};
 use crate::manager::{ManagerKind, PowerBudget};
-use crate::runtime::{run_trial, RuntimeConfig, TrialOutcome};
+use crate::runtime::{RuntimeConfig, TrialOutcome};
 use crate::sched::SchedPolicy;
-use cmpsim::{app_pool, Workload};
-use vastats::SimRng;
+use cmpsim::{app_pool, Mix};
 
 /// Thread counts used by Figures 11 and 13.
 pub const THREAD_COUNTS: [usize; 4] = [4, 8, 16, 20];
@@ -68,62 +68,51 @@ fn dvfs_grid(
         |o| o.weighted_ed2,
     ];
 
-    let mut accum = vec![vec![vec![0.0f64; thread_counts.len()]; algos.len()]; metrics.len()];
-
-    for (ti, &threads) in thread_counts.iter().enumerate() {
-        let budget = budget_of(threads);
-        let per_trial = par_trials(scale.trials, |trial| {
-            let trial_seed = seed
-                .wrapping_mul(1_000_033)
-                .wrapping_add((threads * 1000 + trial) as u64);
-            let mut rng = SimRng::seed_from(trial_seed);
-            let die = ctx.make_die(&mut rng);
-            let mut machine = ctx.make_machine(&die);
-            let workload = Workload::draw(&pool, threads, &mut rng);
-
-            let outcomes: Vec<TrialOutcome> = algos
-                .iter()
-                .map(|&(_, policy, manager)| {
-                    let mut algo_rng = SimRng::seed_from(trial_seed ^ 0x5EED);
-                    run_trial(
-                        &mut machine,
-                        &workload,
+    let runner = TrialRunner::new();
+    // rel[thread_count][metric][algorithm] = mean normalized value.
+    let rel: Vec<Vec<Vec<f64>>> = thread_counts
+        .iter()
+        .map(|&threads| {
+            let budget = budget_of(threads);
+            let spec = TrialSpec {
+                ctx: &ctx,
+                pool: &pool,
+                threads,
+                mix: Mix::Balanced,
+                trials: scale.trials,
+                seed,
+                plan: SeedPlan {
+                    mul: 1_000_033,
+                    offset: (threads * 1000) as u64,
+                    stride: 1,
+                },
+                arms: algos
+                    .iter()
+                    .map(|&(label, policy, manager)| TrialArm {
+                        label: label.to_string(),
                         policy,
                         manager,
                         budget,
-                        &runtime,
-                        &mut algo_rng,
-                    )
-                })
-                .collect();
-            outcomes
-        });
-        for outcomes in &per_trial {
-            for (mi, metric) in metrics.iter().enumerate() {
-                let base = metric(&outcomes[0]);
-                for (ai, outcome) in outcomes.iter().enumerate() {
-                    accum[mi][ai][ti] += metric(outcome) / base;
-                }
-            }
-        }
-    }
+                        runtime,
+                        rng_salt: Some(0x5EED),
+                    })
+                    .collect(),
+            };
+            let results = runner.run(&spec);
+            metrics.iter().map(|m| mean_relative(&results, m)).collect()
+        })
+        .collect();
 
-    metrics
-        .iter()
-        .enumerate()
-        .map(|(mi, _)| {
+    (0..metrics.len())
+        .map(|mi| {
             algos
                 .iter()
                 .enumerate()
                 .map(|(ai, (label, _, _))| {
-                    let y: Vec<f64> = accum[mi][ai]
-                        .iter()
-                        .map(|s| s / scale.trials as f64)
-                        .collect();
                     Series::new(
                         *label,
                         thread_counts.iter().map(|&t| t as f64).collect(),
-                        y,
+                        rel.iter().map(|per_metric| per_metric[mi][ai]).collect(),
                     )
                 })
                 .collect()

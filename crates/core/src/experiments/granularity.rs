@@ -6,12 +6,12 @@
 //! all the values recorded in the interval between two LinOpt runs are
 //! averaged out." (§7.5.1)
 
-use super::{par_trials, Context, Scale, Series};
+use super::{Context, Scale, Series};
+use crate::engine::{mean_metric, SeedPlan, TrialArm, TrialRunner, TrialSpec};
 use crate::manager::{ManagerKind, PowerBudget};
-use crate::runtime::{run_trial, RuntimeConfig};
+use crate::runtime::RuntimeConfig;
 use crate::sched::SchedPolicy;
-use cmpsim::{app_pool, Workload};
-use vastats::SimRng;
+use cmpsim::{app_pool, Mix};
 
 /// LinOpt intervals examined by Figure 14, in milliseconds.
 pub const INTERVALS_MS: [f64; 5] = [2000.0, 1000.0, 500.0, 100.0, 10.0];
@@ -22,6 +22,7 @@ pub const INTERVALS_MS: [f64; 5] = [2000.0, 1000.0, 500.0, 100.0, 10.0];
 pub fn fig14(scale: &Scale, seed: u64, thread_counts: &[usize]) -> Vec<Series> {
     let ctx = Context::new(scale.grid);
     let pool = app_pool(&ctx.machine_config().dynamic);
+    let runner = TrialRunner::new();
 
     thread_counts
         .iter()
@@ -40,34 +41,40 @@ pub fn fig14(scale: &Scale, seed: u64, thread_counts: &[usize]) -> Vec<Series> {
                     let duration = (interval_ms * 3.0)
                         .max(scale.duration_ms)
                         .max(os_interval_ms);
-                    let runtime = RuntimeConfig {
-                        dvfs_interval_ms: interval_ms,
-                        os_interval_ms,
-                        duration_ms: duration,
-                        ..RuntimeConfig::paper_default()
-                    };
-                    let deviations = par_trials(scale.trials, |trial| {
-                        // Identical die/workload draws across intervals:
-                        // the interval is the only independent variable.
-                        let trial_seed = seed
-                            .wrapping_mul(7919)
-                            .wrapping_add((threads * 100 + trial) as u64);
-                        let mut rng = SimRng::seed_from(trial_seed);
-                        let die = ctx.make_die(&mut rng);
-                        let mut machine = ctx.make_machine(&die);
-                        let workload = Workload::draw(&pool, threads, &mut rng);
-                        let outcome = run_trial(
-                            &mut machine,
-                            &workload,
-                            SchedPolicy::VarFAppIpc,
-                            ManagerKind::LinOpt,
+                    // One single-arm batch per interval, re-deriving the
+                    // same trial seeds: identical die/workload draws
+                    // across intervals, so the interval is the only
+                    // independent variable. `rng_salt: None` keeps each
+                    // trial on one unbroken random stream, as this
+                    // experiment has always run.
+                    let spec = TrialSpec {
+                        ctx: &ctx,
+                        pool: &pool,
+                        threads,
+                        mix: Mix::Balanced,
+                        trials: scale.trials,
+                        seed,
+                        plan: SeedPlan {
+                            mul: 7919,
+                            offset: (threads * 100) as u64,
+                            stride: 1,
+                        },
+                        arms: vec![TrialArm {
+                            label: format!("{interval_ms} ms"),
+                            policy: SchedPolicy::VarFAppIpc,
+                            manager: ManagerKind::LinOpt,
                             budget,
-                            &runtime,
-                            &mut rng,
-                        );
-                        outcome.power_deviation_frac * 100.0
-                    });
-                    deviations.iter().sum::<f64>() / scale.trials as f64
+                            runtime: RuntimeConfig {
+                                dvfs_interval_ms: interval_ms,
+                                os_interval_ms,
+                                duration_ms: duration,
+                                ..RuntimeConfig::paper_default()
+                            },
+                            rng_salt: None,
+                        }],
+                    };
+                    let results = runner.run(&spec);
+                    mean_metric(&results, |o| o.power_deviation_frac * 100.0)[0]
                 })
                 .collect();
             Series::new(format!("{threads} threads"), INTERVALS_MS.to_vec(), y)

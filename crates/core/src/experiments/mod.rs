@@ -1,9 +1,11 @@
 //! Experiment harness: one function per figure/table of the paper's
 //! evaluation (§7).
 //!
-//! Every experiment is deterministic given a seed, returns plain data
-//! (the series the corresponding figure plots), and accepts a [`Scale`]
-//! that trades fidelity for runtime:
+//! Every experiment is a thin declarative spec over the trial engine
+//! ([`crate::engine::TrialSpec`] executed by a
+//! [`crate::engine::TrialRunner`]), deterministic given a seed, returns
+//! plain data (the series the corresponding figure plots), and accepts
+//! a [`Scale`] that trades fidelity for runtime:
 //!
 //! * [`Scale::paper`] — the paper's protocol (200 dies, 20 trials).
 //! * [`Scale::quick`] — minutes-scale runs with the same shape.
@@ -164,59 +166,6 @@ impl Context {
     pub fn make_machine(&self, die: &Die) -> Machine {
         Machine::new(die, &self.floorplan, self.machine_config.clone())
     }
-}
-
-/// Runs `count` independent jobs across the machine's cores and
-/// returns their results in job order.
-///
-/// Experiments are embarrassingly parallel across trials — every trial
-/// derives its randomness from its own seed — so results are identical
-/// to the sequential order regardless of thread scheduling. Used by the
-/// figure experiments to make `--scale paper` runs practical.
-///
-/// # Panics
-///
-/// Propagates a panic from any job.
-pub fn par_trials<T, F>(count: usize, job: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(count.max(1));
-    if workers <= 1 || count <= 1 {
-        return (0..count).map(job).collect();
-    }
-    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let job_ref = &job;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut produced: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= count {
-                        return produced;
-                    }
-                    produced.push((i, job_ref(i)));
-                }
-            }));
-        }
-        for handle in handles {
-            for (i, value) in handle.join().expect("trial job panicked") {
-                slots[i] = Some(value);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
 }
 
 /// A named data series (one line/bar group of a figure).

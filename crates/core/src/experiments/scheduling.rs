@@ -7,12 +7,12 @@
 //! normalized to `Random` per trial and then averaged, which is how the
 //! paper's relative bars are constructed.
 
-use super::{par_trials, Context, Scale, Series};
+use super::{Context, Scale, Series};
+use crate::engine::{mean_relative, SeedPlan, TrialArm, TrialRunner, TrialSpec};
 use crate::manager::{ManagerKind, PowerBudget};
-use crate::runtime::{run_trial, FreqMode, RuntimeConfig, TrialOutcome};
+use crate::runtime::{FreqMode, RuntimeConfig, TrialOutcome};
 use crate::sched::SchedPolicy;
-use cmpsim::{app_pool, Workload};
-use vastats::SimRng;
+use cmpsim::{app_pool, Mix};
 
 /// Thread counts used by Figures 7–10.
 pub const THREAD_COUNTS: [usize; 5] = [2, 4, 8, 16, 20];
@@ -37,69 +37,55 @@ fn policy_grid(
         freq_mode,
         ..RuntimeConfig::paper_default()
     };
+    let runner = TrialRunner::new();
 
-    // accum[metric][policy][thread_count] = sum of normalized values.
-    let mut accum =
-        vec![vec![vec![0.0f64; THREAD_COUNTS.len()]; policies.len()]; metrics.len()];
-
-    for (ti, &threads) in THREAD_COUNTS.iter().enumerate() {
-        let per_trial = par_trials(scale.trials, |trial| {
-            let trial_seed = seed
-                .wrapping_mul(1_000_003)
-                .wrapping_add((threads * 1000 + trial) as u64);
-            let mut rng = SimRng::seed_from(trial_seed);
-            let die = ctx.make_die(&mut rng);
-            let mut machine = ctx.make_machine(&die);
-            let workload = Workload::draw(&pool, threads, &mut rng);
-            // Budget is irrelevant without a manager but required by the
-            // runtime signature.
-            let budget = PowerBudget::high_performance(threads);
-
-            let outcomes: Vec<TrialOutcome> = policies
-                .iter()
-                .map(|&policy| {
-                    // Same RNG seed per policy so Random's choices are the
-                    // only stochastic difference.
-                    let mut policy_rng = SimRng::seed_from(trial_seed ^ 0xABCD);
-                    run_trial(
-                        &mut machine,
-                        &workload,
-                        policy,
-                        ManagerKind::None,
-                        budget,
-                        &runtime,
-                        &mut policy_rng,
-                    )
-                })
-                .collect();
-            outcomes
-        });
-        for outcomes in &per_trial {
-            for (mi, metric) in metrics.iter().enumerate() {
-                let base = metric(&outcomes[0]);
-                for (pi, outcome) in outcomes.iter().enumerate() {
-                    accum[mi][pi][ti] += metric(outcome) / base;
-                }
-            }
-        }
-    }
-
-    metrics
+    // rel[thread_count][metric][policy] = mean normalized value.
+    let rel: Vec<Vec<Vec<f64>>> = THREAD_COUNTS
         .iter()
-        .enumerate()
-        .map(|(mi, _)| {
+        .map(|&threads| {
+            let spec = TrialSpec {
+                ctx: &ctx,
+                pool: &pool,
+                threads,
+                mix: Mix::Balanced,
+                trials: scale.trials,
+                seed,
+                plan: SeedPlan {
+                    mul: 1_000_003,
+                    offset: (threads * 1000) as u64,
+                    stride: 1,
+                },
+                arms: policies
+                    .iter()
+                    .map(|&policy| TrialArm {
+                        label: policy.name().to_string(),
+                        policy,
+                        manager: ManagerKind::None,
+                        // Budget is irrelevant without a manager but
+                        // required by the runtime signature.
+                        budget: PowerBudget::high_performance(threads),
+                        runtime,
+                        // Same RNG seed per policy so Random's choices are
+                        // the only stochastic difference.
+                        rng_salt: Some(0xABCD),
+                    })
+                    .collect(),
+            };
+            let results = runner.run(&spec);
+            metrics.iter().map(|m| mean_relative(&results, m)).collect()
+        })
+        .collect();
+
+    (0..metrics.len())
+        .map(|mi| {
             policies
                 .iter()
                 .enumerate()
                 .map(|(pi, policy)| {
-                    let y: Vec<f64> = accum[mi][pi]
-                        .iter()
-                        .map(|sum| sum / scale.trials as f64)
-                        .collect();
                     Series::new(
                         policy.name(),
                         THREAD_COUNTS.iter().map(|&t| t as f64).collect(),
-                        y,
+                        rel.iter().map(|per_metric| per_metric[mi][pi]).collect(),
                     )
                 })
                 .collect()

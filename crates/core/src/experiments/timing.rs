@@ -8,8 +8,9 @@
 //! repetitions.
 
 use super::{Context, Scale, Series};
+use crate::engine::loaded_machine;
 use crate::manager::{linopt::linopt_levels, PmView, PowerBudget};
-use cmpsim::{app_pool, Workload};
+use cmpsim::app_pool;
 use std::time::Instant;
 use vastats::SimRng;
 
@@ -19,6 +20,9 @@ pub const THREAD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 20];
 /// Measures LinOpt's execution time. Returns one series per power
 /// environment: x = thread count, y = microseconds per invocation
 /// (median of `reps` timed runs on real machine views).
+///
+/// All three environments are timed against the *same* machine state
+/// per thread count, so the power target is the only variable.
 pub fn fig15(scale: &Scale, seed: u64, reps: usize) -> Vec<Series> {
     let ctx = Context::new(scale.grid);
     let pool = app_pool(&ctx.machine_config().dynamic);
@@ -29,41 +33,33 @@ pub fn fig15(scale: &Scale, seed: u64, reps: usize) -> Vec<Series> {
         ("Low Power", PowerBudget::low_power),
     ];
 
-    let mut rng = SimRng::seed_from(seed);
-    let die = ctx.make_die(&mut rng);
-    let machine_template = ctx.make_machine(&die);
+    // times[env][thread_count], measured sequentially (wall-clock
+    // medians must not share cores with sibling measurements).
+    let mut times = vec![Vec::with_capacity(THREAD_COUNTS.len()); environments.len()];
+    for &threads in &THREAD_COUNTS {
+        let mut rng = SimRng::seed_from(seed.wrapping_add(threads as u64));
+        let machine = loaded_machine(&ctx, &pool, threads, &mut rng);
+        let view = PmView::from_machine(&machine);
+        for (ei, &(_, budget_of)) in environments.iter().enumerate() {
+            let budget = budget_of(threads);
+            let mut times_us: Vec<f64> = (0..reps.max(1))
+                .map(|_| {
+                    let start = Instant::now();
+                    let levels = linopt_levels(&view, &budget);
+                    let elapsed = start.elapsed().as_secs_f64() * 1e6;
+                    std::hint::black_box(levels);
+                    elapsed
+                })
+                .collect();
+            times_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            times[ei].push(times_us[times_us.len() / 2]);
+        }
+    }
 
     environments
         .iter()
-        .map(|&(label, budget_of)| {
-            let y: Vec<f64> = THREAD_COUNTS
-                .iter()
-                .map(|&threads| {
-                    let mut machine = machine_template.clone();
-                    let workload = Workload::draw(&pool, threads, &mut rng);
-                    machine.load_threads(workload.spawn_threads(&mut rng));
-                    let mut mapping = vec![None; machine.core_count()];
-                    for t in 0..threads {
-                        mapping[t] = Some(t);
-                    }
-                    machine.assign(&mapping);
-                    machine.step(0.001); // populate sensors
-                    let view = PmView::from_machine(&machine);
-                    let budget = budget_of(threads);
-
-                    let mut times_us: Vec<f64> = (0..reps.max(1))
-                        .map(|_| {
-                            let start = Instant::now();
-                            let levels = linopt_levels(&view, &budget);
-                            let elapsed = start.elapsed().as_secs_f64() * 1e6;
-                            std::hint::black_box(levels);
-                            elapsed
-                        })
-                        .collect();
-                    times_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                    times_us[times_us.len() / 2]
-                })
-                .collect();
+        .zip(times)
+        .map(|(&(label, _), y)| {
             Series::new(label, THREAD_COUNTS.iter().map(|&t| t as f64).collect(), y)
         })
         .collect()

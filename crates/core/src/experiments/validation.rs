@@ -5,11 +5,12 @@
 //! * LinOpt's throughput lands within ~2% of SAnn's.
 
 use super::{Context, Scale};
+use crate::engine::{loaded_machine, SeedPlan, TrialRunner};
 use crate::manager::{
     exhaustive::exhaustive_levels, linopt::linopt_levels, sann::sann_levels, PmView,
     PowerBudget,
 };
-use cmpsim::{app_pool, Workload};
+use cmpsim::app_pool;
 use vastats::SimRng;
 
 /// Result of one optimizer comparison.
@@ -49,21 +50,17 @@ pub fn sann_vs_exhaustive(
 ) -> Vec<OptimizerComparison> {
     let ctx = Context::new(scale.grid);
     let pool = app_pool(&ctx.machine_config().dynamic);
-    let mut out = Vec::new();
+    let plan = SeedPlan {
+        stride: 7907,
+        ..SeedPlan::default()
+    };
 
-    for (i, &threads) in thread_counts.iter().enumerate() {
-        let mut rng = SimRng::seed_from(seed.wrapping_add(i as u64 * 7907));
-        let die = ctx.make_die(&mut rng);
-        let mut machine = ctx.make_machine(&die);
-        let workload = Workload::draw(&pool, threads, &mut rng);
-        machine.load_threads(workload.spawn_threads(&mut rng));
-        let mut mapping = vec![None; machine.core_count()];
-        for t in 0..threads {
-            mapping[t] = Some(t);
-        }
-        machine.assign(&mapping);
-        machine.step(0.001);
-
+    // One job per thread count, fanned out by the runner (exhaustive
+    // search at 4 threads dominates the wall clock).
+    TrialRunner::new().map(thread_counts.len(), |i| {
+        let threads = thread_counts[i];
+        let mut rng = SimRng::seed_from(plan.derive(seed, i));
+        let machine = loaded_machine(&ctx, &pool, threads, &mut rng);
         let view = PmView::from_machine(&machine);
         let budget = PowerBudget::cost_performance(threads);
 
@@ -76,14 +73,13 @@ pub fn sann_vs_exhaustive(
         let sann = sann_levels(&view, &budget, scale.sann_evaluations, &mut rng);
         let linopt = linopt_levels(&view, &budget);
 
-        out.push(OptimizerComparison {
+        OptimizerComparison {
             threads,
             exhaustive_mips,
             sann_mips: view.throughput_mips(&sann),
             linopt_mips: view.throughput_mips(&linopt),
-        });
-    }
-    out
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! Variation-effect experiments (paper §7.1–§7.2): Figures 4–6 and
 //! Table 5.
 
-use super::{par_trials, Context, Scale, Series};
+use super::{Context, Scale, Series};
+use crate::engine::{SeedPlan, TrialRunner};
 use cmpsim::{app_pool, AppSpec};
 use critpath::{FreqModel, TimingParams};
 use powermodel::{DynamicPower, LeakageParams, LeakagePower};
@@ -106,8 +107,12 @@ pub fn fig4_at(ctx: &Context, dies: usize, seed: u64) -> Fig4Data {
     let leak = LeakagePower::new(LeakageParams::core_default());
 
     // One independent RNG per die so dies can be generated in parallel.
-    let ratios = par_trials(dies, |die_idx| {
-        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37).wrapping_add(die_idx as u64));
+    let plan = SeedPlan {
+        mul: 0x9E37,
+        ..SeedPlan::default()
+    };
+    let ratios = TrialRunner::new().map(dies, |die_idx| {
+        let mut rng = SimRng::seed_from(plan.derive(seed, die_idx));
         die_ratios(ctx, &pool, &freq_model, &leak, &dynamic, &mut rng)
     });
     Fig4Data {

@@ -10,10 +10,10 @@
 //!   voltage acceleration integrates each core's stress over a run, so
 //!   policies can be compared on aging spread as well as throughput.
 
-use crate::manager::{apply_manager, ManagerKind, PowerBudget};
+use crate::manager::{ManagerKind, PowerBudget};
 use crate::profile::{core_profiles, thread_profiles};
 use crate::runtime::RuntimeConfig;
-use crate::sched::{schedule, SchedPolicy};
+use crate::sched::SchedPolicy;
 use cmpsim::{Machine, Workload};
 use vastats::SimRng;
 
@@ -152,9 +152,11 @@ pub fn run_thermal_trial(
     migration: Option<MigrationConfig>,
     rng: &mut SimRng,
 ) -> ThermalOutcome {
-    config.validate();
+    config.validate_or_panic();
     machine.load_threads(workload.spawn_threads(rng));
     let cores = core_profiles(machine);
+    let mut scheduler = policy.build();
+    let mut power_manager = manager.build();
 
     let dt_s = config.tick_ms / 1e3;
     let total_ticks = (config.duration_ms / config.tick_ms).round() as usize;
@@ -170,14 +172,16 @@ pub fn run_thermal_trial(
     for tick in 0..total_ticks {
         if tick % os_every == 0 {
             let threads = thread_profiles(machine, rng);
-            let mapping = schedule(policy, &cores, &threads, rng);
+            let mapping = scheduler.assign(&cores, &threads, rng);
             machine.assign(&mapping);
-            if matches!(manager, ManagerKind::None) {
+            if power_manager.is_none() {
                 machine.set_all_levels_max();
             }
         }
-        if !matches!(manager, ManagerKind::None) && tick % dvfs_every == 0 {
-            apply_manager(manager, machine, &budget, rng);
+        if let Some(pm) = power_manager.as_deref_mut() {
+            if tick % dvfs_every == 0 {
+                pm.invoke(machine, &budget, rng);
+            }
         }
         if let (Some(every), Some(mig)) = (migrate_every, migration) {
             if tick > 0 && tick % every == 0 && try_migrate(machine, mig.trigger_k) {

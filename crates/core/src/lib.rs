@@ -22,8 +22,12 @@
 //!   power manager runs every DVFS interval (10 ms).
 //! * [`metrics`] — throughput (MIPS), weighted throughput, and the
 //!   `ED²` index used throughout the evaluation.
+//! * [`engine`] — the trial engine: declarative [`engine::TrialSpec`]
+//!   batches executed by a deterministic, optionally parallel
+//!   [`engine::TrialRunner`] with per-trial observability.
 //! * [`experiments`] — one function per figure/table of the paper's
-//!   evaluation (§7), each returning the data series the figure plots.
+//!   evaluation (§7), each a thin spec over the engine returning the
+//!   data series the figure plots.
 //!
 //! # Quickstart
 //!
@@ -60,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod abb;
+pub mod engine;
 pub mod experiments;
 pub mod extensions;
 pub mod manager;
@@ -70,12 +75,13 @@ pub mod sched;
 
 /// Convenient re-exports for end-to-end use.
 pub mod prelude {
-    pub use crate::manager::{ManagerKind, PowerBudget};
+    pub use crate::engine::{SeedPlan, TrialArm, TrialResult, TrialRunner, TrialSpec};
+    pub use crate::manager::{ManagerKind, PowerBudget, PowerManager};
     pub use crate::metrics::{ed2_index, weighted_mips};
     pub use crate::profile::{CoreProfile, ThreadProfile};
-    pub use crate::runtime::{run_trial, RuntimeConfig, TrialOutcome};
-    pub use crate::sched::SchedPolicy;
-    pub use cmpsim::{app_pool, Machine, MachineConfig, Thread, Workload};
+    pub use crate::runtime::{run_trial, RuntimeConfig, TrialObserver, TrialOutcome};
+    pub use crate::sched::{SchedPolicy, Scheduler};
+    pub use cmpsim::{app_pool, Machine, MachineConfig, Mix, Thread, Workload};
     pub use floorplan::paper_20_core;
     pub use varius::{DieGenerator, VariationConfig};
     pub use vastats::SimRng;

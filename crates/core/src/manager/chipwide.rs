@@ -12,7 +12,50 @@
 //!   cores each (per-core DVFS is `D = 1`; chip-wide is `D = n`).
 
 use crate::manager::linopt::linopt_levels;
-use crate::manager::{CoreView, PmView, PowerBudget};
+use crate::manager::{CoreView, PmView, PowerBudget, PowerManager};
+use vastats::SimRng;
+
+/// Chip-wide DVFS as a [`PowerManager`]: one level for every core.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChipWide;
+
+impl PowerManager for ChipWide {
+    fn name(&self) -> &'static str {
+        "ChipWide"
+    }
+
+    fn levels(&mut self, view: &PmView, budget: &PowerBudget, _rng: &mut SimRng) -> Vec<usize> {
+        chip_wide_levels(view, budget)
+    }
+}
+
+/// Domain-granular LinOpt as a [`PowerManager`].
+#[derive(Debug, Clone, Copy)]
+pub struct DomainLinOpt {
+    cores_per_domain: usize,
+}
+
+impl DomainLinOpt {
+    /// A controller whose voltage domains span `cores_per_domain` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_domain` is zero.
+    pub fn new(cores_per_domain: usize) -> Self {
+        assert!(cores_per_domain > 0, "domains need at least one core");
+        Self { cores_per_domain }
+    }
+}
+
+impl PowerManager for DomainLinOpt {
+    fn name(&self) -> &'static str {
+        "DomainLinOpt"
+    }
+
+    fn levels(&mut self, view: &PmView, budget: &PowerBudget, _rng: &mut SimRng) -> Vec<usize> {
+        domain_linopt_levels(view, budget, self.cores_per_domain)
+    }
+}
 
 /// Picks the highest common level feasible for all active cores
 /// (chip-wide DVFS). Falls back to level 0 when nothing is feasible.
@@ -73,7 +116,8 @@ pub fn domain_linopt_levels(
         for _ in chunk {
             membership.push(i);
         }
-        let voltages = chunk[0].voltages.clone();
+        // Shared ladder: a refcount bump, not a fresh allocation.
+        let voltages = std::sync::Arc::clone(&chunk[0].voltages);
         let freqs: Vec<f64> = (0..levels)
             .map(|l| chunk.iter().map(|c| c.mips_at(l)).sum::<f64>() * 1e6)
             .collect();

@@ -6,10 +6,25 @@
 //! (§4.3) The paper uses it to validate SAnn on configurations of up to
 //! 4 threads (§6.5); this module serves the same role.
 
-use crate::manager::{PmView, PowerBudget};
+use crate::manager::{PmView, PowerBudget, PowerManager};
+use vastats::SimRng;
 
 /// Hard cap on the number of points exhaustive search will visit.
 pub const MAX_POINTS: u128 = 50_000_000;
+
+/// Exhaustive search as a [`PowerManager`] (validation runs only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl PowerManager for Exhaustive {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn levels(&mut self, view: &PmView, budget: &PowerBudget, _rng: &mut SimRng) -> Vec<usize> {
+        exhaustive_levels(view, budget)
+    }
+}
 
 /// Finds the throughput-optimal feasible level assignment by visiting
 /// every point of the level space.
@@ -31,19 +46,25 @@ pub fn exhaustive_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
 
     let n = counts.len();
     let mut point = vec![0usize; n];
-    let mut best: Option<(Vec<usize>, f64)> = None;
+    // Remember the winner as its odometer index and decode it once at
+    // the end, instead of cloning the point on every improvement.
+    let mut best: Option<(u128, f64)> = None;
+    let mut index: u128 = 0;
     loop {
         if view.feasible(&point, budget) {
             let tp = view.throughput_mips(&point);
-            if best.as_ref().is_none_or(|(_, b)| tp > *b) {
-                best = Some((point.clone(), tp));
+            if best.is_none_or(|(_, b)| tp > b) {
+                best = Some((index, tp));
             }
         }
         // Odometer increment.
         let mut dim = 0;
         loop {
             if dim == n {
-                return best.map(|(p, _)| p).unwrap_or_else(|| view.min_levels());
+                return match best {
+                    Some((idx, _)) => decode_point(idx, &counts),
+                    None => view.min_levels(),
+                };
             }
             point[dim] += 1;
             if point[dim] < counts[dim] {
@@ -52,7 +73,20 @@ pub fn exhaustive_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
             point[dim] = 0;
             dim += 1;
         }
+        index += 1;
     }
+}
+
+/// Inverts the odometer: dimension 0 advances fastest.
+fn decode_point(mut index: u128, counts: &[usize]) -> Vec<usize> {
+    counts
+        .iter()
+        .map(|&c| {
+            let level = (index % c as u128) as usize;
+            index /= c as u128;
+            level
+        })
+        .collect()
 }
 
 #[cfg(test)]

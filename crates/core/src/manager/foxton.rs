@@ -8,7 +8,8 @@
 //! This is a small extension of the Itanium II's Foxton controller
 //! (which kept both cores at the same (V, f) pair).
 
-use crate::manager::{PmView, PowerBudget};
+use crate::manager::{PmView, PowerBudget, PowerManager};
+use vastats::SimRng;
 
 /// Computes Foxton*'s level assignment: start every active core at its
 /// maximum level and step down round-robin until the budget holds (or
@@ -38,6 +39,25 @@ use crate::manager::{PmView, PowerBudget};
 /// assert!(hi - lo <= 1);
 /// ```
 pub fn foxton_star_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
+    let mut cursor = 0;
+    foxton_star_levels_from(view, budget, &mut cursor)
+}
+
+/// [`foxton_star_levels`] with an explicit round-robin cursor: the scan
+/// starts at `*cursor`, and the position after the final reduction is
+/// written back. The stateful [`FoxtonStar`] manager threads its cursor
+/// through here so consecutive DVFS intervals rotate the burden of
+/// stepping down across all cores instead of always hitting core 0
+/// first.
+///
+/// # Panics
+///
+/// Panics if the view is empty.
+pub fn foxton_star_levels_from(
+    view: &PmView,
+    budget: &PowerBudget,
+    cursor: &mut usize,
+) -> Vec<usize> {
     assert!(!view.is_empty(), "no active cores to manage");
     let n = view.len();
     let mut levels = view.max_levels();
@@ -50,12 +70,13 @@ pub fn foxton_star_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
         }
     }
 
-    // Then round-robin reductions until the chip target holds.
-    let mut cursor = 0usize;
+    // Then round-robin reductions until the chip target holds. The
+    // active-core count may have changed since the cursor was saved.
+    *cursor %= n;
     let mut stuck_rounds = 0usize;
     while view.total_power(&levels) > budget.chip_w {
-        if levels[cursor] > 0 {
-            levels[cursor] -= 1;
+        if levels[*cursor] > 0 {
+            levels[*cursor] -= 1;
             stuck_rounds = 0;
         } else {
             stuck_rounds += 1;
@@ -63,9 +84,39 @@ pub fn foxton_star_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
                 break; // everything at minimum; budget unreachable
             }
         }
-        cursor = (cursor + 1) % n;
+        *cursor = (*cursor + 1) % n;
     }
     levels
+}
+
+/// The stateful Foxton* controller: a [`PowerManager`] whose round-robin
+/// cursor survives from one DVFS interval to the next, as in the
+/// Itanium II controller the paper extends (§4.3). A fresh manager (or
+/// [`PowerManager::reset`]) starts the scan at core 0.
+#[derive(Debug, Clone, Default)]
+pub struct FoxtonStar {
+    cursor: usize,
+}
+
+impl FoxtonStar {
+    /// A controller with its cursor at core 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PowerManager for FoxtonStar {
+    fn name(&self) -> &'static str {
+        "Foxton*"
+    }
+
+    fn levels(&mut self, view: &PmView, budget: &PowerBudget, _rng: &mut SimRng) -> Vec<usize> {
+        foxton_star_levels_from(view, budget, &mut self.cursor)
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +180,28 @@ mod tests {
         for (c, &l) in v.cores().iter().zip(&levels) {
             assert!(c.power_w[l] <= budget.per_core_w);
         }
+    }
+
+    #[test]
+    fn cursor_persists_across_invocations() {
+        // Identical cores, a budget costing one reduction per interval:
+        // the stateful manager must rotate which core pays, while the
+        // stateless free function always picks core 0.
+        let v = PmView::from_cores((0..4).map(|i| synthetic_core(i, 1.0, 9, 1.0)).collect());
+        let max_power = v.total_power(&v.max_levels());
+        let one_step = v.cores()[0].power_w[8] - v.cores()[0].power_w[7];
+        let budget = PowerBudget {
+            chip_w: max_power - 0.5 * one_step,
+            per_core_w: 100.0,
+        };
+        let mut manager = FoxtonStar::new();
+        let mut rng = SimRng::seed_from(0);
+        let first = manager.levels(&v, &budget, &mut rng);
+        let second = manager.levels(&v, &budget, &mut rng);
+        assert_eq!(first, vec![7, 8, 8, 8]);
+        assert_eq!(second, vec![8, 7, 8, 8], "cursor should have advanced");
+        manager.reset();
+        assert_eq!(manager.levels(&v, &budget, &mut rng), first);
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! table levels so the measured power cannot exceed the linear
 //! estimate's intent.
 
-use crate::manager::{PmView, PowerBudget};
+use crate::manager::{PmView, PowerBudget, PowerManager};
 use linprog::Problem;
-use vastats::LineFit;
+use vastats::{LineFit, SimRng};
 
 /// Number of power measurement points used for the linear fit (the
 /// paper measures at 1, 0.8 and 0.6 V).
@@ -198,16 +198,37 @@ pub fn linopt_levels_with(
     fit_points: usize,
     rounding: RoundingPolicy,
 ) -> Vec<usize> {
+    linopt_levels_warm(view, budget, fit_points, rounding, &mut None)
+}
+
+/// The full LinOpt pipeline with a warm-start slot: `warm` carries the
+/// previous Simplex basis into this solve and receives the new one. The
+/// stateful [`LinOpt`] manager threads its basis through here; the free
+/// functions pass `&mut None` (a cold solve).
+///
+/// # Panics
+///
+/// Panics if the view is empty or `fit_points < 2`.
+pub fn linopt_levels_warm(
+    view: &PmView,
+    budget: &PowerBudget,
+    fit_points: usize,
+    rounding: RoundingPolicy,
+    warm: &mut Option<Vec<usize>>,
+) -> Vec<usize> {
     assert!(!view.is_empty(), "no active cores to manage");
     let n = view.len();
     let Some((lp, v_low)) = assemble_lp(view, budget, fit_points) else {
         // Even the floor violates the target: pin everything to minimum.
+        *warm = None;
         return view.min_levels();
     };
 
-    let Ok(solution) = lp.solve() else {
+    let Ok(solution) = lp.solve_warm(warm.as_deref()) else {
+        *warm = None;
         return view.min_levels();
     };
+    *warm = Some(solution.basis.clone());
 
     // Discretize the continuous voltages to table levels.
     let mut levels = Vec::with_capacity(n);
@@ -241,6 +262,67 @@ pub fn linopt_levels_with(
     crate::manager::view::repair_to_budget(view, budget, &mut levels);
     crate::manager::view::greedy_fill(view, budget, &mut levels);
     levels
+}
+
+/// The stateful LinOpt controller: a [`PowerManager`] that warm-starts
+/// each Simplex solve from the previous interval's optimal basis.
+/// Consecutive DVFS intervals see slowly drifting IPC and power
+/// readings, so the basis usually survives and phase 2 converges in a
+/// handful of pivots; the chosen levels are identical to a cold solve.
+#[derive(Debug, Clone)]
+pub struct LinOpt {
+    fit_points: usize,
+    rounding: RoundingPolicy,
+    basis: Option<Vec<usize>>,
+}
+
+impl LinOpt {
+    /// The paper's configuration: three fit points, round-down.
+    pub fn new() -> Self {
+        Self {
+            fit_points: FIT_POINTS,
+            rounding: RoundingPolicy::Down,
+            basis: None,
+        }
+    }
+
+    /// Overrides the number of power-fit points (the §5.2 ablation).
+    pub fn with_fit_points(mut self, fit_points: usize) -> Self {
+        assert!(fit_points >= 2, "need at least two fit points");
+        self.fit_points = fit_points;
+        self
+    }
+
+    /// Overrides the level-rounding policy.
+    pub fn with_rounding(mut self, rounding: RoundingPolicy) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// Whether a warm-start basis is currently cached.
+    pub fn has_warm_basis(&self) -> bool {
+        self.basis.is_some()
+    }
+}
+
+impl Default for LinOpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PowerManager for LinOpt {
+    fn name(&self) -> &'static str {
+        "LinOpt"
+    }
+
+    fn levels(&mut self, view: &PmView, budget: &PowerBudget, _rng: &mut SimRng) -> Vec<usize> {
+        linopt_levels_warm(view, budget, self.fit_points, self.rounding, &mut self.basis)
+    }
+
+    fn reset(&mut self) {
+        self.basis = None;
+    }
 }
 
 #[cfg(test)]
@@ -415,6 +497,35 @@ mod tests {
             per_core_w: 100.0,
         };
         assert!(chip_power_shadow_price(&v, &budget).is_none());
+    }
+
+    #[test]
+    fn warm_started_manager_matches_cold_solves() {
+        // The warm start is a speed lever, never a results lever: across
+        // a drifting sequence of views the stateful manager must pick
+        // exactly the levels the cold free function picks.
+        let mut manager = LinOpt::new();
+        let mut rng = SimRng::seed_from(7);
+        for step in 0..6 {
+            let drift = 1.0 + 0.03 * step as f64;
+            let v = PmView::from_cores(
+                (0..6)
+                    .map(|i| synthetic_core(i, drift * (0.3 + 0.2 * i as f64), 9, 1.0))
+                    .collect(),
+            );
+            let min_p = v.total_power(&v.min_levels());
+            let max_p = v.total_power(&v.max_levels());
+            let budget = PowerBudget {
+                chip_w: min_p + 0.55 * (max_p - min_p),
+                per_core_w: 100.0,
+            };
+            let warm = manager.levels(&v, &budget, &mut rng);
+            let cold = linopt_levels(&v, &budget);
+            assert_eq!(warm, cold, "step {step}");
+        }
+        assert!(manager.has_warm_basis());
+        manager.reset();
+        assert!(!manager.has_warm_basis());
     }
 
     #[test]

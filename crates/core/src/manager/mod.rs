@@ -31,6 +31,50 @@ pub use view::{greedy_fill, repair_to_budget, synthetic_core, CoreView, PmView};
 use cmpsim::Machine;
 use vastats::SimRng;
 
+/// A DVFS power-management policy, invoked once per DVFS interval.
+///
+/// Managers are *stateful*: the runtime builds one per trial (via
+/// [`ManagerKind::build`]) and invokes it repeatedly, so implementations
+/// can carry information across intervals — [`foxton::FoxtonStar`]
+/// keeps its round-robin cursor, [`linopt::LinOpt`] warm-starts each
+/// Simplex solve from the previous interval's optimal basis. Stateless
+/// algorithms simply ignore the `&mut self`.
+///
+/// Implementations must guarantee that the returned levels are within
+/// each core's table and respect both budget constraints whenever the
+/// all-minimum point does (the `tests/property.rs` sweep enforces this
+/// for every shipped manager).
+pub trait PowerManager: Send {
+    /// Name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Picks a level for every active core in `view`.
+    fn levels(&mut self, view: &PmView, budget: &PowerBudget, rng: &mut SimRng) -> Vec<usize>;
+
+    /// Clears any cross-interval state (start of a new trial). The
+    /// default is a no-op for stateless managers.
+    fn reset(&mut self) {}
+
+    /// One full invocation against a live machine: reads the sensors,
+    /// picks levels, applies them. Returns the chosen per-active-core
+    /// levels (in [`PmView`] core order), or `None` when no cores are
+    /// active.
+    fn invoke(
+        &mut self,
+        machine: &mut Machine,
+        budget: &PowerBudget,
+        rng: &mut SimRng,
+    ) -> Option<Vec<usize>> {
+        let view = PmView::from_machine(machine);
+        if view.is_empty() {
+            return None;
+        }
+        let levels = self.levels(&view, budget, rng);
+        view.apply(machine, &levels);
+        Some(levels)
+    }
+}
+
 /// Chip and per-core power constraints (paper §4.3: `Ptarget` and
 /// `Pcoremax`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,43 +179,53 @@ impl ManagerKind {
             ManagerKind::DomainLinOpt { .. } => "DomainLinOpt",
         }
     }
+
+    /// Constructs the boxed [`PowerManager`] this spec describes, or
+    /// `None` for [`ManagerKind::None`] (the runtime then pins every
+    /// core to its maximum level instead of invoking a manager).
+    ///
+    /// `ManagerKind` is the *serializable spec* side of the control
+    /// plane — it names an algorithm and its parameters; the trait
+    /// object it builds is the *stateful instance* side, owned by one
+    /// trial.
+    pub fn build(&self) -> Option<Box<dyn PowerManager>> {
+        match self {
+            ManagerKind::None => None,
+            ManagerKind::FoxtonStar => Some(Box::new(foxton::FoxtonStar::new())),
+            ManagerKind::LinOpt => Some(Box::new(linopt::LinOpt::new())),
+            ManagerKind::SAnn { evaluations } => Some(Box::new(sann::SAnn::new(*evaluations))),
+            ManagerKind::Exhaustive => Some(Box::new(exhaustive::Exhaustive)),
+            ManagerKind::ChipWide => Some(Box::new(chipwide::ChipWide)),
+            ManagerKind::DomainLinOpt { cores_per_domain } => {
+                Some(Box::new(chipwide::DomainLinOpt::new(*cores_per_domain)))
+            }
+        }
+    }
 }
 
-/// Runs one invocation of the chosen manager: reads the sensors, picks
-/// levels for the active cores, and applies them to the machine.
+/// One-shot convenience: builds a fresh manager from `kind` and runs a
+/// single [`PowerManager::invoke`] against the machine.
 ///
 /// Returns the chosen per-active-core levels (in [`PmView`] core order),
 /// or `None` when no cores are active or the manager is
-/// [`ManagerKind::None`].
+/// [`ManagerKind::None`] (which pins every core to its maximum level).
+///
+/// Long-running control loops should hold onto the boxed manager from
+/// [`ManagerKind::build`] instead, so stateful managers keep their
+/// cross-interval state (the trial runtime does).
 pub fn apply_manager(
     kind: ManagerKind,
     machine: &mut Machine,
     budget: &PowerBudget,
     rng: &mut SimRng,
 ) -> Option<Vec<usize>> {
-    if matches!(kind, ManagerKind::None) {
-        machine.set_all_levels_max();
-        return None;
-    }
-    let view = PmView::from_machine(machine);
-    if view.is_empty() {
-        return None;
-    }
-    let levels = match kind {
-        ManagerKind::None => unreachable!("handled above"),
-        ManagerKind::FoxtonStar => foxton::foxton_star_levels(&view, budget),
-        ManagerKind::LinOpt => linopt::linopt_levels(&view, budget),
-        ManagerKind::SAnn { evaluations } => {
-            sann::sann_levels(&view, budget, evaluations, rng)
+    match kind.build() {
+        None => {
+            machine.set_all_levels_max();
+            None
         }
-        ManagerKind::Exhaustive => exhaustive::exhaustive_levels(&view, budget),
-        ManagerKind::ChipWide => chipwide::chip_wide_levels(&view, budget),
-        ManagerKind::DomainLinOpt { cores_per_domain } => {
-            chipwide::domain_linopt_levels(&view, budget, cores_per_domain)
-        }
-    };
-    view.apply(machine, &levels);
-    Some(levels)
+        Some(mut manager) => manager.invoke(machine, budget, rng),
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +255,50 @@ mod tests {
         assert_eq!(ManagerKind::FoxtonStar.name(), "Foxton*");
         assert_eq!(ManagerKind::LinOpt.name(), "LinOpt");
         assert_eq!(ManagerKind::sann_fast().name(), "SAnn");
+    }
+
+    #[test]
+    fn build_round_trips_names() {
+        let kinds = [
+            ManagerKind::FoxtonStar,
+            ManagerKind::LinOpt,
+            ManagerKind::sann_fast(),
+            ManagerKind::Exhaustive,
+            ManagerKind::ChipWide,
+            ManagerKind::DomainLinOpt { cores_per_domain: 4 },
+        ];
+        for kind in kinds {
+            let manager = kind.build().expect("buildable");
+            assert_eq!(manager.name(), kind.name());
+        }
+        assert!(ManagerKind::None.build().is_none());
+    }
+
+    #[test]
+    fn built_managers_match_free_functions_on_first_call() {
+        // A freshly built trait object and the one-shot free function
+        // must agree (state only diverges from the second interval on).
+        let view = PmView::from_cores(
+            (0..5)
+                .map(|i| synthetic_core(i, 0.2 + 0.25 * i as f64, 9, 1.0))
+                .collect(),
+        );
+        let min_p = view.total_power(&view.min_levels());
+        let max_p = view.total_power(&view.max_levels());
+        let budget = PowerBudget {
+            chip_w: (min_p + max_p) / 2.0,
+            per_core_w: 100.0,
+        };
+        let mut rng = SimRng::seed_from(3);
+        let mut fox = ManagerKind::FoxtonStar.build().unwrap();
+        assert_eq!(
+            fox.levels(&view, &budget, &mut rng),
+            foxton::foxton_star_levels(&view, &budget)
+        );
+        let mut lin = ManagerKind::LinOpt.build().unwrap();
+        assert_eq!(
+            lin.levels(&view, &budget, &mut rng),
+            linopt::linopt_levels(&view, &budget)
+        );
     }
 }

@@ -10,9 +10,39 @@
 //! from all-minimum levels, repeatedly grant one level step to the core
 //! with the best marginal throughput per watt while the budget holds.
 
-use crate::manager::{PmView, PowerBudget};
+use crate::manager::{PmView, PowerBudget, PowerManager};
 use anneal::{AnnealConfig, Annealer};
 use vastats::SimRng;
+
+/// The SAnn controller as a [`PowerManager`] with a fixed evaluation
+/// budget per invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct SAnn {
+    evaluations: usize,
+}
+
+impl SAnn {
+    /// A controller spending `evaluations` cost evaluations per DVFS
+    /// interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluations` is zero.
+    pub fn new(evaluations: usize) -> Self {
+        assert!(evaluations > 0, "SAnn needs an evaluation budget");
+        Self { evaluations }
+    }
+}
+
+impl PowerManager for SAnn {
+    fn name(&self) -> &'static str {
+        "SAnn"
+    }
+
+    fn levels(&mut self, view: &PmView, budget: &PowerBudget, rng: &mut SimRng) -> Vec<usize> {
+        sann_levels(view, budget, self.evaluations, rng)
+    }
+}
 
 /// Penalty weight (MIPS per watt of violation) that makes
 /// budget-violating points strictly worse than any feasible point.

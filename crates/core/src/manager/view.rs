@@ -2,6 +2,7 @@
 
 use crate::manager::PowerBudget;
 use cmpsim::Machine;
+use std::sync::Arc;
 
 /// Sensor data for one active core at manager-invocation time.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,8 +12,10 @@ pub struct CoreView {
     /// Profiled IPC of the thread on this core (assumed
     /// frequency-independent, §4.3.1).
     pub ipc: f64,
-    /// Table voltages, ascending (volts).
-    pub voltages: Vec<f64>,
+    /// Table voltages, ascending (volts). Shared: the machine hands
+    /// every core the same ladder, so snapshots and domain aggregates
+    /// alias one allocation instead of cloning it per core.
+    pub voltages: Arc<[f64]>,
     /// Table frequencies per level (Hz).
     pub freqs: Vec<f64>,
     /// Measured total core power per level (watts) — the "power sensor
@@ -48,12 +51,23 @@ impl PmView {
     /// an assigned thread appear.
     pub fn from_machine(machine: &Machine) -> Self {
         let mut cores = Vec::new();
+        let mut ladder: Option<Arc<[f64]>> = None;
         for core in 0..machine.core_count() {
             if machine.thread_of(core).is_none() {
                 continue;
             }
             let vf = machine.vf_table(core);
             let levels = vf.len();
+            let voltages: Arc<[f64]> = match &ladder {
+                // The machine builds one uniform voltage ladder; share
+                // the first core's allocation with the rest.
+                Some(l) if l.len() == levels => Arc::clone(l),
+                _ => {
+                    let fresh: Arc<[f64]> = (0..levels).map(|l| vf.voltage_at(l)).collect();
+                    ladder = Some(Arc::clone(&fresh));
+                    fresh
+                }
+            };
             let power_w = (0..levels)
                 .map(|l| {
                     machine
@@ -64,7 +78,7 @@ impl PmView {
             cores.push(CoreView {
                 core,
                 ipc: machine.profiled_core_ipc(core).expect("core is active"),
-                voltages: (0..levels).map(|l| vf.voltage_at(l)).collect(),
+                voltages,
                 freqs: (0..levels).map(|l| vf.freq_at(l)).collect(),
                 power_w,
             });
@@ -279,7 +293,7 @@ pub fn greedy_fill(view: &PmView, budget: &PowerBudget, levels: &mut [usize]) {
 /// and quadratic-ish power scaled by `power_scale`.
 pub fn synthetic_core(core: usize, ipc: f64, levels: usize, power_scale: f64) -> CoreView {
     assert!(levels >= 2, "need at least two levels");
-    let voltages: Vec<f64> = (0..levels)
+    let voltages: Arc<[f64]> = (0..levels)
         .map(|i| 0.6 + 0.4 * i as f64 / (levels - 1) as f64)
         .collect();
     let freqs: Vec<f64> = voltages

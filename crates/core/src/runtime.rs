@@ -6,11 +6,12 @@
 //! the (V, f) assignment. The machine advances in fixed ticks between
 //! those events, and power/IPC sensors stay on throughout.
 
-use crate::manager::{apply_manager, ManagerKind, PowerBudget};
+use crate::manager::{ManagerKind, PowerBudget};
 use crate::metrics::{ed2_index, weighted_mips};
 use crate::profile::{core_profiles, thread_profiles};
-use crate::sched::{schedule, SchedPolicy};
-use cmpsim::{Machine, Workload};
+use crate::sched::SchedPolicy;
+use cmpsim::{Machine, StepStats, Workload};
+use std::fmt;
 use vastats::SimRng;
 
 /// How core frequencies are set in configurations without DVFS
@@ -59,28 +60,96 @@ impl RuntimeConfig {
         }
     }
 
-    /// Validates interval nesting.
+    /// Validates interval nesting: every interval must be positive and
+    /// they must nest (tick ≤ DVFS ≤ OS ≤ duration).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        // `<=` plus an explicit NaN check (rather than `!(x > 0.0)`) so
+        // a NaN tick is rejected too.
+        if self.tick_ms <= 0.0 || self.tick_ms.is_nan() {
+            return Err(ConfigError::NonPositiveTick);
+        }
+        if self.dvfs_interval_ms < self.tick_ms {
+            return Err(ConfigError::DvfsShorterThanTick);
+        }
+        if self.os_interval_ms < self.dvfs_interval_ms {
+            return Err(ConfigError::OsShorterThanDvfs);
+        }
+        if self.duration_ms < self.os_interval_ms {
+            return Err(ConfigError::DurationShorterThanOs);
+        }
+        Ok(())
+    }
+
+    /// Like [`RuntimeConfig::validate`], for callers that treat a bad
+    /// configuration as a programming error.
     ///
     /// # Panics
     ///
-    /// Panics if any interval is non-positive or the intervals do not
-    /// nest (tick ≤ DVFS ≤ OS ≤ duration).
-    pub fn validate(&self) {
-        assert!(self.tick_ms > 0.0, "tick must be positive");
-        assert!(
-            self.dvfs_interval_ms >= self.tick_ms,
-            "DVFS interval must be at least one tick"
-        );
-        assert!(
-            self.os_interval_ms >= self.dvfs_interval_ms,
-            "OS interval must be at least one DVFS interval"
-        );
-        assert!(
-            self.duration_ms >= self.os_interval_ms,
-            "duration must cover at least one OS interval"
-        );
+    /// Panics with the [`ConfigError`] message if validation fails.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid runtime configuration: {e}");
+        }
     }
 }
+
+/// Why a [`RuntimeConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `tick_ms` is zero, negative, or NaN.
+    NonPositiveTick,
+    /// `dvfs_interval_ms` is shorter than one tick.
+    DvfsShorterThanTick,
+    /// `os_interval_ms` is shorter than one DVFS interval.
+    OsShorterThanDvfs,
+    /// `duration_ms` does not cover one OS interval.
+    DurationShorterThanOs,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ConfigError::NonPositiveTick => "tick must be positive",
+            ConfigError::DvfsShorterThanTick => "DVFS interval must be at least one tick",
+            ConfigError::OsShorterThanDvfs => "OS interval must be at least one DVFS interval",
+            ConfigError::DurationShorterThanOs => "duration must cover at least one OS interval",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Per-trial observability hook.
+///
+/// The trial runtime calls these as the timeline advances; the default
+/// implementations do nothing, so observers override only what they
+/// need. [`crate::engine::TelemetryObserver`] adapts this interface to
+/// [`cmpsim::Telemetry`] for full per-tick traces.
+pub trait TrialObserver {
+    /// Called after each OS scheduling epoch with the new
+    /// thread-to-core mapping (`mapping[core] = Some(thread)`).
+    fn on_schedule(&mut self, tick: usize, mapping: &[Option<usize>]) {
+        let _ = (tick, mapping);
+    }
+
+    /// Called after each power-manager invocation with the chosen
+    /// per-active-core levels (in [`crate::manager::PmView`] order).
+    fn on_manager_run(&mut self, tick: usize, levels: &[usize]) {
+        let _ = (tick, levels);
+    }
+
+    /// Called after every machine tick.
+    fn on_step(&mut self, machine: &Machine, stats: &StepStats) {
+        let _ = (machine, stats);
+    }
+}
+
+/// The do-nothing observer behind plain [`run_trial`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl TrialObserver for NullObserver {}
 
 /// Results of one trial.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,7 +193,42 @@ pub fn run_trial(
     config: &RuntimeConfig,
     rng: &mut SimRng,
 ) -> TrialOutcome {
-    config.validate();
+    run_trial_observed(
+        machine,
+        workload,
+        policy,
+        manager,
+        budget,
+        config,
+        rng,
+        &mut NullObserver,
+    )
+}
+
+/// [`run_trial`] with an observability hook: the observer sees every
+/// scheduling decision, manager invocation, and machine tick.
+///
+/// The control plane is *stateful* within the trial: one scheduler and
+/// one power manager are built up front (via [`SchedPolicy::build`] and
+/// [`ManagerKind::build`]) and invoked repeatedly, so Foxton\* keeps its
+/// round-robin cursor and LinOpt warm-starts across DVFS intervals.
+///
+/// # Panics
+///
+/// Panics if the workload is larger than the machine or the runtime
+/// configuration is invalid.
+#[allow(clippy::too_many_arguments)] // mirrors run_trial + the observer
+pub fn run_trial_observed(
+    machine: &mut Machine,
+    workload: &Workload,
+    policy: SchedPolicy,
+    manager: ManagerKind,
+    budget: PowerBudget,
+    config: &RuntimeConfig,
+    rng: &mut SimRng,
+    observer: &mut dyn TrialObserver,
+) -> TrialOutcome {
+    config.validate_or_panic();
     machine.load_threads(workload.spawn_threads(rng));
 
     let cores = core_profiles(machine);
@@ -140,28 +244,38 @@ pub fn run_trial(
     let mut deviation_ticks = 0usize;
     let mut manager_runs = 0usize;
 
+    // One stateful instance of each control-plane half for the whole
+    // trial (ManagerKind::None builds no manager: levels stay pinned).
+    let mut scheduler = policy.build();
+    let mut power_manager = manager.build();
+
     for tick in 0..total_ticks {
         if tick % os_every == 0 {
             // OS scheduling epoch: re-profile threads and re-map.
             let threads = thread_profiles(machine, rng);
-            let mapping = schedule(policy, &cores, &threads, rng);
+            let mapping = scheduler.assign(&cores, &threads, rng);
             machine.assign(&mapping);
-            match (manager, config.freq_mode) {
-                (ManagerKind::None, FreqMode::Uniform) => {
-                    machine.set_uniform_frequency();
+            if power_manager.is_none() {
+                match config.freq_mode {
+                    FreqMode::Uniform => {
+                        machine.set_uniform_frequency();
+                    }
+                    FreqMode::NonUniform => machine.set_all_levels_max(),
                 }
-                (ManagerKind::None, FreqMode::NonUniform) => {
-                    machine.set_all_levels_max();
-                }
-                _ => {}
             }
+            observer.on_schedule(tick, &mapping);
         }
-        if !matches!(manager, ManagerKind::None) && tick % dvfs_every == 0 {
-            apply_manager(manager, machine, &budget, rng);
-            manager_runs += 1;
+        if let Some(pm) = power_manager.as_deref_mut() {
+            if tick % dvfs_every == 0 {
+                if let Some(levels) = pm.invoke(machine, &budget, rng) {
+                    observer.on_manager_run(tick, &levels);
+                }
+                manager_runs += 1;
+            }
         }
 
         let stats = machine.step(dt_s);
+        observer.on_step(machine, &stats);
         if tick >= warmup_ticks {
             deviation_sum += (stats.total_power_w - budget.chip_w).abs();
             deviation_ticks += 1;
@@ -366,6 +480,75 @@ mod tests {
             os_interval_ms: 5.0,
             ..quick_config()
         };
-        cfg.validate();
+        cfg.validate_or_panic();
+    }
+
+    #[test]
+    fn validate_reports_each_failure_mode() {
+        assert_eq!(quick_config().validate(), Ok(()));
+        let bad_tick = RuntimeConfig {
+            tick_ms: 0.0,
+            ..quick_config()
+        };
+        assert_eq!(bad_tick.validate(), Err(ConfigError::NonPositiveTick));
+        let bad_dvfs = RuntimeConfig {
+            dvfs_interval_ms: 0.5,
+            ..quick_config()
+        };
+        assert_eq!(bad_dvfs.validate(), Err(ConfigError::DvfsShorterThanTick));
+        let bad_os = RuntimeConfig {
+            os_interval_ms: 5.0,
+            ..quick_config()
+        };
+        assert_eq!(bad_os.validate(), Err(ConfigError::OsShorterThanDvfs));
+        let bad_duration = RuntimeConfig {
+            duration_ms: 10.0,
+            ..quick_config()
+        };
+        assert_eq!(
+            bad_duration.validate(),
+            Err(ConfigError::DurationShorterThanOs)
+        );
+    }
+
+    #[test]
+    fn observer_sees_the_whole_timeline() {
+        #[derive(Default)]
+        struct Counting {
+            schedules: usize,
+            manager_runs: usize,
+            steps: usize,
+        }
+        impl TrialObserver for Counting {
+            fn on_schedule(&mut self, _tick: usize, mapping: &[Option<usize>]) {
+                assert_eq!(mapping.len(), 20);
+                self.schedules += 1;
+            }
+            fn on_manager_run(&mut self, _tick: usize, levels: &[usize]) {
+                assert!(!levels.is_empty());
+                self.manager_runs += 1;
+            }
+            fn on_step(&mut self, _machine: &Machine, stats: &StepStats) {
+                assert!(stats.total_power_w > 0.0);
+                self.steps += 1;
+            }
+        }
+
+        let mut m = machine(30);
+        let w = workload(6, 31);
+        let mut obs = Counting::default();
+        let out = run_trial_observed(
+            &mut m,
+            &w,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::FoxtonStar,
+            PowerBudget::cost_performance(6),
+            &quick_config(),
+            &mut SimRng::seed_from(32),
+            &mut obs,
+        );
+        assert_eq!(obs.schedules, 2); // 100 ms / 50 ms OS epochs
+        assert_eq!(obs.manager_runs, out.manager_runs);
+        assert_eq!(obs.steps, 100); // one per tick
     }
 }

@@ -41,6 +41,61 @@ impl SchedPolicy {
             SchedPolicy::VarFAppIpc => "VarF&AppIPC",
         }
     }
+
+    /// Constructs the boxed [`Scheduler`] this spec describes.
+    ///
+    /// Mirrors `ManagerKind::build` on the power-management side:
+    /// `SchedPolicy` is the serializable spec, the trait object is the
+    /// per-trial instance (stateless for the paper's five policies, but
+    /// the trait leaves room for history-keeping schedulers such as
+    /// window-based ones).
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        Box::new(PolicyScheduler { policy: *self })
+    }
+}
+
+/// An OS-level application scheduler, invoked once per scheduling
+/// interval to produce a thread→core mapping from profile data.
+///
+/// Like [`crate::manager::PowerManager`], schedulers are built once per
+/// trial and may carry state across intervals; the paper's Table 1
+/// policies are stateless.
+pub trait Scheduler: Send {
+    /// Name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Computes `mapping[core] = Some(thread)` for every scheduled
+    /// thread.
+    fn assign(
+        &mut self,
+        cores: &[CoreProfile],
+        threads: &[ThreadProfile],
+        rng: &mut SimRng,
+    ) -> Vec<Option<usize>>;
+
+    /// Clears any cross-interval state (start of a new trial).
+    fn reset(&mut self) {}
+}
+
+/// The [`Scheduler`] implementation backing all of Table 1's policies.
+#[derive(Debug, Clone, Copy)]
+struct PolicyScheduler {
+    policy: SchedPolicy,
+}
+
+impl Scheduler for PolicyScheduler {
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn assign(
+        &mut self,
+        cores: &[CoreProfile],
+        threads: &[ThreadProfile],
+        rng: &mut SimRng,
+    ) -> Vec<Option<usize>> {
+        schedule(self.policy, cores, threads, rng)
+    }
 }
 
 /// Computes a mapping `mapping[core] = Some(thread)` for every scheduled
@@ -310,5 +365,24 @@ mod tests {
     fn policy_names_match_paper() {
         assert_eq!(SchedPolicy::VarPAppP.name(), "VarP&AppP");
         assert_eq!(SchedPolicy::VarFAppIpc.name(), "VarF&AppIPC");
+    }
+
+    #[test]
+    fn built_scheduler_matches_free_function() {
+        let cores = fake_cores(10);
+        let threads = fake_threads(6);
+        for policy in [
+            SchedPolicy::Random,
+            SchedPolicy::VarP,
+            SchedPolicy::VarPAppP,
+            SchedPolicy::VarF,
+            SchedPolicy::VarFAppIpc,
+        ] {
+            let mut boxed = policy.build();
+            assert_eq!(boxed.name(), policy.name());
+            let from_trait = boxed.assign(&cores, &threads, &mut SimRng::seed_from(9));
+            let from_free = schedule(policy, &cores, &threads, &mut SimRng::seed_from(9));
+            assert_eq!(from_trait, from_free);
+        }
     }
 }

@@ -64,6 +64,10 @@ pub struct Solution {
     /// unit of constraint relaxation. Zero for constraints that are not
     /// binding at the optimum (complementary slackness).
     pub dual: Vec<f64>,
+    /// The optimal basis: one column index per constraint row. Feed it
+    /// back into [`Problem::solve_warm`] to warm-start the next solve of
+    /// a same-shaped problem.
+    pub basis: Vec<usize>,
 }
 
 impl Problem {
@@ -153,7 +157,30 @@ impl Problem {
     /// * [`LpError::IterationLimit`] on numerical cycling (not expected
     ///   in practice thanks to Bland's rule).
     pub fn solve(&self) -> Result<Solution, LpError> {
-        Tableau::build(self).solve().map(|mut s| {
+        self.solve_warm(None)
+    }
+
+    /// Solves the program, optionally warm-starting from the basis of a
+    /// previous [`Solution`] to a same-shaped problem.
+    ///
+    /// Consecutive solves of a slowly drifting problem (LinOpt's LP
+    /// between DVFS intervals) usually share their optimal basis; when
+    /// the hinted basis is still valid and primal-feasible for the new
+    /// coefficients, phase 2 starts at (or next to) the optimum instead
+    /// of at the slack basis. An unusable hint is ignored, so the result
+    /// is always identical to [`Problem::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_warm(&self, basis_hint: Option<&[usize]>) -> Result<Solution, LpError> {
+        let mut tableau = Tableau::build(self);
+        if let Some(hint) = basis_hint {
+            if !tableau.try_install_basis(hint) {
+                tableau = Tableau::build(self);
+            }
+        }
+        tableau.solve().map(|mut s| {
             s.objective *= self.objective_sign;
             // Duals are computed against the internal (maximization)
             // objective; report them against the user's.
@@ -312,7 +339,43 @@ impl Tableau {
             objective: value,
             x,
             dual,
+            basis: self.basis.clone(),
         })
+    }
+
+    /// Pivots the tableau toward the hinted basis. Returns `false` (and
+    /// may leave the tableau half-pivoted — rebuild it) when the hint is
+    /// stale: wrong arity, artificial columns involved, a target column
+    /// that cannot enter, or a resulting point that is not primal
+    /// feasible.
+    fn try_install_basis(&mut self, hint: &[usize]) -> bool {
+        // Warm starts only apply to problems that need no phase 1; an
+        // artificial basis would have to be driven out first anyway.
+        if self.artificial_start < self.n_total {
+            return false;
+        }
+        if hint.len() != self.rows.len() {
+            return false;
+        }
+        if hint.iter().any(|&j| j >= self.artificial_start) {
+            return false;
+        }
+        let wanted = |j: usize| hint.contains(&j);
+        for &j in hint {
+            if self.basis.contains(&j) {
+                continue;
+            }
+            // Enter j on a row whose basic variable is not wanted.
+            let row = (0..self.rows.len())
+                .find(|&r| !wanted(self.basis[r]) && self.rows[r][j].abs() > EPS);
+            match row {
+                Some(r) => self.pivot(r, j),
+                None => return false,
+            }
+        }
+        // The hinted basis must be primal feasible for the new RHS,
+        // otherwise simplex's invariant breaks.
+        (0..self.rows.len()).all(|r| self.rhs(r) >= -EPS)
     }
 
     fn rhs(&self, r: usize) -> f64 {
@@ -483,6 +546,38 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn wrong_arity_panics() {
         let _ = Problem::maximize(vec![1.0, 2.0]).constraint_le(vec![1.0], 1.0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve() {
+        let problem = |budget: f64| {
+            Problem::maximize(vec![3.0, 2.0, 1.5])
+                .constraint_le(vec![1.0, 1.0, 1.0], budget)
+                .constraint_le(vec![1.0, 0.0, 0.0], 2.0)
+                .constraint_le(vec![0.0, 1.0, 0.0], 2.0)
+                .constraint_le(vec![0.0, 0.0, 1.0], 2.0)
+        };
+        let first = problem(4.0).solve().unwrap();
+        // Drift the RHS a little: the optimal basis is unchanged, so the
+        // warm solve must land on the same optimum a cold solve finds.
+        let drifted = problem(4.2);
+        let cold = drifted.solve().unwrap();
+        let warm = drifted.solve_warm(Some(&first.basis)).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        for (w, c) in warm.x.iter().zip(&cold.x) {
+            assert!((w - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stale_basis_hint_is_ignored() {
+        let p = Problem::maximize(vec![1.0, 1.0]).constraint_le(vec![1.0, 1.0], 1.0);
+        let cold = p.solve().unwrap();
+        // Wrong arity and out-of-range columns must both fall back.
+        let warm = p.solve_warm(Some(&[9, 9, 9])).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-12);
+        let warm = p.solve_warm(Some(&[1])).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-12);
     }
 
     #[test]

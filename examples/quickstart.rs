@@ -1,26 +1,26 @@
 //! Quickstart: manufacture a die, inspect its variation, and run one
-//! workload under variation-aware scheduling + LinOpt power management.
+//! workload under variation-aware scheduling + LinOpt power management
+//! through the trial engine.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use vasp::vasched::experiments::Context;
 use vasp::vasched::prelude::*;
 
 fn main() {
     // 1. Manufacture one 20-core die with the paper's variation
-    //    parameters (Vth sigma/mu = 0.12, phi = 0.5).
+    //    parameters (Vth sigma/mu = 0.12, phi = 0.5). The context
+    //    bundles the floorplan, die generator, and machine config.
     let variation = VariationConfig {
         grid: 40,
         ..VariationConfig::paper_default()
     };
-    let mut rng = SimRng::seed_from(2008);
-    let die = DieGenerator::new(variation)
-        .expect("valid configuration")
-        .generate(&mut rng);
-
-    let floorplan = paper_20_core();
-    let machine = Machine::new(&die, &floorplan, MachineConfig::paper_default());
+    let ctx = Context::with_variation(variation);
+    let seed = 2008u64;
+    let die = ctx.make_die(&mut SimRng::seed_from(seed));
+    let machine = ctx.make_machine(&die);
 
     // 2. Within-die variation makes the cores heterogeneous.
     println!("Per-core rated frequency and zero-load static power @ 1 V:");
@@ -37,23 +37,48 @@ fn main() {
     println!("frequency spread on this die: {:.0}%\n", (fast / slow - 1.0) * 100.0);
 
     // 3. Run a 12-app workload under VarF&AppIPC + LinOpt at the
-    //    Cost-Performance budget, and compare with the naive baseline.
-    let pool = app_pool(&machine.config().dynamic);
-    let workload = Workload::draw(&pool, 12, &mut rng);
+    //    Cost-Performance budget and compare with the naive baseline.
+    //    A TrialSpec declares the comparison; the TrialRunner executes
+    //    it (with the default SeedPlan, trial 0 re-manufactures exactly
+    //    the die inspected above).
+    let pool = app_pool(&ctx.machine_config().dynamic);
     let budget = PowerBudget::cost_performance(12);
     let runtime = RuntimeConfig::paper_default();
-
-    let run = |policy, manager| {
-        let mut m = machine.clone();
-        let mut trial_rng = SimRng::seed_from(42);
-        run_trial(&mut m, &workload, policy, manager, budget, &runtime, &mut trial_rng)
+    let arm = |label: &str, policy, manager| TrialArm {
+        label: label.into(),
+        policy,
+        manager,
+        budget,
+        runtime,
+        rng_salt: Some(42),
+    };
+    let spec = TrialSpec {
+        ctx: &ctx,
+        pool: &pool,
+        threads: 12,
+        mix: Mix::Balanced,
+        trials: 1,
+        seed,
+        plan: SeedPlan::default(),
+        arms: vec![
+            arm("Random+Foxton*", SchedPolicy::Random, ManagerKind::FoxtonStar),
+            arm("VarF&AppIPC+LinOpt", SchedPolicy::VarFAppIpc, ManagerKind::LinOpt),
+        ],
     };
 
-    let baseline = run(SchedPolicy::Random, ManagerKind::FoxtonStar);
-    let linopt = run(SchedPolicy::VarFAppIpc, ManagerKind::LinOpt);
-
-    println!("Random+Foxton*      : {:>8.0} MIPS at {:>5.1} W", baseline.mips, baseline.avg_power_w);
-    println!("VarF&AppIPC+LinOpt  : {:>8.0} MIPS at {:>5.1} W", linopt.mips, linopt.avg_power_w);
+    let results = TrialRunner::new().run(&spec);
+    let trial = &results[0];
+    for (arm, run) in spec.arms.iter().zip(&trial.arms) {
+        println!(
+            "{:<20}: {:>8.0} MIPS at {:>5.1} W  ({:.0} ms wall)",
+            arm.label,
+            run.outcome.mips,
+            run.outcome.avg_power_w,
+            run.wall_s * 1e3,
+        );
+    }
+    let baseline = &trial.arms[0].outcome;
+    let linopt = &trial.arms[1].outcome;
     println!(
         "throughput gain: {:+.1}%   ED^2 change: {:+.1}%",
         (linopt.mips / baseline.mips - 1.0) * 100.0,

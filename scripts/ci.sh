@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CI gate. The CI environment has no crates.io access, so every step
+# runs --offline; the workspace must build from the standard library
+# alone (see README "no dependencies" note).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,0 +1,100 @@
+//! Trial-engine determinism: a parallel [`TrialRunner`] must produce
+//! results bit-identical to a sequential run. Every trial derives all
+//! of its randomness from its own seed, so thread scheduling can never
+//! leak into outcomes — this test is the regression gate for that
+//! property.
+
+use vasp::vasched::engine::{SeedPlan, TrialArm, TrialRunner, TrialSpec};
+use vasp::vasched::experiments::{Context, Scale};
+use vasp::vasched::manager::{ManagerKind, PowerBudget};
+use vasp::vasched::prelude::*;
+use vasp::vasched::runtime::FreqMode;
+use cmpsim::Mix;
+
+fn smoke_spec<'a>(ctx: &'a Context, pool: &'a [cmpsim::AppSpec]) -> TrialSpec<'a> {
+    let scale = Scale::smoke();
+    let runtime = RuntimeConfig {
+        duration_ms: scale.duration_ms,
+        freq_mode: FreqMode::NonUniform,
+        ..RuntimeConfig::paper_default()
+    };
+    let budget = PowerBudget::cost_performance(8);
+    TrialSpec {
+        ctx,
+        pool,
+        threads: 8,
+        mix: Mix::Balanced,
+        trials: scale.dies,
+        seed: 314,
+        plan: SeedPlan {
+            mul: 1_000_003,
+            offset: 8_000,
+            stride: 1,
+        },
+        arms: vec![
+            TrialArm {
+                label: "Random+Foxton*".into(),
+                policy: SchedPolicy::Random,
+                manager: ManagerKind::FoxtonStar,
+                budget,
+                runtime,
+                rng_salt: Some(0xABCD),
+            },
+            TrialArm {
+                label: "VarF&AppIPC+LinOpt".into(),
+                policy: SchedPolicy::VarFAppIpc,
+                manager: ManagerKind::LinOpt,
+                budget,
+                runtime,
+                rng_salt: Some(0xABCD),
+            },
+        ],
+    }
+}
+
+#[test]
+fn parallel_runner_matches_sequential_bit_for_bit() {
+    let scale = Scale::smoke();
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let spec = smoke_spec(&ctx, &pool);
+
+    let sequential = TrialRunner::sequential().run(&spec);
+    let parallel = TrialRunner::with_workers(4).run(&spec);
+
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.trial, p.trial);
+        assert_eq!(s.trial_seed, p.trial_seed);
+        // Outcomes (not wall-clock) must match exactly, field for field.
+        assert_eq!(
+            s.outcomes(),
+            p.outcomes(),
+            "trial {} diverged between sequential and parallel runs",
+            s.trial
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    // Thread interleaving varies run to run; outcomes must not.
+    let scale = Scale::smoke();
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let spec = smoke_spec(&ctx, &pool);
+
+    let a = TrialRunner::with_workers(3).run(&spec);
+    let b = TrialRunner::with_workers(4).run(&spec);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.outcomes(), y.outcomes());
+    }
+}
+
+#[test]
+fn runner_defaults_use_available_parallelism() {
+    let runner = TrialRunner::new();
+    assert!(runner.workers() >= 1);
+    let explicit = TrialRunner::with_workers(2);
+    assert_eq!(explicit.workers(), 2);
+}
