@@ -144,7 +144,10 @@ impl Annealer {
     /// Panics if the configuration is degenerate (non-positive
     /// temperature, kernel scale, or zero evaluations).
     pub fn new(config: AnnealConfig) -> Self {
-        assert!(config.initial_temp > 0.0, "initial temperature must be positive");
+        assert!(
+            config.initial_temp > 0.0,
+            "initial temperature must be positive"
+        );
         assert!(config.kernel_scale > 0.0, "kernel scale must be positive");
         assert!(config.evaluations > 0, "evaluation budget must be positive");
         Self { config }
@@ -329,12 +332,8 @@ mod tests {
             ..AnnealConfig::default()
         });
         let mut rng = SimRng::seed_from(7);
-        let result = annealer.minimize(
-            &[1, 10],
-            &[0, 0],
-            |x| (x[1] as f64 - 6.0).powi(2),
-            &mut rng,
-        );
+        let result =
+            annealer.minimize(&[1, 10], &[0, 0], |x| (x[1] as f64 - 6.0).powi(2), &mut rng);
         assert_eq!(result.point[0], 0);
         assert_eq!(result.point[1], 6);
     }

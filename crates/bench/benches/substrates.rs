@@ -71,7 +71,9 @@ fn bench_simplex() {
 fn bench_thermal() {
     let fp = paper_20_core();
     let model = ThermalModel::new(&fp, ThermalParams::paper_default());
-    let powers: Vec<f64> = (0..fp.blocks().len()).map(|i| 2.0 + (i % 5) as f64).collect();
+    let powers: Vec<f64> = (0..fp.blocks().len())
+        .map(|i| 2.0 + (i % 5) as f64)
+        .collect();
     report_case("thermal", "steady_state", || {
         black_box(model.steady_state(black_box(&powers)));
     });

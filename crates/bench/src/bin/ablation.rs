@@ -2,19 +2,28 @@
 //! count, rounding policy, IPC-frequency-independence error, DVFS
 //! domain granularity, and voltage-transition costs.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::ablation;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();
     for threads in [8usize, 20] {
         println!("\n== LinOpt variants, {threads} threads ==");
-        println!("{:>28} {:>12} {:>12} {:>10}", "variant", "MIPS", "power (W)", "feasible");
+        println!(
+            "{:>28} {:>12} {:>12} {:>10}",
+            "variant", "MIPS", "power (W)", "feasible"
+        );
         for (label, point) in ablation::linopt_variants(&opts.scale, opts.seed, threads) {
-            println!("{label:>28} {:>12.0} {:>12.2} {:>10}", point.mips, point.power_w, point.feasible);
+            println!(
+                "{label:>28} {:>12.0} {:>12.2} {:>10}",
+                point.mips, point.power_w, point.feasible
+            );
         }
         let err = ablation::ipc_frequency_error(&opts.scale, opts.seed, threads);
-        println!("IPC-frequency independence: mean relative IPC error {:.2}%", err * 100.0);
+        println!(
+            "IPC-frequency independence: mean relative IPC error {:.2}%",
+            err * 100.0
+        );
     }
 
     let g = ablation::granularity(&opts.scale, opts.seed);

@@ -7,11 +7,11 @@
 //! ```
 
 use std::fmt::Write as _;
-use vasp_bench::{parse_args, report};
 use vasched::engine::TrialRunner;
 use vasched::experiments::{
-    ablation, dvfs, granularity, scheduling, timing, validation, variation, Series,
+    ablation, dvfs, granularity, online, scheduling, timing, validation, variation, Series,
 };
+use vasp_bench::{parse_args, report};
 
 fn mean(s: &Series) -> f64 {
     s.y.iter().sum::<f64>() / s.y.len() as f64
@@ -45,7 +45,7 @@ fn main() {
     let _ = writeln!(md, "|---|---|---|");
 
     // Figure 4.
-    println!("[1/12] fig4 ...");
+    println!("[1/13] fig4 ...");
     let f4 = variation::fig4(&scale, seed);
     let _ = writeln!(
         md,
@@ -59,7 +59,7 @@ fn main() {
     );
 
     // Figure 5.
-    println!("[2/12] fig5 ...");
+    println!("[2/13] fig5 ...");
     let (f5p, f5f) = variation::fig5(&scale, seed.wrapping_add(1));
     let _ = writeln!(
         md,
@@ -74,7 +74,7 @@ fn main() {
     report("fig05", "Figure 5", &[f5p, f5f]);
 
     // Figure 6.
-    println!("[3/12] fig6 ...");
+    println!("[3/13] fig6 ...");
     let (f6max, f6min) = variation::fig6(&scale, seed.wrapping_add(2));
     let _ = writeln!(
         md,
@@ -90,7 +90,7 @@ fn main() {
     );
 
     // Figures 7-8.
-    println!("[4/12] fig7 ...");
+    println!("[4/13] fig7 ...");
     let (f7p, f7e) = scheduling::fig7(&scale, seed.wrapping_add(3));
     let _ = writeln!(
         md,
@@ -100,7 +100,7 @@ fn main() {
     );
     report("fig07a", "Figure 7a", &f7p);
     report("fig07b", "Figure 7b", &f7e);
-    println!("[5/12] fig8 ...");
+    println!("[5/13] fig8 ...");
     let (f8p, f8e) = scheduling::fig8(&scale, seed.wrapping_add(4));
     let _ = writeln!(
         md,
@@ -111,7 +111,7 @@ fn main() {
     report("fig08b", "Figure 8b", &f8e);
 
     // Figures 9-10.
-    println!("[6/12] fig9/10 ...");
+    println!("[6/13] fig9/10 ...");
     let (f9f, f9m, f10) = scheduling::fig9_fig10(&scale, seed.wrapping_add(5));
     let _ = writeln!(
         md,
@@ -134,7 +134,7 @@ fn main() {
     report("fig10", "Figure 10", &f10);
 
     // Figures 11 & 13.
-    println!("[7/12] fig11/13 ...");
+    println!("[7/13] fig11/13 ...");
     let (f11m, f11e, f13m, f13e) = dvfs::fig11_fig13(&scale, seed.wrapping_add(6));
     let _ = writeln!(
         md,
@@ -167,7 +167,7 @@ fn main() {
     report("fig13b", "Figure 13b", &f13e);
 
     // Figure 12.
-    println!("[8/12] fig12 ...");
+    println!("[8/13] fig12 ...");
     let f12 = dvfs::fig12(&scale, seed.wrapping_add(7));
     let _ = writeln!(
         md,
@@ -179,7 +179,7 @@ fn main() {
     report("fig12", "Figure 12", &f12);
 
     // Figure 14.
-    println!("[9/12] fig14 ...");
+    println!("[9/13] fig14 ...");
     let f14 = granularity::fig14(&scale, seed.wrapping_add(8), &[4, 20]);
     let _ = writeln!(
         md,
@@ -194,7 +194,7 @@ fn main() {
     report("fig14", "Figure 14", &f14);
 
     // Figure 15.
-    println!("[10/12] fig15 ...");
+    println!("[10/13] fig15 ...");
     let f15 = timing::fig15(&scale, seed.wrapping_add(9), 200);
     let slowest = f15
         .iter()
@@ -207,7 +207,7 @@ fn main() {
     report("fig15", "Figure 15", &f15);
 
     // Validation.
-    println!("[11/12] sann vs exhaustive ...");
+    println!("[11/13] sann vs exhaustive ...");
     let val = validation::sann_vs_exhaustive(&scale, seed.wrapping_add(10), &[2, 4, 8, 20]);
     let worst_sann = val
         .iter()
@@ -229,7 +229,7 @@ fn main() {
     );
 
     // Ablations.
-    println!("[12/12] ablations ...");
+    println!("[12/13] ablations ...");
     let gran = ablation::granularity(&scale, seed.wrapping_add(11));
     let _ = writeln!(
         md,
@@ -244,6 +244,34 @@ fn main() {
     );
     report("ablation_granularity", "Granularity", &[gran]);
     report("ablation_transition", "Transition cost", &[trans]);
+
+    // Online serving (beyond the paper).
+    println!("[13/13] online serving ...");
+    let sweep = online::arrival_sweep(&scale, seed.wrapping_add(13));
+    let last = sweep.throughput_jobs_per_s[0].y.len() - 1;
+    let _ = writeln!(
+        md,
+        "| Online serving capacity at 40 W (Foxton* / LinOpt / chip-wide) | n/a (extension) | {:.0} / {:.0} / {:.0} jobs/s |",
+        sweep.throughput_jobs_per_s[0].y[last],
+        sweep.throughput_jobs_per_s[1].y[last],
+        sweep.throughput_jobs_per_s[2].y[last]
+    );
+    report(
+        "online_throughput",
+        "Online throughput",
+        &sweep.throughput_jobs_per_s,
+    );
+    report(
+        "online_p95_latency",
+        "Online p95 latency",
+        &sweep.p95_latency_ms,
+    );
+    report(
+        "online_utilization",
+        "Online utilization",
+        &sweep.utilization,
+    );
+    report("online_power", "Online chip power", &sweep.avg_power_w);
 
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/REPORT.md", &md).expect("write report");

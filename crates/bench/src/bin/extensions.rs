@@ -3,13 +3,13 @@
 //! Compares fixed placement vs hot-to-cold migration on a
 //! half-loaded CMP: throughput, peak temperature, and per-core aging.
 
-use vasp_bench::parse_args;
-use vasched::extensions::{run_thermal_trial, MigrationConfig};
+use cmpsim::{app_pool, Workload};
 use vasched::experiments::Context;
+use vasched::extensions::{run_thermal_trial, MigrationConfig};
 use vasched::manager::{ManagerKind, PowerBudget};
 use vasched::runtime::RuntimeConfig;
 use vasched::sched::SchedPolicy;
-use cmpsim::{app_pool, Workload};
+use vasp_bench::parse_args;
 use vastats::SimRng;
 
 fn main() {
@@ -24,12 +24,23 @@ fn main() {
         ..RuntimeConfig::paper_default()
     };
 
-    println!("{:<22} {:>10} {:>12} {:>12} {:>12} {:>11}",
-        "policy", "MIPS", "peak T (C)", "max aging", "mean aging", "migrations");
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>12} {:>11}",
+        "policy", "MIPS", "peak T (C)", "max aging", "mean aging", "migrations"
+    );
     for (label, migration) in [
         ("fixed placement", None),
-        ("migrate on 5 K gap", Some(MigrationConfig::default_policy())),
-        ("migrate on 1 K gap", Some(MigrationConfig { interval_ms: 10.0, trigger_k: 1.0 })),
+        (
+            "migrate on 5 K gap",
+            Some(MigrationConfig::default_policy()),
+        ),
+        (
+            "migrate on 1 K gap",
+            Some(MigrationConfig {
+                interval_ms: 10.0,
+                trigger_k: 1.0,
+            }),
+        ),
     ] {
         let mut mips = 0.0;
         let mut peak = 0.0;
@@ -43,8 +54,14 @@ fn main() {
             let mut machine = ctx.make_machine(&die);
             let workload = Workload::draw(&pool, threads, &mut rng);
             let out = run_thermal_trial(
-                &mut machine, &workload, SchedPolicy::VarFAppIpc,
-                ManagerKind::None, budget, &runtime, migration, &mut rng,
+                &mut machine,
+                &workload,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::None,
+                budget,
+                &runtime,
+                migration,
+                &mut rng,
             );
             mips += out.mips;
             peak += out.peak_temp_k - 273.15;
@@ -53,8 +70,14 @@ fn main() {
             migrations += out.migrations;
         }
         let n = opts.scale.trials as f64;
-        println!("{label:<22} {:>10.0} {:>12.1} {:>12.4} {:>12.4} {:>11}",
-            mips / n, peak / n, max_aging / n, mean_aging / n, migrations / opts.scale.trials);
+        println!(
+            "{label:<22} {:>10.0} {:>12.1} {:>12.4} {:>12.4} {:>11}",
+            mips / n,
+            peak / n,
+            max_aging / n,
+            mean_aging / n,
+            migrations / opts.scale.trials
+        );
     }
     println!("\n(aging in nominal-equivalent seconds at 95 C / 1 V; chip lifetime");
     println!(" tracks the max-aging column — migration trades locality for it)");

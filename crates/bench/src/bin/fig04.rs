@@ -1,8 +1,8 @@
 //! Figure 4: histograms of per-die core-to-core power and frequency
 //! ratios over a batch of dies (σ/µ = 0.12).
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::{variation, Series};
+use vasp_bench::{parse_args, report};
 use vastats::{bootstrap::mean_ci, SimRng};
 
 fn main() {
@@ -10,7 +10,10 @@ fn main() {
     let data = variation::fig4(&opts.scale, opts.seed);
     let mut ci_rng = SimRng::seed_from(opts.seed ^ 0xC1);
 
-    println!("Figure 4(a): max/min core power ratio, {} dies", data.power_ratios.len());
+    println!(
+        "Figure 4(a): max/min core power ratio, {} dies",
+        data.power_ratios.len()
+    );
     println!("{}", data.power_histogram(14));
     let ci = mean_ci(&data.power_ratios, 0.95, 2000, &mut ci_rng);
     println!(

@@ -1,7 +1,7 @@
 //! Figure 5: mean core-to-core power/frequency ratio vs Vth σ/µ.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::variation;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();

@@ -1,8 +1,8 @@
 //! Figure 6: core power vs frequency for the fastest (MaxF) and
 //! slowest (MinF) cores of one die, V = 0.6-1.0 V, running bzip2.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::variation;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();
@@ -10,5 +10,9 @@ fn main() {
     println!("(x = frequency, y = power; both normalized to MaxF at 1 V)");
     println!("Paper's shape: MinF is more power-efficient at low frequency,");
     println!("MaxF at high frequency, with a crossover in between.");
-    report("fig06", "Figure 6: power vs frequency, MaxF and MinF cores", &[maxf, minf]);
+    report(
+        "fig06",
+        "Figure 6: power vs frequency, MaxF and MinF cores",
+        &[maxf, minf],
+    );
 }

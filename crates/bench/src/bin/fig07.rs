@@ -1,12 +1,20 @@
 //! Figure 7: UniFreq power (a) and ED² (b) vs thread count for
 //! Random / VarP / VarP&AppP, relative to Random.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::scheduling;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();
     let (power, ed2) = scheduling::fig7(&opts.scale, opts.seed);
-    report("fig07a", "Figure 7(a): UniFreq relative power (paper: VarP saves ~10% at 4 threads, nothing at 20)", &power);
-    report("fig07b", "Figure 7(b): UniFreq relative ED^2 (paper: tracks the power savings)", &ed2);
+    report(
+        "fig07a",
+        "Figure 7(a): UniFreq relative power (paper: VarP saves ~10% at 4 threads, nothing at 20)",
+        &power,
+    );
+    report(
+        "fig07b",
+        "Figure 7(b): UniFreq relative ED^2 (paper: tracks the power savings)",
+        &ed2,
+    );
 }

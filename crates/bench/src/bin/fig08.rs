@@ -1,12 +1,16 @@
 //! Figure 8: NUniFreq power (a) and ED² (b) vs thread count for
 //! Random / VarP / VarP&AppP, relative to Random.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::scheduling;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();
     let (power, ed2) = scheduling::fig8(&opts.scale, opts.seed);
-    report("fig08a", "Figure 8(a): NUniFreq relative power (paper: ~14% savings at 4 threads)", &power);
+    report(
+        "fig08a",
+        "Figure 8(a): NUniFreq relative power (paper: ~14% savings at 4 threads)",
+        &power,
+    );
     report("fig08b", "Figure 8(b): NUniFreq relative ED^2 (paper: smaller gains than 7b - VarP picks slow cores)", &ed2);
 }

@@ -1,13 +1,25 @@
 //! Figures 9 and 10: NUniFreq frequency (9a), throughput (9b) and ED²
 //! (10) vs thread count for Random / VarF / VarF&AppIPC.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::scheduling;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();
     let (freq, mips, ed2) = scheduling::fig9_fig10(&opts.scale, opts.seed);
-    report("fig09a", "Figure 9(a): relative frequency (paper: VarF +10% at 4 threads, ~0 at 20)", &freq);
-    report("fig09b", "Figure 9(b): relative MIPS (paper: VarF&AppIPC +5-10% across loads)", &mips);
-    report("fig10", "Figure 10: relative ED^2 (paper: VarF&AppIPC 10-13% below Random at 8-20 threads)", &ed2);
+    report(
+        "fig09a",
+        "Figure 9(a): relative frequency (paper: VarF +10% at 4 threads, ~0 at 20)",
+        &freq,
+    );
+    report(
+        "fig09b",
+        "Figure 9(b): relative MIPS (paper: VarF&AppIPC +5-10% across loads)",
+        &mips,
+    );
+    report(
+        "fig10",
+        "Figure 10: relative ED^2 (paper: VarF&AppIPC 10-13% below Random at 8-20 threads)",
+        &ed2,
+    );
 }

@@ -1,14 +1,30 @@
 //! Figures 11 and 13: NUniFreq+DVFS throughput and ED², plain (11) and
 //! weighted (13), relative to Random+Foxton*, Cost-Performance env.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::dvfs;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();
     let (mips, ed2, wmips, wed2) = dvfs::fig11_fig13(&opts.scale, opts.seed);
-    report("fig11a", "Figure 11(a): relative MIPS (paper: LinOpt +12-17%, SAnn ~+2% over LinOpt)", &mips);
-    report("fig11b", "Figure 11(b): relative ED^2 (paper: LinOpt -30-38%)", &ed2);
-    report("fig13a", "Figure 13(a): relative weighted MIPS (paper: LinOpt +9-14%)", &wmips);
-    report("fig13b", "Figure 13(b): relative weighted ED^2 (paper: LinOpt -24-33%)", &wed2);
+    report(
+        "fig11a",
+        "Figure 11(a): relative MIPS (paper: LinOpt +12-17%, SAnn ~+2% over LinOpt)",
+        &mips,
+    );
+    report(
+        "fig11b",
+        "Figure 11(b): relative ED^2 (paper: LinOpt -30-38%)",
+        &ed2,
+    );
+    report(
+        "fig13a",
+        "Figure 13(a): relative weighted MIPS (paper: LinOpt +9-14%)",
+        &wmips,
+    );
+    report(
+        "fig13b",
+        "Figure 13(b): relative weighted ED^2 (paper: LinOpt -24-33%)",
+        &wed2,
+    );
 }

@@ -1,8 +1,8 @@
 //! Figure 12: throughput vs power environment (50/75/100 W) at
 //! 20 threads, relative to Random+Foxton*.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::dvfs;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();

@@ -1,7 +1,7 @@
 //! Figure 14: power deviation from Ptarget vs LinOpt interval.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::granularity;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();

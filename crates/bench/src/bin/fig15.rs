@@ -1,7 +1,7 @@
 //! Figure 15: LinOpt execution time vs thread count, per environment.
 
-use vasp_bench::{parse_args, report};
 use vasched::experiments::timing;
+use vasp_bench::{parse_args, report};
 
 fn main() {
     let opts = parse_args();

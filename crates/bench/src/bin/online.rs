@@ -1,0 +1,31 @@
+//! Online serving sweep (beyond the paper): completed-job throughput,
+//! p95 latency, utilization, and chip power vs Poisson arrival rate,
+//! per power manager, under the tight serving budget.
+
+use vasched::experiments::online;
+use vasp_bench::{parse_args, report};
+
+fn main() {
+    let opts = parse_args();
+    let sweep = online::arrival_sweep(&opts.scale, opts.seed);
+    report(
+        "online_throughput",
+        "Online serving: completed jobs/s vs arrival rate (LinOpt sustains the most under the 40 W budget)",
+        &sweep.throughput_jobs_per_s,
+    );
+    report(
+        "online_p95_latency",
+        "Online serving: p95 arrival-to-completion latency (ms) vs arrival rate",
+        &sweep.p95_latency_ms,
+    );
+    report(
+        "online_utilization",
+        "Online serving: busy-core fraction vs arrival rate",
+        &sweep.utilization,
+    );
+    report(
+        "online_power",
+        "Online serving: average chip power (W) vs arrival rate (budget 40 W)",
+        &sweep.avg_power_w,
+    );
+}

@@ -1,18 +1,33 @@
 //! §6.5 validation: SAnn vs exhaustive search vs LinOpt.
 
-use vasp_bench::parse_args;
 use vasched::experiments::validation;
+use vasp_bench::parse_args;
 
 fn main() {
     let opts = parse_args();
     let results = validation::sann_vs_exhaustive(&opts.scale, opts.seed, &[1, 2, 4, 8, 16, 20]);
-    println!("{:>8} {:>16} {:>12} {:>12} {:>14} {:>14}",
-        "threads", "exhaustive MIPS", "SAnn MIPS", "LinOpt MIPS", "SAnn/exh", "LinOpt/SAnn");
+    println!(
+        "{:>8} {:>16} {:>12} {:>12} {:>14} {:>14}",
+        "threads", "exhaustive MIPS", "SAnn MIPS", "LinOpt MIPS", "SAnn/exh", "LinOpt/SAnn"
+    );
     for r in &results {
-        let exh = r.exhaustive_mips.map(|e| format!("{e:.0}")).unwrap_or_else(|| "-".into());
-        let ratio = r.sann_vs_exhaustive().map(|x| format!("{x:.4}")).unwrap_or_else(|| "-".into());
-        println!("{:>8} {:>16} {:>12.0} {:>12.0} {:>14} {:>14.4}",
-            r.threads, exh, r.sann_mips, r.linopt_mips, ratio, r.linopt_vs_sann());
+        let exh = r
+            .exhaustive_mips
+            .map(|e| format!("{e:.0}"))
+            .unwrap_or_else(|| "-".into());
+        let ratio = r
+            .sann_vs_exhaustive()
+            .map(|x| format!("{x:.4}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>8} {:>16} {:>12.0} {:>12.0} {:>14} {:>14.4}",
+            r.threads,
+            exh,
+            r.sann_mips,
+            r.linopt_mips,
+            ratio,
+            r.linopt_vs_sann()
+        );
     }
     println!("\n(paper: SAnn within 1% of exhaustive for <=4 threads;");
     println!(" LinOpt within ~2% of SAnn)");

@@ -112,9 +112,9 @@ impl AppSpec {
         );
         assert!(!phases.is_empty(), "need at least one phase");
         assert!(
-            phases.iter().all(|p| p.duration_ms > 0.0
-                && p.ipc_mult > 0.0
-                && p.power_mult > 0.0),
+            phases
+                .iter()
+                .all(|p| p.duration_ms > 0.0 && p.ipc_mult > 0.0 && p.power_mult > 0.0),
             "phases must have positive duration and multipliers"
         );
 
@@ -325,34 +325,136 @@ pub fn app_pool(dyn_model: &DynamicPower) -> Vec<AppSpec> {
         // while power multipliers stay gentle — a stalled pipeline still
         // clocks, so activity varies far less than IPC. Each phase list
         // is duration-weighted to average exactly 1.0 on both axes.
-        ("applu", AppClass::Fp, 4.3, 1.1, 0.30, 6.0,
-            &[(60.0, 1.25, 1.04), (90.0, 0.85, 0.97), (50.0, 0.97, 1.006)]),
-        ("apsi", AppClass::Fp, 1.6, 0.1, 0.80, 8.0,
-            &[(80.0, 1.50, 1.05), (120.0, 0.6667, 0.9667)]),
-        ("art", AppClass::Fp, 2.4, 0.2, 0.75, 3.5,
-            &[(70.0, 1.40, 1.05), (70.0, 0.60, 0.95)]),
-        ("bzip2", AppClass::Int, 3.7, 1.1, 0.30, 2.0,
-            &[(40.0, 1.30, 1.06), (60.0, 0.75, 0.95), (30.0, 1.10, 1.02)]),
-        ("crafty", AppClass::Int, 3.9, 1.1, 0.25, 1.0,
-            &[(100.0, 1.15, 1.03), (100.0, 0.85, 0.97)]),
-        ("equake", AppClass::Fp, 2.1, 0.3, 0.70, 10.0,
-            &[(50.0, 1.45, 1.06), (90.0, 0.75, 0.9667)]),
-        ("gap", AppClass::Int, 3.5, 1.0, 0.35, 2.0,
-            &[(65.0, 1.20, 1.04), (85.0, 0.847, 0.9694)]),
-        ("gzip", AppClass::Int, 2.7, 0.7, 0.45, 1.5,
-            &[(30.0, 1.35, 1.06), (50.0, 0.73, 0.95), (40.0, 1.075, 1.0175)]),
-        ("mcf", AppClass::Int, 1.5, 0.1, 0.80, 40.0,
-            &[(150.0, 1.40, 1.05), (150.0, 0.60, 0.95)]),
-        ("mgrid", AppClass::Fp, 2.2, 0.4, 0.65, 12.0,
-            &[(120.0, 1.15, 1.03), (80.0, 0.775, 0.955)]),
-        ("parser", AppClass::Int, 2.8, 0.7, 0.50, 3.0,
-            &[(55.0, 1.30, 1.05), (75.0, 0.78, 0.9633)]),
-        ("swim", AppClass::Fp, 2.2, 0.3, 0.75, 16.0,
-            &[(90.0, 1.30, 1.04), (110.0, 0.7545, 0.9673)]),
-        ("twolf", AppClass::Int, 2.3, 0.4, 0.60, 1.0,
-            &[(45.0, 1.35, 1.05), (65.0, 0.7577, 0.9654)]),
-        ("vortex", AppClass::Int, 4.4, 1.2, 0.20, 2.0,
-            &[(75.0, 1.12, 1.03), (85.0, 0.8941, 0.9735)]),
+        (
+            "applu",
+            AppClass::Fp,
+            4.3,
+            1.1,
+            0.30,
+            6.0,
+            &[(60.0, 1.25, 1.04), (90.0, 0.85, 0.97), (50.0, 0.97, 1.006)],
+        ),
+        (
+            "apsi",
+            AppClass::Fp,
+            1.6,
+            0.1,
+            0.80,
+            8.0,
+            &[(80.0, 1.50, 1.05), (120.0, 0.6667, 0.9667)],
+        ),
+        (
+            "art",
+            AppClass::Fp,
+            2.4,
+            0.2,
+            0.75,
+            3.5,
+            &[(70.0, 1.40, 1.05), (70.0, 0.60, 0.95)],
+        ),
+        (
+            "bzip2",
+            AppClass::Int,
+            3.7,
+            1.1,
+            0.30,
+            2.0,
+            &[(40.0, 1.30, 1.06), (60.0, 0.75, 0.95), (30.0, 1.10, 1.02)],
+        ),
+        (
+            "crafty",
+            AppClass::Int,
+            3.9,
+            1.1,
+            0.25,
+            1.0,
+            &[(100.0, 1.15, 1.03), (100.0, 0.85, 0.97)],
+        ),
+        (
+            "equake",
+            AppClass::Fp,
+            2.1,
+            0.3,
+            0.70,
+            10.0,
+            &[(50.0, 1.45, 1.06), (90.0, 0.75, 0.9667)],
+        ),
+        (
+            "gap",
+            AppClass::Int,
+            3.5,
+            1.0,
+            0.35,
+            2.0,
+            &[(65.0, 1.20, 1.04), (85.0, 0.847, 0.9694)],
+        ),
+        (
+            "gzip",
+            AppClass::Int,
+            2.7,
+            0.7,
+            0.45,
+            1.5,
+            &[
+                (30.0, 1.35, 1.06),
+                (50.0, 0.73, 0.95),
+                (40.0, 1.075, 1.0175),
+            ],
+        ),
+        (
+            "mcf",
+            AppClass::Int,
+            1.5,
+            0.1,
+            0.80,
+            40.0,
+            &[(150.0, 1.40, 1.05), (150.0, 0.60, 0.95)],
+        ),
+        (
+            "mgrid",
+            AppClass::Fp,
+            2.2,
+            0.4,
+            0.65,
+            12.0,
+            &[(120.0, 1.15, 1.03), (80.0, 0.775, 0.955)],
+        ),
+        (
+            "parser",
+            AppClass::Int,
+            2.8,
+            0.7,
+            0.50,
+            3.0,
+            &[(55.0, 1.30, 1.05), (75.0, 0.78, 0.9633)],
+        ),
+        (
+            "swim",
+            AppClass::Fp,
+            2.2,
+            0.3,
+            0.75,
+            16.0,
+            &[(90.0, 1.30, 1.04), (110.0, 0.7545, 0.9673)],
+        ),
+        (
+            "twolf",
+            AppClass::Int,
+            2.3,
+            0.4,
+            0.60,
+            1.0,
+            &[(45.0, 1.35, 1.05), (65.0, 0.7577, 0.9654)],
+        ),
+        (
+            "vortex",
+            AppClass::Int,
+            4.4,
+            1.2,
+            0.20,
+            2.0,
+            &[(75.0, 1.12, 1.03), (85.0, 0.8941, 0.9735)],
+        ),
     ];
 
     defs.iter()
@@ -435,10 +537,7 @@ mod tests {
             let pool = app_pool(&model);
             let app = pool.iter().find(|a| a.name == name).unwrap();
             let p = model.power_at_ref(app.activity());
-            assert!(
-                (p - watts).abs() < 1e-9,
-                "{name}: {p} W vs {watts} W"
-            );
+            assert!((p - watts).abs() < 1e-9, "{name}: {p} W vs {watts} W");
         }
     }
 
@@ -538,9 +637,7 @@ mod tests {
         let pool = pool();
         let swim = pool.iter().find(|a| a.name == "swim").unwrap();
         let bzip2 = pool.iter().find(|a| a.name == "bzip2").unwrap();
-        assert!(
-            swim.activity().get(Structure::FpAlu) > bzip2.activity().get(Structure::FpAlu)
-        );
+        assert!(swim.activity().get(Structure::FpAlu) > bzip2.activity().get(Structure::FpAlu));
     }
 
     #[test]

@@ -198,7 +198,10 @@ impl Machine {
     ///
     /// Panics if the configuration's voltage list is empty or unsorted.
     pub fn new(die: &Die, floorplan: &Floorplan, config: MachineConfig) -> Self {
-        assert!(!config.voltages.is_empty(), "need at least one voltage level");
+        assert!(
+            !config.voltages.is_empty(),
+            "need at least one voltage level"
+        );
         assert!(
             config.voltages.windows(2).all(|w| w[0] < w[1]),
             "voltages must be strictly ascending"
@@ -224,12 +227,15 @@ impl Machine {
             match block.kind {
                 BlockKind::Core(idx) => {
                     let vf = freq_model.vf_table(&cells, &config.voltages, config.f_step_hz);
-                    cores.push((idx, CoreInfo {
-                        cells,
-                        vf,
-                        area_mm2: area,
-                        block_idx,
-                    }));
+                    cores.push((
+                        idx,
+                        CoreInfo {
+                            cells,
+                            vf,
+                            area_mm2: area,
+                            block_idx,
+                        },
+                    ));
                 }
                 BlockKind::L2(_) => l2.push(L2Info {
                     cells,
@@ -354,6 +360,74 @@ impl Machine {
         self.elapsed_s = 0.0;
         self.total_instructions = 0.0;
         self.temps = vec![self.config.thermal.ambient_k; self.temps.len()];
+    }
+
+    /// Adds one thread to the running set *without* resetting the
+    /// machine's accumulated statistics or thermal state — the online
+    /// serving runtime admits arriving jobs this way. The thread starts
+    /// unassigned; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every core already has a thread.
+    pub fn add_thread(&mut self, thread: Thread) -> usize {
+        assert!(
+            self.threads.len() < self.cores.len(),
+            "cannot add thread: all {} cores are occupied",
+            self.cores.len()
+        );
+        self.threads.push(thread);
+        self.threads.len() - 1
+    }
+
+    /// Removes thread `tid` from the running set (a completed job
+    /// leaving the system), freeing its core and preserving all
+    /// accumulated statistics. Returns the removed [`Thread`] so
+    /// callers can read its final counters.
+    ///
+    /// The last thread takes the removed thread's index
+    /// (`swap_remove`); its core assignment is re-pointed accordingly,
+    /// so callers holding thread indices must remap the old last index
+    /// to `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn remove_thread(&mut self, tid: usize) -> Thread {
+        assert!(tid < self.threads.len(), "thread index {tid} out of range");
+        let last = self.threads.len() - 1;
+        for slot in self.assignment.iter_mut() {
+            if *slot == Some(tid) {
+                *slot = None;
+            }
+        }
+        let removed = self.threads.swap_remove(tid);
+        if tid != last {
+            for slot in self.assignment.iter_mut() {
+                if *slot == Some(last) {
+                    *slot = Some(tid);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Charges an externally-modelled stall to a core: the core burns
+    /// power but retires nothing for `stall_s` seconds of subsequent
+    /// execution. The online runtime uses this for the migration
+    /// penalty when a reschedule moves a thread between cores; it adds
+    /// on top of any pending DVFS-transition stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `stall_s` is negative or NaN.
+    pub fn charge_stall(&mut self, core: usize, stall_s: f64) {
+        assert!(core < self.cores.len(), "core out of range");
+        assert!(
+            stall_s >= 0.0 && !stall_s.is_nan(),
+            "stall must be non-negative"
+        );
+        self.stall_s[core] += stall_s;
     }
 
     /// Sets the core→thread assignment. `mapping[core]` is the thread
@@ -506,9 +580,7 @@ impl Machine {
                     * f
             },
         );
-        for (&(tid, _), (&old, &new)) in
-            running.iter().zip(current.iter().zip(target.iter()))
-        {
+        for (&(tid, _), (&old, &new)) in running.iter().zip(current.iter().zip(target.iter())) {
             // Occupancy drifts with the cache's churn rate, not
             // instantly; smooth per tick.
             let s = cache.smoothing;
@@ -586,7 +658,9 @@ impl Machine {
 
             let ipc = thread.ipc_now(f);
             let dyn_w = thread.dynamic_power_now(&self.config.dynamic, v, f);
-            let leak_w = self.core_leak.block_static(&info.cells, info.area_mm2, v, temp);
+            let leak_w = self
+                .core_leak
+                .block_static(&info.cells, info.area_mm2, v, temp);
             let retired = thread.run(run_s, f);
 
             instructions += retired;
@@ -677,7 +751,11 @@ impl Machine {
         let tid = self.assignment[core]?;
         let info = &self.cores[core];
         let f = info.vf.freq_at(self.levels[core]);
-        let f = if f > 0.0 { f } else { info.vf.max_freq().max(1.0) };
+        let f = if f > 0.0 {
+            f
+        } else {
+            info.vf.max_freq().max(1.0)
+        };
         Some(self.threads[tid].ipc_now(f))
     }
 
@@ -870,10 +948,7 @@ mod tests {
         for _ in 0..200 {
             m.step(0.001);
         }
-        let hottest = m
-            .temperatures()
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b));
+        let hottest = m.temperatures().iter().fold(0.0f64, |a, &b| a.max(b));
         assert!(hottest > ambient + 5.0, "hottest {hottest}");
     }
 
@@ -963,21 +1038,24 @@ mod tests {
         }
         let shares: Vec<f64> = m.threads().iter().map(|t| t.l2_alloc_mb()).collect();
         let total: f64 = shares.iter().sum();
-        assert!((total - 8.0).abs() < 1e-6, "shares must tile the L2: {total}");
+        assert!(
+            (total - 8.0).abs() < 1e-6,
+            "shares must tile the L2: {total}"
+        );
         assert!(shares.iter().all(|&s| s < 8.0));
         // Cache-hungry threads hold more than cache-light ones.
         let hungriest = m
             .threads()
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.spec().ws_mb.partial_cmp(&b.1.spec().ws_mb).unwrap())
+            .max_by(|a, b| a.1.spec().ws_mb.total_cmp(&b.1.spec().ws_mb))
             .unwrap()
             .0;
         let lightest = m
             .threads()
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.spec().ws_mb.partial_cmp(&b.1.spec().ws_mb).unwrap())
+            .min_by(|a, b| a.1.spec().ws_mb.total_cmp(&b.1.spec().ws_mb))
             .unwrap()
             .0;
         if m.threads()[hungriest].spec().ws_mb > 2.0 * m.threads()[lightest].spec().ws_mb {
@@ -1096,6 +1174,81 @@ mod tests {
             m.step(0.001);
         }
         assert_eq!(m.transition_stall_s(0), 0.0);
+    }
+
+    #[test]
+    fn add_thread_preserves_statistics() {
+        let mut m = loaded_machine(2, 50);
+        for _ in 0..10 {
+            m.step(0.001);
+        }
+        let energy = m.energy_j();
+        let instructions = m.total_instructions();
+        assert!(energy > 0.0);
+        let pool = app_pool(&m.config().dynamic);
+        let tid = m.add_thread(Thread::new(pool[0].clone()));
+        assert_eq!(tid, 2);
+        assert_eq!(m.energy_j(), energy);
+        assert_eq!(m.total_instructions(), instructions);
+        // The new thread runs once assigned.
+        let mut mapping = m.assignment().to_vec();
+        mapping[10] = Some(tid);
+        m.assign(&mapping);
+        m.step(0.001);
+        assert!(m.threads()[tid].instructions() > 0.0);
+    }
+
+    #[test]
+    fn remove_thread_frees_core_and_remaps_last() {
+        let mut m = loaded_machine(4, 51);
+        m.step(0.001);
+        // Remove thread 1: thread 3 (on core 3) takes index 1.
+        let before = m.threads()[3].clone();
+        let removed = m.remove_thread(1);
+        assert_eq!(m.threads().len(), 3);
+        assert_eq!(m.thread_of(1), None, "removed thread's core is freed");
+        assert_eq!(m.thread_of(3), Some(1), "last thread re-pointed");
+        assert_eq!(m.threads()[1], before);
+        assert!(removed.instructions() > 0.0);
+        // The machine keeps stepping consistently afterwards.
+        let stats = m.step(0.001);
+        assert!(stats.total_power_w > 0.0);
+    }
+
+    #[test]
+    fn remove_last_thread_needs_no_remap() {
+        let mut m = loaded_machine(3, 52);
+        m.remove_thread(2);
+        assert_eq!(m.threads().len(), 2);
+        assert_eq!(m.thread_of(2), None);
+        assert_eq!(m.thread_of(0), Some(0));
+        assert_eq!(m.thread_of(1), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "all 20 cores")]
+    fn add_thread_rejected_when_full() {
+        let mut m = loaded_machine(20, 53);
+        let pool = app_pool(&m.config().dynamic);
+        m.add_thread(Thread::new(pool[0].clone()));
+    }
+
+    #[test]
+    fn charged_stall_suppresses_retirement() {
+        let mut a = loaded_machine(1, 54);
+        let mut b = loaded_machine(1, 54);
+        b.charge_stall(0, 0.002);
+        assert_eq!(b.transition_stall_s(0), 0.002);
+        for _ in 0..5 {
+            a.step(0.001);
+            b.step(0.001);
+        }
+        assert!(
+            b.total_instructions() < a.total_instructions(),
+            "stalled machine must retire less: {} vs {}",
+            b.total_instructions(),
+            a.total_instructions()
+        );
     }
 
     #[test]

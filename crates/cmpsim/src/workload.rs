@@ -82,11 +82,7 @@ impl Workload {
     /// Panics like [`Workload::draw`], or if the mix admits no
     /// application from the pool.
     pub fn draw_mix(pool: &[AppSpec], n: usize, mix: Mix, rng: &mut SimRng) -> Self {
-        let filtered: Vec<AppSpec> = pool
-            .iter()
-            .filter(|a| mix.admits(a))
-            .cloned()
-            .collect();
+        let filtered: Vec<AppSpec> = pool.iter().filter(|a| mix.admits(a)).cloned().collect();
         assert!(
             !filtered.is_empty(),
             "mix {mix:?} admits no application from the pool"

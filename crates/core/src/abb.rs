@@ -133,7 +133,7 @@ pub fn equalize_frequencies(machine: &Machine, config: &BodyBiasConfig) -> BiasO
 
 fn median(xs: &[f64]) -> f64 {
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     sorted[sorted.len() / 2]
 }
 
@@ -179,14 +179,14 @@ mod tests {
             .freq_before
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         let fastest = out
             .freq_before
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert!(out.bias_v[slowest] < 0.0, "slowest core needs FBB");

@@ -29,7 +29,10 @@
 
 use crate::experiments::Context;
 use crate::manager::{ManagerKind, PowerBudget};
-use crate::runtime::{run_trial_observed, NullObserver, RuntimeConfig, TrialObserver, TrialOutcome};
+use crate::online::{run_online, OnlineConfig, OnlineOutcome};
+use crate::runtime::{
+    run_trial_observed, NullObserver, RuntimeConfig, TrialObserver, TrialOutcome,
+};
 use crate::sched::SchedPolicy;
 use cmpsim::{Machine, Mix, StepStats, Telemetry, Workload};
 use std::time::Instant;
@@ -67,8 +70,10 @@ impl Default for SeedPlan {
 impl SeedPlan {
     /// The seed for `trial` under this plan.
     pub fn derive(&self, seed: u64, trial: usize) -> u64 {
-        seed.wrapping_mul(self.mul)
-            .wrapping_add(self.offset.wrapping_add(self.stride.wrapping_mul(trial as u64)))
+        seed.wrapping_mul(self.mul).wrapping_add(
+            self.offset
+                .wrapping_add(self.stride.wrapping_mul(trial as u64)),
+        )
     }
 }
 
@@ -91,6 +96,77 @@ pub struct TrialArm {
     /// setup RNG instead (single-arm specs that want one unbroken
     /// random stream per trial).
     pub rng_salt: Option<u64>,
+}
+
+/// One serving configuration run against each trial's die in an
+/// [`OnlineTrialSpec`] — the open-system counterpart of [`TrialArm`].
+#[derive(Debug, Clone)]
+pub struct OnlineArm {
+    /// Label as it appears in the figure's legend / CSV.
+    pub label: String,
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Power-management algorithm.
+    pub manager: ManagerKind,
+    /// Power constraints.
+    pub budget: PowerBudget,
+    /// Serving configuration (timeline, arrival process, migration
+    /// penalty).
+    pub config: OnlineConfig,
+    /// XOR salt for this arm's RNG, exactly as in [`TrialArm`]: salted
+    /// arms of one trial replay the identical workload and arrival
+    /// schedule, so arm differences isolate the policy.
+    pub rng_salt: Option<u64>,
+}
+
+/// A batch of independent online serving trials: each manufactures a
+/// fresh die from its own seed, then serves every arm's arrival
+/// process on that die. Seed derivation and parallel execution follow
+/// the batch [`TrialSpec`] exactly.
+#[derive(Debug, Clone)]
+pub struct OnlineTrialSpec<'a> {
+    /// Shared floorplan/die-generator/machine-config context.
+    pub ctx: &'a Context,
+    /// Application pool jobs are drawn from.
+    pub pool: &'a [cmpsim::AppSpec],
+    /// Which applications the draw admits.
+    pub mix: Mix,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Per-trial seed derivation.
+    pub plan: SeedPlan,
+    /// The serving configurations compared within each trial.
+    pub arms: Vec<OnlineArm>,
+}
+
+/// One online arm's result within one trial.
+#[derive(Debug, Clone)]
+pub struct OnlineArmRun {
+    /// The serving outcome.
+    pub outcome: OnlineOutcome,
+    /// Wall-clock seconds this arm took (host time, not simulated).
+    pub wall_s: f64,
+}
+
+/// All online arms of one trial, in spec order.
+#[derive(Debug, Clone)]
+pub struct OnlineTrialResult {
+    /// Trial index within the batch.
+    pub trial: usize,
+    /// The derived seed this trial ran from.
+    pub trial_seed: u64,
+    /// One entry per [`OnlineTrialSpec::arms`] element.
+    pub arms: Vec<OnlineArmRun>,
+}
+
+impl OnlineTrialResult {
+    /// The outcomes alone, in arm order (wall-clock stripped — this is
+    /// what determinism comparisons should use).
+    pub fn outcomes(&self) -> Vec<&OnlineOutcome> {
+        self.arms.iter().map(|a| &a.outcome).collect()
+    }
 }
 
 /// A batch of independent trials: each manufactures a fresh die and
@@ -230,6 +306,17 @@ impl TrialRunner {
         self.map(spec.trials, |trial| run_one(spec, trial, &make))
     }
 
+    /// Runs every online serving trial of the spec, returning results
+    /// in trial order — bit-identical across worker counts, exactly as
+    /// [`TrialRunner::run`] is for batch trials.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any trial.
+    pub fn run_online(&self, spec: &OnlineTrialSpec<'_>) -> Vec<OnlineTrialResult> {
+        self.map(spec.trials, |trial| run_one_online(spec, trial))
+    }
+
     /// Runs `count` independent jobs across the workers and returns
     /// their results in job order — the generic substrate under
     /// [`TrialRunner::run`], also used directly by experiments whose
@@ -333,6 +420,80 @@ where
     )
 }
 
+/// Runs one online trial of a spec: seed → die → machine → arms. The
+/// workload (initial residents + arrival schedule) is drawn inside
+/// [`run_online`] from each arm's RNG, so salted arms replay the
+/// identical job stream.
+fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult {
+    let trial_seed = spec.plan.derive(spec.seed, trial);
+    let mut rng = SimRng::seed_from(trial_seed);
+    let die = spec.ctx.make_die(&mut rng);
+    let machine = spec.ctx.make_machine(&die);
+
+    let mut arms = Vec::with_capacity(spec.arms.len());
+    for arm in &spec.arms {
+        let start = Instant::now();
+        // Unlike the batch path, every arm serves from the cold
+        // manufactured machine: the serving curves compare policies on
+        // identical initial conditions, and letting arm N inherit arm
+        // N−1's thermal state would tax later arms with the leakage of
+        // an already-hot chip — an ordering artifact, not policy.
+        let mut arm_machine = machine.clone();
+        let outcome = match arm.rng_salt {
+            Some(salt) => run_online(
+                &mut arm_machine,
+                spec.pool,
+                spec.mix,
+                arm.policy,
+                arm.manager,
+                arm.budget,
+                &arm.config,
+                &mut SimRng::seed_from(trial_seed ^ salt),
+            ),
+            None => run_online(
+                &mut arm_machine,
+                spec.pool,
+                spec.mix,
+                arm.policy,
+                arm.manager,
+                arm.budget,
+                &arm.config,
+                &mut rng,
+            ),
+        };
+        arms.push(OnlineArmRun {
+            outcome,
+            wall_s: start.elapsed().as_secs_f64(),
+        });
+    }
+    OnlineTrialResult {
+        trial,
+        trial_seed,
+        arms,
+    }
+}
+
+/// Per-arm mean over trials of `metric(outcome)` for online results,
+/// unnormalized — the open-system counterpart of [`mean_metric`].
+///
+/// # Panics
+///
+/// Panics if `results` is empty.
+pub fn mean_online_metric(
+    results: &[OnlineTrialResult],
+    metric: impl Fn(&OnlineOutcome) -> f64,
+) -> Vec<f64> {
+    assert!(!results.is_empty(), "no trials to average");
+    let arms = results[0].arms.len();
+    let mut sums = vec![0.0f64; arms];
+    for r in results {
+        for (ai, arm) in r.arms.iter().enumerate() {
+            sums[ai] += metric(&arm.outcome);
+        }
+    }
+    sums.iter().map(|s| s / results.len() as f64).collect()
+}
+
 /// Per-arm mean over trials of `metric(outcome) / metric(first arm)` —
 /// the normalization every relative figure uses (the first arm is the
 /// baseline and averages to exactly 1).
@@ -340,10 +501,7 @@ where
 /// # Panics
 ///
 /// Panics if `results` is empty or any trial has no arms.
-pub fn mean_relative(
-    results: &[TrialResult],
-    metric: impl Fn(&TrialOutcome) -> f64,
-) -> Vec<f64> {
+pub fn mean_relative(results: &[TrialResult], metric: impl Fn(&TrialOutcome) -> f64) -> Vec<f64> {
     mean_relative_to(results, 0, metric)
 }
 
@@ -375,10 +533,7 @@ pub fn mean_relative_to(
 /// # Panics
 ///
 /// Panics if `results` is empty.
-pub fn mean_metric(
-    results: &[TrialResult],
-    metric: impl Fn(&TrialOutcome) -> f64,
-) -> Vec<f64> {
+pub fn mean_metric(results: &[TrialResult], metric: impl Fn(&TrialOutcome) -> f64) -> Vec<f64> {
     assert!(!results.is_empty(), "no trials to average");
     let arms = results[0].arms.len();
     let mut sums = vec![0.0f64; arms];
@@ -564,5 +719,96 @@ mod tests {
     fn map_preserves_job_order() {
         let out = TrialRunner::with_workers(4).map(16, |i| i * i);
         assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    fn online_spec_fixture<'a>(
+        ctx: &'a Context,
+        pool: &'a [cmpsim::AppSpec],
+    ) -> OnlineTrialSpec<'a> {
+        let config = OnlineConfig {
+            runtime: RuntimeConfig {
+                duration_ms: 60.0,
+                os_interval_ms: 30.0,
+                ..RuntimeConfig::paper_default()
+            },
+            arrivals: crate::online::ArrivalConfig::poisson(300.0, 30.0e6),
+            initial_jobs: 0,
+            migration_penalty_ms: 0.1,
+        };
+        OnlineTrialSpec {
+            ctx,
+            pool,
+            mix: Mix::Balanced,
+            trials: 3,
+            seed: 91,
+            plan: SeedPlan {
+                mul: 1_000_003,
+                offset: 7_000,
+                stride: 1,
+            },
+            arms: vec![
+                OnlineArm {
+                    label: "Foxton*".into(),
+                    policy: SchedPolicy::VarFAppIpc,
+                    manager: ManagerKind::FoxtonStar,
+                    budget: PowerBudget::cost_performance(20),
+                    config,
+                    rng_salt: Some(0x0111),
+                },
+                OnlineArm {
+                    label: "LinOpt".into(),
+                    policy: SchedPolicy::VarFAppIpc,
+                    manager: ManagerKind::LinOpt,
+                    budget: PowerBudget::cost_performance(20),
+                    config,
+                    rng_salt: Some(0x0111),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn online_runner_is_deterministic_across_worker_counts() {
+        let scale = Scale::smoke();
+        let ctx = Context::new(scale.grid);
+        let pool = app_pool(&ctx.machine_config().dynamic);
+        let spec = online_spec_fixture(&ctx, &pool);
+        let sequential = TrialRunner::sequential().run_online(&spec);
+        let parallel = TrialRunner::with_workers(4).run_online(&spec);
+        assert_eq!(sequential.len(), 3);
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.trial, p.trial);
+            assert_eq!(s.trial_seed, p.trial_seed);
+            assert_eq!(s.outcomes(), p.outcomes(), "worker count leaked in");
+            for (sa, pa) in s.arms.iter().zip(&p.arms) {
+                assert_eq!(
+                    sa.outcome.trace(),
+                    pa.outcome.trace(),
+                    "event traces must be byte-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_salted_arms_replay_the_same_job_stream() {
+        let scale = Scale::smoke();
+        let ctx = Context::new(scale.grid);
+        let pool = app_pool(&ctx.machine_config().dynamic);
+        let mut spec = online_spec_fixture(&ctx, &pool);
+        spec.trials = 1;
+        let results = TrialRunner::sequential().run_online(&spec);
+        let [fox, lin] = &results[0].outcomes()[..] else {
+            panic!("two arms expected");
+        };
+        assert_eq!(fox.arrived, lin.arrived);
+        let key = |o: &OnlineOutcome| -> Vec<(f64, &'static str, f64)> {
+            o.jobs
+                .iter()
+                .map(|j| (j.arrival_ms, j.app, j.instructions))
+                .collect()
+        };
+        assert_eq!(key(fox), key(lin), "arms must serve the same jobs");
+        assert!(fox.completed > 0 && lin.completed > 0);
     }
 }

@@ -273,7 +273,11 @@ pub fn mix_sensitivity(scale: &Scale, seed: u64) -> Vec<(String, f64)> {
                     ..SeedPlan::default()
                 },
                 arms: vec![
-                    arm("Random+Foxton*", SchedPolicy::Random, ManagerKind::FoxtonStar),
+                    arm(
+                        "Random+Foxton*",
+                        SchedPolicy::Random,
+                        ManagerKind::FoxtonStar,
+                    ),
                     arm(
                         "VarF&AppIPC+LinOpt",
                         SchedPolicy::VarFAppIpc,
@@ -282,10 +286,7 @@ pub fn mix_sensitivity(scale: &Scale, seed: u64) -> Vec<(String, f64)> {
                 ],
             };
             let results = runner.run(&spec);
-            (
-                name.to_string(),
-                mean_relative(&results, |o| o.mips)[1],
-            )
+            (name.to_string(), mean_relative(&results, |o| o.mips)[1])
         })
         .collect()
 }

@@ -21,7 +21,11 @@ pub const THREAD_COUNTS: [usize; 4] = [4, 8, 16, 20];
 /// The four (scheduler, manager) combinations of §7.5, in figure order.
 pub fn algorithms(scale: &Scale) -> Vec<(&'static str, SchedPolicy, ManagerKind)> {
     vec![
-        ("Random+Foxton*", SchedPolicy::Random, ManagerKind::FoxtonStar),
+        (
+            "Random+Foxton*",
+            SchedPolicy::Random,
+            ManagerKind::FoxtonStar,
+        ),
         (
             "VarF&AppIPC+Foxton*",
             SchedPolicy::VarFAppIpc,
@@ -192,8 +196,7 @@ mod tests {
         assert_eq!(mips.len(), 4);
         let linopt = &mips[2];
         assert_eq!(linopt.label, "VarF&AppIPC+LinOpt");
-        let mean =
-            |s: &Series| s.y.iter().sum::<f64>() / s.y.len() as f64;
+        let mean = |s: &Series| s.y.iter().sum::<f64>() / s.y.len() as f64;
         // The headline claim's direction: LinOpt above the baseline and
         // above Foxton* with the same scheduler.
         assert!(

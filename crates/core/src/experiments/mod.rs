@@ -26,6 +26,7 @@
 //! | Figure 15 | [`timing::fig15`] |
 //! | §6.5 / §7.5 validation | [`validation::sann_vs_exhaustive`] |
 //! | Ablations (DESIGN.md §5) | [`ablation`] |
+//! | Online serving sweep (beyond the paper) | [`online::arrival_sweep`] |
 //!
 //! The [`ablation`] module also hosts the beyond-the-paper sensitivity
 //! studies: LinOpt fit/rounding variants ([`ablation::linopt_variants`]),
@@ -39,6 +40,7 @@
 pub mod ablation;
 pub mod dvfs;
 pub mod granularity;
+pub mod online;
 pub mod scheduling;
 pub mod timing;
 pub mod validation;

@@ -102,7 +102,11 @@ pub fn fig7(scale: &Scale, seed: u64) -> (Vec<Series>, Vec<Series>) {
         scale,
         seed,
         FreqMode::Uniform,
-        &[SchedPolicy::Random, SchedPolicy::VarP, SchedPolicy::VarPAppP],
+        &[
+            SchedPolicy::Random,
+            SchedPolicy::VarP,
+            SchedPolicy::VarPAppP,
+        ],
         &[|o| o.avg_power_w, |o| o.ed2],
     );
     let ed2 = grids.pop().expect("two metrics");
@@ -117,7 +121,11 @@ pub fn fig8(scale: &Scale, seed: u64) -> (Vec<Series>, Vec<Series>) {
         scale,
         seed,
         FreqMode::NonUniform,
-        &[SchedPolicy::Random, SchedPolicy::VarP, SchedPolicy::VarPAppP],
+        &[
+            SchedPolicy::Random,
+            SchedPolicy::VarP,
+            SchedPolicy::VarPAppP,
+        ],
         &[|o| o.avg_power_w, |o| o.ed2],
     );
     let ed2 = grids.pop().expect("two metrics");
@@ -135,7 +143,11 @@ pub fn fig9_fig10(scale: &Scale, seed: u64) -> (Vec<Series>, Vec<Series>, Vec<Se
         scale,
         seed,
         FreqMode::NonUniform,
-        &[SchedPolicy::Random, SchedPolicy::VarF, SchedPolicy::VarFAppIpc],
+        &[
+            SchedPolicy::Random,
+            SchedPolicy::VarF,
+            SchedPolicy::VarFAppIpc,
+        ],
         &[|o| o.avg_freq_hz, |o| o.mips, |o| o.ed2],
     );
     let ed2 = grids.pop().expect("three metrics");

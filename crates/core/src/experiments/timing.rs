@@ -51,7 +51,7 @@ pub fn fig15(scale: &Scale, seed: u64, reps: usize) -> Vec<Series> {
                     elapsed
                 })
                 .collect();
-            times_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            times_us.sort_by(|a, b| a.total_cmp(b));
             times[ei].push(times_us[times_us.len() / 2]);
         }
     }

@@ -7,8 +7,7 @@
 use super::{Context, Scale};
 use crate::engine::{loaded_machine, SeedPlan, TrialRunner};
 use crate::manager::{
-    exhaustive::exhaustive_levels, linopt::linopt_levels, sann::sann_levels, PmView,
-    PowerBudget,
+    exhaustive::exhaustive_levels, linopt::linopt_levels, sann::sann_levels, PmView, PowerBudget,
 };
 use cmpsim::app_pool;
 use vastats::SimRng;

@@ -173,13 +173,13 @@ pub fn fig6(scale: &Scale, seed: u64) -> (Series, Series) {
     let maxf = rated
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("cores exist")
         .0;
     let minf = rated
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .expect("cores exist")
         .0;
 

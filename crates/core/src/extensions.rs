@@ -162,8 +162,8 @@ pub fn run_thermal_trial(
     let total_ticks = (config.duration_ms / config.tick_ms).round() as usize;
     let dvfs_every = (config.dvfs_interval_ms / config.tick_ms).round() as usize;
     let os_every = (config.os_interval_ms / config.tick_ms).round() as usize;
-    let migrate_every = migration
-        .map(|m| ((m.interval_ms / config.tick_ms).round() as usize).max(1));
+    let migrate_every =
+        migration.map(|m| ((m.interval_ms / config.tick_ms).round() as usize).max(1));
 
     let mut tracker = WearoutTracker::new(machine.core_count());
     let mut peak_temp = 0.0f64;

@@ -25,6 +25,10 @@
 //! * [`engine`] — the trial engine: declarative [`engine::TrialSpec`]
 //!   batches executed by a deterministic, optionally parallel
 //!   [`engine::TrialRunner`] with per-trial observability.
+//! * [`online`] — the online serving subsystem: a deterministic
+//!   discrete-event loop (job arrivals, FIFO admission, completions,
+//!   migration-aware rescheduling) layered over the same scheduler and
+//!   power-manager traits, with per-job latency percentiles.
 //! * [`experiments`] — one function per figure/table of the paper's
 //!   evaluation (§7), each a thin spec over the engine returning the
 //!   data series the figure plots.
@@ -69,15 +73,20 @@ pub mod experiments;
 pub mod extensions;
 pub mod manager;
 pub mod metrics;
+pub mod online;
 pub mod profile;
 pub mod runtime;
 pub mod sched;
 
 /// Convenient re-exports for end-to-end use.
 pub mod prelude {
-    pub use crate::engine::{SeedPlan, TrialArm, TrialResult, TrialRunner, TrialSpec};
+    pub use crate::engine::{
+        OnlineArm, OnlineTrialResult, OnlineTrialSpec, SeedPlan, TrialArm, TrialResult,
+        TrialRunner, TrialSpec,
+    };
     pub use crate::manager::{ManagerKind, PowerBudget, PowerManager};
     pub use crate::metrics::{ed2_index, weighted_mips};
+    pub use crate::online::{run_online, ArrivalConfig, LatencyStats, OnlineConfig, OnlineOutcome};
     pub use crate::profile::{CoreProfile, ThreadProfile};
     pub use crate::runtime::{run_trial, RuntimeConfig, TrialObserver, TrialOutcome};
     pub use crate::sched::{SchedPolicy, Scheduler};

@@ -132,8 +132,7 @@ pub fn domain_linopt_levels(
             power_w,
         });
     }
-    let domain_view =
-        PmView::from_cores(domains).with_uncore_power(view.uncore_power());
+    let domain_view = PmView::from_cores(domains).with_uncore_power(view.uncore_power());
     // Domains can exceed a single core's cap; the per-core cap is
     // enforced per *domain* here (scaled by its size), then re-checked
     // per core below.

@@ -317,7 +317,13 @@ impl PowerManager for LinOpt {
     }
 
     fn levels(&mut self, view: &PmView, budget: &PowerBudget, _rng: &mut SimRng) -> Vec<usize> {
-        linopt_levels_warm(view, budget, self.fit_points, self.rounding, &mut self.basis)
+        linopt_levels_warm(
+            view,
+            budget,
+            self.fit_points,
+            self.rounding,
+            &mut self.basis,
+        )
     }
 
     fn reset(&mut self) {

@@ -245,9 +245,7 @@ mod tests {
     fn environments_ordered() {
         let n = 20;
         assert!(PowerBudget::low_power(n).chip_w < PowerBudget::cost_performance(n).chip_w);
-        assert!(
-            PowerBudget::cost_performance(n).chip_w < PowerBudget::high_performance(n).chip_w
-        );
+        assert!(PowerBudget::cost_performance(n).chip_w < PowerBudget::high_performance(n).chip_w);
     }
 
     #[test]
@@ -265,7 +263,9 @@ mod tests {
             ManagerKind::sann_fast(),
             ManagerKind::Exhaustive,
             ManagerKind::ChipWide,
-            ManagerKind::DomainLinOpt { cores_per_domain: 4 },
+            ManagerKind::DomainLinOpt {
+                cores_per_domain: 4,
+            },
         ];
         for kind in kinds {
             let manager = kind.build().expect("buildable");

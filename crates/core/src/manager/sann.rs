@@ -63,8 +63,7 @@ pub fn greedy_levels(view: &PmView, budget: &PowerBudget) -> Vec<usize> {
             }
             let dp = core.power_w[levels[i] + 1] - core.power_w[levels[i]];
             let dtp = core.mips_at(levels[i] + 1) - core.mips_at(levels[i]);
-            if current_power + dp > budget.chip_w
-                || core.power_w[levels[i] + 1] > budget.per_core_w
+            if current_power + dp > budget.chip_w || core.power_w[levels[i] + 1] > budget.per_core_w
             {
                 continue;
             }

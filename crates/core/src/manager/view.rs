@@ -236,7 +236,11 @@ pub fn repair_to_budget(view: &PmView, budget: &PowerBudget, levels: &mut [usize
             }
             let dp = core.power_w[levels[i]] - core.power_w[levels[i] - 1];
             let dtp = core.mips_at(levels[i]) - core.mips_at(levels[i] - 1);
-            let cost = if dp > 1e-12 { dtp / dp } else { f64::NEG_INFINITY };
+            let cost = if dp > 1e-12 {
+                dtp / dp
+            } else {
+                f64::NEG_INFINITY
+            };
             if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((i, cost));
             }

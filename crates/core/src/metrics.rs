@@ -121,4 +121,41 @@ mod tests {
     fn ed2_rejects_zero_throughput() {
         ed2_index(10.0, 0.0);
     }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn ed2_rejects_negative_power() {
+        ed2_index(-1.0, 1000.0);
+    }
+
+    #[test]
+    fn ed2_accepts_zero_power() {
+        assert_eq!(ed2_index(0.0, 1000.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no threads")]
+    fn weighted_mips_rejects_empty_slices() {
+        weighted_mips(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weighted_mips_rejects_mismatched_lengths() {
+        weighted_mips(&[100.0, 200.0], &[100.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference throughput must be positive")]
+    fn weighted_mips_rejects_zero_reference() {
+        weighted_mips(&[100.0, 200.0], &[100.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_mips_allows_a_stalled_thread() {
+        // Zero *achieved* throughput is legal (a fully stalled thread);
+        // only the reference must be positive.
+        let w = weighted_mips(&[0.0, 4000.0], &[100.0, 4000.0]);
+        assert!((w - 1.0).abs() < 1e-12);
+    }
 }

@@ -1,0 +1,119 @@
+//! Per-job latency summaries for the online serving loop.
+//!
+//! Serving systems are judged by their latency *distribution*, not its
+//! mean: the paper's throughput/ED² metrics say nothing about the jobs
+//! stuck behind a queue. [`LatencyStats`] condenses a sample of per-job
+//! latencies into the standard serving percentiles (p50/p95/p99) using
+//! `f64::total_cmp`, so a NaN in the sample cannot panic the summary.
+
+/// Nearest-rank percentile of an **ascending-sorted** sample.
+///
+/// `p` is in percent (`50.0` = median). The nearest-rank definition
+/// returns an actual sample value (no interpolation), which keeps
+/// cross-run comparisons byte-exact.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `p` is outside `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Summary of a latency sample (milliseconds throughout).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (nearest rank).
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample, or `None` when it is empty (no jobs
+    /// completed — an overloaded or idle run).
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Self {
+            count: sorted.len(),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: percentile(&sorted, 50.0),
+            p95_ms: percentile(&sorted, 95.0),
+            p99_ms: percentile(&sorted, 99.0),
+            max_ms: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_a_known_sample() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&s, 50.0), 50.0);
+        assert_eq!(percentile(&s, 95.0), 95.0);
+        assert_eq!(percentile(&s, 99.0), 99.0);
+        assert_eq!(percentile(&s, 100.0), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+    }
+
+    #[test]
+    fn small_samples_pick_real_values() {
+        let s = [3.0, 7.0, 9.0];
+        assert_eq!(percentile(&s, 50.0), 7.0);
+        assert_eq!(percentile(&s, 99.0), 9.0);
+    }
+
+    #[test]
+    fn stats_of_unsorted_sample() {
+        let stats = LatencyStats::of(&[30.0, 10.0, 20.0]).unwrap();
+        assert_eq!(stats.count, 3);
+        assert!((stats.mean_ms - 20.0).abs() < 1e-12);
+        assert_eq!(stats.p50_ms, 20.0);
+        assert_eq!(stats.max_ms, 30.0);
+    }
+
+    #[test]
+    fn empty_sample_has_no_stats() {
+        assert_eq!(LatencyStats::of(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let stats = LatencyStats::of(&[42.0]).unwrap();
+        assert_eq!(stats.p50_ms, 42.0);
+        assert_eq!(stats.p95_ms, 42.0);
+        assert_eq!(stats.p99_ms, 42.0);
+        assert_eq!(stats.max_ms, 42.0);
+    }
+
+    #[test]
+    fn nan_in_sample_does_not_panic() {
+        let stats = LatencyStats::of(&[1.0, f64::NAN, 2.0]).unwrap();
+        // total_cmp sorts NaN last: it shows up in max, not in p50.
+        assert_eq!(stats.p50_ms, 2.0);
+        assert!(stats.max_ms.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Online serving: dynamic job arrivals, migration-aware rescheduling,
+//! and load-adaptive power management.
+//!
+//! The paper frames scheduling + LinOpt as an *online* OS loop that
+//! re-runs whenever "applications enter or leave the system" (§4), but
+//! its evaluation — and this repo's batch [`crate::runtime::run_trial`]
+//! — holds the thread set fixed for the whole trial. This module is
+//! the open-loop counterpart: a deterministic discrete-event simulation
+//! in which jobs arrive over time (a seeded Poisson process over the
+//! calibrated application pool), queue when the chip is full, run to a
+//! per-job instruction budget, and leave — re-triggering the
+//! variation-aware scheduler and the power manager on every membership
+//! change and charging a migration penalty for each moved thread.
+//!
+//! ```text
+//!   arrivals (Poisson, seeded) ──► run queue ──► admission
+//!                                                  │ membership change
+//!   EventQueue ── Arrival/Completion/OsTick/DvfsTick
+//!        │                                         ▼
+//!        └──► per-tick loop ──► Scheduler::assign + migration penalty
+//!                          └──► PowerManager::invoke (budget tracking)
+//!                          └──► Machine::step ──► completion detection
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Every stochastic input derives from the caller's [`vastats::SimRng`]:
+//! the initial resident workload continues the caller's stream exactly
+//! as the batch engine does, and — only when the arrival rate is
+//! non-zero — the whole arrival schedule (times, applications, budgets,
+//! phase offsets) is pre-drawn from a single fork of that stream before
+//! the loop starts. Consequently:
+//!
+//! * the same seed yields a byte-identical event trace and metrics
+//!   regardless of worker count or host (`tests/online.rs`);
+//! * a **zero-arrival** configuration with a zero migration penalty
+//!   consumes the RNG in exactly the batch pattern and reproduces the
+//!   [`crate::runtime::run_trial`] outcome bit for bit
+//!   (`tests/property.rs`) — the batch engine is the closed-system
+//!   special case of this loop.
+//!
+//! # Migration model
+//!
+//! When a reschedule moves a resident thread to a different core, the
+//! destination core is charged [`OnlineConfig::migration_penalty_ms`]
+//! of stall (state re-warm: registers, L1/L2 footprint), during which
+//! it burns power but retires nothing — the same mechanism as the
+//! machine's DVFS-transition stalls. The batch engine's epoch remaps
+//! are free, so the zero-arrival equivalence above sets the penalty to
+//! zero; online configurations default to 0.1 ms per move.
+
+mod arrivals;
+mod metrics;
+mod queue;
+mod sim;
+
+pub use arrivals::{generate_arrivals, ArrivalConfig, JobSpec};
+pub use metrics::{percentile, LatencyStats};
+pub use queue::{Event, EventKind, EventQueue};
+pub use sim::{run_online, EventRecord, JobRecord, OnlineEvent, OnlineOutcome};
+
+use crate::runtime::RuntimeConfig;
+
+/// Parameters of one online serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Timeline: tick, DVFS interval, OS interval, and the serving
+    /// horizon (`duration_ms`).
+    pub runtime: RuntimeConfig,
+    /// The arrival process (rate 0 disables arrivals entirely).
+    pub arrivals: ArrivalConfig,
+    /// Jobs resident at t = 0, drawn from the pool like a batch
+    /// workload (0 starts the system empty).
+    pub initial_jobs: usize,
+    /// Stall charged to the destination core for every thread a
+    /// reschedule moves (milliseconds). Zero recovers the batch
+    /// engine's free-migration assumption.
+    pub migration_penalty_ms: f64,
+}
+
+impl OnlineConfig {
+    /// Paper-style timeline with a 0.1 ms migration penalty and no
+    /// arrivals: the closed-system baseline callers specialize.
+    pub fn paper_default() -> Self {
+        Self {
+            runtime: RuntimeConfig::paper_default(),
+            arrivals: ArrivalConfig::closed(),
+            initial_jobs: 0,
+            migration_penalty_ms: 0.1,
+        }
+    }
+
+    /// Validates the timeline and the arrival process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime configuration is invalid, the arrival
+    /// configuration is degenerate, or the migration penalty is
+    /// negative or NaN.
+    pub fn validate_or_panic(&self) {
+        self.runtime.validate_or_panic();
+        self.arrivals.validate_or_panic();
+        assert!(
+            self.migration_penalty_ms >= 0.0 && !self.migration_penalty_ms.is_nan(),
+            "migration penalty must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        OnlineConfig::paper_default().validate_or_panic();
+    }
+
+    #[test]
+    #[should_panic(expected = "migration penalty")]
+    fn negative_penalty_rejected() {
+        let cfg = OnlineConfig {
+            migration_penalty_ms: -1.0,
+            ..OnlineConfig::paper_default()
+        };
+        cfg.validate_or_panic();
+    }
+}

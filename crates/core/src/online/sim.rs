@@ -1,0 +1,720 @@
+//! The online serving loop: a deterministic discrete-event simulation
+//! over the batch machine model.
+//!
+//! [`run_online`] mirrors [`crate::runtime::run_trial`]'s timeline —
+//! profile → schedule → manage → tick — but drives it from an event
+//! queue so the thread set can change mid-run: jobs arrive (pre-drawn
+//! Poisson schedule), queue FIFO when every core is busy, retire a
+//! per-job instruction budget, and leave. Any membership change
+//! re-invokes both the scheduler and the power manager at that tick,
+//! and every thread a reschedule moves between cores is charged the
+//! migration penalty on its destination core.
+
+use super::arrivals::{generate_arrivals, JobSpec};
+use super::metrics::LatencyStats;
+use super::queue::{EventKind, EventQueue};
+use super::OnlineConfig;
+use crate::manager::{ManagerKind, PowerBudget};
+use crate::metrics::{ed2_index, weighted_mips};
+use crate::profile::{core_profiles, thread_profiles};
+use crate::runtime::{FreqMode, TrialOutcome};
+use crate::sched::SchedPolicy;
+use cmpsim::{AppSpec, Machine, Mix, Thread, Workload};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use vastats::SimRng;
+
+/// Lifecycle record of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id (initial residents first, then arrival order).
+    pub job: usize,
+    /// Application the job ran.
+    pub app: &'static str,
+    /// When the job entered the system (ms; 0 for initial residents).
+    pub arrival_ms: f64,
+    /// When the job was admitted to a core (`None`: still queued at the
+    /// horizon).
+    pub admit_ms: Option<f64>,
+    /// When the job retired its budget (`None`: still running or
+    /// queued at the horizon).
+    pub completion_ms: Option<f64>,
+    /// Instruction budget (`f64::INFINITY` for never-ending residents).
+    pub instructions: f64,
+    /// Times a reschedule moved this job between cores.
+    pub migrations: usize,
+}
+
+impl JobRecord {
+    /// Arrival-to-completion latency (ms), if the job completed.
+    pub fn latency_ms(&self) -> Option<f64> {
+        self.completion_ms.map(|c| c - self.arrival_ms)
+    }
+
+    /// Arrival-to-admission queueing delay (ms), if the job was
+    /// admitted.
+    pub fn queue_wait_ms(&self) -> Option<f64> {
+        self.admit_ms.map(|a| a - self.arrival_ms)
+    }
+}
+
+/// One entry of the run's event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlineEvent {
+    /// A job entered the system and joined the run queue.
+    Arrival {
+        /// Job id.
+        job: usize,
+    },
+    /// A queued job was admitted to a free core.
+    Admit {
+        /// Job id.
+        job: usize,
+    },
+    /// A running job retired its budget and left.
+    Complete {
+        /// Job id.
+        job: usize,
+    },
+    /// The scheduler re-mapped the resident threads.
+    Reschedule {
+        /// Threads moved to a different core (each charged the
+        /// migration penalty).
+        moved: usize,
+        /// Resident threads at this point.
+        resident: usize,
+    },
+    /// The power manager re-solved the (V, f) assignment.
+    ManagerRun,
+}
+
+impl fmt::Display for OnlineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineEvent::Arrival { job } => write!(f, "arrive job={job}"),
+            OnlineEvent::Admit { job } => write!(f, "admit job={job}"),
+            OnlineEvent::Complete { job } => write!(f, "complete job={job}"),
+            OnlineEvent::Reschedule { moved, resident } => {
+                write!(f, "reschedule resident={resident} moved={moved}")
+            }
+            OnlineEvent::ManagerRun => f.write_str("manager"),
+        }
+    }
+}
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Tick the event was processed at.
+    pub tick: usize,
+    /// What happened.
+    pub event: OnlineEvent,
+}
+
+/// Results of one online serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineOutcome {
+    /// Chip-level metrics in the batch engine's shape. In a
+    /// zero-arrival run with a zero migration penalty this equals the
+    /// [`crate::runtime::run_trial`] outcome bit for bit; degenerate
+    /// runs guard the batch metrics' panics (`ed2 = ∞` when nothing
+    /// retired, `weighted_mips = 0` when no thread survives to the
+    /// horizon).
+    pub chip: TrialOutcome,
+    /// Per-job lifecycle records (initial residents first).
+    pub jobs: Vec<JobRecord>,
+    /// The full event trace, in processing order.
+    pub events: Vec<EventRecord>,
+    /// Simulated horizon (ms).
+    pub duration_ms: f64,
+    /// Jobs that entered the system within the horizon.
+    pub arrived: usize,
+    /// Jobs that completed within the horizon.
+    pub completed: usize,
+    /// Time-averaged fraction of cores running a thread.
+    pub utilization: f64,
+    /// Largest run-queue depth observed.
+    pub queue_peak: usize,
+    /// Total thread moves across all reschedules.
+    pub migrations: usize,
+    /// Arrival-to-completion latency summary (`None`: nothing
+    /// completed).
+    pub latency: Option<LatencyStats>,
+    /// Arrival-to-admission queueing-delay summary (`None`: nothing
+    /// admitted).
+    pub queue_wait: Option<LatencyStats>,
+}
+
+impl OnlineOutcome {
+    /// Completed-job throughput over the horizon (jobs per second).
+    pub fn jobs_per_s(&self) -> f64 {
+        self.completed as f64 / (self.duration_ms / 1e3)
+    }
+
+    /// Renders the event trace as text, one event per line — the
+    /// byte-identity artifact the determinism tests compare.
+    pub fn trace(&self) -> String {
+        let mut out = String::new();
+        for r in &self.events {
+            let _ = writeln!(out, "{:>6} {}", r.tick, r.event);
+        }
+        out
+    }
+}
+
+/// Runs one online serving trial.
+///
+/// The initial residents (if any) are drawn from `pool` exactly as the
+/// batch engine draws a workload — continuing the caller's RNG stream —
+/// and the arrival schedule is pre-drawn from a fork of that stream,
+/// taken only when the arrival rate is non-zero. See the
+/// [module docs](crate::online) for the determinism contract.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, the initial residents exceed
+/// the core count, or the mix admits no application from the pool.
+#[allow(clippy::too_many_arguments)] // mirrors run_trial + arrival inputs
+pub fn run_online(
+    machine: &mut Machine,
+    pool: &[AppSpec],
+    mix: Mix,
+    policy: SchedPolicy,
+    manager: ManagerKind,
+    budget: PowerBudget,
+    config: &OnlineConfig,
+    rng: &mut SimRng,
+) -> OnlineOutcome {
+    config.validate_or_panic();
+    let rt = config.runtime;
+    assert!(
+        config.initial_jobs <= machine.core_count(),
+        "initial residents ({}) exceed the core count ({})",
+        config.initial_jobs,
+        machine.core_count()
+    );
+
+    // Initial residents: continue the caller's stream exactly as the
+    // batch engine does (draw the workload, then spawn its threads).
+    if config.initial_jobs > 0 {
+        let workload = Workload::draw_mix(pool, config.initial_jobs, mix, rng);
+        machine.load_threads(workload.spawn_threads(rng));
+    } else {
+        machine.load_threads(Vec::new());
+    }
+    let initial_count = machine.threads().len();
+
+    // Arrival schedule: pre-drawn from a fork taken only when the
+    // process is active, so a closed system leaves the caller's stream
+    // untouched.
+    let schedule: Vec<JobSpec> = if config.arrivals.rate_per_s > 0.0 {
+        let mut arrival_rng = rng.fork();
+        generate_arrivals(
+            pool,
+            mix,
+            &config.arrivals,
+            rt.duration_ms,
+            &mut arrival_rng,
+        )
+    } else {
+        Vec::new()
+    };
+
+    let cores = core_profiles(machine);
+    let dt_s = rt.tick_ms / 1e3;
+    let total_ticks = (rt.duration_ms / rt.tick_ms).round() as usize;
+    let dvfs_every = (rt.dvfs_interval_ms / rt.tick_ms).round() as usize;
+    let os_every = (rt.os_interval_ms / rt.tick_ms).round() as usize;
+    let warmup_ticks =
+        ((rt.deviation_warmup_ms / rt.tick_ms).round() as usize).min(total_ticks / 2);
+    let penalty_s = config.migration_penalty_ms / 1e3;
+
+    let mut queue = EventQueue::new();
+    for tick in (0..total_ticks).step_by(os_every) {
+        queue.push(tick, EventKind::OsTick);
+    }
+    for tick in (0..total_ticks).step_by(dvfs_every) {
+        queue.push(tick, EventKind::DvfsTick);
+    }
+
+    // Job records: residents first (budget = the configured mean,
+    // drawn without jitter so a closed system consumes no extra RNG),
+    // then the arrival schedule.
+    let mut jobs: Vec<JobRecord> = machine
+        .threads()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| JobRecord {
+            job: i,
+            app: t.spec().name,
+            arrival_ms: 0.0,
+            admit_ms: Some(0.0),
+            completion_ms: None,
+            instructions: config.arrivals.mean_instructions,
+            migrations: 0,
+        })
+        .collect();
+    // thread index -> job id, maintained under the machine's
+    // swap_remove semantics.
+    let mut thread_job: Vec<usize> = (0..initial_count).collect();
+    for (i, js) in schedule.iter().enumerate() {
+        let job = jobs.len();
+        jobs.push(JobRecord {
+            job,
+            app: js.spec.name,
+            arrival_ms: js.arrival_ms,
+            admit_ms: None,
+            completion_ms: None,
+            instructions: js.instructions,
+            migrations: 0,
+        });
+        // A job arriving mid-tick becomes visible at the next boundary.
+        let tick = (js.arrival_ms / rt.tick_ms).ceil() as usize;
+        if tick < total_ticks {
+            queue.push(tick, EventKind::Arrival(i));
+        }
+    }
+    let mut pending_completion = vec![false; jobs.len()];
+
+    let mut scheduler = policy.build();
+    let mut power_manager = manager.build();
+    let mut run_queue: VecDeque<usize> = VecDeque::new();
+    let mut events: Vec<EventRecord> = Vec::new();
+
+    let mut freq_time_sum = 0.0f64;
+    let mut deviation_sum = 0.0f64;
+    let mut deviation_ticks = 0usize;
+    let mut manager_runs = 0usize;
+    let mut util_sum = 0.0f64;
+    let mut queue_peak = 0usize;
+    let mut migrations_total = 0usize;
+    let mut arrived = initial_count;
+    let mut completed = 0usize;
+
+    for tick in 0..total_ticks {
+        let now_ms = tick as f64 * rt.tick_ms;
+        let mut os_due = false;
+        let mut dvfs_due = false;
+        let mut membership_dirty = false;
+
+        // Drain this tick's events: completions free cores before
+        // arrivals queue behind them (EventQueue's kind priority).
+        while let Some(ev) = queue.pop_due(tick) {
+            match ev.kind {
+                EventKind::Completion(job) => {
+                    let tid = thread_job
+                        .iter()
+                        .position(|&j| j == job)
+                        .expect("completed job must be resident");
+                    machine.remove_thread(tid);
+                    thread_job.swap_remove(tid);
+                    jobs[job].completion_ms = Some(now_ms);
+                    completed += 1;
+                    membership_dirty = true;
+                    events.push(EventRecord {
+                        tick,
+                        event: OnlineEvent::Complete { job },
+                    });
+                }
+                EventKind::Arrival(i) => {
+                    let job = initial_count + i;
+                    arrived += 1;
+                    run_queue.push_back(job);
+                    queue_peak = queue_peak.max(run_queue.len());
+                    events.push(EventRecord {
+                        tick,
+                        event: OnlineEvent::Arrival { job },
+                    });
+                }
+                EventKind::OsTick => os_due = true,
+                EventKind::DvfsTick => dvfs_due = true,
+            }
+        }
+
+        // FIFO admission into free cores.
+        while machine.threads().len() < machine.core_count() {
+            let Some(job) = run_queue.pop_front() else {
+                break;
+            };
+            let js = &schedule[job - initial_count];
+            let tid = machine.add_thread(Thread::with_phase_offset(
+                js.spec.clone(),
+                js.phase_offset_ms,
+            ));
+            debug_assert_eq!(tid, thread_job.len());
+            thread_job.push(job);
+            jobs[job].admit_ms = Some(now_ms);
+            membership_dirty = true;
+            events.push(EventRecord {
+                tick,
+                event: OnlineEvent::Admit { job },
+            });
+        }
+
+        // Reschedule on the OS boundary — and, unlike the batch loop,
+        // immediately on any membership change (the paper's "whenever
+        // applications enter or leave the system").
+        let resident = machine.threads().len();
+        if (os_due || membership_dirty) && resident > 0 {
+            let prev = machine.assignment().to_vec();
+            let threads = thread_profiles(machine, rng);
+            let mapping = scheduler.assign(&cores, &threads, rng);
+            machine.assign(&mapping);
+
+            // Charge the migration penalty to the destination core of
+            // every thread that moved (first placements are free).
+            let mut prev_core = vec![None; resident];
+            for (core, slot) in prev.iter().enumerate() {
+                if let Some(t) = slot {
+                    prev_core[*t] = Some(core);
+                }
+            }
+            let mut moved = 0usize;
+            for (core, slot) in mapping.iter().enumerate() {
+                if let Some(t) = slot {
+                    if let Some(pc) = prev_core[*t] {
+                        if pc != core {
+                            moved += 1;
+                            migrations_total += 1;
+                            jobs[thread_job[*t]].migrations += 1;
+                            if penalty_s > 0.0 {
+                                machine.charge_stall(core, penalty_s);
+                            }
+                        }
+                    }
+                }
+            }
+            if power_manager.is_none() {
+                match rt.freq_mode {
+                    FreqMode::Uniform => {
+                        machine.set_uniform_frequency();
+                    }
+                    FreqMode::NonUniform => machine.set_all_levels_max(),
+                }
+            }
+            events.push(EventRecord {
+                tick,
+                event: OnlineEvent::Reschedule { moved, resident },
+            });
+        }
+
+        // Power manager on the DVFS boundary, plus load-adaptive
+        // re-solves whenever membership changed.
+        if let Some(pm) = power_manager.as_deref_mut() {
+            if dvfs_due || membership_dirty {
+                if pm.invoke(machine, &budget, rng).is_some() {
+                    events.push(EventRecord {
+                        tick,
+                        event: OnlineEvent::ManagerRun,
+                    });
+                }
+                manager_runs += 1;
+            }
+        }
+
+        let stats = machine.step(dt_s);
+        if tick >= warmup_ticks {
+            deviation_sum += (stats.total_power_w - budget.chip_w).abs();
+            deviation_ticks += 1;
+        }
+
+        let mut f_sum = 0.0;
+        let mut active = 0usize;
+        for core in 0..machine.core_count() {
+            if machine.thread_of(core).is_some() {
+                f_sum += machine.effective_freq(core);
+                active += 1;
+            }
+        }
+        if active > 0 {
+            freq_time_sum += f_sum / active as f64;
+        }
+        util_sum += active as f64 / machine.core_count() as f64;
+
+        // Completion detection: a job crossing its budget this tick
+        // leaves at the next boundary (it cannot retire further — the
+        // Completion event drains before the next step).
+        for (tid, thread) in machine.threads().iter().enumerate() {
+            let job = thread_job[tid];
+            if !pending_completion[job] && thread.instructions() >= jobs[job].instructions {
+                pending_completion[job] = true;
+                queue.push(tick + 1, EventKind::Completion(job));
+            }
+        }
+    }
+
+    // Chip metrics over the threads resident at the horizon, in the
+    // batch outcome's shape (and bit-identical to it for a closed run).
+    let per_thread_mips: Vec<f64> = machine.threads().iter().map(|t| t.average_mips()).collect();
+    let reference_mips: Vec<f64> = machine
+        .threads()
+        .iter()
+        .map(|t| t.spec().ipc_at(4.0e9) * 4.0e9 / 1e6)
+        .collect();
+    let mips = machine.average_mips();
+    let avg_power_w = machine.average_power();
+    let wmips = if per_thread_mips.is_empty() {
+        0.0
+    } else {
+        weighted_mips(&per_thread_mips, &reference_mips)
+    };
+    let chip = TrialOutcome {
+        mips,
+        weighted_mips: wmips,
+        avg_power_w,
+        ed2: if mips > 0.0 {
+            ed2_index(avg_power_w, mips)
+        } else {
+            f64::INFINITY
+        },
+        weighted_ed2: if wmips > 0.0 {
+            ed2_index(avg_power_w, wmips)
+        } else {
+            f64::INFINITY
+        },
+        avg_freq_hz: freq_time_sum / total_ticks as f64,
+        power_deviation_frac: deviation_sum / deviation_ticks.max(1) as f64 / budget.chip_w,
+        manager_runs,
+        per_thread_mips,
+    };
+
+    let latencies: Vec<f64> = jobs.iter().filter_map(JobRecord::latency_ms).collect();
+    let waits: Vec<f64> = jobs.iter().filter_map(JobRecord::queue_wait_ms).collect();
+
+    OnlineOutcome {
+        chip,
+        latency: LatencyStats::of(&latencies),
+        queue_wait: LatencyStats::of(&waits),
+        jobs,
+        events,
+        duration_ms: rt.duration_ms,
+        arrived,
+        completed,
+        utilization: util_sum / total_ticks as f64,
+        queue_peak,
+        migrations: migrations_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::ArrivalConfig;
+    use crate::runtime::{run_trial, RuntimeConfig};
+    use cmpsim::{app_pool, MachineConfig};
+    use floorplan::paper_20_core;
+    use varius::{DieGenerator, VariationConfig};
+
+    fn machine(seed: u64) -> Machine {
+        let cfg = VariationConfig {
+            grid: 24,
+            ..VariationConfig::paper_default()
+        };
+        let die = DieGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut SimRng::seed_from(seed));
+        Machine::new(&die, &paper_20_core(), MachineConfig::paper_default())
+    }
+
+    fn pool() -> Vec<AppSpec> {
+        app_pool(&MachineConfig::paper_default().dynamic)
+    }
+
+    fn quick_runtime() -> RuntimeConfig {
+        RuntimeConfig {
+            tick_ms: 1.0,
+            dvfs_interval_ms: 10.0,
+            os_interval_ms: 50.0,
+            duration_ms: 100.0,
+            freq_mode: crate::runtime::FreqMode::NonUniform,
+            deviation_warmup_ms: 20.0,
+        }
+    }
+
+    fn open_config(rate_per_s: f64, mean_instructions: f64) -> OnlineConfig {
+        OnlineConfig {
+            runtime: quick_runtime(),
+            arrivals: ArrivalConfig::poisson(rate_per_s, mean_instructions),
+            initial_jobs: 0,
+            migration_penalty_ms: 0.1,
+        }
+    }
+
+    #[test]
+    fn zero_arrival_run_matches_the_batch_engine_bit_for_bit() {
+        let pool = pool();
+        let config = OnlineConfig {
+            runtime: quick_runtime(),
+            arrivals: ArrivalConfig::closed(),
+            initial_jobs: 6,
+            migration_penalty_ms: 0.0,
+        };
+
+        let mut batch_rng = SimRng::seed_from(77);
+        let workload = Workload::draw_mix(&pool, 6, Mix::Balanced, &mut batch_rng);
+        let mut m1 = machine(5);
+        let batch = run_trial(
+            &mut m1,
+            &workload,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            PowerBudget::cost_performance(6),
+            &quick_runtime(),
+            &mut batch_rng,
+        );
+
+        let mut m2 = machine(5);
+        let online = run_online(
+            &mut m2,
+            &pool,
+            Mix::Balanced,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            PowerBudget::cost_performance(6),
+            &config,
+            &mut SimRng::seed_from(77),
+        );
+
+        assert_eq!(online.chip, batch);
+        assert_eq!(online.arrived, 6);
+        assert_eq!(online.completed, 0, "infinite budgets never complete");
+        assert_eq!(online.migrations, 0, "batch epochs keep the same mapping");
+    }
+
+    #[test]
+    fn open_system_serves_and_completes_jobs() {
+        let pool = pool();
+        let out = run_online(
+            &mut machine(1),
+            &pool,
+            Mix::Balanced,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            PowerBudget::cost_performance(20),
+            &open_config(300.0, 40.0e6),
+            &mut SimRng::seed_from(2),
+        );
+        assert!(out.arrived > 10, "arrived {}", out.arrived);
+        assert!(out.completed > 0, "completed {}", out.completed);
+        assert!(out.completed <= out.arrived);
+        assert!(out.utilization > 0.0 && out.utilization <= 1.0);
+        let lat = out.latency.expect("completions imply latency stats");
+        assert!(lat.p50_ms <= lat.p95_ms && lat.p95_ms <= lat.p99_ms);
+        assert!(lat.p99_ms <= lat.max_ms);
+        for job in &out.jobs {
+            if let (Some(a), Some(c)) = (job.admit_ms, job.completion_ms) {
+                assert!(c > a, "job {} completed before admission", job.job);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_identical_trace_and_outcome() {
+        let pool = pool();
+        let run = |seed: u64| {
+            run_online(
+                &mut machine(3),
+                &pool,
+                Mix::Balanced,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::FoxtonStar,
+                PowerBudget::cost_performance(20),
+                &open_config(250.0, 50.0e6),
+                &mut SimRng::seed_from(seed),
+            )
+        };
+        let (a, b) = (run(9), run(9));
+        assert_eq!(a, b);
+        assert_eq!(a.trace(), b.trace());
+        assert!(!a.trace().is_empty());
+        let c = run(10);
+        assert_ne!(a.trace(), c.trace(), "different seeds must differ");
+    }
+
+    #[test]
+    fn overload_builds_a_queue() {
+        let pool = pool();
+        let out = run_online(
+            &mut machine(4),
+            &pool,
+            Mix::Balanced,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            PowerBudget::cost_performance(20),
+            &open_config(2000.0, 200.0e6),
+            &mut SimRng::seed_from(6),
+        );
+        assert!(out.queue_peak > 0, "overload must queue jobs");
+        assert!(
+            out.jobs.iter().any(|j| j.admit_ms.is_none()),
+            "some jobs must still be waiting at the horizon"
+        );
+        assert!(out.utilization > 0.9, "overloaded chip should be busy");
+    }
+
+    #[test]
+    fn migration_penalty_costs_throughput() {
+        let pool = pool();
+        let run = |penalty_ms: f64| {
+            run_online(
+                &mut machine(7),
+                &pool,
+                Mix::Balanced,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::LinOpt,
+                PowerBudget::cost_performance(20),
+                &OnlineConfig {
+                    migration_penalty_ms: penalty_ms,
+                    ..open_config(400.0, 60.0e6)
+                },
+                &mut SimRng::seed_from(8),
+            )
+        };
+        let free = run(0.0);
+        let taxed = run(5.0);
+        assert!(free.migrations > 0, "churn should move threads");
+        assert!(taxed.migrations > 0, "churn should move threads");
+        assert!(
+            taxed.completed <= free.completed,
+            "stalls cannot complete more jobs: {} vs {}",
+            taxed.completed,
+            free.completed
+        );
+        assert!(
+            taxed.chip.mips < free.chip.mips,
+            "5 ms per move must cost throughput: {} vs {}",
+            taxed.chip.mips,
+            free.chip.mips
+        );
+    }
+
+    #[test]
+    fn finite_budgets_drain_a_closed_system() {
+        // Rate 0 with a finite mean: the residents complete and the
+        // chip drains to idle.
+        let pool = pool();
+        let config = OnlineConfig {
+            runtime: quick_runtime(),
+            arrivals: ArrivalConfig {
+                mean_instructions: 20.0e6,
+                ..ArrivalConfig::closed()
+            },
+            initial_jobs: 4,
+            migration_penalty_ms: 0.1,
+        };
+        let out = run_online(
+            &mut machine(11),
+            &pool,
+            Mix::Balanced,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            PowerBudget::cost_performance(4),
+            &config,
+            &mut SimRng::seed_from(12),
+        );
+        assert_eq!(out.completed, 4, "all residents should drain");
+        assert!(out.chip.weighted_mips == 0.0, "no thread survives");
+        assert!(out.chip.ed2.is_finite(), "work was retired");
+    }
+}

@@ -237,8 +237,8 @@ pub fn run_trial_observed(
     let dvfs_every = (config.dvfs_interval_ms / config.tick_ms).round() as usize;
     let os_every = (config.os_interval_ms / config.tick_ms).round() as usize;
 
-    let warmup_ticks = ((config.deviation_warmup_ms / config.tick_ms).round() as usize)
-        .min(total_ticks / 2);
+    let warmup_ticks =
+        ((config.deviation_warmup_ms / config.tick_ms).round() as usize).min(total_ticks / 2);
     let mut freq_time_sum = 0.0f64;
     let mut deviation_sum = 0.0f64;
     let mut deviation_ticks = 0usize;
@@ -295,11 +295,7 @@ pub fn run_trial_observed(
         }
     }
 
-    let per_thread_mips: Vec<f64> = machine
-        .threads()
-        .iter()
-        .map(|t| t.average_mips())
-        .collect();
+    let per_thread_mips: Vec<f64> = machine.threads().iter().map(|t| t.average_mips()).collect();
     let reference_mips: Vec<f64> = workload
         .specs()
         .iter()

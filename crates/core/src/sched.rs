@@ -155,8 +155,7 @@ pub fn schedule(
             ranked.sort_by(|&a, &b| {
                 cores[a]
                     .static_at_max_voltage()
-                    .partial_cmp(&cores[b].static_at_max_voltage())
-                    .expect("static power is not NaN")
+                    .total_cmp(&cores[b].static_at_max_voltage())
             });
             ranked.truncate(n);
             ranked
@@ -164,12 +163,7 @@ pub fn schedule(
         SchedPolicy::VarF | SchedPolicy::VarFAppIpc => {
             // Highest rated frequency first.
             let mut ranked: Vec<usize> = (0..cores.len()).collect();
-            ranked.sort_by(|&a, &b| {
-                cores[b]
-                    .max_freq_hz
-                    .partial_cmp(&cores[a].max_freq_hz)
-                    .expect("frequency is not NaN")
-            });
+            ranked.sort_by(|&a, &b| cores[b].max_freq_hz.total_cmp(&cores[a].max_freq_hz));
             ranked.truncate(n);
             ranked
         }
@@ -188,20 +182,14 @@ pub fn schedule(
             order.sort_by(|&a, &b| {
                 threads[b]
                     .dynamic_power_w
-                    .partial_cmp(&threads[a].dynamic_power_w)
-                    .expect("power is not NaN")
+                    .total_cmp(&threads[a].dynamic_power_w)
             });
             order
         }
         SchedPolicy::VarFAppIpc => {
             // Highest IPC first → onto highest-frequency cores.
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                threads[b]
-                    .ipc
-                    .partial_cmp(&threads[a].ipc)
-                    .expect("IPC is not NaN")
-            });
+            order.sort_by(|&a, &b| threads[b].ipc.total_cmp(&threads[a].ipc));
             order
         }
     };

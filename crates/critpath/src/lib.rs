@@ -115,7 +115,10 @@ impl FreqModel {
     /// voltage/frequency or `alpha`, or `v_nominal <= vth_nominal`).
     pub fn new(params: TimingParams) -> Self {
         assert!(params.alpha > 0.0, "alpha must be positive");
-        assert!(params.f_nominal_hz > 0.0, "nominal frequency must be positive");
+        assert!(
+            params.f_nominal_hz > 0.0,
+            "nominal frequency must be positive"
+        );
         assert!(
             params.v_nominal > params.vth_nominal,
             "nominal voltage must exceed nominal Vth"
@@ -125,12 +128,13 @@ impl FreqModel {
         // exactly balanced and hits f_nominal. The Vth maps are referenced
         // at 60 C, so apply the same temperature shift fmax_hz_at applies
         // when evaluating at the rating temperature.
-        let vth_at_rating =
-            params.vth_nominal - params.vth_temp_coeff * (params.rating_temp_k - params.vth_ref_temp_k);
+        let vth_at_rating = params.vth_nominal
+            - params.vth_temp_coeff * (params.rating_temp_k - params.vth_ref_temp_k);
         let d_logic = raw_logic_delay(&params, vth_at_rating, 1.0, params.v_nominal);
         let d_sram = raw_sram_delay(&params, vth_at_rating, 1.0, params.v_nominal);
         let k_logic = params.f_nominal_hz * d_logic;
-        let k_sram = params.f_nominal_hz * d_sram * params.sram_logic_balance.max(f64::MIN_POSITIVE);
+        let k_sram =
+            params.f_nominal_hz * d_sram * params.sram_logic_balance.max(f64::MIN_POSITIVE);
         Self {
             params,
             k_logic,
@@ -180,8 +184,8 @@ impl FreqModel {
             if !(d_logic.is_finite() && d_sram.is_finite()) {
                 return 0.0; // some cell cannot switch at this voltage
             }
-            let cell_delay = (d_logic * mobility / self.k_logic)
-                .max(d_sram * mobility / self.k_sram);
+            let cell_delay =
+                (d_logic * mobility / self.k_logic).max(d_sram * mobility / self.k_sram);
             worst_delay = worst_delay.max(cell_delay);
         }
         if worst_delay <= 0.0 {
@@ -368,9 +372,7 @@ impl VfTable {
 
     /// Highest level whose voltage is ≤ `v`, if any.
     pub fn level_at_or_below(&self, v: f64) -> Option<usize> {
-        self.entries
-            .iter()
-            .rposition(|&(lv, _)| lv <= v + 1e-12)
+        self.entries.iter().rposition(|&(lv, _)| lv <= v + 1e-12)
     }
 }
 

@@ -83,15 +83,13 @@ impl Rect {
     /// projections on the perpendicular axis overlap.
     pub fn shared_edge(&self, other: &Rect) -> f64 {
         const EPS: f64 = 1e-9;
-        let x_overlap =
-            ((self.x + self.w).min(other.x + other.w) - self.x.max(other.x)).max(0.0);
-        let y_overlap =
-            ((self.y + self.h).min(other.y + other.h) - self.y.max(other.y)).max(0.0);
+        let x_overlap = ((self.x + self.w).min(other.x + other.w) - self.x.max(other.x)).max(0.0);
+        let y_overlap = ((self.y + self.h).min(other.y + other.h) - self.y.max(other.y)).max(0.0);
 
-        let touch_vertical = ((self.x + self.w) - other.x).abs() < EPS
-            || ((other.x + other.w) - self.x).abs() < EPS;
-        let touch_horizontal = ((self.y + self.h) - other.y).abs() < EPS
-            || ((other.y + other.h) - self.y).abs() < EPS;
+        let touch_vertical =
+            ((self.x + self.w) - other.x).abs() < EPS || ((other.x + other.w) - self.x).abs() < EPS;
+        let touch_horizontal =
+            ((self.y + self.h) - other.y).abs() < EPS || ((other.y + other.h) - self.y).abs() < EPS;
 
         if touch_vertical && y_overlap > EPS {
             y_overlap

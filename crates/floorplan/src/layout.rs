@@ -118,12 +118,7 @@ impl FloorplanBuilder {
                 let idx = row * self.cols + col;
                 blocks.push(Block {
                     kind: BlockKind::Core(idx),
-                    rect: Rect::new(
-                        col as f64 * cw,
-                        core_band_y + row as f64 * ch,
-                        cw,
-                        ch,
-                    ),
+                    rect: Rect::new(col as f64 * cw, core_band_y + row as f64 * ch, cw, ch),
                 });
             }
         }

@@ -118,7 +118,11 @@ mod tests {
             .constraint_le(vec![0.0, 0.0, 1.0, 0.0], 1.0)
             .solve()
             .unwrap();
-        assert!((s.objective - 0.05).abs() < 1e-9, "objective {}", s.objective);
+        assert!(
+            (s.objective - 0.05).abs() < 1e-9,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]
@@ -164,7 +168,7 @@ mod tests {
     #[test]
     fn non_binding_constraint_has_zero_dual() {
         let s = Problem::maximize(vec![1.0])
-            .constraint_le(vec![1.0], 2.0)   // binding
+            .constraint_le(vec![1.0], 2.0) // binding
             .constraint_le(vec![1.0], 100.0) // slack
             .solve()
             .unwrap();
@@ -190,7 +194,11 @@ mod tests {
             }
             let s = p.solve().unwrap();
             let by: f64 = rhs.iter().zip(&s.dual).map(|(b, y)| b * y).sum();
-            assert!((by - s.objective).abs() < 1e-6, "gap {by} vs {}", s.objective);
+            assert!(
+                (by - s.objective).abs() < 1e-6,
+                "gap {by} vs {}",
+                s.objective
+            );
             // Duals of <= constraints in a max problem are non-negative.
             assert!(s.dual.iter().all(|&y| y >= -1e-9));
         }

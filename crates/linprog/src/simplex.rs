@@ -438,11 +438,10 @@ impl Tableau {
                     let better = ratio < best_ratio - EPS
                         || ((ratio - best_ratio).abs() <= EPS
                             && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
-                    if (better || leave.is_none())
-                        && ratio < best_ratio + EPS {
-                            best_ratio = ratio.min(best_ratio);
-                            leave = Some(r);
-                        }
+                    if (better || leave.is_none()) && ratio < best_ratio + EPS {
+                        best_ratio = ratio.min(best_ratio);
+                        leave = Some(r);
+                    }
                 }
             }
             let Some(row) = leave else {
@@ -502,8 +501,7 @@ impl Tableau {
         for r in 0..self.rows.len() {
             if self.basis[r] >= self.artificial_start {
                 // Find a non-artificial column with a usable pivot.
-                let col = (0..self.artificial_start)
-                    .find(|&j| self.rows[r][j].abs() > EPS);
+                let col = (0..self.artificial_start).find(|&j| self.rows[r][j].abs() > EPS);
                 if let Some(j) = col {
                     self.pivot(r, j);
                 }

@@ -182,7 +182,10 @@ impl DynamicPower {
             watts_at_ref.iter().all(|&w| w >= 0.0),
             "structure powers must be non-negative"
         );
-        assert!(f_ref_hz > 0.0 && v_ref > 0.0, "reference point must be positive");
+        assert!(
+            f_ref_hz > 0.0 && v_ref > 0.0,
+            "reference point must be positive"
+        );
         Self {
             watts_at_ref,
             f_ref_hz,
@@ -202,7 +205,10 @@ impl DynamicPower {
     ///
     /// Panics if `v` or `f_hz` is negative.
     pub fn power(&self, activity: &ActivityVector, v: f64, f_hz: f64) -> f64 {
-        assert!(v >= 0.0 && f_hz >= 0.0, "operating point must be non-negative");
+        assert!(
+            v >= 0.0 && f_hz >= 0.0,
+            "operating point must be non-negative"
+        );
         let v_scale = (v / self.v_ref).powi(2);
         let f_scale = f_hz / self.f_ref_hz;
         ALL_STRUCTURES

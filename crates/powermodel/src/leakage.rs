@@ -94,7 +94,10 @@ impl LeakagePower {
             params.calib_temp_k > 0.0 && params.vth_ref_temp_k > 0.0,
             "temperatures must be positive kelvin"
         );
-        assert!(params.density_at_calib > 0.0, "calibration density must be positive");
+        assert!(
+            params.density_at_calib > 0.0,
+            "calibration density must be positive"
+        );
         let mut model = Self {
             params,
             prefactor: 1.0,

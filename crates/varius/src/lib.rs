@@ -433,9 +433,7 @@ mod tests {
         let gen = DieGenerator::new(quick_cfg()).unwrap();
         let die = gen.generate(&mut SimRng::seed_from(5));
         let fp = paper_20_core();
-        let means: Vec<f64> = (0..20)
-            .map(|c| die.core_cells(&fp, c).vth_mean())
-            .collect();
+        let means: Vec<f64> = (0..20).map(|c| die.core_cells(&fp, c).vth_mean()).collect();
         let s = Summary::of(&means);
         assert!(
             s.max - s.min > 0.005,
@@ -553,7 +551,11 @@ mod tests {
             .map(|_| gen.generate(&mut rng).vth_summary().mean)
             .collect();
         let s = Summary::of(&die_means);
-        assert!(s.std_dev < 0.004, "WID-only die means spread: {}", s.std_dev);
+        assert!(
+            s.std_dev < 0.004,
+            "WID-only die means spread: {}",
+            s.std_dev
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl Summary {
     ///
     /// Panics if the mean is zero.
     pub fn cov(&self) -> f64 {
-        assert!(self.mean != 0.0, "coefficient of variation needs non-zero mean");
+        assert!(
+            self.mean != 0.0,
+            "coefficient of variation needs non-zero mean"
+        );
         self.std_dev / self.mean
     }
 }
@@ -105,7 +108,10 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
         sxx += (xi - mx).powi(2);
         syy += (yi - my).powi(2);
     }
-    assert!(sxx > 0.0 && syy > 0.0, "correlation needs non-degenerate data");
+    assert!(
+        sxx > 0.0 && syy > 0.0,
+        "correlation needs non-degenerate data"
+    );
     sxy / (sxx.sqrt() * syy.sqrt())
 }
 
@@ -119,7 +125,7 @@ pub fn percentile(data: &[f64], p: f64) -> f64 {
     assert!(!data.is_empty(), "percentile of an empty data set");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in data"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -127,10 +127,7 @@ impl GaussianField {
             .map(|idx| {
                 let ix = idx % nx;
                 let iy = idx / nx;
-                (
-                    (ix as f64 + 0.5) / nx as f64,
-                    (iy as f64 + 0.5) / ny as f64,
-                )
+                ((ix as f64 + 0.5) / nx as f64, (iy as f64 + 0.5) / ny as f64)
             })
             .collect();
 

@@ -117,11 +117,7 @@ impl fmt::Display for Histogram {
             let (lo, hi) = self.bin_edges(i);
             let c = self.counts[i];
             let width = (c * 50) / max;
-            writeln!(
-                f,
-                "[{lo:7.3}, {hi:7.3})  {c:5}  {}",
-                "#".repeat(width)
-            )?;
+            writeln!(f, "[{lo:7.3}, {hi:7.3})  {c:5}  {}", "#".repeat(width))?;
         }
         Ok(())
     }

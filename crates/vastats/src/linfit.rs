@@ -85,10 +85,7 @@ mod tests {
     fn quadratic_underestimates_middle() {
         // Power is convex in voltage; a linear fit to a convex function
         // overshoots at the midpoint — this is the paper's Figure 1 shape.
-        let pts: Vec<(f64, f64)> = [0.6f64, 0.8, 1.0]
-            .iter()
-            .map(|&v| (v, v * v))
-            .collect();
+        let pts: Vec<(f64, f64)> = [0.6f64, 0.8, 1.0].iter().map(|&v| (v, v * v)).collect();
         let fit = LineFit::fit(&pts).unwrap();
         assert!(fit.eval(0.8) > 0.8 * 0.8);
     }

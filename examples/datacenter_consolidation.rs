@@ -39,8 +39,14 @@ fn main() {
 
     let budget = PowerBudget::high_performance(JOBS); // non-binding: no DVFS here
     for (mode, mode_name) in [
-        (FreqMode::Uniform, "UniFreq (all cores at the slowest active core's clock)"),
-        (FreqMode::NonUniform, "NUniFreq (each core at its own maximum)"),
+        (
+            FreqMode::Uniform,
+            "UniFreq (all cores at the slowest active core's clock)",
+        ),
+        (
+            FreqMode::NonUniform,
+            "NUniFreq (each core at its own maximum)",
+        ),
     ] {
         println!("\n=== {mode_name} ===");
         println!(

@@ -44,7 +44,10 @@ fn main() {
     machine.assign(&mapping);
 
     let budget = PowerBudget::cost_performance(THREADS);
-    println!("Ptarget = {:.0} W, Pcoremax = {:.0} W, {THREADS} threads\n", budget.chip_w, budget.per_core_w);
+    println!(
+        "Ptarget = {:.0} W, Pcoremax = {:.0} W, {THREADS} threads\n",
+        budget.chip_w, budget.per_core_w
+    );
     println!(
         "{:>6} {:>9} {:>9} {:>9}  levels chosen (count per voltage step 0.6->1.0V)",
         "t(ms)", "power(W)", "dev(%)", "GIPS"
@@ -62,9 +65,10 @@ fn main() {
                 for &l in &levels {
                     histogram[l] += 1;
                 }
-                let bars: String = histogram.iter().map(|&c| {
-                    char::from_digit(c.min(9) as u32, 10).expect("digit")
-                }).collect();
+                let bars: String = histogram
+                    .iter()
+                    .map(|&c| char::from_digit(c.min(9) as u32, 10).expect("digit"))
+                    .collect();
                 println!(
                     "{:>6} {:>9.1} {:>+9.2} {:>9.1}  [{bars}]",
                     ms,

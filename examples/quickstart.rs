@@ -34,7 +34,10 @@ fn main() {
     let fmax: Vec<f64> = (0..20).map(|c| machine.rated_max_freq(c)).collect();
     let fast = fmax.iter().cloned().fold(0.0f64, f64::max);
     let slow = fmax.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("frequency spread on this die: {:.0}%\n", (fast / slow - 1.0) * 100.0);
+    println!(
+        "frequency spread on this die: {:.0}%\n",
+        (fast / slow - 1.0) * 100.0
+    );
 
     // 3. Run a 12-app workload under VarF&AppIPC + LinOpt at the
     //    Cost-Performance budget and compare with the naive baseline.
@@ -61,8 +64,16 @@ fn main() {
         seed,
         plan: SeedPlan::default(),
         arms: vec![
-            arm("Random+Foxton*", SchedPolicy::Random, ManagerKind::FoxtonStar),
-            arm("VarF&AppIPC+LinOpt", SchedPolicy::VarFAppIpc, ManagerKind::LinOpt),
+            arm(
+                "Random+Foxton*",
+                SchedPolicy::Random,
+                ManagerKind::FoxtonStar,
+            ),
+            arm(
+                "VarF&AppIPC+LinOpt",
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::LinOpt,
+            ),
         ],
     };
 

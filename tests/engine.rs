@@ -4,12 +4,12 @@
 //! leak into outcomes — this test is the regression gate for that
 //! property.
 
+use cmpsim::Mix;
 use vasp::vasched::engine::{SeedPlan, TrialArm, TrialRunner, TrialSpec};
 use vasp::vasched::experiments::{Context, Scale};
 use vasp::vasched::manager::{ManagerKind, PowerBudget};
 use vasp::vasched::prelude::*;
 use vasp::vasched::runtime::FreqMode;
-use cmpsim::Mix;
 
 fn smoke_spec<'a>(ctx: &'a Context, pool: &'a [cmpsim::AppSpec]) -> TrialSpec<'a> {
     let scale = Scale::smoke();
@@ -97,4 +97,26 @@ fn runner_defaults_use_available_parallelism() {
     assert!(runner.workers() >= 1);
     let explicit = TrialRunner::with_workers(2);
     assert_eq!(explicit.workers(), 2);
+}
+
+#[test]
+fn seed_plan_derivation_is_stable() {
+    // Golden values: these pin the seed→trial mapping. Changing them
+    // silently re-rolls every experiment in the repository.
+    let default_plan = SeedPlan::default();
+    assert_eq!(default_plan.derive(0, 0), 0);
+    assert_eq!(default_plan.derive(20_080_621, 0), 20_080_621);
+    assert_eq!(default_plan.derive(20_080_621, 1), 20_080_622);
+    let offset_plan = SeedPlan {
+        mul: 1_000_003,
+        offset: 90_000,
+        stride: 1,
+    };
+    assert_eq!(offset_plan.derive(6, 0), 6_000_018 + 90_000);
+    assert_eq!(offset_plan.derive(6, 5), 6_000_018 + 90_005);
+    // Wrapping, not overflow.
+    assert_eq!(
+        offset_plan.derive(u64::MAX, 3),
+        u64::MAX.wrapping_mul(1_000_003).wrapping_add(90_003)
+    );
 }

@@ -40,8 +40,8 @@ fn full_pipeline_produces_consistent_state() {
 
     // Manage.
     let budget = PowerBudget::cost_performance(10);
-    let levels = apply_manager(ManagerKind::LinOpt, &mut machine, &budget, &mut rng)
-        .expect("active cores");
+    let levels =
+        apply_manager(ManagerKind::LinOpt, &mut machine, &budget, &mut rng).expect("active cores");
     assert_eq!(levels.len(), 10);
 
     // Simulate 50 ms; power stays near/below target, throughput flows.

@@ -237,7 +237,10 @@ fn fmax_monotonicity() {
                     vth: vec![vth + 0.02],
                     leff: vec![leff],
                 };
-                assert!(model.fmax_hz(&slower, v) < f_lo, "vth {vth} leff {leff} v {v}");
+                assert!(
+                    model.fmax_hz(&slower, v) < f_lo,
+                    "vth {vth} leff {leff} v {v}"
+                );
             }
         }
     }
@@ -255,8 +258,7 @@ fn line_fit_beats_endpoint_chord() {
                 let b = -1.0 + 0.5 * j as f64;
                 let c = 0.01 + 0.24 * k as f64;
                 let xs = [0.6, 0.8, 1.0];
-                let pts: Vec<(f64, f64)> =
-                    xs.iter().map(|&x| (x, a + b * x + c * x * x)).collect();
+                let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, a + b * x + c * x * x)).collect();
                 let fit = LineFit::fit(&pts).unwrap();
                 // Chord through endpoints.
                 let slope = (pts[2].1 - pts[0].1) / (pts[2].0 - pts[0].0);
@@ -337,6 +339,83 @@ fn ed2_monotonicity() {
             assert!(ed2_index(p, tp * 1.1) < ed2_index(p, tp));
             let ratio = ed2_index(p, tp) / ed2_index(p, 2.0 * tp);
             assert!((ratio - 8.0).abs() < 1e-6);
+        }
+    }
+}
+
+/// Online loop, closed system: with arrivals disabled and free
+/// migration, `run_online` must reproduce the batch `run_trial`
+/// outcome exactly — same RNG stream, same epochs, same metrics —
+/// across a grid of seeds, occupancies, and control policies.
+#[test]
+fn zero_arrival_online_equals_batch_trial() {
+    use vasp::cmpsim::{app_pool, Machine, MachineConfig, Mix, Workload};
+    use vasp::floorplan::paper_20_core;
+    use vasp::varius::{DieGenerator, VariationConfig};
+    use vasp::vasched::manager::ManagerKind;
+    use vasp::vasched::online::{run_online, ArrivalConfig, OnlineConfig};
+    use vasp::vasched::runtime::{run_trial, RuntimeConfig};
+
+    let cfg = VariationConfig {
+        grid: 20,
+        ..VariationConfig::paper_default()
+    };
+    let generator = DieGenerator::new(cfg).expect("valid config");
+    let runtime = RuntimeConfig {
+        duration_ms: 40.0,
+        os_interval_ms: 20.0,
+        ..RuntimeConfig::paper_default()
+    };
+    let cases = [
+        (2usize, SchedPolicy::VarFAppIpc, ManagerKind::LinOpt),
+        (6, SchedPolicy::VarP, ManagerKind::FoxtonStar),
+        (11, SchedPolicy::VarFAppIpc, ManagerKind::ChipWide),
+        (20, SchedPolicy::Random, ManagerKind::LinOpt),
+    ];
+    for seed in 0u64..6 {
+        for &(threads, policy, manager) in &cases {
+            let die = generator.generate(&mut SimRng::seed_from(900 + seed));
+            let machine = Machine::new(&die, &paper_20_core(), MachineConfig::paper_default());
+            let pool = app_pool(&machine.config().dynamic);
+            let budget = PowerBudget::cost_performance(threads);
+
+            let mut batch_rng = SimRng::seed_from(31 * seed + 7);
+            let workload = Workload::draw_mix(&pool, threads, Mix::Balanced, &mut batch_rng);
+            let mut batch_machine = machine.clone();
+            let batch = run_trial(
+                &mut batch_machine,
+                &workload,
+                policy,
+                manager,
+                budget,
+                &runtime,
+                &mut batch_rng,
+            );
+
+            let config = OnlineConfig {
+                runtime,
+                arrivals: ArrivalConfig::closed(),
+                initial_jobs: threads,
+                migration_penalty_ms: 0.0,
+            };
+            let mut online_machine = machine.clone();
+            let online = run_online(
+                &mut online_machine,
+                &pool,
+                Mix::Balanced,
+                policy,
+                manager,
+                budget,
+                &config,
+                &mut SimRng::seed_from(31 * seed + 7),
+            );
+
+            assert_eq!(
+                online.chip, batch,
+                "seed {seed}, {threads} threads, {policy:?}, {manager:?}"
+            );
+            assert_eq!(online.arrived, threads, "seed {seed}");
+            assert_eq!(online.completed, 0, "closed jobs never complete");
         }
     }
 }

@@ -64,16 +64,20 @@ fn fig6_efficiency_crossover_exists() {
     // §7.1 describes.
     let mut crossover_seen = false;
     for seed in 3u64..15 {
-        let (maxf, minf) = variation::fig6(&Scale { grid: 30, ..scale() }, seed);
+        let (maxf, minf) = variation::fig6(
+            &Scale {
+                grid: 30,
+                ..scale()
+            },
+            seed,
+        );
         let lo = maxf.x[0];
         let hi = *minf.x.last().unwrap();
         assert!(hi > lo, "seed {seed}: curves must overlap in frequency");
         let f_bot = lo * 1.01;
         let f_top = hi * 0.99;
-        let (max_bot, min_bot) =
-            (interp(&maxf, f_bot).unwrap(), interp(&minf, f_bot).unwrap());
-        let (max_top, min_top) =
-            (interp(&maxf, f_top).unwrap(), interp(&minf, f_top).unwrap());
+        let (max_bot, min_bot) = (interp(&maxf, f_bot).unwrap(), interp(&minf, f_bot).unwrap());
+        let (max_top, min_top) = (interp(&maxf, f_top).unwrap(), interp(&minf, f_top).unwrap());
         // MaxF reaches the top of the overlap at a much lower voltage,
         // so it is at least competitive there on every die (on very
         // leaky MaxF cores it may lose by a sliver).
@@ -125,17 +129,21 @@ fn fig9_variation_aware_scheduling_buys_throughput() {
 #[test]
 fn fig11_linopt_beats_baselines_and_tracks_sann() {
     let (mips, ed2, wmips, _) = dvfs::fig11_fig13(&scale(), 6);
-    let mean = |s: &vasp::vasched::experiments::Series| {
-        s.y.iter().sum::<f64>() / s.y.len() as f64
-    };
+    let mean = |s: &vasp::vasched::experiments::Series| s.y.iter().sum::<f64>() / s.y.len() as f64;
     let foxton = mean(&mips[1]);
     let linopt = mean(&mips[2]);
     let sann = mean(&mips[3]);
     // Headline direction: LinOpt above both Foxton* variants.
     assert!(linopt > 1.0, "LinOpt vs baseline: {linopt}");
-    assert!(linopt > foxton - 0.01, "LinOpt {linopt} vs Foxton* {foxton}");
+    assert!(
+        linopt > foxton - 0.01,
+        "LinOpt {linopt} vs Foxton* {foxton}"
+    );
     // SAnn within a few percent of LinOpt (paper: ~2%).
-    assert!((sann - linopt).abs() < 0.05, "SAnn {sann} vs LinOpt {linopt}");
+    assert!(
+        (sann - linopt).abs() < 0.05,
+        "SAnn {sann} vs LinOpt {linopt}"
+    );
     // ED2 falls well below the baseline.
     assert!(mean(&ed2[2]) < 0.95, "LinOpt ED2 {:?}", ed2[2].y);
     // Weighted throughput gains are positive but smaller (paper §7.5).

@@ -42,10 +42,14 @@ fn chip_wide_dvfs_loses_to_per_core() {
     let mut rng = SimRng::seed_from(101);
 
     let mut per_core_machine = machine.clone();
-    let per_core =
-        apply_manager(ManagerKind::LinOpt, &mut per_core_machine, &budget, &mut rng).unwrap();
-    let chip_wide =
-        apply_manager(ManagerKind::ChipWide, &mut machine, &budget, &mut rng).unwrap();
+    let per_core = apply_manager(
+        ManagerKind::LinOpt,
+        &mut per_core_machine,
+        &budget,
+        &mut rng,
+    )
+    .unwrap();
+    let chip_wide = apply_manager(ManagerKind::ChipWide, &mut machine, &budget, &mut rng).unwrap();
 
     let view = PmView::from_machine(&machine);
     assert!(
@@ -142,7 +146,10 @@ fn homogeneous_mix_reduces_appipc_advantage() {
         run(SchedPolicy::VarFAppIpc).mips / run(SchedPolicy::VarF).mips
     };
     // Average over a few draws to tame noise.
-    let balanced: f64 = (0..3).map(|s| gain_for(Mix::Balanced, 300 + s)).sum::<f64>() / 3.0;
+    let balanced: f64 = (0..3)
+        .map(|s| gain_for(Mix::Balanced, 300 + s))
+        .sum::<f64>()
+        / 3.0;
     let compute: f64 = (0..3)
         .map(|s| gain_for(Mix::ComputeHeavy, 400 + s))
         .sum::<f64>()
