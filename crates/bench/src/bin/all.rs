@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use vasched::engine::TrialRunner;
 use vasched::experiments::{
-    ablation, dvfs, granularity, online, scheduling, timing, validation, variation, Series,
+    ablation, dvfs, faults, granularity, online, scheduling, timing, validation, variation, Series,
 };
 use vasp_bench::{parse_args, report};
 
@@ -45,7 +45,7 @@ fn main() {
     let _ = writeln!(md, "|---|---|---|");
 
     // Figure 4.
-    println!("[1/13] fig4 ...");
+    println!("[1/14] fig4 ...");
     let f4 = variation::fig4(&scale, seed);
     let _ = writeln!(
         md,
@@ -59,7 +59,7 @@ fn main() {
     );
 
     // Figure 5.
-    println!("[2/13] fig5 ...");
+    println!("[2/14] fig5 ...");
     let (f5p, f5f) = variation::fig5(&scale, seed.wrapping_add(1));
     let _ = writeln!(
         md,
@@ -74,7 +74,7 @@ fn main() {
     report("fig05", "Figure 5", &[f5p, f5f]);
 
     // Figure 6.
-    println!("[3/13] fig6 ...");
+    println!("[3/14] fig6 ...");
     let (f6max, f6min) = variation::fig6(&scale, seed.wrapping_add(2));
     let _ = writeln!(
         md,
@@ -90,7 +90,7 @@ fn main() {
     );
 
     // Figures 7-8.
-    println!("[4/13] fig7 ...");
+    println!("[4/14] fig7 ...");
     let (f7p, f7e) = scheduling::fig7(&scale, seed.wrapping_add(3));
     let _ = writeln!(
         md,
@@ -100,7 +100,7 @@ fn main() {
     );
     report("fig07a", "Figure 7a", &f7p);
     report("fig07b", "Figure 7b", &f7e);
-    println!("[5/13] fig8 ...");
+    println!("[5/14] fig8 ...");
     let (f8p, f8e) = scheduling::fig8(&scale, seed.wrapping_add(4));
     let _ = writeln!(
         md,
@@ -111,7 +111,7 @@ fn main() {
     report("fig08b", "Figure 8b", &f8e);
 
     // Figures 9-10.
-    println!("[6/13] fig9/10 ...");
+    println!("[6/14] fig9/10 ...");
     let (f9f, f9m, f10) = scheduling::fig9_fig10(&scale, seed.wrapping_add(5));
     let _ = writeln!(
         md,
@@ -134,7 +134,7 @@ fn main() {
     report("fig10", "Figure 10", &f10);
 
     // Figures 11 & 13.
-    println!("[7/13] fig11/13 ...");
+    println!("[7/14] fig11/13 ...");
     let (f11m, f11e, f13m, f13e) = dvfs::fig11_fig13(&scale, seed.wrapping_add(6));
     let _ = writeln!(
         md,
@@ -167,7 +167,7 @@ fn main() {
     report("fig13b", "Figure 13b", &f13e);
 
     // Figure 12.
-    println!("[8/13] fig12 ...");
+    println!("[8/14] fig12 ...");
     let f12 = dvfs::fig12(&scale, seed.wrapping_add(7));
     let _ = writeln!(
         md,
@@ -179,7 +179,7 @@ fn main() {
     report("fig12", "Figure 12", &f12);
 
     // Figure 14.
-    println!("[9/13] fig14 ...");
+    println!("[9/14] fig14 ...");
     let f14 = granularity::fig14(&scale, seed.wrapping_add(8), &[4, 20]);
     let _ = writeln!(
         md,
@@ -194,7 +194,7 @@ fn main() {
     report("fig14", "Figure 14", &f14);
 
     // Figure 15.
-    println!("[10/13] fig15 ...");
+    println!("[10/14] fig15 ...");
     let f15 = timing::fig15(&scale, seed.wrapping_add(9), 200);
     let slowest = f15
         .iter()
@@ -207,7 +207,7 @@ fn main() {
     report("fig15", "Figure 15", &f15);
 
     // Validation.
-    println!("[11/13] sann vs exhaustive ...");
+    println!("[11/14] sann vs exhaustive ...");
     let val = validation::sann_vs_exhaustive(&scale, seed.wrapping_add(10), &[2, 4, 8, 20]);
     let worst_sann = val
         .iter()
@@ -229,7 +229,7 @@ fn main() {
     );
 
     // Ablations.
-    println!("[12/13] ablations ...");
+    println!("[12/14] ablations ...");
     let gran = ablation::granularity(&scale, seed.wrapping_add(11));
     let _ = writeln!(
         md,
@@ -246,7 +246,7 @@ fn main() {
     report("ablation_transition", "Transition cost", &[trans]);
 
     // Online serving (beyond the paper).
-    println!("[13/13] online serving ...");
+    println!("[13/14] online serving ...");
     let sweep = online::arrival_sweep(&scale, seed.wrapping_add(13));
     let last = sweep.throughput_jobs_per_s[0].y.len() - 1;
     let _ = writeln!(
@@ -272,6 +272,41 @@ fn main() {
         &sweep.utilization,
     );
     report("online_power", "Online chip power", &sweep.avg_power_w);
+
+    println!("[14/14] fault injection ...");
+    let noise = faults::noise_sweep(&scale, seed.wrapping_add(14));
+    let failures = faults::failure_sweep(&scale, seed.wrapping_add(14));
+    let tracking = faults::tracking_scenario(&scale, seed.wrapping_add(14));
+    let fallback = faults::fallback_scenario(&scale, seed.wrapping_add(14));
+    let lin = tracking
+        .iter()
+        .find(|r| r.label == "LinOpt")
+        .expect("LinOpt report");
+    let lin_fb = fallback
+        .iter()
+        .find(|r| r.label == "LinOpt")
+        .expect("LinOpt report");
+    let _ = writeln!(
+        md,
+        "| Fault tracking: LinOpt |P−40 W| under σ=0.05 + 2 dead cores | n/a (extension, bar ≤ 1 W) | {:.2} W ({:.1} fallbacks/run under a deep budget drop) |",
+        lin.deviation_w, lin_fb.solver_fallbacks
+    );
+    report("faults_noise_mips", "Fault noise throughput", &noise.mips);
+    report(
+        "faults_noise_deviation",
+        "Fault noise budget deviation (W)",
+        &noise.budget_deviation_w,
+    );
+    report(
+        "faults_failures_mips",
+        "Core-failure throughput",
+        &failures.mips,
+    );
+    report(
+        "faults_failures_deviation",
+        "Core-failure budget deviation (W)",
+        &failures.budget_deviation_w,
+    );
 
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/REPORT.md", &md).expect("write report");

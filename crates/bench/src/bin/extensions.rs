@@ -18,11 +18,11 @@ fn main() {
     let pool = app_pool(&ctx.machine_config().dynamic);
     let threads = 10; // half load: idle cores exist to migrate onto
     let budget = PowerBudget::high_performance(threads);
-    let runtime = RuntimeConfig {
-        duration_ms: opts.scale.duration_ms.max(200.0),
-        os_interval_ms: 100.0,
-        ..RuntimeConfig::paper_default()
-    };
+    let runtime = RuntimeConfig::builder()
+        .duration_ms(opts.scale.duration_ms.max(200.0))
+        .os_interval_ms(100.0)
+        .build()
+        .expect("bench timeline is valid");
 
     println!(
         "{:<22} {:>10} {:>12} {:>12} {:>12} {:>11}",

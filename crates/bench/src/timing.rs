@@ -16,8 +16,8 @@ const SAMPLES: usize = 5;
 /// Times `f` and returns the median per-iteration duration.
 ///
 /// The routine runs `f` once to warm caches, sizes the batch so one
-/// sample takes about [`SAMPLE_WINDOW`], then reports the median of
-/// [`SAMPLES`] batched measurements. Use [`std::hint::black_box`]
+/// sample takes about `SAMPLE_WINDOW`, then reports the median of
+/// `SAMPLES` batched measurements. Use [`std::hint::black_box`]
 /// inside `f` to keep the optimizer honest.
 pub fn time<F: FnMut()>(mut f: F) -> Duration {
     let warmup = Instant::now();

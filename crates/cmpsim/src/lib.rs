@@ -18,7 +18,10 @@
 //!   drawn from the pool, 20 trials per experiment, as in §6.4);
 //! * [`machine`] — the simulated 20-core CMP: per-core variation cells,
 //!   manufacturer (V, f) tables, dynamic/leakage power, block-level
-//!   temperatures, and the power/IPC sensors the algorithms read.
+//!   temperatures, and the power/IPC sensors the algorithms read;
+//! * [`faults`] — deterministic, seeded sensor/core fault injection
+//!   applied at the sensor boundary: Gaussian noise and drift, stuck
+//!   sensors, transient budget drops, and permanent core failures.
 
 #![forbid(unsafe_code)]
 // Index loops over core indices mirror the paper's formulations.
@@ -27,6 +30,7 @@
 
 pub mod apps;
 pub mod cache;
+pub mod faults;
 pub mod machine;
 pub mod telemetry;
 pub mod thread;
@@ -34,6 +38,7 @@ pub mod workload;
 
 pub use apps::{app_pool, AppClass, AppSpec};
 pub use cache::CacheConfig;
+pub use faults::{BudgetDrop, CoreFailure, FaultConfigError, FaultEvent, FaultPlan, StuckSensor};
 pub use machine::{DvfsTransition, Machine, MachineConfig, StepStats};
 pub use telemetry::Telemetry;
 pub use thread::Thread;

@@ -15,6 +15,7 @@
 //! assumption in §7.3). The L2 strips stay on a fixed voltage rail and
 //! contribute leakage plus access-driven dynamic power.
 
+use crate::faults::{FaultConfigError, FaultEvent, FaultPlan, SensorFaults};
 use crate::thread::Thread;
 use critpath::{FreqModel, TimingParams, VfTable};
 use floorplan::{BlockKind, Floorplan};
@@ -189,6 +190,10 @@ pub struct Machine {
     energy_j: f64,
     elapsed_s: f64,
     total_instructions: f64,
+    /// Installed fault state, if any. `None` means truthful sensors
+    /// and an untouched simulation — the fast path every pre-existing
+    /// run takes, bit for bit.
+    faults: Option<SensorFaults>,
 }
 
 impl Machine {
@@ -273,6 +278,7 @@ impl Machine {
             energy_j: 0.0,
             elapsed_s: 0.0,
             total_instructions: 0.0,
+            faults: None,
         }
     }
 
@@ -360,6 +366,60 @@ impl Machine {
         self.elapsed_s = 0.0;
         self.total_instructions = 0.0;
         self.temps = vec![self.config.thermal.ambient_k; self.temps.len()];
+        self.faults = None;
+    }
+
+    /// Installs a [`FaultPlan`], starting its timeline at the current
+    /// instant. An inactive plan installs nothing at all, which is the
+    /// bit-identity guarantee: no fault state, no extra arithmetic on
+    /// the sensor path, no extra RNG draws.
+    ///
+    /// [`Machine::load_threads`] clears any installed plan, so trial
+    /// arms that reload the machine must re-install.
+    pub fn install_faults(&mut self, plan: &FaultPlan) -> Result<(), FaultConfigError> {
+        plan.validate(self.cores.len())?;
+        self.faults = plan
+            .is_active()
+            .then(|| SensorFaults::new(plan.clone(), self.cores.len()));
+        Ok(())
+    }
+
+    /// Whether a fault plan is currently installed.
+    pub fn has_active_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Whether `core` is still alive (always true without faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_alive(&self, core: usize) -> bool {
+        assert!(core < self.cores.len(), "core out of range");
+        self.faults.as_ref().is_none_or(|f| f.core_alive(core))
+    }
+
+    /// Number of cores still alive.
+    pub fn alive_core_count(&self) -> usize {
+        (0..self.cores.len())
+            .filter(|&c| self.core_alive(c))
+            .count()
+    }
+
+    /// The multiplicative factor an injected budget drop currently
+    /// applies to the nominal chip power budget (1.0 when no drop is
+    /// open or no faults are installed).
+    pub fn fault_budget_factor(&self) -> f64 {
+        self.faults.as_ref().map_or(1.0, |f| f.budget_factor())
+    }
+
+    /// Drains the fault transitions that fired since the last call.
+    /// The runtime logs these as degradation events and reacts — e.g.
+    /// rescheduling off a dead core.
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.faults
+            .as_mut()
+            .map_or_else(Vec::new, |f| f.take_events())
     }
 
     /// Adds one thread to the running set *without* resetting the
@@ -436,13 +496,19 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the mapping length mismatches the core count, a thread
-    /// index is out of range, or a thread appears on two cores.
+    /// index is out of range, a thread appears on two cores, or a
+    /// thread is mapped onto a core an installed fault plan has killed.
     pub fn assign(&mut self, mapping: &[Option<usize>]) {
         assert_eq!(mapping.len(), self.cores.len(), "mapping length mismatch");
         let mut seen = vec![false; self.threads.len()];
-        for m in mapping.iter().flatten() {
+        for (core, m) in mapping.iter().enumerate() {
+            let Some(m) = m else { continue };
             assert!(*m < self.threads.len(), "thread index {m} out of range");
             assert!(!seen[*m], "thread {m} assigned to two cores");
+            assert!(
+                self.core_alive(core),
+                "thread {m} assigned to dead core {core}"
+            );
             seen[*m] = true;
         }
         self.assignment.copy_from_slice(mapping);
@@ -611,6 +677,19 @@ impl Machine {
         let mut instructions = 0.0;
         let mut l2_accesses_per_s = 0.0;
 
+        // Advance the fault timeline across this step: cores that die
+        // inside the window are unscheduled immediately (they retire
+        // nothing this step), sticking sensors freeze at their last
+        // truthful reading.
+        if let Some(fs) = self.faults.as_mut() {
+            let power = &self.last_core_power;
+            let ipc = &self.last_core_ipc;
+            let died = fs.advance(dt_s, |c| power[c], |c| ipc[c]);
+            for core in died {
+                self.assignment[core] = None;
+            }
+        }
+
         self.update_l2_shares();
 
         // Hardware DTM: force overheating cores down one level.
@@ -737,7 +816,11 @@ impl Machine {
         let leak_w = self
             .core_leak
             .block_static(&info.cells, info.area_mm2, v, temp);
-        Some(dyn_w + leak_w)
+        let raw = dyn_w + leak_w;
+        Some(match &self.faults {
+            Some(fs) => fs.predicted_power_reading(core, level, raw),
+            None => raw,
+        })
     }
 
     /// Sensor history: the IPC of the thread currently on `core`
@@ -756,7 +839,11 @@ impl Machine {
         } else {
             info.vf.max_freq().max(1.0)
         };
-        Some(self.threads[tid].ipc_now(f))
+        let raw = self.threads[tid].ipc_now(f);
+        Some(match &self.faults {
+            Some(fs) => fs.ipc_reading(core, raw),
+            None => raw,
+        })
     }
 
     /// The thread index currently assigned to `core`, if any.
@@ -768,9 +855,14 @@ impl Machine {
         self.assignment[core]
     }
 
-    /// Sensor: total power during the last step (watts).
+    /// Sensor: total power during the last step (watts). An installed
+    /// fault plan distorts this reading via the chip meter's own noise
+    /// channel; [`Machine::average_power`] stays truthful.
     pub fn sensor_total_power(&self) -> f64 {
-        self.last_total_power
+        match &self.faults {
+            Some(fs) => fs.total_power_reading(self.last_total_power, self.cores.len()),
+            None => self.last_total_power,
+        }
     }
 
     /// Sensor: one core's total power during the last step (watts).
@@ -779,7 +871,10 @@ impl Machine {
     ///
     /// Panics if `core` is out of range.
     pub fn sensor_core_power(&self, core: usize) -> f64 {
-        self.last_core_power[core]
+        match &self.faults {
+            Some(fs) => fs.power_reading(core, self.last_core_power[core]),
+            None => self.last_core_power[core],
+        }
     }
 
     /// Sensor: one core's IPC during the last step (0 when idle).
@@ -788,7 +883,10 @@ impl Machine {
     ///
     /// Panics if `core` is out of range.
     pub fn sensor_core_ipc(&self, core: usize) -> f64 {
-        self.last_core_ipc[core]
+        match &self.faults {
+            Some(fs) => fs.ipc_reading(core, self.last_core_ipc[core]),
+            None => self.last_core_ipc[core],
+        }
     }
 
     /// Current block temperatures (kelvin).
@@ -1249,6 +1347,80 @@ mod tests {
             b.total_instructions(),
             a.total_instructions()
         );
+    }
+
+    #[test]
+    fn inactive_fault_plan_changes_nothing() {
+        let mut a = loaded_machine(8, 60);
+        let mut b = loaded_machine(8, 60);
+        b.install_faults(&FaultPlan::none()).unwrap();
+        assert!(!b.has_active_faults());
+        for _ in 0..20 {
+            assert_eq!(a.step(0.001), b.step(0.001));
+        }
+        for c in 0..20 {
+            assert_eq!(a.sensor_core_power(c), b.sensor_core_power(c));
+            assert_eq!(a.sensor_core_ipc(c), b.sensor_core_ipc(c));
+        }
+        assert_eq!(a.sensor_total_power(), b.sensor_total_power());
+    }
+
+    #[test]
+    fn sensor_noise_distorts_readings_but_not_physics() {
+        let mut a = loaded_machine(8, 62);
+        let mut b = loaded_machine(8, 62);
+        b.install_faults(&FaultPlan::none().with_seed(1).with_sensor_noise(0.1))
+            .unwrap();
+        for _ in 0..10 {
+            // The physics stays truthful: noise lives only on the
+            // sensor path.
+            assert_eq!(a.step(0.001), b.step(0.001));
+        }
+        assert_ne!(a.sensor_total_power(), b.sensor_total_power());
+        assert_eq!(a.average_power(), b.average_power());
+    }
+
+    #[test]
+    fn core_failure_unschedules_and_powers_off() {
+        let mut m = loaded_machine(4, 61);
+        m.install_faults(&FaultPlan::none().with_core_failure(2, 5.0))
+            .unwrap();
+        for _ in 0..10 {
+            m.step(0.001);
+        }
+        assert!(!m.core_alive(2));
+        assert_eq!(m.alive_core_count(), 19);
+        assert_eq!(m.thread_of(2), None, "dead core's thread unscheduled");
+        assert_eq!(m.sensor_core_power(2), 0.0);
+        let events = m.take_fault_events();
+        assert!(events.contains(&FaultEvent::CoreFailed { core: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead core")]
+    fn assign_to_dead_core_panics() {
+        let mut m = loaded_machine(2, 63);
+        m.install_faults(&FaultPlan::none().with_core_failure(5, 0.0))
+            .unwrap();
+        m.step(0.001);
+        let mut mapping = vec![None; 20];
+        mapping[5] = Some(0);
+        m.assign(&mapping);
+    }
+
+    #[test]
+    fn load_threads_clears_fault_state() {
+        let mut m = loaded_machine(2, 64);
+        m.install_faults(&FaultPlan::none().with_core_failure(0, 0.0))
+            .unwrap();
+        m.step(0.001);
+        assert!(!m.core_alive(0));
+        let pool = app_pool(&m.config().dynamic);
+        let mut rng = SimRng::seed_from(64);
+        let w = Workload::draw(&pool, 2, &mut rng);
+        m.load_threads(w.spawn_threads(&mut rng));
+        assert!(m.core_alive(0));
+        assert!(!m.has_active_faults());
     }
 
     #[test]

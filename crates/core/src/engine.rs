@@ -29,12 +29,12 @@
 
 use crate::experiments::Context;
 use crate::manager::{ManagerKind, PowerBudget};
-use crate::online::{run_online, OnlineConfig, OnlineOutcome};
+use crate::online::{run_online_faulted, OnlineConfig, OnlineOutcome};
 use crate::runtime::{
-    run_trial_observed, NullObserver, RuntimeConfig, TrialObserver, TrialOutcome,
+    run_trial_faulted, NullObserver, RuntimeConfig, TrialError, TrialObserver, TrialOutcome,
 };
 use crate::sched::SchedPolicy;
-use cmpsim::{Machine, Mix, StepStats, Telemetry, Workload};
+use cmpsim::{FaultPlan, Machine, Mix, StepStats, Telemetry, Workload};
 use std::time::Instant;
 use vastats::SimRng;
 
@@ -124,6 +124,7 @@ pub struct OnlineArm {
 /// process on that die. Seed derivation and parallel execution follow
 /// the batch [`TrialSpec`] exactly.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct OnlineTrialSpec<'a> {
     /// Shared floorplan/die-generator/machine-config context.
     pub ctx: &'a Context,
@@ -139,6 +140,93 @@ pub struct OnlineTrialSpec<'a> {
     pub plan: SeedPlan,
     /// The serving configurations compared within each trial.
     pub arms: Vec<OnlineArm>,
+    /// Sensor/core faults injected into every trial ([`FaultPlan::none`]
+    /// disables injection entirely). Each trial re-seeds the plan with
+    /// `plan.seed ^ trial_seed`, and all arms of one trial share it, so
+    /// arm comparisons see identical fault timelines.
+    pub fault_plan: FaultPlan,
+}
+
+impl<'a> OnlineTrialSpec<'a> {
+    /// A builder over the required context and pool; remaining fields
+    /// start from the same defaults every experiment uses (balanced
+    /// mix, 1 trial, seed 0, default seed plan, no arms, no faults).
+    pub fn builder(ctx: &'a Context, pool: &'a [cmpsim::AppSpec]) -> OnlineTrialSpecBuilder<'a> {
+        OnlineTrialSpecBuilder {
+            inner: OnlineTrialSpec {
+                ctx,
+                pool,
+                mix: Mix::Balanced,
+                trials: 1,
+                seed: 0,
+                plan: SeedPlan::default(),
+                arms: Vec::new(),
+                fault_plan: FaultPlan::none(),
+            },
+        }
+    }
+}
+
+/// Builder for [`OnlineTrialSpec`].
+#[derive(Debug, Clone)]
+pub struct OnlineTrialSpecBuilder<'a> {
+    inner: OnlineTrialSpec<'a>,
+}
+
+impl<'a> OnlineTrialSpecBuilder<'a> {
+    /// Which applications the workload draw admits.
+    pub fn mix(mut self, mix: Mix) -> Self {
+        self.inner.mix = mix;
+        self
+    }
+
+    /// Number of independent trials.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.inner.trials = trials;
+        self
+    }
+
+    /// Experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Per-trial seed derivation.
+    pub fn plan(mut self, plan: SeedPlan) -> Self {
+        self.inner.plan = plan;
+        self
+    }
+
+    /// Appends one serving arm.
+    pub fn arm(mut self, arm: OnlineArm) -> Self {
+        self.inner.arms.push(arm);
+        self
+    }
+
+    /// Replaces the arm list.
+    pub fn arms(mut self, arms: Vec<OnlineArm>) -> Self {
+        self.inner.arms = arms;
+        self
+    }
+
+    /// Fault plan injected into every trial.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.inner.fault_plan = plan;
+        self
+    }
+
+    /// Validates every arm's configuration and the fault plan against
+    /// the context's machine, and returns the spec.
+    pub fn build(self) -> Result<OnlineTrialSpec<'a>, TrialError> {
+        for arm in &self.inner.arms {
+            arm.config.validate()?;
+        }
+        self.inner
+            .fault_plan
+            .validate(self.inner.ctx.floorplan().core_count())?;
+        Ok(self.inner)
+    }
 }
 
 /// One online arm's result within one trial.
@@ -175,6 +263,7 @@ impl OnlineTrialResult {
 /// Machine state (thermal history in particular) carries over from arm
 /// to arm within a trial, as the figure experiments always ran them.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TrialSpec<'a> {
     /// Shared floorplan/die-generator/machine-config context.
     pub ctx: &'a Context,
@@ -192,6 +281,107 @@ pub struct TrialSpec<'a> {
     pub plan: SeedPlan,
     /// The configurations compared within each trial.
     pub arms: Vec<TrialArm>,
+    /// Sensor/core faults injected into every trial ([`FaultPlan::none`]
+    /// disables injection entirely). Each trial re-seeds the plan with
+    /// `plan.seed ^ trial_seed`, and all arms of one trial share it, so
+    /// arm comparisons see identical fault timelines.
+    pub fault_plan: FaultPlan,
+}
+
+impl<'a> TrialSpec<'a> {
+    /// A builder over the required context and pool; remaining fields
+    /// start from the same defaults every experiment uses (1 thread,
+    /// balanced mix, 1 trial, seed 0, default seed plan, no arms, no
+    /// faults).
+    pub fn builder(ctx: &'a Context, pool: &'a [cmpsim::AppSpec]) -> TrialSpecBuilder<'a> {
+        TrialSpecBuilder {
+            inner: TrialSpec {
+                ctx,
+                pool,
+                threads: 1,
+                mix: Mix::Balanced,
+                trials: 1,
+                seed: 0,
+                plan: SeedPlan::default(),
+                arms: Vec::new(),
+                fault_plan: FaultPlan::none(),
+            },
+        }
+    }
+}
+
+/// Builder for [`TrialSpec`].
+#[derive(Debug, Clone)]
+pub struct TrialSpecBuilder<'a> {
+    inner: TrialSpec<'a>,
+}
+
+impl<'a> TrialSpecBuilder<'a> {
+    /// Applications per workload.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.inner.threads = threads;
+        self
+    }
+
+    /// Which applications the workload draw admits.
+    pub fn mix(mut self, mix: Mix) -> Self {
+        self.inner.mix = mix;
+        self
+    }
+
+    /// Number of independent trials.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.inner.trials = trials;
+        self
+    }
+
+    /// Experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Per-trial seed derivation.
+    pub fn plan(mut self, plan: SeedPlan) -> Self {
+        self.inner.plan = plan;
+        self
+    }
+
+    /// Appends one arm.
+    pub fn arm(mut self, arm: TrialArm) -> Self {
+        self.inner.arms.push(arm);
+        self
+    }
+
+    /// Replaces the arm list.
+    pub fn arms(mut self, arms: Vec<TrialArm>) -> Self {
+        self.inner.arms = arms;
+        self
+    }
+
+    /// Fault plan injected into every trial.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.inner.fault_plan = plan;
+        self
+    }
+
+    /// Validates every arm's runtime configuration, the workload size,
+    /// and the fault plan against the context's machine, and returns
+    /// the spec.
+    pub fn build(self) -> Result<TrialSpec<'a>, TrialError> {
+        let cores = self.inner.ctx.floorplan().core_count();
+        if self.inner.threads > cores {
+            return Err(TrialError::WorkloadTooLarge {
+                threads: self.inner.threads,
+                cores,
+            });
+        }
+        for arm in &self.inner.arms {
+            arm.runtime.validate()?;
+        }
+        self.inner.fault_plan.validate(cores)?;
+        Ok(self.inner)
+    }
 }
 
 /// One arm's result within one trial.
@@ -376,34 +566,43 @@ where
     let die = spec.ctx.make_die(&mut rng);
     let mut machine = spec.ctx.make_machine(&die);
     let workload = Workload::draw_mix(spec.pool, spec.threads, spec.mix, &mut rng);
+    // Every arm of this trial shares one fault timeline, re-seeded per
+    // trial so trials see independent fault noise.
+    let fault_plan = spec
+        .fault_plan
+        .clone()
+        .with_seed(spec.fault_plan.seed ^ trial_seed);
 
     let mut arms = Vec::with_capacity(spec.arms.len());
     let mut observers = Vec::with_capacity(spec.arms.len());
     for (ai, arm) in spec.arms.iter().enumerate() {
         let mut observer = make(ai);
         let start = Instant::now();
-        let outcome = match arm.rng_salt {
-            Some(salt) => run_trial_observed(
+        let result = match arm.rng_salt {
+            Some(salt) => run_trial_faulted(
                 &mut machine,
                 &workload,
                 arm.policy,
                 arm.manager,
                 arm.budget,
                 &arm.runtime,
+                &fault_plan,
                 &mut SimRng::seed_from(trial_seed ^ salt),
                 &mut observer,
             ),
-            None => run_trial_observed(
+            None => run_trial_faulted(
                 &mut machine,
                 &workload,
                 arm.policy,
                 arm.manager,
                 arm.budget,
                 &arm.runtime,
+                &fault_plan,
                 &mut rng,
                 &mut observer,
             ),
         };
+        let outcome = result.unwrap_or_else(|e| panic!("trial failed: {e}"));
         arms.push(ArmRun {
             outcome,
             wall_s: start.elapsed().as_secs_f64(),
@@ -429,6 +628,12 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
     let mut rng = SimRng::seed_from(trial_seed);
     let die = spec.ctx.make_die(&mut rng);
     let machine = spec.ctx.make_machine(&die);
+    // Every arm of this trial shares one fault timeline, re-seeded per
+    // trial so trials see independent fault noise.
+    let fault_plan = spec
+        .fault_plan
+        .clone()
+        .with_seed(spec.fault_plan.seed ^ trial_seed);
 
     let mut arms = Vec::with_capacity(spec.arms.len());
     for arm in &spec.arms {
@@ -439,8 +644,8 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
         // N−1's thermal state would tax later arms with the leakage of
         // an already-hot chip — an ordering artifact, not policy.
         let mut arm_machine = machine.clone();
-        let outcome = match arm.rng_salt {
-            Some(salt) => run_online(
+        let result = match arm.rng_salt {
+            Some(salt) => run_online_faulted(
                 &mut arm_machine,
                 spec.pool,
                 spec.mix,
@@ -448,9 +653,10 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
                 arm.manager,
                 arm.budget,
                 &arm.config,
+                &fault_plan,
                 &mut SimRng::seed_from(trial_seed ^ salt),
             ),
-            None => run_online(
+            None => run_online_faulted(
                 &mut arm_machine,
                 spec.pool,
                 spec.mix,
@@ -458,9 +664,11 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
                 arm.manager,
                 arm.budget,
                 &arm.config,
+                &fault_plan,
                 &mut rng,
             ),
         };
+        let outcome = result.unwrap_or_else(|e| panic!("online trial failed: {e}"));
         arms.push(OnlineArmRun {
             outcome,
             wall_s: start.elapsed().as_secs_f64(),
@@ -613,37 +821,34 @@ mod tests {
             freq_mode: FreqMode::NonUniform,
             ..RuntimeConfig::paper_default()
         };
-        TrialSpec {
-            ctx,
-            pool,
-            threads: 4,
-            mix: Mix::Balanced,
-            trials: 3,
-            seed: 77,
-            plan: SeedPlan {
+        TrialSpec::builder(ctx, pool)
+            .threads(4)
+            .mix(Mix::Balanced)
+            .trials(3)
+            .seed(77)
+            .plan(SeedPlan {
                 mul: 1_000_003,
                 offset: 4_000,
                 stride: 1,
-            },
-            arms: vec![
-                TrialArm {
-                    label: "Random".into(),
-                    policy: SchedPolicy::Random,
-                    manager: ManagerKind::None,
-                    budget: PowerBudget::high_performance(4),
-                    runtime,
-                    rng_salt: Some(0xABCD),
-                },
-                TrialArm {
-                    label: "VarF&AppIPC".into(),
-                    policy: SchedPolicy::VarFAppIpc,
-                    manager: ManagerKind::None,
-                    budget: PowerBudget::high_performance(4),
-                    runtime,
-                    rng_salt: Some(0xABCD),
-                },
-            ],
-        }
+            })
+            .arm(TrialArm {
+                label: "Random".into(),
+                policy: SchedPolicy::Random,
+                manager: ManagerKind::None,
+                budget: PowerBudget::high_performance(4),
+                runtime,
+                rng_salt: Some(0xABCD),
+            })
+            .arm(TrialArm {
+                label: "VarF&AppIPC".into(),
+                policy: SchedPolicy::VarFAppIpc,
+                manager: ManagerKind::None,
+                budget: PowerBudget::high_performance(4),
+                runtime,
+                rng_salt: Some(0xABCD),
+            })
+            .build()
+            .expect("fixture spec is valid")
     }
 
     #[test]
@@ -735,36 +940,33 @@ mod tests {
             initial_jobs: 0,
             migration_penalty_ms: 0.1,
         };
-        OnlineTrialSpec {
-            ctx,
-            pool,
-            mix: Mix::Balanced,
-            trials: 3,
-            seed: 91,
-            plan: SeedPlan {
+        OnlineTrialSpec::builder(ctx, pool)
+            .mix(Mix::Balanced)
+            .trials(3)
+            .seed(91)
+            .plan(SeedPlan {
                 mul: 1_000_003,
                 offset: 7_000,
                 stride: 1,
-            },
-            arms: vec![
-                OnlineArm {
-                    label: "Foxton*".into(),
-                    policy: SchedPolicy::VarFAppIpc,
-                    manager: ManagerKind::FoxtonStar,
-                    budget: PowerBudget::cost_performance(20),
-                    config,
-                    rng_salt: Some(0x0111),
-                },
-                OnlineArm {
-                    label: "LinOpt".into(),
-                    policy: SchedPolicy::VarFAppIpc,
-                    manager: ManagerKind::LinOpt,
-                    budget: PowerBudget::cost_performance(20),
-                    config,
-                    rng_salt: Some(0x0111),
-                },
-            ],
-        }
+            })
+            .arm(OnlineArm {
+                label: "Foxton*".into(),
+                policy: SchedPolicy::VarFAppIpc,
+                manager: ManagerKind::FoxtonStar,
+                budget: PowerBudget::cost_performance(20),
+                config,
+                rng_salt: Some(0x0111),
+            })
+            .arm(OnlineArm {
+                label: "LinOpt".into(),
+                policy: SchedPolicy::VarFAppIpc,
+                manager: ManagerKind::LinOpt,
+                budget: PowerBudget::cost_performance(20),
+                config,
+                rng_salt: Some(0x0111),
+            })
+            .build()
+            .expect("fixture spec is valid")
     }
 
     #[test]

@@ -143,6 +143,7 @@ pub fn granularity(scale: &Scale, seed: u64) -> Series {
     let budget = PowerBudget::cost_performance(20);
 
     let spec = TrialSpec {
+        fault_plan: cmpsim::FaultPlan::none(),
         ctx: &ctx,
         pool: &pool,
         threads: 20,
@@ -186,6 +187,7 @@ pub fn transition_cost(scale: &Scale, seed: u64, threads: usize) -> Series {
     let budget = PowerBudget::cost_performance(threads);
 
     let spec = TrialSpec {
+        fault_plan: cmpsim::FaultPlan::none(),
         ctx: &ctx,
         pool: &pool,
         threads,
@@ -262,6 +264,7 @@ pub fn mix_sensitivity(scale: &Scale, seed: u64) -> Vec<(String, f64)> {
                 rng_salt: Some(0xA1),
             };
             let spec = TrialSpec {
+                fault_plan: cmpsim::FaultPlan::none(),
                 ctx: &ctx,
                 pool: &pool,
                 threads,
@@ -325,6 +328,7 @@ pub fn gain_vs_sigma(scale: &Scale, seed: u64, threads: usize) -> Series {
                 rng_salt: Some(0xB2),
             };
             let spec = TrialSpec {
+                fault_plan: cmpsim::FaultPlan::none(),
                 ctx: &ctx,
                 pool: &pool,
                 threads,

@@ -79,6 +79,7 @@ fn dvfs_grid(
         .map(|&threads| {
             let budget = budget_of(threads);
             let spec = TrialSpec {
+                fault_plan: cmpsim::FaultPlan::none(),
                 ctx: &ctx,
                 pool: &pool,
                 threads,

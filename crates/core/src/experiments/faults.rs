@@ -1,0 +1,381 @@
+//! Fault-injection experiments (beyond the paper): how gracefully does
+//! each power manager degrade when the sensors it steers by go bad and
+//! the cores it schedules onto die?
+//!
+//! The paper's evaluation assumes perfect telemetry and immortal
+//! silicon. These sweeps relax both assumptions under the tight 40 W
+//! serving budget, where allocation quality decides throughput:
+//!
+//! * [`noise_sweep`] — multiplicative Gaussian sensor noise
+//!   σ ∈ {0, 0.02, 0.05, 0.1} on every power/IPC reading.
+//! * [`failure_sweep`] — 0–2 permanent core failures mid-run at a
+//!   fixed σ = 0.05 noise floor.
+//! * [`tracking_scenario`] / [`fallback_scenario`] — the acceptance
+//!   scenarios: σ = 0.05 plus two core failures (LinOpt must keep
+//!   tracking the budget), and the same plus a deep transient budget
+//!   drop (LinOpt's solver goes infeasible and must fall back to
+//!   chip-wide DVFS, visibly, instead of dying).
+//!
+//! Every arm of a trial replays the identical die, workload, *and*
+//! fault timeline, so the curves differ only by manager policy.
+
+use super::online::serving_budget;
+use super::{Context, Scale, Series};
+use crate::engine::{SeedPlan, TrialArm, TrialRunner, TrialSpec};
+use crate::manager::{DegradationEvent, ManagerKind};
+use crate::runtime::{RuntimeConfig, TrialObserver};
+use crate::sched::SchedPolicy;
+use cmpsim::{app_pool, FaultPlan, Mix};
+
+/// Sensor noise levels swept (multiplicative Gaussian σ; 0 is the
+/// clean-sensor baseline and runs the historical code path bit for
+/// bit).
+pub const NOISE_SIGMAS: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+
+/// Permanent core-failure counts swept.
+pub const FAILURE_COUNTS: [usize; 3] = [0, 1, 2];
+
+/// Noise floor under which the failure sweep and scenarios run.
+pub const SCENARIO_NOISE_SIGMA: f64 = 0.05;
+
+/// Cores killed (in order) when a sweep point injects failures —
+/// spread across the floorplan so failures are not all neighbors.
+pub const FAILED_CORES: [usize; 4] = [3, 11, 17, 5];
+
+/// Threads offered: a full 20-core chip, so every core failure forces
+/// the runtime to park a thread (graceful degradation, not a crash).
+pub const THREADS: usize = 20;
+
+/// The power managers compared, all under `VarF&AppIPC` scheduling.
+pub const MANAGERS: [ManagerKind; 3] = [
+    ManagerKind::FoxtonStar,
+    ManagerKind::LinOpt,
+    ManagerKind::ChipWide,
+];
+
+/// A [`TrialObserver`] that tallies degradation events by kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegradationLog {
+    /// Solver failures that fell back to chip-wide DVFS.
+    pub solver_fallbacks: usize,
+    /// Permanent core failures observed.
+    pub core_failures: usize,
+    /// Threads parked for lack of live cores (event-weighted: each
+    /// reschedule reports the parked count once).
+    pub threads_parked: usize,
+    /// Budget-drop windows that opened.
+    pub budget_drops: usize,
+    /// Sensors that froze.
+    pub sensors_stuck: usize,
+}
+
+impl DegradationLog {
+    /// Total events of any kind.
+    pub fn total(&self) -> usize {
+        self.solver_fallbacks
+            + self.core_failures
+            + self.threads_parked
+            + self.budget_drops
+            + self.sensors_stuck
+    }
+}
+
+impl TrialObserver for DegradationLog {
+    fn on_degradation(&mut self, _tick: usize, event: DegradationEvent) {
+        match event {
+            DegradationEvent::SolverFallback { .. } => self.solver_fallbacks += 1,
+            DegradationEvent::CoreFailed { .. } => self.core_failures += 1,
+            DegradationEvent::ThreadsParked { .. } => self.threads_parked += 1,
+            DegradationEvent::BudgetDropBegan { .. } => self.budget_drops += 1,
+            DegradationEvent::BudgetRestored => {}
+            DegradationEvent::SensorStuck { .. } => self.sensors_stuck += 1,
+        }
+    }
+}
+
+/// One manager's aggregate behaviour under a fault scenario, averaged
+/// over trials.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// Manager label.
+    pub label: String,
+    /// Mean chip throughput (MIPS).
+    pub mips: f64,
+    /// Mean absolute deviation of 1 ms chip power from the *nominal*
+    /// budget, in watts — the budget-tracking acceptance metric.
+    pub deviation_w: f64,
+    /// Mean solver-fallback events per trial.
+    pub solver_fallbacks: f64,
+    /// Mean core-failure events per trial.
+    pub core_failures: f64,
+    /// Mean thread-parked events per trial.
+    pub threads_parked: f64,
+}
+
+/// Results of a fault sweep: one series per manager, indexed by the
+/// swept fault intensity (noise σ or failure count).
+#[derive(Debug, Clone)]
+pub struct FaultSweep {
+    /// Mean chip throughput (MIPS).
+    pub mips: Vec<Series>,
+    /// Mean |1 ms power − nominal budget| in watts.
+    pub budget_deviation_w: Vec<Series>,
+    /// Mean solver-fallback events per trial.
+    pub solver_fallbacks: Vec<Series>,
+}
+
+/// The runtime every fault experiment uses: the paper's 10 ms DVFS /
+/// 100 ms OS cadence over the scale's horizon.
+fn fault_runtime(scale: &Scale) -> RuntimeConfig {
+    RuntimeConfig::builder()
+        .duration_ms(scale.duration_ms)
+        .os_interval_ms(scale.duration_ms.min(100.0))
+        .build()
+        .expect("fault-sweep timeline is valid")
+}
+
+/// Runs one fault plan across all managers and reports per-manager
+/// means. `offset` decorrelates the seed plan between sweep points.
+fn run_plan(scale: &Scale, seed: u64, offset: u64, plan: FaultPlan) -> Vec<DegradationReport> {
+    let ctx = Context::new(scale.grid);
+    let pool = app_pool(&ctx.machine_config().dynamic);
+    let budget = serving_budget();
+    let runtime = fault_runtime(scale);
+    let spec = MANAGERS
+        .iter()
+        .fold(
+            TrialSpec::builder(&ctx, &pool)
+                .threads(THREADS)
+                .mix(Mix::Balanced)
+                .trials(scale.trials)
+                .seed(seed)
+                .plan(SeedPlan {
+                    mul: 1_000_003,
+                    offset: 70_000 + offset,
+                    stride: 1,
+                })
+                .fault_plan(plan),
+            |b, &manager| {
+                b.arm(TrialArm {
+                    label: manager.name().to_string(),
+                    policy: SchedPolicy::VarFAppIpc,
+                    manager,
+                    budget,
+                    runtime,
+                    rng_salt: Some(0xFA17),
+                })
+            },
+        )
+        .build()
+        .expect("fault sweep spec is valid");
+
+    let results = TrialRunner::new().run_observed(&spec, |_| DegradationLog::default());
+    let n = results.len() as f64;
+    MANAGERS
+        .iter()
+        .enumerate()
+        .map(|(mi, manager)| {
+            let mut report = DegradationReport {
+                label: manager.name().to_string(),
+                mips: 0.0,
+                deviation_w: 0.0,
+                solver_fallbacks: 0.0,
+                core_failures: 0.0,
+                threads_parked: 0.0,
+            };
+            for (result, logs) in &results {
+                let outcome = &result.arms[mi].outcome;
+                report.mips += outcome.mips / n;
+                report.deviation_w += outcome.power_deviation_frac * budget.chip_w / n;
+                report.solver_fallbacks += logs[mi].solver_fallbacks as f64 / n;
+                report.core_failures += logs[mi].core_failures as f64 / n;
+                report.threads_parked += logs[mi].threads_parked as f64 / n;
+            }
+            report
+        })
+        .collect()
+}
+
+/// Folds per-point reports into per-manager series over `xs`.
+fn sweep_series(xs: &[f64], points: &[Vec<DegradationReport>]) -> FaultSweep {
+    let series_for = |metric: fn(&DegradationReport) -> f64| -> Vec<Series> {
+        MANAGERS
+            .iter()
+            .enumerate()
+            .map(|(mi, manager)| {
+                Series::new(
+                    manager.name(),
+                    xs.to_vec(),
+                    points.iter().map(|p| metric(&p[mi])).collect(),
+                )
+            })
+            .collect()
+    };
+    FaultSweep {
+        mips: series_for(|r| r.mips),
+        budget_deviation_w: series_for(|r| r.deviation_w),
+        solver_fallbacks: series_for(|r| r.solver_fallbacks),
+    }
+}
+
+/// A plan that kills the first `count` of [`FAILED_CORES`], evenly
+/// spaced across the run so the control plane replans after each death.
+fn failure_plan(base: FaultPlan, count: usize, duration_ms: f64) -> FaultPlan {
+    FAILED_CORES
+        .iter()
+        .take(count)
+        .enumerate()
+        .fold(base, |plan, (k, &core)| {
+            let at_ms = duration_ms * (k + 1) as f64 / (count + 1) as f64;
+            plan.with_core_failure(core, at_ms)
+        })
+}
+
+/// Sweeps sensor-noise σ at full load under the 40 W serving budget.
+pub fn noise_sweep(scale: &Scale, seed: u64) -> FaultSweep {
+    let points: Vec<Vec<DegradationReport>> = NOISE_SIGMAS
+        .iter()
+        .enumerate()
+        .map(|(i, &sigma)| {
+            let plan = FaultPlan::none().with_sensor_noise(sigma);
+            run_plan(scale, seed, (i * 1000) as u64, plan)
+        })
+        .collect();
+    sweep_series(&NOISE_SIGMAS, &points)
+}
+
+/// Sweeps permanent core-failure counts at a σ = 0.05 noise floor.
+pub fn failure_sweep(scale: &Scale, seed: u64) -> FaultSweep {
+    let xs: Vec<f64> = FAILURE_COUNTS.iter().map(|&c| c as f64).collect();
+    let points: Vec<Vec<DegradationReport>> = FAILURE_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(i, &count)| {
+            let base = FaultPlan::none().with_sensor_noise(SCENARIO_NOISE_SIGMA);
+            let plan = failure_plan(base, count, scale.duration_ms);
+            run_plan(scale, seed, (10_000 + i * 1000) as u64, plan)
+        })
+        .collect();
+    sweep_series(&xs, &points)
+}
+
+/// The budget-tracking acceptance scenario: σ = 0.05 sensor noise plus
+/// two permanent core failures mid-run. LinOpt must keep mean
+/// |power − 40 W| within 1 W — noisy sensors and dead cores degrade
+/// throughput, not budget compliance.
+pub fn tracking_scenario(scale: &Scale, seed: u64) -> Vec<DegradationReport> {
+    let base = FaultPlan::none().with_sensor_noise(SCENARIO_NOISE_SIGMA);
+    let plan = failure_plan(base, 2, scale.duration_ms);
+    run_plan(scale, seed, 20_000, plan)
+}
+
+/// The solver-fallback acceptance scenario: [`tracking_scenario`]'s
+/// faults plus a transient budget drop to 25% over the middle of the
+/// run. 20 threads cannot run under 10 W even at minimum voltage, so
+/// LinOpt's solve goes infeasible and the hardened manager falls back
+/// to chip-wide DVFS — emitting visible
+/// [`DegradationEvent::SolverFallback`] events instead of panicking.
+pub fn fallback_scenario(scale: &Scale, seed: u64) -> Vec<DegradationReport> {
+    let base = FaultPlan::none().with_sensor_noise(SCENARIO_NOISE_SIGMA);
+    let plan = failure_plan(base, 2, scale.duration_ms).with_budget_drop(
+        scale.duration_ms * 0.4,
+        scale.duration_ms * 0.7,
+        0.25,
+    );
+    run_plan(scale, seed, 30_000, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_label<'a>(reports: &'a [DegradationReport], label: &str) -> &'a DegradationReport {
+        reports
+            .iter()
+            .find(|r| r.label == label)
+            .expect("manager report present")
+    }
+
+    #[test]
+    fn noise_sweep_has_the_right_shape_and_noise_costs_throughput() {
+        let sweep = noise_sweep(&Scale::smoke(), 21);
+        assert_eq!(sweep.mips.len(), MANAGERS.len());
+        for s in &sweep.mips {
+            assert_eq!(s.x.len(), NOISE_SIGMAS.len());
+            assert!(
+                s.y.iter().all(|&y| y > 0.0),
+                "{}: throughput flows",
+                s.label
+            );
+        }
+        // Clean sensors are never worse than the noisiest point for
+        // the sensor-driven managers (chip-wide barely reads sensors).
+        for s in &sweep.mips {
+            if s.label != ManagerKind::ChipWide.name() {
+                assert!(
+                    s.y[0] >= s.y[NOISE_SIGMAS.len() - 1] * 0.98,
+                    "{}: clean {} vs noisy {}",
+                    s.label,
+                    s.y[0],
+                    s.y[NOISE_SIGMAS.len() - 1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn core_failures_degrade_gracefully() {
+        let sweep = failure_sweep(&Scale::smoke(), 22);
+        for s in &sweep.mips {
+            // Losing 2 of 20 cores costs throughput, but far less than
+            // proportionally more than the 10% of capacity lost — and
+            // the run completes rather than panicking.
+            let last = FAILURE_COUNTS.len() - 1;
+            assert!(s.y[last] > 0.0);
+            assert!(
+                s.y[last] > s.y[0] * 0.5,
+                "{}: {} -> {} collapsed",
+                s.label,
+                s.y[0],
+                s.y[last]
+            );
+        }
+    }
+
+    #[test]
+    fn linopt_tracks_the_budget_through_noise_and_failures() {
+        // The acceptance criterion: mean |P - 40 W| within 1 W for
+        // LinOpt despite σ=0.05 noise + 2 dead cores. Two smoke trials
+        // leave the mean at the mercy of one bad die; six trials over
+        // the paper's 300 ms horizon resolve it (same treatment as the
+        // online sweep's acceptance test).
+        let scale = Scale {
+            trials: 6,
+            duration_ms: 300.0,
+            ..Scale::smoke()
+        };
+        let reports = tracking_scenario(&scale, 23);
+        let lin = by_label(&reports, ManagerKind::LinOpt.name());
+        assert!(
+            lin.deviation_w <= 1.0,
+            "LinOpt deviates {} W from the 40 W budget",
+            lin.deviation_w
+        );
+        assert!(
+            (lin.core_failures - 2.0).abs() < 1e-9,
+            "both deaths observed"
+        );
+    }
+
+    #[test]
+    fn deep_budget_drop_forces_visible_solver_fallback() {
+        let reports = fallback_scenario(&Scale::smoke(), 24);
+        let lin = by_label(&reports, ManagerKind::LinOpt.name());
+        assert!(
+            lin.solver_fallbacks > 0.0,
+            "LinOpt must fall back to chip-wide during the 10 W window"
+        );
+        // And the run still finishes with useful throughput.
+        assert!(lin.mips > 0.0);
+    }
+}

@@ -48,6 +48,7 @@ pub fn fig14(scale: &Scale, seed: u64, thread_counts: &[usize]) -> Vec<Series> {
                     // trial on one unbroken random stream, as this
                     // experiment has always run.
                     let spec = TrialSpec {
+                        fault_plan: cmpsim::FaultPlan::none(),
                         ctx: &ctx,
                         pool: &pool,
                         threads,

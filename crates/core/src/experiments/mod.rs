@@ -27,6 +27,7 @@
 //! | §6.5 / §7.5 validation | [`validation::sann_vs_exhaustive`] |
 //! | Ablations (DESIGN.md §5) | [`ablation`] |
 //! | Online serving sweep (beyond the paper) | [`online::arrival_sweep`] |
+//! | Fault injection / graceful degradation (beyond the paper) | [`faults`] |
 //!
 //! The [`ablation`] module also hosts the beyond-the-paper sensitivity
 //! studies: LinOpt fit/rounding variants ([`ablation::linopt_variants`]),
@@ -39,6 +40,7 @@
 
 pub mod ablation;
 pub mod dvfs;
+pub mod faults;
 pub mod granularity;
 pub mod online;
 pub mod scheduling;

@@ -100,6 +100,7 @@ pub fn arrival_sweep(scale: &Scale, seed: u64) -> ArrivalSweep {
         .enumerate()
         .map(|(ri, &rate)| {
             let spec = OnlineTrialSpec {
+                fault_plan: cmpsim::FaultPlan::none(),
                 ctx: &ctx,
                 pool: &pool,
                 mix: Mix::Balanced,

@@ -44,6 +44,7 @@ fn policy_grid(
         .iter()
         .map(|&threads| {
             let spec = TrialSpec {
+                fault_plan: cmpsim::FaultPlan::none(),
                 ctx: &ctx,
                 pool: &pool,
                 threads,

@@ -49,13 +49,18 @@
 //! let mut rng = SimRng::seed_from(1);
 //! let workload = Workload::draw(&pool, 8, &mut rng);
 //! let budget = PowerBudget::cost_performance(8);
+//! let config = RuntimeConfig::builder()
+//!     .os_interval_ms(50.0)
+//!     .duration_ms(100.0)
+//!     .build()
+//!     .unwrap();
 //! let outcome = run_trial(
 //!     &mut machine,
 //!     &workload,
 //!     SchedPolicy::VarFAppIpc,
 //!     ManagerKind::LinOpt,
 //!     budget,
-//!     &RuntimeConfig { os_interval_ms: 50.0, duration_ms: 100.0, ..RuntimeConfig::paper_default() },
+//!     &config,
 //!     &mut rng,
 //! );
 //! assert!(outcome.mips > 0.0);
@@ -84,14 +89,24 @@ pub mod prelude {
         OnlineArm, OnlineTrialResult, OnlineTrialSpec, SeedPlan, TrialArm, TrialResult,
         TrialRunner, TrialSpec,
     };
-    pub use crate::manager::{ManagerKind, PowerBudget, PowerManager};
+    pub use crate::manager::{
+        DegradationEvent, HardenedManager, ManagerKind, PowerBudget, PowerManager, SolverError,
+    };
     pub use crate::metrics::{ed2_index, weighted_mips};
-    pub use crate::online::{run_online, ArrivalConfig, LatencyStats, OnlineConfig, OnlineOutcome};
+    pub use crate::online::{
+        run_online, run_online_faulted, ArrivalConfig, LatencyStats, OnlineConfig, OnlineOutcome,
+    };
     pub use crate::profile::{CoreProfile, ThreadProfile};
-    pub use crate::runtime::{run_trial, RuntimeConfig, TrialObserver, TrialOutcome};
+    pub use crate::runtime::{
+        run_trial, run_trial_faulted, ConfigError, RuntimeConfig, TrialError, TrialObserver,
+        TrialOutcome,
+    };
     pub use crate::sched::{SchedPolicy, Scheduler};
-    pub use cmpsim::{app_pool, Machine, MachineConfig, Mix, Thread, Workload};
+    pub use cmpsim::{
+        app_pool, FaultConfigError, FaultEvent, FaultPlan, Machine, MachineConfig, Mix, Thread,
+        Workload,
+    };
     pub use floorplan::paper_20_core;
-    pub use varius::{DieGenerator, VariationConfig};
+    pub use varius::{DieGenerator, VariationConfig, VariationConfigError, VariusError};
     pub use vastats::SimRng;
 }

@@ -1,0 +1,408 @@
+//! Manager-side hardening against degraded telemetry.
+//!
+//! The paper assumes perfect sensors and a fixed core set; production
+//! silicon offers neither. This module is the control plane's
+//! degradation ladder, climbed one rung at a time as inputs get worse:
+//!
+//! 1. **Sanitize** — [`SensorConditioner`] clamps non-finite/negative
+//!    readings, restores per-level power monotonicity, and EWMA-smooths
+//!    consecutive snapshots so Gaussian sensor noise cannot whipsaw the
+//!    optimizer.
+//! 2. **Fall back** — when the primary manager's solver still fails
+//!    ([`SolverError`], e.g. LinOpt's LP turns infeasible during an
+//!    injected budget drop), [`HardenedManager`] swaps in the chip-wide
+//!    manager for that interval and logs a
+//!    [`DegradationEvent::SolverFallback`].
+//! 3. **Reschedule** — core failures are handled above this layer: the
+//!    trial runtime observes [`cmpsim::FaultEvent::CoreFailed`] and
+//!    immediately re-plans the assignment over the surviving cores (see
+//!    `crate::runtime`).
+//!
+//! The wrapper is a strict superset of the plain path: built with
+//! hardening disabled it reproduces [`PowerManager::invoke`] exactly,
+//! which is what keeps zero-fault runs bit-identical to the historical
+//! traces.
+
+use crate::manager::{
+    chipwide::ChipWide, CoreView, ManagerKind, PmView, PowerBudget, PowerManager, SolverError,
+};
+use cmpsim::{FaultEvent, Machine};
+use std::fmt;
+use vastats::SimRng;
+
+/// Ceiling for a sanitized IPC reading (well above any calibrated app).
+const MAX_IPC: f64 = 16.0;
+
+/// Ceiling for a sanitized per-core power reading (watts); an order of
+/// magnitude above the hottest core at maximum voltage.
+const MAX_CORE_POWER_W: f64 = 100.0;
+
+/// A logged step down the degradation ladder. The trial runtime feeds
+/// these to [`crate::runtime::TrialObserver::on_degradation`] and the
+/// online loop records them in its event trace, so experiments can
+/// count how often — and why — the control plane degraded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradationEvent {
+    /// The primary manager's solver failed; the chip-wide fallback
+    /// manager handled this DVFS interval.
+    SolverFallback {
+        /// Why the solver failed.
+        error: SolverError,
+    },
+    /// A core failed permanently; the runtime rescheduled off it.
+    CoreFailed {
+        /// The dead core.
+        core: usize,
+    },
+    /// A core's sensors froze at their last reading.
+    SensorStuck {
+        /// The affected core.
+        core: usize,
+    },
+    /// An injected budget drop opened: the manager now steers toward
+    /// the scaled budget.
+    BudgetDropBegan {
+        /// Budget multiplier now in force.
+        factor: f64,
+    },
+    /// The nominal budget is back.
+    BudgetRestored,
+    /// More live threads than live cores: the lowest-IPC threads were
+    /// parked (left unscheduled) this epoch.
+    ThreadsParked {
+        /// Number of parked threads.
+        parked: usize,
+    },
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SolverFallback { error } => write!(f, "solver fallback to chip-wide: {error}"),
+            Self::CoreFailed { core } => write!(f, "core {core} failed"),
+            Self::SensorStuck { core } => write!(f, "core {core} sensors stuck"),
+            Self::BudgetDropBegan { factor } => write!(f, "budget dropped to x{factor}"),
+            Self::BudgetRestored => f.write_str("budget restored"),
+            Self::ThreadsParked { parked } => write!(f, "{parked} threads parked"),
+        }
+    }
+}
+
+impl From<FaultEvent> for DegradationEvent {
+    fn from(ev: FaultEvent) -> Self {
+        match ev {
+            FaultEvent::CoreFailed { core } => Self::CoreFailed { core },
+            FaultEvent::SensorStuck { core } => Self::SensorStuck { core },
+            FaultEvent::BudgetDropBegan { factor } => Self::BudgetDropBegan { factor },
+            FaultEvent::BudgetRestored => Self::BudgetRestored,
+        }
+    }
+}
+
+/// Per-core smoothing state.
+#[derive(Debug, Clone)]
+struct CoreState {
+    ipc: f64,
+    power_w: Vec<f64>,
+}
+
+/// Sanitizes and smooths manager input views.
+///
+/// Clamping handles the catastrophic lies (NaN, negative watts,
+/// power curves bent non-monotone by noise); the EWMA handles the
+/// persistent ones, trading a little reaction latency for a lot of
+/// noise rejection. State is keyed by core and cleared on every
+/// reschedule (the runtime calls [`SensorConditioner::clear`]), so the
+/// filter never blends readings of two different threads.
+#[derive(Debug, Clone)]
+pub struct SensorConditioner {
+    alpha: f64,
+    state: Vec<Option<CoreState>>,
+    uncore_w: Option<f64>,
+}
+
+impl SensorConditioner {
+    /// Default smoothing weight on the *new* reading — a bias/variance
+    /// compromise: an EWMA of iid multiplicative noise has
+    /// σ_eff ≈ σ·√(α/(2−α)), so lower α rejects more sensor noise, but
+    /// the true power curve drifts with thread phases and temperature,
+    /// and too much smoothing lags it by more than the noise it
+    /// removes.
+    pub const DEFAULT_ALPHA: f64 = 0.4;
+
+    /// EWMA weight for the uncore (chip-meter minus core-sum) reading.
+    /// The chip meter's multiplicative noise scales with *total* chip
+    /// power — at a 40 W budget a 5% σ is ±2 W per invocation fed
+    /// straight into the manager's budget equation, the single largest
+    /// noise term in the control loop. Unlike the per-core curves, the
+    /// uncore truth drifts slowly (L2 activity, not thread phase), so
+    /// it tolerates a much heavier filter.
+    pub const UNCORE_ALPHA: f64 = 0.1;
+
+    /// A conditioner for a machine with `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            alpha: Self::DEFAULT_ALPHA,
+            state: vec![None; cores],
+            uncore_w: None,
+        }
+    }
+
+    /// Overrides the EWMA weight on the newest reading (`1.0` disables
+    /// smoothing, leaving only the clamps).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Drops the per-core smoothing state (call when the
+    /// thread-to-core mapping changes, so old threads' readings never
+    /// bleed into new ones). The chip-level uncore filter survives:
+    /// no reschedule invalidates what the L2 draws.
+    pub fn clear(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = None);
+    }
+
+    /// Returns the sanitized, smoothed copy of `view`.
+    pub fn condition(&mut self, view: &PmView) -> PmView {
+        let mut present = vec![false; self.state.len()];
+        let cores: Vec<CoreView> = view
+            .cores()
+            .iter()
+            .map(|c| {
+                present[c.core] = true;
+                let prev = self.state[c.core].take();
+
+                // Clamp, falling back to the previous accepted reading
+                // (or zero) when a sample is unusable.
+                let prev_ipc = prev.as_ref().map(|p| p.ipc);
+                let mut ipc = if c.ipc.is_finite() && c.ipc >= 0.0 {
+                    c.ipc.min(MAX_IPC)
+                } else {
+                    prev_ipc.unwrap_or(0.0)
+                };
+                let mut power_w: Vec<f64> = c
+                    .power_w
+                    .iter()
+                    .enumerate()
+                    .map(|(l, &p)| {
+                        if p.is_finite() && p >= 0.0 {
+                            p.min(MAX_CORE_POWER_W)
+                        } else {
+                            prev.as_ref()
+                                .and_then(|s| s.power_w.get(l).copied())
+                                .unwrap_or(0.0)
+                        }
+                    })
+                    .collect();
+                // EWMA against the previous conditioned reading.
+                if let Some(p) = prev.filter(|p| p.power_w.len() == power_w.len()) {
+                    ipc = self.alpha * ipc + (1.0 - self.alpha) * p.ipc;
+                    for (l, w) in power_w.iter_mut().enumerate() {
+                        *w = self.alpha * *w + (1.0 - self.alpha) * p.power_w[l];
+                    }
+                }
+                // The smoothing state keeps the un-repaired curve:
+                // feeding the cummax output back into the EWMA would
+                // ratchet the bias of each repair into the state, where
+                // it accumulates instead of averaging out.
+                self.state[c.core] = Some(CoreState {
+                    ipc,
+                    power_w: power_w.clone(),
+                });
+                // Power is physically non-decreasing in voltage; noise
+                // can bend the curve backwards and break the fit. The
+                // repair runs *after* the EWMA, on the emitted copy
+                // only: a running max of raw noisy samples is biased
+                // upward by the full sensor σ every invocation, and
+                // that bias — unlike variance — survives averaging.
+                // On the smoothed curve it shrinks with the residual
+                // noise instead.
+                for l in 1..power_w.len() {
+                    power_w[l] = power_w[l].max(power_w[l - 1]);
+                }
+                CoreView {
+                    core: c.core,
+                    ipc,
+                    voltages: c.voltages.clone(),
+                    freqs: c.freqs.clone(),
+                    power_w,
+                }
+            })
+            .collect();
+        // Cores that left the view (idle or dead) lose their state.
+        for (core, seen) in present.iter().enumerate() {
+            if !seen {
+                self.state[core] = None;
+            }
+        }
+        let raw_uncore = view.uncore_power();
+        let mut uncore = if raw_uncore.is_finite() && raw_uncore >= 0.0 {
+            raw_uncore
+        } else {
+            self.uncore_w.unwrap_or(0.0)
+        };
+        if let Some(prev) = self.uncore_w {
+            uncore = Self::UNCORE_ALPHA * uncore + (1.0 - Self::UNCORE_ALPHA) * prev;
+        }
+        self.uncore_w = Some(uncore);
+        PmView::from_cores(cores).with_uncore_power(uncore)
+    }
+}
+
+/// The hardened power-management front end the trial runtimes drive.
+///
+/// Wraps the primary manager (built from a [`ManagerKind`]) together
+/// with a [`SensorConditioner`] and a chip-wide fallback. With
+/// hardening *disabled* it reproduces the plain
+/// [`PowerManager::invoke`] path exactly — no conditioning, no
+/// fallback, no events — which is what keeps zero-fault runs
+/// bit-identical to historical traces.
+pub struct HardenedManager {
+    primary: Option<Box<dyn PowerManager>>,
+    fallback: ChipWide,
+    conditioner: SensorConditioner,
+    hardened: bool,
+}
+
+impl HardenedManager {
+    /// Builds the front end for `kind` on a machine with `cores` cores.
+    /// `hardened` enables conditioning and solver fallback (the trial
+    /// runtimes pass `fault_plan.is_active()`).
+    pub fn new(kind: ManagerKind, cores: usize, hardened: bool) -> Self {
+        Self {
+            primary: kind.build(),
+            fallback: ChipWide,
+            conditioner: SensorConditioner::new(cores),
+            hardened,
+        }
+    }
+
+    /// Overrides the conditioner's EWMA weight.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.conditioner = self.conditioner.with_alpha(alpha);
+        self
+    }
+
+    /// Whether a manager runs at all (`false` for [`ManagerKind::None`],
+    /// where the runtime pins levels by frequency mode instead).
+    pub fn is_managed(&self) -> bool {
+        self.primary.is_some()
+    }
+
+    /// Tells the conditioner the thread-to-core mapping changed, so
+    /// smoothing never blends readings across different threads.
+    pub fn note_reschedule(&mut self) {
+        if self.hardened {
+            self.conditioner.clear();
+        }
+    }
+
+    /// One DVFS-interval invocation. Returns the applied levels (in
+    /// [`PmView`] core order), or `None` when no manager runs or no
+    /// cores are active. Degradations (solver fallbacks) are appended
+    /// to `events`.
+    pub fn invoke(
+        &mut self,
+        machine: &mut Machine,
+        budget: &PowerBudget,
+        rng: &mut SimRng,
+        events: &mut Vec<DegradationEvent>,
+    ) -> Option<Vec<usize>> {
+        let pm = self.primary.as_deref_mut()?;
+        if !self.hardened {
+            // The historical code path, bit for bit.
+            return pm.invoke(machine, budget, rng);
+        }
+        let raw = PmView::from_machine(machine);
+        if raw.is_empty() {
+            return None;
+        }
+        let view = self.conditioner.condition(&raw);
+        let levels = match pm.try_levels(&view, budget, rng) {
+            Ok(levels) => levels,
+            Err(error) => {
+                events.push(DegradationEvent::SolverFallback { error });
+                self.fallback.levels(&view, budget, rng)
+            }
+        };
+        view.apply(machine, &levels);
+        Some(levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::synthetic_core;
+
+    fn noisy_view() -> PmView {
+        let mut a = synthetic_core(0, 1.0, 9, 1.0);
+        a.power_w[4] = f64::NAN;
+        a.power_w[5] = -3.0;
+        let mut b = synthetic_core(1, 0.5, 9, 1.0);
+        b.ipc = f64::INFINITY;
+        PmView::from_cores(vec![a, b]).with_uncore_power(5.0)
+    }
+
+    #[test]
+    fn conditioner_clamps_garbage() {
+        let mut cond = SensorConditioner::new(4).with_alpha(1.0);
+        let out = cond.condition(&noisy_view());
+        for c in out.cores() {
+            assert!(c.ipc.is_finite() && c.ipc >= 0.0);
+            for w in c.power_w.windows(2) {
+                assert!(w[0].is_finite() && w[0] >= 0.0);
+                assert!(w[1] >= w[0], "power must stay monotone");
+            }
+        }
+        assert_eq!(out.uncore_power(), 5.0);
+    }
+
+    #[test]
+    fn conditioner_smooths_noise() {
+        let mut cond = SensorConditioner::new(2).with_alpha(0.5);
+        let clean = PmView::from_cores(vec![synthetic_core(0, 1.0, 9, 1.0)]);
+        let mut spiky = clean.clone();
+        cond.condition(&clean);
+        // A 2x power spike should be halved by the EWMA.
+        let spiked: Vec<f64> = clean.cores()[0].power_w.iter().map(|p| p * 2.0).collect();
+        spiky = PmView::from_cores(vec![CoreView {
+            power_w: spiked,
+            ..spiky.cores()[0].clone()
+        }]);
+        let out = cond.condition(&spiky);
+        let raw = spiky.cores()[0].power_w[8];
+        let base = clean.cores()[0].power_w[8];
+        let expect = 0.5 * raw + 0.5 * base;
+        assert!((out.cores()[0].power_w[8] - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_forgets_history() {
+        let mut cond = SensorConditioner::new(2).with_alpha(0.5);
+        let clean = PmView::from_cores(vec![synthetic_core(0, 1.0, 9, 1.0)]);
+        cond.condition(&clean);
+        cond.clear();
+        // After clear, the next reading passes through unsmoothed.
+        let out = cond.condition(&clean);
+        assert_eq!(out.cores()[0].power_w, clean.cores()[0].power_w);
+    }
+
+    #[test]
+    fn degradation_events_display() {
+        let e = DegradationEvent::SolverFallback {
+            error: SolverError::Infeasible,
+        };
+        assert!(e.to_string().contains("chip-wide"));
+        assert_eq!(
+            DegradationEvent::from(FaultEvent::CoreFailed { core: 3 }),
+            DegradationEvent::CoreFailed { core: 3 }
+        );
+    }
+}

@@ -17,7 +17,7 @@
 //! table levels so the measured power cannot exceed the linear
 //! estimate's intent.
 
-use crate::manager::{PmView, PowerBudget, PowerManager};
+use crate::manager::{PmView, PowerBudget, PowerManager, SolverError};
 use linprog::Problem;
 use vastats::{LineFit, SimRng};
 
@@ -216,17 +216,40 @@ pub fn linopt_levels_warm(
     rounding: RoundingPolicy,
     warm: &mut Option<Vec<usize>>,
 ) -> Vec<usize> {
+    // Legacy behavior: solver failure silently pins minimum levels
+    // (the closest the machine can get to an unreachable budget).
+    try_linopt_levels_warm(view, budget, fit_points, rounding, warm)
+        .unwrap_or_else(|_| view.min_levels())
+}
+
+/// [`linopt_levels_warm`] that surfaces solver failure instead of
+/// pinning minimum levels: `Err(SolverError::Infeasible)` when even the
+/// all-minimum floor exceeds the chip budget, and
+/// `Err(SolverError::NumericalFailure)` when the Simplex solve breaks
+/// down. The hardened control path uses this to fall back to the
+/// chip-wide manager with a logged degradation event.
+///
+/// # Panics
+///
+/// Panics if the view is empty or `fit_points < 2`.
+pub fn try_linopt_levels_warm(
+    view: &PmView,
+    budget: &PowerBudget,
+    fit_points: usize,
+    rounding: RoundingPolicy,
+    warm: &mut Option<Vec<usize>>,
+) -> Result<Vec<usize>, SolverError> {
     assert!(!view.is_empty(), "no active cores to manage");
     let n = view.len();
     let Some((lp, v_low)) = assemble_lp(view, budget, fit_points) else {
-        // Even the floor violates the target: pin everything to minimum.
+        // Even the floor violates the target.
         *warm = None;
-        return view.min_levels();
+        return Err(SolverError::Infeasible);
     };
 
     let Ok(solution) = lp.solve_warm(warm.as_deref()) else {
         *warm = None;
-        return view.min_levels();
+        return Err(SolverError::NumericalFailure);
     };
     *warm = Some(solution.basis.clone());
 
@@ -261,7 +284,7 @@ pub fn linopt_levels_warm(
     // Ptarget, which the fill pass converts back into throughput.
     crate::manager::view::repair_to_budget(view, budget, &mut levels);
     crate::manager::view::greedy_fill(view, budget, &mut levels);
-    levels
+    Ok(levels)
 }
 
 /// The stateful LinOpt controller: a [`PowerManager`] that warm-starts
@@ -318,6 +341,21 @@ impl PowerManager for LinOpt {
 
     fn levels(&mut self, view: &PmView, budget: &PowerBudget, _rng: &mut SimRng) -> Vec<usize> {
         linopt_levels_warm(
+            view,
+            budget,
+            self.fit_points,
+            self.rounding,
+            &mut self.basis,
+        )
+    }
+
+    fn try_levels(
+        &mut self,
+        view: &PmView,
+        budget: &PowerBudget,
+        _rng: &mut SimRng,
+    ) -> Result<Vec<usize>, SolverError> {
+        try_linopt_levels_warm(
             view,
             budget,
             self.fit_points,

@@ -22,14 +22,48 @@
 pub mod chipwide;
 pub mod exhaustive;
 pub mod foxton;
+pub mod harden;
 pub mod linopt;
 pub mod sann;
 mod view;
 
+pub use harden::{DegradationEvent, HardenedManager, SensorConditioner};
 pub use view::{greedy_fill, repair_to_budget, synthetic_core, CoreView, PmView};
 
 use cmpsim::Machine;
+use std::fmt;
 use vastats::SimRng;
+
+/// Why a manager's solver could not produce a level assignment.
+///
+/// Only managers with a real failure mode report these — LinOpt's
+/// linear program can be infeasible (the all-minimum floor already
+/// exceeds the budget, e.g. during an injected budget drop) or its
+/// Simplex solve can break down on degenerate fitted coefficients
+/// (e.g. a stuck power sensor flattens a core's power curve). The
+/// legacy [`PowerManager::levels`] path hides these by pinning minimum
+/// levels; the hardened control path surfaces them and falls back to
+/// the chip-wide manager instead (see [`harden`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverError {
+    /// Even the all-minimum operating point exceeds the chip budget.
+    Infeasible,
+    /// The underlying numerical solve failed (degenerate or cycling
+    /// Simplex, non-finite coefficients).
+    NumericalFailure,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            SolverError::Infeasible => "budget infeasible even at minimum levels",
+            SolverError::NumericalFailure => "numerical solve failed",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for SolverError {}
 
 /// A DVFS power-management policy, invoked once per DVFS interval.
 ///
@@ -50,6 +84,21 @@ pub trait PowerManager: Send {
 
     /// Picks a level for every active core in `view`.
     fn levels(&mut self, view: &PmView, budget: &PowerBudget, rng: &mut SimRng) -> Vec<usize>;
+
+    /// Like [`PowerManager::levels`], but surfaces solver failure
+    /// instead of silently degrading. The default wraps `levels` (the
+    /// search heuristics always produce *some* assignment); managers
+    /// with a real failure mode — LinOpt's LP can be infeasible —
+    /// override this so the hardened control path can fall back and
+    /// log the degradation.
+    fn try_levels(
+        &mut self,
+        view: &PmView,
+        budget: &PowerBudget,
+        rng: &mut SimRng,
+    ) -> Result<Vec<usize>, SolverError> {
+        Ok(self.levels(view, budget, rng))
+    }
 
     /// Clears any cross-interval state (start of a new trial). The
     /// default is a no-op for stateless managers.

@@ -57,9 +57,9 @@ mod sim;
 pub use arrivals::{generate_arrivals, ArrivalConfig, JobSpec};
 pub use metrics::{percentile, LatencyStats};
 pub use queue::{Event, EventKind, EventQueue};
-pub use sim::{run_online, EventRecord, JobRecord, OnlineEvent, OnlineOutcome};
+pub use sim::{run_online, run_online_faulted, EventRecord, JobRecord, OnlineEvent, OnlineOutcome};
 
-use crate::runtime::RuntimeConfig;
+use crate::runtime::{ConfigError, RuntimeConfig};
 
 /// Parameters of one online serving run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +88,21 @@ impl OnlineConfig {
             initial_jobs: 0,
             migration_penalty_ms: 0.1,
         }
+    }
+
+    /// Validates the timeline, the arrival process, and the migration
+    /// penalty.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.runtime.validate()?;
+        let rate_ok = self.arrivals.rate_per_s >= 0.0;
+        let work_ok = self.arrivals.mean_instructions > 0.0;
+        if !rate_ok || !work_ok || !(0.0..1.0).contains(&self.arrivals.instructions_jitter) {
+            return Err(ConfigError::BadArrivalProcess);
+        }
+        if self.migration_penalty_ms < 0.0 || self.migration_penalty_ms.is_nan() {
+            return Err(ConfigError::NegativeMigrationPenalty);
+        }
+        Ok(())
     }
 
     /// Validates the timeline and the arrival process.

@@ -14,12 +14,12 @@ use super::arrivals::{generate_arrivals, JobSpec};
 use super::metrics::LatencyStats;
 use super::queue::{EventKind, EventQueue};
 use super::OnlineConfig;
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget};
 use crate::metrics::{ed2_index, weighted_mips};
 use crate::profile::{core_profiles, thread_profiles};
-use crate::runtime::{FreqMode, TrialOutcome};
+use crate::runtime::{plan_assignment, FreqMode, TrialError, TrialOutcome};
 use crate::sched::SchedPolicy;
-use cmpsim::{AppSpec, Machine, Mix, Thread, Workload};
+use cmpsim::{AppSpec, FaultEvent, FaultPlan, Machine, Mix, Thread, Workload};
 use std::collections::VecDeque;
 use std::fmt;
 use std::fmt::Write as _;
@@ -60,7 +60,7 @@ impl JobRecord {
 }
 
 /// One entry of the run's event trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OnlineEvent {
     /// A job entered the system and joined the run queue.
     Arrival {
@@ -87,6 +87,13 @@ pub enum OnlineEvent {
     },
     /// The power manager re-solved the (V, f) assignment.
     ManagerRun,
+    /// The control plane degraded (fault-injected runs only): a solver
+    /// fell back, a core died, sensors froze, the budget dropped, or
+    /// threads were parked.
+    Degraded {
+        /// The degradation.
+        event: DegradationEvent,
+    },
 }
 
 impl fmt::Display for OnlineEvent {
@@ -99,12 +106,13 @@ impl fmt::Display for OnlineEvent {
                 write!(f, "reschedule resident={resident} moved={moved}")
             }
             OnlineEvent::ManagerRun => f.write_str("manager"),
+            OnlineEvent::Degraded { event } => write!(f, "degraded {event}"),
         }
     }
 }
 
 /// A timestamped trace entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EventRecord {
     /// Tick the event was processed at.
     pub tick: usize,
@@ -187,13 +195,58 @@ pub fn run_online(
     rng: &mut SimRng,
 ) -> OnlineOutcome {
     config.validate_or_panic();
-    let rt = config.runtime;
     assert!(
         config.initial_jobs <= machine.core_count(),
         "initial residents ({}) exceed the core count ({})",
         config.initial_jobs,
         machine.core_count()
     );
+    match run_online_faulted(
+        machine,
+        pool,
+        mix,
+        policy,
+        manager,
+        budget,
+        config,
+        &FaultPlan::none(),
+        rng,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("online trial failed: {e}"),
+    }
+}
+
+/// [`run_online`] plus a [`cmpsim::FaultPlan`] and typed errors — the
+/// open-system counterpart of [`crate::runtime::run_trial_faulted`].
+///
+/// With an inactive plan this is bit-identical to [`run_online`]. With
+/// an active plan, the same degradation ladder as the batch path
+/// applies — conditioned manager views, chip-wide solver fallback,
+/// immediate rescheduling off dead cores — plus one open-system rule:
+/// admission capacity shrinks to the live core count, so jobs queue
+/// rather than land on dead silicon. Every degradation appears in the
+/// event trace as an [`OnlineEvent::Degraded`] entry.
+#[allow(clippy::too_many_arguments)] // mirrors run_online + the plan
+pub fn run_online_faulted(
+    machine: &mut Machine,
+    pool: &[AppSpec],
+    mix: Mix,
+    policy: SchedPolicy,
+    manager: ManagerKind,
+    budget: PowerBudget,
+    config: &OnlineConfig,
+    fault_plan: &FaultPlan,
+    rng: &mut SimRng,
+) -> Result<OnlineOutcome, TrialError> {
+    config.validate()?;
+    let rt = config.runtime;
+    if config.initial_jobs > machine.core_count() {
+        return Err(TrialError::WorkloadTooLarge {
+            threads: config.initial_jobs,
+            cores: machine.core_count(),
+        });
+    }
 
     // Initial residents: continue the caller's stream exactly as the
     // batch engine does (draw the workload, then spawn its threads).
@@ -203,6 +256,8 @@ pub fn run_online(
     } else {
         machine.load_threads(Vec::new());
     }
+    machine.install_faults(fault_plan)?;
+    let hardened = machine.has_active_faults();
     let initial_count = machine.threads().len();
 
     // Arrival schedule: pre-drawn from a fork taken only when the
@@ -278,7 +333,10 @@ pub fn run_online(
     let mut pending_completion = vec![false; jobs.len()];
 
     let mut scheduler = policy.build();
-    let mut power_manager = manager.build();
+    let mut power_manager = HardenedManager::new(manager, machine.core_count(), hardened);
+    let mut degradations: Vec<DegradationEvent> = Vec::new();
+    // Set when a core fails: forces a reschedule on the next tick.
+    let mut fault_dirty = false;
     let mut run_queue: VecDeque<usize> = VecDeque::new();
     let mut events: Vec<EventRecord> = Vec::new();
 
@@ -332,8 +390,9 @@ pub fn run_online(
             }
         }
 
-        // FIFO admission into free cores.
-        while machine.threads().len() < machine.core_count() {
+        // FIFO admission into free cores (capacity shrinks as cores
+        // fail; queued jobs wait rather than land on dead silicon).
+        while machine.threads().len() < machine.alive_core_count() {
             let Some(job) = run_queue.pop_front() else {
                 break;
             };
@@ -356,11 +415,22 @@ pub fn run_online(
         // immediately on any membership change (the paper's "whenever
         // applications enter or leave the system").
         let resident = machine.threads().len();
-        if (os_due || membership_dirty) && resident > 0 {
+        if (os_due || membership_dirty || fault_dirty) && resident > 0 {
+            fault_dirty = false;
             let prev = machine.assignment().to_vec();
             let threads = thread_profiles(machine, rng);
-            let mapping = scheduler.assign(&cores, &threads, rng);
+            let (mapping, parked) =
+                plan_assignment(scheduler.as_mut(), &cores, &threads, machine, rng);
             machine.assign(&mapping);
+            power_manager.note_reschedule();
+            if parked > 0 {
+                events.push(EventRecord {
+                    tick,
+                    event: OnlineEvent::Degraded {
+                        event: DegradationEvent::ThreadsParked { parked },
+                    },
+                });
+            }
 
             // Charge the migration penalty to the destination core of
             // every thread that moved (first placements are free).
@@ -385,7 +455,7 @@ pub fn run_online(
                     }
                 }
             }
-            if power_manager.is_none() {
+            if !power_manager.is_managed() {
                 match rt.freq_mode {
                     FreqMode::Uniform => {
                         machine.set_uniform_frequency();
@@ -401,19 +471,47 @@ pub fn run_online(
 
         // Power manager on the DVFS boundary, plus load-adaptive
         // re-solves whenever membership changed.
-        if let Some(pm) = power_manager.as_deref_mut() {
-            if dvfs_due || membership_dirty {
-                if pm.invoke(machine, &budget, rng).is_some() {
-                    events.push(EventRecord {
-                        tick,
-                        event: OnlineEvent::ManagerRun,
-                    });
+        if power_manager.is_managed() && (dvfs_due || membership_dirty) {
+            // Under an injected budget drop, the manager chases the
+            // scaled budget (the deviation metric below does not).
+            let eff_budget = if hardened {
+                PowerBudget {
+                    chip_w: budget.chip_w * machine.fault_budget_factor(),
+                    per_core_w: budget.per_core_w,
                 }
-                manager_runs += 1;
+            } else {
+                budget
+            };
+            if power_manager
+                .invoke(machine, &eff_budget, rng, &mut degradations)
+                .is_some()
+            {
+                events.push(EventRecord {
+                    tick,
+                    event: OnlineEvent::ManagerRun,
+                });
             }
+            for event in degradations.drain(..) {
+                events.push(EventRecord {
+                    tick,
+                    event: OnlineEvent::Degraded { event },
+                });
+            }
+            manager_runs += 1;
         }
 
         let stats = machine.step(dt_s);
+        for event in machine.take_fault_events() {
+            if matches!(event, FaultEvent::CoreFailed { .. }) {
+                fault_dirty = true;
+            }
+            events.push(EventRecord {
+                tick,
+                event: OnlineEvent::Degraded {
+                    event: DegradationEvent::from(event),
+                },
+            });
+        }
         if tick >= warmup_ticks {
             deviation_sum += (stats.total_power_w - budget.chip_w).abs();
             deviation_ticks += 1;
@@ -482,7 +580,7 @@ pub fn run_online(
     let latencies: Vec<f64> = jobs.iter().filter_map(JobRecord::latency_ms).collect();
     let waits: Vec<f64> = jobs.iter().filter_map(JobRecord::queue_wait_ms).collect();
 
-    OnlineOutcome {
+    Ok(OnlineOutcome {
         chip,
         latency: LatencyStats::of(&latencies),
         queue_wait: LatencyStats::of(&waits),
@@ -494,7 +592,7 @@ pub fn run_online(
         utilization: util_sum / total_ticks as f64,
         queue_peak,
         migrations: migrations_total,
-    }
+    })
 }
 
 #[cfg(test)]

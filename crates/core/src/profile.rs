@@ -91,7 +91,16 @@ pub fn thread_profiles(machine: &Machine, rng: &mut SimRng) -> Vec<ThreadProfile
         // Probe on a scratch machine so profiling does not perturb the
         // real run.
         let mut probe = machine.clone();
-        let core = rng.index(n_cores);
+        let mut core = rng.index(n_cores);
+        // Failed cores cannot host a probe; walk forward to the next
+        // live one without consuming further randomness, so fault-free
+        // runs and faulted runs draw identical RNG streams.
+        if !machine.core_alive(core) {
+            core = (1..n_cores)
+                .map(|d| (core + d) % n_cores)
+                .find(|&c| machine.core_alive(c))
+                .expect("all cores have failed; nothing left to profile on");
+        }
         let mut mapping = vec![None; n_cores];
         mapping[thread] = None; // no-op, clarity only
         mapping[core] = Some(thread);

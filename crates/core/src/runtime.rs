@@ -6,11 +6,11 @@
 //! the (V, f) assignment. The machine advances in fixed ticks between
 //! those events, and power/IPC sensors stay on throughout.
 
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget};
 use crate::metrics::{ed2_index, weighted_mips};
-use crate::profile::{core_profiles, thread_profiles};
-use crate::sched::SchedPolicy;
-use cmpsim::{Machine, StepStats, Workload};
+use crate::profile::{core_profiles, thread_profiles, CoreProfile, ThreadProfile};
+use crate::sched::{SchedPolicy, Scheduler};
+use cmpsim::{FaultConfigError, FaultEvent, FaultPlan, Machine, StepStats, Workload};
 use std::fmt;
 use vastats::SimRng;
 
@@ -26,7 +26,13 @@ pub enum FreqMode {
 }
 
 /// Timeline parameters.
+///
+/// Construct with [`RuntimeConfig::paper_default`] (then adjust fields
+/// in-place) or through [`RuntimeConfig::builder`], which validates the
+/// interval nesting at build time. The struct is `#[non_exhaustive]` so
+/// later papers' timeline knobs can be added without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct RuntimeConfig {
     /// Machine tick (sensor/thermal update granularity), milliseconds.
     pub tick_ms: f64,
@@ -91,6 +97,65 @@ impl RuntimeConfig {
             panic!("invalid runtime configuration: {e}");
         }
     }
+
+    /// A builder seeded with the paper's timeline; override individual
+    /// knobs and finish with [`RuntimeConfigBuilder::build`].
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            inner: Self::paper_default(),
+        }
+    }
+}
+
+/// Builder for [`RuntimeConfig`], starting from
+/// [`RuntimeConfig::paper_default`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    inner: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Machine tick, milliseconds.
+    pub fn tick_ms(mut self, v: f64) -> Self {
+        self.inner.tick_ms = v;
+        self
+    }
+
+    /// DVFS (power-manager) interval, milliseconds.
+    pub fn dvfs_interval_ms(mut self, v: f64) -> Self {
+        self.inner.dvfs_interval_ms = v;
+        self
+    }
+
+    /// OS scheduling interval, milliseconds.
+    pub fn os_interval_ms(mut self, v: f64) -> Self {
+        self.inner.os_interval_ms = v;
+        self
+    }
+
+    /// Simulated duration per trial, milliseconds.
+    pub fn duration_ms(mut self, v: f64) -> Self {
+        self.inner.duration_ms = v;
+        self
+    }
+
+    /// Frequency mode when no DVFS manager runs.
+    pub fn freq_mode(mut self, v: FreqMode) -> Self {
+        self.inner.freq_mode = v;
+        self
+    }
+
+    /// Warm-up window excluded from the power-deviation statistic.
+    pub fn deviation_warmup_ms(mut self, v: f64) -> Self {
+        self.inner.deviation_warmup_ms = v;
+        self
+    }
+
+    /// Validates interval nesting and returns the configuration.
+    pub fn build(self) -> Result<RuntimeConfig, ConfigError> {
+        self.inner.validate()?;
+        Ok(self.inner)
+    }
 }
 
 /// Why a [`RuntimeConfig`] was rejected.
@@ -104,6 +169,11 @@ pub enum ConfigError {
     OsShorterThanDvfs,
     /// `duration_ms` does not cover one OS interval.
     DurationShorterThanOs,
+    /// An online arrival process is degenerate (negative/NaN rate,
+    /// non-positive instruction budget, or jitter outside `[0, 1)`).
+    BadArrivalProcess,
+    /// An online migration penalty is negative or NaN.
+    NegativeMigrationPenalty,
 }
 
 impl fmt::Display for ConfigError {
@@ -113,12 +183,67 @@ impl fmt::Display for ConfigError {
             ConfigError::DvfsShorterThanTick => "DVFS interval must be at least one tick",
             ConfigError::OsShorterThanDvfs => "OS interval must be at least one DVFS interval",
             ConfigError::DurationShorterThanOs => "duration must cover at least one OS interval",
+            ConfigError::BadArrivalProcess => "arrival process is degenerate",
+            ConfigError::NegativeMigrationPenalty => "migration penalty must be non-negative",
         };
         f.write_str(msg)
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Why a trial could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialError {
+    /// The runtime configuration failed validation.
+    Config(ConfigError),
+    /// The fault plan failed validation against the machine.
+    Fault(FaultConfigError),
+    /// The workload has more threads than the machine has cores.
+    WorkloadTooLarge {
+        /// Threads in the workload.
+        threads: usize,
+        /// Cores on the machine.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid runtime configuration: {e}"),
+            Self::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            Self::WorkloadTooLarge { threads, cores } => {
+                write!(
+                    f,
+                    "workload has {threads} threads but machine has {cores} cores"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrialError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Fault(e) => Some(e),
+            Self::WorkloadTooLarge { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for TrialError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<FaultConfigError> for TrialError {
+    fn from(e: FaultConfigError) -> Self {
+        Self::Fault(e)
+    }
+}
 
 /// Per-trial observability hook.
 ///
@@ -142,6 +267,14 @@ pub trait TrialObserver {
     /// Called after every machine tick.
     fn on_step(&mut self, machine: &Machine, stats: &StepStats) {
         let _ = (machine, stats);
+    }
+
+    /// Called whenever the control plane degrades: a solver falls back
+    /// to chip-wide, a core dies, sensors freeze, the budget drops, or
+    /// threads are parked for lack of live cores. Never called in
+    /// zero-fault runs.
+    fn on_degradation(&mut self, tick: usize, event: DegradationEvent) {
+        let _ = (tick, event);
     }
 }
 
@@ -229,7 +362,114 @@ pub fn run_trial_observed(
     observer: &mut dyn TrialObserver,
 ) -> TrialOutcome {
     config.validate_or_panic();
+    match run_trial_faulted(
+        machine,
+        workload,
+        policy,
+        manager,
+        budget,
+        config,
+        &FaultPlan::none(),
+        rng,
+        observer,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("trial failed: {e}"),
+    }
+}
+
+/// Plans the next thread-to-core assignment, working around dead cores.
+///
+/// With every core alive and enough capacity, this is a passthrough to
+/// the scheduler (byte-identical RNG consumption to the pre-fault code,
+/// which is what keeps zero-fault runs reproducible). Once cores have
+/// failed, the scheduler sees only the survivors; if more threads are
+/// live than cores, the lowest-IPC threads are parked for this epoch.
+/// Returns the full-machine mapping and the number of parked threads.
+pub(crate) fn plan_assignment(
+    scheduler: &mut dyn Scheduler,
+    cores: &[CoreProfile],
+    threads: &[ThreadProfile],
+    machine: &Machine,
+    rng: &mut SimRng,
+) -> (Vec<Option<usize>>, usize) {
+    let n_alive = cores.iter().filter(|c| machine.core_alive(c.core)).count();
+    if n_alive == cores.len() && threads.len() <= n_alive {
+        return (scheduler.assign(cores, threads, rng), 0);
+    }
+    let alive: Vec<CoreProfile> = cores
+        .iter()
+        .filter(|c| machine.core_alive(c.core))
+        .cloned()
+        .collect();
+    if alive.is_empty() {
+        return (vec![None; cores.len()], threads.len());
+    }
+    let mut runnable: Vec<ThreadProfile> = threads.to_vec();
+    let parked = threads.len().saturating_sub(alive.len());
+    if parked > 0 {
+        // Keep the highest-IPC threads (deterministic ties by index),
+        // then restore thread order so policy tie-breaks are stable.
+        runnable.sort_by(|a, b| {
+            b.ipc
+                .partial_cmp(&a.ipc)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.thread.cmp(&b.thread))
+        });
+        runnable.truncate(alive.len());
+        runnable.sort_by_key(|t| t.thread);
+    }
+    // The scheduler works positionally over the slices it is given, so
+    // translate its sub-machine mapping back to full-machine indices.
+    let sub = scheduler.assign(&alive, &runnable, rng);
+    let mut mapping = vec![None; cores.len()];
+    for (pos, slot) in sub.iter().enumerate() {
+        if let Some(tpos) = slot {
+            mapping[alive[pos].core] = Some(runnable[*tpos].thread);
+        }
+    }
+    (mapping, parked)
+}
+
+/// The canonical trial entry point: [`run_trial_observed`] plus a
+/// [`FaultPlan`] and typed errors.
+///
+/// With an inactive plan ([`FaultPlan::none`] or all-default) this is
+/// bit-identical to the historical fault-free path: no extra RNG draws,
+/// no conditioning, no fallback manager. With an active plan the
+/// machine's sensors are distorted per the plan and the control plane
+/// hardens itself: manager input views are sanitized and smoothed,
+/// solver failures fall back to the chip-wide manager, core failures
+/// trigger an immediate reschedule onto the survivors, and every
+/// degradation is reported through
+/// [`TrialObserver::on_degradation`].
+///
+/// During a transient budget drop the *manager* chases the reduced
+/// budget, but [`TrialOutcome::power_deviation_frac`] keeps measuring
+/// against the nominal budget — the metric reports what the faults
+/// cost, not what the manager was told.
+#[allow(clippy::too_many_arguments)] // mirrors run_trial_observed + the plan
+pub fn run_trial_faulted(
+    machine: &mut Machine,
+    workload: &Workload,
+    policy: SchedPolicy,
+    manager: ManagerKind,
+    budget: PowerBudget,
+    config: &RuntimeConfig,
+    fault_plan: &FaultPlan,
+    rng: &mut SimRng,
+    observer: &mut dyn TrialObserver,
+) -> Result<TrialOutcome, TrialError> {
+    config.validate()?;
+    if workload.len() > machine.core_count() {
+        return Err(TrialError::WorkloadTooLarge {
+            threads: workload.len(),
+            cores: machine.core_count(),
+        });
+    }
     machine.load_threads(workload.spawn_threads(rng));
+    machine.install_faults(fault_plan)?;
+    let hardened = machine.has_active_faults();
 
     let cores = core_profiles(machine);
     let dt_s = config.tick_ms / 1e3;
@@ -247,15 +487,22 @@ pub fn run_trial_observed(
     // One stateful instance of each control-plane half for the whole
     // trial (ManagerKind::None builds no manager: levels stay pinned).
     let mut scheduler = policy.build();
-    let mut power_manager = manager.build();
+    let mut power_manager = HardenedManager::new(manager, machine.core_count(), hardened);
+    // Set when a core fails mid-epoch: forces a reschedule on the next
+    // tick instead of waiting for the OS interval.
+    let mut core_dirty = false;
+    let mut degradations: Vec<DegradationEvent> = Vec::new();
 
     for tick in 0..total_ticks {
-        if tick % os_every == 0 {
+        if tick % os_every == 0 || core_dirty {
+            core_dirty = false;
             // OS scheduling epoch: re-profile threads and re-map.
             let threads = thread_profiles(machine, rng);
-            let mapping = scheduler.assign(&cores, &threads, rng);
+            let (mapping, parked) =
+                plan_assignment(scheduler.as_mut(), &cores, &threads, machine, rng);
             machine.assign(&mapping);
-            if power_manager.is_none() {
+            power_manager.note_reschedule();
+            if !power_manager.is_managed() {
                 match config.freq_mode {
                     FreqMode::Uniform => {
                         machine.set_uniform_frequency();
@@ -264,17 +511,38 @@ pub fn run_trial_observed(
                 }
             }
             observer.on_schedule(tick, &mapping);
-        }
-        if let Some(pm) = power_manager.as_deref_mut() {
-            if tick % dvfs_every == 0 {
-                if let Some(levels) = pm.invoke(machine, &budget, rng) {
-                    observer.on_manager_run(tick, &levels);
-                }
-                manager_runs += 1;
+            if parked > 0 {
+                observer.on_degradation(tick, DegradationEvent::ThreadsParked { parked });
             }
+        }
+        if power_manager.is_managed() && tick % dvfs_every == 0 {
+            // Under an injected budget drop, the manager chases the
+            // scaled budget (the deviation metric below does not).
+            let eff_budget = if hardened {
+                PowerBudget {
+                    chip_w: budget.chip_w * machine.fault_budget_factor(),
+                    per_core_w: budget.per_core_w,
+                }
+            } else {
+                budget
+            };
+            if let Some(levels) = power_manager.invoke(machine, &eff_budget, rng, &mut degradations)
+            {
+                observer.on_manager_run(tick, &levels);
+            }
+            for event in degradations.drain(..) {
+                observer.on_degradation(tick, event);
+            }
+            manager_runs += 1;
         }
 
         let stats = machine.step(dt_s);
+        for event in machine.take_fault_events() {
+            if matches!(event, FaultEvent::CoreFailed { .. }) {
+                core_dirty = true;
+            }
+            observer.on_degradation(tick, DegradationEvent::from(event));
+        }
         observer.on_step(machine, &stats);
         if tick >= warmup_ticks {
             deviation_sum += (stats.total_power_w - budget.chip_w).abs();
@@ -306,7 +574,7 @@ pub fn run_trial_observed(
     let avg_power_w = machine.average_power();
     let wmips = weighted_mips(&per_thread_mips, &reference_mips);
 
-    TrialOutcome {
+    Ok(TrialOutcome {
         mips,
         weighted_mips: wmips,
         avg_power_w,
@@ -316,7 +584,7 @@ pub fn run_trial_observed(
         power_deviation_frac: deviation_sum / deviation_ticks.max(1) as f64 / budget.chip_w,
         manager_runs,
         per_thread_mips,
-    }
+    })
 }
 
 #[cfg(test)]

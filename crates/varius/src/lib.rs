@@ -100,50 +100,116 @@ impl VariationConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message when a field is out of range.
+    /// Returns a [`VariationConfigError`] naming the field that is out
+    /// of range and the offending value.
     // Negated comparisons are deliberate: they reject NaN parameters too.
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), VariationConfigError> {
+        use VariationConfigError as E;
         if !(self.vth_mu > 0.0) {
             // Negated form deliberately rejects NaN as well.
-            return Err(format!("vth_mu must be positive, got {}", self.vth_mu));
+            return Err(E::VthMuNotPositive { got: self.vth_mu });
         }
         if !(0.0..=1.0).contains(&self.vth_sigma_over_mu) {
-            return Err(format!(
-                "vth_sigma_over_mu must be in [0,1], got {}",
-                self.vth_sigma_over_mu
-            ));
+            return Err(E::VthSigmaOverMuOutOfRange {
+                got: self.vth_sigma_over_mu,
+            });
         }
         if !(0.0..=1.0).contains(&self.systematic_fraction) {
-            return Err(format!(
-                "systematic_fraction must be in [0,1], got {}",
-                self.systematic_fraction
-            ));
+            return Err(E::SystematicFractionOutOfRange {
+                got: self.systematic_fraction,
+            });
         }
         if !(self.leff_sigma_ratio >= 0.0) {
-            return Err("leff_sigma_ratio must be non-negative".to_string());
+            return Err(E::LeffSigmaRatioNegative {
+                got: self.leff_sigma_ratio,
+            });
         }
         if !(self.phi > 0.0) {
-            return Err(format!("phi must be positive, got {}", self.phi));
+            return Err(E::PhiNotPositive { got: self.phi });
         }
         if self.grid == 0 {
-            return Err("grid resolution must be positive".to_string());
+            return Err(E::GridZero);
         }
         if !(0.0..=1.0).contains(&self.d2d_sigma_over_mu) {
-            return Err(format!(
-                "d2d_sigma_over_mu must be in [0,1], got {}",
-                self.d2d_sigma_over_mu
-            ));
+            return Err(E::D2dSigmaOverMuOutOfRange {
+                got: self.d2d_sigma_over_mu,
+            });
         }
         Ok(())
     }
 }
 
+/// A [`VariationConfig`] field rejected by
+/// [`VariationConfig::validate`].
+///
+/// Each variant carries the offending value so callers can report it
+/// without re-reading the config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum VariationConfigError {
+    /// `vth_mu` must be positive (NaN is rejected too).
+    VthMuNotPositive {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `vth_sigma_over_mu` must lie in `[0, 1]`.
+    VthSigmaOverMuOutOfRange {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `systematic_fraction` must lie in `[0, 1]`.
+    SystematicFractionOutOfRange {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `leff_sigma_ratio` must be non-negative.
+    LeffSigmaRatioNegative {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `phi` (the correlation range) must be positive.
+    PhiNotPositive {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `grid` must be a positive resolution.
+    GridZero,
+    /// `d2d_sigma_over_mu` must lie in `[0, 1]`.
+    D2dSigmaOverMuOutOfRange {
+        /// The rejected value.
+        got: f64,
+    },
+}
+
+impl std::fmt::Display for VariationConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use VariationConfigError as E;
+        match self {
+            E::VthMuNotPositive { got } => write!(f, "vth_mu must be positive, got {got}"),
+            E::VthSigmaOverMuOutOfRange { got } => {
+                write!(f, "vth_sigma_over_mu must be in [0,1], got {got}")
+            }
+            E::SystematicFractionOutOfRange { got } => {
+                write!(f, "systematic_fraction must be in [0,1], got {got}")
+            }
+            E::LeffSigmaRatioNegative { .. } => write!(f, "leff_sigma_ratio must be non-negative"),
+            E::PhiNotPositive { got } => write!(f, "phi must be positive, got {got}"),
+            E::GridZero => write!(f, "grid resolution must be positive"),
+            E::D2dSigmaOverMuOutOfRange { got } => {
+                write!(f, "d2d_sigma_over_mu must be in [0,1], got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VariationConfigError {}
+
 /// Error building a [`DieGenerator`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum VariusError {
     /// The configuration failed validation.
-    BadConfig(String),
+    BadConfig(VariationConfigError),
     /// The spatial-correlation field could not be constructed.
     Field(FieldError),
 }
@@ -157,11 +223,24 @@ impl std::fmt::Display for VariusError {
     }
 }
 
-impl std::error::Error for VariusError {}
+impl std::error::Error for VariusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VariusError::BadConfig(e) => Some(e),
+            VariusError::Field(e) => Some(e),
+        }
+    }
+}
 
 impl From<FieldError> for VariusError {
     fn from(e: FieldError) -> Self {
         VariusError::Field(e)
+    }
+}
+
+impl From<VariationConfigError> for VariusError {
+    fn from(e: VariationConfigError) -> Self {
+        VariusError::BadConfig(e)
     }
 }
 

@@ -61,10 +61,10 @@ fn main() {
             SchedPolicy::VarFAppIpc,
         ];
         for policy in policies {
-            let runtime = RuntimeConfig {
-                freq_mode: mode,
-                ..RuntimeConfig::paper_default()
-            };
+            let runtime = RuntimeConfig::builder()
+                .freq_mode(mode)
+                .build()
+                .expect("paper timeline is valid");
             let mut m = machine.clone();
             let mut trial_rng = SimRng::seed_from(5);
             let out = run_trial(

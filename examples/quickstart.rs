@@ -55,27 +55,23 @@ fn main() {
         runtime,
         rng_salt: Some(42),
     };
-    let spec = TrialSpec {
-        ctx: &ctx,
-        pool: &pool,
-        threads: 12,
-        mix: Mix::Balanced,
-        trials: 1,
-        seed,
-        plan: SeedPlan::default(),
-        arms: vec![
-            arm(
-                "Random+Foxton*",
-                SchedPolicy::Random,
-                ManagerKind::FoxtonStar,
-            ),
-            arm(
-                "VarF&AppIPC+LinOpt",
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::LinOpt,
-            ),
-        ],
-    };
+    let spec = TrialSpec::builder(&ctx, &pool)
+        .threads(12)
+        .mix(Mix::Balanced)
+        .trials(1)
+        .seed(seed)
+        .arm(arm(
+            "Random+Foxton*",
+            SchedPolicy::Random,
+            ManagerKind::FoxtonStar,
+        ))
+        .arm(arm(
+            "VarF&AppIPC+LinOpt",
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+        ))
+        .build()
+        .expect("quickstart spec is valid");
 
     let results = TrialRunner::new().run(&spec);
     let trial = &results[0];

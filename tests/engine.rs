@@ -13,43 +13,40 @@ use vasp::vasched::runtime::FreqMode;
 
 fn smoke_spec<'a>(ctx: &'a Context, pool: &'a [cmpsim::AppSpec]) -> TrialSpec<'a> {
     let scale = Scale::smoke();
-    let runtime = RuntimeConfig {
-        duration_ms: scale.duration_ms,
-        freq_mode: FreqMode::NonUniform,
-        ..RuntimeConfig::paper_default()
-    };
+    let runtime = RuntimeConfig::builder()
+        .duration_ms(scale.duration_ms)
+        .freq_mode(FreqMode::NonUniform)
+        .build()
+        .unwrap();
     let budget = PowerBudget::cost_performance(8);
-    TrialSpec {
-        ctx,
-        pool,
-        threads: 8,
-        mix: Mix::Balanced,
-        trials: scale.dies,
-        seed: 314,
-        plan: SeedPlan {
+    TrialSpec::builder(ctx, pool)
+        .threads(8)
+        .mix(Mix::Balanced)
+        .trials(scale.dies)
+        .seed(314)
+        .plan(SeedPlan {
             mul: 1_000_003,
             offset: 8_000,
             stride: 1,
-        },
-        arms: vec![
-            TrialArm {
-                label: "Random+Foxton*".into(),
-                policy: SchedPolicy::Random,
-                manager: ManagerKind::FoxtonStar,
-                budget,
-                runtime,
-                rng_salt: Some(0xABCD),
-            },
-            TrialArm {
-                label: "VarF&AppIPC+LinOpt".into(),
-                policy: SchedPolicy::VarFAppIpc,
-                manager: ManagerKind::LinOpt,
-                budget,
-                runtime,
-                rng_salt: Some(0xABCD),
-            },
-        ],
-    }
+        })
+        .arm(TrialArm {
+            label: "Random+Foxton*".into(),
+            policy: SchedPolicy::Random,
+            manager: ManagerKind::FoxtonStar,
+            budget,
+            runtime,
+            rng_salt: Some(0xABCD),
+        })
+        .arm(TrialArm {
+            label: "VarF&AppIPC+LinOpt".into(),
+            policy: SchedPolicy::VarFAppIpc,
+            manager: ManagerKind::LinOpt,
+            budget,
+            runtime,
+            rng_salt: Some(0xABCD),
+        })
+        .build()
+        .unwrap()
 }
 
 #[test]

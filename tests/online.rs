@@ -14,11 +14,11 @@ use vasp::vastats::SimRng;
 
 fn serving_config(rate_per_s: f64) -> OnlineConfig {
     OnlineConfig {
-        runtime: RuntimeConfig {
-            duration_ms: 60.0,
-            os_interval_ms: 30.0,
-            ..RuntimeConfig::paper_default()
-        },
+        runtime: RuntimeConfig::builder()
+            .duration_ms(60.0)
+            .os_interval_ms(30.0)
+            .build()
+            .unwrap(),
         arrivals: ArrivalConfig::poisson(rate_per_s, 20.0e6),
         initial_jobs: 0,
         migration_penalty_ms: 0.1,
@@ -76,19 +76,18 @@ fn online_trials_are_bit_identical_across_worker_counts() {
             rng_salt: Some(0x51),
         })
         .collect();
-    let spec = OnlineTrialSpec {
-        ctx: &ctx,
-        pool: &pool,
-        mix: Mix::Balanced,
-        trials: 3,
-        seed: 777,
-        plan: SeedPlan {
+    let spec = OnlineTrialSpec::builder(&ctx, &pool)
+        .mix(Mix::Balanced)
+        .trials(3)
+        .seed(777)
+        .plan(SeedPlan {
             mul: 1_000_003,
             offset: 40_000,
             stride: 1,
-        },
-        arms,
-    };
+        })
+        .arms(arms)
+        .build()
+        .unwrap();
     let sequential = TrialRunner::with_workers(1).run_online(&spec);
     let parallel = TrialRunner::with_workers(4).run_online(&spec);
     assert_eq!(sequential.len(), parallel.len());

@@ -151,11 +151,11 @@ fn uniform_and_nonuniform_regimes_differ_as_expected() {
     let budget = PowerBudget::high_performance(10);
     let run = |mode| {
         let mut machine = make_machine(10);
-        let runtime = RuntimeConfig {
-            freq_mode: mode,
-            duration_ms: 100.0,
-            ..RuntimeConfig::paper_default()
-        };
+        let runtime = RuntimeConfig::builder()
+            .freq_mode(mode)
+            .duration_ms(100.0)
+            .build()
+            .unwrap();
         run_trial(
             &mut machine,
             &workload,
@@ -180,10 +180,7 @@ fn trials_are_reproducible_across_machine_rebuilds() {
     let pool = app_pool(&MachineConfig::paper_default().dynamic);
     let workload = Workload::draw(&pool, 6, &mut SimRng::seed_from(12));
     let budget = PowerBudget::cost_performance(6);
-    let runtime = RuntimeConfig {
-        duration_ms: 100.0,
-        ..RuntimeConfig::paper_default()
-    };
+    let runtime = RuntimeConfig::builder().duration_ms(100.0).build().unwrap();
     let run = || {
         let mut machine = make_machine(13);
         run_trial(

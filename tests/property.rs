@@ -343,6 +343,108 @@ fn ed2_monotonicity() {
     }
 }
 
+/// Fault injection: across a seed grid of random fault plans (noise,
+/// failures at random times, budget drops), a faulted trial (a) never
+/// leaves a thread on a dead core for even one tick, (b) is exactly
+/// reproducible from its seed, and (c) completes with positive
+/// throughput as long as at least one core survives.
+#[test]
+fn random_fault_plans_keep_threads_off_dead_cores() {
+    use vasp::cmpsim::{app_pool, FaultPlan, Machine, MachineConfig, Workload};
+    use vasp::floorplan::paper_20_core;
+    use vasp::varius::{DieGenerator, VariationConfig};
+    use vasp::vasched::manager::{DegradationEvent, ManagerKind};
+    use vasp::vasched::runtime::{run_trial_faulted, RuntimeConfig, TrialObserver};
+
+    #[derive(Default)]
+    struct Audit {
+        dead: Vec<usize>,
+        violations: usize,
+    }
+    impl TrialObserver for Audit {
+        fn on_degradation(&mut self, _tick: usize, event: DegradationEvent) {
+            if let DegradationEvent::CoreFailed { core } = event {
+                self.dead.push(core);
+            }
+        }
+        fn on_step(&mut self, machine: &Machine, _stats: &vasp::cmpsim::StepStats) {
+            self.violations += self
+                .dead
+                .iter()
+                .filter(|&&c| machine.thread_of(c).is_some())
+                .count();
+        }
+    }
+
+    let cfg = VariationConfig {
+        grid: 20,
+        ..VariationConfig::paper_default()
+    };
+    let generator = DieGenerator::new(cfg).expect("valid config");
+    let runtime = RuntimeConfig::builder()
+        .duration_ms(50.0)
+        .os_interval_ms(25.0)
+        .build()
+        .unwrap();
+    for seed in 0u64..12 {
+        let mut gen_rng = SimRng::seed_from(0xFA_0157 + seed);
+        let n_failures = (seed as usize) % 4;
+        let mut plan = FaultPlan::none()
+            .with_seed(seed)
+            .with_sensor_noise(gen_rng.uniform(0.0, 0.1));
+        let mut victims = Vec::new();
+        for _ in 0..n_failures {
+            // Distinct victims: a re-killed core would be a no-op.
+            let core = loop {
+                let c = gen_rng.index(20);
+                if !victims.contains(&c) {
+                    break c;
+                }
+            };
+            victims.push(core);
+            plan = plan.with_core_failure(core, gen_rng.uniform(1.0, 45.0));
+        }
+        if seed % 3 == 0 {
+            plan = plan.with_budget_drop(gen_rng.uniform(0.0, 20.0), 45.0, 0.5);
+        }
+        plan.validate(20).expect("generated plan is valid");
+
+        let die = generator.generate(&mut SimRng::seed_from(500 + seed));
+        let machine = Machine::new(&die, &paper_20_core(), MachineConfig::paper_default());
+        let pool = app_pool(&machine.config().dynamic);
+        let threads = 1 + (seed as usize) % 20;
+        let workload = Workload::draw(&pool, threads, &mut SimRng::seed_from(600 + seed));
+        let budget = PowerBudget::cost_performance(threads);
+
+        let run = |observer: &mut Audit| {
+            let mut m = machine.clone();
+            run_trial_faulted(
+                &mut m,
+                &workload,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::LinOpt,
+                budget,
+                &runtime,
+                &plan,
+                &mut SimRng::seed_from(700 + seed),
+                observer,
+            )
+            .expect("faulted trial completes")
+        };
+        let mut audit = Audit::default();
+        let outcome = run(&mut audit);
+        assert_eq!(
+            audit.violations, 0,
+            "seed {seed}: thread left on a dead core"
+        );
+        assert_eq!(audit.dead.len(), n_failures, "seed {seed}");
+        assert!(outcome.mips > 0.0, "seed {seed}: throughput must flow");
+        // Reproducible bit for bit from the same seeds.
+        let rerun = run(&mut Audit::default());
+        assert_eq!(outcome, rerun, "seed {seed}: faulted run not reproducible");
+    }
+}
+
 /// Online loop, closed system: with arrivals disabled and free
 /// migration, `run_online` must reproduce the batch `run_trial`
 /// outcome exactly — same RNG stream, same epochs, same metrics —
@@ -361,11 +463,11 @@ fn zero_arrival_online_equals_batch_trial() {
         ..VariationConfig::paper_default()
     };
     let generator = DieGenerator::new(cfg).expect("valid config");
-    let runtime = RuntimeConfig {
-        duration_ms: 40.0,
-        os_interval_ms: 20.0,
-        ..RuntimeConfig::paper_default()
-    };
+    let runtime = RuntimeConfig::builder()
+        .duration_ms(40.0)
+        .os_interval_ms(20.0)
+        .build()
+        .unwrap();
     let cases = [
         (2usize, SchedPolicy::VarFAppIpc, ManagerKind::LinOpt),
         (6, SchedPolicy::VarP, ManagerKind::FoxtonStar),

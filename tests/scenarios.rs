@@ -87,10 +87,7 @@ fn migration_and_wearout_integrate() {
         SchedPolicy::VarFAppIpc,
         ManagerKind::LinOpt,
         PowerBudget::cost_performance(8),
-        &RuntimeConfig {
-            duration_ms: 200.0,
-            ..RuntimeConfig::paper_default()
-        },
+        &RuntimeConfig::builder().duration_ms(200.0).build().unwrap(),
         Some(MigrationConfig::default_policy()),
         &mut rng,
     );
@@ -125,10 +122,7 @@ fn homogeneous_mix_reduces_appipc_advantage() {
     // compute-only mix (all high IPC) should shrink it.
     let pool = app_pool(&MachineConfig::paper_default().dynamic);
     let budget = PowerBudget::high_performance(8);
-    let runtime = RuntimeConfig {
-        duration_ms: 100.0,
-        ..RuntimeConfig::paper_default()
-    };
+    let runtime = RuntimeConfig::builder().duration_ms(100.0).build().unwrap();
     let gain_for = |mix: Mix, seed: u64| {
         let workload = Workload::draw_mix(&pool, 8, mix, &mut SimRng::seed_from(seed));
         let run = |policy| {
