@@ -11,6 +11,7 @@ use vasched::manager::{
     exhaustive::exhaustive_levels, foxton::foxton_star_levels, linopt::linopt_levels,
     sann::sann_levels, synthetic_core, PmView, PowerBudget,
 };
+use vasp_bench::json_report::BenchReport;
 use vasp_bench::timing::report_case;
 use vastats::SimRng;
 
@@ -33,7 +34,7 @@ fn mid_budget(view: &PmView) -> PowerBudget {
 
 /// Figure 15's sweep: LinOpt solve time vs thread count, one series per
 /// power environment (looser budgets widen the feasible region).
-fn bench_linopt_fig15() {
+fn bench_linopt_fig15(report: &mut BenchReport) {
     for &threads in &[1usize, 2, 4, 8, 16, 20] {
         let view = view_of(threads);
         for (env, base_w) in [("low50", 50.0), ("cost75", 75.0), ("high100", 100.0)] {
@@ -41,45 +42,56 @@ fn bench_linopt_fig15() {
                 chip_w: base_w * threads as f64 / 20.0,
                 per_core_w: 8.0,
             };
-            report_case("linopt_fig15", &format!("{env}/{threads}"), || {
+            let name = format!("{env}/{threads}");
+            let m = report_case("linopt_fig15", &name, || {
                 black_box(linopt_levels(black_box(&view), &budget));
             });
+            report.push_case("linopt_fig15", &name, m);
         }
     }
 }
 
 /// LinOpt vs the alternatives at 20 threads — the "orders of magnitude"
 /// computation-time gap between LinOpt and SAnn.
-fn bench_manager_comparison() {
+fn bench_manager_comparison(report: &mut BenchReport) {
     let view = view_of(20);
     let budget = mid_budget(&view);
 
-    report_case("managers_20_threads", "foxton_star", || {
+    let m = report_case("managers_20_threads", "foxton_star", || {
         black_box(foxton_star_levels(black_box(&view), &budget));
     });
-    report_case("managers_20_threads", "linopt", || {
+    report.push_case("managers_20_threads", "foxton_star", m);
+    let m = report_case("managers_20_threads", "linopt", || {
         black_box(linopt_levels(black_box(&view), &budget));
     });
-    report_case("managers_20_threads", "sann_20k_evals", || {
+    report.push_case("managers_20_threads", "linopt", m);
+    let m = report_case("managers_20_threads", "sann_20k_evals", || {
         let mut rng = SimRng::seed_from(1);
         black_box(sann_levels(black_box(&view), &budget, 20_000, &mut rng));
     });
+    report.push_case("managers_20_threads", "sann_20k_evals", m);
 }
 
 /// Exhaustive search cost blow-up on small configurations (why the
 /// paper cannot use it beyond 4 threads).
-fn bench_exhaustive() {
+fn bench_exhaustive(report: &mut BenchReport) {
     for &threads in &[2usize, 3, 4] {
         let view = view_of(threads);
         let budget = mid_budget(&view);
-        report_case("exhaustive", &threads.to_string(), || {
+        let m = report_case("exhaustive", &threads.to_string(), || {
             black_box(exhaustive_levels(black_box(&view), &budget));
         });
+        report.push_case("exhaustive", &threads.to_string(), m);
     }
 }
 
 fn main() {
-    bench_linopt_fig15();
-    bench_manager_comparison();
-    bench_exhaustive();
+    let mut report = BenchReport::new();
+    bench_linopt_fig15(&mut report);
+    bench_manager_comparison(&mut report);
+    bench_exhaustive(&mut report);
+    match report.write("optimizers") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_optimizers.json: {e}"),
+    }
 }

@@ -10,12 +10,13 @@ use linprog::Problem;
 use std::hint::black_box;
 use thermal::{ThermalModel, ThermalParams};
 use varius::{DieGenerator, VariationConfig};
+use vasp_bench::json_report::BenchReport;
 use vasp_bench::timing::report_case;
 use vastats::SimRng;
 
 /// Die-map generation at several grid resolutions (Cholesky factor is
 /// amortized across a batch; this measures the per-die sampling cost).
-fn bench_die_generation() {
+fn bench_die_generation(report: &mut BenchReport) {
     for &grid in &[20usize, 40, 60] {
         let generator = DieGenerator::new(VariationConfig {
             grid,
@@ -23,14 +24,15 @@ fn bench_die_generation() {
         })
         .expect("valid config");
         let mut rng = SimRng::seed_from(7);
-        report_case("die_generation", &grid.to_string(), || {
+        let m = report_case("die_generation", &grid.to_string(), || {
             black_box(generator.generate(&mut rng));
         });
+        report.push_case("die_generation", &grid.to_string(), m);
     }
 }
 
 /// One 1 ms machine tick at full load (the runtime's inner loop).
-fn bench_machine_step() {
+fn bench_machine_step(report: &mut BenchReport) {
     let generator = DieGenerator::new(VariationConfig {
         grid: 40,
         ..VariationConfig::paper_default()
@@ -46,15 +48,16 @@ fn bench_machine_step() {
     let mapping: Vec<Option<usize>> = (0..20).map(Some).collect();
     machine.assign(&mapping);
 
-    report_case("machine", "step_1ms_20_threads", || {
+    let m = report_case("machine", "step_1ms_20_threads", || {
         black_box(machine.step(0.001));
     });
+    report.push_case("machine", "step_1ms_20_threads", m);
 }
 
 /// Dense Simplex on LinOpt-shaped problems of growing size.
-fn bench_simplex() {
+fn bench_simplex(report: &mut BenchReport) {
     for &n in &[5usize, 10, 20, 40] {
-        report_case("simplex_linopt_shape", &n.to_string(), || {
+        let m = report_case("simplex_linopt_shape", &n.to_string(), || {
             let mut lp = Problem::maximize((0..n).map(|i| 1.0 + i as f64 * 0.1).collect());
             lp = lp.constraint_le(vec![3.0; n], 0.2 * n as f64);
             for i in 0..n {
@@ -64,28 +67,36 @@ fn bench_simplex() {
             }
             black_box(lp.solve().expect("feasible"));
         });
+        report.push_case("simplex_linopt_shape", &n.to_string(), m);
     }
 }
 
 /// Steady-state thermal solve over the 22-block floorplan.
-fn bench_thermal() {
+fn bench_thermal(report: &mut BenchReport) {
     let fp = paper_20_core();
     let model = ThermalModel::new(&fp, ThermalParams::paper_default());
     let powers: Vec<f64> = (0..fp.blocks().len())
         .map(|i| 2.0 + (i % 5) as f64)
         .collect();
-    report_case("thermal", "steady_state", || {
+    let m = report_case("thermal", "steady_state", || {
         black_box(model.steady_state(black_box(&powers)));
     });
+    report.push_case("thermal", "steady_state", m);
     let temps = model.steady_state(&powers);
-    report_case("thermal", "transient_1ms", || {
+    let m = report_case("thermal", "transient_1ms", || {
         black_box(model.transient_step(black_box(&temps), &powers, 0.001));
     });
+    report.push_case("thermal", "transient_1ms", m);
 }
 
 fn main() {
-    bench_die_generation();
-    bench_machine_step();
-    bench_simplex();
-    bench_thermal();
+    let mut report = BenchReport::new();
+    bench_die_generation(&mut report);
+    bench_machine_step(&mut report);
+    bench_simplex(&mut report);
+    bench_thermal(&mut report);
+    match report.write("substrates") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_substrates.json: {e}"),
+    }
 }

@@ -7,11 +7,34 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::time::Instant;
 use vasched::engine::TrialRunner;
 use vasched::experiments::{
     ablation, dvfs, faults, granularity, online, scheduling, timing, validation, variation, Series,
 };
+use vasp_bench::json_report::BenchReport;
 use vasp_bench::{parse_args, report};
+
+/// Records per-stage wall-clock laps into a [`BenchReport`].
+struct StageTimer {
+    last: Instant,
+}
+
+impl StageTimer {
+    fn start() -> Self {
+        Self {
+            last: Instant::now(),
+        }
+    }
+
+    /// Closes the current stage: everything since the previous lap is
+    /// charged to `stage`.
+    fn lap(&mut self, bench: &mut BenchReport, stage: &str) {
+        let now = Instant::now();
+        bench.push_stage(stage, (now - self.last).as_secs_f64());
+        self.last = now;
+    }
+}
 
 fn mean(s: &Series) -> f64 {
     s.y.iter().sum::<f64>() / s.y.len() as f64
@@ -43,6 +66,9 @@ fn main() {
     );
     let _ = writeln!(md, "| Artifact | Paper | Measured |");
     let _ = writeln!(md, "|---|---|---|");
+    let run_start = Instant::now();
+    let mut bench = BenchReport::new();
+    let mut stages = StageTimer::start();
 
     // Figure 4.
     println!("[1/14] fig4 ...");
@@ -58,6 +84,7 @@ fn main() {
         f4.mean_freq_ratio()
     );
 
+    stages.lap(&mut bench, "fig4");
     // Figure 5.
     println!("[2/14] fig5 ...");
     let (f5p, f5f) = variation::fig5(&scale, seed.wrapping_add(1));
@@ -73,6 +100,7 @@ fn main() {
     );
     report("fig05", "Figure 5", &[f5p, f5f]);
 
+    stages.lap(&mut bench, "fig5");
     // Figure 6.
     println!("[3/14] fig6 ...");
     let (f6max, f6min) = variation::fig6(&scale, seed.wrapping_add(2));
@@ -83,12 +111,14 @@ fn main() {
     );
     report("fig06", "Figure 6", &[f6max, f6min]);
 
+    stages.lap(&mut bench, "fig6");
     // Table 5 is exact by construction (asserted by tests).
     let _ = writeln!(
         md,
         "| Table 5 per-app power & IPC | 14 apps | exact (calibrated) |"
     );
 
+    stages.lap(&mut bench, "table5");
     // Figures 7-8.
     println!("[4/14] fig7 ...");
     let (f7p, f7e) = scheduling::fig7(&scale, seed.wrapping_add(3));
@@ -100,6 +130,7 @@ fn main() {
     );
     report("fig07a", "Figure 7a", &f7p);
     report("fig07b", "Figure 7b", &f7e);
+    stages.lap(&mut bench, "fig7");
     println!("[5/14] fig8 ...");
     let (f8p, f8e) = scheduling::fig8(&scale, seed.wrapping_add(4));
     let _ = writeln!(
@@ -110,6 +141,7 @@ fn main() {
     report("fig08a", "Figure 8a", &f8p);
     report("fig08b", "Figure 8b", &f8e);
 
+    stages.lap(&mut bench, "fig8");
     // Figures 9-10.
     println!("[6/14] fig9/10 ...");
     let (f9f, f9m, f10) = scheduling::fig9_fig10(&scale, seed.wrapping_add(5));
@@ -133,6 +165,7 @@ fn main() {
     report("fig09b", "Figure 9b", &f9m);
     report("fig10", "Figure 10", &f10);
 
+    stages.lap(&mut bench, "fig9_10");
     // Figures 11 & 13.
     println!("[7/14] fig11/13 ...");
     let (f11m, f11e, f13m, f13e) = dvfs::fig11_fig13(&scale, seed.wrapping_add(6));
@@ -166,6 +199,7 @@ fn main() {
     report("fig13a", "Figure 13a", &f13m);
     report("fig13b", "Figure 13b", &f13e);
 
+    stages.lap(&mut bench, "fig11_13");
     // Figure 12.
     println!("[8/14] fig12 ...");
     let f12 = dvfs::fig12(&scale, seed.wrapping_add(7));
@@ -178,6 +212,7 @@ fn main() {
     );
     report("fig12", "Figure 12", &f12);
 
+    stages.lap(&mut bench, "fig12");
     // Figure 14.
     println!("[9/14] fig14 ...");
     let f14 = granularity::fig14(&scale, seed.wrapping_add(8), &[4, 20]);
@@ -193,6 +228,7 @@ fn main() {
     );
     report("fig14", "Figure 14", &f14);
 
+    stages.lap(&mut bench, "fig14");
     // Figure 15.
     println!("[10/14] fig15 ...");
     let f15 = timing::fig15(&scale, seed.wrapping_add(9), 200);
@@ -206,6 +242,7 @@ fn main() {
     );
     report("fig15", "Figure 15", &f15);
 
+    stages.lap(&mut bench, "fig15");
     // Validation.
     println!("[11/14] sann vs exhaustive ...");
     let val = validation::sann_vs_exhaustive(&scale, seed.wrapping_add(10), &[2, 4, 8, 20]);
@@ -228,6 +265,7 @@ fn main() {
         (1.0 - worst_lin) * 100.0
     );
 
+    stages.lap(&mut bench, "sann_vs_exhaustive");
     // Ablations.
     println!("[12/14] ablations ...");
     let gran = ablation::granularity(&scale, seed.wrapping_add(11));
@@ -245,6 +283,7 @@ fn main() {
     report("ablation_granularity", "Granularity", &[gran]);
     report("ablation_transition", "Transition cost", &[trans]);
 
+    stages.lap(&mut bench, "ablations");
     // Online serving (beyond the paper).
     println!("[13/14] online serving ...");
     let sweep = online::arrival_sweep(&scale, seed.wrapping_add(13));
@@ -273,6 +312,7 @@ fn main() {
     );
     report("online_power", "Online chip power", &sweep.avg_power_w);
 
+    stages.lap(&mut bench, "online");
     println!("[14/14] fault injection ...");
     let noise = faults::noise_sweep(&scale, seed.wrapping_add(14));
     let failures = faults::failure_sweep(&scale, seed.wrapping_add(14));
@@ -308,8 +348,14 @@ fn main() {
         &failures.budget_deviation_w,
     );
 
+    stages.lap(&mut bench, "faults");
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/REPORT.md", &md).expect("write report");
+    bench.push_stage("total", run_start.elapsed().as_secs_f64());
+    match bench.write("all") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_all.json: {e}"),
+    }
     println!("\n{md}");
     println!("wrote results/REPORT.md");
 }

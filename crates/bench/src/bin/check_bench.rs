@@ -1,0 +1,134 @@
+//! Validates machine-readable benchmark output (`BENCH_*.json`).
+//!
+//! ```text
+//! cargo run --release -p vasp-bench --bin check_bench -- [files...]
+//! ```
+//!
+//! With no arguments, validates every `BENCH_*.json` under `results/`
+//! and `crates/bench/results/` (the benches run with the package as
+//! their working directory, the bins with the workspace root). Each
+//! file must parse as JSON, carry the `vasp.bench.v1` schema tag, and
+//! every case/stage must have the required keys with positive, finite
+//! timings. Exits non-zero on the first malformed file, so CI can gate
+//! on it (`scripts/ci.sh bench-smoke`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vasched::obs::{parse_json, JsonValue};
+use vasp_bench::json_report::BENCH_SCHEMA;
+
+/// Validates one report; returns a description of the first problem.
+fn validate(text: &str) -> Result<(usize, usize), String> {
+    let doc = parse_json(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing schema tag".to_string()),
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing 'cases' array")?;
+    for (i, case) in cases.iter().enumerate() {
+        case.get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("case {i}: missing id"))?;
+        for key in ["median_ns", "min_ns", "max_ns"] {
+            let v = case
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("case {i}: missing {key}"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("case {i}: {key} = {v} is not a positive time"));
+            }
+        }
+        for key in ["iters", "samples"] {
+            let v = case
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("case {i}: missing {key}"))?;
+            if !(v.is_finite() && v >= 1.0 && v.fract() == 0.0) {
+                return Err(format!("case {i}: {key} = {v} is not a positive count"));
+            }
+        }
+    }
+    let stages = doc
+        .get("stages")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing 'stages' array")?;
+    for (i, stage) in stages.iter().enumerate() {
+        stage
+            .get("stage")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("stage {i}: missing name"))?;
+        let v = stage
+            .get("wall_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("stage {i}: missing wall_s"))?;
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(format!("stage {i}: wall_s = {v} is not a valid time"));
+        }
+    }
+    Ok((cases.len(), stages.len()))
+}
+
+fn check_file(path: &Path) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL {}: {e}", path.display());
+            return false;
+        }
+    };
+    match validate(&text) {
+        Ok((cases, stages)) => {
+            println!(
+                "ok   {}: {cases} case(s), {stages} stage(s)",
+                path.display()
+            );
+            true
+        }
+        Err(why) => {
+            eprintln!("FAIL {}: {why}", path.display());
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<PathBuf> = if args.is_empty() {
+        let mut found: Vec<PathBuf> = ["results", "crates/bench/results"]
+            .iter()
+            .flat_map(|dir| std::fs::read_dir(dir).into_iter().flatten().flatten())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|e| e == "json")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_"))
+            })
+            .collect();
+        found.sort();
+        found
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+
+    if files.is_empty() {
+        eprintln!("no BENCH_*.json files found (run a bench first, or pass paths)");
+        return ExitCode::FAILURE;
+    }
+    // Check every file (no short-circuit) so one failure does not hide
+    // the rest of the report.
+    let mut all_ok = true;
+    for f in &files {
+        all_ok &= check_file(f);
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,79 @@
+//! Exports JSONL run traces: one paper-style trial per manager, each
+//! observed by [`vasched::obs::TraceObserver`], written to
+//! `results/trace_<manager>.jsonl`.
+//!
+//! ```text
+//! cargo run --release -p vasp-bench --bin trace -- --scale smoke
+//! ```
+//!
+//! The trace schema is `vasp.trace.v1` (see `DESIGN.md` §3e): a header
+//! line followed by one record per DVFS interval with per-core
+//! V/f/power/temperature/IPC, chip power and throughput, the solver
+//! outcome, and any degradation events. Traces are deterministic in
+//! the seed, so two runs with the same arguments produce byte-identical
+//! files.
+
+use vasched::engine::{SeedPlan, TrialArm, TrialRunner, TrialSpec};
+use vasched::experiments::Context;
+use vasched::manager::{ManagerKind, PowerBudget};
+use vasched::obs::TraceObserver;
+use vasched::runtime::RuntimeConfig;
+use vasched::sched::SchedPolicy;
+use vasp_bench::parse_args;
+
+/// A filesystem-safe slug for an arm label (`Foxton*` → `foxton_star`).
+fn slug(label: &str) -> String {
+    let mut out = String::new();
+    for c in label.chars() {
+        match c {
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            'a'..='z' | '0'..='9' => out.push(c),
+            '*' => out.push_str("_star"),
+            _ => out.push('_'),
+        }
+    }
+    out.trim_matches('_').to_string()
+}
+
+fn main() {
+    let opts = parse_args();
+    let threads = 20;
+    let runtime = RuntimeConfig::builder()
+        .duration_ms(opts.scale.duration_ms)
+        .build()
+        .expect("scale duration is a valid timeline");
+    let arm = |label: &str, manager: ManagerKind| TrialArm {
+        label: label.to_string(),
+        policy: SchedPolicy::VarFAppIpc,
+        manager,
+        budget: PowerBudget::cost_performance(threads),
+        runtime,
+        rng_salt: None,
+    };
+
+    let ctx = Context::new(opts.scale.grid);
+    let pool = cmpsim::app_pool(&ctx.machine_config().dynamic);
+    let spec = TrialSpec::builder(&ctx, &pool)
+        .threads(threads)
+        .trials(1)
+        .seed(opts.seed)
+        .plan(SeedPlan::default())
+        .arm(arm("LinOpt", ManagerKind::LinOpt))
+        .arm(arm("Foxton*", ManagerKind::FoxtonStar))
+        .build()
+        .expect("trace spec is valid");
+
+    let mut results = TrialRunner::new().run_observed(&spec, |_| TraceObserver::new());
+    let (_, observers) = results.remove(0);
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    for (arm, observer) in spec.arms.iter().zip(observers) {
+        let path = format!("results/trace_{}.jsonl", slug(&arm.label));
+        println!(
+            "{path}: {} records, metrics {}",
+            observer.jsonl().lines().count().saturating_sub(1),
+            observer.metrics().to_json()
+        );
+        std::fs::write(&path, observer.into_jsonl()).expect("write trace");
+    }
+}

@@ -18,6 +18,7 @@
 
 use vasched::experiments::{Scale, Series};
 
+pub mod json_report;
 pub mod timing;
 
 /// Default master seed (ISCA 2008's opening day).

@@ -29,7 +29,7 @@
 
 use crate::experiments::Context;
 use crate::manager::{ManagerKind, PowerBudget};
-use crate::online::{run_online_faulted, OnlineConfig, OnlineOutcome};
+use crate::online::{run_online_observed, OnlineConfig, OnlineOutcome};
 use crate::runtime::{
     run_trial_faulted, NullObserver, RuntimeConfig, TrialError, TrialObserver, TrialOutcome,
 };
@@ -504,7 +504,25 @@ impl TrialRunner {
     ///
     /// Propagates a panic from any trial.
     pub fn run_online(&self, spec: &OnlineTrialSpec<'_>) -> Vec<OnlineTrialResult> {
-        self.map(spec.trials, |trial| run_one_online(spec, trial))
+        self.map(spec.trials, |trial| {
+            run_one_online(spec, trial, |_| NullObserver).0
+        })
+    }
+
+    /// Like [`TrialRunner::run_online`], but builds one observer per
+    /// arm (via `make(arm_index)`) and returns them alongside each
+    /// trial's result, in arm order — the open-system counterpart of
+    /// [`TrialRunner::run_observed`].
+    pub fn run_online_observed<O, F>(
+        &self,
+        spec: &OnlineTrialSpec<'_>,
+        make: F,
+    ) -> Vec<(OnlineTrialResult, Vec<O>)>
+    where
+        O: TrialObserver + Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        self.map(spec.trials, |trial| run_one_online(spec, trial, &make))
     }
 
     /// Runs `count` independent jobs across the workers and returns
@@ -623,7 +641,15 @@ where
 /// workload (initial residents + arrival schedule) is drawn inside
 /// [`run_online`] from each arm's RNG, so salted arms replay the
 /// identical job stream.
-fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult {
+fn run_one_online<O, F>(
+    spec: &OnlineTrialSpec<'_>,
+    trial: usize,
+    make: F,
+) -> (OnlineTrialResult, Vec<O>)
+where
+    O: TrialObserver,
+    F: Fn(usize) -> O,
+{
     let trial_seed = spec.plan.derive(spec.seed, trial);
     let mut rng = SimRng::seed_from(trial_seed);
     let die = spec.ctx.make_die(&mut rng);
@@ -636,7 +662,9 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
         .with_seed(spec.fault_plan.seed ^ trial_seed);
 
     let mut arms = Vec::with_capacity(spec.arms.len());
-    for arm in &spec.arms {
+    let mut observers = Vec::with_capacity(spec.arms.len());
+    for (ai, arm) in spec.arms.iter().enumerate() {
+        let mut observer = make(ai);
         let start = Instant::now();
         // Unlike the batch path, every arm serves from the cold
         // manufactured machine: the serving curves compare policies on
@@ -645,7 +673,7 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
         // an already-hot chip — an ordering artifact, not policy.
         let mut arm_machine = machine.clone();
         let result = match arm.rng_salt {
-            Some(salt) => run_online_faulted(
+            Some(salt) => run_online_observed(
                 &mut arm_machine,
                 spec.pool,
                 spec.mix,
@@ -655,8 +683,9 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
                 &arm.config,
                 &fault_plan,
                 &mut SimRng::seed_from(trial_seed ^ salt),
+                &mut observer,
             ),
-            None => run_online_faulted(
+            None => run_online_observed(
                 &mut arm_machine,
                 spec.pool,
                 spec.mix,
@@ -666,6 +695,7 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
                 &arm.config,
                 &fault_plan,
                 &mut rng,
+                &mut observer,
             ),
         };
         let outcome = result.unwrap_or_else(|e| panic!("online trial failed: {e}"));
@@ -673,12 +703,16 @@ fn run_one_online(spec: &OnlineTrialSpec<'_>, trial: usize) -> OnlineTrialResult
             outcome,
             wall_s: start.elapsed().as_secs_f64(),
         });
+        observers.push(observer);
     }
-    OnlineTrialResult {
-        trial,
-        trial_seed,
-        arms,
-    }
+    (
+        OnlineTrialResult {
+            trial,
+            trial_seed,
+            arms,
+        },
+        observers,
+    )
 }
 
 /// Per-arm mean over trials of `metric(outcome)` for online results,

@@ -78,6 +78,7 @@ pub mod experiments;
 pub mod extensions;
 pub mod manager;
 pub mod metrics;
+pub mod obs;
 pub mod online;
 pub mod profile;
 pub mod runtime;
@@ -93,6 +94,7 @@ pub mod prelude {
         DegradationEvent, HardenedManager, ManagerKind, PowerBudget, PowerManager, SolverError,
     };
     pub use crate::metrics::{ed2_index, weighted_mips};
+    pub use crate::obs::{MetricsRegistry, TraceObserver};
     pub use crate::online::{
         run_online, run_online_faulted, ArrivalConfig, LatencyStats, OnlineConfig, OnlineOutcome,
     };

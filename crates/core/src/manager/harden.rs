@@ -24,7 +24,8 @@
 //! traces.
 
 use crate::manager::{
-    chipwide::ChipWide, CoreView, ManagerKind, PmView, PowerBudget, PowerManager, SolverError,
+    chipwide::ChipWide, CoreView, ManagerKind, PmView, PowerBudget, PowerManager, SolveReport,
+    SolveStatus, SolverError,
 };
 use cmpsim::{FaultEvent, Machine};
 use std::fmt;
@@ -106,6 +107,22 @@ struct CoreState {
     power_w: Vec<f64>,
 }
 
+/// Cumulative counts of the conditioner's interventions — the
+/// observability layer's window into how hard the sanitizer is working.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConditionStats {
+    /// Readings replaced wholesale (non-finite or negative samples).
+    pub clamped: u64,
+    /// Readings capped at a sanity ceiling (`MAX_IPC`,
+    /// `MAX_CORE_POWER_W`).
+    pub saturated: u64,
+    /// Monotonicity repairs applied to emitted power curves.
+    pub monotone_repairs: u64,
+    /// Per-core filter resets caused by a thread migrating onto or off
+    /// the core (see [`SensorConditioner::note_assignment`]).
+    pub migration_resets: u64,
+}
+
 /// Sanitizes and smooths manager input views.
 ///
 /// Clamping handles the catastrophic lies (NaN, negative watts,
@@ -118,7 +135,11 @@ struct CoreState {
 pub struct SensorConditioner {
     alpha: f64,
     state: Vec<Option<CoreState>>,
+    /// Resident thread per core at the last [`Self::note_assignment`],
+    /// so migrations that dodge a full reschedule still reset state.
+    residents: Vec<Option<usize>>,
     uncore_w: Option<f64>,
+    stats: ConditionStats,
 }
 
 impl SensorConditioner {
@@ -144,7 +165,9 @@ impl SensorConditioner {
         Self {
             alpha: Self::DEFAULT_ALPHA,
             state: vec![None; cores],
+            residents: vec![None; cores],
             uncore_w: None,
+            stats: ConditionStats::default(),
         }
     }
 
@@ -168,6 +191,42 @@ impl SensorConditioner {
         self.state.iter_mut().for_each(|s| *s = None);
     }
 
+    /// Drops one core's smoothing state (its next reading passes
+    /// through unsmoothed).
+    pub fn reset_core(&mut self, core: usize) {
+        if let Some(s) = self.state.get_mut(core) {
+            *s = None;
+        }
+    }
+
+    /// Reconciles the filter with the current thread-to-core
+    /// `assignment`: any core whose resident thread differs from the
+    /// one its state was built on — a migration, a parked thread, a
+    /// dead core's refugee landing elsewhere — gets its state reset, so
+    /// the EWMA can never blend two threads' readings even when no
+    /// full reschedule (and hence no [`Self::clear`]) happened.
+    pub fn note_assignment(&mut self, assignment: &[Option<usize>]) {
+        if self.residents.len() != assignment.len() {
+            // Machine shape changed; restart identity tracking.
+            self.residents = vec![None; assignment.len()];
+            self.state = vec![None; assignment.len()];
+        }
+        for (core, (&now, seen)) in assignment.iter().zip(&mut self.residents).enumerate() {
+            if *seen != now {
+                if self.state[core].is_some() {
+                    self.state[core] = None;
+                    self.stats.migration_resets += 1;
+                }
+                *seen = now;
+            }
+        }
+    }
+
+    /// Cumulative intervention counts since construction.
+    pub fn stats(&self) -> ConditionStats {
+        self.stats
+    }
+
     /// Returns the sanitized, smoothed copy of `view`.
     pub fn condition(&mut self, view: &PmView) -> PmView {
         let mut present = vec![false; self.state.len()];
@@ -182,8 +241,12 @@ impl SensorConditioner {
                 // (or zero) when a sample is unusable.
                 let prev_ipc = prev.as_ref().map(|p| p.ipc);
                 let mut ipc = if c.ipc.is_finite() && c.ipc >= 0.0 {
+                    if c.ipc > MAX_IPC {
+                        self.stats.saturated += 1;
+                    }
                     c.ipc.min(MAX_IPC)
                 } else {
+                    self.stats.clamped += 1;
                     prev_ipc.unwrap_or(0.0)
                 };
                 let mut power_w: Vec<f64> = c
@@ -192,8 +255,12 @@ impl SensorConditioner {
                     .enumerate()
                     .map(|(l, &p)| {
                         if p.is_finite() && p >= 0.0 {
+                            if p > MAX_CORE_POWER_W {
+                                self.stats.saturated += 1;
+                            }
                             p.min(MAX_CORE_POWER_W)
                         } else {
+                            self.stats.clamped += 1;
                             prev.as_ref()
                                 .and_then(|s| s.power_w.get(l).copied())
                                 .unwrap_or(0.0)
@@ -224,7 +291,10 @@ impl SensorConditioner {
                 // On the smoothed curve it shrinks with the residual
                 // noise instead.
                 for l in 1..power_w.len() {
-                    power_w[l] = power_w[l].max(power_w[l - 1]);
+                    if power_w[l] < power_w[l - 1] {
+                        self.stats.monotone_repairs += 1;
+                        power_w[l] = power_w[l - 1];
+                    }
                 }
                 CoreView {
                     core: c.core,
@@ -245,6 +315,7 @@ impl SensorConditioner {
         let mut uncore = if raw_uncore.is_finite() && raw_uncore >= 0.0 {
             raw_uncore
         } else {
+            self.stats.clamped += 1;
             self.uncore_w.unwrap_or(0.0)
         };
         if let Some(prev) = self.uncore_w {
@@ -268,6 +339,7 @@ pub struct HardenedManager {
     fallback: ChipWide,
     conditioner: SensorConditioner,
     hardened: bool,
+    last_report: Option<SolveReport>,
 }
 
 impl HardenedManager {
@@ -280,6 +352,7 @@ impl HardenedManager {
             fallback: ChipWide,
             conditioner: SensorConditioner::new(cores),
             hardened,
+            last_report: None,
         }
     }
 
@@ -314,25 +387,65 @@ impl HardenedManager {
         rng: &mut SimRng,
         events: &mut Vec<DegradationEvent>,
     ) -> Option<Vec<usize>> {
+        self.last_report = None;
         let pm = self.primary.as_deref_mut()?;
         if !self.hardened {
-            // The historical code path, bit for bit.
-            return pm.invoke(machine, budget, rng);
+            // The historical code path, bit for bit; the report is a
+            // pure read-out and cannot perturb it.
+            let levels = pm.invoke(machine, budget, rng);
+            if levels.is_some() {
+                self.last_report = Some(
+                    pm.last_solve()
+                        .unwrap_or_else(|| SolveReport::heuristic(pm.name())),
+                );
+            }
+            return levels;
         }
+        // Thread migrations invalidate per-core filter state even when
+        // no reschedule cleared it (belt for `note_reschedule`'s
+        // suspenders: today every migration follows a reschedule, but
+        // the filter must not rely on that coupling).
+        self.conditioner.note_assignment(machine.assignment());
         let raw = PmView::from_machine(machine);
         if raw.is_empty() {
             return None;
         }
         let view = self.conditioner.condition(&raw);
         let levels = match pm.try_levels(&view, budget, rng) {
-            Ok(levels) => levels,
+            Ok(levels) => {
+                self.last_report = Some(
+                    pm.last_solve()
+                        .unwrap_or_else(|| SolveReport::heuristic(pm.name())),
+                );
+                levels
+            }
             Err(error) => {
                 events.push(DegradationEvent::SolverFallback { error });
+                let mut report = pm
+                    .last_solve()
+                    .unwrap_or_else(|| SolveReport::heuristic(pm.name()));
+                report.status = SolveStatus::Fallback(error);
+                self.last_report = Some(report);
                 self.fallback.levels(&view, budget, rng)
             }
         };
         view.apply(machine, &levels);
         Some(levels)
+    }
+
+    /// The [`SolveReport`] of the most recent [`Self::invoke`] that
+    /// actually ran a manager (`None` when unmanaged, no cores were
+    /// active, or nothing ran yet). On a solver fallback the report
+    /// keeps the primary's cost counters but carries
+    /// [`SolveStatus::Fallback`].
+    pub fn last_solve(&self) -> Option<SolveReport> {
+        self.last_report
+    }
+
+    /// Cumulative [`SensorConditioner`] intervention counts (all zero
+    /// until the hardened path runs).
+    pub fn conditioner_stats(&self) -> ConditionStats {
+        self.conditioner.stats()
     }
 }
 
@@ -392,6 +505,61 @@ mod tests {
         // After clear, the next reading passes through unsmoothed.
         let out = cond.condition(&clean);
         assert_eq!(out.cores()[0].power_w, clean.cores()[0].power_w);
+    }
+
+    #[test]
+    fn migration_resets_filter_without_a_clear() {
+        // Thread 7 runs on core 0 and builds up smoothing state; then
+        // thread 9 migrates onto core 0 *without* a reschedule-driven
+        // clear(). The filter must not blend thread 7's readings into
+        // thread 9's first sample.
+        let mut cond = SensorConditioner::new(2).with_alpha(0.5);
+        let hot = PmView::from_cores(vec![synthetic_core(0, 2.0, 9, 1.0)]);
+        let cool = PmView::from_cores(vec![CoreView {
+            power_w: hot.cores()[0].power_w.iter().map(|p| p * 0.5).collect(),
+            ipc: 0.4,
+            ..hot.cores()[0].clone()
+        }]);
+
+        cond.note_assignment(&[Some(7), None]);
+        cond.condition(&hot);
+        cond.condition(&hot);
+
+        // Same thread, same readings: the EWMA is at steady state.
+        cond.note_assignment(&[Some(7), None]);
+        let stats_before = cond.stats();
+        assert_eq!(stats_before.migration_resets, 0, "no migration yet");
+
+        // Migration: a different thread lands on core 0.
+        cond.note_assignment(&[Some(9), None]);
+        assert_eq!(cond.stats().migration_resets, 1);
+        let out = cond.condition(&cool);
+        assert_eq!(
+            out.cores()[0].power_w,
+            cool.cores()[0].power_w,
+            "first post-migration reading must pass through unblended"
+        );
+        assert_eq!(out.cores()[0].ipc, 0.4);
+    }
+
+    #[test]
+    fn note_assignment_is_idempotent_for_stable_mappings() {
+        let mut cond = SensorConditioner::new(3).with_alpha(0.5);
+        let v = PmView::from_cores(vec![synthetic_core(0, 1.0, 9, 1.0)]);
+        cond.note_assignment(&[Some(1), Some(2), None]);
+        cond.condition(&v);
+        cond.note_assignment(&[Some(1), Some(2), None]);
+        // State survived: the second identical reading is smoothed
+        // (steady state ⇒ output equals input, but state is Some).
+        let out = cond.condition(&v);
+        assert_eq!(out.cores()[0].power_w, v.cores()[0].power_w);
+        assert_eq!(cond.stats().migration_resets, 0);
+
+        // Parking the thread (core goes empty) then unparking it also
+        // resets, covering dead-core churn from the faults path.
+        cond.note_assignment(&[None, Some(2), None]);
+        cond.note_assignment(&[Some(1), Some(2), None]);
+        assert_eq!(cond.stats().migration_resets, 1);
     }
 
     #[test]

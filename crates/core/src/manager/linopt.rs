@@ -17,7 +17,9 @@
 //! table levels so the measured power cannot exceed the linear
 //! estimate's intent.
 
-use crate::manager::{PmView, PowerBudget, PowerManager, SolverError};
+use crate::manager::{
+    PmView, PowerBudget, PowerManager, SolveReport, SolveStatus, SolverError, WarmStart,
+};
 use linprog::Problem;
 use vastats::{LineFit, SimRng};
 
@@ -239,17 +241,49 @@ pub fn try_linopt_levels_warm(
     rounding: RoundingPolicy,
     warm: &mut Option<Vec<usize>>,
 ) -> Result<Vec<usize>, SolverError> {
+    try_linopt_levels_traced(view, budget, fit_points, rounding, warm).0
+}
+
+/// [`try_linopt_levels_warm`] plus the solver-side cost of the call:
+/// Simplex pivot count and warm-start disposition. This is the
+/// instrumented entry the stateful [`LinOpt`] manager uses to feed
+/// [`PowerManager::last_solve`]; the stats are byproducts of work the
+/// solve does anyway, so tracing costs nothing extra.
+///
+/// # Panics
+///
+/// Panics if the view is empty or `fit_points < 2`.
+pub fn try_linopt_levels_traced(
+    view: &PmView,
+    budget: &PowerBudget,
+    fit_points: usize,
+    rounding: RoundingPolicy,
+    warm: &mut Option<Vec<usize>>,
+) -> (Result<Vec<usize>, SolverError>, usize, WarmStart) {
     assert!(!view.is_empty(), "no active cores to manage");
+    let had_hint = warm.is_some();
+    let missed = |had: bool| {
+        if had {
+            WarmStart::Miss
+        } else {
+            WarmStart::Cold
+        }
+    };
     let n = view.len();
     let Some((lp, v_low)) = assemble_lp(view, budget, fit_points) else {
         // Even the floor violates the target.
         *warm = None;
-        return Err(SolverError::Infeasible);
+        return (Err(SolverError::Infeasible), 0, missed(had_hint));
     };
 
     let Ok(solution) = lp.solve_warm(warm.as_deref()) else {
         *warm = None;
-        return Err(SolverError::NumericalFailure);
+        return (Err(SolverError::NumericalFailure), 0, missed(had_hint));
+    };
+    let warm_disposition = if solution.warm_started {
+        WarmStart::Hit
+    } else {
+        missed(had_hint)
     };
     *warm = Some(solution.basis.clone());
 
@@ -284,7 +318,7 @@ pub fn try_linopt_levels_warm(
     // Ptarget, which the fill pass converts back into throughput.
     crate::manager::view::repair_to_budget(view, budget, &mut levels);
     crate::manager::view::greedy_fill(view, budget, &mut levels);
-    Ok(levels)
+    (Ok(levels), solution.pivots, warm_disposition)
 }
 
 /// The stateful LinOpt controller: a [`PowerManager`] that warm-starts
@@ -297,6 +331,7 @@ pub struct LinOpt {
     fit_points: usize,
     rounding: RoundingPolicy,
     basis: Option<Vec<usize>>,
+    last: Option<SolveReport>,
 }
 
 impl LinOpt {
@@ -306,6 +341,7 @@ impl LinOpt {
             fit_points: FIT_POINTS,
             rounding: RoundingPolicy::Down,
             basis: None,
+            last: None,
         }
     }
 
@@ -339,14 +375,11 @@ impl PowerManager for LinOpt {
         "LinOpt"
     }
 
-    fn levels(&mut self, view: &PmView, budget: &PowerBudget, _rng: &mut SimRng) -> Vec<usize> {
-        linopt_levels_warm(
-            view,
-            budget,
-            self.fit_points,
-            self.rounding,
-            &mut self.basis,
-        )
+    fn levels(&mut self, view: &PmView, budget: &PowerBudget, rng: &mut SimRng) -> Vec<usize> {
+        // Legacy semantics: solver failure silently pins minimum
+        // levels, but the report still records the degradation.
+        self.try_levels(view, budget, rng)
+            .unwrap_or_else(|_| view.min_levels())
     }
 
     fn try_levels(
@@ -355,17 +388,32 @@ impl PowerManager for LinOpt {
         budget: &PowerBudget,
         _rng: &mut SimRng,
     ) -> Result<Vec<usize>, SolverError> {
-        try_linopt_levels_warm(
+        let (result, pivots, warm) = try_linopt_levels_traced(
             view,
             budget,
             self.fit_points,
             self.rounding,
             &mut self.basis,
-        )
+        );
+        self.last = Some(SolveReport {
+            manager: self.name(),
+            status: match &result {
+                Ok(_) => SolveStatus::Optimal,
+                Err(e) => SolveStatus::Fallback(*e),
+            },
+            pivots,
+            warm,
+        });
+        result
     }
 
     fn reset(&mut self) {
         self.basis = None;
+        self.last = None;
+    }
+
+    fn last_solve(&self) -> Option<SolveReport> {
+        self.last
     }
 }
 
@@ -570,6 +618,49 @@ mod tests {
         assert!(manager.has_warm_basis());
         manager.reset();
         assert!(!manager.has_warm_basis());
+    }
+
+    #[test]
+    fn solve_reports_track_warm_start_lifecycle() {
+        let mut manager = LinOpt::new();
+        let mut rng = SimRng::seed_from(11);
+        let v = view(5);
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        let budget = PowerBudget {
+            chip_w: min_p + 0.5 * (max_p - min_p),
+            per_core_w: 100.0,
+        };
+        assert!(manager.last_solve().is_none(), "no solve yet");
+
+        let _ = manager.levels(&v, &budget, &mut rng);
+        let first = manager.last_solve().expect("report after solve");
+        assert_eq!(first.manager, "LinOpt");
+        assert_eq!(first.status, SolveStatus::Optimal);
+        assert_eq!(first.warm, WarmStart::Cold);
+        assert!(first.pivots > 0);
+
+        let _ = manager.levels(&v, &budget, &mut rng);
+        let second = manager.last_solve().unwrap();
+        assert_eq!(second.warm, WarmStart::Hit, "same view must reuse basis");
+        assert!(second.pivots <= first.pivots);
+
+        // An infeasible budget degrades the status and drops the basis.
+        let impossible = PowerBudget {
+            chip_w: 0.001,
+            per_core_w: 100.0,
+        };
+        let levels = manager.levels(&v, &impossible, &mut rng);
+        assert_eq!(levels, v.min_levels());
+        let report = manager.last_solve().unwrap();
+        assert_eq!(
+            report.status,
+            SolveStatus::Fallback(SolverError::Infeasible)
+        );
+        assert_eq!(report.warm, WarmStart::Miss);
+
+        manager.reset();
+        assert!(manager.last_solve().is_none(), "reset clears the report");
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod linopt;
 pub mod sann;
 mod view;
 
-pub use harden::{DegradationEvent, HardenedManager, SensorConditioner};
+pub use harden::{ConditionStats, DegradationEvent, HardenedManager, SensorConditioner};
 pub use view::{greedy_fill, repair_to_budget, synthetic_core, CoreView, PmView};
 
 use cmpsim::Machine;
@@ -64,6 +64,64 @@ impl fmt::Display for SolverError {
 }
 
 impl std::error::Error for SolverError {}
+
+/// How a manager arrived at its level assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// A mathematical optimum from a real solver (LinOpt's LP).
+    Optimal,
+    /// A search heuristic's best-effort assignment (Foxton*, SAnn,
+    /// chip-wide stepping, …).
+    Heuristic,
+    /// The primary solver failed and the assignment came from a
+    /// degraded path (minimum-level pinning or a fallback manager).
+    Fallback(SolverError),
+}
+
+/// Warm-start disposition of one solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStart {
+    /// A cached basis installed successfully and seeded the solve.
+    Hit,
+    /// A cached basis was offered but was stale and got discarded.
+    Miss,
+    /// No cached basis existed (first interval of a trial, or the
+    /// cache was invalidated).
+    Cold,
+    /// The algorithm has no warm-start mechanism.
+    NotApplicable,
+}
+
+/// What one manager invocation cost and how it went: the solver-side
+/// record the observability layer attaches to each DVFS interval.
+///
+/// Reports are plain `Copy` data so collecting them stays allocation
+/// free; managers that don't implement [`PowerManager::last_solve`]
+/// simply report nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveReport {
+    /// [`PowerManager::name`] of the manager that produced the levels.
+    pub manager: &'static str,
+    /// Outcome of the solve.
+    pub status: SolveStatus,
+    /// Simplex pivots performed (0 for non-LP managers).
+    pub pivots: usize,
+    /// Warm-start disposition.
+    pub warm: WarmStart,
+}
+
+impl SolveReport {
+    /// The report for a manager without solver instrumentation: a
+    /// heuristic that always produces an assignment.
+    pub fn heuristic(manager: &'static str) -> Self {
+        Self {
+            manager,
+            status: SolveStatus::Heuristic,
+            pivots: 0,
+            warm: WarmStart::NotApplicable,
+        }
+    }
+}
 
 /// A DVFS power-management policy, invoked once per DVFS interval.
 ///
@@ -103,6 +161,14 @@ pub trait PowerManager: Send {
     /// Clears any cross-interval state (start of a new trial). The
     /// default is a no-op for stateless managers.
     fn reset(&mut self) {}
+
+    /// The [`SolveReport`] of the most recent `levels`/`try_levels`
+    /// call, for managers that instrument their solver (LinOpt counts
+    /// Simplex pivots and warm-start hits). The default reports
+    /// nothing; observers treat that as a plain heuristic solve.
+    fn last_solve(&self) -> Option<SolveReport> {
+        None
+    }
 
     /// One full invocation against a live machine: reads the sensors,
     /// picks levels, applies them. Returns the chosen per-active-core

@@ -1,0 +1,269 @@
+//! A tiny in-process metrics registry: counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! Instruments are keyed by `&'static str` and stored in insertion
+//! order, so a registry populated by a deterministic simulation renders
+//! to byte-identical JSON on every run. There is no interior
+//! mutability and no background aggregation — callers own the registry
+//! and mutate it directly, which keeps the disabled path allocation-free
+//! (a never-touched registry holds three empty `Vec`s).
+
+use super::json::{push_json_f64, push_json_str};
+
+/// A monotonically increasing count with cumulative-bucket semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, ascending. A sample lands
+    /// in the first bucket whose bound is `>=` the value; larger
+    /// samples land in the implicit overflow bucket.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the overflow
+    /// bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending finite bucket
+    /// bounds (an overflow bucket is added automatically).
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample. Non-finite samples count toward `total`
+    /// and the overflow bucket but not the sum.
+    pub fn record(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.total += 1;
+        if value.is_finite() {
+            self.sum += value;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all finite samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Insertion-ordered registry of named counters, gauges, and
+/// histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry. Holds no heap allocations until the first
+    /// instrument is touched.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn inc(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+
+    /// Sets the named gauge to `value`, creating it if needed.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name, value)),
+        }
+    }
+
+    /// Records `value` into the named histogram, creating it with
+    /// `bounds` on first use (later calls ignore `bounds`).
+    pub fn observe(&mut self, name: &'static str, bounds: &[f64], value: f64) {
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.record(value),
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.record(value);
+                self.histograms.push((name, h));
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True if no instrument was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the registry as one JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    /// Keys appear in insertion order, so deterministic callers get
+    /// deterministic bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            push_json_f64(&mut out, *value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_f64(&mut out, *b);
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("],\"total\":");
+            out.push_str(&h.total.to_string());
+            out.push_str(",\"sum\":");
+            push_json_f64(&mut out, h.sum);
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::json::parse_json;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.inc("solves", 1);
+        m.inc("solves", 2);
+        assert_eq!(m.counter("solves"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_upper_bounds() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(0.5); // bucket 0
+        h.record(1.0); // bucket 0 (inclusive bound)
+        h.record(5.0); // bucket 1
+        h.record(100.0); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.total(), 4);
+        assert!((h.sum() - 106.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_go_to_overflow_without_poisoning_sum() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(0.5);
+        assert_eq!(h.counts(), &[1, 2]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.sum(), 0.5);
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.inc("b_first", 1);
+        m.inc("a_second", 2);
+        m.set_gauge("temp_c", 71.5);
+        m.observe("pivots", &[4.0, 16.0], 7.0);
+        let text = m.to_json();
+        let doc = parse_json(&text).expect("registry JSON parses");
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("a_second")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("temp_c").unwrap().as_f64(),
+            Some(71.5)
+        );
+        let hist = doc.get("histograms").unwrap().get("pivots").unwrap();
+        assert_eq!(hist.get("total").unwrap().as_f64(), Some(1.0));
+        // Insertion order survives rendering.
+        let counters = text.find("b_first").unwrap();
+        assert!(counters < text.find("a_second").unwrap());
+    }
+}

@@ -1,0 +1,33 @@
+//! Observability: metrics, structured run traces, and the JSON
+//! plumbing behind them — all dependency-free.
+//!
+//! The layer has three pieces:
+//!
+//! * [`MetricsRegistry`] — insertion-ordered counters, gauges, and
+//!   fixed-bucket [`Histogram`]s keyed by `&'static str`;
+//! * [`TraceObserver`] — a [`crate::runtime::TrialObserver`] that
+//!   writes one JSONL record per DVFS interval (schema
+//!   [`TRACE_SCHEMA`]): per-core V/f/power/temperature/IPC/thread,
+//!   chip power and throughput, the solver outcome
+//!   ([`crate::manager::SolveReport`]), and degradation events;
+//! * [`json`] — writer helpers plus a small recursive-descent parser
+//!   ([`parse_json`]) used by the schema tests and the bench-output
+//!   validator.
+//!
+//! # Zero-cost contract
+//!
+//! Observation is strictly opt-in. The engine's no-observer path
+//! (`NullObserver`) compiles to empty inlined hooks — no allocation,
+//! no formatting — and `tests/obs.rs` pins the paper-scale CSVs and
+//! the online event trace byte-for-byte against goldens generated
+//! before this layer existed. When a trace *is* requested, it is
+//! deterministic: same seed ⇒ byte-identical JSONL, regardless of
+//! `TrialRunner` worker count.
+
+pub mod json;
+mod metrics;
+mod trace;
+
+pub use json::{parse_json, JsonError, JsonValue};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use trace::{TraceObserver, TRACE_SCHEMA};

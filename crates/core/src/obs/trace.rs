@@ -1,0 +1,293 @@
+//! Structured JSONL run traces.
+//!
+//! [`TraceObserver`] plugs into the [`TrialObserver`] seam and writes
+//! one JSON record per DVFS interval (10 machine ticks on the paper
+//! timeline): per-core voltage, frequency, power, temperature, IPC and
+//! resident thread, chip-level power and throughput, the solver-side
+//! outcome of the interval's power-manager invocation, and any
+//! degradation events. The first line is a schema header so consumers
+//! can validate before parsing the stream.
+//!
+//! Determinism: every number is rendered with Rust's
+//! shortest-roundtrip formatting and every collection is iterated in
+//! simulation order, so a fixed seed yields byte-identical traces
+//! regardless of worker count (`tests/obs.rs` pins this).
+
+use crate::manager::{DegradationEvent, SolveReport, SolveStatus, WarmStart};
+use crate::runtime::TrialObserver;
+use cmpsim::{Machine, StepStats};
+
+use super::json::{push_json_f64, push_json_str};
+use super::metrics::MetricsRegistry;
+
+/// Schema tag written on the first line of every trace.
+pub const TRACE_SCHEMA: &str = "vasp.trace.v1";
+
+/// Histogram bounds for simplex pivot counts per solve.
+const PIVOT_BOUNDS: [f64; 7] = [0.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// A [`TrialObserver`] that records one JSONL line per DVFS interval
+/// plus a summary [`MetricsRegistry`].
+#[derive(Debug, Clone)]
+pub struct TraceObserver {
+    /// Machine ticks per emitted record (the DVFS interval, in ticks).
+    interval_ticks: usize,
+    out: String,
+    metrics: MetricsRegistry,
+    wrote_header: bool,
+    /// Ticks stepped so far (drives record emission).
+    steps: usize,
+    /// Simulated seconds elapsed at the end of the last step.
+    time_s: f64,
+    /// Energy (J) and instructions accumulated over the open interval.
+    interval_energy_j: f64,
+    interval_instructions: f64,
+    interval_dt_s: f64,
+    /// Latest solver report seen this interval, if any.
+    solve: Option<SolveReport>,
+    /// True if a scheduling epoch ran this interval.
+    scheduled: bool,
+    /// Degradation events raised this interval, in arrival order.
+    degradations: Vec<(usize, DegradationEvent)>,
+}
+
+impl Default for TraceObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceObserver {
+    /// A trace that samples every 10 ticks — the paper's 10 ms DVFS
+    /// interval at the default 1 ms tick.
+    pub fn new() -> Self {
+        Self::with_interval_ticks(10)
+    }
+
+    /// A trace that samples every `interval_ticks` machine ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ticks` is zero.
+    pub fn with_interval_ticks(interval_ticks: usize) -> Self {
+        assert!(interval_ticks > 0, "interval must be at least one tick");
+        Self {
+            interval_ticks,
+            out: String::new(),
+            metrics: MetricsRegistry::new(),
+            wrote_header: false,
+            steps: 0,
+            time_s: 0.0,
+            interval_energy_j: 0.0,
+            interval_instructions: 0.0,
+            interval_dt_s: 0.0,
+            solve: None,
+            scheduled: false,
+            degradations: Vec::new(),
+        }
+    }
+
+    /// The JSONL document accumulated so far (header line first).
+    pub fn jsonl(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the observer, returning the JSONL document.
+    pub fn into_jsonl(self) -> String {
+        self.out
+    }
+
+    /// Summary counters and histograms for the whole run.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn header(&mut self) {
+        if self.wrote_header {
+            return;
+        }
+        self.wrote_header = true;
+        self.out.push_str("{\"schema\":");
+        push_json_str(&mut self.out, TRACE_SCHEMA);
+        self.out.push_str(",\"interval_ticks\":");
+        self.out.push_str(&self.interval_ticks.to_string());
+        self.out.push_str("}\n");
+    }
+
+    fn emit_record(&mut self, machine: &Machine) {
+        self.header();
+        self.metrics.inc("records", 1);
+        let out = &mut self.out;
+
+        out.push_str("{\"t_s\":");
+        push_json_f64(out, self.time_s);
+        out.push_str(",\"tick\":");
+        out.push_str(&self.steps.to_string());
+
+        // Interval-mean chip power and throughput.
+        let dt = self.interval_dt_s;
+        let power_w = if dt > 0.0 {
+            self.interval_energy_j / dt
+        } else {
+            0.0
+        };
+        let mips = if dt > 0.0 {
+            self.interval_instructions / dt / 1.0e6
+        } else {
+            0.0
+        };
+        out.push_str(",\"power_w\":");
+        push_json_f64(out, power_w);
+        out.push_str(",\"mips\":");
+        push_json_f64(out, mips);
+        out.push_str(",\"scheduled\":");
+        out.push_str(if self.scheduled { "true" } else { "false" });
+
+        // Solver outcome for the interval (null when the manager has
+        // nothing to report, e.g. ManagerKind::None).
+        out.push_str(",\"solve\":");
+        match self.solve.take() {
+            None => out.push_str("null"),
+            Some(report) => {
+                out.push_str("{\"manager\":");
+                push_json_str(out, report.manager);
+                out.push_str(",\"status\":");
+                match report.status {
+                    SolveStatus::Optimal => out.push_str("\"optimal\",\"error\":null"),
+                    SolveStatus::Heuristic => out.push_str("\"heuristic\",\"error\":null"),
+                    SolveStatus::Fallback(e) => {
+                        out.push_str("\"fallback\",\"error\":");
+                        push_json_str(out, &e.to_string());
+                    }
+                }
+                out.push_str(",\"pivots\":");
+                out.push_str(&report.pivots.to_string());
+                out.push_str(",\"warm\":");
+                out.push_str(match report.warm {
+                    WarmStart::Hit => "\"hit\"",
+                    WarmStart::Miss => "\"miss\"",
+                    WarmStart::Cold => "\"cold\"",
+                    WarmStart::NotApplicable => "\"na\"",
+                });
+                out.push('}');
+            }
+        }
+
+        // Degradation events raised during the interval.
+        out.push_str(",\"degradations\":[");
+        for (i, (tick, event)) in self.degradations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"tick\":");
+            out.push_str(&tick.to_string());
+            out.push_str(",\"kind\":");
+            match event {
+                DegradationEvent::SolverFallback { error } => {
+                    out.push_str("\"solver_fallback\",\"detail\":");
+                    push_json_str(out, &error.to_string());
+                }
+                DegradationEvent::CoreFailed { core } => {
+                    out.push_str("\"core_failed\",\"core\":");
+                    out.push_str(&core.to_string());
+                }
+                DegradationEvent::SensorStuck { core } => {
+                    out.push_str("\"sensor_stuck\",\"core\":");
+                    out.push_str(&core.to_string());
+                }
+                DegradationEvent::BudgetDropBegan { factor } => {
+                    out.push_str("\"budget_drop_began\",\"factor\":");
+                    push_json_f64(out, *factor);
+                }
+                DegradationEvent::BudgetRestored => out.push_str("\"budget_restored\""),
+                DegradationEvent::ThreadsParked { parked } => {
+                    out.push_str("\"threads_parked\",\"parked\":");
+                    out.push_str(&parked.to_string());
+                }
+            }
+            out.push('}');
+        }
+        self.degradations.clear();
+
+        // Per-core sample at the interval boundary.
+        out.push_str("],\"cores\":[");
+        for core in 0..machine.core_count() {
+            if core > 0 {
+                out.push(',');
+            }
+            let level = machine.level(core);
+            out.push_str("{\"id\":");
+            out.push_str(&core.to_string());
+            out.push_str(",\"thread\":");
+            match machine.thread_of(core) {
+                Some(t) => out.push_str(&t.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"level\":");
+            out.push_str(&level.to_string());
+            out.push_str(",\"v\":");
+            push_json_f64(out, machine.vf_table(core).voltage_at(level));
+            out.push_str(",\"f_hz\":");
+            push_json_f64(out, machine.effective_freq(core));
+            out.push_str(",\"power_w\":");
+            push_json_f64(out, machine.sensor_core_power(core));
+            out.push_str(",\"ipc\":");
+            push_json_f64(out, machine.sensor_core_ipc(core));
+            out.push_str(",\"temp_k\":");
+            push_json_f64(out, machine.core_temperature(core));
+            out.push('}');
+        }
+        out.push_str("]}\n");
+
+        self.scheduled = false;
+        self.interval_energy_j = 0.0;
+        self.interval_instructions = 0.0;
+        self.interval_dt_s = 0.0;
+    }
+}
+
+impl TrialObserver for TraceObserver {
+    fn on_schedule(&mut self, _tick: usize, _mapping: &[Option<usize>]) {
+        self.scheduled = true;
+        self.metrics.inc("schedules", 1);
+    }
+
+    fn on_manager_run(&mut self, _tick: usize, _levels: &[usize]) {
+        self.metrics.inc("manager_runs", 1);
+    }
+
+    fn on_solve(&mut self, _tick: usize, report: &SolveReport) {
+        self.metrics.inc("solves", 1);
+        self.metrics
+            .observe("pivots", &PIVOT_BOUNDS, report.pivots as f64);
+        match report.status {
+            SolveStatus::Optimal => self.metrics.inc("solves_optimal", 1),
+            SolveStatus::Heuristic => self.metrics.inc("solves_heuristic", 1),
+            SolveStatus::Fallback(_) => self.metrics.inc("solves_fallback", 1),
+        }
+        match report.warm {
+            WarmStart::Hit => self.metrics.inc("warm_hits", 1),
+            WarmStart::Miss => self.metrics.inc("warm_misses", 1),
+            WarmStart::Cold => self.metrics.inc("warm_cold", 1),
+            WarmStart::NotApplicable => {}
+        }
+        self.solve = Some(*report);
+    }
+
+    fn on_step(&mut self, machine: &Machine, stats: &StepStats) {
+        self.metrics.inc("steps", 1);
+        self.steps += 1;
+        self.time_s += stats.dt_s;
+        self.interval_dt_s += stats.dt_s;
+        self.interval_energy_j += stats.total_power_w * stats.dt_s;
+        self.interval_instructions += stats.instructions;
+        if self.steps.is_multiple_of(self.interval_ticks) {
+            self.emit_record(machine);
+        }
+    }
+
+    fn on_degradation(&mut self, tick: usize, event: DegradationEvent) {
+        self.metrics.inc("degradations", 1);
+        self.degradations.push((tick, event));
+    }
+}

@@ -5,6 +5,10 @@
 //! stuck behind a queue. [`LatencyStats`] condenses a sample of per-job
 //! latencies into the standard serving percentiles (p50/p95/p99) using
 //! `f64::total_cmp`, so a NaN in the sample cannot panic the summary.
+//! Non-finite latencies are dropped before summarizing — a single NaN
+//! would otherwise poison the mean, and `total_cmp` sorts NaN/∞ last,
+//! where they would masquerade as the max and the tail percentiles.
+//! The dropped count is reported so corrupted inputs stay visible.
 
 /// Nearest-rank percentile of an **ascending-sorted** sample.
 ///
@@ -25,8 +29,10 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// Summary of a latency sample (milliseconds throughout).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
-    /// Sample size.
+    /// Number of finite samples the summary is built from.
     pub count: usize,
+    /// Non-finite samples (NaN/±∞) excluded from every statistic.
+    pub dropped: usize,
     /// Arithmetic mean.
     pub mean_ms: f64,
     /// Median (nearest rank).
@@ -40,16 +46,19 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Summarizes a sample, or `None` when it is empty (no jobs
-    /// completed — an overloaded or idle run).
+    /// Summarizes a sample, or `None` when it holds no finite values
+    /// (no jobs completed — an overloaded or idle run — or every
+    /// latency was corrupted).
     pub fn of(values: &[f64]) -> Option<Self> {
-        if values.is_empty() {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        let dropped = values.len() - sorted.len();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
         Some(Self {
             count: sorted.len(),
+            dropped,
             mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50_ms: percentile(&sorted, 50.0),
             p95_ms: percentile(&sorted, 95.0),
@@ -104,11 +113,30 @@ mod tests {
     }
 
     #[test]
-    fn nan_in_sample_does_not_panic() {
-        let stats = LatencyStats::of(&[1.0, f64::NAN, 2.0]).unwrap();
-        // total_cmp sorts NaN last: it shows up in max, not in p50.
-        assert_eq!(stats.p50_ms, 2.0);
-        assert!(stats.max_ms.is_nan());
+    fn non_finite_samples_are_dropped_not_summarized() {
+        let stats =
+            LatencyStats::of(&[10.0, f64::NAN, 30.0, f64::INFINITY, 20.0, f64::NEG_INFINITY])
+                .unwrap();
+        // The summary is built from the three finite values only: no
+        // NaN-poisoned mean, no ∞ masquerading as the max or the tail.
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.dropped, 3);
+        assert!((stats.mean_ms - 20.0).abs() < 1e-12);
+        assert_eq!(stats.p50_ms, 20.0);
+        assert_eq!(stats.p99_ms, 30.0);
+        assert_eq!(stats.max_ms, 30.0);
+        assert!(stats.mean_ms.is_finite() && stats.max_ms.is_finite());
+    }
+
+    #[test]
+    fn all_non_finite_sample_has_no_stats() {
+        assert_eq!(LatencyStats::of(&[f64::NAN, f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn clean_samples_report_zero_dropped() {
+        let stats = LatencyStats::of(&[1.0, 2.0]).unwrap();
+        assert_eq!(stats.dropped, 0);
     }
 
     #[test]

@@ -57,7 +57,10 @@ mod sim;
 pub use arrivals::{generate_arrivals, ArrivalConfig, JobSpec};
 pub use metrics::{percentile, LatencyStats};
 pub use queue::{Event, EventKind, EventQueue};
-pub use sim::{run_online, run_online_faulted, EventRecord, JobRecord, OnlineEvent, OnlineOutcome};
+pub use sim::{
+    run_online, run_online_faulted, run_online_observed, EventRecord, JobRecord, OnlineEvent,
+    OnlineOutcome,
+};
 
 use crate::runtime::{ConfigError, RuntimeConfig};
 

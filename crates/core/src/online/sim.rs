@@ -17,7 +17,9 @@ use super::OnlineConfig;
 use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget};
 use crate::metrics::{ed2_index, weighted_mips};
 use crate::profile::{core_profiles, thread_profiles};
-use crate::runtime::{plan_assignment, FreqMode, TrialError, TrialOutcome};
+use crate::runtime::{
+    plan_assignment, FreqMode, NullObserver, TrialError, TrialObserver, TrialOutcome,
+};
 use crate::sched::SchedPolicy;
 use cmpsim::{AppSpec, FaultEvent, FaultPlan, Machine, Mix, Thread, Workload};
 use std::collections::VecDeque;
@@ -239,6 +241,39 @@ pub fn run_online_faulted(
     fault_plan: &FaultPlan,
     rng: &mut SimRng,
 ) -> Result<OnlineOutcome, TrialError> {
+    run_online_observed(
+        machine,
+        pool,
+        mix,
+        policy,
+        manager,
+        budget,
+        config,
+        fault_plan,
+        rng,
+        &mut NullObserver,
+    )
+}
+
+/// [`run_online_faulted`] plus a [`TrialObserver`] — the open-system
+/// counterpart of [`crate::runtime::run_trial_observed`]. The observer
+/// sees the same hooks the batch loop fires (schedule, manager run,
+/// solve report, degradation, step), drawn from the identical
+/// simulation: observation is a pure read-out and never perturbs RNG
+/// streams or outcomes.
+#[allow(clippy::too_many_arguments)] // mirrors run_online_faulted + observer
+pub fn run_online_observed(
+    machine: &mut Machine,
+    pool: &[AppSpec],
+    mix: Mix,
+    policy: SchedPolicy,
+    manager: ManagerKind,
+    budget: PowerBudget,
+    config: &OnlineConfig,
+    fault_plan: &FaultPlan,
+    rng: &mut SimRng,
+    observer: &mut dyn TrialObserver,
+) -> Result<OnlineOutcome, TrialError> {
     config.validate()?;
     let rt = config.runtime;
     if config.initial_jobs > machine.core_count() {
@@ -423,6 +458,7 @@ pub fn run_online_faulted(
                 plan_assignment(scheduler.as_mut(), &cores, &threads, machine, rng);
             machine.assign(&mapping);
             power_manager.note_reschedule();
+            observer.on_schedule(tick, &mapping);
             if parked > 0 {
                 events.push(EventRecord {
                     tick,
@@ -430,6 +466,7 @@ pub fn run_online_faulted(
                         event: DegradationEvent::ThreadsParked { parked },
                     },
                 });
+                observer.on_degradation(tick, DegradationEvent::ThreadsParked { parked });
             }
 
             // Charge the migration penalty to the destination core of
@@ -482,20 +519,23 @@ pub fn run_online_faulted(
             } else {
                 budget
             };
-            if power_manager
-                .invoke(machine, &eff_budget, rng, &mut degradations)
-                .is_some()
+            if let Some(levels) = power_manager.invoke(machine, &eff_budget, rng, &mut degradations)
             {
                 events.push(EventRecord {
                     tick,
                     event: OnlineEvent::ManagerRun,
                 });
+                observer.on_manager_run(tick, &levels);
+                if let Some(report) = power_manager.last_solve() {
+                    observer.on_solve(tick, &report);
+                }
             }
             for event in degradations.drain(..) {
                 events.push(EventRecord {
                     tick,
                     event: OnlineEvent::Degraded { event },
                 });
+                observer.on_degradation(tick, event);
             }
             manager_runs += 1;
         }
@@ -511,7 +551,9 @@ pub fn run_online_faulted(
                     event: DegradationEvent::from(event),
                 },
             });
+            observer.on_degradation(tick, DegradationEvent::from(event));
         }
+        observer.on_step(machine, &stats);
         if tick >= warmup_ticks {
             deviation_sum += (stats.total_power_w - budget.chip_w).abs();
             deviation_ticks += 1;

@@ -6,7 +6,7 @@
 //! the (V, f) assignment. The machine advances in fixed ticks between
 //! those events, and power/IPC sensors stay on throughout.
 
-use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget};
+use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget, SolveReport};
 use crate::metrics::{ed2_index, weighted_mips};
 use crate::profile::{core_profiles, thread_profiles, CoreProfile, ThreadProfile};
 use crate::sched::{SchedPolicy, Scheduler};
@@ -262,6 +262,15 @@ pub trait TrialObserver {
     /// per-active-core levels (in [`crate::manager::PmView`] order).
     fn on_manager_run(&mut self, tick: usize, levels: &[usize]) {
         let _ = (tick, levels);
+    }
+
+    /// Called after each power-manager invocation with the solver-side
+    /// cost record of the solve (pivot count, warm-start disposition,
+    /// outcome). Fires right after
+    /// [`TrialObserver::on_manager_run`], and only when the manager
+    /// exposes a report.
+    fn on_solve(&mut self, tick: usize, report: &SolveReport) {
+        let _ = (tick, report);
     }
 
     /// Called after every machine tick.
@@ -529,6 +538,9 @@ pub fn run_trial_faulted(
             if let Some(levels) = power_manager.invoke(machine, &eff_budget, rng, &mut degradations)
             {
                 observer.on_manager_run(tick, &levels);
+                if let Some(report) = power_manager.last_solve() {
+                    observer.on_solve(tick, &report);
+                }
             }
             for event in degradations.drain(..) {
                 observer.on_degradation(tick, event);

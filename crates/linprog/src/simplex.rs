@@ -68,6 +68,14 @@ pub struct Solution {
     /// back into [`Problem::solve_warm`] to warm-start the next solve of
     /// a same-shaped problem.
     pub basis: Vec<usize>,
+    /// Total tableau pivots the solve performed, across both phases and
+    /// any warm-start basis installation. A cheap proxy for solver work
+    /// (each pivot is one O(rows × width) tableau update).
+    pub pivots: usize,
+    /// Whether a caller-supplied basis hint installed successfully and
+    /// the solve started from it ([`Problem::solve_warm`]); `false` for
+    /// cold solves and for stale hints that were ignored.
+    pub warm_started: bool,
 }
 
 impl Problem {
@@ -175,12 +183,16 @@ impl Problem {
     /// Same as [`Problem::solve`].
     pub fn solve_warm(&self, basis_hint: Option<&[usize]>) -> Result<Solution, LpError> {
         let mut tableau = Tableau::build(self);
+        let mut warm_started = false;
         if let Some(hint) = basis_hint {
-            if !tableau.try_install_basis(hint) {
+            if tableau.try_install_basis(hint) {
+                warm_started = true;
+            } else {
                 tableau = Tableau::build(self);
             }
         }
         tableau.solve().map(|mut s| {
+            s.warm_started = warm_started;
             s.objective *= self.objective_sign;
             // Duals are computed against the internal (maximization)
             // objective; report them against the user's.
@@ -205,6 +217,8 @@ struct Tableau {
     n_structural: usize,
     n_total: usize,
     artificial_start: usize,
+    /// Pivots performed so far (reset only by rebuilding the tableau).
+    pivots: usize,
     /// Per original constraint: the auxiliary column that started as a
     /// unit vector in its row, and the sign to turn that column's
     /// simplex multiplier into the constraint's dual (accounts for
@@ -290,6 +304,7 @@ impl Tableau {
             n_structural: n,
             n_total,
             artificial_start,
+            pivots: 0,
             dual_cols,
         }
     }
@@ -340,6 +355,8 @@ impl Tableau {
             x,
             dual,
             basis: self.basis.clone(),
+            pivots: self.pivots,
+            warm_started: false,
         })
     }
 
@@ -473,6 +490,7 @@ impl Tableau {
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let w = self.rows[row].len();
         let p = self.rows[row][col];
         debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
@@ -576,6 +594,29 @@ mod tests {
         assert!((warm.objective - cold.objective).abs() < 1e-12);
         let warm = p.solve_warm(Some(&[1])).unwrap();
         assert!((warm.objective - cold.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_reports_pivot_and_warm_start_stats() {
+        let problem = |budget: f64| {
+            Problem::maximize(vec![3.0, 2.0])
+                .constraint_le(vec![1.0, 1.0], budget)
+                .constraint_le(vec![1.0, 0.0], 2.0)
+        };
+        let cold = problem(3.0).solve().unwrap();
+        assert!(cold.pivots > 0, "a non-trivial solve must pivot");
+        assert!(!cold.warm_started);
+
+        // A good hint is acknowledged and needs no optimization pivots
+        // beyond installing the basis itself.
+        let warm = problem(3.1).solve_warm(Some(&cold.basis)).unwrap();
+        assert!(warm.warm_started);
+        assert!(warm.pivots <= cold.pivots);
+
+        // A stale hint is ignored and reported as a cold solve.
+        let stale = problem(3.1).solve_warm(Some(&[9, 9, 9])).unwrap();
+        assert!(!stale.warm_started);
+        assert_eq!(stale.pivots, cold.pivots);
     }
 
     #[test]

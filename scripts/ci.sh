@@ -2,11 +2,37 @@
 # CI gate. The CI environment has no crates.io access, so every step
 # runs --offline; the workspace must build from the standard library
 # alone (see README "no dependencies" note).
+#
+# Modes:
+#   scripts/ci.sh               the standard gates (fmt, build, test,
+#                               clippy, rustdoc)
+#   scripts/ci.sh bench-smoke   additionally runs the timing benches
+#                               and the smoke-scale trace/figure bins,
+#                               then validates every BENCH_*.json with
+#                               the check_bench bin
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mode="${1:-default}"
+case "$mode" in
+  default|bench-smoke) ;;
+  *) echo "usage: $0 [bench-smoke]" >&2; exit 2 ;;
+esac
 
 cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
+if [[ "$mode" == bench-smoke ]]; then
+  # Machine-readable bench output: the benches write
+  # results/BENCH_{optimizers,substrates}.json, the all bin writes
+  # per-stage wall-times to results/BENCH_all.json, and the trace bin
+  # exports JSONL run traces. check_bench exits non-zero unless every
+  # BENCH_*.json is well-formed with positive timings.
+  cargo bench --offline -p vasp-bench
+  cargo run -q --release --offline -p vasp-bench --bin all -- --scale smoke
+  cargo run -q --release --offline -p vasp-bench --bin trace -- --scale smoke
+  cargo run -q --release --offline -p vasp-bench --bin check_bench
+fi
