@@ -1,0 +1,208 @@
+//! Kernel microbenches: the costs every experiment pays per tick.
+//!
+//! Measures the public kernel entry points (`Machine::step`, thermal
+//! stepping, leakage evaluation, LinOpt's re-solve) plus the in-place
+//! scratch-buffer APIs; writes `results/BENCH_kernel.json`. The
+//! committed pre-optimization run is `results/BENCH_kernel_baseline.json`;
+//! `check_bench --baseline` diffs the two.
+
+use cmpsim::{app_pool, Machine, MachineConfig, Workload};
+use floorplan::paper_20_core;
+use linprog::{Problem, SolveWorkspace};
+use powermodel::{LeakageParams, LeakagePower};
+use std::hint::black_box;
+use thermal::{ThermalModel, ThermalParams, ThermalScratch};
+use varius::{DieGenerator, VariationConfig};
+use vasched::manager::linopt::{linopt_levels, LinOpt};
+use vasched::manager::{synthetic_core, PmView, PowerBudget, PowerManager};
+use vasp_bench::json_report::BenchReport;
+use vasp_bench::timing::report_case;
+use vastats::SimRng;
+
+/// Builds the paper-scale machine loaded with `threads` running threads.
+fn loaded_machine(threads: usize) -> Machine {
+    let generator = DieGenerator::new(VariationConfig {
+        grid: 40,
+        ..VariationConfig::paper_default()
+    })
+    .expect("valid config");
+    let die = generator.generate(&mut SimRng::seed_from(3));
+    let fp = paper_20_core();
+    let mut machine = Machine::new(&die, &fp, MachineConfig::paper_default());
+    let pool = app_pool(&machine.config().dynamic);
+    let mut rng = SimRng::seed_from(4);
+    let workload = Workload::draw(&pool, threads, &mut rng);
+    machine.load_threads(workload.spawn_threads(&mut rng));
+    let mapping: Vec<Option<usize>> = (0..machine.core_count())
+        .map(|c| (c < threads).then_some(c))
+        .collect();
+    machine.assign(&mapping);
+    machine
+}
+
+fn bench_step(report: &mut BenchReport) {
+    for &threads in &[20usize, 8] {
+        let mut machine = loaded_machine(threads);
+        let name = format!("step_1ms_{threads}t");
+        let m = report_case("machine", &name, || {
+            black_box(machine.step(0.001));
+        });
+        report.push_case("machine", &name, m);
+    }
+}
+
+fn bench_view(report: &mut BenchReport) {
+    let mut machine = loaded_machine(20);
+    for _ in 0..50 {
+        machine.step(0.001);
+    }
+    let m = report_case("machine", "pm_view_from_machine", || {
+        black_box(PmView::from_machine(&machine));
+    });
+    report.push_case("machine", "pm_view_from_machine", m);
+}
+
+fn bench_thermal(report: &mut BenchReport) {
+    let fp = paper_20_core();
+    let model = ThermalModel::new(&fp, ThermalParams::paper_default());
+    let powers: Vec<f64> = (0..fp.blocks().len())
+        .map(|i| 2.0 + (i % 5) as f64)
+        .collect();
+    let temps = model.steady_state(&powers);
+
+    let m = report_case("thermal", "transient_step_1ms", || {
+        black_box(model.transient_step(black_box(&temps), &powers, 0.001));
+    });
+    report.push_case("thermal", "transient_step_1ms", m);
+
+    let m = report_case("thermal", "steady_state", || {
+        black_box(model.steady_state(black_box(&powers)));
+    });
+    report.push_case("thermal", "steady_state", m);
+
+    // In-place variants: what Machine::step actually pays in steady
+    // state, with the scratch and output buffers reused across calls.
+    let mut scratch = ThermalScratch::new();
+    let mut t = temps.clone();
+    let m = report_case("thermal", "transient_step_into_1ms", || {
+        t.copy_from_slice(&temps);
+        model.transient_step_into(&mut t, &powers, 0.001, &mut scratch);
+        black_box(&t);
+    });
+    report.push_case("thermal", "transient_step_into_1ms", m);
+
+    let mut out = vec![0.0; powers.len()];
+    let m = report_case("thermal", "steady_state_into", || {
+        model.steady_state_into(black_box(&powers), &mut out, &mut scratch);
+        black_box(&out);
+    });
+    report.push_case("thermal", "steady_state_into", m);
+}
+
+fn bench_leakage(report: &mut BenchReport) {
+    let machine = loaded_machine(20);
+    let leak = LeakagePower::new(LeakageParams::core_default());
+    let voltages = machine.config().voltages.clone();
+    let temp = machine.config().profile_temp_k;
+    let m = report_case("leakage", "block_static_20x9_sweep", || {
+        let mut acc = 0.0;
+        for core in 0..machine.core_count() {
+            let cells = machine.core_cells(core);
+            for &v in &voltages {
+                acc += leak.block_static(cells, 11.0, v, temp);
+            }
+        }
+        black_box(acc);
+    });
+    report.push_case("leakage", "block_static_20x9_sweep", m);
+}
+
+fn drifting_view(step: usize) -> PmView {
+    let drift = 1.0 + 0.01 * step as f64;
+    PmView::from_cores(
+        (0..20)
+            .map(|i| synthetic_core(i, drift * (0.2 + 0.09 * i as f64), 9, 1.0))
+            .collect(),
+    )
+}
+
+fn bench_solver(report: &mut BenchReport) {
+    let budget_of = |v: &PmView| {
+        let min_p = v.total_power(&v.min_levels());
+        let max_p = v.total_power(&v.max_levels());
+        PowerBudget {
+            chip_w: min_p + 0.55 * (max_p - min_p),
+            per_core_w: 100.0,
+        }
+    };
+
+    let mut manager = LinOpt::new();
+    let mut rng = SimRng::seed_from(9);
+    let mut step = 0usize;
+    let m = report_case("solver", "linopt_resolve_warm_20c", || {
+        let view = drifting_view(step % 8);
+        step += 1;
+        let budget = budget_of(&view);
+        black_box(manager.levels(&view, &budget, &mut rng));
+    });
+    report.push_case("solver", "linopt_resolve_warm_20c", m);
+
+    let view = drifting_view(0);
+    let budget = budget_of(&view);
+    let m = report_case("solver", "linopt_cold_20c", || {
+        black_box(linopt_levels(black_box(&view), &budget));
+    });
+    report.push_case("solver", "linopt_cold_20c", m);
+
+    let n = 20usize;
+    let build = || {
+        let mut lp = Problem::maximize((0..n).map(|i| 1.0 + i as f64 * 0.1).collect());
+        lp = lp.constraint_le(vec![3.0; n], 0.2 * n as f64);
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            lp = lp.constraint_le(row, 0.4);
+        }
+        lp
+    };
+    let m = report_case("solver", "simplex_cold_20c", || {
+        black_box(build().solve().expect("feasible"));
+    });
+    report.push_case("solver", "simplex_cold_20c", m);
+
+    // Warm re-solve through a reused workspace: rebuild the LP in place
+    // (recycled rows), install the previous basis, solve without
+    // reallocating the tableau — LinOpt's steady-state inner loop.
+    let mut ws = SolveWorkspace::new();
+    let mut lp = build();
+    let mut basis = lp.solve_warm_with(None, &mut ws).expect("feasible").basis;
+    let mut round = 0usize;
+    let objective: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.1).collect();
+    let chip_row = vec![3.0; n];
+    let m = report_case("solver", "simplex_warm_ws_20c", || {
+        round += 1;
+        let wiggle = 1.0 + 0.001 * (round % 7) as f64;
+        lp.reset_maximize(&objective);
+        lp.push_le(&chip_row, 0.2 * n as f64 * wiggle);
+        for i in 0..n {
+            lp.push_le_with(0.4, |row| row[i] = 1.0);
+        }
+        let s = lp.solve_warm_with(Some(&basis), &mut ws).expect("feasible");
+        basis = s.basis;
+        black_box(s.objective);
+    });
+    report.push_case("solver", "simplex_warm_ws_20c", m);
+}
+
+fn main() {
+    let mut report = BenchReport::new();
+    bench_step(&mut report);
+    bench_view(&mut report);
+    bench_thermal(&mut report);
+    bench_leakage(&mut report);
+    bench_solver(&mut report);
+    match report.write("kernel") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_kernel.json: {e}"),
+    }
+}

@@ -51,43 +51,85 @@ impl CacheConfig {
 /// # Panics
 ///
 /// Panics if `threads` is zero or the capacity is not positive.
-pub fn solve_occupancy<F>(
+pub fn solve_occupancy<F>(threads: usize, capacity_mb: f64, current: &[f64], demand: F) -> Vec<f64>
+where
+    F: FnMut(usize, f64) -> f64,
+{
+    let mut shares = Vec::new();
+    let mut scratch = OccupancyScratch::new();
+    solve_occupancy_into(
+        threads,
+        capacity_mb,
+        current,
+        demand,
+        &mut shares,
+        &mut scratch,
+    );
+    shares
+}
+
+/// Reusable buffer for [`solve_occupancy_into`]'s per-iteration demand
+/// vector. Sized on first use; never read before being overwritten.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyScratch {
+    demands: Vec<f64>,
+}
+
+impl OccupancyScratch {
+    /// An empty scratch; the buffer is sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Allocation-free [`solve_occupancy`]: writes the new shares into
+/// `shares` (cleared first), reusing `scratch` across calls. The
+/// iteration is identical, so results match bit for bit.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or the capacity is not positive.
+pub fn solve_occupancy_into<F>(
     threads: usize,
     capacity_mb: f64,
     current: &[f64],
     mut demand: F,
-) -> Vec<f64>
-where
+    shares: &mut Vec<f64>,
+    scratch: &mut OccupancyScratch,
+) where
     F: FnMut(usize, f64) -> f64,
 {
     assert!(threads > 0, "occupancy needs at least one thread");
     assert!(capacity_mb > 0.0, "cache capacity must be positive");
-    let mut shares: Vec<f64> = if current.len() == threads {
-        current.to_vec()
+    shares.clear();
+    if current.len() == threads {
+        shares.extend_from_slice(current);
     } else {
-        vec![capacity_mb / threads as f64; threads]
-    };
+        shares.resize(threads, capacity_mb / threads as f64);
+    }
 
     // A handful of damped iterations reaches the fixed point to well
     // under a percent for realistic miss curves.
+    let demands = &mut scratch.demands;
     for _ in 0..8 {
-        let demands: Vec<f64> = shares
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| demand(i, s).max(1e-12))
-            .collect();
+        demands.clear();
+        demands.extend(
+            shares
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| demand(i, s).max(1e-12)),
+        );
         let total: f64 = demands.iter().sum();
-        for (share, d) in shares.iter_mut().zip(&demands) {
+        for (share, d) in shares.iter_mut().zip(demands.iter()) {
             let target = capacity_mb * d / total;
             *share = 0.5 * *share + 0.5 * target;
         }
     }
     // Normalize the damping residue so shares exactly tile the cache.
     let sum: f64 = shares.iter().sum();
-    for s in &mut shares {
+    for s in shares.iter_mut() {
         *s *= capacity_mb / sum;
     }
-    shares
 }
 
 #[cfg(test)]

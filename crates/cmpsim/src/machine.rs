@@ -15,12 +15,14 @@
 //! assumption in §7.3). The L2 strips stay on a fixed voltage rail and
 //! contribute leakage plus access-driven dynamic power.
 
+use crate::cache::OccupancyScratch;
 use crate::faults::{FaultConfigError, FaultEvent, FaultPlan, SensorFaults};
 use crate::thread::Thread;
 use critpath::{FreqModel, TimingParams, VfTable};
 use floorplan::{BlockKind, Floorplan};
 use powermodel::{DynamicPower, LeakageParams, LeakagePower};
-use thermal::{ThermalModel, ThermalParams};
+use std::cell::RefCell;
+use thermal::{ThermalModel, ThermalParams, ThermalScratch};
 use varius::{CoreCells, Die};
 
 /// Voltage/frequency transition costs (paper §5.1: "we conservatively
@@ -146,6 +148,45 @@ struct L2Info {
     block_idx: usize,
 }
 
+/// Generation-stamped memo of the leakage term of the power sensors.
+///
+/// Managers sweep [`Machine::predicted_core_power`] over every level of
+/// every core — often several times within one DVFS interval. The
+/// leakage part of a reading depends only on the core, the level's
+/// voltage, and the core's temperature, and temperatures change only
+/// when the simulation advances — so the exact `block_static` result is
+/// cached per (core, level) under a generation that `step` and
+/// `load_threads` bump. The dynamic part tracks the thread's phase and
+/// is always recomputed. Entries are reused verbatim (no re-derivation),
+/// so memoized readings are bit-identical to fresh ones.
+#[derive(Debug, Clone)]
+struct LeakMemo {
+    /// Generation the cached entries belong to.
+    generation: u64,
+    /// Cached leakage (watts), indexed `core * levels + level`.
+    values: Vec<f64>,
+    /// Per-entry generation stamp; an entry is valid iff its stamp
+    /// equals `generation`.
+    stamp: Vec<u64>,
+}
+
+impl LeakMemo {
+    fn new() -> Self {
+        Self {
+            // Start above the zeroed stamps so nothing is spuriously
+            // valid before the first fill.
+            generation: 1,
+            values: Vec::new(),
+            stamp: Vec::new(),
+        }
+    }
+
+    /// Drops every cached entry (O(1): bumps the generation).
+    fn invalidate(&mut self) {
+        self.generation += 1;
+    }
+}
+
 /// Statistics from one simulation step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepStats {
@@ -194,6 +235,24 @@ pub struct Machine {
     /// and an untouched simulation — the fast path every pre-existing
     /// run takes, bit for bit.
     faults: Option<SensorFaults>,
+    /// Scratch: per-block power vector rebuilt by every `step`.
+    scratch_block_power: Vec<f64>,
+    /// Scratch: thermal stepping buffers reused by every `step`.
+    thermal_scratch: ThermalScratch,
+    /// Scratch: `update_l2_shares` running-thread list — (thread index,
+    /// effective frequency, `ipc_at(f)` hoisted out of the fixed-point
+    /// demand loop, where it is share-independent).
+    l2_running: Vec<(usize, f64, f64)>,
+    /// Scratch: `update_l2_shares` current share vector.
+    l2_current: Vec<f64>,
+    /// Scratch: `update_l2_shares` solved target shares.
+    l2_target: Vec<f64>,
+    /// Scratch: occupancy fixed-point work buffer.
+    l2_occupancy: OccupancyScratch,
+    /// Leakage memo for the power sensors (interior mutability: the
+    /// sensors are `&self`). Makes `Machine` non-`Sync`, which is fine —
+    /// each trial worker owns its machines outright.
+    leak_memo: RefCell<LeakMemo>,
 }
 
 impl Machine {
@@ -279,6 +338,13 @@ impl Machine {
             elapsed_s: 0.0,
             total_instructions: 0.0,
             faults: None,
+            scratch_block_power: vec![0.0; blocks],
+            thermal_scratch: ThermalScratch::new(),
+            l2_running: Vec::new(),
+            l2_current: Vec::new(),
+            l2_target: Vec::new(),
+            l2_occupancy: OccupancyScratch::new(),
+            leak_memo: RefCell::new(LeakMemo::new()),
         }
     }
 
@@ -367,6 +433,7 @@ impl Machine {
         self.total_instructions = 0.0;
         self.temps = vec![self.config.thermal.ambient_k; self.temps.len()];
         self.faults = None;
+        self.leak_memo.get_mut().invalidate();
     }
 
     /// Installs a [`FaultPlan`], starting its timeline at the current
@@ -612,41 +679,57 @@ impl Machine {
         let Some(cache) = self.config.cache else {
             return;
         };
-        // Collect (thread index, effective frequency) of running threads.
-        let mut running: Vec<(usize, f64)> = Vec::new();
+        // Collect (thread index, effective frequency) of running threads
+        // into a buffer reused across ticks (taken out of `self` so the
+        // borrow checker sees the later `self.threads` accesses as
+        // disjoint; restored on every exit path).
+        let mut running = std::mem::take(&mut self.l2_running);
+        running.clear();
         for core in 0..self.cores.len() {
             if let Some(tid) = self.assignment[core] {
                 let f = self.effective_freq(core);
                 if f > 0.0 {
-                    running.push((tid, f));
+                    // The demand loop below multiplies by `ipc_at(f)`
+                    // every iteration; it only depends on `f`, so
+                    // evaluate the miss-curve `powf` chain once here.
+                    let ipc_f = self.threads[tid].spec().ipc_at(f);
+                    running.push((tid, f, ipc_f));
                 }
             }
         }
         if running.is_empty() {
+            self.l2_running = running;
             return;
         }
         if running.len() == 1 {
             self.threads[running[0].0].set_l2_alloc_mb(cache.capacity_mb);
+            self.l2_running = running;
             return;
         }
-        let current: Vec<f64> = running
-            .iter()
-            .map(|&(tid, _)| self.threads[tid].l2_alloc_mb())
-            .collect();
+        let mut current = std::mem::take(&mut self.l2_current);
+        current.clear();
+        current.extend(
+            running
+                .iter()
+                .map(|&(tid, ..)| self.threads[tid].l2_alloc_mb()),
+        );
+        let mut target = std::mem::take(&mut self.l2_target);
         let threads = &self.threads;
-        let target = crate::cache::solve_occupancy(
+        crate::cache::solve_occupancy_into(
             running.len(),
             cache.capacity_mb,
             &current,
             |i, share_mb| {
-                let (tid, f) = running[i];
+                let (tid, f, ipc_f) = running[i];
                 let t = &threads[tid];
                 t.spec().dram_mpi_at_share(share_mb)
-                    * t.spec().ipc_at(f) // demand shape only; phase cancels
+                    * ipc_f // ipc_at(f): demand shape only; phase cancels
                     * f
             },
+            &mut target,
+            &mut self.l2_occupancy,
         );
-        for (&(tid, _), (&old, &new)) in running.iter().zip(current.iter().zip(target.iter())) {
+        for (&(tid, ..), (&old, &new)) in running.iter().zip(current.iter().zip(target.iter())) {
             // Occupancy drifts with the cache's churn rate, not
             // instantly; smooth per tick.
             let s = cache.smoothing;
@@ -655,14 +738,17 @@ impl Machine {
         // Smoothing breaks the exact tiling; renormalize.
         let sum: f64 = running
             .iter()
-            .map(|&(tid, _)| self.threads[tid].l2_alloc_mb())
+            .map(|&(tid, ..)| self.threads[tid].l2_alloc_mb())
             .sum();
         if sum > 0.0 {
-            for &(tid, _) in &running {
+            for &(tid, ..) in &running {
                 let v = self.threads[tid].l2_alloc_mb() * cache.capacity_mb / sum;
                 self.threads[tid].set_l2_alloc_mb(v);
             }
         }
+        self.l2_running = running;
+        self.l2_current = current;
+        self.l2_target = target;
     }
 
     /// Advances the machine by `dt_s` seconds.
@@ -673,7 +759,10 @@ impl Machine {
     pub fn step(&mut self, dt_s: f64) -> StepStats {
         assert!(dt_s > 0.0, "time step must be positive");
         let n = self.cores.len();
-        let mut block_power = vec![0.0; self.temps.len()];
+        // Temperatures (and thus the sensor memo) change this step.
+        self.leak_memo.get_mut().invalidate();
+        self.scratch_block_power.clear();
+        self.scratch_block_power.resize(self.temps.len(), 0.0);
         let mut instructions = 0.0;
         let mut l2_accesses_per_s = 0.0;
 
@@ -699,8 +788,8 @@ impl Machine {
                 && self.levels[core] > 0
             {
                 let new_level = self.levels[core] - 1;
-                let dv = self.cores[core].vf.voltage_at(new_level)
-                    - self.cores[core].vf.voltage_at(self.levels[core]);
+                let vf = &self.cores[core].vf;
+                let dv = vf.voltage_at(new_level) - vf.voltage_at(self.levels[core]);
                 self.stall_s[core] += self.config.transition.stall_s(dv);
                 self.levels[core] = new_level;
                 self.dtm_events += 1;
@@ -735,17 +824,24 @@ impl Machine {
             self.stall_s[core] -= stall;
             let run_s = dt_s - stall;
 
-            let ipc = thread.ipc_now(f);
-            let dyn_w = thread.dynamic_power_now(&self.config.dynamic, v, f);
+            // One phase scan and one miss-curve evaluation per tick:
+            // `ipc_now`, `dynamic_power_now`, and `run` each redo the
+            // phase lookup (and `run` the whole IPC) internally, so
+            // evaluate the shared pieces once. Same expression trees,
+            // so the results are bit-identical (pinned by the
+            // `step_bit_identical_to_reference` test).
+            let (ipc_mult, power_mult) = thread.phase_now();
+            let ipc = thread.spec().ipc_at_share(f, thread.l2_alloc_mb()) * ipc_mult;
+            let dyn_w = self.config.dynamic.power(thread.activity_now(), v, f) * power_mult;
             let leak_w = self
                 .core_leak
                 .block_static(&info.cells, info.area_mm2, v, temp);
-            let retired = thread.run(run_s, f);
+            let retired = thread.run_at(run_s, f, ipc);
 
             instructions += retired;
             l2_accesses_per_s += thread.spec().l1_mpi() * ipc * f;
             let total = dyn_w + leak_w;
-            block_power[info.block_idx] = total;
+            self.scratch_block_power[info.block_idx] = total;
             self.last_core_power[core] = total;
             self.last_core_ipc[core] = ipc;
         }
@@ -764,13 +860,25 @@ impl Machine {
                 temp,
             );
             let p = leak + l2_dynamic / strips;
-            block_power[strip.block_idx] = p;
+            self.scratch_block_power[strip.block_idx] = p;
         }
-        for &p in &block_power {
+        for &p in &self.scratch_block_power {
             total_power += p;
         }
+        // A floorplan without L2 strips leaves the access-driven dynamic
+        // power with no block to land in; charge it to a die-level sink
+        // so chip power and energy still account for it. (The paper
+        // floorplan always has strips, so this branch never fires there.)
+        if self.l2.is_empty() {
+            total_power += l2_dynamic;
+        }
 
-        self.temps = self.thermal.transient_step(&self.temps, &block_power, dt_s);
+        self.thermal.transient_step_into(
+            &mut self.temps,
+            &self.scratch_block_power,
+            dt_s,
+            &mut self.thermal_scratch,
+        );
 
         self.last_total_power = total_power;
         self.energy_j += total_power * dt_s;
@@ -813,9 +921,27 @@ impl Machine {
         } else {
             0.0
         };
-        let leak_w = self
-            .core_leak
-            .block_static(&info.cells, info.area_mm2, v, temp);
+        let leak_w = {
+            let mut memo = self.leak_memo.borrow_mut();
+            let stride = self.config.voltages.len();
+            let len = self.cores.len() * stride;
+            if memo.values.len() != len {
+                memo.values.resize(len, 0.0);
+                memo.stamp.resize(len, 0);
+            }
+            let idx = core * stride + level;
+            if memo.stamp[idx] == memo.generation {
+                memo.values[idx]
+            } else {
+                let w = self
+                    .core_leak
+                    .block_static(&info.cells, info.area_mm2, v, temp);
+                let generation = memo.generation;
+                memo.values[idx] = w;
+                memo.stamp[idx] = generation;
+                w
+            }
+        };
         let raw = dyn_w + leak_w;
         Some(match &self.faults {
             Some(fs) => fs.predicted_power_reading(core, level, raw),
@@ -949,6 +1075,169 @@ impl Machine {
 }
 
 #[cfg(test)]
+impl Machine {
+    /// The pre-optimization `update_l2_shares`, retained verbatim for
+    /// the `step` bit-identity test: fresh `Vec`s every call.
+    fn update_l2_shares_reference(&mut self) {
+        let Some(cache) = self.config.cache else {
+            return;
+        };
+        let mut running: Vec<(usize, f64)> = Vec::new();
+        for core in 0..self.cores.len() {
+            if let Some(tid) = self.assignment[core] {
+                let f = self.effective_freq(core);
+                if f > 0.0 {
+                    running.push((tid, f));
+                }
+            }
+        }
+        if running.is_empty() {
+            return;
+        }
+        if running.len() == 1 {
+            self.threads[running[0].0].set_l2_alloc_mb(cache.capacity_mb);
+            return;
+        }
+        let current: Vec<f64> = running
+            .iter()
+            .map(|&(tid, _)| self.threads[tid].l2_alloc_mb())
+            .collect();
+        let threads = &self.threads;
+        let target = crate::cache::solve_occupancy(
+            running.len(),
+            cache.capacity_mb,
+            &current,
+            |i, share_mb| {
+                let (tid, f) = running[i];
+                let t = &threads[tid];
+                t.spec().dram_mpi_at_share(share_mb) * t.spec().ipc_at(f) * f
+            },
+        );
+        for (&(tid, _), (&old, &new)) in running.iter().zip(current.iter().zip(target.iter())) {
+            let s = cache.smoothing;
+            self.threads[tid].set_l2_alloc_mb(old * (1.0 - s) + new * s);
+        }
+        let sum: f64 = running
+            .iter()
+            .map(|&(tid, _)| self.threads[tid].l2_alloc_mb())
+            .sum();
+        if sum > 0.0 {
+            for &(tid, _) in &running {
+                let v = self.threads[tid].l2_alloc_mb() * cache.capacity_mb / sum;
+                self.threads[tid].set_l2_alloc_mb(v);
+            }
+        }
+    }
+
+    /// The pre-optimization `step`, retained verbatim as the reference
+    /// the scratch-buffer path is pinned against: per-tick allocations,
+    /// allocating thermal step, double `vf` lookup in the DTM loop.
+    fn step_reference(&mut self, dt_s: f64) -> StepStats {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let n = self.cores.len();
+        let mut block_power = vec![0.0; self.temps.len()];
+        let mut instructions = 0.0;
+        let mut l2_accesses_per_s = 0.0;
+
+        if let Some(fs) = self.faults.as_mut() {
+            let power = &self.last_core_power;
+            let ipc = &self.last_core_ipc;
+            let died = fs.advance(dt_s, |c| power[c], |c| ipc[c]);
+            for core in died {
+                self.assignment[core] = None;
+            }
+        }
+
+        self.update_l2_shares_reference();
+
+        for core in 0..n {
+            if self.assignment[core].is_some()
+                && self.temps[self.cores[core].block_idx] > self.config.dtm_limit_k
+                && self.levels[core] > 0
+            {
+                let new_level = self.levels[core] - 1;
+                let dv = self.cores[core].vf.voltage_at(new_level)
+                    - self.cores[core].vf.voltage_at(self.levels[core]);
+                self.stall_s[core] += self.config.transition.stall_s(dv);
+                self.levels[core] = new_level;
+                self.dtm_events += 1;
+            }
+        }
+
+        for core in 0..n {
+            let info = &self.cores[core];
+            let Some(tid) = self.assignment[core] else {
+                self.last_core_power[core] = 0.0;
+                self.last_core_ipc[core] = 0.0;
+                continue;
+            };
+            let level = self.levels[core];
+            let v = info.vf.voltage_at(level);
+            let mut f = info.vf.freq_at(level);
+            if let Some(cap) = self.freq_caps[core] {
+                f = f.min(cap);
+            }
+            if f <= 0.0 {
+                self.last_core_power[core] = 0.0;
+                self.last_core_ipc[core] = 0.0;
+                continue;
+            }
+            let temp = self.temps[info.block_idx];
+            let thread = &mut self.threads[tid];
+
+            let stall = self.stall_s[core].min(dt_s);
+            self.stall_s[core] -= stall;
+            let run_s = dt_s - stall;
+
+            let ipc = thread.ipc_now(f);
+            let dyn_w = thread.dynamic_power_now(&self.config.dynamic, v, f);
+            let leak_w = self
+                .core_leak
+                .block_static(&info.cells, info.area_mm2, v, temp);
+            let retired = thread.run(run_s, f);
+
+            instructions += retired;
+            l2_accesses_per_s += thread.spec().l1_mpi() * ipc * f;
+            let total = dyn_w + leak_w;
+            block_power[info.block_idx] = total;
+            self.last_core_power[core] = total;
+            self.last_core_ipc[core] = ipc;
+        }
+
+        let l2_dynamic = l2_accesses_per_s * self.config.l2_access_energy_j;
+        let strips = self.l2.len().max(1) as f64;
+        let mut total_power = 0.0;
+        for strip in &self.l2 {
+            let temp = self.temps[strip.block_idx];
+            let leak = self.l2_leak.block_static(
+                &strip.cells,
+                strip.area_mm2,
+                self.config.l2_voltage,
+                temp,
+            );
+            let p = leak + l2_dynamic / strips;
+            block_power[strip.block_idx] = p;
+        }
+        for &p in &block_power {
+            total_power += p;
+        }
+
+        self.temps = self.thermal.transient_step(&self.temps, &block_power, dt_s);
+
+        self.last_total_power = total_power;
+        self.energy_j += total_power * dt_s;
+        self.elapsed_s += dt_s;
+        self.total_instructions += instructions;
+
+        StepStats {
+            dt_s,
+            total_power_w: total_power,
+            instructions,
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::apps::app_pool;
@@ -981,6 +1270,168 @@ mod tests {
         }
         m.assign(&mapping);
         m
+    }
+
+    /// Runs `step` and the retained pre-optimization reference in
+    /// lockstep across thread counts, tick lengths, mid-run DVFS level
+    /// changes, and a DTM-firing configuration; every observable must
+    /// match bit for bit.
+    #[test]
+    fn step_bit_identical_to_reference() {
+        for &(threads, seed, dtm_limit) in
+            &[(20usize, 5u64, 378.15), (8, 6, 378.15), (16, 7, 320.0)]
+        {
+            let (die, fp) = test_die();
+            let config = MachineConfig {
+                dtm_limit_k: dtm_limit,
+                ..MachineConfig::paper_default()
+            };
+            let mut fast = Machine::new(&die, &fp, config.clone());
+            let mut reference = Machine::new(&die, &fp, config.clone());
+            let pool = app_pool(&config.dynamic);
+            let mut rng = Vec::new();
+            for _ in 0..2 {
+                rng.push(SimRng::seed_from(seed));
+            }
+            let w_a = Workload::draw(&pool, threads, &mut rng[0]);
+            let w_b = Workload::draw(&pool, threads, &mut rng[1]);
+            fast.load_threads(w_a.spawn_threads(&mut rng[0]));
+            reference.load_threads(w_b.spawn_threads(&mut rng[1]));
+            let mut mapping = vec![None; fast.core_count()];
+            for i in 0..threads {
+                mapping[i] = Some(i);
+            }
+            fast.assign(&mapping);
+            reference.assign(&mapping);
+
+            for tick in 0..120 {
+                if tick == 40 {
+                    // Exercise the DVFS-transition stall path.
+                    fast.set_level(0, 1);
+                    reference.set_level(0, 1);
+                }
+                let dt = if tick % 3 == 0 { 0.001 } else { 0.0025 };
+                let a = fast.step(dt);
+                let b = reference.step_reference(dt);
+                assert_eq!(
+                    a.total_power_w.to_bits(),
+                    b.total_power_w.to_bits(),
+                    "power diverges at tick {tick} ({threads} threads)"
+                );
+                assert_eq!(
+                    a.instructions.to_bits(),
+                    b.instructions.to_bits(),
+                    "instructions diverge at tick {tick} ({threads} threads)"
+                );
+            }
+            for i in 0..fast.temps.len() {
+                assert_eq!(fast.temps[i].to_bits(), reference.temps[i].to_bits());
+            }
+            assert_eq!(fast.energy_j.to_bits(), reference.energy_j.to_bits());
+            assert_eq!(fast.dtm_events, reference.dtm_events);
+            if dtm_limit < 378.0 {
+                assert!(fast.dtm_events > 0, "DTM case never fired");
+            }
+            for c in 0..fast.core_count() {
+                assert_eq!(
+                    fast.last_core_power[c].to_bits(),
+                    reference.last_core_power[c].to_bits()
+                );
+                assert_eq!(
+                    fast.last_core_ipc[c].to_bits(),
+                    reference.last_core_ipc[c].to_bits()
+                );
+            }
+            for (t_fast, t_ref) in fast.threads.iter().zip(&reference.threads) {
+                assert_eq!(
+                    t_fast.l2_alloc_mb().to_bits(),
+                    t_ref.l2_alloc_mb().to_bits()
+                );
+            }
+        }
+    }
+
+    /// A floorplan with no L2 strips used to drop the access-driven L2
+    /// dynamic power on the floor; it must now be charged to the chip
+    /// total (die-level sink).
+    #[test]
+    fn l2_dynamic_power_charged_without_strips() {
+        use floorplan::{Block, Rect};
+        let blocks: Vec<Block> = (0..4)
+            .map(|i| Block {
+                kind: BlockKind::Core(i),
+                rect: Rect::new(0.05 + 0.24 * i as f64, 0.3, 0.2, 0.4),
+            })
+            .collect();
+        let fp = Floorplan::new(18.0, 18.0, blocks);
+        let cfg = VariationConfig {
+            grid: 24,
+            ..VariationConfig::paper_default()
+        };
+        let die = DieGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut SimRng::seed_from(42));
+
+        let run = |l2_access_energy_j: f64| -> f64 {
+            let config = MachineConfig {
+                l2_access_energy_j,
+                ..MachineConfig::paper_default()
+            };
+            let mut m = Machine::new(&die, &fp, config.clone());
+            assert!(m.l2.is_empty(), "floorplan unexpectedly has L2 strips");
+            let pool = app_pool(&config.dynamic);
+            let mut rng = SimRng::seed_from(11);
+            let w = Workload::draw(&pool, 4, &mut rng);
+            m.load_threads(w.spawn_threads(&mut rng));
+            m.assign(&[Some(0), Some(1), Some(2), Some(3)]);
+            let mut last = 0.0;
+            for _ in 0..5 {
+                last = m.step(0.001).total_power_w;
+            }
+            assert!((m.sensor_total_power() - last).abs() < 1e-12);
+            last
+        };
+
+        let with_dynamic = run(MachineConfig::paper_default().l2_access_energy_j);
+        let without_dynamic = run(0.0);
+        assert!(
+            with_dynamic > without_dynamic,
+            "L2 dynamic power is still dropped: {with_dynamic} vs {without_dynamic}"
+        );
+    }
+
+    /// The sensor memo must return the exact cached value within one
+    /// interval and must not survive a simulation step.
+    #[test]
+    fn predicted_power_memo_exact_and_invalidated_by_step() {
+        let mut m = loaded_machine(12, 7);
+        for _ in 0..30 {
+            m.step(0.001);
+        }
+        let fresh = m.clone(); // identical state, memo untouched
+        for core in 0..m.core_count() {
+            for level in 0..m.vf_table(core).len() {
+                let first = m.predicted_core_power(core, level);
+                let memoized = m.predicted_core_power(core, level);
+                let independent = fresh.predicted_core_power(core, level);
+                assert_eq!(first.map(f64::to_bits), memoized.map(f64::to_bits));
+                assert_eq!(first.map(f64::to_bits), independent.map(f64::to_bits));
+            }
+        }
+        // Advance the simulation: temperatures move, so a stale memo
+        // would now disagree with a memo-free evaluation.
+        for _ in 0..50 {
+            m.step(0.001);
+        }
+        let mut cleared = m.clone();
+        cleared.leak_memo.get_mut().invalidate();
+        for core in 0..m.core_count() {
+            assert_eq!(
+                m.predicted_core_power(core, 0).map(f64::to_bits),
+                cleared.predicted_core_power(core, 0).map(f64::to_bits),
+                "stale memo on core {core}"
+            );
+        }
     }
 
     #[test]

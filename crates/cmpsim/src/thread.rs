@@ -60,6 +60,14 @@ impl Thread {
         self.spec.ipc_at_share(f_hz, self.l2_alloc_mb) * ipc_mult
     }
 
+    /// The phase multipliers `(ipc_mult, power_mult)` in effect right
+    /// now. Callers that need IPC *and* power in one tick evaluate this
+    /// once instead of paying the phase scan inside both
+    /// [`Thread::ipc_now`] and [`Thread::dynamic_power_now`].
+    pub fn phase_now(&self) -> (f64, f64) {
+        self.spec.phase_at(self.elapsed_ms)
+    }
+
     /// Current share of the shared L2 (MB).
     pub fn l2_alloc_mb(&self) -> f64 {
         self.l2_alloc_mb
@@ -106,9 +114,24 @@ impl Thread {
     ///
     /// Panics if `dt_s` is negative or `f_hz` is not positive.
     pub fn run(&mut self, dt_s: f64, f_hz: f64) -> f64 {
+        let ipc = self.ipc_now(f_hz);
+        self.run_at(dt_s, f_hz, ipc)
+    }
+
+    /// [`Thread::run`] with the instantaneous IPC supplied by the
+    /// caller, for tick loops that already evaluated [`Thread::ipc_now`]
+    /// this tick (nothing the IPC depends on — phase, share, frequency —
+    /// may have changed in between). Passing exactly that value makes
+    /// this bit-identical to `run`, without re-paying the phase scan and
+    /// miss-curve `powf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is negative or `f_hz` is not positive.
+    pub fn run_at(&mut self, dt_s: f64, f_hz: f64, ipc: f64) -> f64 {
         assert!(dt_s >= 0.0, "time step must be non-negative");
         assert!(f_hz > 0.0, "frequency must be positive");
-        let retired = self.ipc_now(f_hz) * f_hz * dt_s;
+        let retired = ipc * f_hz * dt_s;
         self.elapsed_ms += dt_s * 1e3;
         self.elapsed_s += dt_s;
         self.instructions += retired;

@@ -20,7 +20,7 @@
 use crate::manager::{
     PmView, PowerBudget, PowerManager, SolveReport, SolveStatus, SolverError, WarmStart,
 };
-use linprog::Problem;
+use linprog::{Problem, SolveWorkspace};
 use vastats::{LineFit, SimRng};
 
 /// Number of power measurement points used for the linear fit (the
@@ -47,33 +47,76 @@ pub struct LinOptCoefficients {
 ///
 /// Panics if `points < 2` or the core has fewer than two levels.
 pub fn fit_core(core: &crate::manager::CoreView, points: usize) -> LinOptCoefficients {
+    fit_core_into(core, points, &mut Vec::new(), &mut Vec::new())
+}
+
+/// [`fit_core`] writing its measurement points into caller-owned
+/// buffers, so the per-interval re-fit of every core allocates nothing
+/// in steady state. The fitted constants are bit-identical to
+/// [`fit_core`]'s (which is this function over throwaway buffers).
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the core has fewer than two levels.
+pub fn fit_core_into(
+    core: &crate::manager::CoreView,
+    points: usize,
+    f_points: &mut Vec<(f64, f64)>,
+    p_points: &mut Vec<(f64, f64)>,
+) -> LinOptCoefficients {
     assert!(points >= 2, "need at least two fit points");
     let levels = core.level_count();
     assert!(levels >= 2, "core needs at least two levels");
 
     // Frequency is approximately linear in voltage; fit over the whole
     // manufacturer table.
-    let f_points: Vec<(f64, f64)> = core
-        .voltages
-        .iter()
-        .zip(&core.freqs)
-        .map(|(&v, &f)| (v, f / 1e6))
-        .collect();
-    let f_fit = LineFit::fit(&f_points).expect("table voltages are distinct");
+    f_points.clear();
+    f_points.extend(
+        core.voltages
+            .iter()
+            .zip(&core.freqs)
+            .map(|(&v, &f)| (v, f / 1e6)),
+    );
+    let f_fit = LineFit::fit(f_points).expect("table voltages are distinct");
     let a = core.ipc * f_fit.slope.max(0.0);
 
     // Power measured at `points` levels spread across the range.
-    let mut p_points = Vec::with_capacity(points);
+    p_points.clear();
     for k in 0..points {
         let level = (k * (levels - 1)) / (points - 1);
         p_points.push((core.voltages[level], core.power_w[level]));
     }
-    let p_fit = LineFit::fit(&p_points).expect("fit voltages are distinct");
+    let p_fit = LineFit::fit(p_points).expect("fit voltages are distinct");
 
     LinOptCoefficients {
         a,
         b: p_fit.slope.max(1e-9),
         c: p_fit.intercept,
+    }
+}
+
+/// Reusable buffers for the full LinOpt pipeline: the LP (whose
+/// constraint rows are recycled via [`Problem::reset_maximize`]), the
+/// Simplex [`SolveWorkspace`], the per-core fit constants, and every
+/// intermediate vector the assembly used to allocate per interval. The
+/// stateful [`LinOpt`] manager owns one; the free functions run over a
+/// throwaway, so all paths compute identical results.
+#[derive(Debug, Clone, Default)]
+pub struct LinOptWorkspace {
+    solver: SolveWorkspace,
+    lp: Option<Problem>,
+    coefs: Vec<LinOptCoefficients>,
+    v_low: Vec<f64>,
+    objective: Vec<f64>,
+    power_row: Vec<f64>,
+    f_points: Vec<(f64, f64)>,
+    p_points: Vec<(f64, f64)>,
+}
+
+impl LinOptWorkspace {
+    /// An empty workspace; buffers are sized by the first solve.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -117,59 +160,71 @@ pub enum RoundingPolicy {
     Nearest,
 }
 
-/// Assembles LinOpt's linear program: variables are the shifted
-/// voltages `x_i = v_i − Vlow_i`, constraint 0 is the chip power budget
-/// (net of uncore power), and constraint `1 + i` is core i's combined
-/// upper bound (voltage ceiling tightened by `Pcoremax`).
+/// Assembles LinOpt's linear program into `ws`: variables are the
+/// shifted voltages `x_i = v_i − Vlow_i`, constraint 0 is the chip
+/// power budget (net of uncore power), and constraint `1 + i` is core
+/// i's combined upper bound (voltage ceiling tightened by `Pcoremax`).
+/// On success `ws.lp` holds the program (rows recycled from the
+/// previous interval's) and `ws.v_low` the per-core voltage floors.
 ///
-/// Returns `None` when even the all-minimum floor exceeds the budget.
+/// Returns `false` when even the all-minimum floor exceeds the budget.
 fn assemble_lp(
     view: &PmView,
     budget: &PowerBudget,
     fit_points: usize,
-) -> Option<(Problem, Vec<f64>)> {
+    ws: &mut LinOptWorkspace,
+) -> bool {
     let n = view.len();
-    let coefs: Vec<LinOptCoefficients> = view
-        .cores()
-        .iter()
-        .map(|c| fit_core(c, fit_points))
-        .collect();
+    ws.coefs.clear();
+    for c in view.cores() {
+        ws.coefs.push(fit_core_into(
+            c,
+            fit_points,
+            &mut ws.f_points,
+            &mut ws.p_points,
+        ));
+    }
 
-    let v_low: Vec<f64> = view.cores().iter().map(|c| c.voltages[0]).collect();
-    let v_high: Vec<f64> = view
-        .cores()
-        .iter()
-        .map(|c| *c.voltages.last().expect("non-empty table"))
-        .collect();
+    ws.v_low.clear();
+    ws.v_low.extend(view.cores().iter().map(|c| c.voltages[0]));
 
     // Chip constraint: sum b_i x_i <= Ptarget - uncore - sum(b_i Vlow_i + c_i).
-    let base_power: f64 = coefs
+    let base_power: f64 = ws
+        .coefs
         .iter()
-        .zip(&v_low)
+        .zip(&ws.v_low)
         .map(|(k, &vl)| k.b * vl + k.c)
         .sum();
     let chip_rhs = budget.chip_w - view.uncore_power() - base_power;
     if chip_rhs < 0.0 {
-        return None;
+        return false;
     }
 
-    let objective: Vec<f64> = coefs.iter().map(|k| k.a).collect();
-    let mut lp = Problem::maximize(objective);
-    lp = lp.constraint_le(coefs.iter().map(|k| k.b).collect(), chip_rhs);
+    ws.objective.clear();
+    ws.objective.extend(ws.coefs.iter().map(|k| k.a));
+    ws.power_row.clear();
+    ws.power_row.extend(ws.coefs.iter().map(|k| k.b));
+    let lp = match &mut ws.lp {
+        Some(lp) => {
+            lp.reset_maximize(&ws.objective);
+            lp
+        }
+        None => ws.lp.insert(Problem::maximize(ws.objective.clone())),
+    };
+    lp.push_le(&ws.power_row, chip_rhs);
     for i in 0..n {
         // Upper bound: x_i <= Vhigh - Vlow, tightened by Pcoremax.
-        let mut row = vec![0.0; n];
-        row[i] = 1.0;
-        let mut ub = v_high[i] - v_low[i];
-        let core_rhs = budget.per_core_w - (coefs[i].b * v_low[i] + coefs[i].c);
+        let v_high = *view.cores()[i].voltages.last().expect("non-empty table");
+        let mut ub = v_high - ws.v_low[i];
+        let core_rhs = budget.per_core_w - (ws.coefs[i].b * ws.v_low[i] + ws.coefs[i].c);
         if core_rhs < 0.0 {
             ub = 0.0;
         } else {
-            ub = ub.min(core_rhs / coefs[i].b);
+            ub = ub.min(core_rhs / ws.coefs[i].b);
         }
-        lp = lp.constraint_le(row, ub);
+        lp.push_le_with(ub, |row| row[i] = 1.0);
     }
-    Some((lp, v_low))
+    true
 }
 
 /// The marginal throughput value of one more watt of chip budget —
@@ -184,8 +239,14 @@ fn assemble_lp(
 /// Panics if the view is empty.
 pub fn chip_power_shadow_price(view: &PmView, budget: &PowerBudget) -> Option<f64> {
     assert!(!view.is_empty(), "no active cores to manage");
-    let (lp, _) = assemble_lp(view, budget, FIT_POINTS)?;
-    lp.solve().ok().map(|s| s.dual[0])
+    let mut ws = LinOptWorkspace::new();
+    if !assemble_lp(view, budget, FIT_POINTS, &mut ws) {
+        return None;
+    }
+    let lp = ws.lp.as_ref().expect("lp was just assembled");
+    lp.solve_warm_with(None, &mut ws.solver)
+        .ok()
+        .map(|s| s.dual[0])
 }
 
 /// LinOpt with explicit fit-point count and rounding policy — the knobs
@@ -260,6 +321,27 @@ pub fn try_linopt_levels_traced(
     rounding: RoundingPolicy,
     warm: &mut Option<Vec<usize>>,
 ) -> (Result<Vec<usize>, SolverError>, usize, WarmStart) {
+    let mut ws = LinOptWorkspace::new();
+    try_linopt_levels_traced_with(view, budget, fit_points, rounding, warm, &mut ws)
+}
+
+/// [`try_linopt_levels_traced`] over a caller-owned [`LinOptWorkspace`]:
+/// the LP, the Simplex tableau, and every assembly vector are recycled
+/// across intervals, so the steady-state 10 ms re-solve allocates only
+/// the returned level vector. Results are identical to the throwaway-
+/// workspace path.
+///
+/// # Panics
+///
+/// Panics if the view is empty or `fit_points < 2`.
+pub fn try_linopt_levels_traced_with(
+    view: &PmView,
+    budget: &PowerBudget,
+    fit_points: usize,
+    rounding: RoundingPolicy,
+    warm: &mut Option<Vec<usize>>,
+    ws: &mut LinOptWorkspace,
+) -> (Result<Vec<usize>, SolverError>, usize, WarmStart) {
     assert!(!view.is_empty(), "no active cores to manage");
     let had_hint = warm.is_some();
     let missed = |had: bool| {
@@ -270,13 +352,14 @@ pub fn try_linopt_levels_traced(
         }
     };
     let n = view.len();
-    let Some((lp, v_low)) = assemble_lp(view, budget, fit_points) else {
+    if !assemble_lp(view, budget, fit_points, ws) {
         // Even the floor violates the target.
         *warm = None;
         return (Err(SolverError::Infeasible), 0, missed(had_hint));
-    };
+    }
 
-    let Ok(solution) = lp.solve_warm(warm.as_deref()) else {
+    let lp = ws.lp.as_ref().expect("lp was just assembled");
+    let Ok(solution) = lp.solve_warm_with(warm.as_deref(), &mut ws.solver) else {
         *warm = None;
         return (Err(SolverError::NumericalFailure), 0, missed(had_hint));
     };
@@ -285,12 +368,14 @@ pub fn try_linopt_levels_traced(
     } else {
         missed(had_hint)
     };
-    *warm = Some(solution.basis.clone());
+    // The solution's basis vector is freshly allocated by the solver;
+    // move it into the warm slot instead of cloning.
+    *warm = Some(solution.basis);
 
     // Discretize the continuous voltages to table levels.
     let mut levels = Vec::with_capacity(n);
     for (i, core) in view.cores().iter().enumerate() {
-        let v_star = v_low[i] + solution.x[i];
+        let v_star = ws.v_low[i] + solution.x[i];
         let level = match rounding {
             RoundingPolicy::Down => core
                 .voltages
@@ -332,6 +417,7 @@ pub struct LinOpt {
     rounding: RoundingPolicy,
     basis: Option<Vec<usize>>,
     last: Option<SolveReport>,
+    ws: LinOptWorkspace,
 }
 
 impl LinOpt {
@@ -342,6 +428,7 @@ impl LinOpt {
             rounding: RoundingPolicy::Down,
             basis: None,
             last: None,
+            ws: LinOptWorkspace::new(),
         }
     }
 
@@ -388,12 +475,13 @@ impl PowerManager for LinOpt {
         budget: &PowerBudget,
         _rng: &mut SimRng,
     ) -> Result<Vec<usize>, SolverError> {
-        let (result, pivots, warm) = try_linopt_levels_traced(
+        let (result, pivots, warm) = try_linopt_levels_traced_with(
             view,
             budget,
             self.fit_points,
             self.rounding,
             &mut self.basis,
+            &mut self.ws,
         );
         self.last = Some(SolveReport {
             manager: self.name(),

@@ -38,7 +38,7 @@
 
 mod simplex;
 
-pub use simplex::{LpError, Problem, Solution};
+pub use simplex::{LpError, Problem, Solution, SolveWorkspace};
 
 #[cfg(test)]
 mod tests {

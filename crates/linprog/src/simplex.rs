@@ -50,6 +50,36 @@ pub struct Problem {
     /// +1 for maximize, -1 when the user asked to minimize (the
     /// objective is negated internally and flipped back on report).
     objective_sign: f64,
+    /// Retired constraint rows recycled by [`Problem::reset_maximize`] /
+    /// [`Problem::push_le`], so a re-built LP reuses its allocations.
+    spare_rows: Vec<Vec<f64>>,
+}
+
+/// Reusable buffers for repeated solves.
+///
+/// A solver that rebuilds a same-shaped LP every interval (LinOpt's
+/// 10 ms re-solve) passes the same workspace to
+/// [`Problem::solve_warm_with`]; the tableau, objective, basis, and
+/// reduced-cost vectors are then recycled instead of reallocated.
+/// Buffers are taken for the duration of the solve and stored back on
+/// every exit path (including errors). Solves through a workspace are
+/// bit-identical to [`Problem::solve_warm`], which is itself just a
+/// solve through a throwaway workspace.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    data: Vec<f64>,
+    obj: Vec<f64>,
+    basis: Vec<usize>,
+    dual_cols: Vec<(usize, f64)>,
+    reduced: Vec<f64>,
+    phase1: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers are sized by the first solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// An optimal solution.
@@ -95,6 +125,7 @@ impl Problem {
             objective,
             constraints: Vec::new(),
             objective_sign: 1.0,
+            spare_rows: Vec::new(),
         }
     }
 
@@ -156,6 +187,59 @@ impl Problem {
         self.constraints.push((coeffs, sense, rhs));
     }
 
+    /// Resets this problem in place to a fresh maximization over
+    /// `objective`, retiring the current constraint rows into a spare
+    /// pool that [`Problem::push_le`] recycles — so rebuilding a
+    /// same-shaped LP every interval allocates nothing in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty or contains non-finite values.
+    pub fn reset_maximize(&mut self, objective: &[f64]) {
+        assert!(!objective.is_empty(), "objective must have variables");
+        assert!(
+            objective.iter().all(|c| c.is_finite()),
+            "objective must be finite"
+        );
+        self.objective.clear();
+        self.objective.extend_from_slice(objective);
+        self.objective_sign = 1.0;
+        for (row, _, _) in self.constraints.drain(..) {
+            self.spare_rows.push(row);
+        }
+    }
+
+    /// Adds `coeffs · x ≤ rhs`, copying the coefficients into a recycled
+    /// row buffer (the in-place counterpart of
+    /// [`Problem::constraint_le`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the variable count or any
+    /// value is non-finite.
+    pub fn push_le(&mut self, coeffs: &[f64], rhs: f64) {
+        let mut row = self.spare_rows.pop().unwrap_or_default();
+        row.clear();
+        row.extend_from_slice(coeffs);
+        self.push_constraint(row, Sense::Le, rhs);
+    }
+
+    /// Adds `coeffs · x ≤ rhs` with the row written by `fill` into a
+    /// recycled zeroed buffer of variable-count length — for sparse rows
+    /// (per-core box constraints) that would otherwise be built in a
+    /// fresh `vec![0.0; n]` each time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` writes non-finite values or `rhs` is non-finite.
+    pub fn push_le_with(&mut self, rhs: f64, fill: impl FnOnce(&mut [f64])) {
+        let mut row = self.spare_rows.pop().unwrap_or_default();
+        row.clear();
+        row.resize(self.objective.len(), 0.0);
+        fill(&mut row);
+        self.push_constraint(row, Sense::Le, rhs);
+    }
+
     /// Solves the program.
     ///
     /// # Errors
@@ -182,16 +266,37 @@ impl Problem {
     ///
     /// Same as [`Problem::solve`].
     pub fn solve_warm(&self, basis_hint: Option<&[usize]>) -> Result<Solution, LpError> {
-        let mut tableau = Tableau::build(self);
+        let mut ws = SolveWorkspace::new();
+        self.solve_warm_with(basis_hint, &mut ws)
+    }
+
+    /// [`Problem::solve_warm`] through a caller-owned [`SolveWorkspace`]:
+    /// the tableau and every solver-internal vector are recycled from
+    /// (and stored back into) `ws`, so steady-state re-solves of
+    /// same-shaped problems allocate only the returned [`Solution`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_warm_with(
+        &self,
+        basis_hint: Option<&[usize]>,
+        ws: &mut SolveWorkspace,
+    ) -> Result<Solution, LpError> {
+        let mut tableau = Tableau::build_with(self, ws);
         let mut warm_started = false;
         if let Some(hint) = basis_hint {
             if tableau.try_install_basis(hint) {
                 warm_started = true;
             } else {
-                tableau = Tableau::build(self);
+                // Stale hint may have left the tableau half-pivoted;
+                // re-fill it in place (no reallocation).
+                tableau.fill(self);
             }
         }
-        tableau.solve().map(|mut s| {
+        let result = tableau.solve();
+        tableau.store_into(ws);
+        result.map(|mut s| {
             s.warm_started = warm_started;
             s.objective *= self.objective_sign;
             // Duals are computed against the internal (maximization)
@@ -204,12 +309,23 @@ impl Problem {
     }
 }
 
-/// Dense simplex tableau.
+/// Dense simplex tableau over one contiguous row-major buffer.
 ///
-/// Column layout: `[structural… | slack/surplus… | artificial… | rhs]`.
+/// Column layout: `[structural… | slack/surplus… | artificial… | rhs]`;
+/// row `r` lives at `data[r * width .. (r + 1) * width]`. Every buffer
+/// is borrowed from a [`SolveWorkspace`] at build time and handed back
+/// by [`Tableau::store_into`], so steady-state re-solves are
+/// allocation-free. The pivoting arithmetic — operand order included —
+/// is exactly the `Vec<Vec<f64>>` formulation's (pinned by the
+/// `flat_solver_matches_reference_corpus` test), so flattening changes
+/// no result bits.
 struct Tableau {
-    /// rows[r] has `width` entries; last entry is the RHS.
-    rows: Vec<Vec<f64>>,
+    /// `m * width` tableau entries, row-major.
+    data: Vec<f64>,
+    /// Entries per row (`n_total + 1`; last entry is the RHS).
+    width: usize,
+    /// Number of rows (constraints).
+    m: usize,
     /// Objective coefficients for phase 2 (length = width - 1).
     obj: Vec<f64>,
     /// Basis: for each row, the index of its basic variable.
@@ -217,116 +333,168 @@ struct Tableau {
     n_structural: usize,
     n_total: usize,
     artificial_start: usize,
-    /// Pivots performed so far (reset only by rebuilding the tableau).
+    /// Pivots performed so far (reset only by re-filling the tableau).
     pivots: usize,
     /// Per original constraint: the auxiliary column that started as a
     /// unit vector in its row, and the sign to turn that column's
     /// simplex multiplier into the constraint's dual (accounts for
     /// surplus direction and RHS-negation flips).
     dual_cols: Vec<(usize, f64)>,
+    /// Scratch: reduced-cost vector reused across iterations.
+    reduced: Vec<f64>,
+    /// Scratch: phase-1 objective.
+    phase1: Vec<f64>,
 }
 
 impl Tableau {
-    fn build(p: &Problem) -> Self {
+    /// Builds the tableau for `p`, recycling `ws`'s buffers.
+    fn build_with(p: &Problem, ws: &mut SolveWorkspace) -> Self {
+        let mut t = Self {
+            data: std::mem::take(&mut ws.data),
+            width: 0,
+            m: 0,
+            obj: std::mem::take(&mut ws.obj),
+            basis: std::mem::take(&mut ws.basis),
+            n_structural: 0,
+            n_total: 0,
+            artificial_start: 0,
+            pivots: 0,
+            dual_cols: std::mem::take(&mut ws.dual_cols),
+            reduced: std::mem::take(&mut ws.reduced),
+            phase1: std::mem::take(&mut ws.phase1),
+        };
+        t.fill(p);
+        t
+    }
+
+    /// Hands every buffer back to the workspace for the next solve.
+    fn store_into(self, ws: &mut SolveWorkspace) {
+        ws.data = self.data;
+        ws.obj = self.obj;
+        ws.basis = self.basis;
+        ws.dual_cols = self.dual_cols;
+        ws.reduced = self.reduced;
+        ws.phase1 = self.phase1;
+    }
+
+    /// (Re)derives the initial tableau from `p` in place, reusing the
+    /// existing buffers. Equivalent to a fresh build.
+    fn fill(&mut self, p: &Problem) {
         let n = p.objective.len();
         let m = p.constraints.len();
 
-        // Count auxiliary columns. Normalize rhs >= 0 first, remembering
-        // the sign flip (it flips the constraint's dual too).
-        let mut norm: Vec<(Vec<f64>, Sense, f64, f64)> = Vec::with_capacity(m);
-        for (coeffs, sense, rhs) in &p.constraints {
-            if *rhs < 0.0 {
-                let flipped = coeffs.iter().map(|c| -c).collect();
-                let new_sense = match sense {
+        // Effective sense of each constraint once its RHS is normalized
+        // to be non-negative (a negative RHS flips the row's signs, its
+        // sense, and its dual).
+        let effective = |sense: Sense, rhs: f64| -> Sense {
+            if rhs < 0.0 {
+                match sense {
                     Sense::Le => Sense::Ge,
                     Sense::Ge => Sense::Le,
                     Sense::Eq => Sense::Eq,
-                };
-                norm.push((flipped, new_sense, -rhs, -1.0));
+                }
             } else {
-                norm.push((coeffs.clone(), *sense, *rhs, 1.0));
+                sense
+            }
+        };
+        let mut n_slack = 0;
+        let mut n_artificial = 0;
+        for &(_, sense, rhs) in &p.constraints {
+            match effective(sense, rhs) {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1;
+                    n_artificial += 1;
+                }
+                Sense::Eq => n_artificial += 1,
             }
         }
-
-        let n_slack = norm
-            .iter()
-            .filter(|(_, s, _, _)| matches!(s, Sense::Le | Sense::Ge))
-            .count();
-        let n_artificial = norm
-            .iter()
-            .filter(|(_, s, _, _)| matches!(s, Sense::Ge | Sense::Eq))
-            .count();
         let n_total = n + n_slack + n_artificial;
         let width = n_total + 1;
 
-        let mut rows = vec![vec![0.0; width]; m];
-        let mut basis = vec![0usize; m];
+        self.data.clear();
+        self.data.resize(m * width, 0.0);
+        self.basis.clear();
+        self.basis.resize(m, 0);
+        self.dual_cols.clear();
+
         let mut slack_cursor = n;
         let artificial_start = n + n_slack;
         let mut art_cursor = artificial_start;
-
-        let mut dual_cols = Vec::with_capacity(m);
-        for (r, (coeffs, sense, rhs, flip)) in norm.iter().enumerate() {
-            rows[r][..n].copy_from_slice(coeffs);
-            rows[r][width - 1] = *rhs;
-            match sense {
+        for (r, (coeffs, sense, rhs)) in p.constraints.iter().enumerate() {
+            let row = &mut self.data[r * width..(r + 1) * width];
+            let flip = if *rhs < 0.0 {
+                for (dst, &c) in row[..n].iter_mut().zip(coeffs) {
+                    *dst = -c;
+                }
+                row[width - 1] = -rhs;
+                -1.0
+            } else {
+                row[..n].copy_from_slice(coeffs);
+                row[width - 1] = *rhs;
+                1.0
+            };
+            match effective(*sense, *rhs) {
                 Sense::Le => {
-                    rows[r][slack_cursor] = 1.0;
-                    basis[r] = slack_cursor;
-                    dual_cols.push((slack_cursor, *flip));
+                    row[slack_cursor] = 1.0;
+                    self.basis[r] = slack_cursor;
+                    self.dual_cols.push((slack_cursor, flip));
                     slack_cursor += 1;
                 }
                 Sense::Ge => {
-                    rows[r][slack_cursor] = -1.0;
+                    row[slack_cursor] = -1.0;
                     slack_cursor += 1;
                     // The artificial column is the unit vector e_r.
-                    rows[r][art_cursor] = 1.0;
-                    basis[r] = art_cursor;
-                    dual_cols.push((art_cursor, *flip));
+                    row[art_cursor] = 1.0;
+                    self.basis[r] = art_cursor;
+                    self.dual_cols.push((art_cursor, flip));
                     art_cursor += 1;
                 }
                 Sense::Eq => {
-                    rows[r][art_cursor] = 1.0;
-                    basis[r] = art_cursor;
-                    dual_cols.push((art_cursor, *flip));
+                    row[art_cursor] = 1.0;
+                    self.basis[r] = art_cursor;
+                    self.dual_cols.push((art_cursor, flip));
                     art_cursor += 1;
                 }
             }
         }
 
-        let mut obj = vec![0.0; n_total];
-        obj[..n].copy_from_slice(&p.objective);
+        self.obj.clear();
+        self.obj.resize(n_total, 0.0);
+        self.obj[..n].copy_from_slice(&p.objective);
 
-        Self {
-            rows,
-            obj,
-            basis,
-            n_structural: n,
-            n_total,
-            artificial_start,
-            pivots: 0,
-            dual_cols,
-        }
+        self.width = width;
+        self.m = m;
+        self.n_structural = n;
+        self.n_total = n_total;
+        self.artificial_start = artificial_start;
+        self.pivots = 0;
     }
 
-    fn solve(mut self) -> Result<Solution, LpError> {
+    fn solve(&mut self) -> Result<Solution, LpError> {
         // Phase 1 (only if artificials exist): maximize -sum(artificials).
         if self.artificial_start < self.n_total {
-            let mut phase1 = vec![0.0; self.n_total];
-            for c in self.artificial_start..self.n_total {
-                phase1[c] = -1.0;
+            let mut phase1 = std::mem::take(&mut self.phase1);
+            phase1.clear();
+            phase1.resize(self.n_total, 0.0);
+            for c in phase1.iter_mut().skip(self.artificial_start) {
+                *c = -1.0;
             }
-            let value = self.optimize(&phase1)?;
-            if value < -EPS {
+            let result = self.optimize(&phase1);
+            self.phase1 = phase1;
+            if result? < -EPS {
                 return Err(LpError::Infeasible);
             }
             self.drive_out_artificials();
         }
 
         // Phase 2 over structural + slack columns only (artificials are
-        // pinned to zero by excluding them as pivot candidates).
-        let obj = self.obj.clone();
-        let value = self.optimize_restricted(&obj, self.artificial_start)?;
+        // pinned to zero by excluding them as pivot candidates). The
+        // objective is lent out of `self` for the borrow and restored.
+        let obj = std::mem::take(&mut self.obj);
+        let result = self.optimize_restricted(&obj, self.artificial_start);
+        self.obj = obj;
+        let value = result?;
 
         let mut x = vec![0.0; self.n_structural];
         for (r, &b) in self.basis.iter().enumerate() {
@@ -337,6 +505,7 @@ impl Tableau {
         // Duals: a constraint's shadow price is the simplex multiplier
         // of the column that started as the unit vector in its row —
         // z_j = c_B · B^{-1} A_j evaluated on the phase-2 objective.
+        let obj = &self.obj;
         let dual = self
             .dual_cols
             .iter()
@@ -345,7 +514,7 @@ impl Tableau {
                     .basis
                     .iter()
                     .enumerate()
-                    .map(|(r, &b)| obj[b] * self.rows[r][col])
+                    .map(|(r, &b)| obj[b] * self.data[r * self.width + col])
                     .sum();
                 sign * z
             })
@@ -361,7 +530,7 @@ impl Tableau {
     }
 
     /// Pivots the tableau toward the hinted basis. Returns `false` (and
-    /// may leave the tableau half-pivoted — rebuild it) when the hint is
+    /// may leave the tableau half-pivoted — re-fill it) when the hint is
     /// stale: wrong arity, artificial columns involved, a target column
     /// that cannot enter, or a resulting point that is not primal
     /// feasible.
@@ -371,7 +540,7 @@ impl Tableau {
         if self.artificial_start < self.n_total {
             return false;
         }
-        if hint.len() != self.rows.len() {
+        if hint.len() != self.m {
             return false;
         }
         if hint.iter().any(|&j| j >= self.artificial_start) {
@@ -383,8 +552,8 @@ impl Tableau {
                 continue;
             }
             // Enter j on a row whose basic variable is not wanted.
-            let row = (0..self.rows.len())
-                .find(|&r| !wanted(self.basis[r]) && self.rows[r][j].abs() > EPS);
+            let row = (0..self.m)
+                .find(|&r| !wanted(self.basis[r]) && self.data[r * self.width + j].abs() > EPS);
             match row {
                 Some(r) => self.pivot(r, j),
                 None => return false,
@@ -392,12 +561,11 @@ impl Tableau {
         }
         // The hinted basis must be primal feasible for the new RHS,
         // otherwise simplex's invariant breaks.
-        (0..self.rows.len()).all(|r| self.rhs(r) >= -EPS)
+        (0..self.m).all(|r| self.rhs(r) >= -EPS)
     }
 
     fn rhs(&self, r: usize) -> f64 {
-        let w = self.rows[r].len();
-        self.rows[r][w - 1]
+        self.data[r * self.width + self.width - 1]
     }
 
     /// Maximizes `c·x` over all columns. Returns the optimal value.
@@ -408,14 +576,26 @@ impl Tableau {
     /// Maximizes `c·x`, only allowing columns `< col_limit` to enter the
     /// basis.
     fn optimize_restricted(&mut self, c: &[f64], col_limit: usize) -> Result<f64, LpError> {
+        let mut reduced = std::mem::take(&mut self.reduced);
+        let result = self.optimize_restricted_inner(c, col_limit, &mut reduced);
+        self.reduced = reduced;
+        result
+    }
+
+    fn optimize_restricted_inner(
+        &mut self,
+        c: &[f64],
+        col_limit: usize,
+        reduced: &mut Vec<f64>,
+    ) -> Result<f64, LpError> {
         for iter in 0..MAX_ITERS {
             // Reduced costs: z_j - c_j = (c_B B^-1 A_j) - c_j. With the
             // tableau kept in canonical form, compute via basis prices.
-            let reduced = self.reduced_costs(c);
+            self.reduced_costs_into(c, reduced);
 
             // Entering column: Dantzig early on, Bland after a while to
             // guarantee termination under degeneracy.
-            let entering = if iter < 2 * self.rows.len() + 50 {
+            let entering = if iter < 2 * self.m + 50 {
                 let mut best = None;
                 let mut best_val = EPS;
                 for (j, &rc) in reduced.iter().enumerate().take(col_limit) {
@@ -448,8 +628,8 @@ impl Tableau {
             // Ratio test (Bland tie-break on basis index).
             let mut leave: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
-            for r in 0..self.rows.len() {
-                let a = self.rows[r][col];
+            for r in 0..self.m {
+                let a = self.data[r * self.width + col];
                 if a > EPS {
                     let ratio = self.rhs(r) / a;
                     let better = ratio < best_ratio - EPS
@@ -471,55 +651,78 @@ impl Tableau {
     }
 
     /// Reduced cost of each column for objective `c` given the current
-    /// basis (canonical tableau ⇒ `c_j − c_B·column_j`).
-    fn reduced_costs(&self, c: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.n_total];
-        for (j, slot) in out.iter_mut().enumerate() {
-            let mut z = 0.0;
-            for (r, &b) in self.basis.iter().enumerate() {
-                z += c[b] * self.rows[r][j];
+    /// basis (canonical tableau ⇒ `c_j − c_B·column_j`), written into
+    /// `out`.
+    ///
+    /// The accumulation runs row-major over the flat tableau (one pass
+    /// per basic row, ascending), which adds each column's terms in the
+    /// same row order as the column-major formulation — so every
+    /// reduced cost is the identical floating-point sum. Rows whose
+    /// basis price is exactly zero contribute exactly-zero terms and
+    /// are skipped; that can only flip the sign of a zero sum, which no
+    /// comparison here distinguishes.
+    fn reduced_costs_into(&self, c: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.n_total, 0.0);
+        for (r, &b) in self.basis.iter().enumerate() {
+            let price = c[b];
+            if price == 0.0 {
+                continue;
             }
-            *slot = c[j] - z;
+            let row = &self.data[r * self.width..r * self.width + self.n_total];
+            for (slot, &a) in out.iter_mut().zip(row) {
+                *slot += price * a;
+            }
+        }
+        for (j, slot) in out.iter_mut().enumerate() {
+            *slot = c[j] - *slot;
         }
         // Basic columns have zero reduced cost by construction; zero them
         // explicitly to suppress numerical residue.
         for &b in &self.basis {
             out[b] = 0.0;
         }
-        out
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
         self.pivots += 1;
-        let w = self.rows[row].len();
-        let p = self.rows[row][col];
+        let w = self.width;
+        let p = self.data[row * w + col];
         debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
-        for j in 0..w {
-            self.rows[row][j] /= p;
+        // Split the buffer around the pivot row so it can be read while
+        // the other rows are updated. Rows are processed in ascending
+        // order (before-rows, then after-rows), matching the original
+        // `for r in 0..m { skip row }` loop.
+        let (before, rest) = self.data.split_at_mut(row * w);
+        let (prow, after) = rest.split_at_mut(w);
+        for v in prow.iter_mut() {
+            *v /= p;
         }
-        for r in 0..self.rows.len() {
-            if r == row {
-                continue;
-            }
-            let f = self.rows[r][col];
-            if f.abs() > EPS {
-                for j in 0..w {
-                    let delta = f * self.rows[row][j];
-                    self.rows[r][j] -= delta;
+        let eliminate = |chunk: &mut [f64]| {
+            for other in chunk.chunks_exact_mut(w) {
+                let f = other[col];
+                if f.abs() > EPS {
+                    for (dst, &src) in other.iter_mut().zip(prow.iter()) {
+                        let delta = f * src;
+                        *dst -= delta;
+                    }
+                    other[col] = 0.0;
                 }
-                self.rows[r][col] = 0.0;
             }
-        }
+        };
+        eliminate(before);
+        eliminate(after);
         self.basis[row] = col;
     }
 
     /// After phase 1, replace any artificial still in the basis (at zero
     /// level) with a non-artificial column where possible.
     fn drive_out_artificials(&mut self) {
-        for r in 0..self.rows.len() {
+        for r in 0..self.m {
             if self.basis[r] >= self.artificial_start {
                 // Find a non-artificial column with a usable pivot.
-                let col = (0..self.artificial_start).find(|&j| self.rows[r][j].abs() > EPS);
+                let col =
+                    (0..self.artificial_start).find(|&j| self.data[r * self.width + j].abs() > EPS);
                 if let Some(j) = col {
                     self.pivot(r, j);
                 }
@@ -527,6 +730,314 @@ impl Tableau {
                 // zero-level artificial basic is harmless because it can
                 // never re-enter (excluded from phase-2 candidates) and
                 // its value is pinned at zero.
+            }
+        }
+    }
+}
+
+/// The original `Vec<Vec<f64>>` tableau, retained verbatim as the
+/// bit-exactness oracle for the flat formulation (see the
+/// `flat_solver_matches_reference_corpus` test).
+#[cfg(test)]
+mod reference {
+    use super::{LpError, Problem, Sense, Solution, EPS, MAX_ITERS};
+
+    pub(super) fn solve_warm(
+        p: &Problem,
+        basis_hint: Option<&[usize]>,
+    ) -> Result<Solution, LpError> {
+        let mut tableau = Tableau::build(p);
+        let mut warm_started = false;
+        if let Some(hint) = basis_hint {
+            if tableau.try_install_basis(hint) {
+                warm_started = true;
+            } else {
+                tableau = Tableau::build(p);
+            }
+        }
+        tableau.solve().map(|mut s| {
+            s.warm_started = warm_started;
+            s.objective *= p.objective_sign;
+            for d in &mut s.dual {
+                *d *= p.objective_sign;
+            }
+            s
+        })
+    }
+
+    struct Tableau {
+        rows: Vec<Vec<f64>>,
+        obj: Vec<f64>,
+        basis: Vec<usize>,
+        n_structural: usize,
+        n_total: usize,
+        artificial_start: usize,
+        pivots: usize,
+        dual_cols: Vec<(usize, f64)>,
+    }
+
+    impl Tableau {
+        fn build(p: &Problem) -> Self {
+            let n = p.objective.len();
+            let m = p.constraints.len();
+
+            let mut norm: Vec<(Vec<f64>, Sense, f64, f64)> = Vec::with_capacity(m);
+            for (coeffs, sense, rhs) in &p.constraints {
+                if *rhs < 0.0 {
+                    let flipped = coeffs.iter().map(|c| -c).collect();
+                    let new_sense = match sense {
+                        Sense::Le => Sense::Ge,
+                        Sense::Ge => Sense::Le,
+                        Sense::Eq => Sense::Eq,
+                    };
+                    norm.push((flipped, new_sense, -rhs, -1.0));
+                } else {
+                    norm.push((coeffs.clone(), *sense, *rhs, 1.0));
+                }
+            }
+
+            let n_slack = norm
+                .iter()
+                .filter(|(_, s, _, _)| matches!(s, Sense::Le | Sense::Ge))
+                .count();
+            let n_artificial = norm
+                .iter()
+                .filter(|(_, s, _, _)| matches!(s, Sense::Ge | Sense::Eq))
+                .count();
+            let n_total = n + n_slack + n_artificial;
+            let width = n_total + 1;
+
+            let mut rows = vec![vec![0.0; width]; m];
+            let mut basis = vec![0usize; m];
+            let mut slack_cursor = n;
+            let artificial_start = n + n_slack;
+            let mut art_cursor = artificial_start;
+
+            let mut dual_cols = Vec::with_capacity(m);
+            for (r, (coeffs, sense, rhs, flip)) in norm.iter().enumerate() {
+                rows[r][..n].copy_from_slice(coeffs);
+                rows[r][width - 1] = *rhs;
+                match sense {
+                    Sense::Le => {
+                        rows[r][slack_cursor] = 1.0;
+                        basis[r] = slack_cursor;
+                        dual_cols.push((slack_cursor, *flip));
+                        slack_cursor += 1;
+                    }
+                    Sense::Ge => {
+                        rows[r][slack_cursor] = -1.0;
+                        slack_cursor += 1;
+                        rows[r][art_cursor] = 1.0;
+                        basis[r] = art_cursor;
+                        dual_cols.push((art_cursor, *flip));
+                        art_cursor += 1;
+                    }
+                    Sense::Eq => {
+                        rows[r][art_cursor] = 1.0;
+                        basis[r] = art_cursor;
+                        dual_cols.push((art_cursor, *flip));
+                        art_cursor += 1;
+                    }
+                }
+            }
+
+            let mut obj = vec![0.0; n_total];
+            obj[..n].copy_from_slice(&p.objective);
+
+            Self {
+                rows,
+                obj,
+                basis,
+                n_structural: n,
+                n_total,
+                artificial_start,
+                pivots: 0,
+                dual_cols,
+            }
+        }
+
+        fn solve(mut self) -> Result<Solution, LpError> {
+            if self.artificial_start < self.n_total {
+                let mut phase1 = vec![0.0; self.n_total];
+                for c in self.artificial_start..self.n_total {
+                    phase1[c] = -1.0;
+                }
+                let value = self.optimize(&phase1)?;
+                if value < -EPS {
+                    return Err(LpError::Infeasible);
+                }
+                self.drive_out_artificials();
+            }
+
+            let obj = self.obj.clone();
+            let value = self.optimize_restricted(&obj, self.artificial_start)?;
+
+            let mut x = vec![0.0; self.n_structural];
+            for (r, &b) in self.basis.iter().enumerate() {
+                if b < self.n_structural {
+                    x[b] = self.rhs(r);
+                }
+            }
+            let dual = self
+                .dual_cols
+                .iter()
+                .map(|&(col, sign)| {
+                    let z: f64 = self
+                        .basis
+                        .iter()
+                        .enumerate()
+                        .map(|(r, &b)| obj[b] * self.rows[r][col])
+                        .sum();
+                    sign * z
+                })
+                .collect();
+            Ok(Solution {
+                objective: value,
+                x,
+                dual,
+                basis: self.basis.clone(),
+                pivots: self.pivots,
+                warm_started: false,
+            })
+        }
+
+        fn try_install_basis(&mut self, hint: &[usize]) -> bool {
+            if self.artificial_start < self.n_total {
+                return false;
+            }
+            if hint.len() != self.rows.len() {
+                return false;
+            }
+            if hint.iter().any(|&j| j >= self.artificial_start) {
+                return false;
+            }
+            let wanted = |j: usize| hint.contains(&j);
+            for &j in hint {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let row = (0..self.rows.len())
+                    .find(|&r| !wanted(self.basis[r]) && self.rows[r][j].abs() > EPS);
+                match row {
+                    Some(r) => self.pivot(r, j),
+                    None => return false,
+                }
+            }
+            (0..self.rows.len()).all(|r| self.rhs(r) >= -EPS)
+        }
+
+        fn rhs(&self, r: usize) -> f64 {
+            let w = self.rows[r].len();
+            self.rows[r][w - 1]
+        }
+
+        fn optimize(&mut self, c: &[f64]) -> Result<f64, LpError> {
+            self.optimize_restricted(c, self.n_total)
+        }
+
+        fn optimize_restricted(&mut self, c: &[f64], col_limit: usize) -> Result<f64, LpError> {
+            for iter in 0..MAX_ITERS {
+                let reduced = self.reduced_costs(c);
+
+                let entering = if iter < 2 * self.rows.len() + 50 {
+                    let mut best = None;
+                    let mut best_val = EPS;
+                    for (j, &rc) in reduced.iter().enumerate().take(col_limit) {
+                        if rc > best_val {
+                            best_val = rc;
+                            best = Some(j);
+                        }
+                    }
+                    best
+                } else {
+                    reduced
+                        .iter()
+                        .enumerate()
+                        .take(col_limit)
+                        .find(|(_, &rc)| rc > EPS)
+                        .map(|(j, _)| j)
+                };
+
+                let Some(col) = entering else {
+                    let value = self
+                        .basis
+                        .iter()
+                        .enumerate()
+                        .map(|(r, &b)| c[b] * self.rhs(r))
+                        .sum();
+                    return Ok(value);
+                };
+
+                let mut leave: Option<usize> = None;
+                let mut best_ratio = f64::INFINITY;
+                for r in 0..self.rows.len() {
+                    let a = self.rows[r][col];
+                    if a > EPS {
+                        let ratio = self.rhs(r) / a;
+                        let better = ratio < best_ratio - EPS
+                            || ((ratio - best_ratio).abs() <= EPS
+                                && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                        if (better || leave.is_none()) && ratio < best_ratio + EPS {
+                            best_ratio = ratio.min(best_ratio);
+                            leave = Some(r);
+                        }
+                    }
+                }
+                let Some(row) = leave else {
+                    return Err(LpError::Unbounded);
+                };
+
+                self.pivot(row, col);
+            }
+            Err(LpError::IterationLimit)
+        }
+
+        fn reduced_costs(&self, c: &[f64]) -> Vec<f64> {
+            let mut out = vec![0.0; self.n_total];
+            for (j, slot) in out.iter_mut().enumerate() {
+                let mut z = 0.0;
+                for (r, &b) in self.basis.iter().enumerate() {
+                    z += c[b] * self.rows[r][j];
+                }
+                *slot = c[j] - z;
+            }
+            for &b in &self.basis {
+                out[b] = 0.0;
+            }
+            out
+        }
+
+        fn pivot(&mut self, row: usize, col: usize) {
+            self.pivots += 1;
+            let w = self.rows[row].len();
+            let p = self.rows[row][col];
+            for j in 0..w {
+                self.rows[row][j] /= p;
+            }
+            for r in 0..self.rows.len() {
+                if r == row {
+                    continue;
+                }
+                let f = self.rows[r][col];
+                if f.abs() > EPS {
+                    for j in 0..w {
+                        let delta = f * self.rows[row][j];
+                        self.rows[r][j] -= delta;
+                    }
+                    self.rows[r][col] = 0.0;
+                }
+            }
+            self.basis[row] = col;
+        }
+
+        fn drive_out_artificials(&mut self) {
+            for r in 0..self.rows.len() {
+                if self.basis[r] >= self.artificial_start {
+                    let col = (0..self.artificial_start).find(|&j| self.rows[r][j].abs() > EPS);
+                    if let Some(j) = col {
+                        self.pivot(r, j);
+                    }
+                }
             }
         }
     }
@@ -627,5 +1138,127 @@ mod tests {
             .unwrap();
         assert!((s.x[0] - 0.4).abs() < 1e-12);
         assert!((s.objective - 2.8).abs() < 1e-9);
+    }
+
+    /// Asserts the flat solve and the retained `Vec<Vec<f64>>` reference
+    /// produce the exact same outcome: identical error, or bitwise
+    /// identical objective / x / dual plus equal basis, pivot count, and
+    /// warm-start flag.
+    fn assert_matches_reference(p: &Problem, hint: Option<&[usize]>, ws: &mut SolveWorkspace) {
+        let flat = p.solve_warm_with(hint, ws);
+        let oracle = reference::solve_warm(p, hint);
+        match (flat, oracle) {
+            (Ok(f), Ok(o)) => {
+                assert_eq!(f.objective.to_bits(), o.objective.to_bits(), "objective");
+                assert_eq!(f.x.len(), o.x.len());
+                for (i, (a, b)) in f.x.iter().zip(&o.x).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "x[{i}]");
+                }
+                assert_eq!(f.dual.len(), o.dual.len());
+                for (i, (a, b)) in f.dual.iter().zip(&o.dual).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "dual[{i}]");
+                }
+                assert_eq!(f.basis, o.basis, "basis");
+                assert_eq!(f.pivots, o.pivots, "pivots");
+                assert_eq!(f.warm_started, o.warm_started, "warm_started");
+            }
+            (Err(f), Err(o)) => assert_eq!(f, o, "errors must agree"),
+            (f, o) => panic!("flat {f:?} disagrees with reference {o:?}"),
+        }
+    }
+
+    /// A LinOpt-shaped LP: maximize throughput-weighted frequencies under
+    /// one chip-power row plus a box row per core.
+    fn linopt_shaped(cores: usize, drift: f64) -> Problem {
+        let objective: Vec<f64> = (0..cores)
+            .map(|i| 1.0 + 0.13 * i as f64 + 0.21 * drift)
+            .collect();
+        let power: Vec<f64> = (0..cores)
+            .map(|i| 2.0 + 0.07 * (i as f64) * (1.0 + 0.1 * drift))
+            .collect();
+        let budget = 0.55 * power.iter().sum::<f64>() * 0.4 + drift;
+        let mut p = Problem::maximize(objective);
+        p.push_le(&power, budget);
+        for i in 0..cores {
+            p.push_le_with(0.4, |row| row[i] = 1.0);
+        }
+        p
+    }
+
+    #[test]
+    fn flat_solver_matches_reference_corpus() {
+        let mut ws = SolveWorkspace::new();
+
+        // Plain maximize / minimize with Le rows.
+        let p = Problem::maximize(vec![3.0, 2.0, 1.5])
+            .constraint_le(vec![1.0, 1.0, 1.0], 4.0)
+            .constraint_le(vec![1.0, 0.0, 0.0], 2.0)
+            .constraint_le(vec![0.0, 1.0, 0.0], 2.0)
+            .constraint_le(vec![0.0, 0.0, 1.0], 2.0);
+        assert_matches_reference(&p, None, &mut ws);
+
+        let p = Problem::minimize(vec![1.0, 4.0])
+            .constraint_ge(vec![1.0, 1.0], 3.0)
+            .constraint_le(vec![1.0, 0.0], 2.5);
+        assert_matches_reference(&p, None, &mut ws);
+
+        // Negative RHS exercises the sign-flip normalization and the
+        // dual-sign bookkeeping.
+        let p = Problem::maximize(vec![1.0, 1.0])
+            .constraint_le(vec![-1.0, -1.0], -1.0)
+            .constraint_le(vec![1.0, 1.0], 5.0);
+        assert_matches_reference(&p, None, &mut ws);
+
+        let p = Problem::minimize(vec![2.0, 3.0])
+            .constraint_ge(vec![-1.0, -2.0], -10.0)
+            .constraint_ge(vec![1.0, 1.0], 4.0);
+        assert_matches_reference(&p, None, &mut ws);
+
+        // Equalities (phase 1 + drive-out), including a redundant row.
+        let p = Problem::maximize(vec![1.0, 0.0])
+            .constraint_eq(vec![1.0, 1.0], 2.0)
+            .constraint_eq(vec![1.0, 1.0], 2.0);
+        assert_matches_reference(&p, None, &mut ws);
+
+        let p = Problem::maximize(vec![2.0, 1.0, 3.0])
+            .constraint_eq(vec![1.0, 1.0, 1.0], 6.0)
+            .constraint_ge(vec![1.0, 0.0, 0.0], 1.0)
+            .constraint_le(vec![0.0, 0.0, 1.0], 4.0);
+        assert_matches_reference(&p, None, &mut ws);
+
+        // Infeasible and unbounded must error identically.
+        let p = Problem::maximize(vec![1.0])
+            .constraint_le(vec![1.0], 1.0)
+            .constraint_ge(vec![1.0], 2.0);
+        assert_matches_reference(&p, None, &mut ws);
+
+        let p = Problem::maximize(vec![1.0, 1.0]).constraint_ge(vec![1.0, 0.0], 1.0);
+        assert_matches_reference(&p, None, &mut ws);
+
+        // Warm-started drifting LinOpt-shaped sequence: thread the basis
+        // through like the manager's 10 ms re-solve does, reusing one
+        // workspace the whole way.
+        for cores in [4, 9, 20] {
+            let mut basis: Option<Vec<usize>> = None;
+            for step in 0..6 {
+                let p = linopt_shaped(cores, 0.3 * step as f64);
+                assert_matches_reference(&p, basis.as_deref(), &mut ws);
+                let s = p.solve_warm_with(basis.as_deref(), &mut ws).unwrap();
+                basis = Some(s.basis);
+            }
+            // A deliberately stale hint (wrong arity) must fall back to
+            // the re-filled cold tableau identically.
+            let p = linopt_shaped(cores, 1.7);
+            assert_matches_reference(&p, Some(&[0]), &mut ws);
+        }
+
+        // In-place rebuild: reset_maximize + push rows, then solve with
+        // the same workspace again.
+        let mut p = linopt_shaped(6, 0.0);
+        assert_matches_reference(&p, None, &mut ws);
+        p.reset_maximize(&[5.0, 1.0, 2.0]);
+        p.push_le(&[1.0, 2.0, 1.0], 7.0);
+        p.push_le_with(1.5, |row| row[0] = 1.0);
+        assert_matches_reference(&p, None, &mut ws);
     }
 }

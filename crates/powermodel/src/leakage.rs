@@ -149,6 +149,44 @@ impl LeakagePower {
     pub fn block_static(&self, cells: &CoreCells, area_mm2: f64, v: f64, temp_k: f64) -> f64 {
         assert!(!cells.is_empty(), "block has no variation cells");
         assert!(area_mm2 >= 0.0, "area must be non-negative");
+        assert!(v >= 0.0, "supply voltage must be non-negative");
+        assert!(temp_k > 0.0, "temperature must be positive kelvin");
+        if v == 0.0 {
+            return 0.0; // power-gated: every cell density is exactly 0
+        }
+        // Everything cell-independent is hoisted out of the loop; only
+        // the Vth shift and one exp() remain per cell. Each hoisted
+        // value is the same subexpression (same operands, same
+        // association) the per-cell evaluation computed, so the sum is
+        // bit-identical to mapping `density` over the cells.
+        let p = &self.params;
+        let dvth = p.vth_temp_coeff * (temp_k - p.vth_ref_temp_k);
+        let v_t = 8.617e-5 * temp_k; // kT/q in volts
+        let dibl_v = p.dibl * v;
+        let denom = p.n_factor * v_t;
+        let t_scale = (temp_k / p.calib_temp_k).powi(2);
+        let vt_scale = v * t_scale;
+        let mean_density = cells
+            .vth
+            .iter()
+            .map(|&vth_ref| {
+                let vth = vth_ref - dvth;
+                let exponent = (dibl_v - vth) / denom;
+                self.prefactor * (vt_scale * exponent.exp())
+            })
+            .sum::<f64>()
+            / cells.vth.len() as f64;
+        area_mm2 * mean_density
+    }
+}
+
+#[cfg(test)]
+impl LeakagePower {
+    /// The pre-optimization `block_static`, retained verbatim: one full
+    /// `density` evaluation (asserts, gate, `density_raw`) per cell.
+    fn block_static_reference(&self, cells: &CoreCells, area_mm2: f64, v: f64, temp_k: f64) -> f64 {
+        assert!(!cells.is_empty(), "block has no variation cells");
+        assert!(area_mm2 >= 0.0, "area must be non-negative");
         let mean_density = cells
             .vth
             .iter()
@@ -261,6 +299,34 @@ mod tests {
         let dc = core.density(0.250, 1.0, 358.15);
         let dl = l2.density(0.250, 1.0, 358.15);
         assert!(dl < dc / 5.0, "core {dc} l2 {dl}");
+    }
+
+    /// The hoisted `block_static` loop must reproduce the per-cell
+    /// `density` mapping bit for bit across Vth spreads, DVFS voltages
+    /// (including the power-gate), and temperatures.
+    #[test]
+    fn hoisted_block_static_bit_identical_to_reference() {
+        for params in [LeakageParams::core_default(), LeakageParams::l2_default()] {
+            let m = LeakagePower::new(params);
+            for seed in 0..6u64 {
+                let vth: Vec<f64> = (0..40)
+                    .map(|i| 0.250 + 0.004 * (((i as u64 * 17 + seed * 7) % 21) as f64 - 10.0))
+                    .collect();
+                let leff = vec![1.0; vth.len()];
+                let cells = CoreCells { vth, leff };
+                for &v in &[0.0, 0.6, 0.7, 0.85, 1.0] {
+                    for &temp_k in &[318.15, 333.15, 358.15, 371.0] {
+                        let fast = m.block_static(&cells, 11.0, v, temp_k);
+                        let reference = m.block_static_reference(&cells, 11.0, v, temp_k);
+                        assert_eq!(
+                            fast.to_bits(),
+                            reference.to_bits(),
+                            "v={v} T={temp_k}: {fast} vs {reference}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -70,6 +70,41 @@ impl ThermalParams {
     }
 }
 
+/// One lateral edge as seen from a single node's CSR row.
+///
+/// `a`/`b` are the edge's original endpoints in floorplan order (so the
+/// heat flow `g·(T[a] − T[b])` is evaluated with exactly the operand
+/// order of the edge-list formulation), and `sub` records whether this
+/// node is the `a` side (flow leaves: subtract) or the `b` side (flow
+/// arrives: add).
+#[derive(Debug, Clone, Copy)]
+struct CsrEdge {
+    a: u32,
+    b: u32,
+    g: f64,
+    sub: bool,
+}
+
+/// Reusable buffers for the in-place thermal APIs.
+///
+/// Owned by the caller (one per `Machine`), resized lazily on first
+/// use, and never read before being fully overwritten — so a scratch
+/// can be shared across models of the same size or recreated freely.
+#[derive(Debug, Clone, Default)]
+pub struct ThermalScratch {
+    /// Net heat flow per node within one Euler sub-step.
+    flow: Vec<f64>,
+    /// Forward-substitution work buffer for `steady_state_into`.
+    w: Vec<f64>,
+}
+
+impl ThermalScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Lumped thermal network over a floorplan's blocks.
 #[derive(Debug, Clone)]
 pub struct ThermalModel {
@@ -78,8 +113,20 @@ pub struct ThermalModel {
     g_vertical: Vec<f64>,
     /// Heat capacity per block (J/K).
     capacity: Vec<f64>,
-    /// Lateral conductances: (i, j, g) with i < j.
+    /// Lateral conductances: (i, j, g) with i < j. Superseded by the
+    /// CSR adjacency for stepping; retained as the oracle input for the
+    /// bit-identity reference tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     g_lateral: Vec<(usize, usize, f64)>,
+    /// CSR adjacency: `csr_edges[csr_ptr[i]..csr_ptr[i+1]]` are node
+    /// `i`'s incident lateral edges, in `g_lateral` order.
+    csr_ptr: Vec<usize>,
+    csr_edges: Vec<CsrEdge>,
+    /// Total conductance per node (vertical + incident lateral), W/K.
+    g_total: Vec<f64>,
+    /// Smallest node time constant `C/G` (seconds); bounds the stable
+    /// forward-Euler sub-step. Derived once here instead of per call.
+    min_tau: f64,
     /// Cholesky factor of the conductance matrix.
     factor: LowerTriangular,
     /// Number of blocks.
@@ -144,11 +191,69 @@ impl ThermalModel {
             .cholesky()
             .expect("conductance matrix is positive definite by construction");
 
+        // CSR adjacency: each node's incident edges in g_lateral order,
+        // keeping the original (a, b) endpoint order so the in-place
+        // stepper replays the edge-list flow accumulation bit for bit.
+        let mut csr_ptr = vec![0usize; n + 1];
+        for &(i, j, _) in &g_lateral {
+            csr_ptr[i + 1] += 1;
+            csr_ptr[j + 1] += 1;
+        }
+        for i in 0..n {
+            csr_ptr[i + 1] += csr_ptr[i];
+        }
+        let mut cursor = csr_ptr.clone();
+        let mut csr_edges = vec![
+            CsrEdge {
+                a: 0,
+                b: 0,
+                g: 0.0,
+                sub: false
+            };
+            2 * g_lateral.len()
+        ];
+        for &(i, j, gl) in &g_lateral {
+            let (a, b) = (i as u32, j as u32);
+            csr_edges[cursor[i]] = CsrEdge {
+                a,
+                b,
+                g: gl,
+                sub: true,
+            };
+            cursor[i] += 1;
+            csr_edges[cursor[j]] = CsrEdge {
+                a,
+                b,
+                g: gl,
+                sub: false,
+            };
+            cursor[j] += 1;
+        }
+
+        // Per-node total conductance and the smallest time constant,
+        // accumulated in exactly the order the per-call scan used to
+        // (vertical first, then incident edges in g_lateral order).
+        let mut g_total = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut g = g_vertical[i];
+            for e in &csr_edges[csr_ptr[i]..csr_ptr[i + 1]] {
+                g += e.g;
+            }
+            g_total.push(g);
+        }
+        let min_tau = (0..n)
+            .map(|i| capacity[i] / g_total[i])
+            .fold(f64::INFINITY, f64::min);
+
         Self {
             params,
             g_vertical,
             capacity,
             g_lateral,
+            csr_ptr,
+            csr_edges,
+            g_total,
+            min_tau,
             factor,
             n,
         }
@@ -164,6 +269,19 @@ impl ThermalModel {
         self.n
     }
 
+    /// Total conductance of node `i` to its neighbours and ambient
+    /// (W/K), precomputed at construction.
+    pub fn node_conductance(&self, i: usize) -> f64 {
+        self.g_total[i]
+    }
+
+    /// Smallest node time constant `C/G` in seconds — the quantity that
+    /// bounds the stable forward-Euler sub-step. Precomputed at
+    /// construction.
+    pub fn min_time_constant(&self) -> f64 {
+        self.min_tau
+    }
+
     /// Steady-state block temperatures (kelvin) for the given per-block
     /// powers (watts).
     ///
@@ -171,11 +289,32 @@ impl ThermalModel {
     ///
     /// Panics if `powers.len()` does not match the block count.
     pub fn steady_state(&self, powers: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        let mut scratch = ThermalScratch::new();
+        self.steady_state_into(powers, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free [`steady_state`](Self::steady_state): writes the
+    /// temperatures into `out`, reusing `scratch`'s buffers. Bit-identical
+    /// to the allocating API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` or `out.len()` does not match the block
+    /// count.
+    pub fn steady_state_into(&self, powers: &[f64], out: &mut [f64], scratch: &mut ThermalScratch) {
         assert_eq!(powers.len(), self.n, "power vector length mismatch");
+        assert_eq!(out.len(), self.n, "output vector length mismatch");
+        scratch.w.resize(self.n, 0.0);
         // G (T - T_amb 1) = P  =>  T = T_amb + G^{-1} P
         // (the Laplacian part cancels on the uniform ambient offset).
-        let rise = self.factor.solve(powers);
-        rise.iter().map(|r| self.params.ambient_k + r).collect()
+        self.factor.solve_into(powers, &mut scratch.w, out);
+        for r in out.iter_mut() {
+            // IEEE-754 addition commutes bit-for-bit, so this matches
+            // the reference's `ambient_k + x` exactly.
+            *r += self.params.ambient_k;
+        }
     }
 
     /// One forward-Euler transient step of length `dt_s` seconds:
@@ -189,41 +328,59 @@ impl ThermalModel {
     ///
     /// Panics if slice lengths mismatch or `dt_s` is not positive.
     pub fn transient_step(&self, temps: &[f64], powers: &[f64], dt_s: f64) -> Vec<f64> {
+        let mut t = temps.to_vec();
+        let mut scratch = ThermalScratch::new();
+        self.transient_step_into(&mut t, powers, dt_s, &mut scratch);
+        t
+    }
+
+    /// Allocation-free [`transient_step`](Self::transient_step): advances
+    /// `temps` in place, reusing `scratch`'s flow buffer. The stable
+    /// sub-step bound is read from the precomputed `min_tau` and the
+    /// lateral flows are accumulated per node through the CSR adjacency —
+    /// both replay the edge-list formulation's arithmetic exactly, so the
+    /// result is bit-identical to the allocating API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths mismatch or `dt_s` is not positive.
+    pub fn transient_step_into(
+        &self,
+        temps: &mut [f64],
+        powers: &[f64],
+        dt_s: f64,
+        scratch: &mut ThermalScratch,
+    ) {
         assert_eq!(temps.len(), self.n, "temperature vector length mismatch");
         assert_eq!(powers.len(), self.n, "power vector length mismatch");
         assert!(dt_s > 0.0, "time step must be positive");
 
-        // Smallest time constant bounds the stable step.
-        let min_tau = (0..self.n)
-            .map(|i| {
-                let mut g = self.g_vertical[i];
-                for &(a, b, gl) in &self.g_lateral {
-                    if a == i || b == i {
-                        g += gl;
-                    }
-                }
-                self.capacity[i] / g
-            })
-            .fold(f64::INFINITY, f64::min);
-        let sub_steps = (dt_s / (0.5 * min_tau)).ceil().max(1.0) as usize;
+        let sub_steps = (dt_s / (0.5 * self.min_tau)).ceil().max(1.0) as usize;
         let h = dt_s / sub_steps as f64;
 
-        let mut t = temps.to_vec();
+        scratch.flow.resize(self.n, 0.0);
+        let t = temps;
         for _ in 0..sub_steps {
-            let mut flow = vec![0.0; self.n];
+            // All flows are computed from the pre-step temperatures. Each
+            // node folds its incident edges in g_lateral order, with the
+            // edge's original (a, b) operand order — the same sequence of
+            // additions the edge-list loop performed into flow[i].
             for i in 0..self.n {
-                flow[i] = powers[i] - self.g_vertical[i] * (t[i] - self.params.ambient_k);
-            }
-            for &(i, j, gl) in &self.g_lateral {
-                let q = gl * (t[i] - t[j]);
-                flow[i] -= q;
-                flow[j] += q;
+                let mut acc = powers[i] - self.g_vertical[i] * (t[i] - self.params.ambient_k);
+                for e in &self.csr_edges[self.csr_ptr[i]..self.csr_ptr[i + 1]] {
+                    let q = e.g * (t[e.a as usize] - t[e.b as usize]);
+                    if e.sub {
+                        acc -= q;
+                    } else {
+                        acc += q;
+                    }
+                }
+                scratch.flow[i] = acc;
             }
             for i in 0..self.n {
-                t[i] += h * flow[i] / self.capacity[i];
+                t[i] += h * scratch.flow[i] / self.capacity[i];
             }
         }
-        t
     }
 
     /// Su et al.'s leakage-temperature fixed point: alternates
@@ -263,6 +420,57 @@ impl ThermalModel {
             }
         }
         (temps, powers, max_iters)
+    }
+}
+
+#[cfg(test)]
+impl ThermalModel {
+    /// The pre-optimization `transient_step`, retained verbatim as the
+    /// reference the scratch-buffer path is pinned against: per-call
+    /// `min_tau` scan, edge-list flow accumulation, fresh allocations.
+    fn transient_step_reference(&self, temps: &[f64], powers: &[f64], dt_s: f64) -> Vec<f64> {
+        assert_eq!(temps.len(), self.n, "temperature vector length mismatch");
+        assert_eq!(powers.len(), self.n, "power vector length mismatch");
+        assert!(dt_s > 0.0, "time step must be positive");
+
+        // Smallest time constant bounds the stable step.
+        let min_tau = (0..self.n)
+            .map(|i| {
+                let mut g = self.g_vertical[i];
+                for &(a, b, gl) in &self.g_lateral {
+                    if a == i || b == i {
+                        g += gl;
+                    }
+                }
+                self.capacity[i] / g
+            })
+            .fold(f64::INFINITY, f64::min);
+        let sub_steps = (dt_s / (0.5 * min_tau)).ceil().max(1.0) as usize;
+        let h = dt_s / sub_steps as f64;
+
+        let mut t = temps.to_vec();
+        for _ in 0..sub_steps {
+            let mut flow = vec![0.0; self.n];
+            for i in 0..self.n {
+                flow[i] = powers[i] - self.g_vertical[i] * (t[i] - self.params.ambient_k);
+            }
+            for &(i, j, gl) in &self.g_lateral {
+                let q = gl * (t[i] - t[j]);
+                flow[i] -= q;
+                flow[j] += q;
+            }
+            for i in 0..self.n {
+                t[i] += h * flow[i] / self.capacity[i];
+            }
+        }
+        t
+    }
+
+    /// The pre-optimization `steady_state`, retained as the reference.
+    fn steady_state_reference(&self, powers: &[f64]) -> Vec<f64> {
+        assert_eq!(powers.len(), self.n, "power vector length mismatch");
+        let rise = self.factor.solve(powers);
+        rise.iter().map(|r| self.params.ambient_k + r).collect()
     }
 }
 
@@ -420,5 +628,47 @@ mod tests {
     fn wrong_power_length_panics() {
         let (_, m) = model();
         m.steady_state(&[1.0, 2.0]);
+    }
+
+    /// Deterministic power/temperature grids exercising the in-place
+    /// paths against the retained naive reference, bit for bit.
+    #[test]
+    fn scratch_paths_bit_identical_to_reference() {
+        let (_, m) = model();
+        let n = m.node_count();
+        let mut scratch = ThermalScratch::new();
+        for seed in 0..8u64 {
+            let powers: Vec<f64> = (0..n)
+                .map(|i| 0.3 * ((i as u64 * 7 + seed * 13) % 29) as f64)
+                .collect();
+            let mut temps: Vec<f64> = (0..n)
+                .map(|i| 318.15 + ((i as u64 * 11 + seed * 5) % 17) as f64)
+                .collect();
+            for &dt in &[1e-4, 1e-3, 0.01, 0.1, 3.0] {
+                let reference = m.transient_step_reference(&temps, &powers, dt);
+                let wrapper = m.transient_step(&temps, &powers, dt);
+                m.transient_step_into(&mut temps, &powers, dt, &mut scratch);
+                for i in 0..n {
+                    assert_eq!(
+                        temps[i].to_bits(),
+                        reference[i].to_bits(),
+                        "in-place node {i} diverges at dt={dt}"
+                    );
+                    assert_eq!(
+                        wrapper[i].to_bits(),
+                        reference[i].to_bits(),
+                        "wrapper node {i} diverges at dt={dt}"
+                    );
+                }
+            }
+            let reference = m.steady_state_reference(&powers);
+            let wrapper = m.steady_state(&powers);
+            let mut out = vec![0.0; n];
+            m.steady_state_into(&powers, &mut out, &mut scratch);
+            for i in 0..n {
+                assert_eq!(out[i].to_bits(), reference[i].to_bits());
+                assert_eq!(wrapper[i].to_bits(), reference[i].to_bits());
+            }
+        }
     }
 }

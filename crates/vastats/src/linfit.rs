@@ -5,6 +5,7 @@
 //! measurements at three voltage levels (`Vlow`, `Vmid`, `Vhigh`),
 //! minimizing the vertical errors. This module is that fit.
 
+#[cfg(test)]
 use crate::matrix::least_squares;
 
 /// Result of fitting `y = slope·x + intercept`.
@@ -32,7 +33,79 @@ impl LineFit {
     ///
     /// Returns `None` when the points are degenerate (fewer than two, or
     /// all at the same `x`), in which case no line is identifiable.
+    ///
+    /// The two-parameter normal equations are solved with scalars in
+    /// exactly the accumulation and substitution order the general
+    /// [`crate::matrix::least_squares`] routine uses for a `[1, x]`
+    /// design matrix, so
+    /// this allocation-free path is bit-identical to routing through it
+    /// (pinned by the `scalar_fit_bit_identical_to_least_squares` test).
+    /// LinOpt re-fits every core's power line each DVFS interval, which
+    /// made the general path's per-call allocations a kernel hot spot.
     pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        let x0 = points[0].0;
+        if points.iter().all(|&(x, _)| (x - x0).abs() < 1e-15) {
+            return None;
+        }
+        // Normal equations XᵀX β = Xᵀy for rows [1, x]: each entry is
+        // accumulated per point in order, matching the general routine's
+        // per-element iterator sums.
+        let mut a00 = 0.0_f64; // Σ 1·1
+        let mut a10 = 0.0_f64; // Σ x·1
+        let mut a11 = 0.0_f64; // Σ x·x
+        for &(x, _) in points {
+            a00 += 1.0 * 1.0;
+            a10 += x * 1.0;
+            a11 += x * x;
+        }
+        let mut b0 = 0.0; // Σ 1·y
+        let mut b1 = 0.0; // Σ x·y
+        for &(x, y) in points {
+            b0 += 1.0 * y;
+            b1 += x * y;
+        }
+        // 2×2 Cholesky (same pivot checks as `SymMatrix::cholesky`).
+        if a00 <= 0.0 {
+            return None;
+        }
+        let l00 = a00.sqrt();
+        let l10 = a10 / l00;
+        let s = a11 - l10 * l10;
+        if s <= 0.0 {
+            return None;
+        }
+        let l11 = s.sqrt();
+        // Forward then back substitution.
+        let w0 = b0 / l00;
+        let w1 = (b1 - l10 * w0) / l11;
+        let slope = w1 / l11;
+        let intercept = (w0 - l10 * slope) / l00;
+        let mse = points
+            .iter()
+            .map(|&(x, y)| (y - (slope * x + intercept)).powi(2))
+            .sum::<f64>()
+            / points.len() as f64;
+        Some(Self {
+            slope,
+            intercept,
+            rms_error: mse.sqrt(),
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+impl LineFit {
+    /// The pre-optimization fit, retained verbatim: build the `[1, x]`
+    /// design matrix and route through the general [`least_squares`].
+    fn fit_reference(points: &[(f64, f64)]) -> Option<Self> {
         if points.len() < 2 {
             return None;
         }
@@ -54,11 +127,6 @@ impl LineFit {
             intercept,
             rms_error: mse.sqrt(),
         })
-    }
-
-    /// Evaluates the fitted line at `x`.
-    pub fn eval(&self, x: f64) -> f64 {
-        self.slope * x + self.intercept
     }
 }
 
@@ -102,5 +170,52 @@ mod tests {
         let fit = LineFit::fit(&[(0.0, 1.0), (2.0, 5.0)]).unwrap();
         assert!((fit.slope - 2.0).abs() < 1e-10);
         assert!((fit.intercept - 1.0).abs() < 1e-10);
+    }
+
+    /// The scalar normal-equations path must reproduce the general
+    /// `least_squares` route bit for bit across point counts, scales,
+    /// and degenerate inputs.
+    #[test]
+    fn scalar_fit_bit_identical_to_least_squares() {
+        let mut corpus: Vec<Vec<(f64, f64)>> = vec![
+            vec![],
+            vec![(1.0, 2.0)],
+            vec![(1.0, 2.0), (1.0, 3.0)], // vertical: degenerate
+            vec![(0.0, 1.0), (2.0, 5.0)],
+            vec![(0.6, 2.05), (0.8, 2.95), (1.0, 4.02)],
+        ];
+        for n in [3usize, 5, 9, 17] {
+            for seed in 0..4u64 {
+                let pts: Vec<(f64, f64)> = (0..n)
+                    .map(|i| {
+                        let x = 0.6 + 0.4 * i as f64 / (n - 1) as f64;
+                        let wob = (((i as u64 * 13 + seed * 5) % 11) as f64 - 5.0) * 0.013;
+                        (x, 3.1 * x - 0.7 + wob)
+                    })
+                    .collect();
+                corpus.push(pts);
+            }
+        }
+        // Extreme scales stress the accumulation order.
+        corpus.push(
+            (0..7)
+                .map(|i| (i as f64 * 1e6, i as f64 * 3e9 + 1e7))
+                .collect(),
+        );
+        corpus.push((0..7).map(|i| (i as f64 * 1e-6, 2e-9 * i as f64)).collect());
+
+        for pts in &corpus {
+            let fast = LineFit::fit(pts);
+            let reference = LineFit::fit_reference(pts);
+            match (fast, reference) {
+                (None, None) => {}
+                (Some(f), Some(r)) => {
+                    assert_eq!(f.slope.to_bits(), r.slope.to_bits(), "{pts:?}");
+                    assert_eq!(f.intercept.to_bits(), r.intercept.to_bits(), "{pts:?}");
+                    assert_eq!(f.rms_error.to_bits(), r.rms_error.to_bits(), "{pts:?}");
+                }
+                (f, r) => panic!("{pts:?}: fast {f:?} vs reference {r:?}"),
+            }
+        }
     }
 }

@@ -186,10 +186,25 @@ impl LowerTriangular {
     ///
     /// Panics if `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut w = vec![0.0; self.n];
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut w, &mut x);
+        x
+    }
+
+    /// Allocation-free [`solve`](Self::solve): writes the solution into
+    /// `x`, using `w` as the forward-substitution work buffer. The
+    /// arithmetic is identical to `solve`, so results match bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b`, `w`, or `x` is not `dim()` long.
+    pub fn solve_into(&self, b: &[f64], w: &mut [f64], x: &mut [f64]) {
         assert_eq!(b.len(), self.n, "dimension mismatch");
+        assert_eq!(w.len(), self.n, "dimension mismatch");
+        assert_eq!(x.len(), self.n, "dimension mismatch");
         let n = self.n;
         // Forward: L w = b.
-        let mut w = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -198,7 +213,6 @@ impl LowerTriangular {
             w[i] = sum / self.data[i * n + i];
         }
         // Back: L^T x = w.
-        let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = w[i];
             for k in i + 1..n {
@@ -206,7 +220,6 @@ impl LowerTriangular {
             }
             x[i] = sum / self.data[i * n + i];
         }
-        x
     }
 
     /// Reconstructs `L Lᵀ` (testing helper).

@@ -26,13 +26,24 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 
 if [[ "$mode" == bench-smoke ]]; then
+  # Snapshot the committed BENCH_*.json files before the benches
+  # overwrite them: check_bench --baseline diffs the fresh run against
+  # this snapshot and fails on >3x per-case median regressions.
+  baseline_dir=target/bench-baseline
+  rm -rf "$baseline_dir"
+  mkdir -p "$baseline_dir"
+  cp results/BENCH_*.json "$baseline_dir"/ 2>/dev/null || true
+
   # Machine-readable bench output: the benches write
-  # results/BENCH_{optimizers,substrates}.json, the all bin writes
-  # per-stage wall-times to results/BENCH_all.json, and the trace bin
-  # exports JSONL run traces. check_bench exits non-zero unless every
-  # BENCH_*.json is well-formed with positive timings.
+  # results/BENCH_{optimizers,substrates}.json, the kernel bin writes
+  # the per-tick microbench medians to results/BENCH_kernel.json, the
+  # all bin writes per-stage wall-times to results/BENCH_all.json, and
+  # the trace bin exports JSONL run traces. check_bench exits non-zero
+  # unless every BENCH_*.json is well-formed with positive timings and
+  # no case regressed >3x against the committed snapshot.
   cargo bench --offline -p vasp-bench
+  cargo run -q --release --offline -p vasp-bench --bin kernel
   cargo run -q --release --offline -p vasp-bench --bin all -- --scale smoke
   cargo run -q --release --offline -p vasp-bench --bin trace -- --scale smoke
-  cargo run -q --release --offline -p vasp-bench --bin check_bench
+  cargo run -q --release --offline -p vasp-bench --bin check_bench -- --baseline "$baseline_dir"
 fi
