@@ -3,45 +3,45 @@
 //! domain granularity, and voltage-transition costs.
 
 use vasched::experiments::ablation;
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
+    let h = Harness::from_args();
     for threads in [8usize, 20] {
         println!("\n== LinOpt variants, {threads} threads ==");
         println!(
             "{:>28} {:>12} {:>12} {:>10}",
             "variant", "MIPS", "power (W)", "feasible"
         );
-        for (label, point) in ablation::linopt_variants(&opts.scale, opts.seed, threads) {
+        for (label, point) in ablation::linopt_variants(h.scale(), h.seed(), threads) {
             println!(
                 "{label:>28} {:>12.0} {:>12.2} {:>10}",
                 point.mips, point.power_w, point.feasible
             );
         }
-        let err = ablation::ipc_frequency_error(&opts.scale, opts.seed, threads);
+        let err = ablation::ipc_frequency_error(h.scale(), h.seed(), threads);
         println!(
             "IPC-frequency independence: mean relative IPC error {:.2}%",
             err * 100.0
         );
     }
 
-    let g = ablation::granularity(&opts.scale, opts.seed);
-    report(
+    let g = ablation::granularity(h.scale(), h.seed());
+    h.report(
         "ablation_granularity",
         "DVFS granularity (x = cores per voltage domain; Herbert & Marculescu: finer is better)",
         &[g],
     );
 
-    let t = ablation::transition_cost(&opts.scale, opts.seed, 20);
-    report(
+    let t = ablation::transition_cost(h.scale(), h.seed(), 20);
+    h.report(
         "ablation_transition",
         "DVFS interval under XScale transition costs (x = interval ms, normalized to 10 ms)",
         &[t],
     );
 
-    let g = ablation::gain_vs_sigma(&opts.scale, opts.seed, 8);
-    report(
+    let g = ablation::gain_vs_sigma(h.scale(), h.seed(), 8);
+    h.report(
         "ablation_gain_vs_sigma",
         "Variation-aware scheduling gain vs Vth sigma/mu (must vanish at sigma -> 0)",
         &[g],

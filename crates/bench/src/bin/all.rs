@@ -12,8 +12,8 @@ use vasched::engine::TrialRunner;
 use vasched::experiments::{
     ablation, dvfs, faults, granularity, online, scheduling, timing, validation, variation, Series,
 };
+use vasp_bench::harness::Harness;
 use vasp_bench::json_report::BenchReport;
-use vasp_bench::{parse_args, report};
 
 /// Records per-stage wall-clock laps into a [`BenchReport`].
 struct StageTimer {
@@ -51,9 +51,9 @@ fn range_pct(s: &Series) -> String {
 }
 
 fn main() {
-    let opts = parse_args();
-    let scale = opts.scale;
-    let seed = opts.seed;
+    let h = Harness::from_args();
+    let scale = *h.scale();
+    let seed = h.seed();
     // parse_args installed --threads as the engine default; every
     // experiment below fans its trials out through this runner width.
     let workers = TrialRunner::new().workers();
@@ -98,7 +98,7 @@ fn main() {
         "| Fig 5b frequency ratio at σ/µ = 0.03 → 0.12 | grows with σ | {:.2} → {:.2} |",
         f5f.y[0], f5f.y[3]
     );
-    report("fig05", "Figure 5", &[f5p, f5f]);
+    h.report("fig05", "Figure 5", &[f5p, f5f]);
 
     stages.lap(&mut bench, "fig5");
     // Figure 6.
@@ -109,7 +109,7 @@ fn main() {
         "| Fig 6 MinF top frequency (vs MaxF @1 V) | ~0.74 | {:.2} |",
         f6min.x.last().expect("points")
     );
-    report("fig06", "Figure 6", &[f6max, f6min]);
+    h.report("fig06", "Figure 6", &[f6max, f6min]);
 
     stages.lap(&mut bench, "fig6");
     // Table 5 is exact by construction (asserted by tests).
@@ -128,8 +128,8 @@ fn main() {
         pct(f7p[1].y[1]),
         pct(f7p[1].y[4])
     );
-    report("fig07a", "Figure 7a", &f7p);
-    report("fig07b", "Figure 7b", &f7e);
+    h.report("fig07a", "Figure 7a", &f7p);
+    h.report("fig07b", "Figure 7b", &f7e);
     stages.lap(&mut bench, "fig7");
     println!("[5/14] fig8 ...");
     let (f8p, f8e) = scheduling::fig8(&scale, seed.wrapping_add(4));
@@ -138,8 +138,8 @@ fn main() {
         "| Fig 8a VarP power at 4 threads (NUniFreq) | ~−14% | {} |",
         pct(f8p[1].y[1])
     );
-    report("fig08a", "Figure 8a", &f8p);
-    report("fig08b", "Figure 8b", &f8e);
+    h.report("fig08a", "Figure 8a", &f8p);
+    h.report("fig08b", "Figure 8b", &f8e);
 
     stages.lap(&mut bench, "fig8");
     // Figures 9-10.
@@ -161,9 +161,9 @@ fn main() {
         pct(f10[2].y[3]),
         pct(f10[2].y[4])
     );
-    report("fig09a", "Figure 9a", &f9f);
-    report("fig09b", "Figure 9b", &f9m);
-    report("fig10", "Figure 10", &f10);
+    h.report("fig09a", "Figure 9a", &f9f);
+    h.report("fig09b", "Figure 9b", &f9m);
+    h.report("fig10", "Figure 10", &f10);
 
     stages.lap(&mut bench, "fig9_10");
     // Figures 11 & 13.
@@ -194,10 +194,10 @@ fn main() {
         "| Fig 13b LinOpt weighted ED² | −24% to −33% | {} |",
         range_pct(&f13e[2])
     );
-    report("fig11a", "Figure 11a", &f11m);
-    report("fig11b", "Figure 11b", &f11e);
-    report("fig13a", "Figure 13a", &f13m);
-    report("fig13b", "Figure 13b", &f13e);
+    h.report("fig11a", "Figure 11a", &f11m);
+    h.report("fig11b", "Figure 11b", &f11e);
+    h.report("fig13a", "Figure 13a", &f13m);
+    h.report("fig13b", "Figure 13b", &f13e);
 
     stages.lap(&mut bench, "fig11_13");
     // Figure 12.
@@ -210,7 +210,7 @@ fn main() {
         pct(f12[2].y[1]),
         pct(f12[2].y[2])
     );
-    report("fig12", "Figure 12", &f12);
+    h.report("fig12", "Figure 12", &f12);
 
     stages.lap(&mut bench, "fig12");
     // Figure 14.
@@ -226,7 +226,7 @@ fn main() {
         "| Fig 14 deviation at 2 s (4 / 20 threads) | ~5% / ~18% | {:.1}% / {:.1}% |",
         f14[0].y[0], f14[1].y[0]
     );
-    report("fig14", "Figure 14", &f14);
+    h.report("fig14", "Figure 14", &f14);
 
     stages.lap(&mut bench, "fig14");
     // Figure 15.
@@ -240,7 +240,7 @@ fn main() {
         md,
         "| Fig 15 LinOpt time at 20 threads | ≤6 µs (4 GHz CPU) | {slowest:.1} µs (host) |"
     );
-    report("fig15", "Figure 15", &f15);
+    h.report("fig15", "Figure 15", &f15);
 
     stages.lap(&mut bench, "fig15");
     // Validation.
@@ -280,8 +280,8 @@ fn main() {
         "| 1 ms vs 10 ms LinOpt interval (XScale transitions) | n/a (extension) | {} |",
         pct(trans.y[0])
     );
-    report("ablation_granularity", "Granularity", &[gran]);
-    report("ablation_transition", "Transition cost", &[trans]);
+    h.report("ablation_granularity", "Granularity", &[gran]);
+    h.report("ablation_transition", "Transition cost", &[trans]);
 
     stages.lap(&mut bench, "ablations");
     // Online serving (beyond the paper).
@@ -295,22 +295,22 @@ fn main() {
         sweep.throughput_jobs_per_s[1].y[last],
         sweep.throughput_jobs_per_s[2].y[last]
     );
-    report(
+    h.report(
         "online_throughput",
         "Online throughput",
         &sweep.throughput_jobs_per_s,
     );
-    report(
+    h.report(
         "online_p95_latency",
         "Online p95 latency",
         &sweep.p95_latency_ms,
     );
-    report(
+    h.report(
         "online_utilization",
         "Online utilization",
         &sweep.utilization,
     );
-    report("online_power", "Online chip power", &sweep.avg_power_w);
+    h.report("online_power", "Online chip power", &sweep.avg_power_w);
 
     stages.lap(&mut bench, "online");
     println!("[14/14] fault injection ...");
@@ -331,31 +331,29 @@ fn main() {
         "| Fault tracking: LinOpt |P−40 W| under σ=0.05 + 2 dead cores | n/a (extension, bar ≤ 1 W) | {:.2} W ({:.1} fallbacks/run under a deep budget drop) |",
         lin.deviation_w, lin_fb.solver_fallbacks
     );
-    report("faults_noise_mips", "Fault noise throughput", &noise.mips);
-    report(
+    h.report("faults_noise_mips", "Fault noise throughput", &noise.mips);
+    h.report(
         "faults_noise_deviation",
         "Fault noise budget deviation (W)",
         &noise.budget_deviation_w,
     );
-    report(
+    h.report(
         "faults_failures_mips",
         "Core-failure throughput",
         &failures.mips,
     );
-    report(
+    h.report(
         "faults_failures_deviation",
         "Core-failure budget deviation (W)",
         &failures.budget_deviation_w,
     );
 
     stages.lap(&mut bench, "faults");
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/REPORT.md", &md).expect("write report");
+    h.artifact("REPORT.md", &md);
     bench.push_stage("total", run_start.elapsed().as_secs_f64());
     match bench.write("all") {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_all.json: {e}"),
     }
     println!("\n{md}");
-    println!("wrote results/REPORT.md");
 }

@@ -4,7 +4,7 @@
 //! solver fallback under a deep transient budget drop).
 
 use vasched::experiments::faults::{self, DegradationReport};
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn print_reports(title: &str, reports: &[DegradationReport]) {
     println!("\n== {title} ==");
@@ -21,27 +21,27 @@ fn print_reports(title: &str, reports: &[DegradationReport]) {
 }
 
 fn main() {
-    let opts = parse_args();
+    let h = Harness::from_args();
 
-    let noise = faults::noise_sweep(&opts.scale, opts.seed);
-    report(
+    let noise = faults::noise_sweep(h.scale(), h.seed());
+    h.report(
         "faults_noise_mips",
         "Sensor noise: throughput (MIPS) vs noise sigma (40 W budget, 20 threads)",
         &noise.mips,
     );
-    report(
+    h.report(
         "faults_noise_deviation",
         "Sensor noise: mean |power - 40 W| (W) vs noise sigma",
         &noise.budget_deviation_w,
     );
 
-    let failures = faults::failure_sweep(&opts.scale, opts.seed);
-    report(
+    let failures = faults::failure_sweep(h.scale(), h.seed());
+    h.report(
         "faults_failures_mips",
         "Core failures: throughput (MIPS) vs failed cores (sigma = 0.05 noise floor)",
         &failures.mips,
     );
-    report(
+    h.report(
         "faults_failures_deviation",
         "Core failures: mean |power - 40 W| (W) vs failed cores",
         &failures.budget_deviation_w,
@@ -49,11 +49,11 @@ fn main() {
 
     print_reports(
         "Tracking scenario: sigma = 0.05 noise + 2 core failures",
-        &faults::tracking_scenario(&opts.scale, opts.seed),
+        &faults::tracking_scenario(h.scale(), h.seed()),
     );
     print_reports(
         "Fallback scenario: + budget drop to 25% over [40%, 70%) of the run",
-        &faults::fallback_scenario(&opts.scale, opts.seed),
+        &faults::fallback_scenario(h.scale(), h.seed()),
     );
     println!("\n(LinOpt should hold |P-40W| near the clean baseline while degrading");
     println!(" throughput smoothly; fallbacks > 0 shows the chip-wide safety net)");

@@ -2,13 +2,13 @@
 //! ratios over a batch of dies (σ/µ = 0.12).
 
 use vasched::experiments::{variation, Series};
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 use vastats::{bootstrap::mean_ci, SimRng};
 
 fn main() {
-    let opts = parse_args();
-    let data = variation::fig4(&opts.scale, opts.seed);
-    let mut ci_rng = SimRng::seed_from(opts.seed ^ 0xC1);
+    let h = Harness::from_args();
+    let data = variation::fig4(h.scale(), h.seed());
+    let mut ci_rng = SimRng::seed_from(h.seed() ^ 0xC1);
 
     println!(
         "Figure 4(a): max/min core power ratio, {} dies",
@@ -34,5 +34,5 @@ fn main() {
         Series::new("power_ratio", dies.clone(), data.power_ratios.clone()),
         Series::new("freq_ratio", dies, data.freq_ratios.clone()),
     ];
-    report("fig04", "Figure 4 raw per-die ratios", &series);
+    h.report("fig04", "Figure 4 raw per-die ratios", &series);
 }

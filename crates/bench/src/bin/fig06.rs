@@ -2,15 +2,15 @@
 //! slowest (MinF) cores of one die, V = 0.6-1.0 V, running bzip2.
 
 use vasched::experiments::variation;
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
-    let (maxf, minf) = variation::fig6(&opts.scale, opts.seed);
+    let h = Harness::from_args();
+    let (maxf, minf) = variation::fig6(h.scale(), h.seed());
     println!("(x = frequency, y = power; both normalized to MaxF at 1 V)");
     println!("Paper's shape: MinF is more power-efficient at low frequency,");
     println!("MaxF at high frequency, with a crossover in between.");
-    report(
+    h.report(
         "fig06",
         "Figure 6: power vs frequency, MaxF and MinF cores",
         &[maxf, minf],

@@ -2,17 +2,17 @@
 //! Random / VarP / VarP&AppP, relative to Random.
 
 use vasched::experiments::scheduling;
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
-    let (power, ed2) = scheduling::fig7(&opts.scale, opts.seed);
-    report(
+    let h = Harness::from_args();
+    let (power, ed2) = scheduling::fig7(h.scale(), h.seed());
+    h.report(
         "fig07a",
         "Figure 7(a): UniFreq relative power (paper: VarP saves ~10% at 4 threads, nothing at 20)",
         &power,
     );
-    report(
+    h.report(
         "fig07b",
         "Figure 7(b): UniFreq relative ED^2 (paper: tracks the power savings)",
         &ed2,

@@ -2,15 +2,15 @@
 //! Random / VarP / VarP&AppP, relative to Random.
 
 use vasched::experiments::scheduling;
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
-    let (power, ed2) = scheduling::fig8(&opts.scale, opts.seed);
-    report(
+    let h = Harness::from_args();
+    let (power, ed2) = scheduling::fig8(h.scale(), h.seed());
+    h.report(
         "fig08a",
         "Figure 8(a): NUniFreq relative power (paper: ~14% savings at 4 threads)",
         &power,
     );
-    report("fig08b", "Figure 8(b): NUniFreq relative ED^2 (paper: smaller gains than 7b - VarP picks slow cores)", &ed2);
+    h.report("fig08b", "Figure 8(b): NUniFreq relative ED^2 (paper: smaller gains than 7b - VarP picks slow cores)", &ed2);
 }

@@ -2,27 +2,27 @@
 //! weighted (13), relative to Random+Foxton*, Cost-Performance env.
 
 use vasched::experiments::dvfs;
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
-    let (mips, ed2, wmips, wed2) = dvfs::fig11_fig13(&opts.scale, opts.seed);
-    report(
+    let h = Harness::from_args();
+    let (mips, ed2, wmips, wed2) = dvfs::fig11_fig13(h.scale(), h.seed());
+    h.report(
         "fig11a",
         "Figure 11(a): relative MIPS (paper: LinOpt +12-17%, SAnn ~+2% over LinOpt)",
         &mips,
     );
-    report(
+    h.report(
         "fig11b",
         "Figure 11(b): relative ED^2 (paper: LinOpt -30-38%)",
         &ed2,
     );
-    report(
+    h.report(
         "fig13a",
         "Figure 13(a): relative weighted MIPS (paper: LinOpt +9-14%)",
         &wmips,
     );
-    report(
+    h.report(
         "fig13b",
         "Figure 13(b): relative weighted ED^2 (paper: LinOpt -24-33%)",
         &wed2,

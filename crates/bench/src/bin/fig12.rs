@@ -2,12 +2,12 @@
 //! 20 threads, relative to Random+Foxton*.
 
 use vasched::experiments::dvfs;
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
-    let series = dvfs::fig12(&opts.scale, opts.seed);
-    report(
+    let h = Harness::from_args();
+    let series = dvfs::fig12(h.scale(), h.seed());
+    h.report(
         "fig12",
         "Figure 12: relative MIPS per power target (paper: LinOpt +16%/+12%/+11% at 50/75/100 W)",
         &series,

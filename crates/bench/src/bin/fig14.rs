@@ -1,12 +1,12 @@
 //! Figure 14: power deviation from Ptarget vs LinOpt interval.
 
 use vasched::experiments::granularity;
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
-    let series = granularity::fig14(&opts.scale, opts.seed, &[4, 20]);
-    report(
+    let h = Harness::from_args();
+    let series = granularity::fig14(h.scale(), h.seed(), &[4, 20]);
+    h.report(
         "fig14",
         "Figure 14: % deviation from Ptarget vs LinOpt interval (paper: <1% at 10 ms)",
         &series,

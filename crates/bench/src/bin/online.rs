@@ -3,29 +3,34 @@
 //! per power manager, under the tight serving budget.
 
 use vasched::experiments::online;
-use vasp_bench::{parse_args, report};
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
-    let sweep = online::arrival_sweep(&opts.scale, opts.seed);
-    report(
+    let h = Harness::from_args();
+    let sweep = online::arrival_sweep(h.scale(), h.seed());
+    h.report(
         "online_throughput",
         "Online serving: completed jobs/s vs arrival rate (LinOpt sustains the most under the 40 W budget)",
         &sweep.throughput_jobs_per_s,
     );
-    report(
+    h.report(
         "online_p95_latency",
         "Online serving: p95 arrival-to-completion latency (ms) vs arrival rate",
         &sweep.p95_latency_ms,
     );
-    report(
+    h.report(
         "online_utilization",
         "Online serving: busy-core fraction vs arrival rate",
         &sweep.utilization,
     );
-    report(
+    h.report(
         "online_power",
         "Online serving: average chip power (W) vs arrival rate (budget 40 W)",
         &sweep.avg_power_w,
+    );
+    h.report(
+        "online_dropped",
+        "Online serving: jobs dropped from the latency summary per trial (shed by admission; 0 without an SLO policy)",
+        &sweep.dropped_jobs,
     );
 }

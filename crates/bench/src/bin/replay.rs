@@ -1,0 +1,98 @@
+//! Deterministic-replay gate: re-runs the committed replay scenario
+//! ([`vasched::experiments::replay`]), byte-compares its JSONL trace
+//! against the committed golden, and drills checkpoint → JSON →
+//! restore, demanding a byte-identical post-checkpoint tail.
+//!
+//! ```text
+//! cargo run --release -p vasp-bench --bin replay            # verify
+//! cargo run --release -p vasp-bench --bin replay -- --update
+//! ```
+//!
+//! Exit status is non-zero on any byte difference; the first divergent
+//! field (via [`vasched::obs::diff_traces`]) is printed so a failed CI
+//! run names `cores[7].f_hz`, not a byte offset. `--golden <path>`
+//! overrides the default golden location (repository-root relative);
+//! `--update` rewrites the golden instead of comparing — the
+//! `tests/obs.rs` golden test must then be regenerated the same way
+//! (`UPDATE_GOLDENS=1 cargo test --test obs`), since both pin the same
+//! bytes.
+
+use vasched::experiments::replay::{run_scenario, CHECKPOINT_TICK, GOLDEN_PATH};
+use vasched::obs::diff_traces;
+
+fn main() {
+    let mut golden_path = GOLDEN_PATH.to_string();
+    let mut update = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--golden" => {
+                i += 1;
+                golden_path = args.get(i).expect("--golden needs a value").clone();
+            }
+            "--update" => update = true,
+            other => panic!("unknown argument '{other}' (supported: --golden, --update)"),
+        }
+        i += 1;
+    }
+
+    let artifacts = run_scenario();
+    println!(
+        "replay scenario: {} records, {} completed, {} shed, checkpoint at tick {}",
+        artifacts.trace.lines().count().saturating_sub(1),
+        artifacts.outcome_full.completed,
+        artifacts.outcome_full.shed,
+        CHECKPOINT_TICK
+    );
+
+    let mut failed = false;
+
+    // Gate 1: the checkpoint → serialize → restore run reproduces the
+    // uninterrupted run's tail bytes.
+    if artifacts.resumed_tail == artifacts.expected_tail {
+        println!(
+            "restore tail: byte-identical ({} bytes)",
+            artifacts.expected_tail.len()
+        );
+    } else {
+        failed = true;
+        eprintln!("FAIL: restored trace tail diverged from the uninterrupted run");
+        match diff_traces(&artifacts.expected_tail, &artifacts.resumed_tail) {
+            Some(d) => eprintln!("  {d}"),
+            None => eprintln!("  (semantically equal — whitespace/formatting drift)"),
+        }
+    }
+    if artifacts.outcome_full != artifacts.outcome_resumed {
+        failed = true;
+        eprintln!("FAIL: restored run's outcome differs from the uninterrupted run's");
+    }
+
+    // Gate 2: the trace matches the committed golden byte-for-byte.
+    if update {
+        std::fs::write(&golden_path, &artifacts.trace).expect("write golden");
+        println!("wrote {golden_path} ({} bytes)", artifacts.trace.len());
+    } else {
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("cannot read golden {golden_path}: {e}"));
+        if golden == artifacts.trace {
+            println!("golden trace: byte-identical ({} bytes)", golden.len());
+        } else {
+            failed = true;
+            eprintln!(
+                "FAIL: trace drifted from {golden_path} ({} vs {} bytes)",
+                golden.len(),
+                artifacts.trace.len()
+            );
+            match diff_traces(&golden, &artifacts.trace) {
+                Some(d) => eprintln!("  {d}"),
+                None => eprintln!("  (semantically equal — whitespace/formatting drift)"),
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("replay: zero divergence");
+}

@@ -1,11 +1,11 @@
 //! §6.5 validation: SAnn vs exhaustive search vs LinOpt.
 
 use vasched::experiments::validation;
-use vasp_bench::parse_args;
+use vasp_bench::harness::Harness;
 
 fn main() {
-    let opts = parse_args();
-    let results = validation::sann_vs_exhaustive(&opts.scale, opts.seed, &[1, 2, 4, 8, 16, 20]);
+    let h = Harness::from_args();
+    let results = validation::sann_vs_exhaustive(h.scale(), h.seed(), &[1, 2, 4, 8, 16, 20]);
     println!(
         "{:>8} {:>16} {:>12} {:>12} {:>14} {:>14}",
         "threads", "exhaustive MIPS", "SAnn MIPS", "LinOpt MIPS", "SAnn/exh", "LinOpt/SAnn"

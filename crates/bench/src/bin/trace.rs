@@ -19,27 +19,13 @@ use vasched::manager::{ManagerKind, PowerBudget};
 use vasched::obs::TraceObserver;
 use vasched::runtime::RuntimeConfig;
 use vasched::sched::SchedPolicy;
-use vasp_bench::parse_args;
-
-/// A filesystem-safe slug for an arm label (`Foxton*` → `foxton_star`).
-fn slug(label: &str) -> String {
-    let mut out = String::new();
-    for c in label.chars() {
-        match c {
-            'A'..='Z' => out.push(c.to_ascii_lowercase()),
-            'a'..='z' | '0'..='9' => out.push(c),
-            '*' => out.push_str("_star"),
-            _ => out.push('_'),
-        }
-    }
-    out.trim_matches('_').to_string()
-}
+use vasp_bench::harness::{slug, Harness};
 
 fn main() {
-    let opts = parse_args();
+    let h = Harness::from_args();
     let threads = 20;
     let runtime = RuntimeConfig::builder()
-        .duration_ms(opts.scale.duration_ms)
+        .duration_ms(h.scale().duration_ms)
         .build()
         .expect("scale duration is a valid timeline");
     let arm = |label: &str, manager: ManagerKind| TrialArm {
@@ -51,12 +37,12 @@ fn main() {
         rng_salt: None,
     };
 
-    let ctx = Context::new(opts.scale.grid);
+    let ctx = Context::new(h.scale().grid);
     let pool = cmpsim::app_pool(&ctx.machine_config().dynamic);
     let spec = TrialSpec::builder(&ctx, &pool)
         .threads(threads)
         .trials(1)
-        .seed(opts.seed)
+        .seed(h.seed())
         .plan(SeedPlan::default())
         .arm(arm("LinOpt", ManagerKind::LinOpt))
         .arm(arm("Foxton*", ManagerKind::FoxtonStar))
@@ -66,14 +52,13 @@ fn main() {
     let mut results = TrialRunner::new().run_observed(&spec, |_| TraceObserver::new());
     let (_, observers) = results.remove(0);
 
-    std::fs::create_dir_all("results").expect("create results dir");
     for (arm, observer) in spec.arms.iter().zip(observers) {
-        let path = format!("results/trace_{}.jsonl", slug(&arm.label));
+        let name = format!("trace_{}.jsonl", slug(&arm.label));
         println!(
-            "{path}: {} records, metrics {}",
+            "{name}: {} records, metrics {}",
             observer.jsonl().lines().count().saturating_sub(1),
             observer.metrics().to_json()
         );
-        std::fs::write(&path, observer.into_jsonl()).expect("write trace");
+        h.artifact(&name, &observer.into_jsonl());
     }
 }

@@ -18,6 +18,7 @@
 
 use vasched::experiments::{Scale, Series};
 
+pub mod harness;
 pub mod json_report;
 pub mod timing;
 

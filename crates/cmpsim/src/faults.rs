@@ -276,6 +276,30 @@ struct StuckReading {
     ipc: f64,
 }
 
+/// The mutable fault timeline of a machine, captured for a checkpoint.
+///
+/// The plan itself is *not* part of this state: a restore first
+/// reinstalls the original [`FaultPlan`] (configuration, owned by the
+/// caller) and then replays this progress on top of it via
+/// [`Machine::import_state`](crate::Machine::import_state).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultState {
+    /// Relative simulated seconds since the plan was installed.
+    pub now_s: f64,
+    /// Step counter since install (salts the counter-mode noise).
+    pub tick: u64,
+    /// Per-core liveness.
+    pub alive: Vec<bool>,
+    /// Frozen `(power_w, ipc)` readings for stuck sensors.
+    pub stuck: Vec<Option<(f64, f64)>>,
+    /// Which planned core failures have already fired.
+    pub fired_failures: Vec<bool>,
+    /// Which planned sensor sticks have already fired.
+    pub fired_stuck: Vec<bool>,
+    /// Budget multiplier currently in force.
+    pub budget_factor: f64,
+}
+
 /// Per-run fault state instantiated from a [`FaultPlan`] when it is
 /// installed into a [`Machine`](crate::Machine). Tracks its own
 /// timeline relative to the install point so arms that reuse a warm
@@ -320,6 +344,45 @@ impl SensorFaults {
 
     pub(crate) fn take_events(&mut self) -> Vec<FaultEvent> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Captures the mutable timeline for a checkpoint. Call only after
+    /// draining [`Self::take_events`]: pending events are transient
+    /// per-step output, not state, and are not captured.
+    pub(crate) fn export_state(&self) -> FaultState {
+        debug_assert!(
+            self.pending.is_empty(),
+            "fault events must be drained before checkpointing"
+        );
+        FaultState {
+            now_s: self.now_s,
+            tick: self.tick,
+            alive: self.alive.clone(),
+            stuck: self
+                .stuck
+                .iter()
+                .map(|s| s.map(|r| (r.power_w, r.ipc)))
+                .collect(),
+            fired_failures: self.fired_failures.clone(),
+            fired_stuck: self.fired_stuck.clone(),
+            budget_factor: self.budget_factor,
+        }
+    }
+
+    /// Replays checkpointed progress on top of a freshly installed plan.
+    pub(crate) fn import_state(&mut self, state: &FaultState) {
+        self.now_s = state.now_s;
+        self.tick = state.tick;
+        self.alive = state.alive.clone();
+        self.stuck = state
+            .stuck
+            .iter()
+            .map(|s| s.map(|(power_w, ipc)| StuckReading { power_w, ipc }))
+            .collect();
+        self.fired_failures = state.fired_failures.clone();
+        self.fired_stuck = state.fired_stuck.clone();
+        self.budget_factor = state.budget_factor;
+        self.pending.clear();
     }
 
     /// Advances the fault timeline across one step of `dt_s` seconds.
@@ -551,6 +614,30 @@ mod tests {
                 FaultEvent::BudgetRestored
             ]
         );
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_timeline() {
+        let plan = FaultPlan::none()
+            .with_seed(4)
+            .with_sensor_noise(0.05)
+            .with_stuck_sensor(1, 1.0)
+            .with_core_failure(2, 1.5)
+            .with_budget_drop(1.0, 5.0, 0.7);
+        let mut fs = SensorFaults::new(plan.clone(), 4);
+        for _ in 0..3 {
+            fs.advance(1e-3, |c| c as f64, |_| 1.0);
+        }
+        fs.take_events();
+        let state = fs.export_state();
+        let mut restored = SensorFaults::new(plan, 4);
+        restored.import_state(&state);
+        assert_eq!(fs, restored);
+        // Subsequent evolution is identical.
+        fs.advance(1e-3, |c| c as f64, |_| 1.0);
+        restored.advance(1e-3, |c| c as f64, |_| 1.0);
+        assert_eq!(fs, restored);
+        assert_eq!(fs.power_reading(0, 9.0), restored.power_reading(0, 9.0));
     }
 
     #[test]

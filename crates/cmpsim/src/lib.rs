@@ -38,8 +38,10 @@ pub mod workload;
 
 pub use apps::{app_pool, AppClass, AppSpec};
 pub use cache::CacheConfig;
-pub use faults::{BudgetDrop, CoreFailure, FaultConfigError, FaultEvent, FaultPlan, StuckSensor};
-pub use machine::{DvfsTransition, Machine, MachineConfig, StepStats};
+pub use faults::{
+    BudgetDrop, CoreFailure, FaultConfigError, FaultEvent, FaultPlan, FaultState, StuckSensor,
+};
+pub use machine::{DvfsTransition, Machine, MachineConfig, MachineState, StepStats};
 pub use telemetry::Telemetry;
 pub use thread::Thread;
 pub use workload::{Mix, Workload};

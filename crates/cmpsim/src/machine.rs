@@ -16,7 +16,7 @@
 //! contribute leakage plus access-driven dynamic power.
 
 use crate::cache::OccupancyScratch;
-use crate::faults::{FaultConfigError, FaultEvent, FaultPlan, SensorFaults};
+use crate::faults::{FaultConfigError, FaultEvent, FaultPlan, FaultState, SensorFaults};
 use crate::thread::Thread;
 use critpath::{FreqModel, TimingParams, VfTable};
 use floorplan::{BlockKind, Floorplan};
@@ -185,6 +185,48 @@ impl LeakMemo {
     fn invalidate(&mut self) {
         self.generation += 1;
     }
+}
+
+/// The complete mutable state of a [`Machine`], captured for a
+/// checkpoint by [`Machine::export_state`].
+///
+/// Everything that evolves as the simulation steps is here; everything
+/// that is configuration (the die, the floorplan, the models, the
+/// installed [`FaultPlan`]) is not — a restore rebuilds the machine
+/// from the same configuration and then imports this state on top via
+/// [`Machine::import_state`]. Scratch buffers and the leakage memo are
+/// deliberately excluded: they are rebuilt lazily and never affect
+/// results bit-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    /// Per-block temperatures (kelvin).
+    pub temps: Vec<f64>,
+    /// The running threads, with their full progress counters.
+    pub threads: Vec<Thread>,
+    /// Per core: index of the thread it runs, if any.
+    pub assignment: Vec<Option<usize>>,
+    /// Per core: current (V, f) level index.
+    pub levels: Vec<usize>,
+    /// Per core: optional frequency cap below the table frequency.
+    pub freq_caps: Vec<Option<f64>>,
+    /// Per core: remaining DVFS-transition stall (seconds).
+    pub stall_s: Vec<f64>,
+    /// Per-core power sensors from the last step (watts).
+    pub last_core_power: Vec<f64>,
+    /// Per-core IPC sensors from the last step.
+    pub last_core_ipc: Vec<f64>,
+    /// Chip power meter from the last step (watts).
+    pub last_total_power: f64,
+    /// DTM throttle events since the last thread load.
+    pub dtm_events: usize,
+    /// Accumulated energy (joules).
+    pub energy_j: f64,
+    /// Accumulated simulated time (seconds).
+    pub elapsed_s: f64,
+    /// Accumulated instructions retired chip-wide.
+    pub total_instructions: f64,
+    /// Fault timeline progress, when a plan is installed.
+    pub faults: Option<FaultState>,
 }
 
 /// Statistics from one simulation step.
@@ -1072,6 +1114,75 @@ impl Machine {
             self.energy_j / self.elapsed_s
         }
     }
+
+    /// Captures the machine's complete mutable state for a checkpoint.
+    ///
+    /// Call after draining [`Machine::take_fault_events`]: pending
+    /// fault events are transient per-step output, not state.
+    pub fn export_state(&self) -> MachineState {
+        MachineState {
+            temps: self.temps.clone(),
+            threads: self.threads.clone(),
+            assignment: self.assignment.clone(),
+            levels: self.levels.clone(),
+            freq_caps: self.freq_caps.clone(),
+            stall_s: self.stall_s.clone(),
+            last_core_power: self.last_core_power.clone(),
+            last_core_ipc: self.last_core_ipc.clone(),
+            last_total_power: self.last_total_power,
+            dtm_events: self.dtm_events,
+            energy_j: self.energy_j,
+            elapsed_s: self.elapsed_s,
+            total_instructions: self.total_instructions,
+            faults: self.faults.as_ref().map(SensorFaults::export_state),
+        }
+    }
+
+    /// Restores state captured by [`Machine::export_state`] onto a
+    /// machine built from the same die, floorplan, and configuration.
+    /// The restored machine steps forward bit-identically to the
+    /// machine the state was captured from.
+    ///
+    /// If the state carries fault progress, the original [`FaultPlan`]
+    /// must have been re-installed via [`Machine::install_faults`]
+    /// first; the plan is configuration and is not part of the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's core-indexed vectors do not match this
+    /// machine's core count, or if fault progress is present but no
+    /// plan is installed (or vice versa).
+    pub fn import_state(&mut self, state: &MachineState) {
+        let n = self.cores.len();
+        assert_eq!(state.levels.len(), n, "state is for a different machine");
+        assert_eq!(state.temps.len(), self.temps.len(), "floorplan mismatch");
+        assert!(
+            state.threads.len() <= n,
+            "state has more threads than cores"
+        );
+        assert_eq!(
+            state.faults.is_some(),
+            self.faults.is_some(),
+            "fault plan must be (re)installed before importing fault state"
+        );
+        self.temps = state.temps.clone();
+        self.threads = state.threads.clone();
+        self.assignment = state.assignment.clone();
+        self.levels = state.levels.clone();
+        self.freq_caps = state.freq_caps.clone();
+        self.stall_s = state.stall_s.clone();
+        self.last_core_power = state.last_core_power.clone();
+        self.last_core_ipc = state.last_core_ipc.clone();
+        self.last_total_power = state.last_total_power;
+        self.dtm_events = state.dtm_events;
+        self.energy_j = state.energy_j;
+        self.elapsed_s = state.elapsed_s;
+        self.total_instructions = state.total_instructions;
+        if let (Some(fs), Some(st)) = (self.faults.as_mut(), state.faults.as_ref()) {
+            fs.import_state(st);
+        }
+        self.leak_memo.get_mut().invalidate();
+    }
 }
 
 #[cfg(test)]
@@ -1270,6 +1381,68 @@ mod tests {
         }
         m.assign(&mapping);
         m
+    }
+
+    /// A checkpointed machine restored onto a fresh instance (same die,
+    /// floorplan, config, fault plan) must continue bit-identically to
+    /// the original — including sensors, faults, and stall state.
+    #[test]
+    fn state_round_trip_steps_bit_identically() {
+        let (die, fp) = test_die();
+        let config = MachineConfig::paper_default();
+        let plan = FaultPlan::none()
+            .with_seed(3)
+            .with_sensor_noise(0.03)
+            .with_stuck_sensor(2, 20.0)
+            .with_core_failure(5, 35.0)
+            .with_budget_drop(10.0, 80.0, 0.8);
+
+        let mut original = Machine::new(&die, &fp, config.clone());
+        let pool = app_pool(&config.dynamic);
+        let mut rng = SimRng::seed_from(17);
+        let w = Workload::draw(&pool, 9, &mut rng);
+        original.load_threads(w.spawn_threads(&mut rng));
+        original.install_faults(&plan).unwrap();
+        let mut mapping = vec![None; original.core_count()];
+        for i in 0..9 {
+            mapping[i] = Some(i);
+        }
+        original.assign(&mapping);
+
+        for tick in 0..50 {
+            if tick == 30 {
+                original.set_level(1, 2); // leave a pending DVFS stall
+                original.charge_stall(3, 0.004); // and a migration stall
+            }
+            original.step(0.001);
+            original.take_fault_events();
+        }
+
+        let state = original.export_state();
+        let mut restored = Machine::new(&die, &fp, config);
+        restored.install_faults(&plan).unwrap();
+        restored.import_state(&state);
+
+        assert_eq!(restored.export_state(), state, "round trip must be exact");
+        for tick in 0..60 {
+            let a = original.step(0.001);
+            let b = restored.step(0.001);
+            assert_eq!(
+                a.total_power_w.to_bits(),
+                b.total_power_w.to_bits(),
+                "power diverges at tick {tick} after restore"
+            );
+            assert_eq!(a.instructions.to_bits(), b.instructions.to_bits());
+            assert_eq!(original.take_fault_events(), restored.take_fault_events());
+        }
+        for c in 0..original.core_count() {
+            assert_eq!(
+                original.sensor_core_power(c).to_bits(),
+                restored.sensor_core_power(c).to_bits()
+            );
+            assert_eq!(original.core_alive(c), restored.core_alive(c));
+        }
+        assert_eq!(original.energy_j.to_bits(), restored.energy_j.to_bits());
     }
 
     /// Runs `step` and the retained pre-optimization reference in

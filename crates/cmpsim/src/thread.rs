@@ -48,6 +48,36 @@ impl Thread {
         }
     }
 
+    /// Rebuilds a thread from checkpointed progress counters, exactly as
+    /// [`Thread::state`] captured them.
+    pub fn from_parts(
+        spec: AppSpec,
+        l2_alloc_mb: f64,
+        elapsed_ms: f64,
+        instructions: f64,
+        elapsed_s: f64,
+    ) -> Self {
+        Self {
+            spec,
+            l2_alloc_mb,
+            elapsed_ms,
+            instructions,
+            elapsed_s,
+        }
+    }
+
+    /// The thread's mutable progress counters
+    /// `(l2_alloc_mb, elapsed_ms, instructions, elapsed_s)`, for
+    /// checkpointing. The spec is identified separately by app name.
+    pub fn state(&self) -> (f64, f64, f64, f64) {
+        (
+            self.l2_alloc_mb,
+            self.elapsed_ms,
+            self.instructions,
+            self.elapsed_s,
+        )
+    }
+
     /// The application this thread runs.
     pub fn spec(&self) -> &AppSpec {
         &self.spec
@@ -234,6 +264,16 @@ mod tests {
         let before = t.clone();
         t.idle(1.0);
         assert_eq!(t, before);
+    }
+
+    #[test]
+    fn state_round_trip_is_exact() {
+        let mut t = Thread::with_phase_offset(bzip2(), 12.5);
+        t.run(0.017, 3.1e9);
+        t.set_l2_alloc_mb(5.25);
+        let (l2, ms, instr, s) = t.state();
+        let rebuilt = Thread::from_parts(bzip2(), l2, ms, instr, s);
+        assert_eq!(t, rebuilt);
     }
 
     #[test]

@@ -973,6 +973,7 @@ mod tests {
             arrivals: crate::online::ArrivalConfig::poisson(300.0, 30.0e6),
             initial_jobs: 0,
             migration_penalty_ms: 0.1,
+            service: crate::online::ServicePolicy::default(),
         };
         OnlineTrialSpec::builder(ctx, pool)
             .mix(Mix::Balanced)

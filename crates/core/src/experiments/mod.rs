@@ -27,6 +27,7 @@
 //! | §6.5 / §7.5 validation | [`validation::sann_vs_exhaustive`] |
 //! | Ablations (DESIGN.md §5) | [`ablation`] |
 //! | Online serving sweep (beyond the paper) | [`online::arrival_sweep`] |
+//! | SLO window sweep (beyond the paper) | [`slo::window_sweep`] |
 //! | Fault injection / graceful degradation (beyond the paper) | [`faults`] |
 //!
 //! The [`ablation`] module also hosts the beyond-the-paper sensitivity
@@ -43,7 +44,9 @@ pub mod dvfs;
 pub mod faults;
 pub mod granularity;
 pub mod online;
+pub mod replay;
 pub mod scheduling;
+pub mod slo;
 pub mod timing;
 pub mod validation;
 pub mod variation;

@@ -12,7 +12,7 @@
 use super::{Context, Scale, Series};
 use crate::engine::{mean_online_metric, OnlineArm, OnlineTrialSpec, SeedPlan, TrialRunner};
 use crate::manager::{ManagerKind, PowerBudget};
-use crate::online::{ArrivalConfig, OnlineConfig};
+use crate::online::{ArrivalConfig, OnlineConfig, ServicePolicy};
 use crate::runtime::RuntimeConfig;
 use crate::sched::SchedPolicy;
 use cmpsim::{app_pool, Mix};
@@ -50,6 +50,13 @@ pub struct ArrivalSweep {
     pub utilization: Vec<Series>,
     /// Average chip power (W) against the shared budget.
     pub avg_power_w: Vec<Series>,
+    /// Mean jobs per trial excluded from the latency summary
+    /// ([`crate::online::LatencyStats::dropped`]): one per job shed by
+    /// deadline admission. Identically zero under this sweep's default
+    /// accept-everything policy — the column exists so the CSV schema
+    /// matches the SLO sweep's and a nonzero value is immediately
+    /// visible if the policy changes.
+    pub dropped_jobs: Vec<Series>,
 }
 
 /// The sweep's chip budget: 40 W, below even the paper's Low Power
@@ -79,6 +86,7 @@ pub fn sweep_config(scale: &Scale, rate_per_s: f64) -> OnlineConfig {
         arrivals: ArrivalConfig::poisson(rate_per_s, MEAN_JOB_INSTRUCTIONS),
         initial_jobs: 20,
         migration_penalty_ms: 0.1,
+        service: ServicePolicy::default(),
     }
 }
 
@@ -129,6 +137,7 @@ pub fn arrival_sweep(scale: &Scale, seed: u64) -> ArrivalSweep {
                 mean_online_metric(&results, |o| o.latency.map_or(f64::NAN, |l| l.p95_ms)),
                 mean_online_metric(&results, |o| o.utilization),
                 mean_online_metric(&results, |o| o.chip.avg_power_w),
+                mean_online_metric(&results, |o| o.latency.map_or(0.0, |l| l.dropped as f64)),
             ]
         })
         .collect();
@@ -152,6 +161,7 @@ pub fn arrival_sweep(scale: &Scale, seed: u64) -> ArrivalSweep {
         p95_latency_ms: series_for(1),
         utilization: series_for(2),
         avg_power_w: series_for(3),
+        dropped_jobs: series_for(4),
     }
 }
 

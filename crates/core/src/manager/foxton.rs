@@ -8,7 +8,7 @@
 //! This is a small extension of the Itanium II's Foxton controller
 //! (which kept both cores at the same (V, f) pair).
 
-use crate::manager::{PmView, PowerBudget, PowerManager};
+use crate::manager::{ControlState, PmView, PowerBudget, PowerManager};
 use vastats::SimRng;
 
 /// Computes Foxton*'s level assignment: start every active core at its
@@ -116,6 +116,16 @@ impl PowerManager for FoxtonStar {
 
     fn reset(&mut self) {
         self.cursor = 0;
+    }
+
+    fn snapshot(&self) -> ControlState {
+        ControlState::Cursor(self.cursor)
+    }
+
+    fn restore(&mut self, state: &ControlState) {
+        if let ControlState::Cursor(cursor) = state {
+            self.cursor = *cursor;
+        }
     }
 }
 

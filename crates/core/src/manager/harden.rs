@@ -24,8 +24,8 @@
 //! traces.
 
 use crate::manager::{
-    chipwide::ChipWide, CoreView, ManagerKind, PmView, PowerBudget, PowerManager, SolveReport,
-    SolveStatus, SolverError,
+    chipwide::ChipWide, ControlState, CoreView, ManagerKind, PmView, PowerBudget, PowerManager,
+    SolveReport, SolveStatus, SolverError,
 };
 use cmpsim::{FaultEvent, Machine};
 use std::fmt;
@@ -121,6 +121,33 @@ pub struct ConditionStats {
     /// Per-core filter resets caused by a thread migrating onto or off
     /// the core (see [`SensorConditioner::note_assignment`]).
     pub migration_resets: u64,
+}
+
+/// Checkpointed state of a [`SensorConditioner`]: the per-core EWMA
+/// filters, the resident-thread identity tracking, the uncore filter,
+/// and the cumulative intervention counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConditionerState {
+    /// Per-core smoothing state as `(ipc, per-level power_w)`.
+    pub cores: Vec<Option<(f64, Vec<f64>)>>,
+    /// Resident thread per core at the last assignment note.
+    pub residents: Vec<Option<usize>>,
+    /// Smoothed uncore power (watts), if any reading was taken.
+    pub uncore_w: Option<f64>,
+    /// Cumulative intervention counts.
+    pub stats: ConditionStats,
+}
+
+/// Checkpointed state of a [`HardenedManager`]: the primary manager's
+/// [`ControlState`] plus the conditioner's filter state. The fallback
+/// manager (chip-wide stepping) is stateless.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HardenedState {
+    /// The primary manager's cross-interval state (`None` when the
+    /// front end is unmanaged, i.e. `ManagerKind::None`).
+    pub primary: Option<ControlState>,
+    /// The sensor conditioner's filter state.
+    pub conditioner: ConditionerState,
 }
 
 /// Sanitizes and smooths manager input views.
@@ -225,6 +252,39 @@ impl SensorConditioner {
     /// Cumulative intervention counts since construction.
     pub fn stats(&self) -> ConditionStats {
         self.stats
+    }
+
+    /// Captures the filter state for a checkpoint.
+    pub fn export_state(&self) -> ConditionerState {
+        ConditionerState {
+            cores: self
+                .state
+                .iter()
+                .map(|s| s.as_ref().map(|c| (c.ipc, c.power_w.clone())))
+                .collect(),
+            residents: self.residents.clone(),
+            uncore_w: self.uncore_w,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores filter state captured by
+    /// [`SensorConditioner::export_state`]. The smoothing weight is
+    /// configuration and is kept as constructed.
+    pub fn import_state(&mut self, state: &ConditionerState) {
+        self.state = state
+            .cores
+            .iter()
+            .map(|s| {
+                s.as_ref().map(|(ipc, power_w)| CoreState {
+                    ipc: *ipc,
+                    power_w: power_w.clone(),
+                })
+            })
+            .collect();
+        self.residents = state.residents.clone();
+        self.uncore_w = state.uncore_w;
+        self.stats = state.stats;
     }
 
     /// Returns the sanitized, smoothed copy of `view`.
@@ -446,6 +506,27 @@ impl HardenedManager {
     /// until the hardened path runs).
     pub fn conditioner_stats(&self) -> ConditionStats {
         self.conditioner.stats()
+    }
+
+    /// Captures the front end's cross-interval state for a checkpoint.
+    /// The pending [`Self::last_solve`] report is transient per-invoke
+    /// output and is not captured; the next invocation refreshes it.
+    pub fn export_state(&self) -> HardenedState {
+        HardenedState {
+            primary: self.primary.as_ref().map(|pm| pm.snapshot()),
+            conditioner: self.conditioner.export_state(),
+        }
+    }
+
+    /// Restores state captured by [`HardenedManager::export_state`]
+    /// onto a front end freshly built from the same [`ManagerKind`] and
+    /// core count.
+    pub fn import_state(&mut self, state: &HardenedState) {
+        if let (Some(pm), Some(st)) = (self.primary.as_deref_mut(), state.primary.as_ref()) {
+            pm.restore(st);
+        }
+        self.conditioner.import_state(&state.conditioner);
+        self.last_report = None;
     }
 }
 

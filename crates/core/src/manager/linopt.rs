@@ -18,7 +18,8 @@
 //! estimate's intent.
 
 use crate::manager::{
-    PmView, PowerBudget, PowerManager, SolveReport, SolveStatus, SolverError, WarmStart,
+    ControlState, PmView, PowerBudget, PowerManager, SolveReport, SolveStatus, SolverError,
+    WarmStart,
 };
 use linprog::{Problem, SolveWorkspace};
 use vastats::{LineFit, SimRng};
@@ -502,6 +503,19 @@ impl PowerManager for LinOpt {
 
     fn last_solve(&self) -> Option<SolveReport> {
         self.last
+    }
+
+    fn snapshot(&self) -> ControlState {
+        // The warm basis is the only state that shapes future solves;
+        // `last` is refreshed by the next invocation and the workspace
+        // is pure scratch.
+        ControlState::Basis(self.basis.clone())
+    }
+
+    fn restore(&mut self, state: &ControlState) {
+        if let ControlState::Basis(basis) = state {
+            self.basis = basis.clone();
+        }
     }
 }
 

@@ -27,7 +27,10 @@ pub mod linopt;
 pub mod sann;
 mod view;
 
-pub use harden::{ConditionStats, DegradationEvent, HardenedManager, SensorConditioner};
+pub use harden::{
+    ConditionStats, ConditionerState, DegradationEvent, HardenedManager, HardenedState,
+    SensorConditioner,
+};
 pub use view::{greedy_fill, repair_to_budget, synthetic_core, CoreView, PmView};
 
 use cmpsim::Machine;
@@ -123,6 +126,29 @@ impl SolveReport {
     }
 }
 
+/// The cross-interval state of one control-plane component (a
+/// [`PowerManager`] or a [`crate::sched::Scheduler`]), captured for a
+/// checkpoint.
+///
+/// Control components are rebuilt from their serializable spec
+/// ([`ManagerKind`], [`crate::sched::SchedPolicy`]) on restore; this
+/// enum carries only what the spec cannot: the mutable state a live
+/// instance accumulated across intervals. Every shipped component's
+/// state is one of these small shapes, so the snapshot codec stays
+/// closed over a fixed vocabulary instead of growing a per-algorithm
+/// serialization surface.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ControlState {
+    /// No cross-interval state (stateless algorithms).
+    #[default]
+    Stateless,
+    /// A round-robin cursor ([`foxton::FoxtonStar`]).
+    Cursor(usize),
+    /// A cached Simplex basis for warm-starting ([`linopt::LinOpt`]),
+    /// `None` when no solve has succeeded yet.
+    Basis(Option<Vec<usize>>),
+}
+
 /// A DVFS power-management policy, invoked once per DVFS interval.
 ///
 /// Managers are *stateful*: the runtime builds one per trial (via
@@ -169,6 +195,21 @@ pub trait PowerManager: Send {
     fn last_solve(&self) -> Option<SolveReport> {
         None
     }
+
+    /// Captures the manager's cross-interval state for a checkpoint.
+    /// The default reports [`ControlState::Stateless`]; stateful
+    /// managers override it so a restored run resumes with the same
+    /// warm state (cursor position, cached basis) and therefore the
+    /// same downstream decisions, bit for bit.
+    fn snapshot(&self) -> ControlState {
+        ControlState::Stateless
+    }
+
+    /// Restores state captured by [`PowerManager::snapshot`] onto a
+    /// freshly built instance of the same algorithm. Implementations
+    /// ignore state shapes they did not produce (the default ignores
+    /// everything, which is correct for stateless managers).
+    fn restore(&mut self, _state: &ControlState) {}
 
     /// One full invocation against a live machine: reads the sensors,
     /// picks levels, applies them. Returns the chosen per-active-core

@@ -90,6 +90,51 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Appends this value in the writer's canonical compact form: no
+    /// whitespace, object keys in stored order, numbers through the
+    /// shortest-roundtrip formatter (non-finite numbers become
+    /// `null`). [`parse_json`] of the result reconstructs an equal
+    /// value — `tests/property.rs` sweeps that round trip on random
+    /// nested documents.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) => push_json_f64(out, *v),
+            JsonValue::Str(s) => push_json_str(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// This value rendered as a compact JSON document (see
+    /// [`JsonValue::write`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
 }
 
 /// Why a document failed to parse.

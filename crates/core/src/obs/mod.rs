@@ -12,7 +12,10 @@
 //!   ([`crate::manager::SolveReport`]), and degradation events;
 //! * [`json`] — writer helpers plus a small recursive-descent parser
 //!   ([`parse_json`]) used by the schema tests and the bench-output
-//!   validator.
+//!   validator;
+//! * [`diff_traces`] — replay diagnosis: walks two JSONL documents and
+//!   names the first divergent field, so a failed byte-identity replay
+//!   gate reports `cores[7].f_hz` instead of a byte offset.
 //!
 //! # Zero-cost contract
 //!
@@ -26,8 +29,10 @@
 
 pub mod json;
 mod metrics;
+mod replay;
 mod trace;
 
 pub use json::{parse_json, JsonError, JsonValue};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use replay::{diff_traces, Divergence};
 pub use trace::{TraceObserver, TRACE_SCHEMA};

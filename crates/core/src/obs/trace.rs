@@ -47,6 +47,8 @@ pub struct TraceObserver {
     solve: Option<SolveReport>,
     /// True if a scheduling epoch ran this interval.
     scheduled: bool,
+    /// Jobs shed by online admission control this interval.
+    dropped: usize,
     /// Degradation events raised this interval, in arrival order.
     degradations: Vec<(usize, DegradationEvent)>,
 }
@@ -83,7 +85,43 @@ impl TraceObserver {
             interval_dt_s: 0.0,
             solve: None,
             scheduled: false,
+            dropped: 0,
             degradations: Vec::new(),
+        }
+    }
+
+    /// Advances a *fresh* observer to the position a continuously-run
+    /// observer would hold after `steps` ticks of `dt_s` each — the
+    /// restore-side counterpart of [`crate::online::OnlineSim::resume`].
+    ///
+    /// The elapsed-time accumulator is rebuilt by repeated addition
+    /// (never `steps × dt_s`), so subsequent records carry bit-identical
+    /// `t_s` values to the uninterrupted observer's. The header is
+    /// marked as already written: the tail document contains records
+    /// only, ready to append to (or byte-compare against) the original
+    /// trace. Call `fast_forward` only at a DVFS-interval boundary —
+    /// elsewhere the uninterrupted observer holds partially-accumulated
+    /// interval sums a fresh observer cannot reconstruct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observer has already recorded steps, or if `steps`
+    /// is not interval-aligned.
+    pub fn fast_forward(&mut self, steps: usize, dt_s: f64) {
+        assert!(
+            self.steps == 0 && !self.wrote_header,
+            "fast_forward requires a fresh observer"
+        );
+        assert!(
+            steps.is_multiple_of(self.interval_ticks),
+            "fast_forward target {} is not aligned to the {}-tick interval",
+            steps,
+            self.interval_ticks
+        );
+        self.wrote_header = true;
+        self.steps = steps;
+        for _ in 0..steps {
+            self.time_s += dt_s;
         }
     }
 
@@ -142,6 +180,8 @@ impl TraceObserver {
         push_json_f64(out, mips);
         out.push_str(",\"scheduled\":");
         out.push_str(if self.scheduled { "true" } else { "false" });
+        out.push_str(",\"dropped\":");
+        out.push_str(&self.dropped.to_string());
 
         // Solver outcome for the interval (null when the manager has
         // nothing to report, e.g. ManagerKind::None).
@@ -240,6 +280,7 @@ impl TraceObserver {
         out.push_str("]}\n");
 
         self.scheduled = false;
+        self.dropped = 0;
         self.interval_energy_j = 0.0;
         self.interval_instructions = 0.0;
         self.interval_dt_s = 0.0;
@@ -289,5 +330,10 @@ impl TrialObserver for TraceObserver {
     fn on_degradation(&mut self, tick: usize, event: DegradationEvent) {
         self.metrics.inc("degradations", 1);
         self.degradations.push((tick, event));
+    }
+
+    fn on_job_shed(&mut self, _tick: usize, _job: usize) {
+        self.metrics.inc("shed_jobs", 1);
+        self.dropped += 1;
     }
 }

@@ -53,14 +53,16 @@ mod arrivals;
 mod metrics;
 mod queue;
 mod sim;
+mod snapshot;
 
 pub use arrivals::{generate_arrivals, ArrivalConfig, JobSpec};
 pub use metrics::{percentile, LatencyStats};
 pub use queue::{Event, EventKind, EventQueue};
 pub use sim::{
     run_online, run_online_faulted, run_online_observed, EventRecord, JobRecord, OnlineEvent,
-    OnlineOutcome,
+    OnlineOutcome, OnlineSim,
 };
+pub use snapshot::{SimCounters, Snapshot, SnapshotError, SNAPSHOT_SCHEMA};
 
 use crate::runtime::{ConfigError, RuntimeConfig};
 
@@ -79,6 +81,78 @@ pub struct OnlineConfig {
     /// reschedule moves (milliseconds). Zero recovers the batch
     /// engine's free-migration assumption.
     pub migration_penalty_ms: f64,
+    /// SLO-aware serving knobs (windowed rescheduling and deadline
+    /// admission control). [`ServicePolicy::default`] disables both and
+    /// keeps the historical per-event path bit for bit.
+    pub service: ServicePolicy,
+}
+
+/// SLO-aware serving knobs layered on the online loop.
+///
+/// Both knobs are RNG-neutral: enabling or disabling them never changes
+/// which random numbers the simulation draws, only how it reacts to
+/// membership churn — so A/B sweeps over policies stay on the common
+/// random numbers the experiment harness depends on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServicePolicy {
+    /// Reschedule batching window (milliseconds). `0` keeps the
+    /// historical per-event behaviour: a full scheduler pass on every
+    /// arrival and completion. A positive window defers
+    /// membership-triggered reschedules to window boundaries — newly
+    /// admitted threads get a cheap deterministic placement (fastest
+    /// free live core) in the meantime — trading placement quality for
+    /// far fewer migrations under churn.
+    pub reschedule_window_ms: f64,
+    /// Deadline slack factor: a job's deadline is its arrival time plus
+    /// `deadline_slack ×` its ideal (contention-free) service time.
+    /// `∞` disables deadlines entirely. Finite slack switches admission
+    /// from FIFO to earliest-deadline-first and sheds queued jobs whose
+    /// deadline can no longer be met, protecting the latency tail of
+    /// the jobs that stay.
+    pub deadline_slack: f64,
+}
+
+impl Default for ServicePolicy {
+    /// The legacy policy: per-event rescheduling, no deadlines.
+    fn default() -> Self {
+        Self {
+            reschedule_window_ms: 0.0,
+            deadline_slack: f64::INFINITY,
+        }
+    }
+}
+
+impl ServicePolicy {
+    /// Windowed rescheduling with no deadlines.
+    pub fn windowed(reschedule_window_ms: f64) -> Self {
+        Self {
+            reschedule_window_ms,
+            ..Self::default()
+        }
+    }
+
+    /// Deadline admission control with per-event rescheduling.
+    pub fn with_deadlines(deadline_slack: f64) -> Self {
+        Self {
+            deadline_slack,
+            ..Self::default()
+        }
+    }
+
+    /// True when either SLO mechanism is active.
+    pub fn is_active(&self) -> bool {
+        self.reschedule_window_ms > 0.0 || self.deadline_slack.is_finite()
+    }
+
+    /// Validates the window and the slack factor.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let window_ok = self.reschedule_window_ms >= 0.0 && !self.reschedule_window_ms.is_nan();
+        let slack_ok = self.deadline_slack > 0.0 && !self.deadline_slack.is_nan();
+        if !window_ok || !slack_ok {
+            return Err(ConfigError::BadServicePolicy);
+        }
+        Ok(())
+    }
 }
 
 impl OnlineConfig {
@@ -90,6 +164,7 @@ impl OnlineConfig {
             arrivals: ArrivalConfig::closed(),
             initial_jobs: 0,
             migration_penalty_ms: 0.1,
+            service: ServicePolicy::default(),
         }
     }
 
@@ -105,6 +180,7 @@ impl OnlineConfig {
         if self.migration_penalty_ms < 0.0 || self.migration_penalty_ms.is_nan() {
             return Err(ConfigError::NegativeMigrationPenalty);
         }
+        self.service.validate()?;
         Ok(())
     }
 
@@ -121,6 +197,10 @@ impl OnlineConfig {
         assert!(
             self.migration_penalty_ms >= 0.0 && !self.migration_penalty_ms.is_nan(),
             "migration penalty must be non-negative"
+        );
+        assert!(
+            self.service.validate().is_ok(),
+            "service policy must have a non-negative window and positive slack"
         );
     }
 }

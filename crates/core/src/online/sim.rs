@@ -9,18 +9,34 @@
 //! re-invokes both the scheduler and the power manager at that tick,
 //! and every thread a reschedule moves between cores is charged the
 //! migration penalty on its destination core.
+//!
+//! The loop itself lives in [`OnlineSim`], a stepwise simulation value
+//! the `run_online*` wrappers drive to completion in one call. Holding
+//! the simulation as a value is what enables checkpoint/restore: at any
+//! tick boundary [`OnlineSim::checkpoint`] captures the complete
+//! mutable state as a [`Snapshot`], and [`OnlineSim::resume`] rebuilds
+//! a simulation from one whose subsequent behaviour — events, RNG
+//! draws, traces, metrics — is bit-identical to the uninterrupted run.
+//!
+//! [`super::ServicePolicy`] layers SLO-aware serving on top: per-job
+//! deadlines with shed-on-admission load control, and windowed batched
+//! rescheduling that defers membership-triggered reschedules to window
+//! boundaries instead of paying a migration storm on every arrival and
+//! completion. The default policy disables both, keeping the
+//! historical per-event path bit for bit.
 
 use super::arrivals::{generate_arrivals, JobSpec};
 use super::metrics::LatencyStats;
 use super::queue::{EventKind, EventQueue};
+use super::snapshot::{SimCounters, Snapshot};
 use super::OnlineConfig;
 use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget};
 use crate::metrics::{ed2_index, weighted_mips};
-use crate::profile::{core_profiles, thread_profiles};
+use crate::profile::{core_profiles, thread_profiles, CoreProfile};
 use crate::runtime::{
-    plan_assignment, FreqMode, NullObserver, TrialError, TrialObserver, TrialOutcome,
+    plan_assignment, FreqMode, NullObserver, RuntimeConfig, TrialError, TrialObserver, TrialOutcome,
 };
-use crate::sched::SchedPolicy;
+use crate::sched::{SchedPolicy, Scheduler};
 use cmpsim::{AppSpec, FaultEvent, FaultPlan, Machine, Mix, Thread, Workload};
 use std::collections::VecDeque;
 use std::fmt;
@@ -37,7 +53,7 @@ pub struct JobRecord {
     /// When the job entered the system (ms; 0 for initial residents).
     pub arrival_ms: f64,
     /// When the job was admitted to a core (`None`: still queued at the
-    /// horizon).
+    /// horizon, or shed by admission control).
     pub admit_ms: Option<f64>,
     /// When the job retired its budget (`None`: still running or
     /// queued at the horizon).
@@ -74,6 +90,12 @@ pub enum OnlineEvent {
         /// Job id.
         job: usize,
     },
+    /// Admission control shed a queued job whose deadline had become
+    /// unreachable (deadline-enabled [`super::ServicePolicy`] only).
+    Shed {
+        /// Job id.
+        job: usize,
+    },
     /// A running job retired its budget and left.
     Complete {
         /// Job id.
@@ -103,6 +125,7 @@ impl fmt::Display for OnlineEvent {
         match self {
             OnlineEvent::Arrival { job } => write!(f, "arrive job={job}"),
             OnlineEvent::Admit { job } => write!(f, "admit job={job}"),
+            OnlineEvent::Shed { job } => write!(f, "shed job={job}"),
             OnlineEvent::Complete { job } => write!(f, "complete job={job}"),
             OnlineEvent::Reschedule { moved, resident } => {
                 write!(f, "reschedule resident={resident} moved={moved}")
@@ -142,6 +165,11 @@ pub struct OnlineOutcome {
     pub arrived: usize,
     /// Jobs that completed within the horizon.
     pub completed: usize,
+    /// Jobs shed by deadline admission control (0 when deadlines are
+    /// disabled). Each shed job contributes an `∞` latency sample, so
+    /// shedding surfaces as [`LatencyStats::dropped`] right next to the
+    /// tail percentiles it protected.
+    pub shed: usize,
     /// Time-averaged fraction of cores running a thread.
     pub utilization: f64,
     /// Largest run-queue depth observed.
@@ -170,6 +198,755 @@ impl OnlineOutcome {
             let _ = writeln!(out, "{:>6} {}", r.tick, r.event);
         }
         out
+    }
+}
+
+/// Ideal (contention-free) service time of a scheduled job at the
+/// reference operating point: budget / (IPC(f_ref) · f_ref), in ms.
+/// The deterministic yardstick deadlines derive from — no RNG draw, so
+/// deadline-enabled and deadline-free runs consume identical streams.
+fn ideal_service_ms(js: &JobSpec) -> f64 {
+    js.instructions / (js.spec.ipc_at(4.0e9) * 4.0e9) * 1e3
+}
+
+/// One online serving run held as a stepwise value: construct with
+/// [`OnlineSim::new`] (or [`OnlineSim::resume`]), advance with
+/// [`OnlineSim::step`]/[`OnlineSim::run`], and close out with
+/// [`OnlineSim::finish`].
+///
+/// The `run_online*` functions are thin wrappers over this type; the
+/// value form exists so callers can interleave the simulation with
+/// their own control — most importantly [`OnlineSim::checkpoint`],
+/// which captures the complete mutable state at a tick boundary. A
+/// simulation resumed from that snapshot replays the remaining ticks
+/// bit-identically to the uninterrupted run (the tests pin this,
+/// including the serialized round trip).
+pub struct OnlineSim<'a> {
+    machine: &'a mut Machine,
+    rng: &'a mut SimRng,
+    rt: RuntimeConfig,
+    budget: PowerBudget,
+    hardened: bool,
+    dt_s: f64,
+    total_ticks: usize,
+    warmup_ticks: usize,
+    penalty_s: f64,
+    /// Reschedule window in ticks (0 = per-event rescheduling).
+    window_every: usize,
+    /// Deadline slack factor (`∞` = deadlines disabled).
+    deadline_slack: f64,
+    cores: Vec<CoreProfile>,
+    schedule: Vec<JobSpec>,
+    initial_count: usize,
+    /// The arrival fork's initial state (checkpoint support).
+    arrival_rng: Option<[u64; 4]>,
+    tick: usize,
+    queue: EventQueue,
+    jobs: Vec<JobRecord>,
+    /// Thread index → job id, maintained under the machine's
+    /// swap_remove semantics.
+    thread_job: Vec<usize>,
+    pending_completion: Vec<bool>,
+    scheduler: Box<dyn Scheduler>,
+    power_manager: HardenedManager,
+    degradations: Vec<DegradationEvent>,
+    /// Set when a core fails: forces a reschedule on the next tick.
+    fault_dirty: bool,
+    /// Set when membership changed inside an open reschedule window.
+    window_dirty: bool,
+    shed: usize,
+    run_queue: VecDeque<usize>,
+    events: Vec<EventRecord>,
+    counters: SimCounters,
+}
+
+impl<'a> OnlineSim<'a> {
+    /// Builds a fresh simulation: draws the initial residents and the
+    /// arrival schedule from `rng` (exactly as [`run_online`]
+    /// documents) and stands the control plane up, without executing
+    /// any tick.
+    #[allow(clippy::too_many_arguments)] // mirrors run_online_faulted
+    pub fn new(
+        machine: &'a mut Machine,
+        pool: &[AppSpec],
+        mix: Mix,
+        policy: SchedPolicy,
+        manager: ManagerKind,
+        budget: PowerBudget,
+        config: &OnlineConfig,
+        fault_plan: &FaultPlan,
+        rng: &'a mut SimRng,
+    ) -> Result<Self, TrialError> {
+        config.validate()?;
+        let rt = config.runtime;
+        if config.initial_jobs > machine.core_count() {
+            return Err(TrialError::WorkloadTooLarge {
+                threads: config.initial_jobs,
+                cores: machine.core_count(),
+            });
+        }
+
+        // Initial residents: continue the caller's stream exactly as
+        // the batch engine does (draw the workload, then spawn its
+        // threads).
+        if config.initial_jobs > 0 {
+            let workload = Workload::draw_mix(pool, config.initial_jobs, mix, rng);
+            machine.load_threads(workload.spawn_threads(rng));
+        } else {
+            machine.load_threads(Vec::new());
+        }
+        machine.install_faults(fault_plan)?;
+        let hardened = machine.has_active_faults();
+        let initial_count = machine.threads().len();
+
+        // Arrival schedule: pre-drawn from a fork taken only when the
+        // process is active, so a closed system leaves the caller's
+        // stream untouched. The fork's initial state is kept so a
+        // checkpoint can regenerate the identical schedule instead of
+        // serializing it.
+        let (arrival_rng, schedule) = if config.arrivals.rate_per_s > 0.0 {
+            let mut fork = rng.fork();
+            let state = fork.state();
+            let schedule =
+                generate_arrivals(pool, mix, &config.arrivals, rt.duration_ms, &mut fork);
+            (Some(state), schedule)
+        } else {
+            (None, Vec::new())
+        };
+
+        let cores = core_profiles(machine);
+        let total_ticks = (rt.duration_ms / rt.tick_ms).round() as usize;
+        let dvfs_every = (rt.dvfs_interval_ms / rt.tick_ms).round() as usize;
+        let os_every = (rt.os_interval_ms / rt.tick_ms).round() as usize;
+
+        let mut queue = EventQueue::new();
+        for tick in (0..total_ticks).step_by(os_every) {
+            queue.push(tick, EventKind::OsTick);
+        }
+        for tick in (0..total_ticks).step_by(dvfs_every) {
+            queue.push(tick, EventKind::DvfsTick);
+        }
+
+        // Job records: residents first (budget = the configured mean,
+        // drawn without jitter so a closed system consumes no extra
+        // RNG), then the arrival schedule.
+        let mut jobs: Vec<JobRecord> = machine
+            .threads()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| JobRecord {
+                job: i,
+                app: t.spec().name,
+                arrival_ms: 0.0,
+                admit_ms: Some(0.0),
+                completion_ms: None,
+                instructions: config.arrivals.mean_instructions,
+                migrations: 0,
+            })
+            .collect();
+        for (i, js) in schedule.iter().enumerate() {
+            let job = jobs.len();
+            jobs.push(JobRecord {
+                job,
+                app: js.spec.name,
+                arrival_ms: js.arrival_ms,
+                admit_ms: None,
+                completion_ms: None,
+                instructions: js.instructions,
+                migrations: 0,
+            });
+            // A job arriving mid-tick becomes visible at the next
+            // boundary.
+            let tick = (js.arrival_ms / rt.tick_ms).ceil() as usize;
+            if tick < total_ticks {
+                queue.push(tick, EventKind::Arrival(i));
+            }
+        }
+        let pending_completion = vec![false; jobs.len()];
+        let core_count = machine.core_count();
+
+        Ok(Self {
+            machine,
+            rng,
+            rt,
+            budget,
+            hardened,
+            dt_s: rt.tick_ms / 1e3,
+            total_ticks,
+            warmup_ticks: ((rt.deviation_warmup_ms / rt.tick_ms).round() as usize)
+                .min(total_ticks / 2),
+            penalty_s: config.migration_penalty_ms / 1e3,
+            window_every: (config.service.reschedule_window_ms / rt.tick_ms).round() as usize,
+            deadline_slack: config.service.deadline_slack,
+            cores,
+            schedule,
+            initial_count,
+            arrival_rng,
+            tick: 0,
+            queue,
+            thread_job: (0..initial_count).collect(),
+            pending_completion,
+            jobs,
+            scheduler: policy.build(),
+            power_manager: HardenedManager::new(manager, core_count, hardened),
+            degradations: Vec::new(),
+            fault_dirty: false,
+            window_dirty: false,
+            shed: 0,
+            run_queue: VecDeque::new(),
+            events: Vec::new(),
+            counters: SimCounters {
+                arrived: initial_count,
+                ..SimCounters::default()
+            },
+        })
+    }
+
+    /// Rebuilds a suspended simulation from a [`Snapshot`].
+    ///
+    /// `machine` must be a fresh build of the *same die and floorplan*
+    /// the checkpointed run used, and every other argument must equal
+    /// the original run's configuration — the snapshot carries only the
+    /// mutable state, not the configuration (see [`Snapshot`]). The
+    /// caller's `rng` is overwritten with the checkpointed stream
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's structural guards (core count, timeline
+    /// length, job-table consistency) do not match the supplied machine
+    /// and configuration.
+    #[allow(clippy::too_many_arguments)] // mirrors OnlineSim::new
+    pub fn resume(
+        machine: &'a mut Machine,
+        pool: &[AppSpec],
+        mix: Mix,
+        policy: SchedPolicy,
+        manager: ManagerKind,
+        budget: PowerBudget,
+        config: &OnlineConfig,
+        fault_plan: &FaultPlan,
+        rng: &'a mut SimRng,
+        snapshot: &Snapshot,
+    ) -> Result<Self, TrialError> {
+        config.validate()?;
+        let rt = config.runtime;
+        let total_ticks = (rt.duration_ms / rt.tick_ms).round() as usize;
+        assert_eq!(
+            snapshot.core_count,
+            machine.core_count(),
+            "snapshot was taken on a {}-core machine, not {} cores",
+            snapshot.core_count,
+            machine.core_count()
+        );
+        assert_eq!(
+            snapshot.total_ticks, total_ticks,
+            "snapshot belongs to a {}-tick timeline, configuration implies {total_ticks}",
+            snapshot.total_ticks
+        );
+        assert!(
+            snapshot.tick <= total_ticks,
+            "snapshot tick {} is beyond the {total_ticks}-tick horizon",
+            snapshot.tick
+        );
+        assert_eq!(
+            snapshot.pending_completion.len(),
+            snapshot.jobs.len(),
+            "snapshot job tables disagree"
+        );
+
+        machine.load_threads(Vec::new());
+        machine.install_faults(fault_plan)?;
+        machine.import_state(&snapshot.machine);
+        let hardened = machine.has_active_faults();
+
+        // The schedule is a pure function of the arrival fork's initial
+        // state; regenerate it instead of trusting a serialized copy.
+        let schedule = match snapshot.arrival_rng {
+            Some(state) => generate_arrivals(
+                pool,
+                mix,
+                &config.arrivals,
+                rt.duration_ms,
+                &mut SimRng::from_state(state),
+            ),
+            None => Vec::new(),
+        };
+
+        let mut scheduler = policy.build();
+        scheduler.restore(&snapshot.scheduler);
+        let mut power_manager = HardenedManager::new(manager, machine.core_count(), hardened);
+        power_manager.import_state(&snapshot.manager);
+
+        *rng = SimRng::from_state(snapshot.rng);
+        let cores = core_profiles(machine);
+
+        Ok(Self {
+            machine,
+            rng,
+            rt,
+            budget,
+            hardened,
+            dt_s: rt.tick_ms / 1e3,
+            total_ticks,
+            warmup_ticks: ((rt.deviation_warmup_ms / rt.tick_ms).round() as usize)
+                .min(total_ticks / 2),
+            penalty_s: config.migration_penalty_ms / 1e3,
+            window_every: (config.service.reschedule_window_ms / rt.tick_ms).round() as usize,
+            deadline_slack: config.service.deadline_slack,
+            cores,
+            schedule,
+            initial_count: snapshot.initial_count,
+            arrival_rng: snapshot.arrival_rng,
+            tick: snapshot.tick,
+            queue: EventQueue::import(snapshot.queue_events.clone(), snapshot.queue_next_seq),
+            jobs: snapshot.jobs.clone(),
+            thread_job: snapshot.thread_job.clone(),
+            pending_completion: snapshot.pending_completion.clone(),
+            scheduler,
+            power_manager,
+            degradations: Vec::new(),
+            fault_dirty: snapshot.fault_dirty,
+            window_dirty: snapshot.window_dirty,
+            shed: snapshot.shed,
+            run_queue: snapshot.run_queue.iter().copied().collect(),
+            events: snapshot.events.clone(),
+            counters: snapshot.counters.clone(),
+        })
+    }
+
+    /// The next tick to execute (0-based).
+    pub fn tick(&self) -> usize {
+        self.tick
+    }
+
+    /// Total ticks in the run's timeline.
+    pub fn total_ticks(&self) -> usize {
+        self.total_ticks
+    }
+
+    /// True once every tick has executed.
+    pub fn is_done(&self) -> bool {
+        self.tick >= self.total_ticks
+    }
+
+    /// Captures the complete mutable state at the current tick
+    /// boundary.
+    ///
+    /// A checkpoint is valid at *any* boundary; for a byte-identical
+    /// *trace tail* through a [`crate::obs::TraceObserver`], checkpoint
+    /// at a DVFS-interval boundary (the observer's interval
+    /// accumulators are empty exactly there — see
+    /// [`crate::obs::TraceObserver::fast_forward`]).
+    pub fn checkpoint(&self) -> Snapshot {
+        debug_assert!(
+            self.degradations.is_empty(),
+            "degradations must be drained at a tick boundary"
+        );
+        let (queue_events, queue_next_seq) = self.queue.export();
+        Snapshot {
+            tick: self.tick,
+            total_ticks: self.total_ticks,
+            core_count: self.machine.core_count(),
+            initial_count: self.initial_count,
+            machine: self.machine.export_state(),
+            rng: self.rng.state(),
+            arrival_rng: self.arrival_rng,
+            scheduler: self.scheduler.snapshot(),
+            manager: self.power_manager.export_state(),
+            queue_events,
+            queue_next_seq,
+            jobs: self.jobs.clone(),
+            thread_job: self.thread_job.clone(),
+            pending_completion: self.pending_completion.clone(),
+            run_queue: self.run_queue.iter().copied().collect(),
+            events: self.events.clone(),
+            fault_dirty: self.fault_dirty,
+            window_dirty: self.window_dirty,
+            shed: self.shed,
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Deadline of a scheduled (non-resident) job: arrival plus
+    /// `deadline_slack ×` its ideal service time.
+    fn deadline_ms(&self, job: usize) -> f64 {
+        let js = &self.schedule[job - self.initial_count];
+        js.arrival_ms + self.deadline_slack * ideal_service_ms(js)
+    }
+
+    /// Picks the next queued job to consider for admission: FIFO when
+    /// deadlines are disabled (the historical policy), earliest
+    /// deadline first (ties by job id) when enabled.
+    fn next_admission(&mut self) -> Option<usize> {
+        if !self.deadline_slack.is_finite() {
+            return self.run_queue.pop_front();
+        }
+        let best = self
+            .run_queue
+            .iter()
+            .enumerate()
+            .min_by(|&(_, &a), &(_, &b)| {
+                self.deadline_ms(a)
+                    .partial_cmp(&self.deadline_ms(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })?
+            .0;
+        self.run_queue.remove(best)
+    }
+
+    /// Executes one tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is already done.
+    pub fn step(&mut self, observer: &mut dyn TrialObserver) {
+        assert!(!self.is_done(), "stepping past the horizon");
+        let tick = self.tick;
+        let now_ms = tick as f64 * self.rt.tick_ms;
+        let mut os_due = false;
+        let mut dvfs_due = false;
+        let mut membership_dirty = false;
+
+        // Drain this tick's events: completions free cores before
+        // arrivals queue behind them (EventQueue's kind priority).
+        while let Some(ev) = self.queue.pop_due(tick) {
+            match ev.kind {
+                EventKind::Completion(job) => {
+                    let tid = self
+                        .thread_job
+                        .iter()
+                        .position(|&j| j == job)
+                        .expect("completed job must be resident");
+                    self.machine.remove_thread(tid);
+                    self.thread_job.swap_remove(tid);
+                    self.jobs[job].completion_ms = Some(now_ms);
+                    self.counters.completed += 1;
+                    membership_dirty = true;
+                    self.events.push(EventRecord {
+                        tick,
+                        event: OnlineEvent::Complete { job },
+                    });
+                }
+                EventKind::Arrival(i) => {
+                    let job = self.initial_count + i;
+                    self.counters.arrived += 1;
+                    self.run_queue.push_back(job);
+                    self.counters.queue_peak = self.counters.queue_peak.max(self.run_queue.len());
+                    self.events.push(EventRecord {
+                        tick,
+                        event: OnlineEvent::Arrival { job },
+                    });
+                }
+                EventKind::OsTick => os_due = true,
+                EventKind::DvfsTick => dvfs_due = true,
+            }
+        }
+
+        // Admission into free cores (capacity shrinks as cores fail;
+        // queued jobs wait rather than land on dead silicon). With
+        // deadlines enabled, a job whose deadline became unreachable
+        // while it queued is shed here, so the queue stops feeding work
+        // that can no longer meet its SLO into the tail.
+        while self.machine.threads().len() < self.machine.alive_core_count() {
+            let Some(job) = self.next_admission() else {
+                break;
+            };
+            if self.deadline_slack.is_finite() && job >= self.initial_count {
+                let js = &self.schedule[job - self.initial_count];
+                if now_ms + ideal_service_ms(js) > self.deadline_ms(job) {
+                    self.shed += 1;
+                    self.events.push(EventRecord {
+                        tick,
+                        event: OnlineEvent::Shed { job },
+                    });
+                    observer.on_job_shed(tick, job);
+                    continue;
+                }
+            }
+            let js = &self.schedule[job - self.initial_count];
+            let tid = self.machine.add_thread(Thread::with_phase_offset(
+                js.spec.clone(),
+                js.phase_offset_ms,
+            ));
+            debug_assert_eq!(tid, self.thread_job.len());
+            self.thread_job.push(job);
+            self.jobs[job].admit_ms = Some(now_ms);
+            membership_dirty = true;
+            self.events.push(EventRecord {
+                tick,
+                event: OnlineEvent::Admit { job },
+            });
+            // Windowed mode: the full reschedule waits for the window
+            // boundary, so give the new thread a cheap deterministic
+            // placement (fastest free live core) in the meantime.
+            if self.window_every > 0 {
+                let mut mapping = self.machine.assignment().to_vec();
+                let free = (0..mapping.len())
+                    .filter(|&c| mapping[c].is_none() && self.machine.core_alive(c))
+                    .max_by(|&a, &b| {
+                        self.cores[a]
+                            .max_freq_hz
+                            .partial_cmp(&self.cores[b].max_freq_hz)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(b.cmp(&a))
+                    });
+                if let Some(core) = free {
+                    mapping[core] = Some(tid);
+                    self.machine.assign(&mapping);
+                    self.power_manager.note_reschedule();
+                }
+            }
+        }
+
+        // Reschedule on the OS boundary — and on membership changes:
+        // immediately in per-event mode (the paper's "whenever
+        // applications enter or leave the system"), or batched at the
+        // next window boundary in windowed mode.
+        if membership_dirty && self.window_every > 0 {
+            self.window_dirty = true;
+        }
+        let membership_trigger = if self.window_every == 0 {
+            membership_dirty
+        } else {
+            self.window_dirty && tick.is_multiple_of(self.window_every)
+        };
+        let resident = self.machine.threads().len();
+        if (os_due || membership_trigger || self.fault_dirty) && resident > 0 {
+            self.fault_dirty = false;
+            self.window_dirty = false;
+            let prev = self.machine.assignment().to_vec();
+            let threads = thread_profiles(self.machine, self.rng);
+            let (mapping, parked) = plan_assignment(
+                self.scheduler.as_mut(),
+                &self.cores,
+                &threads,
+                self.machine,
+                self.rng,
+            );
+            self.machine.assign(&mapping);
+            self.power_manager.note_reschedule();
+            observer.on_schedule(tick, &mapping);
+            if parked > 0 {
+                self.events.push(EventRecord {
+                    tick,
+                    event: OnlineEvent::Degraded {
+                        event: DegradationEvent::ThreadsParked { parked },
+                    },
+                });
+                observer.on_degradation(tick, DegradationEvent::ThreadsParked { parked });
+            }
+
+            // Charge the migration penalty to the destination core of
+            // every thread that moved (first placements are free).
+            let mut prev_core = vec![None; resident];
+            for (core, slot) in prev.iter().enumerate() {
+                if let Some(t) = slot {
+                    prev_core[*t] = Some(core);
+                }
+            }
+            let mut moved = 0usize;
+            for (core, slot) in mapping.iter().enumerate() {
+                if let Some(t) = slot {
+                    if let Some(pc) = prev_core[*t] {
+                        if pc != core {
+                            moved += 1;
+                            self.counters.migrations_total += 1;
+                            self.jobs[self.thread_job[*t]].migrations += 1;
+                            if self.penalty_s > 0.0 {
+                                self.machine.charge_stall(core, self.penalty_s);
+                            }
+                        }
+                    }
+                }
+            }
+            if !self.power_manager.is_managed() {
+                match self.rt.freq_mode {
+                    FreqMode::Uniform => {
+                        self.machine.set_uniform_frequency();
+                    }
+                    FreqMode::NonUniform => self.machine.set_all_levels_max(),
+                }
+            }
+            self.events.push(EventRecord {
+                tick,
+                event: OnlineEvent::Reschedule { moved, resident },
+            });
+        }
+
+        // Power manager on the DVFS boundary, plus load-adaptive
+        // re-solves whenever membership changed (at the same cadence
+        // the scheduler reacts: per event, or per window).
+        if self.power_manager.is_managed() && (dvfs_due || membership_trigger) {
+            // Under an injected budget drop, the manager chases the
+            // scaled budget (the deviation metric below does not).
+            let eff_budget = if self.hardened {
+                PowerBudget {
+                    chip_w: self.budget.chip_w * self.machine.fault_budget_factor(),
+                    per_core_w: self.budget.per_core_w,
+                }
+            } else {
+                self.budget
+            };
+            if let Some(levels) = self.power_manager.invoke(
+                self.machine,
+                &eff_budget,
+                self.rng,
+                &mut self.degradations,
+            ) {
+                self.events.push(EventRecord {
+                    tick,
+                    event: OnlineEvent::ManagerRun,
+                });
+                observer.on_manager_run(tick, &levels);
+                if let Some(report) = self.power_manager.last_solve() {
+                    observer.on_solve(tick, &report);
+                }
+            }
+            for event in self.degradations.drain(..) {
+                self.events.push(EventRecord {
+                    tick,
+                    event: OnlineEvent::Degraded { event },
+                });
+                observer.on_degradation(tick, event);
+            }
+            self.counters.manager_runs += 1;
+        }
+
+        let stats = self.machine.step(self.dt_s);
+        for event in self.machine.take_fault_events() {
+            if matches!(event, FaultEvent::CoreFailed { .. }) {
+                self.fault_dirty = true;
+            }
+            self.events.push(EventRecord {
+                tick,
+                event: OnlineEvent::Degraded {
+                    event: DegradationEvent::from(event),
+                },
+            });
+            observer.on_degradation(tick, DegradationEvent::from(event));
+        }
+        observer.on_step(self.machine, &stats);
+        if tick >= self.warmup_ticks {
+            self.counters.deviation_sum += (stats.total_power_w - self.budget.chip_w).abs();
+            self.counters.deviation_ticks += 1;
+        }
+
+        let mut f_sum = 0.0;
+        let mut active = 0usize;
+        for core in 0..self.machine.core_count() {
+            if self.machine.thread_of(core).is_some() {
+                f_sum += self.machine.effective_freq(core);
+                active += 1;
+            }
+        }
+        if active > 0 {
+            self.counters.freq_time_sum += f_sum / active as f64;
+        }
+        self.counters.util_sum += active as f64 / self.machine.core_count() as f64;
+
+        // Completion detection: a job crossing its budget this tick
+        // leaves at the next boundary (it cannot retire further — the
+        // Completion event drains before the next step).
+        for (tid, thread) in self.machine.threads().iter().enumerate() {
+            let job = self.thread_job[tid];
+            if !self.pending_completion[job] && thread.instructions() >= self.jobs[job].instructions
+            {
+                self.pending_completion[job] = true;
+                self.queue.push(tick + 1, EventKind::Completion(job));
+            }
+        }
+
+        self.tick += 1;
+    }
+
+    /// Runs the remaining ticks to the horizon.
+    pub fn run(&mut self, observer: &mut dyn TrialObserver) {
+        while !self.is_done() {
+            self.step(observer);
+        }
+    }
+
+    /// Assembles the outcome after the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has not reached the horizon — partial-run
+    /// metrics would silently divide by the full tick count.
+    pub fn finish(self) -> OnlineOutcome {
+        assert!(self.is_done(), "finish() before the horizon");
+        // Chip metrics over the threads resident at the horizon, in the
+        // batch outcome's shape (and bit-identical to it for a closed
+        // run).
+        let per_thread_mips: Vec<f64> = self
+            .machine
+            .threads()
+            .iter()
+            .map(|t| t.average_mips())
+            .collect();
+        let reference_mips: Vec<f64> = self
+            .machine
+            .threads()
+            .iter()
+            .map(|t| t.spec().ipc_at(4.0e9) * 4.0e9 / 1e6)
+            .collect();
+        let mips = self.machine.average_mips();
+        let avg_power_w = self.machine.average_power();
+        let wmips = if per_thread_mips.is_empty() {
+            0.0
+        } else {
+            weighted_mips(&per_thread_mips, &reference_mips)
+        };
+        let c = &self.counters;
+        let chip = TrialOutcome {
+            mips,
+            weighted_mips: wmips,
+            avg_power_w,
+            ed2: if mips > 0.0 {
+                ed2_index(avg_power_w, mips)
+            } else {
+                f64::INFINITY
+            },
+            weighted_ed2: if wmips > 0.0 {
+                ed2_index(avg_power_w, wmips)
+            } else {
+                f64::INFINITY
+            },
+            avg_freq_hz: c.freq_time_sum / self.total_ticks as f64,
+            power_deviation_frac: c.deviation_sum
+                / c.deviation_ticks.max(1) as f64
+                / self.budget.chip_w,
+            manager_runs: c.manager_runs,
+            per_thread_mips,
+        };
+
+        // Shed jobs contribute an ∞ latency sample: LatencyStats keeps
+        // non-finite samples out of the percentiles but reports them as
+        // `dropped`, so shedding stays visible next to the tail it
+        // protected.
+        let mut latencies: Vec<f64> = self.jobs.iter().filter_map(JobRecord::latency_ms).collect();
+        latencies.extend(std::iter::repeat_n(f64::INFINITY, self.shed));
+        let waits: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter_map(JobRecord::queue_wait_ms)
+            .collect();
+
+        OnlineOutcome {
+            chip,
+            latency: LatencyStats::of(&latencies),
+            queue_wait: LatencyStats::of(&waits),
+            jobs: self.jobs,
+            events: self.events,
+            duration_ms: self.rt.duration_ms,
+            arrived: self.counters.arrived,
+            completed: self.counters.completed,
+            shed: self.shed,
+            utilization: self.counters.util_sum / self.total_ticks as f64,
+            queue_peak: self.counters.queue_peak,
+            migrations: self.counters.migrations_total,
+        }
     }
 }
 
@@ -258,9 +1035,9 @@ pub fn run_online_faulted(
 /// [`run_online_faulted`] plus a [`TrialObserver`] — the open-system
 /// counterpart of [`crate::runtime::run_trial_observed`]. The observer
 /// sees the same hooks the batch loop fires (schedule, manager run,
-/// solve report, degradation, step), drawn from the identical
-/// simulation: observation is a pure read-out and never perturbs RNG
-/// streams or outcomes.
+/// solve report, degradation, step) plus the online-only job-shed hook,
+/// drawn from the identical simulation: observation is a pure read-out
+/// and never perturbs RNG streams or outcomes.
 #[allow(clippy::too_many_arguments)] // mirrors run_online_faulted + observer
 pub fn run_online_observed(
     machine: &mut Machine,
@@ -274,373 +1051,17 @@ pub fn run_online_observed(
     rng: &mut SimRng,
     observer: &mut dyn TrialObserver,
 ) -> Result<OnlineOutcome, TrialError> {
-    config.validate()?;
-    let rt = config.runtime;
-    if config.initial_jobs > machine.core_count() {
-        return Err(TrialError::WorkloadTooLarge {
-            threads: config.initial_jobs,
-            cores: machine.core_count(),
-        });
-    }
-
-    // Initial residents: continue the caller's stream exactly as the
-    // batch engine does (draw the workload, then spawn its threads).
-    if config.initial_jobs > 0 {
-        let workload = Workload::draw_mix(pool, config.initial_jobs, mix, rng);
-        machine.load_threads(workload.spawn_threads(rng));
-    } else {
-        machine.load_threads(Vec::new());
-    }
-    machine.install_faults(fault_plan)?;
-    let hardened = machine.has_active_faults();
-    let initial_count = machine.threads().len();
-
-    // Arrival schedule: pre-drawn from a fork taken only when the
-    // process is active, so a closed system leaves the caller's stream
-    // untouched.
-    let schedule: Vec<JobSpec> = if config.arrivals.rate_per_s > 0.0 {
-        let mut arrival_rng = rng.fork();
-        generate_arrivals(
-            pool,
-            mix,
-            &config.arrivals,
-            rt.duration_ms,
-            &mut arrival_rng,
-        )
-    } else {
-        Vec::new()
-    };
-
-    let cores = core_profiles(machine);
-    let dt_s = rt.tick_ms / 1e3;
-    let total_ticks = (rt.duration_ms / rt.tick_ms).round() as usize;
-    let dvfs_every = (rt.dvfs_interval_ms / rt.tick_ms).round() as usize;
-    let os_every = (rt.os_interval_ms / rt.tick_ms).round() as usize;
-    let warmup_ticks =
-        ((rt.deviation_warmup_ms / rt.tick_ms).round() as usize).min(total_ticks / 2);
-    let penalty_s = config.migration_penalty_ms / 1e3;
-
-    let mut queue = EventQueue::new();
-    for tick in (0..total_ticks).step_by(os_every) {
-        queue.push(tick, EventKind::OsTick);
-    }
-    for tick in (0..total_ticks).step_by(dvfs_every) {
-        queue.push(tick, EventKind::DvfsTick);
-    }
-
-    // Job records: residents first (budget = the configured mean,
-    // drawn without jitter so a closed system consumes no extra RNG),
-    // then the arrival schedule.
-    let mut jobs: Vec<JobRecord> = machine
-        .threads()
-        .iter()
-        .enumerate()
-        .map(|(i, t)| JobRecord {
-            job: i,
-            app: t.spec().name,
-            arrival_ms: 0.0,
-            admit_ms: Some(0.0),
-            completion_ms: None,
-            instructions: config.arrivals.mean_instructions,
-            migrations: 0,
-        })
-        .collect();
-    // thread index -> job id, maintained under the machine's
-    // swap_remove semantics.
-    let mut thread_job: Vec<usize> = (0..initial_count).collect();
-    for (i, js) in schedule.iter().enumerate() {
-        let job = jobs.len();
-        jobs.push(JobRecord {
-            job,
-            app: js.spec.name,
-            arrival_ms: js.arrival_ms,
-            admit_ms: None,
-            completion_ms: None,
-            instructions: js.instructions,
-            migrations: 0,
-        });
-        // A job arriving mid-tick becomes visible at the next boundary.
-        let tick = (js.arrival_ms / rt.tick_ms).ceil() as usize;
-        if tick < total_ticks {
-            queue.push(tick, EventKind::Arrival(i));
-        }
-    }
-    let mut pending_completion = vec![false; jobs.len()];
-
-    let mut scheduler = policy.build();
-    let mut power_manager = HardenedManager::new(manager, machine.core_count(), hardened);
-    let mut degradations: Vec<DegradationEvent> = Vec::new();
-    // Set when a core fails: forces a reschedule on the next tick.
-    let mut fault_dirty = false;
-    let mut run_queue: VecDeque<usize> = VecDeque::new();
-    let mut events: Vec<EventRecord> = Vec::new();
-
-    let mut freq_time_sum = 0.0f64;
-    let mut deviation_sum = 0.0f64;
-    let mut deviation_ticks = 0usize;
-    let mut manager_runs = 0usize;
-    let mut util_sum = 0.0f64;
-    let mut queue_peak = 0usize;
-    let mut migrations_total = 0usize;
-    let mut arrived = initial_count;
-    let mut completed = 0usize;
-
-    for tick in 0..total_ticks {
-        let now_ms = tick as f64 * rt.tick_ms;
-        let mut os_due = false;
-        let mut dvfs_due = false;
-        let mut membership_dirty = false;
-
-        // Drain this tick's events: completions free cores before
-        // arrivals queue behind them (EventQueue's kind priority).
-        while let Some(ev) = queue.pop_due(tick) {
-            match ev.kind {
-                EventKind::Completion(job) => {
-                    let tid = thread_job
-                        .iter()
-                        .position(|&j| j == job)
-                        .expect("completed job must be resident");
-                    machine.remove_thread(tid);
-                    thread_job.swap_remove(tid);
-                    jobs[job].completion_ms = Some(now_ms);
-                    completed += 1;
-                    membership_dirty = true;
-                    events.push(EventRecord {
-                        tick,
-                        event: OnlineEvent::Complete { job },
-                    });
-                }
-                EventKind::Arrival(i) => {
-                    let job = initial_count + i;
-                    arrived += 1;
-                    run_queue.push_back(job);
-                    queue_peak = queue_peak.max(run_queue.len());
-                    events.push(EventRecord {
-                        tick,
-                        event: OnlineEvent::Arrival { job },
-                    });
-                }
-                EventKind::OsTick => os_due = true,
-                EventKind::DvfsTick => dvfs_due = true,
-            }
-        }
-
-        // FIFO admission into free cores (capacity shrinks as cores
-        // fail; queued jobs wait rather than land on dead silicon).
-        while machine.threads().len() < machine.alive_core_count() {
-            let Some(job) = run_queue.pop_front() else {
-                break;
-            };
-            let js = &schedule[job - initial_count];
-            let tid = machine.add_thread(Thread::with_phase_offset(
-                js.spec.clone(),
-                js.phase_offset_ms,
-            ));
-            debug_assert_eq!(tid, thread_job.len());
-            thread_job.push(job);
-            jobs[job].admit_ms = Some(now_ms);
-            membership_dirty = true;
-            events.push(EventRecord {
-                tick,
-                event: OnlineEvent::Admit { job },
-            });
-        }
-
-        // Reschedule on the OS boundary — and, unlike the batch loop,
-        // immediately on any membership change (the paper's "whenever
-        // applications enter or leave the system").
-        let resident = machine.threads().len();
-        if (os_due || membership_dirty || fault_dirty) && resident > 0 {
-            fault_dirty = false;
-            let prev = machine.assignment().to_vec();
-            let threads = thread_profiles(machine, rng);
-            let (mapping, parked) =
-                plan_assignment(scheduler.as_mut(), &cores, &threads, machine, rng);
-            machine.assign(&mapping);
-            power_manager.note_reschedule();
-            observer.on_schedule(tick, &mapping);
-            if parked > 0 {
-                events.push(EventRecord {
-                    tick,
-                    event: OnlineEvent::Degraded {
-                        event: DegradationEvent::ThreadsParked { parked },
-                    },
-                });
-                observer.on_degradation(tick, DegradationEvent::ThreadsParked { parked });
-            }
-
-            // Charge the migration penalty to the destination core of
-            // every thread that moved (first placements are free).
-            let mut prev_core = vec![None; resident];
-            for (core, slot) in prev.iter().enumerate() {
-                if let Some(t) = slot {
-                    prev_core[*t] = Some(core);
-                }
-            }
-            let mut moved = 0usize;
-            for (core, slot) in mapping.iter().enumerate() {
-                if let Some(t) = slot {
-                    if let Some(pc) = prev_core[*t] {
-                        if pc != core {
-                            moved += 1;
-                            migrations_total += 1;
-                            jobs[thread_job[*t]].migrations += 1;
-                            if penalty_s > 0.0 {
-                                machine.charge_stall(core, penalty_s);
-                            }
-                        }
-                    }
-                }
-            }
-            if !power_manager.is_managed() {
-                match rt.freq_mode {
-                    FreqMode::Uniform => {
-                        machine.set_uniform_frequency();
-                    }
-                    FreqMode::NonUniform => machine.set_all_levels_max(),
-                }
-            }
-            events.push(EventRecord {
-                tick,
-                event: OnlineEvent::Reschedule { moved, resident },
-            });
-        }
-
-        // Power manager on the DVFS boundary, plus load-adaptive
-        // re-solves whenever membership changed.
-        if power_manager.is_managed() && (dvfs_due || membership_dirty) {
-            // Under an injected budget drop, the manager chases the
-            // scaled budget (the deviation metric below does not).
-            let eff_budget = if hardened {
-                PowerBudget {
-                    chip_w: budget.chip_w * machine.fault_budget_factor(),
-                    per_core_w: budget.per_core_w,
-                }
-            } else {
-                budget
-            };
-            if let Some(levels) = power_manager.invoke(machine, &eff_budget, rng, &mut degradations)
-            {
-                events.push(EventRecord {
-                    tick,
-                    event: OnlineEvent::ManagerRun,
-                });
-                observer.on_manager_run(tick, &levels);
-                if let Some(report) = power_manager.last_solve() {
-                    observer.on_solve(tick, &report);
-                }
-            }
-            for event in degradations.drain(..) {
-                events.push(EventRecord {
-                    tick,
-                    event: OnlineEvent::Degraded { event },
-                });
-                observer.on_degradation(tick, event);
-            }
-            manager_runs += 1;
-        }
-
-        let stats = machine.step(dt_s);
-        for event in machine.take_fault_events() {
-            if matches!(event, FaultEvent::CoreFailed { .. }) {
-                fault_dirty = true;
-            }
-            events.push(EventRecord {
-                tick,
-                event: OnlineEvent::Degraded {
-                    event: DegradationEvent::from(event),
-                },
-            });
-            observer.on_degradation(tick, DegradationEvent::from(event));
-        }
-        observer.on_step(machine, &stats);
-        if tick >= warmup_ticks {
-            deviation_sum += (stats.total_power_w - budget.chip_w).abs();
-            deviation_ticks += 1;
-        }
-
-        let mut f_sum = 0.0;
-        let mut active = 0usize;
-        for core in 0..machine.core_count() {
-            if machine.thread_of(core).is_some() {
-                f_sum += machine.effective_freq(core);
-                active += 1;
-            }
-        }
-        if active > 0 {
-            freq_time_sum += f_sum / active as f64;
-        }
-        util_sum += active as f64 / machine.core_count() as f64;
-
-        // Completion detection: a job crossing its budget this tick
-        // leaves at the next boundary (it cannot retire further — the
-        // Completion event drains before the next step).
-        for (tid, thread) in machine.threads().iter().enumerate() {
-            let job = thread_job[tid];
-            if !pending_completion[job] && thread.instructions() >= jobs[job].instructions {
-                pending_completion[job] = true;
-                queue.push(tick + 1, EventKind::Completion(job));
-            }
-        }
-    }
-
-    // Chip metrics over the threads resident at the horizon, in the
-    // batch outcome's shape (and bit-identical to it for a closed run).
-    let per_thread_mips: Vec<f64> = machine.threads().iter().map(|t| t.average_mips()).collect();
-    let reference_mips: Vec<f64> = machine
-        .threads()
-        .iter()
-        .map(|t| t.spec().ipc_at(4.0e9) * 4.0e9 / 1e6)
-        .collect();
-    let mips = machine.average_mips();
-    let avg_power_w = machine.average_power();
-    let wmips = if per_thread_mips.is_empty() {
-        0.0
-    } else {
-        weighted_mips(&per_thread_mips, &reference_mips)
-    };
-    let chip = TrialOutcome {
-        mips,
-        weighted_mips: wmips,
-        avg_power_w,
-        ed2: if mips > 0.0 {
-            ed2_index(avg_power_w, mips)
-        } else {
-            f64::INFINITY
-        },
-        weighted_ed2: if wmips > 0.0 {
-            ed2_index(avg_power_w, wmips)
-        } else {
-            f64::INFINITY
-        },
-        avg_freq_hz: freq_time_sum / total_ticks as f64,
-        power_deviation_frac: deviation_sum / deviation_ticks.max(1) as f64 / budget.chip_w,
-        manager_runs,
-        per_thread_mips,
-    };
-
-    let latencies: Vec<f64> = jobs.iter().filter_map(JobRecord::latency_ms).collect();
-    let waits: Vec<f64> = jobs.iter().filter_map(JobRecord::queue_wait_ms).collect();
-
-    Ok(OnlineOutcome {
-        chip,
-        latency: LatencyStats::of(&latencies),
-        queue_wait: LatencyStats::of(&waits),
-        jobs,
-        events,
-        duration_ms: rt.duration_ms,
-        arrived,
-        completed,
-        utilization: util_sum / total_ticks as f64,
-        queue_peak,
-        migrations: migrations_total,
-    })
+    let mut sim = OnlineSim::new(
+        machine, pool, mix, policy, manager, budget, config, fault_plan, rng,
+    )?;
+    sim.run(observer);
+    Ok(sim.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::online::ArrivalConfig;
+    use crate::online::{ArrivalConfig, ServicePolicy};
     use crate::runtime::{run_trial, RuntimeConfig};
     use cmpsim::{app_pool, MachineConfig};
     use floorplan::paper_20_core;
@@ -678,6 +1099,7 @@ mod tests {
             arrivals: ArrivalConfig::poisson(rate_per_s, mean_instructions),
             initial_jobs: 0,
             migration_penalty_ms: 0.1,
+            service: ServicePolicy::default(),
         }
     }
 
@@ -689,6 +1111,7 @@ mod tests {
             arrivals: ArrivalConfig::closed(),
             initial_jobs: 6,
             migration_penalty_ms: 0.0,
+            service: ServicePolicy::default(),
         };
 
         let mut batch_rng = SimRng::seed_from(77);
@@ -738,6 +1161,7 @@ mod tests {
         assert!(out.arrived > 10, "arrived {}", out.arrived);
         assert!(out.completed > 0, "completed {}", out.completed);
         assert!(out.completed <= out.arrived);
+        assert_eq!(out.shed, 0, "no deadlines, no shedding");
         assert!(out.utilization > 0.0 && out.utilization <= 1.0);
         let lat = out.latency.expect("completions imply latency stats");
         assert!(lat.p50_ms <= lat.p95_ms && lat.p95_ms <= lat.p99_ms);
@@ -842,6 +1266,7 @@ mod tests {
             },
             initial_jobs: 4,
             migration_penalty_ms: 0.1,
+            service: ServicePolicy::default(),
         };
         let out = run_online(
             &mut machine(11),
@@ -856,5 +1281,312 @@ mod tests {
         assert_eq!(out.completed, 4, "all residents should drain");
         assert!(out.chip.weighted_mips == 0.0, "no thread survives");
         assert!(out.chip.ed2.is_finite(), "work was retired");
+    }
+
+    // ----------------------------------------------------------------
+    // Checkpoint/restore
+    // ----------------------------------------------------------------
+
+    /// Runs the scenario uninterrupted, and again with a checkpoint +
+    /// serialized round trip + restore at `cut_tick`, and asserts the
+    /// outcomes and traces are identical.
+    fn assert_resume_bit_identical(config: &OnlineConfig, fault_plan: &FaultPlan, cut_tick: usize) {
+        let pool = pool();
+        let policy = SchedPolicy::VarFAppIpc;
+        let manager = ManagerKind::LinOpt;
+        let budget = PowerBudget::cost_performance(20);
+
+        let mut m1 = machine(3);
+        let mut rng1 = SimRng::seed_from(9);
+        let full = run_online_faulted(
+            &mut m1,
+            &pool,
+            Mix::Balanced,
+            policy,
+            manager,
+            budget,
+            config,
+            fault_plan,
+            &mut rng1,
+        )
+        .expect("uninterrupted run");
+
+        // First half.
+        let mut m2 = machine(3);
+        let mut rng2 = SimRng::seed_from(9);
+        let mut sim = OnlineSim::new(
+            &mut m2,
+            &pool,
+            Mix::Balanced,
+            policy,
+            manager,
+            budget,
+            config,
+            fault_plan,
+            &mut rng2,
+        )
+        .expect("construct");
+        while sim.tick() < cut_tick {
+            sim.step(&mut NullObserver);
+        }
+        let snapshot = sim.checkpoint();
+        drop(sim);
+
+        // Serialized round trip.
+        let json = snapshot.to_json();
+        let revived = Snapshot::from_json(&json, &pool).expect("snapshot JSON round trip");
+        assert_eq!(revived, snapshot, "codec must be lossless");
+
+        // Second half on a fresh machine and a garbage RNG (resume
+        // overwrites it with the checkpointed stream position).
+        let mut m3 = machine(3);
+        let mut rng3 = SimRng::seed_from(0xDEAD);
+        let mut sim = OnlineSim::resume(
+            &mut m3,
+            &pool,
+            Mix::Balanced,
+            policy,
+            manager,
+            budget,
+            config,
+            fault_plan,
+            &mut rng3,
+            &revived,
+        )
+        .expect("resume");
+        assert_eq!(sim.tick(), cut_tick);
+        sim.run(&mut NullObserver);
+        let resumed = sim.finish();
+
+        assert_eq!(resumed, full, "restored run must match bit for bit");
+        assert_eq!(resumed.trace(), full.trace());
+        assert_eq!(rng3, rng1, "RNG stream must end at the same position");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_mid_run() {
+        assert_resume_bit_identical(&open_config(250.0, 50.0e6), &FaultPlan::none(), 50);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_off_boundary() {
+        // A DVFS boundary (30) and an unaligned tick (37): state
+        // capture is boundary-agnostic.
+        for cut in [30, 37] {
+            assert_resume_bit_identical(&open_config(400.0, 40.0e6), &FaultPlan::none(), cut);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_survives_initial_residents_and_drain() {
+        let config = OnlineConfig {
+            initial_jobs: 5,
+            ..open_config(150.0, 30.0e6)
+        };
+        assert_resume_bit_identical(&config, &FaultPlan::none(), 60);
+    }
+
+    #[test]
+    fn checkpoint_resume_carries_the_fault_timeline() {
+        use cmpsim::{BudgetDrop, CoreFailure, StuckSensor};
+        let plan = FaultPlan {
+            seed: 77,
+            sensor_noise_sigma: 0.05,
+            sensor_drift_per_s: 0.0,
+            stuck_sensors: vec![StuckSensor {
+                core: 2,
+                at_ms: 20.0,
+            }],
+            core_failures: vec![CoreFailure {
+                core: 5,
+                at_ms: 40.0,
+            }],
+            budget_drops: vec![BudgetDrop {
+                start_ms: 30.0,
+                end_ms: 60.0,
+                factor: 0.7,
+            }],
+        };
+        let config = OnlineConfig {
+            initial_jobs: 8,
+            ..open_config(200.0, 40.0e6)
+        };
+        // Cut after the failure fired so the restored run carries the
+        // dead core, the stuck sensor, and the in-flight budget drop.
+        assert_resume_bit_identical(&config, &plan, 55);
+    }
+
+    #[test]
+    fn checkpoint_resume_preserves_slo_serving_state() {
+        let config = OnlineConfig {
+            service: ServicePolicy {
+                reschedule_window_ms: 25.0,
+                deadline_slack: 3.0,
+            },
+            ..open_config(800.0, 80.0e6)
+        };
+        assert_resume_bit_identical(&config, &FaultPlan::none(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn resume_rejects_a_mismatched_machine() {
+        let pool = pool();
+        let config = open_config(250.0, 50.0e6);
+        let mut m = machine(3);
+        let mut rng = SimRng::seed_from(9);
+        let sim = OnlineSim::new(
+            &mut m,
+            &pool,
+            Mix::Balanced,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            PowerBudget::cost_performance(20),
+            &config,
+            &FaultPlan::none(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut snapshot = sim.checkpoint();
+        drop(sim);
+        snapshot.core_count = 4; // claims a 4-core machine
+        let mut m2 = machine(3);
+        let mut rng2 = SimRng::seed_from(9);
+        let _ = OnlineSim::resume(
+            &mut m2,
+            &pool,
+            Mix::Balanced,
+            SchedPolicy::VarFAppIpc,
+            ManagerKind::LinOpt,
+            PowerBudget::cost_performance(20),
+            &config,
+            &FaultPlan::none(),
+            &mut rng2,
+            &snapshot,
+        );
+    }
+
+    // ----------------------------------------------------------------
+    // SLO-aware serving
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn default_service_policy_is_the_legacy_path() {
+        // A ServicePolicy::default() config must not perturb the
+        // historical behaviour at all.
+        let pool = pool();
+        let run = |service: ServicePolicy| {
+            run_online(
+                &mut machine(3),
+                &pool,
+                Mix::Balanced,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::LinOpt,
+                PowerBudget::cost_performance(20),
+                &OnlineConfig {
+                    service,
+                    ..open_config(250.0, 50.0e6)
+                },
+                &mut SimRng::seed_from(21),
+            )
+        };
+        let default = run(ServicePolicy::default());
+        let explicit = run(ServicePolicy {
+            reschedule_window_ms: 0.0,
+            deadline_slack: f64::INFINITY,
+        });
+        assert_eq!(default, explicit);
+        assert_eq!(default.shed, 0);
+    }
+
+    #[test]
+    fn tight_deadlines_shed_queued_jobs() {
+        let pool = pool();
+        let run = |slack: f64| {
+            run_online(
+                &mut machine(4),
+                &pool,
+                Mix::Balanced,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::LinOpt,
+                PowerBudget::cost_performance(20),
+                &OnlineConfig {
+                    service: ServicePolicy {
+                        reschedule_window_ms: 0.0,
+                        deadline_slack: slack,
+                    },
+                    ..open_config(2000.0, 100.0e6)
+                },
+                &mut SimRng::seed_from(6),
+            )
+        };
+        let strict = run(1.5);
+        let loose = run(1e9);
+        assert!(strict.shed > 0, "overload with tight slack must shed");
+        assert_eq!(loose.shed, 0, "astronomical slack never sheds");
+        // Shed jobs surface as dropped latency samples.
+        let lat = strict.latency.expect("some jobs complete");
+        assert_eq!(lat.dropped, strict.shed);
+        // Every shed job is in the event trace and was never admitted.
+        let shed_events: Vec<usize> = strict
+            .events
+            .iter()
+            .filter_map(|r| match r.event {
+                OnlineEvent::Shed { job } => Some(job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed_events.len(), strict.shed);
+        for job in shed_events {
+            assert_eq!(strict.jobs[job].admit_ms, None);
+            assert_eq!(strict.jobs[job].completion_ms, None);
+        }
+    }
+
+    #[test]
+    fn windowed_rescheduling_batches_membership_changes() {
+        let pool = pool();
+        let run = |window_ms: f64| {
+            run_online(
+                &mut machine(7),
+                &pool,
+                Mix::Balanced,
+                SchedPolicy::VarFAppIpc,
+                ManagerKind::LinOpt,
+                PowerBudget::cost_performance(20),
+                &OnlineConfig {
+                    migration_penalty_ms: 3.0,
+                    service: ServicePolicy {
+                        reschedule_window_ms: window_ms,
+                        deadline_slack: f64::INFINITY,
+                    },
+                    ..open_config(600.0, 50.0e6)
+                },
+                &mut SimRng::seed_from(8),
+            )
+        };
+        let per_event = run(0.0);
+        let windowed = run(25.0);
+        let reschedules = |o: &OnlineOutcome| {
+            o.events
+                .iter()
+                .filter(|r| matches!(r.event, OnlineEvent::Reschedule { .. }))
+                .count()
+        };
+        assert!(
+            reschedules(&windowed) < reschedules(&per_event),
+            "batching must cut reschedules: {} vs {}",
+            reschedules(&windowed),
+            reschedules(&per_event)
+        );
+        assert!(
+            windowed.migrations < per_event.migrations,
+            "fewer reschedules must move fewer threads: {} vs {}",
+            windowed.migrations,
+            per_event.migrations
+        );
+        // Jobs admitted inside a window still run (the incremental
+        // placement): throughput does not collapse.
+        assert!(windowed.completed > 0);
     }
 }

@@ -174,6 +174,9 @@ pub enum ConfigError {
     BadArrivalProcess,
     /// An online migration penalty is negative or NaN.
     NegativeMigrationPenalty,
+    /// An online service policy is degenerate (negative/NaN reschedule
+    /// window, or non-positive/NaN deadline slack).
+    BadServicePolicy,
 }
 
 impl fmt::Display for ConfigError {
@@ -185,6 +188,7 @@ impl fmt::Display for ConfigError {
             ConfigError::DurationShorterThanOs => "duration must cover at least one OS interval",
             ConfigError::BadArrivalProcess => "arrival process is degenerate",
             ConfigError::NegativeMigrationPenalty => "migration penalty must be non-negative",
+            ConfigError::BadServicePolicy => "service policy is degenerate",
         };
         f.write_str(msg)
     }
@@ -284,6 +288,13 @@ pub trait TrialObserver {
     /// zero-fault runs.
     fn on_degradation(&mut self, tick: usize, event: DegradationEvent) {
         let _ = (tick, event);
+    }
+
+    /// Called when online admission control sheds a queued job whose
+    /// deadline became unreachable. Online-only: the batch runtime and
+    /// deadline-free online runs never fire it.
+    fn on_job_shed(&mut self, tick: usize, job: usize) {
+        let _ = (tick, job);
     }
 }
 

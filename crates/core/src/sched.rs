@@ -11,6 +11,7 @@
 //! | `VarF` | N highest-frequency cores | random order |
 //! | `VarF&AppIPC` | N highest-frequency cores | highest IPC → highest frequency |
 
+use crate::manager::ControlState;
 use crate::profile::{CoreProfile, ThreadProfile};
 use vastats::SimRng;
 
@@ -75,6 +76,18 @@ pub trait Scheduler: Send {
 
     /// Clears any cross-interval state (start of a new trial).
     fn reset(&mut self) {}
+
+    /// Captures the scheduler's cross-interval state for a checkpoint.
+    /// The paper's Table 1 policies are stateless; history-keeping
+    /// schedulers override this (mirroring
+    /// [`crate::manager::PowerManager::snapshot`]).
+    fn snapshot(&self) -> ControlState {
+        ControlState::Stateless
+    }
+
+    /// Restores state captured by [`Scheduler::snapshot`] onto a fresh
+    /// instance of the same policy.
+    fn restore(&mut self, _state: &ControlState) {}
 }
 
 /// The [`Scheduler`] implementation backing all of Table 1's policies.

@@ -270,6 +270,23 @@ impl Problem {
         self.solve_warm_with(basis_hint, &mut ws)
     }
 
+    /// Whether `hint` has the right *shape* to warm-start this problem:
+    /// one column index per constraint row, every index inside the
+    /// structural + slack column range. A shape-compatible hint can
+    /// still be rejected at solve time (stale pivots, primal
+    /// infeasibility for the new RHS); an incompatible one can never
+    /// install. Checkpoint/restore paths use this to vet a captured
+    /// basis against a rebuilt problem before offering it as a hint.
+    pub fn basis_hint_compatible(&self, hint: &[usize]) -> bool {
+        let slacks = self
+            .constraints
+            .iter()
+            .filter(|(_, sense, _)| matches!(sense, Sense::Le | Sense::Ge))
+            .count();
+        hint.len() == self.constraints.len()
+            && hint.iter().all(|&j| j < self.objective.len() + slacks)
+    }
+
     /// [`Problem::solve_warm`] through a caller-owned [`SolveWorkspace`]:
     /// the tableau and every solver-internal vector are recycled from
     /// (and stored back into) `ws`, so steady-state re-solves of
@@ -285,7 +302,11 @@ impl Problem {
     ) -> Result<Solution, LpError> {
         let mut tableau = Tableau::build_with(self, ws);
         let mut warm_started = false;
-        if let Some(hint) = basis_hint {
+        // Shape-incompatible hints (wrong arity, out-of-range columns)
+        // can never install; skipping them avoids a redundant tableau
+        // re-fill. `try_install_basis` rejects them pre-pivot, so the
+        // fast path is result-identical.
+        if let Some(hint) = basis_hint.filter(|h| self.basis_hint_compatible(h)) {
             if tableau.try_install_basis(hint) {
                 warm_started = true;
             } else {
@@ -1105,6 +1126,21 @@ mod tests {
         assert!((warm.objective - cold.objective).abs() < 1e-12);
         let warm = p.solve_warm(Some(&[1])).unwrap();
         assert!((warm.objective - cold.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_hint_compatibility_is_a_shape_check() {
+        let p = Problem::maximize(vec![3.0, 2.0])
+            .constraint_le(vec![1.0, 1.0], 4.0)
+            .constraint_le(vec![1.0, 0.0], 2.0);
+        // 2 structural + 2 slack columns, 2 rows.
+        assert!(p.basis_hint_compatible(&[0, 1]));
+        assert!(p.basis_hint_compatible(&[3, 0]));
+        assert!(!p.basis_hint_compatible(&[0]), "wrong arity");
+        assert!(!p.basis_hint_compatible(&[0, 4]), "column out of range");
+        // A real optimal basis from a same-shaped solve is compatible.
+        let s = p.solve().unwrap();
+        assert!(p.basis_hint_compatible(&s.basis));
     }
 
     #[test]

@@ -10,13 +10,20 @@
 #                               and the smoke-scale trace/figure bins,
 #                               then validates every BENCH_*.json with
 #                               the check_bench bin
+#   scripts/ci.sh replay-smoke  additionally runs the deterministic-
+#                               replay gate: re-run the committed
+#                               scenario, checkpoint mid-run, restore,
+#                               and byte-compare both the full trace
+#                               (against tests/golden/replay_online.jsonl)
+#                               and the restored tail; any byte
+#                               difference fails the build
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|bench-smoke) ;;
-  *) echo "usage: $0 [bench-smoke]" >&2; exit 2 ;;
+  default|bench-smoke|replay-smoke) ;;
+  *) echo "usage: $0 [bench-smoke|replay-smoke]" >&2; exit 2 ;;
 esac
 
 cargo fmt --check
@@ -46,4 +53,12 @@ if [[ "$mode" == bench-smoke ]]; then
   cargo run -q --release --offline -p vasp-bench --bin all -- --scale smoke
   cargo run -q --release --offline -p vasp-bench --bin trace -- --scale smoke
   cargo run -q --release --offline -p vasp-bench --bin check_bench -- --baseline "$baseline_dir"
+fi
+
+if [[ "$mode" == replay-smoke ]]; then
+  # Deterministic replay gate: the replay bin re-runs the committed
+  # scenario, drills checkpoint -> serialize -> restore, and exits
+  # non-zero on any byte difference, printing the first divergent
+  # field (see crates/core/src/experiments/replay.rs).
+  cargo run -q --release --offline -p vasp-bench --bin replay
 fi

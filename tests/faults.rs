@@ -9,7 +9,9 @@ use vasp::vasched::engine::{
 };
 use vasp::vasched::experiments::{Context, Scale};
 use vasp::vasched::manager::{DegradationEvent, ManagerKind, PowerBudget};
-use vasp::vasched::online::{run_online, run_online_faulted, ArrivalConfig, OnlineConfig};
+use vasp::vasched::online::{
+    run_online, run_online_faulted, ArrivalConfig, OnlineConfig, ServicePolicy,
+};
 use vasp::vasched::runtime::{
     run_trial, run_trial_faulted, NullObserver, RuntimeConfig, TrialObserver,
 };
@@ -101,6 +103,7 @@ fn faulted_online_trials_are_bit_identical_across_worker_counts() {
         arrivals: ArrivalConfig::poisson(500.0, 20.0e6),
         initial_jobs: 12,
         migration_penalty_ms: 0.1,
+        service: ServicePolicy::default(),
     };
     let spec = OnlineTrialSpec::builder(&ctx, &pool)
         .mix(Mix::Balanced)
@@ -190,6 +193,7 @@ fn zero_fault_online_matches_legacy_run_bit_for_bit() {
         arrivals: ArrivalConfig::poisson(400.0, 20.0e6),
         initial_jobs: 6,
         migration_penalty_ms: 0.1,
+        service: ServicePolicy::default(),
     };
     for seed in 0u64..4 {
         let die = ctx.make_die(&mut SimRng::seed_from(8_000 + seed));

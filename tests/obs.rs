@@ -14,7 +14,9 @@ use vasp::vasched::engine::{SeedPlan, TelemetryObserver, TrialArm, TrialRunner, 
 use vasp::vasched::experiments::Context;
 use vasp::vasched::manager::{ManagerKind, PowerBudget};
 use vasp::vasched::obs::{parse_json, JsonValue, TraceObserver, TRACE_SCHEMA};
-use vasp::vasched::online::{run_online, ArrivalConfig, OnlineConfig, OnlineOutcome};
+use vasp::vasched::online::{
+    run_online, ArrivalConfig, OnlineConfig, OnlineOutcome, ServicePolicy,
+};
 use vasp::vasched::runtime::RuntimeConfig;
 use vasp::vasched::sched::SchedPolicy;
 use vasp::vastats::SimRng;
@@ -88,6 +90,7 @@ fn golden_online_outcome() -> OnlineOutcome {
         arrivals: ArrivalConfig::poisson(300.0, 30.0e6),
         initial_jobs: 0,
         migration_penalty_ms: 0.1,
+        service: ServicePolicy::default(),
     };
     run_online(
         &mut machine,
@@ -245,4 +248,33 @@ fn trace_metrics_summarize_the_run() {
     // Registries render to parseable JSON.
     let doc = parse_json(&linopt.to_json()).expect("metrics JSON parses");
     assert!(doc.get("counters").is_some());
+}
+
+#[test]
+fn replay_scenario_matches_golden_and_restores_byte_identically() {
+    // The committed replay scenario (`experiments::replay`): the
+    // uninterrupted trace is pinned byte-for-byte, and the
+    // checkpoint → JSON → restore run must reproduce the exact bytes
+    // of the post-checkpoint tail. `scripts/ci.sh replay-smoke` runs
+    // the same comparison through the `replay` bench bin.
+    let artifacts = vasp::vasched::experiments::replay::run_scenario();
+    check_golden("replay_online.jsonl", &artifacts.trace);
+    assert!(
+        artifacts.resumed_tail == artifacts.expected_tail,
+        "restored trace tail diverged: {:?}",
+        vasp::vasched::obs::diff_traces(&artifacts.expected_tail, &artifacts.resumed_tail)
+    );
+    assert_eq!(artifacts.outcome_full, artifacts.outcome_resumed);
+    assert_eq!(
+        vasp::vasched::obs::diff_traces(
+            &artifacts.trace,
+            &std::fs::read_to_string(
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join(vasp::vasched::experiments::replay::GOLDEN_PATH)
+            )
+            .expect("committed golden exists")
+        ),
+        None,
+        "replaying the committed golden must report zero divergence"
+    );
 }

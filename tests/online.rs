@@ -7,7 +7,7 @@ use vasp::cmpsim::{app_pool, Mix};
 use vasp::vasched::engine::{OnlineArm, OnlineTrialSpec, SeedPlan, TrialRunner};
 use vasp::vasched::experiments::{Context, Scale};
 use vasp::vasched::manager::{ManagerKind, PowerBudget};
-use vasp::vasched::online::{run_online, ArrivalConfig, OnlineConfig};
+use vasp::vasched::online::{run_online, ArrivalConfig, OnlineConfig, ServicePolicy};
 use vasp::vasched::runtime::RuntimeConfig;
 use vasp::vasched::sched::SchedPolicy;
 use vasp::vastats::SimRng;
@@ -22,6 +22,7 @@ fn serving_config(rate_per_s: f64) -> OnlineConfig {
         arrivals: ArrivalConfig::poisson(rate_per_s, 20.0e6),
         initial_jobs: 0,
         migration_penalty_ms: 0.1,
+        service: ServicePolicy::default(),
     }
 }
 

@@ -455,7 +455,7 @@ fn zero_arrival_online_equals_batch_trial() {
     use vasp::floorplan::paper_20_core;
     use vasp::varius::{DieGenerator, VariationConfig};
     use vasp::vasched::manager::ManagerKind;
-    use vasp::vasched::online::{run_online, ArrivalConfig, OnlineConfig};
+    use vasp::vasched::online::{run_online, ArrivalConfig, OnlineConfig, ServicePolicy};
     use vasp::vasched::runtime::{run_trial, RuntimeConfig};
 
     let cfg = VariationConfig {
@@ -499,6 +499,7 @@ fn zero_arrival_online_equals_batch_trial() {
                 arrivals: ArrivalConfig::closed(),
                 initial_jobs: threads,
                 migration_penalty_ms: 0.0,
+                service: ServicePolicy::default(),
             };
             let mut online_machine = machine.clone();
             let online = run_online(
@@ -519,5 +520,79 @@ fn zero_arrival_online_equals_batch_trial() {
             assert_eq!(online.arrived, threads, "seed {seed}");
             assert_eq!(online.completed, 0, "closed jobs never complete");
         }
+    }
+}
+
+/// A random JSON document, depth-bounded so generation terminates:
+/// scalars get likelier as `depth` falls.
+fn arbitrary_json(rng: &mut SimRng, depth: usize) -> vasp::vasched::obs::JsonValue {
+    use vasp::vasched::obs::JsonValue;
+    let container_odds = if depth == 0 { 0.0 } else { 0.4 };
+    if rng.uniform(0.0, 1.0) < container_odds {
+        let len = rng.uniform(0.0, 4.0) as usize;
+        if rng.uniform(0.0, 1.0) < 0.5 {
+            JsonValue::Arr((0..len).map(|_| arbitrary_json(rng, depth - 1)).collect())
+        } else {
+            JsonValue::Obj(
+                (0..len)
+                    .map(|i| (arbitrary_string(rng, i), arbitrary_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    } else {
+        match rng.uniform(0.0, 4.0) as usize {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(rng.uniform(0.0, 1.0) < 0.5),
+            2 => JsonValue::Num(arbitrary_number(rng)),
+            _ => JsonValue::Str(arbitrary_string(rng, 7)),
+        }
+    }
+}
+
+/// Numbers across the magnitudes traces actually carry: exact
+/// integers, unit-scale reals, large/tiny magnitudes, negative zero.
+fn arbitrary_number(rng: &mut SimRng) -> f64 {
+    match rng.uniform(0.0, 5.0) as usize {
+        0 => rng.uniform(-100.0, 100.0).round(),
+        1 => rng.uniform(-1.0, 1.0),
+        2 => rng.uniform(-1.0, 1.0) * 4.0e9,
+        3 => rng.uniform(-1.0, 1.0) * 1.0e-9,
+        _ => -0.0,
+    }
+}
+
+/// Strings exercising every escape class the writer knows: quotes,
+/// backslashes, named escapes, other control characters, non-ASCII.
+fn arbitrary_string(rng: &mut SimRng, salt: usize) -> String {
+    const ALPHABET: [char; 12] = [
+        'a', 'Z', '3', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'µ', '€',
+    ];
+    let len = rng.uniform(0.0, 8.0) as usize;
+    let mut s = format!("k{salt}");
+    for _ in 0..len {
+        s.push(ALPHABET[rng.uniform(0.0, ALPHABET.len() as f64) as usize]);
+    }
+    s
+}
+
+/// `obs::json`: writing any nested value and parsing it back yields an
+/// equal value, and re-writing the parse is byte-identical (the writer
+/// is a fixed point) — the property the snapshot codec and the trace
+/// goldens lean on.
+#[test]
+fn json_writer_parser_round_trip_on_arbitrary_documents() {
+    use vasp::vasched::obs::parse_json;
+    for seed in 0u64..200 {
+        let mut rng = SimRng::seed_from(0x15_0000 + seed);
+        let value = arbitrary_json(&mut rng, 4);
+        let text = value.to_json();
+        let parsed = parse_json(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: writer output must parse ({e}): {text}"));
+        assert_eq!(parsed, value, "seed {seed}: round trip changed the value");
+        assert_eq!(
+            parsed.to_json(),
+            text,
+            "seed {seed}: writer is not a fixed point"
+        );
     }
 }
