@@ -1,0 +1,99 @@
+//! Fleet determinism gate: re-runs the committed fleet golden scenario
+//! ([`vasched::experiments::fleet::golden_spec`]), byte-compares its
+//! JSONL trace against the committed golden, and re-serves the same
+//! spec at a different worker count demanding identical bytes.
+//!
+//! ```text
+//! cargo run --release -p vasp-bench --bin fleet_gate            # verify
+//! cargo run --release -p vasp-bench --bin fleet_gate -- --update
+//! ```
+//!
+//! Exit status is non-zero on any byte difference; the first divergent
+//! field (via [`vasched::obs::diff_traces`]) is printed so a failed CI
+//! run names `rack_power_w[1]`, not a byte offset. `--golden <path>`
+//! overrides the default golden location (repository-root relative);
+//! `--update` rewrites the golden instead of comparing — the
+//! `tests/fleet.rs` golden test must then be regenerated the same way
+//! (`UPDATE_GOLDENS=1 cargo test --test fleet`), since both pin the
+//! same bytes.
+
+use vasched::experiments::fleet::{golden_spec, GOLDEN_PATH};
+use vasched::experiments::ServingSite;
+use vasched::fleet::run_fleet;
+use vasched::obs::diff_traces;
+
+/// Grid of the golden scenario's dies (matches
+/// [`vasched::experiments::fleet::run_golden_scenario`]).
+const GOLDEN_GRID: usize = 20;
+
+fn main() {
+    let mut golden_path = GOLDEN_PATH.to_string();
+    let mut update = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--golden" => {
+                i += 1;
+                golden_path = args.get(i).expect("--golden needs a value").clone();
+            }
+            "--update" => update = true,
+            other => panic!("unknown argument '{other}' (supported: --golden, --update)"),
+        }
+        i += 1;
+    }
+
+    let site = ServingSite::at_grid(GOLDEN_GRID);
+    let spec = golden_spec(&site);
+    let out = run_fleet(&spec, 1).expect("golden spec is valid");
+    println!(
+        "fleet scenario: {} chips / {} racks, {} arrived, {} completed, {} shed",
+        out.chips, out.racks, out.arrived, out.completed, out.shed
+    );
+
+    let mut failed = false;
+
+    // Gate 1: a different worker count reproduces the same bytes.
+    let redo = run_fleet(&spec, 4).expect("golden spec is valid");
+    if out.trace == redo.trace && out.metrics == redo.metrics {
+        println!(
+            "worker invariance: byte-identical at 1 and 4 workers ({} trace bytes)",
+            out.trace.len()
+        );
+    } else {
+        failed = true;
+        eprintln!("FAIL: fleet run diverged between 1 and 4 workers");
+        match diff_traces(&out.trace, &redo.trace) {
+            Some(d) => eprintln!("  {d}"),
+            None => eprintln!("  (traces equal — metrics diverged)"),
+        }
+    }
+
+    // Gate 2: the trace matches the committed golden byte-for-byte.
+    if update {
+        std::fs::write(&golden_path, &out.trace).expect("write golden");
+        println!("wrote {golden_path} ({} bytes)", out.trace.len());
+    } else {
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("cannot read golden {golden_path}: {e}"));
+        if golden == out.trace {
+            println!("golden trace: byte-identical ({} bytes)", golden.len());
+        } else {
+            failed = true;
+            eprintln!(
+                "FAIL: trace drifted from {golden_path} ({} vs {} bytes)",
+                golden.len(),
+                out.trace.len()
+            );
+            match diff_traces(&golden, &out.trace) {
+                Some(d) => eprintln!("  {d}"),
+                None => eprintln!("  (semantically equal — whitespace/formatting drift)"),
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("fleet gate: zero divergence");
+}

@@ -29,6 +29,7 @@
 //! | Online serving sweep (beyond the paper) | [`online::arrival_sweep`] |
 //! | SLO window sweep (beyond the paper) | [`slo::window_sweep`] |
 //! | Fault injection / graceful degradation (beyond the paper) | [`faults`] |
+//! | Fleet dispatch/budget sweeps (beyond the paper) | [`fleet`] |
 //!
 //! The [`ablation`] module also hosts the beyond-the-paper sensitivity
 //! studies: LinOpt fit/rounding variants ([`ablation::linopt_variants`]),
@@ -42,6 +43,7 @@
 pub mod ablation;
 pub mod dvfs;
 pub mod faults;
+pub mod fleet;
 pub mod granularity;
 pub mod online;
 pub mod replay;
@@ -51,7 +53,7 @@ pub mod timing;
 pub mod validation;
 pub mod variation;
 
-use cmpsim::{Machine, MachineConfig};
+use cmpsim::{app_pool, AppSpec, Machine, MachineConfig};
 use floorplan::{paper_20_core, Floorplan};
 use varius::{Die, DieGenerator, VariationConfig};
 use vastats::SimRng;
@@ -172,6 +174,44 @@ impl Context {
     /// Builds a machine around a die.
     pub fn make_machine(&self, die: &Die) -> Machine {
         Machine::new(die, &self.floorplan, self.machine_config.clone())
+    }
+}
+
+/// The shared chip-construction setup every serving experiment (and
+/// every fleet chip) starts from: an experiment [`Context`] at a grid
+/// resolution plus the application pool drawn against that context's
+/// dynamic-power scale. Extracted from the `online`/`slo`/`replay`
+/// experiments, which each repeated the pair by hand; the fleet builds
+/// one site and stamps out hundreds of chips from it.
+#[derive(Debug, Clone)]
+pub struct ServingSite {
+    ctx: Context,
+    pool: Vec<AppSpec>,
+}
+
+impl ServingSite {
+    /// Builds the site at the paper's default variation parameters and
+    /// the given grid resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variation configuration is rejected (cannot happen
+    /// for the paper defaults).
+    pub fn at_grid(grid: usize) -> Self {
+        let ctx = Context::new(grid);
+        let pool = app_pool(&ctx.machine_config().dynamic);
+        Self { ctx, pool }
+    }
+
+    /// The experiment context (floorplan, die generator, machine
+    /// template).
+    pub fn ctx(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The application pool jobs are drawn from.
+    pub fn pool(&self) -> &[AppSpec] {
+        &self.pool
     }
 }
 

@@ -9,13 +9,13 @@
 //! throughput-per-watt should translate directly into more completed
 //! jobs per second than Foxton\* once the chip saturates.
 
-use super::{Context, Scale, Series};
+use super::{Scale, Series, ServingSite};
 use crate::engine::{mean_online_metric, OnlineArm, OnlineTrialSpec, SeedPlan, TrialRunner};
 use crate::manager::{ManagerKind, PowerBudget};
 use crate::online::{ArrivalConfig, OnlineConfig, ServicePolicy};
 use crate::runtime::RuntimeConfig;
 use crate::sched::SchedPolicy;
-use cmpsim::{app_pool, Mix};
+use cmpsim::Mix;
 
 /// Arrival rates swept (jobs/s): under-load, near-capacity, and two
 /// overload points for the budget-constrained 20-core chip.
@@ -97,8 +97,7 @@ pub fn sweep_config(scale: &Scale, rate_per_s: f64) -> OnlineConfig {
 /// across all managers (salted arms), so the curves differ only by
 /// policy.
 pub fn arrival_sweep(scale: &Scale, seed: u64) -> ArrivalSweep {
-    let ctx = Context::new(scale.grid);
-    let pool = app_pool(&ctx.machine_config().dynamic);
+    let site = ServingSite::at_grid(scale.grid);
     let budget = serving_budget();
     let runner = TrialRunner::new();
 
@@ -109,8 +108,8 @@ pub fn arrival_sweep(scale: &Scale, seed: u64) -> ArrivalSweep {
         .map(|(ri, &rate)| {
             let spec = OnlineTrialSpec {
                 fault_plan: cmpsim::FaultPlan::none(),
-                ctx: &ctx,
-                pool: &pool,
+                ctx: site.ctx(),
+                pool: site.pool(),
                 mix: Mix::Balanced,
                 trials: scale.trials,
                 seed,

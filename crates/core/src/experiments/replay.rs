@@ -18,7 +18,7 @@
 //! bisecting a determinism regression by hand.
 
 use super::online::serving_budget;
-use super::Context;
+use super::ServingSite;
 use crate::manager::ManagerKind;
 use crate::obs::TraceObserver;
 use crate::online::{
@@ -27,7 +27,7 @@ use crate::online::{
 };
 use crate::runtime::{NullObserver, RuntimeConfig};
 use crate::sched::SchedPolicy;
-use cmpsim::{app_pool, FaultPlan, Mix};
+use cmpsim::{FaultPlan, Mix};
 use vastats::SimRng;
 
 /// Master seed of the committed scenario. Changing it (or anything
@@ -95,8 +95,8 @@ pub struct ReplayArtifacts {
 /// to round-trip through JSON; the scenario is fixed, so either is a
 /// bug, not an input error.
 pub fn run_scenario() -> ReplayArtifacts {
-    let ctx = Context::new(GRID);
-    let pool = app_pool(&ctx.machine_config().dynamic);
+    let site = ServingSite::at_grid(GRID);
+    let (ctx, pool) = (site.ctx(), site.pool());
     let config = scenario_config();
     let policy = SchedPolicy::VarFAppIpc;
     let manager = ManagerKind::LinOpt;
@@ -111,7 +111,7 @@ pub fn run_scenario() -> ReplayArtifacts {
     let mut observer = TraceObserver::new();
     let outcome_full = run_online_observed(
         &mut machine,
-        &pool,
+        pool,
         Mix::Balanced,
         policy,
         manager,
@@ -132,7 +132,7 @@ pub fn run_scenario() -> ReplayArtifacts {
     let mut machine = ctx.make_machine(&die);
     let mut sim = OnlineSim::new(
         &mut machine,
-        &pool,
+        pool,
         Mix::Balanced,
         policy,
         manager,
@@ -148,7 +148,7 @@ pub fn run_scenario() -> ReplayArtifacts {
     }
     let snapshot_json = sim.checkpoint().to_json();
     drop(sim);
-    let snapshot = Snapshot::from_json(&snapshot_json, &pool).expect("snapshot round-trips");
+    let snapshot = Snapshot::from_json(&snapshot_json, pool).expect("snapshot round-trips");
 
     // Pass 3: restore onto a fresh machine (same die), with a fresh
     // observer fast-forwarded to the cut, and run out the tail. The
@@ -159,7 +159,7 @@ pub fn run_scenario() -> ReplayArtifacts {
     let mut machine = ctx.make_machine(&die);
     let mut sim = OnlineSim::resume(
         &mut machine,
-        &pool,
+        pool,
         Mix::Balanced,
         policy,
         manager,

@@ -21,13 +21,13 @@
 //! (salted arms), so the curves isolate the service policy.
 
 use super::online::{serving_budget, MEAN_JOB_INSTRUCTIONS};
-use super::{Context, Scale, Series};
+use super::{Scale, Series, ServingSite};
 use crate::engine::{mean_online_metric, OnlineArm, OnlineTrialSpec, SeedPlan, TrialRunner};
 use crate::manager::ManagerKind;
 use crate::online::{ArrivalConfig, OnlineConfig, ServicePolicy};
 use crate::runtime::RuntimeConfig;
 use crate::sched::SchedPolicy;
-use cmpsim::{app_pool, Mix};
+use cmpsim::Mix;
 
 /// Reschedule windows swept (ms). `0` is per-event rescheduling — the
 /// legacy behavior, kept as the leftmost point so the sweep reads as
@@ -94,8 +94,7 @@ pub fn slo_config(scale: &Scale, service: ServicePolicy) -> OnlineConfig {
 /// the SLO arms, one per [`WINDOWS_MS`] entry. All arms of a trial
 /// share the die and arrival stream.
 pub fn window_sweep(scale: &Scale, seed: u64) -> SloSweep {
-    let ctx = Context::new(scale.grid);
-    let pool = app_pool(&ctx.machine_config().dynamic);
+    let site = ServingSite::at_grid(scale.grid);
     let budget = serving_budget();
     let runner = TrialRunner::new();
 
@@ -126,8 +125,8 @@ pub fn window_sweep(scale: &Scale, seed: u64) -> SloSweep {
 
     let spec = OnlineTrialSpec {
         fault_plan: cmpsim::FaultPlan::none(),
-        ctx: &ctx,
-        pool: &pool,
+        ctx: site.ctx(),
+        pool: site.pool(),
         mix: Mix::Balanced,
         trials: scale.trials,
         seed,

@@ -1,0 +1,340 @@
+//! The hierarchical power budget: datacenter → rack → chip.
+//!
+//! The paper's LinOpt regulates one chip against a fixed budget. A
+//! fleet has one *datacenter* budget, and the question is how to split
+//! it so the total tracks the cap while the watts flow to the racks and
+//! chips that are actually converting them into work. This module uses
+//! the integral-gain scheme of Chen, Wardi & Yalamanchili ("Power
+//! Regulation in High Performance Multicore Processors", PAPERS.md) at
+//! the upper tiers:
+//!
+//! * an [`IntegralController`] per tier accumulates
+//!   `gain × (target − observed)` and adds the correction to the pool
+//!   it hands down — so persistent under-consumption (chips idling
+//!   below their allocation) inflates the pool until the observed total
+//!   meets the cap, and overshoot shrinks it;
+//! * each tier splits its corrected pool across its children in
+//!   proportion to *observed demand* (last epoch's measured power) with
+//!   a 10% fair-share floor, so an idle rack keeps enough budget to
+//!   accept work but a busy rack gets the watts it is provably using.
+//!
+//! The chip-level residual feeds each chip's existing LinOpt manager
+//! unchanged — the hierarchy only moves the `chip_w` setpoint. All
+//! arithmetic is plain `f64` over epoch means, re-evaluated once per
+//! fleet epoch; nothing here draws randomness, so the hierarchy is
+//! trivially deterministic.
+
+/// Discrete integral controller for one tier: tracks a power target by
+/// accumulating the observed error into a correction on the pool it
+/// hands to the tier below.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralController {
+    gain: f64,
+    correction_w: f64,
+}
+
+/// The correction is clamped to ±`CORRECTION_CAP` × target — an
+/// anti-windup guard so a tier that is structurally unable to meet its
+/// target (e.g. an empty rack) cannot accumulate an unbounded credit
+/// and blow past the cap when load finally arrives.
+pub const CORRECTION_CAP: f64 = 0.5;
+
+impl IntegralController {
+    /// A controller with the given integral gain and zero accumulated
+    /// correction.
+    pub fn new(gain: f64) -> Self {
+        Self {
+            gain,
+            correction_w: 0.0,
+        }
+    }
+
+    /// Folds one epoch's observation into the integral state and
+    /// returns the corrected pool to hand down:
+    /// `max(target + correction, 0)`.
+    pub fn update(&mut self, target_w: f64, observed_w: f64) -> f64 {
+        self.correction_w += self.gain * (target_w - observed_w);
+        let cap = CORRECTION_CAP * target_w.abs();
+        self.correction_w = self.correction_w.clamp(-cap, cap);
+        (target_w + self.correction_w).max(0.0)
+    }
+
+    /// The accumulated correction (watts).
+    pub fn correction_w(&self) -> f64 {
+        self.correction_w
+    }
+}
+
+/// One tier's summary after a run: its target, what it actually drew,
+/// and how far off it tracked on average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierReport {
+    /// Mean power target over the run (watts). Constant for the
+    /// datacenter tier; the epoch-mean allocation for racks.
+    pub target_w: f64,
+    /// Mean observed power over the run (watts).
+    pub mean_power_w: f64,
+    /// Mean absolute tracking error |target − observed| (watts).
+    pub tracking_error_w: f64,
+}
+
+/// The full datacenter → rack → chip budget tree, re-apportioned once
+/// per fleet epoch from observed tier power.
+#[derive(Debug, Clone)]
+pub struct BudgetHierarchy {
+    datacenter_w: f64,
+    dc: IntegralController,
+    racks: Vec<IntegralController>,
+    /// Chip index → rack index (chips are grouped contiguously).
+    rack_of: Vec<usize>,
+    /// Allocation currently in force, per rack / per chip (watts).
+    rack_alloc_w: Vec<f64>,
+    chip_alloc_w: Vec<f64>,
+    // Tracking accumulators (over epochs that observed power).
+    epochs: usize,
+    dc_power_sum: f64,
+    dc_err_sum: f64,
+    rack_target_sum: Vec<f64>,
+    rack_power_sum: Vec<f64>,
+    rack_err_sum: Vec<f64>,
+}
+
+/// Fraction of a tier's fair share every child keeps regardless of
+/// demand, so idle chips/racks retain headroom to accept new work.
+const FLOOR_FRAC: f64 = 0.1;
+
+impl BudgetHierarchy {
+    /// Builds the tree over `chips` chips grouped contiguously into
+    /// racks of `chips_per_rack` (the last rack may be short), starting
+    /// from a fair even split of `datacenter_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` or `chips_per_rack` is zero, or the budget or
+    /// gain is not positive.
+    pub fn new(datacenter_w: f64, gain: f64, chips: usize, chips_per_rack: usize) -> Self {
+        assert!(chips > 0, "a fleet needs at least one chip");
+        assert!(chips_per_rack > 0, "racks need at least one chip");
+        assert!(datacenter_w > 0.0, "datacenter budget must be positive");
+        assert!(gain > 0.0, "integral gain must be positive");
+        let n_racks = chips.div_ceil(chips_per_rack);
+        let rack_of: Vec<usize> = (0..chips).map(|c| c / chips_per_rack).collect();
+        let chip_share = datacenter_w / chips as f64;
+        let rack_alloc_w: Vec<f64> = (0..n_racks)
+            .map(|r| rack_of.iter().filter(|&&x| x == r).count() as f64 * chip_share)
+            .collect();
+        Self {
+            datacenter_w,
+            dc: IntegralController::new(gain),
+            racks: vec![IntegralController::new(gain); n_racks],
+            rack_of,
+            rack_alloc_w,
+            chip_alloc_w: vec![chip_share; chips],
+            epochs: 0,
+            dc_power_sum: 0.0,
+            dc_err_sum: 0.0,
+            rack_target_sum: vec![0.0; n_racks],
+            rack_power_sum: vec![0.0; n_racks],
+            rack_err_sum: vec![0.0; n_racks],
+        }
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// The rack a chip belongs to.
+    pub fn rack_of(&self, chip: usize) -> usize {
+        self.rack_of[chip]
+    }
+
+    /// The chip's allocation currently in force (watts).
+    pub fn chip_budget_w(&self, chip: usize) -> f64 {
+        self.chip_alloc_w[chip]
+    }
+
+    /// The rack's allocation currently in force (watts).
+    pub fn rack_budget_w(&self, rack: usize) -> f64 {
+        self.rack_alloc_w[rack]
+    }
+
+    /// The datacenter target (watts).
+    pub fn datacenter_w(&self) -> f64 {
+        self.datacenter_w
+    }
+
+    /// Folds one epoch's observed per-chip mean power into the tree:
+    /// records tracking error against the allocations that were in
+    /// force, steps every controller, and re-apportions pools downward
+    /// by observed demand (with the fair-share floor). After this call
+    /// [`Self::chip_budget_w`] returns the next epoch's allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip_power_w` does not have one entry per chip.
+    pub fn reapportion(&mut self, chip_power_w: &[f64]) {
+        assert_eq!(chip_power_w.len(), self.rack_of.len(), "one power per chip");
+        let n_racks = self.racks.len();
+        let mut rack_power = vec![0.0f64; n_racks];
+        for (chip, &p) in chip_power_w.iter().enumerate() {
+            rack_power[self.rack_of[chip]] += p;
+        }
+        let dc_power: f64 = rack_power.iter().sum();
+
+        // Tracking error against the allocations the tiers were
+        // actually held to this epoch — before computing the next ones.
+        self.epochs += 1;
+        self.dc_power_sum += dc_power;
+        self.dc_err_sum += (self.datacenter_w - dc_power).abs();
+        for r in 0..n_racks {
+            self.rack_target_sum[r] += self.rack_alloc_w[r];
+            self.rack_power_sum[r] += rack_power[r];
+            self.rack_err_sum[r] += (self.rack_alloc_w[r] - rack_power[r]).abs();
+        }
+
+        // Datacenter tier: corrected pool, split to racks by demand.
+        let dc_pool = self.dc.update(self.datacenter_w, dc_power);
+        let rack_floor = FLOOR_FRAC * dc_pool / n_racks as f64;
+        let weights: Vec<f64> = rack_power.iter().map(|&p| p + rack_floor).collect();
+        let total: f64 = weights.iter().sum();
+        for r in 0..n_racks {
+            self.rack_alloc_w[r] = dc_pool * weights[r] / total;
+        }
+
+        // Rack tiers: each corrects its own pool against its observed
+        // power, then splits it to its chips by demand.
+        for r in 0..n_racks {
+            let rack_pool = self.racks[r].update(self.rack_alloc_w[r], rack_power[r]);
+            let members: Vec<usize> = (0..self.rack_of.len())
+                .filter(|&c| self.rack_of[c] == r)
+                .collect();
+            let chip_floor = FLOOR_FRAC * rack_pool / members.len() as f64;
+            let w: Vec<f64> = members
+                .iter()
+                .map(|&c| chip_power_w[c] + chip_floor)
+                .collect();
+            let wsum: f64 = w.iter().sum();
+            for (i, &c) in members.iter().enumerate() {
+                self.chip_alloc_w[c] = rack_pool * w[i] / wsum;
+            }
+        }
+    }
+
+    /// The datacenter tier's tracking summary (zeroes before the first
+    /// [`Self::reapportion`]).
+    pub fn datacenter_report(&self) -> TierReport {
+        let n = self.epochs.max(1) as f64;
+        TierReport {
+            target_w: self.datacenter_w,
+            mean_power_w: self.dc_power_sum / n,
+            tracking_error_w: self.dc_err_sum / n,
+        }
+    }
+
+    /// Per-rack tracking summaries, in rack order.
+    pub fn rack_reports(&self) -> Vec<TierReport> {
+        let n = self.epochs.max(1) as f64;
+        (0..self.racks.len())
+            .map(|r| TierReport {
+                target_w: self.rack_target_sum[r] / n,
+                mean_power_w: self.rack_power_sum[r] / n,
+                tracking_error_w: self.rack_err_sum[r] / n,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_raises_the_pool_under_persistent_undershoot() {
+        // Plant: consumes 80% of whatever it is allocated. The integral
+        // term must lift the pool until observed power reaches the
+        // target.
+        let mut c = IntegralController::new(0.5);
+        let target = 100.0;
+        let mut pool = target;
+        for _ in 0..60 {
+            let observed = 0.8 * pool;
+            pool = c.update(target, observed);
+        }
+        assert!(
+            (0.8 * pool - target).abs() < 1.0,
+            "observed {:.2} should converge to {target}",
+            0.8 * pool
+        );
+        assert!(pool > target, "pool must exceed target to compensate");
+    }
+
+    #[test]
+    fn controller_correction_is_clamped() {
+        let mut c = IntegralController::new(10.0);
+        for _ in 0..100 {
+            c.update(100.0, 0.0); // plant consumes nothing, ever
+        }
+        assert!(c.correction_w() <= CORRECTION_CAP * 100.0 + 1e-9);
+        let pool = c.update(100.0, 0.0);
+        assert!(pool <= 150.0 + 1e-9, "anti-windup must bound the pool");
+    }
+
+    #[test]
+    fn hierarchy_starts_from_a_fair_split_and_groups_racks() {
+        let h = BudgetHierarchy::new(1000.0, 0.3, 10, 4);
+        assert_eq!(h.racks(), 3);
+        assert_eq!(h.rack_of(0), 0);
+        assert_eq!(h.rack_of(3), 0);
+        assert_eq!(h.rack_of(4), 1);
+        assert_eq!(h.rack_of(9), 2);
+        for c in 0..10 {
+            assert!((h.chip_budget_w(c) - 100.0).abs() < 1e-9);
+        }
+        // Rack allocations cover their members: 4+4+2 chips.
+        assert!((h.rack_budget_w(0) - 400.0).abs() < 1e-9);
+        assert!((h.rack_budget_w(2) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reapportion_shifts_budget_toward_demand_but_keeps_a_floor() {
+        let mut h = BudgetHierarchy::new(400.0, 0.3, 4, 2);
+        // Chips 0..2 busy, chips 2..4 idle.
+        let power = [95.0, 90.0, 5.0, 2.0];
+        for _ in 0..5 {
+            h.reapportion(&power);
+        }
+        assert!(
+            h.chip_budget_w(0) > h.chip_budget_w(2),
+            "busy chips must out-earn idle ones: {} vs {}",
+            h.chip_budget_w(0),
+            h.chip_budget_w(2)
+        );
+        assert!(
+            h.chip_budget_w(3) > 0.0,
+            "the floor keeps idle chips funded"
+        );
+        // The anti-windup caps bound the total allocation even under
+        // permanent undershoot: each tier can inflate its pool by at
+        // most 1 + CORRECTION_CAP, and there are two correcting tiers.
+        let bound = (1.0 + CORRECTION_CAP) * (1.0 + CORRECTION_CAP) * 400.0;
+        let total: f64 = (0..4).map(|c| h.chip_budget_w(c)).sum();
+        assert!(total <= bound + 1e-6, "total {total} exceeds {bound}");
+    }
+
+    #[test]
+    fn reports_track_targets_and_errors() {
+        let mut h = BudgetHierarchy::new(200.0, 0.3, 4, 2);
+        h.reapportion(&[40.0, 40.0, 40.0, 40.0]);
+        let dc = h.datacenter_report();
+        assert_eq!(dc.target_w, 200.0);
+        assert!((dc.mean_power_w - 160.0).abs() < 1e-9);
+        assert!((dc.tracking_error_w - 40.0).abs() < 1e-9);
+        let racks = h.rack_reports();
+        assert_eq!(racks.len(), 2);
+        for r in &racks {
+            assert!((r.mean_power_w - 80.0).abs() < 1e-9);
+            assert!((r.target_w - 100.0).abs() < 1e-9);
+        }
+    }
+}

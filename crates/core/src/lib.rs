@@ -29,6 +29,11 @@
 //!   discrete-event loop (job arrivals, FIFO admission, completions,
 //!   migration-aware rescheduling) layered over the same scheduler and
 //!   power-manager traits, with per-job latency percentiles.
+//! * [`fleet`] — fleet-scale serving (beyond the paper): hundreds of
+//!   chips behind one deterministic cluster loop, with variation-aware
+//!   dispatch, a datacenter → rack → chip budget hierarchy, and
+//!   sharded parallel execution that is bit-identical across worker
+//!   counts.
 //! * [`experiments`] — one function per figure/table of the paper's
 //!   evaluation (§7), each a thin spec over the engine returning the
 //!   data series the figure plots.
@@ -76,6 +81,7 @@ pub mod abb;
 pub mod engine;
 pub mod experiments;
 pub mod extensions;
+pub mod fleet;
 pub mod manager;
 pub mod metrics;
 pub mod obs;
@@ -89,6 +95,10 @@ pub mod prelude {
     pub use crate::engine::{
         OnlineArm, OnlineTrialResult, OnlineTrialSpec, SeedPlan, TrialArm, TrialResult,
         TrialRunner, TrialSpec,
+    };
+    pub use crate::fleet::{
+        run_fleet, BudgetHierarchy, ChipSummary, DispatchPolicy, Dispatcher, FleetConfig,
+        FleetOutcome, FleetSpec, TierReport,
     };
     pub use crate::manager::{
         DegradationEvent, HardenedManager, ManagerKind, PowerBudget, PowerManager, SolverError,

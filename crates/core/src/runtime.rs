@@ -177,6 +177,10 @@ pub enum ConfigError {
     /// An online service policy is degenerate (negative/NaN reschedule
     /// window, or non-positive/NaN deadline slack).
     BadServicePolicy,
+    /// A fleet configuration is degenerate (epoch shorter than a tick,
+    /// non-positive datacenter budget or integral gain, or a zero
+    /// per-chip queue capacity).
+    BadFleet,
 }
 
 impl fmt::Display for ConfigError {
@@ -189,6 +193,7 @@ impl fmt::Display for ConfigError {
             ConfigError::BadArrivalProcess => "arrival process is degenerate",
             ConfigError::NegativeMigrationPenalty => "migration penalty must be non-negative",
             ConfigError::BadServicePolicy => "service policy is degenerate",
+            ConfigError::BadFleet => "fleet configuration is degenerate",
         };
         f.write_str(msg)
     }

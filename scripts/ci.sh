@@ -17,13 +17,22 @@
 #                               (against tests/golden/replay_online.jsonl)
 #                               and the restored tail; any byte
 #                               difference fails the build
+#   scripts/ci.sh fleet-smoke   additionally runs the fleet gates:
+#                               the fleet_gate bin replays the
+#                               committed cluster scenario at two
+#                               worker counts and byte-compares it
+#                               against tests/golden/fleet_smoke.jsonl,
+#                               then the fleet bench runs at smoke
+#                               scale and check_bench diffs its
+#                               BENCH_fleet.json against the committed
+#                               snapshot
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|bench-smoke|replay-smoke) ;;
-  *) echo "usage: $0 [bench-smoke|replay-smoke]" >&2; exit 2 ;;
+  default|bench-smoke|replay-smoke|fleet-smoke) ;;
+  *) echo "usage: $0 [bench-smoke|replay-smoke|fleet-smoke]" >&2; exit 2 ;;
 esac
 
 cargo fmt --check
@@ -61,4 +70,21 @@ if [[ "$mode" == replay-smoke ]]; then
   # non-zero on any byte difference, printing the first divergent
   # field (see crates/core/src/experiments/replay.rs).
   cargo run -q --release --offline -p vasp-bench --bin replay
+fi
+
+if [[ "$mode" == fleet-smoke ]]; then
+  # Fleet determinism gate: replay the committed 8-chip cluster
+  # scenario at two worker counts and byte-compare against the golden
+  # (see crates/core/src/experiments/fleet.rs), then run the fleet
+  # bench at smoke scale and diff its BENCH_fleet.json medians against
+  # the committed snapshot.
+  baseline_dir=target/bench-baseline
+  rm -rf "$baseline_dir"
+  mkdir -p "$baseline_dir"
+  cp results/BENCH_*.json "$baseline_dir"/ 2>/dev/null || true
+
+  cargo run -q --release --offline -p vasp-bench --bin fleet_gate
+  cargo run -q --release --offline -p vasp-bench --bin fleet -- --scale smoke
+  cargo run -q --release --offline -p vasp-bench --bin check_bench -- \
+    results/BENCH_fleet.json --baseline "$baseline_dir"
 fi
