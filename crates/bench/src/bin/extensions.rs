@@ -6,9 +6,9 @@
 use cmpsim::{app_pool, Workload};
 use vasched::experiments::Context;
 use vasched::extensions::{run_thermal_trial, MigrationConfig};
-use vasched::manager::{ManagerKind, PowerBudget};
+use vasched::manager::{ManagerSpec, PowerBudget};
 use vasched::runtime::RuntimeConfig;
-use vasched::sched::SchedPolicy;
+use vasched::sched::SchedulerSpec;
 use vasp_bench::harness::Harness;
 use vastats::SimRng;
 
@@ -56,8 +56,8 @@ fn main() {
             let out = run_thermal_trial(
                 &mut machine,
                 &workload,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::None,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::None,
                 budget,
                 &runtime,
                 migration,

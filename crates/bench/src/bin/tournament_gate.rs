@@ -1,0 +1,102 @@
+//! Tournament determinism gate: re-runs the committed smoke tournament
+//! ([`vasched::experiments::tournament::run_golden_scenario`]),
+//! byte-compares its ranked JSONL report against the committed golden,
+//! and re-runs the same grid at other worker counts demanding
+//! identical bytes.
+//!
+//! ```text
+//! cargo run --release -p vasp-bench --bin tournament_gate            # verify
+//! cargo run --release -p vasp-bench --bin tournament_gate -- --update
+//! ```
+//!
+//! Exit status is non-zero on any byte difference; the first divergent
+//! field (via [`vasched::obs::diff_traces`]) is printed so a failed CI
+//! run names `cell.score`, not a byte offset. `--golden <path>`
+//! overrides the default golden location (repository-root relative);
+//! `--update` rewrites the golden instead of comparing — the
+//! `tests/tournament.rs` golden test must then be regenerated the same
+//! way (`UPDATE_GOLDENS=1 cargo test --test tournament`), since both
+//! pin the same bytes.
+
+use vasched::experiments::tournament::{
+    golden_scale, run_with_workers, GOLDEN_PATH, TOURNAMENT_GOLDEN_SEED,
+};
+use vasched::obs::diff_traces;
+
+fn main() {
+    let mut golden_path = GOLDEN_PATH.to_string();
+    let mut update = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--golden" => {
+                i += 1;
+                golden_path = args.get(i).expect("--golden needs a value").clone();
+            }
+            "--update" => update = true,
+            other => panic!("unknown argument '{other}' (supported: --golden, --update)"),
+        }
+        i += 1;
+    }
+
+    let scale = golden_scale();
+    let one = run_with_workers(&scale, TOURNAMENT_GOLDEN_SEED, 1);
+    let report = one.to_jsonl();
+    println!(
+        "tournament: {} scenarios x {} contenders, winner {} (score {:.4})",
+        one.scenarios.len(),
+        one.ranking.len(),
+        one.winner(),
+        one.ranking[0].score
+    );
+
+    let mut failed = false;
+
+    // Gate 1: other worker counts reproduce the same bytes.
+    for workers in [2, 8] {
+        let redo = run_with_workers(&scale, TOURNAMENT_GOLDEN_SEED, workers).to_jsonl();
+        if report == redo {
+            println!(
+                "worker invariance: byte-identical at 1 and {workers} workers \
+                 ({} report bytes)",
+                report.len()
+            );
+        } else {
+            failed = true;
+            eprintln!("FAIL: tournament diverged between 1 and {workers} workers");
+            match diff_traces(&report, &redo) {
+                Some(d) => eprintln!("  {d}"),
+                None => eprintln!("  (records equal — formatting diverged)"),
+            }
+        }
+    }
+
+    // Gate 2: the report matches the committed golden byte-for-byte.
+    if update {
+        std::fs::write(&golden_path, &report).expect("write golden");
+        println!("wrote {golden_path} ({} bytes)", report.len());
+    } else {
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("cannot read golden {golden_path}: {e}"));
+        if golden == report {
+            println!("golden report: byte-identical ({} bytes)", golden.len());
+        } else {
+            failed = true;
+            eprintln!(
+                "FAIL: report drifted from {golden_path} ({} vs {} bytes)",
+                golden.len(),
+                report.len()
+            );
+            match diff_traces(&golden, &report) {
+                Some(d) => eprintln!("  {d}"),
+                None => eprintln!("  (semantically equal — whitespace/formatting drift)"),
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("tournament gate: zero divergence");
+}

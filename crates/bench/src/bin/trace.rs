@@ -15,10 +15,10 @@
 
 use vasched::engine::{SeedPlan, TrialArm, TrialRunner, TrialSpec};
 use vasched::experiments::Context;
-use vasched::manager::{ManagerKind, PowerBudget};
+use vasched::manager::{ManagerSpec, PowerBudget};
 use vasched::obs::TraceObserver;
 use vasched::runtime::RuntimeConfig;
-use vasched::sched::SchedPolicy;
+use vasched::sched::SchedulerSpec;
 use vasp_bench::harness::{slug, Harness};
 
 fn main() {
@@ -28,9 +28,9 @@ fn main() {
         .duration_ms(h.scale().duration_ms)
         .build()
         .expect("scale duration is a valid timeline");
-    let arm = |label: &str, manager: ManagerKind| TrialArm {
+    let arm = |label: &str, manager: ManagerSpec| TrialArm {
         label: label.to_string(),
-        policy: SchedPolicy::VarFAppIpc,
+        policy: SchedulerSpec::VarFAppIpc,
         manager,
         budget: PowerBudget::cost_performance(threads),
         runtime,
@@ -44,8 +44,8 @@ fn main() {
         .trials(1)
         .seed(h.seed())
         .plan(SeedPlan::default())
-        .arm(arm("LinOpt", ManagerKind::LinOpt))
-        .arm(arm("Foxton*", ManagerKind::FoxtonStar))
+        .arm(arm("LinOpt", ManagerSpec::LinOpt))
+        .arm(arm("Foxton*", ManagerSpec::FoxtonStar))
         .build()
         .expect("trace spec is valid");
 

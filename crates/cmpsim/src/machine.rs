@@ -138,6 +138,8 @@ struct CoreInfo {
     vf: VfTable,
     area_mm2: f64,
     block_idx: usize,
+    /// Center of the core's floorplan block, normalized die coordinates.
+    center: (f64, f64),
 }
 
 /// Per-L2-strip immutable data.
@@ -340,6 +342,7 @@ impl Machine {
                             vf,
                             area_mm2: area,
                             block_idx,
+                            center: block.rect.center(),
                         },
                     ));
                 }
@@ -1069,6 +1072,14 @@ impl Machine {
     /// Panics if `core` is out of range.
     pub fn core_temperature(&self, core: usize) -> f64 {
         self.temps[self.cores[core].block_idx]
+    }
+
+    /// Center of a core's floorplan block, in normalized die
+    /// coordinates (`[0, 1] × [0, 1]`). Geometry for thermal-aware
+    /// placement: Manhattan distances between these centers are the
+    /// spreading metric of PCGov-style mappers.
+    pub fn core_center(&self, core: usize) -> (f64, f64) {
+        self.cores[core].center
     }
 
     /// The loaded threads.

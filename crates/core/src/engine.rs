@@ -28,12 +28,12 @@
 //! ```
 
 use crate::experiments::Context;
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{ManagerSpec, PowerBudget};
 use crate::online::{run_online_observed, OnlineConfig, OnlineOutcome};
 use crate::runtime::{
     run_trial_faulted, NullObserver, RuntimeConfig, TrialError, TrialObserver, TrialOutcome,
 };
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::{FaultPlan, Machine, Mix, StepStats, Telemetry, Workload};
 use std::time::Instant;
 use vastats::SimRng;
@@ -103,9 +103,9 @@ pub struct TrialArm {
     /// Label as it appears in the figure's legend.
     pub label: String,
     /// Scheduling policy.
-    pub policy: SchedPolicy,
+    pub policy: SchedulerSpec,
     /// Power-management algorithm.
-    pub manager: ManagerKind,
+    pub manager: ManagerSpec,
     /// Power constraints.
     pub budget: PowerBudget,
     /// Timeline parameters (arms may differ, e.g. a DVFS-interval sweep).
@@ -125,9 +125,9 @@ pub struct OnlineArm {
     /// Label as it appears in the figure's legend / CSV.
     pub label: String,
     /// Scheduling policy.
-    pub policy: SchedPolicy,
+    pub policy: SchedulerSpec,
     /// Power-management algorithm.
-    pub manager: ManagerKind,
+    pub manager: ManagerSpec,
     /// Power constraints.
     pub budget: PowerBudget,
     /// Serving configuration (timeline, arrival process, migration
@@ -903,16 +903,16 @@ mod tests {
             })
             .arm(TrialArm {
                 label: "Random".into(),
-                policy: SchedPolicy::Random,
-                manager: ManagerKind::None,
+                policy: SchedulerSpec::Random,
+                manager: ManagerSpec::None,
                 budget: PowerBudget::high_performance(4),
                 runtime,
                 rng_salt: Some(0xABCD),
             })
             .arm(TrialArm {
                 label: "VarF&AppIPC".into(),
-                policy: SchedPolicy::VarFAppIpc,
-                manager: ManagerKind::None,
+                policy: SchedulerSpec::VarFAppIpc,
+                manager: ManagerSpec::None,
                 budget: PowerBudget::high_performance(4),
                 runtime,
                 rng_salt: Some(0xABCD),
@@ -1048,16 +1048,16 @@ mod tests {
             })
             .arm(OnlineArm {
                 label: "Foxton*".into(),
-                policy: SchedPolicy::VarFAppIpc,
-                manager: ManagerKind::FoxtonStar,
+                policy: SchedulerSpec::VarFAppIpc,
+                manager: ManagerSpec::FoxtonStar,
                 budget: PowerBudget::cost_performance(20),
                 config,
                 rng_salt: Some(0x0111),
             })
             .arm(OnlineArm {
                 label: "LinOpt".into(),
-                policy: SchedPolicy::VarFAppIpc,
-                manager: ManagerKind::LinOpt,
+                policy: SchedulerSpec::VarFAppIpc,
+                manager: ManagerSpec::LinOpt,
                 budget: PowerBudget::cost_performance(20),
                 config,
                 rng_salt: Some(0x0111),

@@ -15,9 +15,9 @@ use crate::engine::{
     loaded_machine, mean_relative, mean_relative_to, SeedPlan, TrialArm, TrialRunner, TrialSpec,
 };
 use crate::manager::linopt::{linopt_levels_with, RoundingPolicy};
-use crate::manager::{ManagerKind, PmView, PowerBudget};
+use crate::manager::{ManagerSpec, PmView, PowerBudget};
 use crate::runtime::RuntimeConfig;
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::{app_pool, Mix};
 use varius::VariationConfig;
 use vastats::SimRng;
@@ -158,8 +158,8 @@ pub fn granularity(scale: &Scale, seed: u64) -> Series {
             .iter()
             .map(|&size| TrialArm {
                 label: format!("{size} cores/domain"),
-                policy: SchedPolicy::VarFAppIpc,
-                manager: ManagerKind::DomainLinOpt {
+                policy: SchedulerSpec::VarFAppIpc,
+                manager: ManagerSpec::DomainLinOpt {
                     cores_per_domain: size,
                 },
                 budget,
@@ -204,8 +204,8 @@ pub fn transition_cost(scale: &Scale, seed: u64, threads: usize) -> Series {
                 let duration = scale.duration_ms.max(interval * 4.0).max(100.0);
                 TrialArm {
                     label: format!("{interval} ms"),
-                    policy: SchedPolicy::VarFAppIpc,
-                    manager: ManagerKind::LinOpt,
+                    policy: SchedulerSpec::VarFAppIpc,
+                    manager: ManagerSpec::LinOpt,
                     budget,
                     runtime: RuntimeConfig {
                         dvfs_interval_ms: interval,
@@ -278,13 +278,13 @@ pub fn mix_sensitivity(scale: &Scale, seed: u64) -> Vec<(String, f64)> {
                 arms: vec![
                     arm(
                         "Random+Foxton*",
-                        SchedPolicy::Random,
-                        ManagerKind::FoxtonStar,
+                        SchedulerSpec::Random,
+                        ManagerSpec::FoxtonStar,
                     ),
                     arm(
                         "VarF&AppIPC+LinOpt",
-                        SchedPolicy::VarFAppIpc,
-                        ManagerKind::LinOpt,
+                        SchedulerSpec::VarFAppIpc,
+                        ManagerSpec::LinOpt,
                     ),
                 ],
             };
@@ -322,7 +322,7 @@ pub fn gain_vs_sigma(scale: &Scale, seed: u64, threads: usize) -> Series {
             let arm = |label: &str, policy| TrialArm {
                 label: label.to_string(),
                 policy,
-                manager: ManagerKind::None,
+                manager: ManagerSpec::None,
                 budget,
                 runtime,
                 rng_salt: Some(0xB2),
@@ -340,8 +340,8 @@ pub fn gain_vs_sigma(scale: &Scale, seed: u64, threads: usize) -> Series {
                     ..SeedPlan::default()
                 },
                 arms: vec![
-                    arm("Random", SchedPolicy::Random),
-                    arm("VarF&AppIPC", SchedPolicy::VarFAppIpc),
+                    arm("Random", SchedulerSpec::Random),
+                    arm("VarF&AppIPC", SchedulerSpec::VarFAppIpc),
                 ],
             };
             mean_relative(&runner.run(&spec), |o| o.mips)[1]

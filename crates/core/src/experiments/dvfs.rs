@@ -10,36 +10,36 @@
 
 use super::{Context, Scale, Series};
 use crate::engine::{mean_relative, SeedPlan, TrialArm, TrialRunner, TrialSpec};
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{ManagerSpec, PowerBudget};
 use crate::runtime::{RuntimeConfig, TrialOutcome};
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::{app_pool, Mix};
 
 /// Thread counts used by Figures 11 and 13.
 pub const THREAD_COUNTS: [usize; 4] = [4, 8, 16, 20];
 
 /// The four (scheduler, manager) combinations of §7.5, in figure order.
-pub fn algorithms(scale: &Scale) -> Vec<(&'static str, SchedPolicy, ManagerKind)> {
+pub fn algorithms(scale: &Scale) -> Vec<(&'static str, SchedulerSpec, ManagerSpec)> {
     vec![
         (
             "Random+Foxton*",
-            SchedPolicy::Random,
-            ManagerKind::FoxtonStar,
+            SchedulerSpec::Random,
+            ManagerSpec::FoxtonStar,
         ),
         (
             "VarF&AppIPC+Foxton*",
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::FoxtonStar,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::FoxtonStar,
         ),
         (
             "VarF&AppIPC+LinOpt",
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
         ),
         (
             "VarF&AppIPC+SAnn",
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::SAnn {
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::SAnn {
                 evaluations: scale.sann_evaluations,
             },
         ),

@@ -22,9 +22,9 @@
 use super::online::serving_budget;
 use super::{Context, Scale, Series};
 use crate::engine::{SeedPlan, TrialArm, TrialRunner, TrialSpec};
-use crate::manager::{DegradationEvent, ManagerKind};
+use crate::manager::{DegradationEvent, ManagerSpec};
 use crate::runtime::{RuntimeConfig, TrialObserver};
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::{app_pool, FaultPlan, Mix};
 
 /// Sensor noise levels swept (multiplicative Gaussian σ; 0 is the
@@ -47,10 +47,10 @@ pub const FAILED_CORES: [usize; 4] = [3, 11, 17, 5];
 pub const THREADS: usize = 20;
 
 /// The power managers compared, all under `VarF&AppIPC` scheduling.
-pub const MANAGERS: [ManagerKind; 3] = [
-    ManagerKind::FoxtonStar,
-    ManagerKind::LinOpt,
-    ManagerKind::ChipWide,
+pub const MANAGERS: [ManagerSpec; 3] = [
+    ManagerSpec::FoxtonStar,
+    ManagerSpec::LinOpt,
+    ManagerSpec::ChipWide,
 ];
 
 /// A [`TrialObserver`] that tallies degradation events by kind.
@@ -158,7 +158,7 @@ fn run_plan(scale: &Scale, seed: u64, offset: u64, plan: FaultPlan) -> Vec<Degra
             |b, &manager| {
                 b.arm(TrialArm {
                     label: manager.name().to_string(),
-                    policy: SchedPolicy::VarFAppIpc,
+                    policy: SchedulerSpec::VarFAppIpc,
                     manager,
                     budget,
                     runtime,
@@ -311,7 +311,7 @@ mod tests {
         // Clean sensors are never worse than the noisiest point for
         // the sensor-driven managers (chip-wide barely reads sensors).
         for s in &sweep.mips {
-            if s.label != ManagerKind::ChipWide.name() {
+            if s.label != ManagerSpec::ChipWide.name() {
                 assert!(
                     s.y[0] >= s.y[NOISE_SIGMAS.len() - 1] * 0.98,
                     "{}: clean {} vs noisy {}",
@@ -355,7 +355,7 @@ mod tests {
             ..Scale::smoke()
         };
         let reports = tracking_scenario(&scale, 23);
-        let lin = by_label(&reports, ManagerKind::LinOpt.name());
+        let lin = by_label(&reports, ManagerSpec::LinOpt.name());
         assert!(
             lin.deviation_w <= 1.0,
             "LinOpt deviates {} W from the 40 W budget",
@@ -370,7 +370,7 @@ mod tests {
     #[test]
     fn deep_budget_drop_forces_visible_solver_fallback() {
         let reports = fallback_scenario(&Scale::smoke(), 24);
-        let lin = by_label(&reports, ManagerKind::LinOpt.name());
+        let lin = by_label(&reports, ManagerSpec::LinOpt.name());
         assert!(
             lin.solver_fallbacks > 0.0,
             "LinOpt must fall back to chip-wide during the 10 W window"

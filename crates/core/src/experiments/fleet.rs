@@ -21,10 +21,10 @@
 use super::{Scale, Series, ServingSite};
 use crate::engine::{SeedPlan, TrialRunner};
 use crate::fleet::{run_fleet, DispatchPolicy, FleetConfig, FleetOutcome, FleetSpec};
-use crate::manager::ManagerKind;
+use crate::manager::ManagerSpec;
 use crate::online::ArrivalConfig;
 use crate::runtime::RuntimeConfig;
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::Mix;
 
 /// The routing policies every sweep compares, baseline first.
@@ -104,8 +104,8 @@ pub fn fleet_spec<'a>(
         mix: Mix::Balanced,
         chips,
         chips_per_rack: CHIPS_PER_RACK,
-        policy: SchedPolicy::VarFAppIpc,
-        manager: ManagerKind::LinOpt,
+        policy: SchedulerSpec::VarFAppIpc,
+        manager: ManagerSpec::LinOpt,
         dispatch,
         config,
         seed,

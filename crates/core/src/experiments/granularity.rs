@@ -8,9 +8,9 @@
 
 use super::{Context, Scale, Series};
 use crate::engine::{mean_metric, SeedPlan, TrialArm, TrialRunner, TrialSpec};
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{ManagerSpec, PowerBudget};
 use crate::runtime::RuntimeConfig;
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::{app_pool, Mix};
 
 /// LinOpt intervals examined by Figure 14, in milliseconds.
@@ -62,8 +62,8 @@ pub fn fig14(scale: &Scale, seed: u64, thread_counts: &[usize]) -> Vec<Series> {
                         },
                         arms: vec![TrialArm {
                             label: format!("{interval_ms} ms"),
-                            policy: SchedPolicy::VarFAppIpc,
-                            manager: ManagerKind::LinOpt,
+                            policy: SchedulerSpec::VarFAppIpc,
+                            manager: ManagerSpec::LinOpt,
                             budget,
                             runtime: RuntimeConfig {
                                 dvfs_interval_ms: interval_ms,

@@ -30,6 +30,7 @@
 //! | SLO window sweep (beyond the paper) | [`slo::window_sweep`] |
 //! | Fault injection / graceful degradation (beyond the paper) | [`faults`] |
 //! | Fleet dispatch/budget sweeps (beyond the paper) | [`fleet`] |
+//! | Standing manager tournament (beyond the paper) | [`tournament`] |
 //!
 //! The [`ablation`] module also hosts the beyond-the-paper sensitivity
 //! studies: LinOpt fit/rounding variants ([`ablation::linopt_variants`]),
@@ -50,6 +51,7 @@ pub mod replay;
 pub mod scheduling;
 pub mod slo;
 pub mod timing;
+pub mod tournament;
 pub mod validation;
 pub mod variation;
 
@@ -144,8 +146,19 @@ impl Context {
     ///
     /// Panics if the configuration is invalid.
     pub fn with_variation(cfg: VariationConfig) -> Self {
+        Self::with_floorplan(paper_20_core(), cfg)
+    }
+
+    /// Builds a context around an explicit floorplan — the tournament
+    /// uses this for its chip-size axis; everything else defaults to
+    /// the paper's 20-core die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variation configuration is invalid.
+    pub fn with_floorplan(floorplan: Floorplan, cfg: VariationConfig) -> Self {
         Self {
-            floorplan: paper_20_core(),
+            floorplan,
             generator: DieGenerator::new(cfg).expect("valid variation config"),
             machine_config: MachineConfig::paper_default(),
         }

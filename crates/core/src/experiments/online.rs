@@ -11,10 +11,10 @@
 
 use super::{Scale, Series, ServingSite};
 use crate::engine::{mean_online_metric, OnlineArm, OnlineTrialSpec, SeedPlan, TrialRunner};
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{ManagerSpec, PowerBudget};
 use crate::online::{ArrivalConfig, OnlineConfig, ServicePolicy};
 use crate::runtime::RuntimeConfig;
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::Mix;
 
 /// Arrival rates swept (jobs/s): under-load, near-capacity, and two
@@ -31,10 +31,10 @@ pub const MEAN_JOB_INSTRUCTIONS: f64 = 200.0e6;
 
 /// The power managers compared, all under `VarF&AppIPC` scheduling:
 /// the round-robin baseline, the paper's LinOpt, and chip-wide DVFS.
-pub const MANAGERS: [ManagerKind; 3] = [
-    ManagerKind::FoxtonStar,
-    ManagerKind::LinOpt,
-    ManagerKind::ChipWide,
+pub const MANAGERS: [ManagerSpec; 3] = [
+    ManagerSpec::FoxtonStar,
+    ManagerSpec::LinOpt,
+    ManagerSpec::ChipWide,
 ];
 
 /// Results of the arrival-rate sweep: one series per manager, indexed
@@ -122,7 +122,7 @@ pub fn arrival_sweep(scale: &Scale, seed: u64) -> ArrivalSweep {
                     .iter()
                     .map(|&manager| OnlineArm {
                         label: manager.name().to_string(),
-                        policy: SchedPolicy::VarFAppIpc,
+                        policy: SchedulerSpec::VarFAppIpc,
                         manager,
                         budget,
                         config: sweep_config(scale, rate),

@@ -19,14 +19,14 @@
 
 use super::online::serving_budget;
 use super::ServingSite;
-use crate::manager::ManagerKind;
+use crate::manager::ManagerSpec;
 use crate::obs::TraceObserver;
 use crate::online::{
     run_online_observed, ArrivalConfig, OnlineConfig, OnlineOutcome, OnlineSim, ServicePolicy,
     Snapshot,
 };
 use crate::runtime::{NullObserver, RuntimeConfig};
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::{FaultPlan, Mix};
 use vastats::SimRng;
 
@@ -98,8 +98,8 @@ pub fn run_scenario() -> ReplayArtifacts {
     let site = ServingSite::at_grid(GRID);
     let (ctx, pool) = (site.ctx(), site.pool());
     let config = scenario_config();
-    let policy = SchedPolicy::VarFAppIpc;
-    let manager = ManagerKind::LinOpt;
+    let policy = SchedulerSpec::VarFAppIpc;
+    let manager = ManagerSpec::LinOpt;
     let budget = serving_budget();
     let faults = FaultPlan::none();
     let dt_s = config.runtime.tick_ms / 1e3;

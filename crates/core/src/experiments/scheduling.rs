@@ -9,9 +9,9 @@
 
 use super::{Context, Scale, Series};
 use crate::engine::{mean_relative, SeedPlan, TrialArm, TrialRunner, TrialSpec};
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{ManagerSpec, PowerBudget};
 use crate::runtime::{FreqMode, RuntimeConfig, TrialOutcome};
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::{app_pool, Mix};
 
 /// Thread counts used by Figures 7–10.
@@ -26,7 +26,7 @@ fn policy_grid(
     scale: &Scale,
     seed: u64,
     freq_mode: FreqMode,
-    policies: &[SchedPolicy],
+    policies: &[SchedulerSpec],
     metrics: &[fn(&TrialOutcome) -> f64],
 ) -> Vec<Vec<Series>> {
     let ctx = Context::new(scale.grid);
@@ -61,7 +61,7 @@ fn policy_grid(
                     .map(|&policy| TrialArm {
                         label: policy.name().to_string(),
                         policy,
-                        manager: ManagerKind::None,
+                        manager: ManagerSpec::None,
                         // Budget is irrelevant without a manager but
                         // required by the runtime signature.
                         budget: PowerBudget::high_performance(threads),
@@ -104,9 +104,9 @@ pub fn fig7(scale: &Scale, seed: u64) -> (Vec<Series>, Vec<Series>) {
         seed,
         FreqMode::Uniform,
         &[
-            SchedPolicy::Random,
-            SchedPolicy::VarP,
-            SchedPolicy::VarPAppP,
+            SchedulerSpec::Random,
+            SchedulerSpec::VarP,
+            SchedulerSpec::VarPAppP,
         ],
         &[|o| o.avg_power_w, |o| o.ed2],
     );
@@ -123,9 +123,9 @@ pub fn fig8(scale: &Scale, seed: u64) -> (Vec<Series>, Vec<Series>) {
         seed,
         FreqMode::NonUniform,
         &[
-            SchedPolicy::Random,
-            SchedPolicy::VarP,
-            SchedPolicy::VarPAppP,
+            SchedulerSpec::Random,
+            SchedulerSpec::VarP,
+            SchedulerSpec::VarPAppP,
         ],
         &[|o| o.avg_power_w, |o| o.ed2],
     );
@@ -145,9 +145,9 @@ pub fn fig9_fig10(scale: &Scale, seed: u64) -> (Vec<Series>, Vec<Series>, Vec<Se
         seed,
         FreqMode::NonUniform,
         &[
-            SchedPolicy::Random,
-            SchedPolicy::VarF,
-            SchedPolicy::VarFAppIpc,
+            SchedulerSpec::Random,
+            SchedulerSpec::VarF,
+            SchedulerSpec::VarFAppIpc,
         ],
         &[|o| o.avg_freq_hz, |o| o.mips, |o| o.ed2],
     );

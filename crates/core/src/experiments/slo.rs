@@ -23,10 +23,10 @@
 use super::online::{serving_budget, MEAN_JOB_INSTRUCTIONS};
 use super::{Scale, Series, ServingSite};
 use crate::engine::{mean_online_metric, OnlineArm, OnlineTrialSpec, SeedPlan, TrialRunner};
-use crate::manager::ManagerKind;
+use crate::manager::ManagerSpec;
 use crate::online::{ArrivalConfig, OnlineConfig, ServicePolicy};
 use crate::runtime::RuntimeConfig;
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::Mix;
 
 /// Reschedule windows swept (ms). `0` is per-event rescheduling — the
@@ -100,8 +100,8 @@ pub fn window_sweep(scale: &Scale, seed: u64) -> SloSweep {
 
     let mut arms = vec![OnlineArm {
         label: "no SLO (per-event)".to_string(),
-        policy: SchedPolicy::VarFAppIpc,
-        manager: ManagerKind::LinOpt,
+        policy: SchedulerSpec::VarFAppIpc,
+        manager: ManagerSpec::LinOpt,
         budget,
         config: slo_config(scale, ServicePolicy::default()),
         rng_salt: Some(0x510),
@@ -109,8 +109,8 @@ pub fn window_sweep(scale: &Scale, seed: u64) -> SloSweep {
     for &window_ms in &WINDOWS_MS {
         arms.push(OnlineArm {
             label: format!("SLO window {window_ms} ms"),
-            policy: SchedPolicy::VarFAppIpc,
-            manager: ManagerKind::LinOpt,
+            policy: SchedulerSpec::VarFAppIpc,
+            manager: ManagerSpec::LinOpt,
             budget,
             config: slo_config(
                 scale,

@@ -10,10 +10,10 @@
 //!   voltage acceleration integrates each core's stress over a run, so
 //!   policies can be compared on aging spread as well as throughput.
 
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{ManagerSpec, PowerBudget};
 use crate::profile::{core_profiles, thread_profiles};
 use crate::runtime::RuntimeConfig;
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::{Machine, Workload};
 use vastats::SimRng;
 
@@ -145,8 +145,8 @@ pub struct ThermalOutcome {
 pub fn run_thermal_trial(
     machine: &mut Machine,
     workload: &Workload,
-    policy: SchedPolicy,
-    manager: ManagerKind,
+    policy: SchedulerSpec,
+    manager: ManagerSpec,
     budget: PowerBudget,
     config: &RuntimeConfig,
     migration: Option<MigrationConfig>,
@@ -155,8 +155,8 @@ pub fn run_thermal_trial(
     config.validate_or_panic();
     machine.load_threads(workload.spawn_threads(rng));
     let cores = core_profiles(machine);
-    let mut scheduler = policy.build();
-    let mut power_manager = manager.build();
+    let mut scheduler = policy.build(config).expect("valid scheduler spec");
+    let mut power_manager = manager.build(config).expect("valid manager spec");
 
     let dt_s = config.tick_ms / 1e3;
     let total_ticks = (config.duration_ms / config.tick_ms).round() as usize;
@@ -172,6 +172,7 @@ pub fn run_thermal_trial(
     for tick in 0..total_ticks {
         if tick % os_every == 0 {
             let threads = thread_profiles(machine, rng);
+            scheduler.observe(machine);
             let mapping = scheduler.assign(&cores, &threads, rng);
             machine.assign(&mapping);
             if power_manager.is_none() {
@@ -311,8 +312,8 @@ mod tests {
             run_thermal_trial(
                 &mut m,
                 &w,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::None,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::None,
                 budget,
                 &runtime(),
                 migration,
@@ -344,8 +345,8 @@ mod tests {
             run_thermal_trial(
                 &mut m,
                 &w,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::None,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::None,
                 budget,
                 &runtime(),
                 migration,
@@ -377,8 +378,8 @@ mod tests {
         let out = run_thermal_trial(
             &mut m,
             &w,
-            SchedPolicy::Random,
-            ManagerKind::None,
+            SchedulerSpec::Random,
+            ManagerSpec::None,
             budget,
             &runtime(),
             Some(MigrationConfig::default_policy()),

@@ -63,6 +63,14 @@ impl IntegralController {
     pub fn correction_w(&self) -> f64 {
         self.correction_w
     }
+
+    /// Overwrites the accumulated correction — used when restoring a
+    /// controller from a checkpoint. The next [`IntegralController::update`]
+    /// re-applies the anti-windup clamp, so an out-of-range value cannot
+    /// persist.
+    pub fn set_correction_w(&mut self, w: f64) {
+        self.correction_w = w;
+    }
 }
 
 /// One tier's summary after a run: its target, what it actually drew,

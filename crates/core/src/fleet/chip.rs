@@ -19,10 +19,10 @@
 //! sequential run.
 
 use crate::experiments::Context;
-use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget};
+use crate::manager::{DegradationEvent, HardenedManager, ManagerSpec, PowerBudget};
 use crate::profile::{core_profiles, thread_profiles, CoreProfile};
 use crate::runtime::plan_assignment;
-use crate::sched::{SchedPolicy, Scheduler};
+use crate::sched::{Scheduler, SchedulerSpec};
 use cmpsim::{Machine, Thread};
 use std::collections::VecDeque;
 use vastats::SimRng;
@@ -103,8 +103,8 @@ impl ChipSim {
     pub fn new(
         ctx: &Context,
         seed: u64,
-        policy: SchedPolicy,
-        manager: ManagerKind,
+        policy: SchedulerSpec,
+        manager: ManagerSpec,
         budget: PowerBudget,
         config: &FleetConfig,
     ) -> Self {
@@ -118,8 +118,11 @@ impl ChipSim {
             machine,
             rng,
             cores,
-            scheduler: policy.build(),
-            manager: HardenedManager::new(manager, core_count, false),
+            // `run_fleet` pre-validates both specs, so failures here are
+            // programming errors.
+            scheduler: policy.build(rt).expect("valid scheduler spec"),
+            manager: HardenedManager::new(manager, core_count, false, rt)
+                .expect("valid manager spec"),
             budget,
             degradations: Vec::new(),
             tick_ms: rt.tick_ms,
@@ -407,8 +410,8 @@ mod tests {
         let mut chip = ChipSim::new(
             site.ctx(),
             7,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget {
                 chip_w: 40.0,
                 per_core_w: PowerBudget::DEFAULT_PER_CORE_W,
@@ -436,8 +439,8 @@ mod tests {
         let mut chip = ChipSim::new(
             site.ctx(),
             9,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget {
                 chip_w: 40.0,
                 per_core_w: PowerBudget::DEFAULT_PER_CORE_W,
@@ -466,8 +469,8 @@ mod tests {
             let mut chip = ChipSim::new(
                 site.ctx(),
                 11,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::LinOpt,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::LinOpt,
                 PowerBudget {
                     chip_w: 40.0,
                     per_core_w: PowerBudget::DEFAULT_PER_CORE_W,
@@ -501,8 +504,8 @@ mod tests {
         let mut chip = ChipSim::new(
             site.ctx(),
             13,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget {
                 chip_w: 40.0,
                 per_core_w: PowerBudget::DEFAULT_PER_CORE_W,

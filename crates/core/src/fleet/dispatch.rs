@@ -158,7 +158,7 @@ fn score(s: &ChipSummary) -> f64 {
 }
 
 /// The dispatcher selector — the spec-level counterpart of
-/// [`crate::manager::ManagerKind`]: a copyable tag experiments sweep
+/// [`crate::manager::ManagerSpec`]: a copyable tag experiments sweep
 /// over, turned into a stateful [`Dispatcher`] per run by
 /// [`DispatchPolicy::build`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -25,12 +25,12 @@ use super::dispatch::{ChipSummary, DispatchPolicy};
 use super::FleetConfig;
 use crate::engine::{SeedPlan, TrialRunner};
 use crate::experiments::ServingSite;
-use crate::manager::{ManagerKind, PowerBudget};
+use crate::manager::{ManagerSpec, PowerBudget};
 use crate::obs::json::{push_json_f64, push_json_str};
 use crate::obs::MetricsRegistry;
 use crate::online::{generate_arrivals, LatencyStats};
 use crate::runtime::{ConfigError, TrialError};
-use crate::sched::SchedPolicy;
+use crate::sched::SchedulerSpec;
 use cmpsim::Mix;
 use std::fmt::Write as _;
 use vastats::SimRng;
@@ -60,9 +60,9 @@ pub struct FleetSpec<'a> {
     /// short).
     pub chips_per_rack: usize,
     /// Per-chip scheduling policy.
-    pub policy: SchedPolicy,
+    pub policy: SchedulerSpec,
     /// Per-chip power manager.
-    pub manager: ManagerKind,
+    pub manager: ManagerSpec,
     /// Cluster-level routing policy.
     pub dispatch: DispatchPolicy,
     /// Timeline, arrival process, budgets, and service knobs.
@@ -125,6 +125,10 @@ pub fn run_fleet(spec: &FleetSpec<'_>, workers: usize) -> Result<FleetOutcome, T
     if spec.chips == 0 || spec.chips_per_rack == 0 {
         return Err(TrialError::Config(ConfigError::BadFleet));
     }
+    // Pre-validate the specs once here so `ChipSim::new` (which runs on
+    // worker threads and cannot surface a `Result`) can rely on them.
+    spec.policy.build(&spec.config.runtime)?;
+    spec.manager.validate(&spec.config.runtime)?;
     let cfg = &spec.config;
     let tick_ms = cfg.runtime.tick_ms;
     let total_ticks = (cfg.runtime.duration_ms / tick_ms).round() as usize;
@@ -375,8 +379,8 @@ mod tests {
             mix: Mix::Balanced,
             chips: 4,
             chips_per_rack: 2,
-            policy: SchedPolicy::VarFAppIpc,
-            manager: ManagerKind::LinOpt,
+            policy: SchedulerSpec::VarFAppIpc,
+            manager: ManagerSpec::LinOpt,
             dispatch: DispatchPolicy::VariationAware,
             config: FleetConfig {
                 runtime: RuntimeConfig {

@@ -62,8 +62,8 @@
 //! let outcome = run_trial(
 //!     &mut machine,
 //!     &workload,
-//!     SchedPolicy::VarFAppIpc,
-//!     ManagerKind::LinOpt,
+//!     SchedulerSpec::VarFAppIpc,
+//!     ManagerSpec::LinOpt,
 //!     budget,
 //!     &config,
 //!     &mut rng,
@@ -101,7 +101,7 @@ pub mod prelude {
         FleetOutcome, FleetSpec, TierReport,
     };
     pub use crate::manager::{
-        DegradationEvent, HardenedManager, ManagerKind, PowerBudget, PowerManager, SolverError,
+        DegradationEvent, HardenedManager, ManagerSpec, PowerBudget, PowerManager, SolverError,
     };
     pub use crate::metrics::{ed2_index, weighted_mips};
     pub use crate::obs::{MetricsRegistry, TraceObserver};
@@ -113,7 +113,7 @@ pub mod prelude {
         run_trial, run_trial_faulted, ConfigError, RuntimeConfig, TrialError, TrialObserver,
         TrialOutcome,
     };
-    pub use crate::sched::{SchedPolicy, Scheduler};
+    pub use crate::sched::{SchedPolicy, Scheduler, SchedulerSpec};
     pub use cmpsim::{
         app_pool, FaultConfigError, FaultEvent, FaultPlan, Machine, MachineConfig, Mix, Thread,
         Workload,

@@ -24,9 +24,10 @@
 //! traces.
 
 use crate::manager::{
-    chipwide::ChipWide, ControlState, CoreView, ManagerKind, PmView, PowerBudget, PowerManager,
+    chipwide::ChipWide, ControlState, CoreView, ManagerSpec, PmView, PowerBudget, PowerManager,
     SolveReport, SolveStatus, SolverError,
 };
+use crate::runtime::{ConfigError, RuntimeConfig};
 use cmpsim::{FaultEvent, Machine};
 use std::fmt;
 use vastats::SimRng;
@@ -144,7 +145,7 @@ pub struct ConditionerState {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HardenedState {
     /// The primary manager's cross-interval state (`None` when the
-    /// front end is unmanaged, i.e. `ManagerKind::None`).
+    /// front end is unmanaged, i.e. `ManagerSpec::None`).
     pub primary: Option<ControlState>,
     /// The sensor conditioner's filter state.
     pub conditioner: ConditionerState,
@@ -388,7 +389,7 @@ impl SensorConditioner {
 
 /// The hardened power-management front end the trial runtimes drive.
 ///
-/// Wraps the primary manager (built from a [`ManagerKind`]) together
+/// Wraps the primary manager (built from a [`ManagerSpec`]) together
 /// with a [`SensorConditioner`] and a chip-wide fallback. With
 /// hardening *disabled* it reproduces the plain
 /// [`PowerManager::invoke`] path exactly — no conditioning, no
@@ -405,15 +406,22 @@ pub struct HardenedManager {
 impl HardenedManager {
     /// Builds the front end for `kind` on a machine with `cores` cores.
     /// `hardened` enables conditioning and solver fallback (the trial
-    /// runtimes pass `fault_plan.is_active()`).
-    pub fn new(kind: ManagerKind, cores: usize, hardened: bool) -> Self {
-        Self {
-            primary: kind.build(),
+    /// runtimes pass `fault_plan.is_active()`). `rt` parameterizes the
+    /// primary's construction (see [`ManagerSpec::build`]); degenerate
+    /// specs surface as [`ConfigError::BadManager`].
+    pub fn new(
+        kind: ManagerSpec,
+        cores: usize,
+        hardened: bool,
+        rt: &RuntimeConfig,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self {
+            primary: kind.build(rt)?,
             fallback: ChipWide,
             conditioner: SensorConditioner::new(cores),
             hardened,
             last_report: None,
-        }
+        })
     }
 
     /// Overrides the conditioner's EWMA weight.
@@ -422,7 +430,7 @@ impl HardenedManager {
         self
     }
 
-    /// Whether a manager runs at all (`false` for [`ManagerKind::None`],
+    /// Whether a manager runs at all (`false` for [`ManagerSpec::None`],
     /// where the runtime pins levels by frequency mode instead).
     pub fn is_managed(&self) -> bool {
         self.primary.is_some()
@@ -519,7 +527,7 @@ impl HardenedManager {
     }
 
     /// Restores state captured by [`HardenedManager::export_state`]
-    /// onto a front end freshly built from the same [`ManagerKind`] and
+    /// onto a front end freshly built from the same [`ManagerSpec`] and
     /// core count.
     pub fn import_state(&mut self, state: &HardenedState) {
         if let (Some(pm), Some(st)) = (self.primary.as_deref_mut(), state.primary.as_ref()) {

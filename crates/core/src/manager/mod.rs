@@ -24,15 +24,20 @@ pub mod exhaustive;
 pub mod foxton;
 pub mod harden;
 pub mod linopt;
+pub mod regulator;
 pub mod sann;
+pub mod thermal_map;
 mod view;
 
 pub use harden::{
     ConditionStats, ConditionerState, DegradationEvent, HardenedManager, HardenedState,
     SensorConditioner,
 };
+pub use regulator::IntegralRegulator;
+pub use thermal_map::ThermalMapper;
 pub use view::{greedy_fill, repair_to_budget, synthetic_core, CoreView, PmView};
 
+use crate::runtime::{ConfigError, RuntimeConfig};
 use cmpsim::Machine;
 use std::fmt;
 use vastats::SimRng;
@@ -131,13 +136,13 @@ impl SolveReport {
 /// checkpoint.
 ///
 /// Control components are rebuilt from their serializable spec
-/// ([`ManagerKind`], [`crate::sched::SchedPolicy`]) on restore; this
+/// ([`ManagerSpec`], [`crate::sched::SchedPolicy`]) on restore; this
 /// enum carries only what the spec cannot: the mutable state a live
 /// instance accumulated across intervals. Every shipped component's
 /// state is one of these small shapes, so the snapshot codec stays
 /// closed over a fixed vocabulary instead of growing a per-algorithm
 /// serialization surface.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum ControlState {
     /// No cross-interval state (stateless algorithms).
     #[default]
@@ -147,12 +152,20 @@ pub enum ControlState {
     /// A cached Simplex basis for warm-starting ([`linopt::LinOpt`]),
     /// `None` when no solve has succeeded yet.
     Basis(Option<Vec<usize>>),
+    /// An integral controller's accumulated correction plus the level
+    /// choices of the previous interval ([`regulator::IntegralRegulator`]).
+    Regulator {
+        /// Accumulated integral correction (watts).
+        correction_w: f64,
+        /// `(core, level)` pairs chosen at the previous interval.
+        last: Vec<(usize, usize)>,
+    },
 }
 
 /// A DVFS power-management policy, invoked once per DVFS interval.
 ///
 /// Managers are *stateful*: the runtime builds one per trial (via
-/// [`ManagerKind::build`]) and invokes it repeatedly, so implementations
+/// [`ManagerSpec::build`]) and invokes it repeatedly, so implementations
 /// can carry information across intervals — [`foxton::FoxtonStar`]
 /// keeps its round-robin cursor, [`linopt::LinOpt`] warm-starts each
 /// Simplex solve from the previous interval's optimal basis. Stateless
@@ -280,9 +293,19 @@ impl PowerBudget {
     }
 }
 
-/// Which power manager to run (Table 1's lower section).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ManagerKind {
+/// Which power manager to run (Table 1's lower section, plus the
+/// related-work contenders the tournament fields).
+///
+/// `ManagerSpec` is the *declarative spec* side of the control plane:
+/// it names an algorithm and its parameters with a stable
+/// [`ManagerSpec::name`] that appears verbatim in traces and reports,
+/// and [`ManagerSpec::build`] is the single registry that turns a spec
+/// into a boxed stateful [`PowerManager`] instance. The enum is
+/// `#[non_exhaustive]`: downstream matches must carry a wildcard so new
+/// contenders can join the zoo without breaking them.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ManagerSpec {
     /// No power management: every core stays at its maximum level.
     None,
     /// The Foxton* round-robin baseline.
@@ -305,57 +328,114 @@ pub enum ManagerKind {
         /// Cores per voltage domain.
         cores_per_domain: usize,
     },
+    /// Solver-free integral-gain chip power regulator (after "Power
+    /// Regulation in High Performance Multicore Processors"): tracks
+    /// the chip budget with an anti-windup integral controller and
+    /// scales per-core levels proportionally to measured headroom.
+    IntegralRegulator {
+        /// Integral gain per paper-default (10 ms) DVFS interval,
+        /// in watts of accumulated correction per watt of error.
+        gain: f64,
+    },
 }
 
-impl ManagerKind {
+impl ManagerSpec {
+    /// The integral gain [`ManagerSpec::integral_regulator`] defaults
+    /// to: aggressive enough to settle within a few DVFS intervals,
+    /// conservative enough not to oscillate against the leakage
+    /// feedback loop.
+    pub const DEFAULT_REGULATOR_GAIN: f64 = 0.3;
+
     /// A SAnn configuration sized for on-line experiment runs (the
-    /// paper-faithful 1M-evaluation budget is [`ManagerKind::sann_paper`]).
+    /// paper-faithful 1M-evaluation budget is [`ManagerSpec::sann_paper`]).
     pub fn sann_fast() -> Self {
-        ManagerKind::SAnn {
+        ManagerSpec::SAnn {
             evaluations: 20_000,
         }
     }
 
     /// SAnn with the paper's 1-million-evaluation budget.
     pub fn sann_paper() -> Self {
-        ManagerKind::SAnn {
+        ManagerSpec::SAnn {
             evaluations: 1_000_000,
         }
     }
 
-    /// Name as used in the paper's figures.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ManagerKind::None => "None",
-            ManagerKind::FoxtonStar => "Foxton*",
-            ManagerKind::LinOpt => "LinOpt",
-            ManagerKind::SAnn { .. } => "SAnn",
-            ManagerKind::Exhaustive => "Exhaustive",
-            ManagerKind::ChipWide => "ChipWide",
-            ManagerKind::DomainLinOpt { .. } => "DomainLinOpt",
+    /// The integral regulator at its default gain
+    /// ([`ManagerSpec::DEFAULT_REGULATOR_GAIN`]).
+    pub fn integral_regulator() -> Self {
+        ManagerSpec::IntegralRegulator {
+            gain: Self::DEFAULT_REGULATOR_GAIN,
         }
     }
 
-    /// Constructs the boxed [`PowerManager`] this spec describes, or
-    /// `None` for [`ManagerKind::None`] (the runtime then pins every
-    /// core to its maximum level instead of invoking a manager).
-    ///
-    /// `ManagerKind` is the *serializable spec* side of the control
-    /// plane — it names an algorithm and its parameters; the trait
-    /// object it builds is the *stateful instance* side, owned by one
-    /// trial.
-    pub fn build(&self) -> Option<Box<dyn PowerManager>> {
+    /// The integral regulator with an explicit gain (validated by
+    /// [`ManagerSpec::build`]: must be finite and positive).
+    pub fn integral_regulator_with_gain(gain: f64) -> Self {
+        ManagerSpec::IntegralRegulator { gain }
+    }
+
+    /// Name as used in the paper's figures and in every trace/report
+    /// this spec's manager appears in. Stable across releases.
+    pub fn name(&self) -> &'static str {
         match self {
-            ManagerKind::None => None,
-            ManagerKind::FoxtonStar => Some(Box::new(foxton::FoxtonStar::new())),
-            ManagerKind::LinOpt => Some(Box::new(linopt::LinOpt::new())),
-            ManagerKind::SAnn { evaluations } => Some(Box::new(sann::SAnn::new(*evaluations))),
-            ManagerKind::Exhaustive => Some(Box::new(exhaustive::Exhaustive)),
-            ManagerKind::ChipWide => Some(Box::new(chipwide::ChipWide)),
-            ManagerKind::DomainLinOpt { cores_per_domain } => {
+            ManagerSpec::None => "None",
+            ManagerSpec::FoxtonStar => "Foxton*",
+            ManagerSpec::LinOpt => "LinOpt",
+            ManagerSpec::SAnn { .. } => "SAnn",
+            ManagerSpec::Exhaustive => "Exhaustive",
+            ManagerSpec::ChipWide => "ChipWide",
+            ManagerSpec::DomainLinOpt { .. } => "DomainLinOpt",
+            ManagerSpec::IntegralRegulator { .. } => "IntReg",
+        }
+    }
+
+    /// Validates the spec's parameters against the runtime it will run
+    /// under, returning [`ConfigError::BadManager`] for degenerate
+    /// combinations (zero-evaluation SAnn, zero-size voltage domains,
+    /// non-finite or non-positive regulator gain).
+    pub fn validate(&self, _rt: &RuntimeConfig) -> Result<(), ConfigError> {
+        let ok = match self {
+            ManagerSpec::SAnn { evaluations } => *evaluations > 0,
+            ManagerSpec::DomainLinOpt { cores_per_domain } => *cores_per_domain > 0,
+            ManagerSpec::IntegralRegulator { gain } => gain.is_finite() && *gain > 0.0,
+            _ => true,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ConfigError::BadManager)
+        }
+    }
+
+    /// The single registry from spec to instance: constructs the boxed
+    /// [`PowerManager`] this spec describes, or `Ok(None)` for
+    /// [`ManagerSpec::None`] (the runtime then pins every core to its
+    /// maximum level instead of invoking a manager).
+    ///
+    /// `rt` supplies the runtime parameters algorithms are defined
+    /// against — the regulator's gain is specified per paper-default
+    /// 10 ms DVFS interval and rescaled to `rt.dvfs_interval_ms` here,
+    /// so a spec means the same control behavior per unit time at any
+    /// interval length. Invalid specs (see [`ManagerSpec::validate`])
+    /// return [`ConfigError::BadManager`].
+    pub fn build(&self, rt: &RuntimeConfig) -> Result<Option<Box<dyn PowerManager>>, ConfigError> {
+        self.validate(rt)?;
+        Ok(match self {
+            ManagerSpec::None => None,
+            ManagerSpec::FoxtonStar => Some(Box::new(foxton::FoxtonStar::new())),
+            ManagerSpec::LinOpt => Some(Box::new(linopt::LinOpt::new())),
+            ManagerSpec::SAnn { evaluations } => Some(Box::new(sann::SAnn::new(*evaluations))),
+            ManagerSpec::Exhaustive => Some(Box::new(exhaustive::Exhaustive)),
+            ManagerSpec::ChipWide => Some(Box::new(chipwide::ChipWide)),
+            ManagerSpec::DomainLinOpt { cores_per_domain } => {
                 Some(Box::new(chipwide::DomainLinOpt::new(*cores_per_domain)))
             }
-        }
+            ManagerSpec::IntegralRegulator { gain } => {
+                let per_interval = gain * rt.dvfs_interval_ms / 10.0;
+                Some(Box::new(regulator::IntegralRegulator::new(per_interval)))
+            }
+        })
     }
 }
 
@@ -364,18 +444,28 @@ impl ManagerKind {
 ///
 /// Returns the chosen per-active-core levels (in [`PmView`] core order),
 /// or `None` when no cores are active or the manager is
-/// [`ManagerKind::None`] (which pins every core to its maximum level).
+/// [`ManagerSpec::None`] (which pins every core to its maximum level).
 ///
 /// Long-running control loops should hold onto the boxed manager from
-/// [`ManagerKind::build`] instead, so stateful managers keep their
+/// [`ManagerSpec::build`] instead, so stateful managers keep their
 /// cross-interval state (the trial runtime does).
+///
+/// Builds against [`RuntimeConfig::paper_default`]; use
+/// [`ManagerSpec::build`] directly for other runtimes.
+///
+/// # Panics
+///
+/// Panics if `kind` fails [`ManagerSpec::validate`].
 pub fn apply_manager(
-    kind: ManagerKind,
+    kind: ManagerSpec,
     machine: &mut Machine,
     budget: &PowerBudget,
     rng: &mut SimRng,
 ) -> Option<Vec<usize>> {
-    match kind.build() {
+    let built = kind
+        .build(&RuntimeConfig::paper_default())
+        .expect("valid manager spec");
+    match built {
         None => {
             machine.set_all_levels_max();
             None
@@ -406,28 +496,47 @@ mod tests {
 
     #[test]
     fn names_match_paper() {
-        assert_eq!(ManagerKind::FoxtonStar.name(), "Foxton*");
-        assert_eq!(ManagerKind::LinOpt.name(), "LinOpt");
-        assert_eq!(ManagerKind::sann_fast().name(), "SAnn");
+        assert_eq!(ManagerSpec::FoxtonStar.name(), "Foxton*");
+        assert_eq!(ManagerSpec::LinOpt.name(), "LinOpt");
+        assert_eq!(ManagerSpec::sann_fast().name(), "SAnn");
     }
 
     #[test]
     fn build_round_trips_names() {
+        let rt = RuntimeConfig::paper_default();
         let kinds = [
-            ManagerKind::FoxtonStar,
-            ManagerKind::LinOpt,
-            ManagerKind::sann_fast(),
-            ManagerKind::Exhaustive,
-            ManagerKind::ChipWide,
-            ManagerKind::DomainLinOpt {
+            ManagerSpec::FoxtonStar,
+            ManagerSpec::LinOpt,
+            ManagerSpec::sann_fast(),
+            ManagerSpec::Exhaustive,
+            ManagerSpec::ChipWide,
+            ManagerSpec::DomainLinOpt {
                 cores_per_domain: 4,
             },
+            ManagerSpec::integral_regulator(),
         ];
         for kind in kinds {
-            let manager = kind.build().expect("buildable");
+            let manager = kind.build(&rt).expect("valid spec").expect("buildable");
             assert_eq!(manager.name(), kind.name());
         }
-        assert!(ManagerKind::None.build().is_none());
+        assert!(ManagerSpec::None.build(&rt).expect("valid spec").is_none());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let rt = RuntimeConfig::paper_default();
+        let bad = [
+            ManagerSpec::SAnn { evaluations: 0 },
+            ManagerSpec::DomainLinOpt {
+                cores_per_domain: 0,
+            },
+            ManagerSpec::integral_regulator_with_gain(0.0),
+            ManagerSpec::integral_regulator_with_gain(-0.5),
+            ManagerSpec::integral_regulator_with_gain(f64::NAN),
+        ];
+        for kind in bad {
+            assert!(matches!(kind.build(&rt), Err(ConfigError::BadManager)));
+        }
     }
 
     #[test]
@@ -445,13 +554,14 @@ mod tests {
             chip_w: (min_p + max_p) / 2.0,
             per_core_w: 100.0,
         };
+        let rt = RuntimeConfig::paper_default();
         let mut rng = SimRng::seed_from(3);
-        let mut fox = ManagerKind::FoxtonStar.build().unwrap();
+        let mut fox = ManagerSpec::FoxtonStar.build(&rt).unwrap().unwrap();
         assert_eq!(
             fox.levels(&view, &budget, &mut rng),
             foxton::foxton_star_levels(&view, &budget)
         );
-        let mut lin = ManagerKind::LinOpt.build().unwrap();
+        let mut lin = ManagerSpec::LinOpt.build(&rt).unwrap().unwrap();
         assert_eq!(
             lin.levels(&view, &budget, &mut rng),
             linopt::linopt_levels(&view, &budget)

@@ -184,7 +184,7 @@ impl TraceObserver {
         out.push_str(&self.dropped.to_string());
 
         // Solver outcome for the interval (null when the manager has
-        // nothing to report, e.g. ManagerKind::None).
+        // nothing to report, e.g. ManagerSpec::None).
         out.push_str(",\"solve\":");
         match self.solve.take() {
             None => out.push_str("null"),

@@ -30,13 +30,13 @@ use super::metrics::LatencyStats;
 use super::queue::{EventKind, EventQueue};
 use super::snapshot::{SimCounters, Snapshot};
 use super::OnlineConfig;
-use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget};
+use crate::manager::{DegradationEvent, HardenedManager, ManagerSpec, PowerBudget};
 use crate::metrics::{ed2_index, weighted_mips};
 use crate::profile::{core_profiles, thread_profiles, CoreProfile};
 use crate::runtime::{
     plan_assignment, FreqMode, NullObserver, RuntimeConfig, TrialError, TrialObserver, TrialOutcome,
 };
-use crate::sched::{SchedPolicy, Scheduler};
+use crate::sched::{Scheduler, SchedulerSpec};
 use cmpsim::{AppSpec, FaultEvent, FaultPlan, Machine, Mix, Thread, Workload};
 use std::collections::VecDeque;
 use std::fmt;
@@ -270,8 +270,8 @@ impl<'a> OnlineSim<'a> {
         machine: &'a mut Machine,
         pool: &[AppSpec],
         mix: Mix,
-        policy: SchedPolicy,
-        manager: ManagerKind,
+        policy: SchedulerSpec,
+        manager: ManagerSpec,
         budget: PowerBudget,
         config: &OnlineConfig,
         fault_plan: &FaultPlan,
@@ -285,6 +285,10 @@ impl<'a> OnlineSim<'a> {
                 cores: machine.core_count(),
             });
         }
+        // Build the scheduler (and validate the manager spec) before
+        // touching the machine, so degenerate specs fail cleanly.
+        let scheduler = policy.build(&rt)?;
+        manager.validate(&rt)?;
 
         // Initial residents: continue the caller's stream exactly as
         // the batch engine does (draw the workload, then spawn its
@@ -387,8 +391,8 @@ impl<'a> OnlineSim<'a> {
             thread_job: (0..initial_count).collect(),
             pending_completion,
             jobs,
-            scheduler: policy.build(),
-            power_manager: HardenedManager::new(manager, core_count, hardened),
+            scheduler,
+            power_manager: HardenedManager::new(manager, core_count, hardened, &rt)?,
             degradations: Vec::new(),
             fault_dirty: false,
             window_dirty: false,
@@ -421,8 +425,8 @@ impl<'a> OnlineSim<'a> {
         machine: &'a mut Machine,
         pool: &[AppSpec],
         mix: Mix,
-        policy: SchedPolicy,
-        manager: ManagerKind,
+        policy: SchedulerSpec,
+        manager: ManagerSpec,
         budget: PowerBudget,
         config: &OnlineConfig,
         fault_plan: &FaultPlan,
@@ -473,9 +477,9 @@ impl<'a> OnlineSim<'a> {
             None => Vec::new(),
         };
 
-        let mut scheduler = policy.build();
+        let mut scheduler = policy.build(&rt)?;
         scheduler.restore(&snapshot.scheduler);
-        let mut power_manager = HardenedManager::new(manager, machine.core_count(), hardened);
+        let mut power_manager = HardenedManager::new(manager, machine.core_count(), hardened, &rt)?;
         power_manager.import_state(&snapshot.manager);
 
         *rng = SimRng::from_state(snapshot.rng);
@@ -967,8 +971,8 @@ pub fn run_online(
     machine: &mut Machine,
     pool: &[AppSpec],
     mix: Mix,
-    policy: SchedPolicy,
-    manager: ManagerKind,
+    policy: SchedulerSpec,
+    manager: ManagerSpec,
     budget: PowerBudget,
     config: &OnlineConfig,
     rng: &mut SimRng,
@@ -1011,8 +1015,8 @@ pub fn run_online_faulted(
     machine: &mut Machine,
     pool: &[AppSpec],
     mix: Mix,
-    policy: SchedPolicy,
-    manager: ManagerKind,
+    policy: SchedulerSpec,
+    manager: ManagerSpec,
     budget: PowerBudget,
     config: &OnlineConfig,
     fault_plan: &FaultPlan,
@@ -1043,8 +1047,8 @@ pub fn run_online_observed(
     machine: &mut Machine,
     pool: &[AppSpec],
     mix: Mix,
-    policy: SchedPolicy,
-    manager: ManagerKind,
+    policy: SchedulerSpec,
+    manager: ManagerSpec,
     budget: PowerBudget,
     config: &OnlineConfig,
     fault_plan: &FaultPlan,
@@ -1120,8 +1124,8 @@ mod tests {
         let batch = run_trial(
             &mut m1,
             &workload,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget::cost_performance(6),
             &quick_runtime(),
             &mut batch_rng,
@@ -1132,8 +1136,8 @@ mod tests {
             &mut m2,
             &pool,
             Mix::Balanced,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget::cost_performance(6),
             &config,
             &mut SimRng::seed_from(77),
@@ -1152,8 +1156,8 @@ mod tests {
             &mut machine(1),
             &pool,
             Mix::Balanced,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget::cost_performance(20),
             &open_config(300.0, 40.0e6),
             &mut SimRng::seed_from(2),
@@ -1181,8 +1185,8 @@ mod tests {
                 &mut machine(3),
                 &pool,
                 Mix::Balanced,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::FoxtonStar,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::FoxtonStar,
                 PowerBudget::cost_performance(20),
                 &open_config(250.0, 50.0e6),
                 &mut SimRng::seed_from(seed),
@@ -1203,8 +1207,8 @@ mod tests {
             &mut machine(4),
             &pool,
             Mix::Balanced,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget::cost_performance(20),
             &open_config(2000.0, 200.0e6),
             &mut SimRng::seed_from(6),
@@ -1225,8 +1229,8 @@ mod tests {
                 &mut machine(7),
                 &pool,
                 Mix::Balanced,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::LinOpt,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::LinOpt,
                 PowerBudget::cost_performance(20),
                 &OnlineConfig {
                     migration_penalty_ms: penalty_ms,
@@ -1272,8 +1276,8 @@ mod tests {
             &mut machine(11),
             &pool,
             Mix::Balanced,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget::cost_performance(4),
             &config,
             &mut SimRng::seed_from(12),
@@ -1292,8 +1296,8 @@ mod tests {
     /// outcomes and traces are identical.
     fn assert_resume_bit_identical(config: &OnlineConfig, fault_plan: &FaultPlan, cut_tick: usize) {
         let pool = pool();
-        let policy = SchedPolicy::VarFAppIpc;
-        let manager = ManagerKind::LinOpt;
+        let policy = SchedulerSpec::VarFAppIpc;
+        let manager = ManagerSpec::LinOpt;
         let budget = PowerBudget::cost_performance(20);
 
         let mut m1 = machine(3);
@@ -1439,8 +1443,8 @@ mod tests {
             &mut m,
             &pool,
             Mix::Balanced,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget::cost_performance(20),
             &config,
             &FaultPlan::none(),
@@ -1456,8 +1460,8 @@ mod tests {
             &mut m2,
             &pool,
             Mix::Balanced,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget::cost_performance(20),
             &config,
             &FaultPlan::none(),
@@ -1480,8 +1484,8 @@ mod tests {
                 &mut machine(3),
                 &pool,
                 Mix::Balanced,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::LinOpt,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::LinOpt,
                 PowerBudget::cost_performance(20),
                 &OnlineConfig {
                     service,
@@ -1507,8 +1511,8 @@ mod tests {
                 &mut machine(4),
                 &pool,
                 Mix::Balanced,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::LinOpt,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::LinOpt,
                 PowerBudget::cost_performance(20),
                 &OnlineConfig {
                     service: ServicePolicy {
@@ -1551,8 +1555,8 @@ mod tests {
                 &mut machine(7),
                 &pool,
                 Mix::Balanced,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::LinOpt,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::LinOpt,
                 PowerBudget::cost_performance(20),
                 &OnlineConfig {
                     migration_penalty_ms: 3.0,

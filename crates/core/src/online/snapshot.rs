@@ -254,6 +254,18 @@ fn push_control_state(out: &mut String, state: &ControlState) {
             }
             out.push('}');
         }
+        ControlState::Regulator { correction_w, last } => {
+            out.push_str("{\"kind\":\"regulator\",\"correction_w\":");
+            push_f64_exact(out, *correction_w);
+            out.push_str(",\"last\":[");
+            for (i, (core, level)) in last.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{core},{level}]");
+            }
+            out.push_str("]}");
+        }
     }
 }
 
@@ -777,9 +789,23 @@ fn parse_control_state(v: &JsonValue) -> Result<ControlState, SnapshotError> {
                     .collect::<Result<_, _>>()?,
             ),
         })),
+        "regulator" => {
+            let mut last = Vec::new();
+            for pair in arr_field(v, "last")? {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| schema_err("last", "an array of [core, level] pairs"))?;
+                last.push((as_usize(&pair[0], "last")?, as_usize(&pair[1], "last")?));
+            }
+            Ok(ControlState::Regulator {
+                correction_w: f64_field(v, "correction_w")?,
+                last,
+            })
+        }
         _ => Err(schema_err(
             "kind",
-            "\"stateless\", \"cursor\", or \"basis\"",
+            "\"stateless\", \"cursor\", \"basis\", or \"regulator\"",
         )),
     }
 }

@@ -6,10 +6,10 @@
 //! the (V, f) assignment. The machine advances in fixed ticks between
 //! those events, and power/IPC sensors stay on throughout.
 
-use crate::manager::{DegradationEvent, HardenedManager, ManagerKind, PowerBudget, SolveReport};
+use crate::manager::{DegradationEvent, HardenedManager, ManagerSpec, PowerBudget, SolveReport};
 use crate::metrics::{ed2_index, weighted_mips};
 use crate::profile::{core_profiles, thread_profiles, CoreProfile, ThreadProfile};
-use crate::sched::{SchedPolicy, Scheduler};
+use crate::sched::{Scheduler, SchedulerSpec};
 use cmpsim::{FaultConfigError, FaultEvent, FaultPlan, Machine, StepStats, Workload};
 use std::fmt;
 use vastats::SimRng;
@@ -181,6 +181,10 @@ pub enum ConfigError {
     /// non-positive datacenter budget or integral gain, or a zero
     /// per-chip queue capacity).
     BadFleet,
+    /// A manager or scheduler spec names a degenerate configuration
+    /// (zero-evaluation SAnn, zero-size voltage domains, non-finite or
+    /// non-positive regulator gain).
+    BadManager,
 }
 
 impl fmt::Display for ConfigError {
@@ -194,6 +198,7 @@ impl fmt::Display for ConfigError {
             ConfigError::NegativeMigrationPenalty => "migration penalty must be non-negative",
             ConfigError::BadServicePolicy => "service policy is degenerate",
             ConfigError::BadFleet => "fleet configuration is degenerate",
+            ConfigError::BadManager => "manager or scheduler spec is degenerate",
         };
         f.write_str(msg)
     }
@@ -345,8 +350,8 @@ pub struct TrialOutcome {
 pub fn run_trial(
     machine: &mut Machine,
     workload: &Workload,
-    policy: SchedPolicy,
-    manager: ManagerKind,
+    policy: SchedulerSpec,
+    manager: ManagerSpec,
     budget: PowerBudget,
     config: &RuntimeConfig,
     rng: &mut SimRng,
@@ -367,20 +372,20 @@ pub fn run_trial(
 /// scheduling decision, manager invocation, and machine tick.
 ///
 /// The control plane is *stateful* within the trial: one scheduler and
-/// one power manager are built up front (via [`SchedPolicy::build`] and
-/// [`ManagerKind::build`]) and invoked repeatedly, so Foxton\* keeps its
-/// round-robin cursor and LinOpt warm-starts across DVFS intervals.
+/// one power manager are built up front (via [`SchedulerSpec::build`]
+/// and [`ManagerSpec::build`]) and invoked repeatedly, so Foxton\* keeps
+/// its round-robin cursor and LinOpt warm-starts across DVFS intervals.
 ///
 /// # Panics
 ///
-/// Panics if the workload is larger than the machine or the runtime
-/// configuration is invalid.
+/// Panics if the workload is larger than the machine, the runtime
+/// configuration is invalid, or a control-plane spec is degenerate.
 #[allow(clippy::too_many_arguments)] // mirrors run_trial + the observer
 pub fn run_trial_observed(
     machine: &mut Machine,
     workload: &Workload,
-    policy: SchedPolicy,
-    manager: ManagerKind,
+    policy: SchedulerSpec,
+    manager: ManagerSpec,
     budget: PowerBudget,
     config: &RuntimeConfig,
     rng: &mut SimRng,
@@ -418,6 +423,12 @@ pub(crate) fn plan_assignment(
     machine: &Machine,
     rng: &mut SimRng,
 ) -> (Vec<Option<usize>>, usize) {
+    // Let machine-aware schedulers (ThermalMap) read sensors before the
+    // assignment; the default hook is a no-op and draws no RNG, so
+    // machine-oblivious policies stay bit-identical to the pre-hook
+    // code. This is the single choke point every execution path (batch,
+    // online, fleet) routes scheduling through.
+    scheduler.observe(machine);
     let n_alive = cores.iter().filter(|c| machine.core_alive(c.core)).count();
     if n_alive == cores.len() && threads.len() <= n_alive {
         return (scheduler.assign(cores, threads, rng), 0);
@@ -477,8 +488,8 @@ pub(crate) fn plan_assignment(
 pub fn run_trial_faulted(
     machine: &mut Machine,
     workload: &Workload,
-    policy: SchedPolicy,
-    manager: ManagerKind,
+    policy: SchedulerSpec,
+    manager: ManagerSpec,
     budget: PowerBudget,
     config: &RuntimeConfig,
     fault_plan: &FaultPlan,
@@ -492,9 +503,14 @@ pub fn run_trial_faulted(
             cores: machine.core_count(),
         });
     }
+    // Build the control plane before touching the machine so degenerate
+    // specs fail cleanly (ConfigError::BadManager) with no side effects.
+    let mut scheduler = policy.build(config)?;
+    manager.validate(config)?;
     machine.load_threads(workload.spawn_threads(rng));
     machine.install_faults(fault_plan)?;
     let hardened = machine.has_active_faults();
+    let mut power_manager = HardenedManager::new(manager, machine.core_count(), hardened, config)?;
 
     let cores = core_profiles(machine);
     let dt_s = config.tick_ms / 1e3;
@@ -509,10 +525,6 @@ pub fn run_trial_faulted(
     let mut deviation_ticks = 0usize;
     let mut manager_runs = 0usize;
 
-    // One stateful instance of each control-plane half for the whole
-    // trial (ManagerKind::None builds no manager: levels stay pinned).
-    let mut scheduler = policy.build();
-    let mut power_manager = HardenedManager::new(manager, machine.core_count(), hardened);
     // Set when a core fails mid-epoch: forces a reschedule on the next
     // tick instead of waiting for the OS interval.
     let mut core_dirty = false;
@@ -656,8 +668,8 @@ mod tests {
         let out = run_trial(
             &mut m,
             &w,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             PowerBudget::cost_performance(8),
             &quick_config(),
             &mut SimRng::seed_from(3),
@@ -678,8 +690,8 @@ mod tests {
         let out = run_trial(
             &mut m,
             &w,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             budget,
             &quick_config(),
             &mut SimRng::seed_from(6),
@@ -700,8 +712,8 @@ mod tests {
             run_trial(
                 &mut m,
                 &w,
-                SchedPolicy::VarP,
-                ManagerKind::FoxtonStar,
+                SchedulerSpec::VarP,
+                ManagerSpec::FoxtonStar,
                 PowerBudget::cost_performance(6),
                 &quick_config(),
                 &mut SimRng::seed_from(9),
@@ -719,8 +731,8 @@ mod tests {
         let uni = run_trial(
             &mut m1,
             &w,
-            SchedPolicy::Random,
-            ManagerKind::None,
+            SchedulerSpec::Random,
+            ManagerSpec::None,
             PowerBudget::cost_performance(12),
             &cfg,
             &mut SimRng::seed_from(12),
@@ -730,8 +742,8 @@ mod tests {
         let non = run_trial(
             &mut m2,
             &w,
-            SchedPolicy::Random,
-            ManagerKind::None,
+            SchedulerSpec::Random,
+            ManagerSpec::None,
             PowerBudget::cost_performance(12),
             &cfg,
             &mut SimRng::seed_from(12),
@@ -751,8 +763,8 @@ mod tests {
         let out = run_trial(
             &mut m,
             &w,
-            SchedPolicy::VarF,
-            ManagerKind::None,
+            SchedulerSpec::VarF,
+            ManagerSpec::None,
             PowerBudget::high_performance(4),
             &quick_config(),
             &mut SimRng::seed_from(15),
@@ -832,8 +844,8 @@ mod tests {
         let out = run_trial_observed(
             &mut m,
             &w,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::FoxtonStar,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::FoxtonStar,
             PowerBudget::cost_performance(6),
             &quick_config(),
             &mut SimRng::seed_from(32),

@@ -13,6 +13,8 @@
 
 use crate::manager::ControlState;
 use crate::profile::{CoreProfile, ThreadProfile};
+use crate::runtime::{ConfigError, RuntimeConfig};
+use cmpsim::Machine;
 use vastats::SimRng;
 
 /// The scheduling policies of Table 1.
@@ -43,15 +45,87 @@ impl SchedPolicy {
         }
     }
 
-    /// Constructs the boxed [`Scheduler`] this spec describes.
+    /// Constructs the boxed [`Scheduler`] this policy describes.
     ///
-    /// Mirrors `ManagerKind::build` on the power-management side:
-    /// `SchedPolicy` is the serializable spec, the trait object is the
-    /// per-trial instance (stateless for the paper's five policies, but
-    /// the trait leaves room for history-keeping schedulers such as
-    /// window-based ones).
+    /// The paper's five profile-only policies need no runtime context,
+    /// so this is infallible; schedulers with parameters live on
+    /// [`SchedulerSpec`], whose registry validates them.
     pub fn build(&self) -> Box<dyn Scheduler> {
         Box::new(PolicyScheduler { policy: *self })
+    }
+}
+
+/// Which application scheduler to run: the declarative spec side of
+/// the scheduling half of the control plane, mirroring
+/// [`crate::manager::ManagerSpec`].
+///
+/// The first five variants are Table 1's profile-only policies
+/// (identical to [`SchedPolicy`], which remains the low-level selector
+/// for the [`schedule`] free function); [`SchedulerSpec::ThermalMap`]
+/// is the PCGov-style thermal-aware mapper the tournament fields. The
+/// enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard so new schedulers can join without breaking them.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerSpec {
+    /// Map threads on cores randomly (the baseline).
+    Random,
+    /// Map threads randomly on the cores with lowest static power.
+    VarP,
+    /// Map the highest-dynamic-power threads on the lowest-static-power
+    /// cores.
+    VarPAppP,
+    /// Map threads randomly on the cores with highest frequency.
+    VarF,
+    /// Map the highest-IPC threads on the highest-frequency cores.
+    VarFAppIpc,
+    /// PCGov-style thermal-aware mapping: hot threads onto cool,
+    /// mutually distant cores using floorplan geometry and lumped-RC
+    /// temperatures (see [`crate::manager::ThermalMapper`]).
+    ThermalMap,
+}
+
+impl SchedulerSpec {
+    /// Name as used in traces and reports. Stable across releases; the
+    /// Table 1 names match [`SchedPolicy::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerSpec::Random => "Random",
+            SchedulerSpec::VarP => "VarP",
+            SchedulerSpec::VarPAppP => "VarP&AppP",
+            SchedulerSpec::VarF => "VarF",
+            SchedulerSpec::VarFAppIpc => "VarF&AppIPC",
+            SchedulerSpec::ThermalMap => "ThermalMap",
+        }
+    }
+
+    /// The single registry from spec to instance: constructs the boxed
+    /// [`Scheduler`] this spec describes, mirroring
+    /// [`crate::manager::ManagerSpec::build`]. Infallible today (no
+    /// shipped scheduler has degenerate parameters), but the signature
+    /// reserves [`ConfigError::BadManager`] for ones that will.
+    pub fn build(&self, rt: &RuntimeConfig) -> Result<Box<dyn Scheduler>, ConfigError> {
+        let _ = rt;
+        Ok(match self {
+            SchedulerSpec::Random => SchedPolicy::Random.build(),
+            SchedulerSpec::VarP => SchedPolicy::VarP.build(),
+            SchedulerSpec::VarPAppP => SchedPolicy::VarPAppP.build(),
+            SchedulerSpec::VarF => SchedPolicy::VarF.build(),
+            SchedulerSpec::VarFAppIpc => SchedPolicy::VarFAppIpc.build(),
+            SchedulerSpec::ThermalMap => Box::new(crate::manager::ThermalMapper::new()),
+        })
+    }
+}
+
+impl From<SchedPolicy> for SchedulerSpec {
+    fn from(p: SchedPolicy) -> Self {
+        match p {
+            SchedPolicy::Random => SchedulerSpec::Random,
+            SchedPolicy::VarP => SchedulerSpec::VarP,
+            SchedPolicy::VarPAppP => SchedulerSpec::VarPAppP,
+            SchedPolicy::VarF => SchedulerSpec::VarF,
+            SchedPolicy::VarFAppIpc => SchedulerSpec::VarFAppIpc,
+        }
     }
 }
 
@@ -64,6 +138,16 @@ impl SchedPolicy {
 pub trait Scheduler: Send {
     /// Name as used in the paper's figures.
     fn name(&self) -> &'static str;
+
+    /// Lets the scheduler read live machine sensors (temperatures,
+    /// core liveness, geometry) before the next [`Scheduler::assign`].
+    /// Called by every execution path right before each assignment.
+    /// The default is a no-op and must stay RNG-free: Table 1's
+    /// profile-only policies ignore the machine, and their RNG streams
+    /// are golden-pinned.
+    fn observe(&mut self, machine: &Machine) {
+        let _ = machine;
+    }
 
     /// Computes `mapping[core] = Some(thread)` for every scheduled
     /// thread.

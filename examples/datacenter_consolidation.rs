@@ -54,11 +54,11 @@ fn main() {
             "policy", "MIPS", "power (W)", "MIPS/W"
         );
         let policies = [
-            SchedPolicy::Random,
-            SchedPolicy::VarP,
-            SchedPolicy::VarPAppP,
-            SchedPolicy::VarF,
-            SchedPolicy::VarFAppIpc,
+            SchedulerSpec::Random,
+            SchedulerSpec::VarP,
+            SchedulerSpec::VarPAppP,
+            SchedulerSpec::VarF,
+            SchedulerSpec::VarFAppIpc,
         ];
         for policy in policies {
             let runtime = RuntimeConfig::builder()
@@ -71,7 +71,7 @@ fn main() {
                 &mut m,
                 &workload,
                 policy,
-                ManagerKind::None,
+                ManagerSpec::None,
                 budget,
                 &runtime,
                 &mut trial_rng,

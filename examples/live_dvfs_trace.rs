@@ -12,7 +12,7 @@
 use vasp::cmpsim::{app_pool, Machine, MachineConfig, Workload};
 use vasp::floorplan::paper_20_core;
 use vasp::varius::{DieGenerator, VariationConfig};
-use vasp::vasched::manager::{apply_manager, ManagerKind, PowerBudget};
+use vasp::vasched::manager::{apply_manager, ManagerSpec, PowerBudget};
 use vasp::vasched::profile::{core_profiles, thread_profiles};
 use vasp::vasched::sched::{schedule, SchedPolicy};
 use vasp::vastats::SimRng;
@@ -56,7 +56,7 @@ fn main() {
     let mut window_power = 0.0;
     for ms in 0..TRACE_MS {
         if ms % DVFS_INTERVAL_MS == 0 {
-            let levels = apply_manager(ManagerKind::LinOpt, &mut machine, &budget, &mut rng)
+            let levels = apply_manager(ManagerSpec::LinOpt, &mut machine, &budget, &mut rng)
                 .expect("active cores present");
             if ms > 0 {
                 let avg = window_power / DVFS_INTERVAL_MS as f64;

@@ -62,13 +62,13 @@ fn main() {
         .seed(seed)
         .arm(arm(
             "Random+Foxton*",
-            SchedPolicy::Random,
-            ManagerKind::FoxtonStar,
+            SchedulerSpec::Random,
+            ManagerSpec::FoxtonStar,
         ))
         .arm(arm(
             "VarF&AppIPC+LinOpt",
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
         ))
         .build()
         .expect("quickstart spec is valid");

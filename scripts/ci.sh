@@ -26,13 +26,25 @@
 #                               scale and check_bench diffs its
 #                               BENCH_fleet.json against the committed
 #                               snapshot
+#   scripts/ci.sh tournament-smoke
+#                               additionally runs the tournament gates:
+#                               the tournament_gate bin replays the
+#                               committed contender x scenario grid at
+#                               three worker counts and byte-compares
+#                               the ranked report against
+#                               tests/golden/tournament_smoke.jsonl,
+#                               then the tournament bench runs at smoke
+#                               scale (which also enforces the solver
+#                               cost and budget-tracking gates) and
+#                               check_bench diffs BENCH_tournament.json
+#                               against the committed snapshot
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|bench-smoke|replay-smoke|fleet-smoke) ;;
-  *) echo "usage: $0 [bench-smoke|replay-smoke|fleet-smoke]" >&2; exit 2 ;;
+  default|bench-smoke|replay-smoke|fleet-smoke|tournament-smoke) ;;
+  *) echo "usage: $0 [bench-smoke|replay-smoke|fleet-smoke|tournament-smoke]" >&2; exit 2 ;;
 esac
 
 cargo fmt --check
@@ -87,4 +99,24 @@ if [[ "$mode" == fleet-smoke ]]; then
   cargo run -q --release --offline -p vasp-bench --bin fleet -- --scale smoke
   cargo run -q --release --offline -p vasp-bench --bin check_bench -- \
     results/BENCH_fleet.json --baseline "$baseline_dir"
+fi
+
+if [[ "$mode" == tournament-smoke ]]; then
+  # Tournament determinism gate: replay the committed contender x
+  # scenario grid at three worker counts and byte-compare the ranked
+  # report against the golden (see
+  # crates/core/src/experiments/tournament.rs), then run the
+  # tournament bench at smoke scale — which itself fails on a solver
+  # cost ratio under 10x or a budget-tracking gap over 2 points — and
+  # diff its BENCH_tournament.json medians against the committed
+  # snapshot.
+  baseline_dir=target/bench-baseline
+  rm -rf "$baseline_dir"
+  mkdir -p "$baseline_dir"
+  cp results/BENCH_*.json "$baseline_dir"/ 2>/dev/null || true
+
+  cargo run -q --release --offline -p vasp-bench --bin tournament_gate
+  cargo run -q --release --offline -p vasp-bench --bin tournament -- --scale smoke
+  cargo run -q --release --offline -p vasp-bench --bin check_bench -- \
+    results/BENCH_tournament.json --baseline "$baseline_dir"
 fi

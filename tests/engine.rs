@@ -7,7 +7,7 @@
 use cmpsim::Mix;
 use vasp::vasched::engine::{SeedPlan, TrialArm, TrialRunner, TrialSpec};
 use vasp::vasched::experiments::{Context, Scale};
-use vasp::vasched::manager::{ManagerKind, PowerBudget};
+use vasp::vasched::manager::{ManagerSpec, PowerBudget};
 use vasp::vasched::prelude::*;
 use vasp::vasched::runtime::FreqMode;
 
@@ -31,16 +31,16 @@ fn smoke_spec<'a>(ctx: &'a Context, pool: &'a [cmpsim::AppSpec]) -> TrialSpec<'a
         })
         .arm(TrialArm {
             label: "Random+Foxton*".into(),
-            policy: SchedPolicy::Random,
-            manager: ManagerKind::FoxtonStar,
+            policy: SchedulerSpec::Random,
+            manager: ManagerSpec::FoxtonStar,
             budget,
             runtime,
             rng_salt: Some(0xABCD),
         })
         .arm(TrialArm {
             label: "VarF&AppIPC+LinOpt".into(),
-            policy: SchedPolicy::VarFAppIpc,
-            manager: ManagerKind::LinOpt,
+            policy: SchedulerSpec::VarFAppIpc,
+            manager: ManagerSpec::LinOpt,
             budget,
             runtime,
             rng_salt: Some(0xABCD),

@@ -8,14 +8,14 @@ use vasp::vasched::engine::{
     OnlineArm, OnlineTrialSpec, SeedPlan, TrialArm, TrialRunner, TrialSpec,
 };
 use vasp::vasched::experiments::{Context, Scale};
-use vasp::vasched::manager::{DegradationEvent, ManagerKind, PowerBudget};
+use vasp::vasched::manager::{DegradationEvent, ManagerSpec, PowerBudget};
 use vasp::vasched::online::{
     run_online, run_online_faulted, ArrivalConfig, OnlineConfig, ServicePolicy,
 };
 use vasp::vasched::runtime::{
     run_trial, run_trial_faulted, NullObserver, RuntimeConfig, TrialObserver,
 };
-use vasp::vasched::sched::SchedPolicy;
+use vasp::vasched::sched::SchedulerSpec;
 use vasp::vastats::SimRng;
 
 fn runtime() -> RuntimeConfig {
@@ -53,16 +53,16 @@ fn faulted_spec<'a>(ctx: &'a Context, pool: &'a [vasp::cmpsim::AppSpec]) -> Tria
         .fault_plan(stress_plan())
         .arm(TrialArm {
             label: "Foxton*".into(),
-            policy: SchedPolicy::Random,
-            manager: ManagerKind::FoxtonStar,
+            policy: SchedulerSpec::Random,
+            manager: ManagerSpec::FoxtonStar,
             budget,
             runtime: runtime(),
             rng_salt: Some(0xF0),
         })
         .arm(TrialArm {
             label: "LinOpt".into(),
-            policy: SchedPolicy::VarFAppIpc,
-            manager: ManagerKind::LinOpt,
+            policy: SchedulerSpec::VarFAppIpc,
+            manager: ManagerSpec::LinOpt,
             budget,
             runtime: runtime(),
             rng_salt: Some(0xF0),
@@ -112,8 +112,8 @@ fn faulted_online_trials_are_bit_identical_across_worker_counts() {
         .fault_plan(stress_plan())
         .arm(OnlineArm {
             label: "LinOpt".into(),
-            policy: SchedPolicy::VarFAppIpc,
-            manager: ManagerKind::LinOpt,
+            policy: SchedulerSpec::VarFAppIpc,
+            manager: ManagerSpec::LinOpt,
             budget: PowerBudget::low_power(20),
             config,
             rng_salt: Some(0x51),
@@ -138,10 +138,10 @@ fn zero_fault_plan_matches_legacy_run_bit_for_bit() {
     let ctx = Context::new(Scale::smoke().grid);
     let pool = app_pool(&ctx.machine_config().dynamic);
     let cases = [
-        (4usize, SchedPolicy::VarFAppIpc, ManagerKind::LinOpt),
-        (10, SchedPolicy::VarP, ManagerKind::FoxtonStar),
-        (20, SchedPolicy::Random, ManagerKind::ChipWide),
-        (8, SchedPolicy::VarF, ManagerKind::None),
+        (4usize, SchedulerSpec::VarFAppIpc, ManagerSpec::LinOpt),
+        (10, SchedulerSpec::VarP, ManagerSpec::FoxtonStar),
+        (20, SchedulerSpec::Random, ManagerSpec::ChipWide),
+        (8, SchedulerSpec::VarF, ManagerSpec::None),
     ];
     for seed in 0u64..4 {
         for &(threads, policy, manager) in &cases {
@@ -205,8 +205,8 @@ fn zero_fault_online_matches_legacy_run_bit_for_bit() {
             &mut legacy_machine,
             &pool,
             Mix::Balanced,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             budget,
             &config,
             &mut SimRng::seed_from(77 * seed + 3),
@@ -216,8 +216,8 @@ fn zero_fault_online_matches_legacy_run_bit_for_bit() {
             &mut faulted_machine,
             &pool,
             Mix::Balanced,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             budget,
             &config,
             &FaultPlan::none(),
@@ -284,8 +284,8 @@ fn deep_budget_drop_is_survived_via_visible_fallback() {
     let outcome = run_trial_faulted(
         &mut machine,
         &workload,
-        SchedPolicy::VarFAppIpc,
-        ManagerKind::LinOpt,
+        SchedulerSpec::VarFAppIpc,
+        ManagerSpec::LinOpt,
         PowerBudget {
             chip_w: 40.0,
             per_core_w: PowerBudget::DEFAULT_PER_CORE_W,
@@ -319,8 +319,8 @@ fn core_failures_park_threads_and_clear_dead_cores() {
     let outcome = run_trial_faulted(
         &mut machine,
         &workload,
-        SchedPolicy::VarFAppIpc,
-        ManagerKind::LinOpt,
+        SchedulerSpec::VarFAppIpc,
+        ManagerSpec::LinOpt,
         PowerBudget::cost_performance(20),
         &runtime(),
         &plan,

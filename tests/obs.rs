@@ -12,13 +12,13 @@
 use vasp::cmpsim::{app_pool, Mix};
 use vasp::vasched::engine::{SeedPlan, TelemetryObserver, TrialArm, TrialRunner, TrialSpec};
 use vasp::vasched::experiments::Context;
-use vasp::vasched::manager::{ManagerKind, PowerBudget};
+use vasp::vasched::manager::{ManagerSpec, PowerBudget};
 use vasp::vasched::obs::{parse_json, JsonValue, TraceObserver, TRACE_SCHEMA};
 use vasp::vasched::online::{
     run_online, ArrivalConfig, OnlineConfig, OnlineOutcome, ServicePolicy,
 };
 use vasp::vasched::runtime::RuntimeConfig;
-use vasp::vasched::sched::SchedPolicy;
+use vasp::vasched::sched::SchedulerSpec;
 use vasp::vastats::SimRng;
 
 /// The timeline every golden run uses: 60 ms, 10 ms DVFS intervals,
@@ -47,16 +47,16 @@ fn golden_spec<'a>(ctx: &'a Context, pool: &'a [vasp::cmpsim::AppSpec]) -> Trial
         })
         .arm(TrialArm {
             label: "LinOpt".into(),
-            policy: SchedPolicy::VarFAppIpc,
-            manager: ManagerKind::LinOpt,
+            policy: SchedulerSpec::VarFAppIpc,
+            manager: ManagerSpec::LinOpt,
             budget: PowerBudget::cost_performance(6),
             runtime: golden_runtime(),
             rng_salt: Some(0xBEEF),
         })
         .arm(TrialArm {
             label: "Foxton*".into(),
-            policy: SchedPolicy::VarFAppIpc,
-            manager: ManagerKind::FoxtonStar,
+            policy: SchedulerSpec::VarFAppIpc,
+            manager: ManagerSpec::FoxtonStar,
             budget: PowerBudget::cost_performance(6),
             runtime: golden_runtime(),
             rng_salt: Some(0xBEEF),
@@ -96,8 +96,8 @@ fn golden_online_outcome() -> OnlineOutcome {
         &mut machine,
         &pool,
         Mix::Balanced,
-        SchedPolicy::VarFAppIpc,
-        ManagerKind::LinOpt,
+        SchedulerSpec::VarFAppIpc,
+        ManagerSpec::LinOpt,
         PowerBudget::cost_performance(20),
         &config,
         &mut rng,

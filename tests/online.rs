@@ -6,10 +6,10 @@
 use vasp::cmpsim::{app_pool, Mix};
 use vasp::vasched::engine::{OnlineArm, OnlineTrialSpec, SeedPlan, TrialRunner};
 use vasp::vasched::experiments::{Context, Scale};
-use vasp::vasched::manager::{ManagerKind, PowerBudget};
+use vasp::vasched::manager::{ManagerSpec, PowerBudget};
 use vasp::vasched::online::{run_online, ArrivalConfig, OnlineConfig, ServicePolicy};
 use vasp::vasched::runtime::RuntimeConfig;
-use vasp::vasched::sched::SchedPolicy;
+use vasp::vasched::sched::SchedulerSpec;
 use vasp::vastats::SimRng;
 
 fn serving_config(rate_per_s: f64) -> OnlineConfig {
@@ -39,8 +39,8 @@ fn open_system_serves_jobs_end_to_end() {
         &mut machine,
         &pool,
         Mix::Balanced,
-        SchedPolicy::VarFAppIpc,
-        ManagerKind::LinOpt,
+        SchedulerSpec::VarFAppIpc,
+        ManagerSpec::LinOpt,
         PowerBudget::cost_performance(20),
         &serving_config(400.0),
         &mut rng,
@@ -66,11 +66,11 @@ fn open_system_serves_jobs_end_to_end() {
 fn online_trials_are_bit_identical_across_worker_counts() {
     let ctx = Context::new(Scale::smoke().grid);
     let pool = app_pool(&ctx.machine_config().dynamic);
-    let arms: Vec<OnlineArm> = [ManagerKind::FoxtonStar, ManagerKind::LinOpt]
+    let arms: Vec<OnlineArm> = [ManagerSpec::FoxtonStar, ManagerSpec::LinOpt]
         .iter()
         .map(|&manager| OnlineArm {
             label: manager.name().to_string(),
-            policy: SchedPolicy::VarFAppIpc,
+            policy: SchedulerSpec::VarFAppIpc,
             manager,
             budget: PowerBudget::low_power(20),
             config: serving_config(600.0),

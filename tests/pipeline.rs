@@ -1,7 +1,7 @@
 //! End-to-end integration: die manufacturing → machine → profiling →
 //! scheduling → power management → metrics, across all crates.
 
-use vasp::vasched::manager::{apply_manager, ManagerKind, PmView, PowerBudget};
+use vasp::vasched::manager::{apply_manager, ManagerSpec, PmView, PowerBudget};
 use vasp::vasched::prelude::*;
 use vasp::vasched::profile::{core_profiles, thread_profiles};
 use vasp::vasched::runtime::FreqMode;
@@ -41,7 +41,7 @@ fn full_pipeline_produces_consistent_state() {
     // Manage.
     let budget = PowerBudget::cost_performance(10);
     let levels =
-        apply_manager(ManagerKind::LinOpt, &mut machine, &budget, &mut rng).expect("active cores");
+        apply_manager(ManagerSpec::LinOpt, &mut machine, &budget, &mut rng).expect("active cores");
     assert_eq!(levels.len(), 10);
 
     // Simulate 50 ms; power stays near/below target, throughput flows.
@@ -97,9 +97,9 @@ fn all_managers_respect_budget_on_real_machine() {
 
     let budget = PowerBudget::cost_performance(8);
     for kind in [
-        ManagerKind::FoxtonStar,
-        ManagerKind::LinOpt,
-        ManagerKind::SAnn { evaluations: 5_000 },
+        ManagerSpec::FoxtonStar,
+        ManagerSpec::LinOpt,
+        ManagerSpec::SAnn { evaluations: 5_000 },
     ] {
         let mut m = machine.clone();
         let levels = apply_manager(kind, &mut m, &budget, &mut rng).expect("active");
@@ -159,8 +159,8 @@ fn uniform_and_nonuniform_regimes_differ_as_expected() {
         run_trial(
             &mut machine,
             &workload,
-            SchedPolicy::Random,
-            ManagerKind::None,
+            SchedulerSpec::Random,
+            ManagerSpec::None,
             budget,
             &runtime,
             &mut SimRng::seed_from(11),
@@ -186,8 +186,8 @@ fn trials_are_reproducible_across_machine_rebuilds() {
         run_trial(
             &mut machine,
             &workload,
-            SchedPolicy::VarFAppIpc,
-            ManagerKind::LinOpt,
+            SchedulerSpec::VarFAppIpc,
+            ManagerSpec::LinOpt,
             budget,
             &runtime,
             &mut SimRng::seed_from(14),

@@ -12,11 +12,11 @@ use vasp::varius::CoreCells;
 use vasp::vasched::extensions::WearoutTracker;
 use vasp::vasched::manager::{
     foxton::foxton_star_levels, linopt::linopt_levels, sann::greedy_levels, synthetic_core,
-    ManagerKind, PmView, PowerBudget,
+    ManagerSpec, PmView, PowerBudget,
 };
 use vasp::vasched::metrics::ed2_index;
 use vasp::vasched::profile::{CoreProfile, ThreadProfile};
-use vasp::vasched::sched::{schedule, SchedPolicy};
+use vasp::vasched::sched::{schedule, SchedPolicy, SchedulerSpec};
 use vasp::vastats::{LineFit, SimRng};
 
 /// Simplex: on random feasible, bounded LPs, the solution is feasible
@@ -129,7 +129,7 @@ fn managers_never_exceed_feasible_budget() {
     }
 }
 
-/// Every `PowerManager` implementation (built from its `ManagerKind`
+/// Every `PowerManager` implementation (built from its `ManagerSpec`
 /// spec) respects both the per-core cap and the chip budget after
 /// repair, across random views, budgets, and repeated invocations —
 /// repeated because stateful managers (Foxton* cursor, LinOpt
@@ -138,14 +138,16 @@ fn managers_never_exceed_feasible_budget() {
 #[test]
 fn trait_managers_respect_budgets_post_repair() {
     let kinds = [
-        ManagerKind::FoxtonStar,
-        ManagerKind::LinOpt,
-        ManagerKind::sann_fast(),
-        ManagerKind::ChipWide,
-        ManagerKind::DomainLinOpt {
+        ManagerSpec::FoxtonStar,
+        ManagerSpec::LinOpt,
+        ManagerSpec::sann_fast(),
+        ManagerSpec::ChipWide,
+        ManagerSpec::DomainLinOpt {
             cores_per_domain: 2,
         },
+        ManagerSpec::integral_regulator(),
     ];
+    let rt = vasp::vasched::runtime::RuntimeConfig::paper_default();
     for seed in 0u64..20 {
         let mut rng = SimRng::seed_from(0x9_11C0 + seed);
         let n = 2 + (seed as usize % 9);
@@ -157,7 +159,10 @@ fn trait_managers_respect_budgets_post_repair() {
             per_core_w: rng.uniform(4.0, 12.0),
         };
         for kind in &kinds {
-            let mut manager = kind.build().expect("not ManagerKind::None");
+            let mut manager = kind
+                .build(&rt)
+                .expect("valid spec")
+                .expect("not ManagerSpec::None");
             for round in 0..3 {
                 let levels = manager.levels(&view, &budget, &mut rng);
                 assert_eq!(levels.len(), n, "seed {seed} {} round {round}", kind.name());
@@ -353,7 +358,7 @@ fn random_fault_plans_keep_threads_off_dead_cores() {
     use vasp::cmpsim::{app_pool, FaultPlan, Machine, MachineConfig, Workload};
     use vasp::floorplan::paper_20_core;
     use vasp::varius::{DieGenerator, VariationConfig};
-    use vasp::vasched::manager::{DegradationEvent, ManagerKind};
+    use vasp::vasched::manager::{DegradationEvent, ManagerSpec};
     use vasp::vasched::runtime::{run_trial_faulted, RuntimeConfig, TrialObserver};
 
     #[derive(Default)]
@@ -421,8 +426,8 @@ fn random_fault_plans_keep_threads_off_dead_cores() {
             run_trial_faulted(
                 &mut m,
                 &workload,
-                SchedPolicy::VarFAppIpc,
-                ManagerKind::LinOpt,
+                SchedulerSpec::VarFAppIpc,
+                ManagerSpec::LinOpt,
                 budget,
                 &runtime,
                 &plan,
@@ -445,6 +450,106 @@ fn random_fault_plans_keep_threads_off_dead_cores() {
     }
 }
 
+/// The thermal mapper places by floorplan geometry and temperature —
+/// neither of which marks a core dead — so this pins that the fault
+/// machinery (profiles of dead cores are filtered before `assign`)
+/// still keeps every thread off failed cores when `ThermalMap` is the
+/// placement policy, under randomized kill sets, and that the mapper's
+/// RNG-free `observe` hook keeps faulted runs bit-reproducible.
+#[test]
+fn thermal_mapper_keeps_threads_off_dead_cores() {
+    use vasp::cmpsim::{app_pool, FaultPlan, Machine, MachineConfig, Workload};
+    use vasp::floorplan::paper_20_core;
+    use vasp::varius::{DieGenerator, VariationConfig};
+    use vasp::vasched::manager::{DegradationEvent, ManagerSpec};
+    use vasp::vasched::runtime::{run_trial_faulted, RuntimeConfig, TrialObserver};
+
+    #[derive(Default)]
+    struct Audit {
+        dead: Vec<usize>,
+        violations: usize,
+    }
+    impl TrialObserver for Audit {
+        fn on_degradation(&mut self, _tick: usize, event: DegradationEvent) {
+            if let DegradationEvent::CoreFailed { core } = event {
+                self.dead.push(core);
+            }
+        }
+        fn on_step(&mut self, machine: &Machine, _stats: &vasp::cmpsim::StepStats) {
+            self.violations += self
+                .dead
+                .iter()
+                .filter(|&&c| machine.thread_of(c).is_some())
+                .count();
+        }
+    }
+
+    let cfg = VariationConfig {
+        grid: 20,
+        ..VariationConfig::paper_default()
+    };
+    let generator = DieGenerator::new(cfg).expect("valid config");
+    let runtime = RuntimeConfig::builder()
+        .duration_ms(50.0)
+        .os_interval_ms(10.0) // frequent reschedules: many assign calls
+        .build()
+        .unwrap();
+    for seed in 0u64..12 {
+        let mut gen_rng = SimRng::seed_from(0x7E_1107 + seed);
+        // Always at least one failure — the property under test — and
+        // up to four, early enough that many epochs run degraded.
+        let n_failures = 1 + (seed as usize) % 4;
+        let mut plan = FaultPlan::none().with_seed(seed);
+        let mut victims = Vec::new();
+        for _ in 0..n_failures {
+            let core = loop {
+                let c = gen_rng.index(20);
+                if !victims.contains(&c) {
+                    break c;
+                }
+            };
+            victims.push(core);
+            plan = plan.with_core_failure(core, gen_rng.uniform(1.0, 25.0));
+        }
+        plan.validate(20).expect("generated plan is valid");
+
+        let die = generator.generate(&mut SimRng::seed_from(800 + seed));
+        let machine = Machine::new(&die, &paper_20_core(), MachineConfig::paper_default());
+        let pool = app_pool(&machine.config().dynamic);
+        // Enough threads that survivors get crowded, never more than
+        // the surviving cores can hold.
+        let threads = (20 - n_failures).min(8 + (seed as usize) % 12);
+        let workload = Workload::draw(&pool, threads, &mut SimRng::seed_from(900 + seed));
+        let budget = PowerBudget::cost_performance(threads);
+
+        let run = |observer: &mut Audit| {
+            let mut m = machine.clone();
+            run_trial_faulted(
+                &mut m,
+                &workload,
+                SchedulerSpec::ThermalMap,
+                ManagerSpec::LinOpt,
+                budget,
+                &runtime,
+                &plan,
+                &mut SimRng::seed_from(1000 + seed),
+                observer,
+            )
+            .expect("faulted thermal-map trial completes")
+        };
+        let mut audit = Audit::default();
+        let outcome = run(&mut audit);
+        assert_eq!(
+            audit.violations, 0,
+            "seed {seed}: thermal mapper left a thread on a dead core"
+        );
+        assert_eq!(audit.dead.len(), n_failures, "seed {seed}");
+        assert!(outcome.mips > 0.0, "seed {seed}: throughput must flow");
+        let rerun = run(&mut Audit::default());
+        assert_eq!(outcome, rerun, "seed {seed}: faulted run not reproducible");
+    }
+}
+
 /// Online loop, closed system: with arrivals disabled and free
 /// migration, `run_online` must reproduce the batch `run_trial`
 /// outcome exactly — same RNG stream, same epochs, same metrics —
@@ -454,7 +559,7 @@ fn zero_arrival_online_equals_batch_trial() {
     use vasp::cmpsim::{app_pool, Machine, MachineConfig, Mix, Workload};
     use vasp::floorplan::paper_20_core;
     use vasp::varius::{DieGenerator, VariationConfig};
-    use vasp::vasched::manager::ManagerKind;
+    use vasp::vasched::manager::ManagerSpec;
     use vasp::vasched::online::{run_online, ArrivalConfig, OnlineConfig, ServicePolicy};
     use vasp::vasched::runtime::{run_trial, RuntimeConfig};
 
@@ -469,10 +574,10 @@ fn zero_arrival_online_equals_batch_trial() {
         .build()
         .unwrap();
     let cases = [
-        (2usize, SchedPolicy::VarFAppIpc, ManagerKind::LinOpt),
-        (6, SchedPolicy::VarP, ManagerKind::FoxtonStar),
-        (11, SchedPolicy::VarFAppIpc, ManagerKind::ChipWide),
-        (20, SchedPolicy::Random, ManagerKind::LinOpt),
+        (2usize, SchedulerSpec::VarFAppIpc, ManagerSpec::LinOpt),
+        (6, SchedulerSpec::VarP, ManagerSpec::FoxtonStar),
+        (11, SchedulerSpec::VarFAppIpc, ManagerSpec::ChipWide),
+        (20, SchedulerSpec::Random, ManagerSpec::LinOpt),
     ];
     for seed in 0u64..6 {
         for &(threads, policy, manager) in &cases {

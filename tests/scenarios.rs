@@ -8,7 +8,7 @@ use vasp::floorplan::paper_20_core;
 use vasp::varius::{DieGenerator, VariationConfig};
 use vasp::vasched::abb::{equalize_frequencies, BodyBiasConfig};
 use vasp::vasched::extensions::{run_thermal_trial, MigrationConfig, WearoutTracker};
-use vasp::vasched::manager::{apply_manager, ManagerKind, PmView, PowerBudget};
+use vasp::vasched::manager::{apply_manager, ManagerSpec, PmView, PowerBudget};
 use vasp::vasched::prelude::*;
 use vasp::vastats::SimRng;
 
@@ -43,13 +43,13 @@ fn chip_wide_dvfs_loses_to_per_core() {
 
     let mut per_core_machine = machine.clone();
     let per_core = apply_manager(
-        ManagerKind::LinOpt,
+        ManagerSpec::LinOpt,
         &mut per_core_machine,
         &budget,
         &mut rng,
     )
     .unwrap();
-    let chip_wide = apply_manager(ManagerKind::ChipWide, &mut machine, &budget, &mut rng).unwrap();
+    let chip_wide = apply_manager(ManagerSpec::ChipWide, &mut machine, &budget, &mut rng).unwrap();
 
     let view = PmView::from_machine(&machine);
     assert!(
@@ -84,8 +84,8 @@ fn migration_and_wearout_integrate() {
     let outcome = run_thermal_trial(
         &mut machine,
         &workload,
-        SchedPolicy::VarFAppIpc,
-        ManagerKind::LinOpt,
+        SchedulerSpec::VarFAppIpc,
+        ManagerSpec::LinOpt,
         PowerBudget::cost_performance(8),
         &RuntimeConfig::builder().duration_ms(200.0).build().unwrap(),
         Some(MigrationConfig::default_policy()),
@@ -131,13 +131,13 @@ fn homogeneous_mix_reduces_appipc_advantage() {
                 &mut m,
                 &workload,
                 policy,
-                ManagerKind::None,
+                ManagerSpec::None,
                 budget,
                 &runtime,
                 &mut SimRng::seed_from(seed + 1),
             )
         };
-        run(SchedPolicy::VarFAppIpc).mips / run(SchedPolicy::VarF).mips
+        run(SchedulerSpec::VarFAppIpc).mips / run(SchedulerSpec::VarF).mips
     };
     // Average over a few draws to tame noise.
     let balanced: f64 = (0..3)
@@ -193,7 +193,7 @@ fn telemetry_captures_a_dvfs_run() {
     let mut telemetry = Telemetry::new();
     for tick in 0..50 {
         if tick % 10 == 0 {
-            apply_manager(ManagerKind::LinOpt, &mut machine, &budget, &mut rng);
+            apply_manager(ManagerSpec::LinOpt, &mut machine, &budget, &mut rng);
         }
         let stats = machine.step(0.001);
         telemetry.record(&machine, &stats);
