@@ -1,23 +1,49 @@
 //! Kernel microbenches: the costs every experiment pays per tick.
 //!
 //! Measures the public kernel entry points (`Machine::step`, thermal
-//! stepping, leakage evaluation, LinOpt's re-solve) plus the in-place
-//! scratch-buffer APIs; writes `results/BENCH_kernel.json`. The
-//! committed pre-optimization run is `results/BENCH_kernel_baseline.json`;
-//! `check_bench --baseline` diffs the two.
+//! stepping, leakage evaluation, field sampling, LinOpt's re-solve)
+//! plus the in-place scratch-buffer APIs; writes
+//! `results/BENCH_kernel.json`. The committed pre-optimization run is
+//! `results/BENCH_kernel_baseline.json`; `check_bench --baseline`
+//! diffs the two.
+//!
+//! Flags:
+//!
+//! * `--gate` — after writing the report, compare against the
+//!   committed baseline and exit non-zero unless the optimized kernels
+//!   hold their promised speedups ([`STEP_SPEEDUP_MIN`]× on
+//!   `machine/step_1ms_20t`, [`FIELD_SPEEDUP_MIN`]× on the large-grid
+//!   field cases).
+//! * `--cholesky-reference` — instead of benchmarking, time the
+//!   forced-Cholesky field path once per case and print ready-to-paste
+//!   baseline entries (a 64×64 dense factorization takes tens of
+//!   seconds, far too slow for the sampling harness).
 
 use cmpsim::{app_pool, Machine, MachineConfig, Workload};
 use floorplan::paper_20_core;
 use linprog::{Problem, SolveWorkspace};
 use powermodel::{LeakageParams, LeakagePower};
 use std::hint::black_box;
+use std::time::Instant;
 use thermal::{ThermalModel, ThermalParams, ThermalScratch};
 use varius::{DieGenerator, VariationConfig};
 use vasched::manager::linopt::{linopt_levels, LinOpt};
 use vasched::manager::{synthetic_core, PmView, PowerBudget, PowerManager};
+use vasched::obs::{parse_json, JsonValue};
 use vasp_bench::json_report::BenchReport;
 use vasp_bench::timing::report_case;
-use vastats::SimRng;
+use vastats::{GaussianField, SimRng, SphericalCorrelogram};
+
+/// `--gate`: required speedup of `machine/step_1ms_20t` over the
+/// committed baseline.
+const STEP_SPEEDUP_MIN: f64 = 5.0;
+
+/// `--gate`: required speedup of the `field/*_64x64` cases over the
+/// committed (forced-Cholesky) baseline.
+const FIELD_SPEEDUP_MIN: f64 = 10.0;
+
+/// The committed pre-optimization reference the gate reads.
+const BASELINE_PATH: &str = "results/BENCH_kernel_baseline.json";
 
 /// Builds the paper-scale machine loaded with `threads` running threads.
 fn loaded_machine(threads: usize) -> Machine {
@@ -117,6 +143,37 @@ fn bench_leakage(report: &mut BenchReport) {
     report.push_case("leakage", "block_static_20x9_sweep", m);
 }
 
+fn bench_field(report: &mut BenchReport) {
+    let corr = SphericalCorrelogram::new(VariationConfig::paper_default().phi);
+
+    // 64×64 = 4096 cells: well past CHOLESKY_MAX_CELLS, so `build`
+    // dispatches to the circulant-embedding sampler.
+    let m = report_case("field", "build_64x64", || {
+        black_box(GaussianField::build(64, 64, corr).expect("embedding admits 64x64"));
+    });
+    report.push_case("field", "build_64x64", m);
+
+    let field = GaussianField::build(64, 64, corr).expect("embedding admits 64x64");
+    let mut rng = SimRng::seed_from(7);
+    let m = report_case("field", "sample_pair_64x64", || {
+        black_box(field.sample_many(2, &mut rng));
+    });
+    report.push_case("field", "sample_pair_64x64", m);
+
+    // The die-level view of the same win: two paper-config dies on the
+    // evaluation's large grid, fields drawn through `sample_many`.
+    let generator = DieGenerator::new(VariationConfig {
+        grid: 60,
+        ..VariationConfig::paper_default()
+    })
+    .expect("valid config");
+    let mut rng = SimRng::seed_from(8);
+    let m = report_case("field", "generate_many_pair_grid60", || {
+        black_box(generator.generate_many(2, &mut rng));
+    });
+    report.push_case("field", "generate_many_pair_grid60", m);
+}
+
 fn drifting_view(step: usize) -> PmView {
     let drift = 1.0 + 0.01 * step as f64;
     PmView::from_cores(
@@ -194,15 +251,112 @@ fn bench_solver(report: &mut BenchReport) {
     report.push_case("solver", "simplex_warm_ws_20c", m);
 }
 
+/// Times the forced-Cholesky field path once per case and prints the
+/// numbers as baseline-file case entries. One call each: the 64×64
+/// dense build factorizes a 4096×4096 covariance, so the sampling
+/// harness (7+ calls per case) is out of the question.
+fn cholesky_reference() {
+    let corr = SphericalCorrelogram::new(VariationConfig::paper_default().phi);
+
+    let start = Instant::now();
+    let field = GaussianField::build_cholesky(64, 64, corr).expect("64x64 factorizes");
+    let build_ns = start.elapsed().as_nanos() as f64;
+    eprintln!("cholesky build_64x64: {build_ns:.0} ns");
+
+    let mut rng = SimRng::seed_from(7);
+    black_box(field.sample_many(2, &mut rng)); // warm-up
+    let start = Instant::now();
+    black_box(field.sample_many(2, &mut rng));
+    let pair_ns = start.elapsed().as_nanos() as f64;
+    eprintln!("cholesky sample_pair_64x64: {pair_ns:.0} ns");
+
+    for (id, ns) in [
+        ("field/build_64x64", build_ns),
+        ("field/sample_pair_64x64", pair_ns),
+    ] {
+        println!(
+            "{{\"id\":\"{id}\",\"median_ns\":{ns},\"min_ns\":{ns},\"max_ns\":{ns},\"iters\":1,\"samples\":1}},"
+        );
+    }
+}
+
+/// Looks up a case median in a parsed baseline report.
+fn baseline_median(doc: &JsonValue, id: &str) -> Option<f64> {
+    doc.get("cases")?
+        .as_arr()?
+        .iter()
+        .find(|c| c.get("id").and_then(JsonValue::as_str) == Some(id))?
+        .get("median_ns")?
+        .as_f64()
+}
+
+/// Enforces the promised speedups against the committed baseline.
+/// Returns false (after printing every violation) when any gated case
+/// falls short.
+fn gate(report: &BenchReport) -> bool {
+    let text = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("GATE FAIL: cannot read {BASELINE_PATH}: {e}");
+            return false;
+        }
+    };
+    let doc = match parse_json(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("GATE FAIL: {BASELINE_PATH} does not parse: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    for (id, need) in [
+        ("machine/step_1ms_20t", STEP_SPEEDUP_MIN),
+        ("field/build_64x64", FIELD_SPEEDUP_MIN),
+        ("field/sample_pair_64x64", FIELD_SPEEDUP_MIN),
+    ] {
+        let Some(then) = baseline_median(&doc, id) else {
+            eprintln!("GATE FAIL: baseline has no case '{id}'");
+            ok = false;
+            continue;
+        };
+        let Some(now) = report.median_of(id) else {
+            eprintln!("GATE FAIL: this run has no case '{id}'");
+            ok = false;
+            continue;
+        };
+        let speedup = then / now;
+        if speedup >= need {
+            println!("gate ok   {id}: {speedup:.1}x (need {need:.0}x)");
+        } else {
+            eprintln!(
+                "GATE FAIL {id}: {speedup:.1}x < required {need:.0}x ({then:.0} ns -> {now:.0} ns)"
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--cholesky-reference") {
+        cholesky_reference();
+        return;
+    }
+    let gate_requested = args.iter().any(|a| a == "--gate");
+
     let mut report = BenchReport::new();
     bench_step(&mut report);
     bench_view(&mut report);
     bench_thermal(&mut report);
     bench_leakage(&mut report);
+    bench_field(&mut report);
     bench_solver(&mut report);
     match report.write("kernel") {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_kernel.json: {e}"),
+    }
+    if gate_requested && !gate(&report) {
+        std::process::exit(1);
     }
 }

@@ -72,6 +72,11 @@ impl BenchReport {
         self.cases.len()
     }
 
+    /// Median of the case recorded under `id`, if any.
+    pub fn median_of(&self, id: &str) -> Option<f64> {
+        self.cases.iter().find(|c| c.id == id).map(|c| c.median_ns)
+    }
+
     /// Renders the report as one JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();

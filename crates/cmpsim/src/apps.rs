@@ -188,10 +188,12 @@ impl AppSpec {
     /// Panics if `l2_share_mb` is not positive.
     pub fn dram_mpi_at_share(&self, l2_share_mb: f64) -> f64 {
         assert!(l2_share_mb > 0.0, "cache share must be positive");
-        const THETA: f64 = 0.5;
+        // θ = 0.5 makes the power law exactly a square root; `sqrt` is
+        // one instruction where `powf` is a libcall on this per-tick
+        // path (once per running core per step).
         let effective_full = self.ws_mb.min(8.0);
         let effective_share = self.ws_mb.min(l2_share_mb);
-        self.dram_mpi * (effective_full / effective_share).powf(THETA)
+        self.dram_mpi * (effective_full / effective_share).sqrt()
     }
 
     /// The calibrated activity vector (drives dynamic power).

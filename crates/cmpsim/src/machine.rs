@@ -20,7 +20,7 @@ use crate::faults::{FaultConfigError, FaultEvent, FaultPlan, FaultState, SensorF
 use crate::thread::Thread;
 use critpath::{FreqModel, TimingParams, VfTable};
 use floorplan::{BlockKind, Floorplan};
-use powermodel::{DynamicPower, LeakageParams, LeakagePower};
+use powermodel::{BlockLeakage, DynamicPower, LeakageParams, LeakagePower};
 use std::cell::RefCell;
 use thermal::{ThermalModel, ThermalParams, ThermalScratch};
 use varius::{CoreCells, Die};
@@ -250,8 +250,14 @@ pub struct Machine {
     l2: Vec<L2Info>,
     thermal: ThermalModel,
     freq_model: FreqModel,
-    core_leak: LeakagePower,
-    l2_leak: LeakagePower,
+    /// Per-core precomputed leakage models (SoA alongside `cores`):
+    /// each folds its core's whole Vth map into a Chebyshev log-moment
+    /// fit, so the per-tick leakage evaluation is O(1) instead of
+    /// O(cells). Accuracy vs the per-cell path is the powermodel
+    /// crate's 1e-6 corpus contract.
+    core_leak_models: Vec<BlockLeakage>,
+    /// Per-L2-strip precomputed leakage models (SoA alongside `l2`).
+    l2_leak_models: Vec<BlockLeakage>,
     temps: Vec<f64>,
     threads: Vec<Thread>,
     /// Per core: index of the thread it runs, if any.
@@ -356,6 +362,14 @@ impl Machine {
         cores.sort_by_key(|(idx, _)| *idx);
         let cores: Vec<CoreInfo> = cores.into_iter().map(|(_, c)| c).collect();
         let n = cores.len();
+        let core_leak_models: Vec<BlockLeakage> = cores
+            .iter()
+            .map(|c| core_leak.block_model(&c.cells, c.area_mm2))
+            .collect();
+        let l2_leak_models: Vec<BlockLeakage> = l2
+            .iter()
+            .map(|s| l2_leak.block_model(&s.cells, s.area_mm2))
+            .collect();
 
         let thermal = ThermalModel::new(floorplan, config.thermal);
         let ambient = config.thermal.ambient_k;
@@ -367,8 +381,8 @@ impl Machine {
             l2,
             thermal,
             freq_model,
-            core_leak,
-            l2_leak,
+            core_leak_models,
+            l2_leak_models,
             temps: vec![ambient; blocks],
             threads: Vec::new(),
             assignment: vec![None; n],
@@ -430,9 +444,7 @@ impl Machine {
     ///
     /// Panics if `core` is out of range.
     pub fn manufacturer_static_power(&self, core: usize, v: f64) -> f64 {
-        let c = &self.cores[core];
-        self.core_leak
-            .block_static(&c.cells, c.area_mm2, v, self.config.profile_temp_k)
+        self.core_leak_models[core].static_power(v, self.config.profile_temp_k)
     }
 
     /// The variation cells of a core (for model-level analyses).
@@ -878,9 +890,7 @@ impl Machine {
             let (ipc_mult, power_mult) = thread.phase_now();
             let ipc = thread.spec().ipc_at_share(f, thread.l2_alloc_mb()) * ipc_mult;
             let dyn_w = self.config.dynamic.power(thread.activity_now(), v, f) * power_mult;
-            let leak_w = self
-                .core_leak
-                .block_static(&info.cells, info.area_mm2, v, temp);
+            let leak_w = self.core_leak_models[core].static_power(v, temp);
             let retired = thread.run_at(run_s, f, ipc);
 
             instructions += retired;
@@ -896,14 +906,9 @@ impl Machine {
         let l2_dynamic = l2_accesses_per_s * self.config.l2_access_energy_j;
         let strips = self.l2.len().max(1) as f64;
         let mut total_power = 0.0;
-        for strip in &self.l2 {
+        for (strip, model) in self.l2.iter().zip(&self.l2_leak_models) {
             let temp = self.temps[strip.block_idx];
-            let leak = self.l2_leak.block_static(
-                &strip.cells,
-                strip.area_mm2,
-                self.config.l2_voltage,
-                temp,
-            );
+            let leak = model.static_power(self.config.l2_voltage, temp);
             let p = leak + l2_dynamic / strips;
             self.scratch_block_power[strip.block_idx] = p;
         }
@@ -978,9 +983,7 @@ impl Machine {
             if memo.stamp[idx] == memo.generation {
                 memo.values[idx]
             } else {
-                let w = self
-                    .core_leak
-                    .block_static(&info.cells, info.area_mm2, v, temp);
+                let w = self.core_leak_models[core].static_power(v, temp);
                 let generation = memo.generation;
                 memo.values[idx] = w;
                 memo.stamp[idx] = generation;
@@ -1313,9 +1316,7 @@ impl Machine {
 
             let ipc = thread.ipc_now(f);
             let dyn_w = thread.dynamic_power_now(&self.config.dynamic, v, f);
-            let leak_w = self
-                .core_leak
-                .block_static(&info.cells, info.area_mm2, v, temp);
+            let leak_w = self.core_leak_models[core].static_power(v, temp);
             let retired = thread.run(run_s, f);
 
             instructions += retired;
@@ -1329,14 +1330,9 @@ impl Machine {
         let l2_dynamic = l2_accesses_per_s * self.config.l2_access_energy_j;
         let strips = self.l2.len().max(1) as f64;
         let mut total_power = 0.0;
-        for strip in &self.l2 {
+        for (strip, model) in self.l2.iter().zip(&self.l2_leak_models) {
             let temp = self.temps[strip.block_idx];
-            let leak = self.l2_leak.block_static(
-                &strip.cells,
-                strip.area_mm2,
-                self.config.l2_voltage,
-                temp,
-            );
+            let leak = model.static_power(self.config.l2_voltage, temp);
             let p = leak + l2_dynamic / strips;
             block_power[strip.block_idx] = p;
         }

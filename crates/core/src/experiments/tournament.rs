@@ -515,10 +515,9 @@ fn rank(roster: &[Contender], cells: &[Vec<CellResult>]) -> Vec<Ranking> {
         })
         .collect();
     out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
-            .then_with(|| a.contender.cmp(b.contender))
+        // Descending score; a NaN score ranks last instead of panicking
+        // the whole tournament.
+        crate::order::desc_nan_worst(a.score, b.score).then_with(|| a.contender.cmp(b.contender))
     });
     out
 }
@@ -654,6 +653,28 @@ mod tests {
             duration_ms: 40.0,
             ..Scale::smoke()
         }
+    }
+
+    /// A NaN cell score (e.g. a degenerate `ED²`) must rank last, not
+    /// panic the whole tournament or win the table.
+    #[test]
+    fn nan_score_ranks_last_instead_of_panicking() {
+        let roster: Vec<Contender> = contenders().into_iter().take(2).collect();
+        let cell = |contender: &'static str, score: f64| CellResult {
+            contender,
+            mips: 1.0,
+            ed2: 1.0,
+            budget_err_frac: 0.0,
+            p99_ms: None,
+            score,
+        };
+        let cells = vec![vec![
+            cell(roster[0].name, f64::NAN),
+            cell(roster[1].name, 0.5),
+        ]];
+        let ranking = rank(&roster, &cells);
+        assert_eq!(ranking[0].contender, roster[1].name);
+        assert!(ranking[1].score.is_nan());
     }
 
     #[test]

@@ -137,10 +137,9 @@ impl Dispatcher for VariationAware {
         summaries
             .iter()
             .max_by(|a, b| {
-                score(a)
-                    .partial_cmp(&score(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.chip.cmp(&a.chip))
+                // A NaN score (e.g. a poisoned backlog estimate) must
+                // lose to every real chip, not win the max.
+                crate::order::desc_nan_worst(score(b), score(a)).then(b.chip.cmp(&a.chip))
             })
             .expect("fleet has at least one chip")
             .chip
@@ -243,6 +242,24 @@ mod tests {
         assert_eq!(ll.route(&j, &s), 1, "queued counts as load");
         let tied = vec![summary(0, &[4.0e9], 1, 0), summary(1, &[4.0e9], 1, 0)];
         assert_eq!(ll.route(&j, &tied), 0, "ties go to the lowest chip");
+    }
+
+    /// A chip whose score collapses to NaN (here via a NaN frequency
+    /// reading in its profile) must lose the `max_by`, not win it the
+    /// way `partial_cmp(..).unwrap_or(Equal)` silently allowed.
+    #[test]
+    fn variation_aware_never_routes_to_nan_score() {
+        let mut va = VariationAware;
+        let j = job();
+        let s = vec![
+            summary(0, &[f64::NAN, 4.5e9], 0, 0),
+            summary(1, &[3.0e9], 0, 0),
+            summary(2, &[f64::NAN], 0, 0),
+        ];
+        assert_eq!(va.route(&j, &s), 1, "the only real score must win");
+        // All-NaN fleet: still deterministic (lowest chip index).
+        let s = vec![summary(0, &[f64::NAN], 0, 0), summary(1, &[f64::NAN], 0, 0)];
+        assert_eq!(va.route(&j, &s), 0);
     }
 
     #[test]

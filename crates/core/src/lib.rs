@@ -86,6 +86,7 @@ pub mod manager;
 pub mod metrics;
 pub mod obs;
 pub mod online;
+pub mod order;
 pub mod profile;
 pub mod runtime;
 pub mod sched;

@@ -591,9 +591,9 @@ impl<'a> OnlineSim<'a> {
             .iter()
             .enumerate()
             .min_by(|&(_, &a), &(_, &b)| {
-                self.deadline_ms(a)
-                    .partial_cmp(&self.deadline_ms(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                // Earliest deadline first; a NaN deadline ranks last so
+                // it can never starve real deadlines.
+                crate::order::asc_nan_worst(self.deadline_ms(a), self.deadline_ms(b))
                     .then(a.cmp(&b))
             })?
             .0;
@@ -690,11 +690,13 @@ impl<'a> OnlineSim<'a> {
                 let free = (0..mapping.len())
                     .filter(|&c| mapping[c].is_none() && self.machine.core_alive(c))
                     .max_by(|&a, &b| {
-                        self.cores[a]
-                            .max_freq_hz
-                            .partial_cmp(&self.cores[b].max_freq_hz)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(b.cmp(&a))
+                        // Fastest free core wins; a NaN rating loses to
+                        // every real one (desc order flipped for max_by).
+                        crate::order::desc_nan_worst(
+                            self.cores[b].max_freq_hz,
+                            self.cores[a].max_freq_hz,
+                        )
+                        .then(b.cmp(&a))
                     });
                 if let Some(core) = free {
                     mapping[core] = Some(tid);

@@ -1,0 +1,92 @@
+//! NaN-safe float orderings for scheduler and dispatcher comparators.
+//!
+//! Scores fed to sorts and `min_by`/`max_by` selections are computed
+//! from sensor readings and model output; a fault-injected sensor or a
+//! degenerate workload can turn one into NaN. `partial_cmp(..)
+//! .unwrap_or(Equal)` silently makes such a value *unordered* — where
+//! it lands then depends on the sort algorithm's visit order, and a
+//! `max_by` can happily pick it. These helpers give every comparator
+//! one explicit rule instead: **NaN loses**. A NaN score ranks below
+//! every real value (tied with −∞, after which the caller's index
+//! tie-break applies), so rankings stay total, deterministic, and never
+//! select a NaN over a real candidate.
+
+use std::cmp::Ordering;
+
+/// Maps NaN to −∞ so it loses under either direction's `total_cmp`.
+fn nan_loses(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        x
+    }
+}
+
+/// Ascending total order with NaN ranked last (worst): use with
+/// `min_by` selections where the *smallest* value wins — a NaN
+/// candidate is never picked over a real one.
+pub fn asc_nan_worst(a: f64, b: f64) -> Ordering {
+    // Losing in an ascending selection means sorting *above* every
+    // real value.
+    let key = |x: f64| if x.is_nan() { f64::INFINITY } else { x };
+    key(a).total_cmp(&key(b))
+}
+
+/// Descending total order with NaN ranked last (worst): use with
+/// descending sorts and `max_by` selections where the *largest* value
+/// wins — a NaN candidate is never picked over a real one.
+pub fn desc_nan_worst(a: f64, b: f64) -> Ordering {
+    nan_loses(b).total_cmp(&nan_loses(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_ranks_nan_below_everything() {
+        let mut v = [1.0, f64::NAN, 3.0, f64::NEG_INFINITY, 2.0];
+        v.sort_by(|a, b| desc_nan_worst(*a, *b));
+        assert_eq!(&v[..3], &[3.0, 2.0, 1.0]);
+        // NaN ties with −∞ at the bottom, never above a real value.
+        assert!(v[3].is_nan() || v[3] == f64::NEG_INFINITY);
+        assert!(v[4].is_nan() || v[4] == f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ascending_ranks_nan_after_everything() {
+        let mut v = [2.0, f64::NAN, 1.0, f64::INFINITY];
+        v.sort_by(|a, b| asc_nan_worst(*a, *b));
+        assert_eq!(&v[..2], &[1.0, 2.0]);
+        assert!(v[3].is_nan() || v[3] == f64::INFINITY);
+    }
+
+    #[test]
+    fn max_by_never_picks_nan() {
+        let v = [f64::NAN, 0.5, f64::NAN];
+        let best = v
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| desc_nan_worst(**b, **a))
+            .unwrap();
+        assert_eq!(best.0, 1);
+    }
+
+    #[test]
+    fn min_by_never_picks_nan() {
+        let v = [f64::NAN, 7.0, 3.0];
+        let best = v
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| asc_nan_worst(**a, **b))
+            .unwrap();
+        assert_eq!(best.0, 2);
+    }
+
+    #[test]
+    fn all_nan_is_still_deterministic() {
+        let mut v = [(0, f64::NAN), (1, f64::NAN)];
+        v.sort_by(|a, b| desc_nan_worst(a.1, b.1).then(a.0.cmp(&b.0)));
+        assert_eq!(v.iter().map(|p| p.0).collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

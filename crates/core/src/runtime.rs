@@ -444,13 +444,11 @@ pub(crate) fn plan_assignment(
     let mut runnable: Vec<ThreadProfile> = threads.to_vec();
     let parked = threads.len().saturating_sub(alive.len());
     if parked > 0 {
-        // Keep the highest-IPC threads (deterministic ties by index),
-        // then restore thread order so policy tie-breaks are stable.
+        // Keep the highest-IPC threads (deterministic ties by index; a
+        // NaN IPC ranks last, so it is parked first), then restore
+        // thread order so policy tie-breaks are stable.
         runnable.sort_by(|a, b| {
-            b.ipc
-                .partial_cmp(&a.ipc)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.thread.cmp(&b.thread))
+            crate::order::desc_nan_worst(a.ipc, b.ipc).then(a.thread.cmp(&b.thread))
         });
         runnable.truncate(alive.len());
         runnable.sort_by_key(|t| t.thread);

@@ -20,9 +20,11 @@
 #![warn(missing_docs)]
 
 pub mod dynamic;
+pub mod fastexp;
 pub mod leakage;
 pub mod scaling;
 
 pub use dynamic::{ActivityVector, DynamicPower, Structure, STRUCTURE_COUNT};
-pub use leakage::{LeakageParams, LeakagePower};
+pub use fastexp::fast_exp;
+pub use leakage::{BlockLeakage, LeakageParams, LeakagePower};
 pub use scaling::ItrsScaling;

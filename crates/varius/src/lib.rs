@@ -271,14 +271,52 @@ impl DieGenerator {
         &self.cfg
     }
 
+    /// The spatial-correlation field behind this generator — exposes
+    /// which sampler it uses and any covariance perturbation
+    /// (diagonal jitter / clipped spectral mass) applied at build time.
+    pub fn field(&self) -> &GaussianField {
+        &self.field
+    }
+
     /// Generates one die's Vth and Leff maps.
     ///
     /// The systematic component is a single correlated field shared by
     /// both parameters (scaled to each one's systematic σ); random
     /// components are drawn independently per point and per parameter.
     pub fn generate(&self, rng: &mut SimRng) -> Die {
+        let sys = self.field.sample(rng);
+        self.die_from_sys(&sys, rng)
+    }
+
+    /// Generates a batch of `count` dies (the paper uses 200), one
+    /// [`DieGenerator::generate`] at a time on the same RNG stream.
+    pub fn generate_batch(&self, count: usize, rng: &mut SimRng) -> Vec<Die> {
+        (0..count).map(|_| self.generate(rng)).collect()
+    }
+
+    /// Generates `count` dies with all systematic fields drawn up front
+    /// via [`GaussianField::sample_many`] — on circulant (large) grids
+    /// each FFT yields two fields, so a batch costs roughly half as
+    /// many transforms as [`DieGenerator::generate_batch`].
+    ///
+    /// The RNG is consumed in a different order than `generate_batch`
+    /// (all fields first, then each die's offsets and random
+    /// components), so the two produce different — equally
+    /// deterministic and identically distributed — dies for the same
+    /// seed. Pick one per stream and stick with it.
+    pub fn generate_many(&self, count: usize, rng: &mut SimRng) -> Vec<Die> {
+        self.field
+            .sample_many(count, rng)
+            .iter()
+            .map(|sys| self.die_from_sys(sys, rng))
+            .collect()
+    }
+
+    /// Assembles one die from an already-drawn systematic field:
+    /// die-to-die offsets, then per-point random components, in one
+    /// fixed draw order shared by every generation path.
+    fn die_from_sys(&self, sys: &[f64], rng: &mut SimRng) -> Die {
         let cfg = &self.cfg;
-        let n = self.field.len();
 
         let vth_sigma = cfg.vth_mu * cfg.vth_sigma_over_mu;
         let vth_sigma_sys = vth_sigma * cfg.systematic_fraction.sqrt();
@@ -300,11 +338,9 @@ impl DieGenerator {
         let vth_d2d = cfg.vth_mu * cfg.d2d_sigma_over_mu * d2d_draw;
         let leff_d2d = cfg.d2d_sigma_over_mu * cfg.leff_sigma_ratio * d2d_draw;
 
-        let sys = self.field.sample(rng);
-
-        let mut vth = Vec::with_capacity(n);
-        let mut leff = Vec::with_capacity(n);
-        for &s in &sys {
+        let mut vth = Vec::with_capacity(sys.len());
+        let mut leff = Vec::with_capacity(sys.len());
+        for &s in sys {
             let vth_val = cfg.vth_mu
                 + vth_d2d
                 + vth_sigma_sys * s
@@ -326,11 +362,6 @@ impl DieGenerator {
             leff,
             vth_mu: cfg.vth_mu,
         }
-    }
-
-    /// Generates a batch of `count` dies (the paper uses 200).
-    pub fn generate_batch(&self, count: usize, rng: &mut SimRng) -> Vec<Die> {
-        (0..count).map(|_| self.generate(rng)).collect()
     }
 }
 
@@ -565,6 +596,29 @@ mod tests {
         let a = gen.generate(&mut SimRng::seed_from(9));
         let b = gen.generate(&mut SimRng::seed_from(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_many_is_deterministic_and_statistically_sound() {
+        // Paper-default grid (60) so the batch exercises the circulant
+        // sampler's paired draws.
+        let gen = DieGenerator::new(VariationConfig::paper_default()).unwrap();
+        let a = gen.generate_many(5, &mut SimRng::seed_from(11));
+        let b = gen.generate_many(5, &mut SimRng::seed_from(11));
+        assert_eq!(a, b);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                assert_ne!(a[i], a[j], "dies {i} and {j} identical");
+            }
+        }
+        let mut all = Vec::new();
+        for die in &a {
+            all.extend_from_slice(die.vth());
+        }
+        let s = Summary::of(&all);
+        assert!((s.mean - 0.250).abs() < 0.01, "mean {}", s.mean);
+        let cov = s.std_dev / s.mean;
+        assert!((cov - 0.12).abs() < 0.03, "cov {cov}");
     }
 
     #[test]

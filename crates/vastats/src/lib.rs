@@ -10,6 +10,8 @@
 //!   solves, least squares ([`matrix`]),
 //! * spatially-correlated Gaussian random fields over a grid using the
 //!   spherical correlogram, exactly as VARIUS specifies ([`field`]),
+//!   with a dependency-free radix-2 FFT backing the large-grid
+//!   circulant-embedding sampler ([`fft`]),
 //! * descriptive statistics and histograms used by the evaluation
 //!   ([`descriptive`], [`histogram`]),
 //! * small fitting helpers, e.g. the straight-line least-squares fit
@@ -37,6 +39,7 @@
 
 pub mod bootstrap;
 pub mod descriptive;
+pub mod fft;
 pub mod field;
 pub mod histogram;
 pub mod linfit;
@@ -46,7 +49,8 @@ pub mod rng;
 
 pub use bootstrap::{mean_ci, MeanCi};
 pub use descriptive::Summary;
-pub use field::{FieldError, GaussianField, SphericalCorrelogram};
+pub use fft::Fft2;
+pub use field::{FieldError, GaussianField, SamplerKind, SphericalCorrelogram};
 pub use histogram::Histogram;
 pub use linfit::LineFit;
 pub use matrix::{CholeskyError, SymMatrix};

@@ -69,8 +69,11 @@ if [[ "$mode" == bench-smoke ]]; then
   # the trace bin exports JSONL run traces. check_bench exits non-zero
   # unless every BENCH_*.json is well-formed with positive timings and
   # no case regressed >3x against the committed snapshot.
+  # The kernel bin's --gate additionally enforces the optimized-kernel
+  # speedups against results/BENCH_kernel_baseline.json (>=5x on
+  # machine/step_1ms_20t, >=10x on the large-grid field cases).
   cargo bench --offline -p vasp-bench
-  cargo run -q --release --offline -p vasp-bench --bin kernel
+  cargo run -q --release --offline -p vasp-bench --bin kernel -- --gate
   cargo run -q --release --offline -p vasp-bench --bin all -- --scale smoke
   cargo run -q --release --offline -p vasp-bench --bin trace -- --scale smoke
   cargo run -q --release --offline -p vasp-bench --bin check_bench -- --baseline "$baseline_dir"
