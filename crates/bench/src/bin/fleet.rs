@@ -25,7 +25,7 @@ use std::time::Instant;
 use vasched::engine::TrialRunner;
 use vasched::experiments::fleet::{self, fleet_config, fleet_spec};
 use vasched::experiments::{Scale, ServingSite};
-use vasched::fleet::{run_fleet, ChipSummary, DispatchPolicy};
+use vasched::fleet::{build_fleet_chips, run_fleet, ChipSummary, DispatchPolicy};
 use vasched::obs::diff_traces;
 use vasp_bench::harness::Harness;
 use vasp_bench::json_report::BenchReport;
@@ -157,6 +157,18 @@ fn bench_cases(report: &mut BenchReport) {
         std::hint::black_box(run_fleet(&spec, 1).expect("bench spec is valid"));
     });
     report.push_case("run", "fleet_2chip_60ms", m);
+
+    // Construction alone, at a size where the batched field draw
+    // matters: 32 chips built exactly as `run_fleet` would build them
+    // (one sequential `sample_many` pass, parallel die/machine
+    // assembly) but with zero ticks run. Single worker so the case
+    // times the work, not the thread pool.
+    let config = fleet_config(60.0, 32, fleet::DEFAULT_BUDGET_PER_CHIP_W);
+    let spec = fleet_spec(&site, 32, DispatchPolicy::VariationAware, config, 11);
+    let m = report_case("construct", "fleet_32chip", || {
+        std::hint::black_box(build_fleet_chips(&spec, 1).expect("bench spec is valid"));
+    });
+    report.push_case("construct", "fleet_32chip", m);
 }
 
 fn main() {

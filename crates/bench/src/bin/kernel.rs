@@ -19,7 +19,7 @@
 //!   baseline entries (a 64×64 dense factorization takes tens of
 //!   seconds, far too slow for the sampling harness).
 
-use cmpsim::{app_pool, Machine, MachineConfig, Workload};
+use cmpsim::{app_pool, Machine, MachineConfig, StepPhaseTimes, Workload};
 use floorplan::paper_20_core;
 use linprog::{Problem, SolveWorkspace};
 use powermodel::{LeakageParams, LeakagePower};
@@ -35,8 +35,10 @@ use vasp_bench::timing::report_case;
 use vastats::{GaussianField, SimRng, SphericalCorrelogram};
 
 /// `--gate`: required speedup of `machine/step_1ms_20t` over the
-/// committed baseline.
-const STEP_SPEEDUP_MIN: f64 = 5.0;
+/// committed baseline. Raised from 5× when the thermal transient was
+/// collapsed into a precomputed dense step operator and the L2
+/// occupancy solve learned to exit on convergence.
+const STEP_SPEEDUP_MIN: f64 = 8.0;
 
 /// `--gate`: required speedup of the `field/*_64x64` cases over the
 /// committed (forced-Cholesky) baseline.
@@ -74,6 +76,34 @@ fn bench_step(report: &mut BenchReport) {
             black_box(machine.step(0.001));
         });
         report.push_case("machine", &name, m);
+    }
+
+    // Where the step budget goes: run the instrumented step (same
+    // numerics, per-phase `Instant` probes) and record each phase's
+    // accumulated wall time as a report stage. The phase split is the
+    // profile that justified the thermal-operator and
+    // occupancy-convergence work, kept in `BENCH_kernel.json` so the
+    // next optimization round starts from data.
+    const PROFILE_STEPS: usize = 20_000;
+    let mut machine = loaded_machine(20);
+    let mut times = StepPhaseTimes::default();
+    for _ in 0..PROFILE_STEPS {
+        black_box(machine.step_profiled(0.001, &mut times));
+    }
+    let total = times.l2_occupancy_s + times.leakage_s + times.dispatch_s + times.thermal_s;
+    for (stage, secs) in [
+        ("step_l2_occupancy", times.l2_occupancy_s),
+        ("step_leakage", times.leakage_s),
+        ("step_dispatch", times.dispatch_s),
+        ("step_thermal", times.thermal_s),
+    ] {
+        println!(
+            "{:<44} {:>10.1} ns/step ({:>4.1}%)",
+            format!("machine/{stage}"),
+            secs * 1e9 / PROFILE_STEPS as f64,
+            100.0 * secs / total
+        );
+        report.push_stage(stage, secs);
     }
 }
 

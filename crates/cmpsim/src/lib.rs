@@ -41,7 +41,9 @@ pub use cache::CacheConfig;
 pub use faults::{
     BudgetDrop, CoreFailure, FaultConfigError, FaultEvent, FaultPlan, FaultState, StuckSensor,
 };
-pub use machine::{DvfsTransition, Machine, MachineConfig, MachineState, StepStats};
+pub use machine::{
+    DvfsTransition, Machine, MachineConfig, MachineState, StepPhaseTimes, StepStats,
+};
 pub use telemetry::Telemetry;
 pub use thread::Thread;
 pub use workload::{Mix, Workload};

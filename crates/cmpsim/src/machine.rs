@@ -242,6 +242,65 @@ pub struct StepStats {
     pub instructions: f64,
 }
 
+/// Accumulated wall-clock attribution of [`Machine::step_profiled`]
+/// across the step's phases, in seconds. Whatever a step spends outside
+/// the four phases (fault advance, DTM, accounting) is the difference
+/// to the caller's own total.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepPhaseTimes {
+    /// Shared-L2 occupancy fixed point (`update_l2_shares`).
+    pub l2_occupancy_s: f64,
+    /// Per-core and per-L2-strip static power evaluation.
+    pub leakage_s: f64,
+    /// Thread dispatch: phase scan, IPC/dynamic power, retirement.
+    pub dispatch_s: f64,
+    /// Thermal transient step.
+    pub thermal_s: f64,
+}
+
+/// The phases [`Machine::step_profiled`] attributes time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepPhase {
+    L2Occupancy,
+    Leakage,
+    Dispatch,
+    Thermal,
+}
+
+/// Scoped-timer hook monomorphized into `step_inner`: the production
+/// [`Machine::step`] instantiates the no-op probe, which the optimizer
+/// erases, so profiling support costs the hot path nothing.
+trait StepProbe {
+    fn begin(&mut self, _phase: StepPhase) {}
+    fn end(&mut self, _phase: StepPhase) {}
+}
+
+/// The zero-cost probe behind [`Machine::step`].
+struct NoProbe;
+impl StepProbe for NoProbe {}
+
+/// The `Instant`-based probe behind [`Machine::step_profiled`].
+struct TimingProbe<'a> {
+    times: &'a mut StepPhaseTimes,
+    start: std::time::Instant,
+}
+
+impl StepProbe for TimingProbe<'_> {
+    fn begin(&mut self, _phase: StepPhase) {
+        self.start = std::time::Instant::now();
+    }
+
+    fn end(&mut self, phase: StepPhase) {
+        let dt = self.start.elapsed().as_secs_f64();
+        match phase {
+            StepPhase::L2Occupancy => self.times.l2_occupancy_s += dt,
+            StepPhase::Leakage => self.times.leakage_s += dt,
+            StepPhase::Dispatch => self.times.dispatch_s += dt,
+            StepPhase::Thermal => self.times.thermal_s += dt,
+        }
+    }
+}
+
 /// The simulated CMP.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -287,6 +346,13 @@ pub struct Machine {
     faults: Option<SensorFaults>,
     /// Scratch: per-block power vector rebuilt by every `step`.
     scratch_block_power: Vec<f64>,
+    /// Scratch: per-core static power, evaluated in one pass ahead of
+    /// thread dispatch (same inputs, so the same values the inline
+    /// evaluation produced) — gives the leakage phase one timeable
+    /// boundary.
+    scratch_core_leak: Vec<f64>,
+    /// Scratch: per-L2-strip static power, same pre-pass.
+    scratch_l2_leak: Vec<f64>,
     /// Scratch: thermal stepping buffers reused by every `step`.
     thermal_scratch: ThermalScratch,
     /// Scratch: `update_l2_shares` running-thread list — (thread index,
@@ -372,8 +438,10 @@ impl Machine {
             .collect();
 
         let thermal = ThermalModel::new(floorplan, config.thermal);
+        let thermal_scratch = ThermalScratch::for_model(&thermal);
         let ambient = config.thermal.ambient_k;
         let blocks = floorplan.blocks().len();
+        let strips = l2.len();
 
         Self {
             config,
@@ -398,7 +466,9 @@ impl Machine {
             total_instructions: 0.0,
             faults: None,
             scratch_block_power: vec![0.0; blocks],
-            thermal_scratch: ThermalScratch::new(),
+            scratch_core_leak: vec![0.0; n],
+            scratch_l2_leak: vec![0.0; strips],
+            thermal_scratch,
             l2_running: Vec::new(),
             l2_current: Vec::new(),
             l2_target: Vec::new(),
@@ -814,6 +884,27 @@ impl Machine {
     ///
     /// Panics if `dt_s` is not positive.
     pub fn step(&mut self, dt_s: f64) -> StepStats {
+        self.step_inner(dt_s, &mut NoProbe)
+    }
+
+    /// [`step`](Self::step) with wall-clock attribution: accumulates
+    /// each phase's time into `times` (call it across many steps and
+    /// read the sums). Identical simulation semantics — both entry
+    /// points monomorphize the same `step_inner`, the profiled one with
+    /// an `Instant`-reading probe at the phase boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive.
+    pub fn step_profiled(&mut self, dt_s: f64, times: &mut StepPhaseTimes) -> StepStats {
+        let mut probe = TimingProbe {
+            times,
+            start: std::time::Instant::now(),
+        };
+        self.step_inner(dt_s, &mut probe)
+    }
+
+    fn step_inner<P: StepProbe>(&mut self, dt_s: f64, probe: &mut P) -> StepStats {
         assert!(dt_s > 0.0, "time step must be positive");
         let n = self.cores.len();
         // Temperatures (and thus the sensor memo) change this step.
@@ -836,7 +927,9 @@ impl Machine {
             }
         }
 
+        probe.begin(StepPhase::L2Occupancy);
         self.update_l2_shares();
+        probe.end(StepPhase::L2Occupancy);
 
         // Hardware DTM: force overheating cores down one level.
         for core in 0..n {
@@ -853,6 +946,38 @@ impl Machine {
             }
         }
 
+        // Static power in one pass ahead of dispatch. The (V, T) inputs
+        // are exactly what the dispatch loop would have handed the
+        // models inline (levels and temperatures do not move between
+        // here and there), so the hoist changes no value — it gives the
+        // leakage phase a single timeable boundary.
+        probe.begin(StepPhase::Leakage);
+        for core in 0..n {
+            let info = &self.cores[core];
+            let mut leak = 0.0;
+            if self.assignment[core].is_some() {
+                let level = self.levels[core];
+                let v = info.vf.voltage_at(level);
+                let mut f = info.vf.freq_at(level);
+                if let Some(cap) = self.freq_caps[core] {
+                    f = f.min(cap);
+                }
+                if f > 0.0 {
+                    leak = self.core_leak_models[core].static_power(v, self.temps[info.block_idx]);
+                }
+            }
+            self.scratch_core_leak[core] = leak;
+        }
+        for (leak, (strip, model)) in self
+            .scratch_l2_leak
+            .iter_mut()
+            .zip(self.l2.iter().zip(&self.l2_leak_models))
+        {
+            *leak = model.static_power(self.config.l2_voltage, self.temps[strip.block_idx]);
+        }
+        probe.end(StepPhase::Leakage);
+
+        probe.begin(StepPhase::Dispatch);
         for core in 0..n {
             let info = &self.cores[core];
             let Some(tid) = self.assignment[core] else {
@@ -872,7 +997,6 @@ impl Machine {
                 self.last_core_ipc[core] = 0.0;
                 continue;
             }
-            let temp = self.temps[info.block_idx];
             let thread = &mut self.threads[tid];
 
             // Consume any pending DVFS-transition stall: the core burns
@@ -890,7 +1014,7 @@ impl Machine {
             let (ipc_mult, power_mult) = thread.phase_now();
             let ipc = thread.spec().ipc_at_share(f, thread.l2_alloc_mb()) * ipc_mult;
             let dyn_w = self.config.dynamic.power(thread.activity_now(), v, f) * power_mult;
-            let leak_w = self.core_leak_models[core].static_power(v, temp);
+            let leak_w = self.scratch_core_leak[core];
             let retired = thread.run_at(run_s, f, ipc);
 
             instructions += retired;
@@ -906,9 +1030,7 @@ impl Machine {
         let l2_dynamic = l2_accesses_per_s * self.config.l2_access_energy_j;
         let strips = self.l2.len().max(1) as f64;
         let mut total_power = 0.0;
-        for (strip, model) in self.l2.iter().zip(&self.l2_leak_models) {
-            let temp = self.temps[strip.block_idx];
-            let leak = model.static_power(self.config.l2_voltage, temp);
+        for (strip, leak) in self.l2.iter().zip(&self.scratch_l2_leak) {
             let p = leak + l2_dynamic / strips;
             self.scratch_block_power[strip.block_idx] = p;
         }
@@ -922,13 +1044,16 @@ impl Machine {
         if self.l2.is_empty() {
             total_power += l2_dynamic;
         }
+        probe.end(StepPhase::Dispatch);
 
+        probe.begin(StepPhase::Thermal);
         self.thermal.transient_step_into(
             &mut self.temps,
             &self.scratch_block_power,
             dt_s,
             &mut self.thermal_scratch,
         );
+        probe.end(StepPhase::Thermal);
 
         self.last_total_power = total_power;
         self.energy_j += total_power * dt_s;
@@ -1450,6 +1575,33 @@ mod tests {
             assert_eq!(original.core_alive(c), restored.core_alive(c));
         }
         assert_eq!(original.energy_j.to_bits(), restored.energy_j.to_bits());
+    }
+
+    /// `step_profiled` must simulate exactly like `step` (same
+    /// monomorphized body, probe aside) while attributing wall time to
+    /// every phase it claims to cover.
+    #[test]
+    fn step_profiled_matches_step_and_attributes_time() {
+        let mut plain = loaded_machine(12, 21);
+        let mut profiled = loaded_machine(12, 21);
+        let mut times = StepPhaseTimes::default();
+        for tick in 0..40 {
+            let a = plain.step(0.001);
+            let b = profiled.step_profiled(0.001, &mut times);
+            assert_eq!(
+                a.total_power_w.to_bits(),
+                b.total_power_w.to_bits(),
+                "power diverges at tick {tick}"
+            );
+            assert_eq!(a.instructions.to_bits(), b.instructions.to_bits());
+        }
+        for i in 0..plain.temps.len() {
+            assert_eq!(plain.temps[i].to_bits(), profiled.temps[i].to_bits());
+        }
+        assert!(times.l2_occupancy_s > 0.0, "occupancy phase unattributed");
+        assert!(times.leakage_s > 0.0, "leakage phase unattributed");
+        assert!(times.dispatch_s > 0.0, "dispatch phase unattributed");
+        assert!(times.thermal_s > 0.0, "thermal phase unattributed");
     }
 
     /// Runs `step` and the retained pre-optimization reference in

@@ -97,19 +97,26 @@ pub struct ChipSim {
 }
 
 impl ChipSim {
-    /// Manufactures one chip: die and machine from `seed` via the
-    /// shared serving context, a fresh scheduler/manager pair, and the
+    /// Manufactures one chip: die and machine assembled from a
+    /// pre-drawn systematic variation field (`sys`) plus this chip's
+    /// own `seed` sub-stream, a fresh scheduler/manager pair, and the
     /// fleet timing grid.
+    ///
+    /// The field comes in from outside so fleet construction can draw
+    /// every chip's field in one batched sequential pass (two fields
+    /// per FFT on circulant grids) and then assemble chips in
+    /// parallel — see `manufacture_chips` in the fleet event loop.
     pub fn new(
         ctx: &Context,
         seed: u64,
+        sys: &[f64],
         policy: SchedulerSpec,
         manager: ManagerSpec,
         budget: PowerBudget,
         config: &FleetConfig,
     ) -> Self {
         let mut rng = SimRng::seed_from(seed);
-        let die = ctx.make_die(&mut rng);
+        let die = ctx.generator().die_from_field(sys, &mut rng);
         let machine = ctx.make_machine(&die);
         let cores = core_profiles(&machine);
         let rt = &config.runtime;
@@ -392,6 +399,15 @@ mod tests {
         }
     }
 
+    /// Draws a systematic field the way fleet construction would —
+    /// from a dedicated stream separate from the chip's own seed.
+    fn sys_field(site: &ServingSite, seed: u64) -> Vec<f64> {
+        site.ctx()
+            .generator()
+            .field()
+            .sample(&mut SimRng::seed_from(seed ^ 0xF1E1D))
+    }
+
     fn job(id: usize, spec: cmpsim::AppSpec, arrival_tick: usize) -> FleetJob {
         FleetJob {
             id,
@@ -410,6 +426,7 @@ mod tests {
         let mut chip = ChipSim::new(
             site.ctx(),
             7,
+            &sys_field(&site, 7),
             SchedulerSpec::VarFAppIpc,
             ManagerSpec::LinOpt,
             PowerBudget {
@@ -439,6 +456,7 @@ mod tests {
         let mut chip = ChipSim::new(
             site.ctx(),
             9,
+            &sys_field(&site, 9),
             SchedulerSpec::VarFAppIpc,
             ManagerSpec::LinOpt,
             PowerBudget {
@@ -469,6 +487,7 @@ mod tests {
             let mut chip = ChipSim::new(
                 site.ctx(),
                 11,
+                &sys_field(&site, 11),
                 SchedulerSpec::VarFAppIpc,
                 ManagerSpec::LinOpt,
                 PowerBudget {
@@ -504,6 +523,7 @@ mod tests {
         let mut chip = ChipSim::new(
             site.ctx(),
             13,
+            &sys_field(&site, 13),
             SchedulerSpec::VarFAppIpc,
             ManagerSpec::LinOpt,
             PowerBudget {

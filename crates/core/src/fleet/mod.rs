@@ -38,7 +38,7 @@ pub use chip::{ChipSim, EpochStats, FleetJob};
 pub use dispatch::{
     ChipSummary, DispatchPolicy, Dispatcher, LeastLoaded, RoundRobin, VariationAware,
 };
-pub use sim::{run_fleet, FleetOutcome, FleetSpec};
+pub use sim::{build_fleet_chips, run_fleet, FleetOutcome, FleetSpec};
 
 use crate::online::ArrivalConfig;
 use crate::runtime::{ConfigError, RuntimeConfig};

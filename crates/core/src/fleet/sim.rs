@@ -42,6 +42,11 @@ pub const FLEET_TRACE_SCHEMA: &str = "vasp.fleet.v1";
 /// sub-streams derived off the same trial seed.
 const ARRIVAL_SALT: u64 = 0xA5B3_52F1_EE70_0D15;
 
+/// Salt separating the fleet-wide systematic-field stream (one batched
+/// draw covering every chip's die) from the arrival stream and the
+/// per-chip sub-streams.
+const DIE_FIELD_SALT: u64 = 0x6C84_D1EF_1E1D_B2A7;
+
 /// Bucket bounds of the `fleet.latency_ms` histogram.
 const LATENCY_BOUNDS_MS: [f64; 10] = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
 
@@ -142,24 +147,7 @@ pub fn run_fleet(spec: &FleetSpec<'_>, workers: usize) -> Result<FleetOutcome, T
         spec.chips_per_rack,
     );
 
-    // Manufacture the chips in parallel: construction is a pure
-    // function of the chip index (each chip's die comes from its own
-    // chip_seed sub-stream), so work-stealing order cannot matter.
-    let runner = TrialRunner::with_workers(workers);
-    let h = &hierarchy;
-    let mut chips: Vec<ChipSim> = runner.map(spec.chips, |c| {
-        ChipSim::new(
-            spec.site.ctx(),
-            spec.plan.chip_seed(spec.seed, 0, c),
-            spec.policy,
-            spec.manager,
-            PowerBudget {
-                chip_w: h.chip_budget_w(c),
-                per_core_w: PowerBudget::DEFAULT_PER_CORE_W,
-            },
-            cfg,
-        )
-    });
+    let mut chips = manufacture_chips(spec, &hierarchy, workers);
 
     // One fleet-wide arrival stream, salted away from the chip
     // sub-streams, generated up front so routing never draws
@@ -343,6 +331,69 @@ pub fn run_fleet(spec: &FleetSpec<'_>, workers: usize) -> Result<FleetOutcome, T
         metrics,
         trace,
     })
+}
+
+/// Manufactures the fleet's chips. One sequential pass draws every
+/// chip's systematic variation field up front — batched through
+/// [`vastats::GaussianField::sample_many`], which gets two fields per
+/// FFT on circulant grids — off a dedicated salted stream, then the
+/// dies and machines are assembled in parallel from each chip's own
+/// `chip_seed` sub-stream. Construction stays a pure function of the
+/// chip index (the field pass is worker-count-independent and the
+/// per-chip RNGs never touch the field stream), so work-stealing order
+/// cannot matter.
+fn manufacture_chips(
+    spec: &FleetSpec<'_>,
+    hierarchy: &BudgetHierarchy,
+    workers: usize,
+) -> Vec<ChipSim> {
+    let mut field_rng = SimRng::seed_from(spec.plan.derive(spec.seed, 0) ^ DIE_FIELD_SALT);
+    let fields = spec
+        .site
+        .ctx()
+        .generator()
+        .field()
+        .sample_many(spec.chips, &mut field_rng);
+    let runner = TrialRunner::with_workers(workers);
+    runner.map(spec.chips, |c| {
+        ChipSim::new(
+            spec.site.ctx(),
+            spec.plan.chip_seed(spec.seed, 0, c),
+            &fields[c],
+            spec.policy,
+            spec.manager,
+            PowerBudget {
+                chip_w: hierarchy.chip_budget_w(c),
+                per_core_w: PowerBudget::DEFAULT_PER_CORE_W,
+            },
+            &spec.config,
+        )
+    })
+}
+
+/// Builds the fleet's chips exactly as [`run_fleet`] would — batched
+/// field draw, parallel assembly, initial even budget split — without
+/// running any ticks. This is the construction path the fleet bench
+/// times.
+///
+/// # Errors
+///
+/// Returns [`TrialError::Config`] for the same configuration errors as
+/// [`run_fleet`].
+pub fn build_fleet_chips(spec: &FleetSpec<'_>, workers: usize) -> Result<Vec<ChipSim>, TrialError> {
+    spec.config.validate()?;
+    if spec.chips == 0 || spec.chips_per_rack == 0 {
+        return Err(TrialError::Config(ConfigError::BadFleet));
+    }
+    spec.policy.build(&spec.config.runtime)?;
+    spec.manager.validate(&spec.config.runtime)?;
+    let hierarchy = BudgetHierarchy::new(
+        spec.config.datacenter_budget_w,
+        spec.config.budget_gain,
+        spec.chips,
+        spec.chips_per_rack,
+    );
+    Ok(manufacture_chips(spec, &hierarchy, workers.max(1)))
 }
 
 /// Runs the epoch's ticks on every chip, split into contiguous shards

@@ -330,12 +330,23 @@ impl BlockLeakage {
         }
         let p = &self.params;
         let beta = 1.0 / (p.n_factor * KB_OVER_Q * temp_k);
-        // Horner evaluation of the fitted ln M(β) in t = (β − mid)/half.
+        // Estrin evaluation of the fitted ln M(β) in t = (β − mid)/half:
+        // the 16 power-basis coefficients combine through a ~5-deep
+        // tree of independent pairs instead of Horner's 15-long serial
+        // fma chain — this sits on the per-tick leakage path, once per
+        // block per step. Reassociation moves the result by ulps, far
+        // inside the 1e-6 contract pinned against the per-cell
+        // reference.
         let t = (beta - self.beta_mid) / self.beta_half;
-        let mut ln_m = self.ln_m_poly[CHEB_N - 1];
-        for &c in self.ln_m_poly[..CHEB_N - 1].iter().rev() {
-            ln_m = ln_m * t + c;
-        }
+        let c = &self.ln_m_poly;
+        let t2 = t * t;
+        let t4 = t2 * t2;
+        let t8 = t4 * t4;
+        let q0 = (c[0] + t * c[1]) + t2 * (c[2] + t * c[3]);
+        let q1 = (c[4] + t * c[5]) + t2 * (c[6] + t * c[7]);
+        let q2 = (c[8] + t * c[9]) + t2 * (c[10] + t * c[11]);
+        let q3 = (c[12] + t * c[13]) + t2 * (c[14] + t * c[15]);
+        let ln_m = (q0 + t4 * q1) + t8 * (q2 + t4 * q3);
 
         let dvth = p.vth_temp_coeff * (temp_k - p.vth_ref_temp_k);
         let t_scale = (temp_k / p.calib_temp_k).powi(2);

@@ -17,7 +17,10 @@
 //!   quasi-static temperature updates.
 //!
 //! Steady state solves the SPD conductance system directly (Cholesky);
-//! transients use forward-Euler steps.
+//! transients compose the stability-bounded forward-Euler sub-steps
+//! into one dense affine operator per tick length (`T' = M·T + B·P +
+//! d`), built on first use and cached, so a runtime tick costs a single
+//! small matrix-vector product instead of a sub-step loop.
 //!
 //! # Example
 //!
@@ -39,7 +42,13 @@
 #![warn(missing_docs)]
 
 use floorplan::Floorplan;
+use std::cell::RefCell;
 use vastats::matrix::{LowerTriangular, SymMatrix};
+
+/// Distinct tick lengths the step-operator cache holds before evicting
+/// the oldest entry. Real runs use one or two tick lengths; the cap
+/// only bounds pathological callers sweeping many distinct `dt`s.
+const OP_CACHE_CAP: usize = 16;
 
 /// Parameters of the thermal model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +87,7 @@ impl ThermalParams {
 /// node is the `a` side (flow leaves: subtract) or the `b` side (flow
 /// arrives: add).
 #[derive(Debug, Clone, Copy)]
+#[cfg_attr(not(test), allow(dead_code))]
 struct CsrEdge {
     a: u32,
     b: u32,
@@ -103,6 +113,40 @@ impl ThermalScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// A scratch pre-sized for `model`, so the in-place entry points
+    /// never touch buffer lengths on the hot path.
+    pub fn for_model(model: &ThermalModel) -> Self {
+        Self {
+            flow: vec![0.0; model.n],
+            w: vec![0.0; model.n],
+        }
+    }
+}
+
+/// The forward-Euler sub-step loop for one tick length, collapsed into
+/// a single dense affine map `T' = M·T + B·P + d`.
+///
+/// With `A = I − h·C⁻¹·G` the stability-bounded sub-step and `k` the
+/// sub-step count for this `dt`, the composition over the tick is
+/// `M = Aᵏ`, `B = (Σ_{j<k} Aʲ)·h·C⁻¹`, and `d` the ambient forcing
+/// pushed through the same partial sum.
+#[derive(Debug, Clone)]
+struct StepOperator {
+    /// The tick length this operator integrates, as raw bits (the
+    /// cache key — ticks repeat exactly, so bit equality is the right
+    /// notion).
+    dt_bits: u64,
+    /// Column-major `[Mᵀ ; Bᵀ]`, stride `n`: `M`'s column `j` lives in
+    /// `cols[n·j .. n·(j+1)]` and `B`'s column `j` in
+    /// `cols[n·(n+j) .. n·(n+j+1)]`. Column layout turns the apply
+    /// into axpy passes (`out += x_j · col_j`) whose inner loop has no
+    /// reduction dependency, so it vectorizes — and it accumulates
+    /// each `out[i]` in the same `j` order as the row-major form, so
+    /// the results are bit-identical to a scalar row·vector walk.
+    cols: Vec<f64>,
+    /// Constant term: the ambient forcing folded over the sub-steps.
+    d: Vec<f64>,
 }
 
 /// Lumped thermal network over a floorplan's blocks.
@@ -113,14 +157,16 @@ pub struct ThermalModel {
     g_vertical: Vec<f64>,
     /// Heat capacity per block (J/K).
     capacity: Vec<f64>,
-    /// Lateral conductances: (i, j, g) with i < j. Superseded by the
-    /// CSR adjacency for stepping; retained as the oracle input for the
-    /// bit-identity reference tests.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Lateral conductances: (i, j, g) with i < j. Feeds the step-
+    /// operator build and the reference tests.
     g_lateral: Vec<(usize, usize, f64)>,
     /// CSR adjacency: `csr_edges[csr_ptr[i]..csr_ptr[i+1]]` are node
-    /// `i`'s incident lateral edges, in `g_lateral` order.
+    /// `i`'s incident lateral edges, in `g_lateral` order. Superseded
+    /// by the dense step operator for production stepping; retained as
+    /// the `cfg(test)` sub-step reference path.
+    #[cfg_attr(not(test), allow(dead_code))]
     csr_ptr: Vec<usize>,
+    #[cfg_attr(not(test), allow(dead_code))]
     csr_edges: Vec<CsrEdge>,
     /// Total conductance per node (vertical + incident lateral), W/K.
     g_total: Vec<f64>,
@@ -131,6 +177,17 @@ pub struct ThermalModel {
     factor: LowerTriangular,
     /// Number of blocks.
     n: usize,
+    /// Step operators by tick length, built lazily on first use of a
+    /// `dt` and reused for every later tick of the same length. Interior
+    /// mutability keeps the hot stepping API `&self`; the model stops
+    /// being `Sync`, which matches how it is owned (one per `Machine`,
+    /// itself already non-`Sync` through its leakage memo).
+    step_ops: RefCell<Vec<StepOperator>>,
+    /// Scratch reused by the allocating convenience wrappers
+    /// ([`transient_step`](Self::transient_step)), so they pay one
+    /// output allocation instead of two. Borrowed only for the duration
+    /// of one call, which runs no user callbacks.
+    wrap_scratch: RefCell<ThermalScratch>,
 }
 
 impl ThermalModel {
@@ -256,6 +313,8 @@ impl ThermalModel {
             min_tau,
             factor,
             n,
+            step_ops: RefCell::new(Vec::new()),
+            wrap_scratch: RefCell::new(ThermalScratch::new()),
         }
     }
 
@@ -306,7 +365,9 @@ impl ThermalModel {
     pub fn steady_state_into(&self, powers: &[f64], out: &mut [f64], scratch: &mut ThermalScratch) {
         assert_eq!(powers.len(), self.n, "power vector length mismatch");
         assert_eq!(out.len(), self.n, "output vector length mismatch");
-        scratch.w.resize(self.n, 0.0);
+        if scratch.w.len() != self.n {
+            scratch.w.resize(self.n, 0.0);
+        }
         // G (T - T_amb 1) = P  =>  T = T_amb + G^{-1} P
         // (the Laplacian part cancels on the uniform ambient offset).
         self.factor.solve_into(powers, &mut scratch.w, out);
@@ -317,29 +378,31 @@ impl ThermalModel {
         }
     }
 
-    /// One forward-Euler transient step of length `dt_s` seconds:
+    /// One transient step of length `dt_s` seconds:
     /// `C dT/dt = P − G·(T − T_amb)`.
     ///
-    /// Returns the new temperatures. For stability, `dt_s` is internally
-    /// subdivided so each sub-step is below half the smallest block time
-    /// constant.
+    /// Returns the new temperatures. For stability, `dt_s` is
+    /// subdivided so each forward-Euler sub-step is below half the
+    /// smallest block time constant; the sub-steps are integrated
+    /// through the precomputed affine operator for this `dt` (built on
+    /// first use, cached thereafter), equivalent to the explicit
+    /// sub-step loop to ≤ 1e-9 K (`step_operator_matches_reference`).
     ///
     /// # Panics
     ///
     /// Panics if slice lengths mismatch or `dt_s` is not positive.
     pub fn transient_step(&self, temps: &[f64], powers: &[f64], dt_s: f64) -> Vec<f64> {
         let mut t = temps.to_vec();
-        let mut scratch = ThermalScratch::new();
+        let mut scratch = self.wrap_scratch.borrow_mut();
         self.transient_step_into(&mut t, powers, dt_s, &mut scratch);
         t
     }
 
-    /// Allocation-free [`transient_step`](Self::transient_step): advances
-    /// `temps` in place, reusing `scratch`'s flow buffer. The stable
-    /// sub-step bound is read from the precomputed `min_tau` and the
-    /// lateral flows are accumulated per node through the CSR adjacency —
-    /// both replay the edge-list formulation's arithmetic exactly, so the
-    /// result is bit-identical to the allocating API.
+    /// Allocation-free [`transient_step`](Self::transient_step):
+    /// advances `temps` in place, reusing `scratch`'s flow buffer as
+    /// the mat-vec output. One `n × 2n` product against the cached
+    /// `[M | B]` operator replaces the whole sub-step loop; bit-
+    /// identical to the allocating API (both apply the same operator).
     ///
     /// # Panics
     ///
@@ -355,31 +418,155 @@ impl ThermalModel {
         assert_eq!(powers.len(), self.n, "power vector length mismatch");
         assert!(dt_s > 0.0, "time step must be positive");
 
+        if scratch.flow.len() != self.n {
+            scratch.flow.resize(self.n, 0.0);
+        }
+        let bits = dt_s.to_bits();
+        {
+            let ops = self.step_ops.borrow();
+            if let Some(op) = ops.iter().find(|o| o.dt_bits == bits) {
+                Self::apply_operator(op, self.n, temps, powers, &mut scratch.flow);
+                return;
+            }
+        }
+        let op = self.build_step_operator(dt_s);
+        let mut ops = self.step_ops.borrow_mut();
+        if ops.len() >= OP_CACHE_CAP {
+            ops.remove(0);
+        }
+        ops.push(op);
+        let op = ops.last().expect("operator just pushed");
+        Self::apply_operator(op, self.n, temps, powers, &mut scratch.flow);
+    }
+
+    /// `temps ← M·temps + B·powers + d`, staged through `out`.
+    fn apply_operator(
+        op: &StepOperator,
+        n: usize,
+        temps: &mut [f64],
+        powers: &[f64],
+        out: &mut [f64],
+    ) {
+        out.copy_from_slice(&op.d);
+        Self::axpy_block(&op.cols[..n * n], temps, out);
+        Self::axpy_block(&op.cols[n * n..], powers, out);
+        temps.copy_from_slice(out);
+    }
+
+    /// `out += cols · x` for a column-major `n × x.len()` block,
+    /// processed two columns per pass to halve the `out` traffic and
+    /// loop overhead. Each `out[i]` still accumulates its terms in
+    /// ascending-`j` order (two separate adds per pass), so the result
+    /// is bit-identical to the scalar row·vector walk.
+    fn axpy_block(cols: &[f64], x: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let mut col_pairs = cols.chunks_exact(2 * n);
+        for (xp, cp) in x.chunks_exact(2).zip(&mut col_pairs) {
+            let (x0, x1) = (xp[0], xp[1]);
+            let (c0, c1) = cp.split_at(n);
+            for ((o, &a), &b) in out.iter_mut().zip(c0).zip(c1) {
+                *o += x0 * a;
+                *o += x1 * b;
+            }
+        }
+        if x.len() % 2 == 1 {
+            let x0 = x[x.len() - 1];
+            let c0 = &cols[(x.len() - 1) * n..];
+            for (o, &a) in out.iter_mut().zip(c0) {
+                *o += x0 * a;
+            }
+        }
+    }
+
+    /// Builds the affine operator that integrates one tick of length
+    /// `dt_s`: with `A = I − h·C⁻¹·G` the stable Euler sub-step and
+    /// `k` sub-steps, computes `M = Aᵏ` and `S = Σ_{j<k} Aʲ` by binary
+    /// decomposition of `k` (`f(2m) = (M², S + M·S)`, `f(2m+1) =
+    /// (A·M, I + A·S)`), so even second-scale ticks (thousands of
+    /// sub-steps) cost only ~2·log₂k small matrix products.
+    fn build_step_operator(&self, dt_s: f64) -> StepOperator {
+        let n = self.n;
         let sub_steps = (dt_s / (0.5 * self.min_tau)).ceil().max(1.0) as usize;
         let h = dt_s / sub_steps as f64;
 
-        scratch.flow.resize(self.n, 0.0);
-        let t = temps;
-        for _ in 0..sub_steps {
-            // All flows are computed from the pre-step temperatures. Each
-            // node folds its incident edges in g_lateral order, with the
-            // edge's original (a, b) operand order — the same sequence of
-            // additions the edge-list loop performed into flow[i].
-            for i in 0..self.n {
-                let mut acc = powers[i] - self.g_vertical[i] * (t[i] - self.params.ambient_k);
-                for e in &self.csr_edges[self.csr_ptr[i]..self.csr_ptr[i + 1]] {
-                    let q = e.g * (t[e.a as usize] - t[e.b as usize]);
-                    if e.sub {
-                        acc -= q;
-                    } else {
-                        acc += q;
+        // A = I − h·C⁻¹·G: diagonal loses the node's total conductance,
+        // each lateral edge feeds its endpoint rows.
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[n * i + i] = 1.0 - h * self.g_total[i] / self.capacity[i];
+        }
+        for &(i, j, gl) in &self.g_lateral {
+            a[n * i + j] += h * gl / self.capacity[i];
+            a[n * j + i] += h * gl / self.capacity[j];
+        }
+
+        let identity = |buf: &mut [f64]| {
+            buf.fill(0.0);
+            for i in 0..n {
+                buf[n * i + i] = 1.0;
+            }
+        };
+        let mat_mul = |x: &[f64], y: &[f64], out: &mut [f64]| {
+            out.fill(0.0);
+            for i in 0..n {
+                for l in 0..n {
+                    let xil = x[n * i + l];
+                    if xil == 0.0 {
+                        continue;
+                    }
+                    let yrow = &y[n * l..n * (l + 1)];
+                    let orow = &mut out[n * i..n * (i + 1)];
+                    for j in 0..n {
+                        orow[j] += xil * yrow[j];
                     }
                 }
-                scratch.flow[i] = acc;
             }
-            for i in 0..self.n {
-                t[i] += h * scratch.flow[i] / self.capacity[i];
+        };
+
+        // (m, s) = f(1); fold the remaining bits of k from the MSB down.
+        let mut m = a.clone();
+        let mut s = vec![0.0; n * n];
+        identity(&mut s);
+        let mut tmp = vec![0.0; n * n];
+        let top_bit = usize::BITS - 1 - sub_steps.leading_zeros();
+        for bit in (0..top_bit).rev() {
+            // Double: f(2m) = (M², S + M·S).
+            mat_mul(&m, &s, &mut tmp);
+            for (si, ti) in s.iter_mut().zip(&tmp) {
+                *si += ti;
             }
+            mat_mul(&m, &m, &mut tmp);
+            std::mem::swap(&mut m, &mut tmp);
+            if (sub_steps >> bit) & 1 == 1 {
+                // Increment: f(2m+1) = (A·M, I + A·S).
+                mat_mul(&a, &s, &mut tmp);
+                std::mem::swap(&mut s, &mut tmp);
+                for i in 0..n {
+                    s[n * i + i] += 1.0;
+                }
+                mat_mul(&a, &m, &mut tmp);
+                std::mem::swap(&mut m, &mut tmp);
+            }
+        }
+
+        // Pack `[Mᵀ ; Bᵀ]` column-major with B = S·h·C⁻¹, and the
+        // constant d = S·c with c_j = (h/C_j)·Gv_j·T_amb.
+        let mut cols = vec![0.0; 2 * n * n];
+        let mut d = vec![0.0; n];
+        for i in 0..n {
+            let mut di = 0.0;
+            for j in 0..n {
+                cols[n * j + i] = m[n * i + j];
+                let b = s[n * i + j] * h / self.capacity[j];
+                cols[n * (n + j) + i] = b;
+                di += b * self.g_vertical[j] * self.params.ambient_k;
+            }
+            d[i] = di;
+        }
+        StepOperator {
+            dt_bits: dt_s.to_bits(),
+            cols,
+            d,
         }
     }
 
@@ -425,9 +612,47 @@ impl ThermalModel {
 
 #[cfg(test)]
 impl ThermalModel {
-    /// The pre-optimization `transient_step`, retained verbatim as the
-    /// reference the scratch-buffer path is pinned against: per-call
-    /// `min_tau` scan, edge-list flow accumulation, fresh allocations.
+    /// The pre-operator CSR sub-step loop, retained verbatim as the
+    /// reference the dense step operator is equivalence-swept against
+    /// (and itself still pinned bit-identical to the edge-list
+    /// formulation below).
+    fn transient_step_csr(&self, temps: &[f64], powers: &[f64], dt_s: f64) -> Vec<f64> {
+        assert_eq!(temps.len(), self.n, "temperature vector length mismatch");
+        assert_eq!(powers.len(), self.n, "power vector length mismatch");
+        assert!(dt_s > 0.0, "time step must be positive");
+
+        let sub_steps = (dt_s / (0.5 * self.min_tau)).ceil().max(1.0) as usize;
+        let h = dt_s / sub_steps as f64;
+
+        let mut t = temps.to_vec();
+        let mut flow = vec![0.0; self.n];
+        for _ in 0..sub_steps {
+            // All flows are computed from the pre-step temperatures.
+            // Each node folds its incident edges in g_lateral order,
+            // with the edge's original (a, b) operand order — the same
+            // sequence of additions the edge-list loop performs.
+            for i in 0..self.n {
+                let mut acc = powers[i] - self.g_vertical[i] * (t[i] - self.params.ambient_k);
+                for e in &self.csr_edges[self.csr_ptr[i]..self.csr_ptr[i + 1]] {
+                    let q = e.g * (t[e.a as usize] - t[e.b as usize]);
+                    if e.sub {
+                        acc -= q;
+                    } else {
+                        acc += q;
+                    }
+                }
+                flow[i] = acc;
+            }
+            for i in 0..self.n {
+                t[i] += h * flow[i] / self.capacity[i];
+            }
+        }
+        t
+    }
+
+    /// The original edge-list `transient_step`, retained verbatim:
+    /// per-call `min_tau` scan, edge-list flow accumulation, fresh
+    /// allocations.
     fn transient_step_reference(&self, temps: &[f64], powers: &[f64], dt_s: f64) -> Vec<f64> {
         assert_eq!(temps.len(), self.n, "temperature vector length mismatch");
         assert_eq!(powers.len(), self.n, "power vector length mismatch");
@@ -630,13 +855,45 @@ mod tests {
         m.steady_state(&[1.0, 2.0]);
     }
 
-    /// Deterministic power/temperature grids exercising the in-place
-    /// paths against the retained naive reference, bit for bit.
+    /// The retained CSR sub-step path must still replay the edge-list
+    /// formulation's arithmetic bit for bit (the pre-operator
+    /// contract, kept as the bridge between the two references).
     #[test]
-    fn scratch_paths_bit_identical_to_reference() {
+    fn csr_substeps_bit_identical_to_edge_list_reference() {
         let (_, m) = model();
         let n = m.node_count();
-        let mut scratch = ThermalScratch::new();
+        for seed in 0..4u64 {
+            let powers: Vec<f64> = (0..n)
+                .map(|i| 0.3 * ((i as u64 * 7 + seed * 13) % 29) as f64)
+                .collect();
+            let temps: Vec<f64> = (0..n)
+                .map(|i| 318.15 + ((i as u64 * 11 + seed * 5) % 17) as f64)
+                .collect();
+            for &dt in &[1e-4, 1e-3, 0.01, 0.1] {
+                let reference = m.transient_step_reference(&temps, &powers, dt);
+                let csr = m.transient_step_csr(&temps, &powers, dt);
+                for i in 0..n {
+                    assert_eq!(
+                        csr[i].to_bits(),
+                        reference[i].to_bits(),
+                        "CSR node {i} diverges at dt={dt}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The tolerance contract of the tentpole: the dense affine step
+    /// operator must stay within 1e-9 K of the explicit sub-step
+    /// reference over random-ish temps, powers, and tick lengths
+    /// spanning one sub-step to thousands. Both the allocating wrapper
+    /// and the in-place path are swept (they share the operator, so
+    /// they must also agree bit for bit with each other).
+    #[test]
+    fn step_operator_matches_reference() {
+        let (_, m) = model();
+        let n = m.node_count();
+        let mut scratch = ThermalScratch::for_model(&m);
         for seed in 0..8u64 {
             let powers: Vec<f64> = (0..n)
                 .map(|i| 0.3 * ((i as u64 * 7 + seed * 13) % 29) as f64)
@@ -644,23 +901,60 @@ mod tests {
             let mut temps: Vec<f64> = (0..n)
                 .map(|i| 318.15 + ((i as u64 * 11 + seed * 5) % 17) as f64)
                 .collect();
-            for &dt in &[1e-4, 1e-3, 0.01, 0.1, 3.0] {
+            for &dt in &[1e-4, 2.7e-4, 1e-3, 0.0025, 0.01, 0.1, 3.0] {
                 let reference = m.transient_step_reference(&temps, &powers, dt);
                 let wrapper = m.transient_step(&temps, &powers, dt);
                 m.transient_step_into(&mut temps, &powers, dt, &mut scratch);
                 for i in 0..n {
-                    assert_eq!(
-                        temps[i].to_bits(),
-                        reference[i].to_bits(),
-                        "in-place node {i} diverges at dt={dt}"
+                    let err = (temps[i] - reference[i]).abs();
+                    assert!(
+                        err <= 1e-9,
+                        "in-place node {i} off by {err:.3e} K at dt={dt}"
                     );
                     assert_eq!(
                         wrapper[i].to_bits(),
-                        reference[i].to_bits(),
-                        "wrapper node {i} diverges at dt={dt}"
+                        temps[i].to_bits(),
+                        "wrapper and in-place disagree at node {i}, dt={dt}"
                     );
                 }
             }
+        }
+    }
+
+    /// Filling the operator cache past its cap must evict, rebuild, and
+    /// keep answering correctly (the rebuilt operator matches a fresh
+    /// model's bit for bit — construction is deterministic).
+    #[test]
+    fn operator_cache_eviction_rebuilds_identically() {
+        let (fp, m) = model();
+        let fresh = ThermalModel::new(&fp, ThermalParams::paper_default());
+        let n = m.node_count();
+        let powers: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let temps: Vec<f64> = (0..n).map(|i| 320.0 + (i % 5) as f64).collect();
+        let first = m.transient_step(&temps, &powers, 1e-3);
+        // Sweep enough distinct tick lengths to evict the first entry.
+        for k in 0..(OP_CACHE_CAP + 4) {
+            let dt = 1e-4 * (k + 1) as f64 + 1.3e-5;
+            let _ = m.transient_step(&temps, &powers, dt);
+        }
+        let again = m.transient_step(&temps, &powers, 1e-3);
+        let independent = fresh.transient_step(&temps, &powers, 1e-3);
+        for i in 0..n {
+            assert_eq!(again[i].to_bits(), first[i].to_bits(), "node {i}");
+            assert_eq!(independent[i].to_bits(), first[i].to_bits(), "node {i}");
+        }
+    }
+
+    /// Steady-state paths keep the original bit-identity contract.
+    #[test]
+    fn steady_state_paths_bit_identical_to_reference() {
+        let (_, m) = model();
+        let n = m.node_count();
+        let mut scratch = ThermalScratch::new();
+        for seed in 0..8u64 {
+            let powers: Vec<f64> = (0..n)
+                .map(|i| 0.3 * ((i as u64 * 7 + seed * 13) % 29) as f64)
+                .collect();
             let reference = m.steady_state_reference(&powers);
             let wrapper = m.steady_state(&powers);
             let mut out = vec![0.0; n];

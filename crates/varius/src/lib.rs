@@ -312,6 +312,29 @@ impl DieGenerator {
             .collect()
     }
 
+    /// Assembles one die from an already-drawn systematic field (as
+    /// returned by this generator's [`GaussianField`]): die-to-die
+    /// offsets, then per-point random components, in one fixed draw
+    /// order shared by every generation path.
+    ///
+    /// This is the batching seam fleet construction uses: one
+    /// sequential pass draws every chip's systematic field up front
+    /// through [`GaussianField::sample_many`] (two fields per FFT on
+    /// circulant grids), then each chip assembles its die from its own
+    /// sub-stream, in parallel, without touching the shared field RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sys.len()` does not match the generator's grid.
+    pub fn die_from_field(&self, sys: &[f64], rng: &mut SimRng) -> Die {
+        assert_eq!(
+            sys.len(),
+            self.field.nx() * self.field.ny(),
+            "systematic field length mismatch"
+        );
+        self.die_from_sys(sys, rng)
+    }
+
     /// Assembles one die from an already-drawn systematic field:
     /// die-to-die offsets, then per-point random components, in one
     /// fixed draw order shared by every generation path.

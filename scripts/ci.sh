@@ -70,7 +70,7 @@ if [[ "$mode" == bench-smoke ]]; then
   # unless every BENCH_*.json is well-formed with positive timings and
   # no case regressed >3x against the committed snapshot.
   # The kernel bin's --gate additionally enforces the optimized-kernel
-  # speedups against results/BENCH_kernel_baseline.json (>=5x on
+  # speedups against results/BENCH_kernel_baseline.json (>=8x on
   # machine/step_1ms_20t, >=10x on the large-grid field cases).
   cargo bench --offline -p vasp-bench
   cargo run -q --release --offline -p vasp-bench --bin kernel -- --gate
